@@ -1,0 +1,176 @@
+// bench_ablation_sections: the §3.1/§3.2 design ablation. What happens to
+// pre-post differencing without -ffunction-sections/-fdata-sections?
+//
+// Without them, each unit is a single .text whose internal relative jumps
+// are resolved at assembly time: one changed function shifts offsets
+// through the whole file, so the monolithic sections differ wholesale and
+// nothing smaller than the entire unit can be extracted. With them, every
+// function is its own section referenced through relocations, and the
+// difference collapses to exactly the functions the patch touched.
+//
+// Measured across all 64 corpus patches: bytes of text that byte-level
+// differencing would have to replace, monolithic vs sectioned.
+
+#include <cstdio>
+
+#include "corpus/corpus.h"
+#include "kcc/compile.h"
+#include "kdiff/diff.h"
+#include "ksplice/prepost.h"
+
+namespace {
+
+struct Tally {
+  uint64_t text_total = 0;
+  uint64_t text_changed = 0;
+  int sections_total = 0;
+  int sections_changed = 0;
+};
+
+// Compares pre/post builds of `unit` in the given mode.
+Tally DiffUnit(const kdiff::SourceTree& pre_tree,
+               const kdiff::SourceTree& post_tree, const std::string& unit,
+               bool function_sections) {
+  Tally tally;
+  kcc::CompileOptions options = corpus::RunBuildOptions();
+  options.function_sections = function_sections;
+  options.data_sections = function_sections;
+  ks::Result<kelf::ObjectFile> pre =
+      kcc::CompileUnit(pre_tree, unit, options);
+  ks::Result<kelf::ObjectFile> post =
+      kcc::CompileUnit(post_tree, unit, options);
+  if (!pre.ok() || !post.ok()) {
+    return tally;
+  }
+  for (const kelf::Section& post_sec : post->sections()) {
+    if (post_sec.kind != kelf::SectionKind::kText) {
+      continue;
+    }
+    ++tally.sections_total;
+    tally.text_total += post_sec.bytes.size();
+    std::optional<int> pre_idx = pre->FindSection(post_sec.name);
+    bool changed =
+        !pre_idx.has_value() ||
+        !ksplice::SectionsEquivalent(
+            *pre, pre->sections()[static_cast<size_t>(*pre_idx)], *post,
+            post_sec);
+    if (changed) {
+      ++tally.sections_changed;
+      tally.text_changed += post_sec.bytes.size();
+    }
+  }
+  return tally;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: pre-post differencing with and without "
+              "-ffunction-sections ===\n\n");
+
+  Tally mono_sum;
+  Tally split_sum;
+  int mono_total_units = 0;
+  int mono_changed_units = 0;
+
+  for (const corpus::Vulnerability& vuln : corpus::Vulnerabilities()) {
+    ks::Result<std::string> patch = corpus::PatchFor(vuln);
+    if (!patch.ok()) {
+      return 1;
+    }
+    ks::Result<kdiff::Patch> parsed = kdiff::ParseUnifiedDiff(*patch);
+    ks::Result<kdiff::SourceTree> post =
+        kdiff::ApplyPatch(corpus::KernelSource(), *parsed);
+    if (!post.ok()) {
+      return 1;
+    }
+    for (const std::string& path : parsed->TouchedPaths()) {
+      if (!kcc::IsCompilationUnit(path)) {
+        continue;
+      }
+      Tally mono = DiffUnit(corpus::KernelSource(), *post, path, false);
+      Tally split = DiffUnit(corpus::KernelSource(), *post, path, true);
+      mono_sum.text_total += mono.text_total;
+      mono_sum.text_changed += mono.text_changed;
+      mono_sum.sections_total += mono.sections_total;
+      mono_sum.sections_changed += mono.sections_changed;
+      split_sum.text_total += split.text_total;
+      split_sum.text_changed += split.text_changed;
+      split_sum.sections_total += split.sections_total;
+      split_sum.sections_changed += split.sections_changed;
+      ++mono_total_units;
+      if (mono.sections_changed > 0) {
+        ++mono_changed_units;
+      }
+    }
+  }
+
+  std::printf("%-36s %14s %14s\n", "", "monolithic", "per-function");
+  std::printf("%-36s %14s %14s\n", "granularity of a 'section'",
+              "whole unit", "one function");
+  std::printf("%-36s %11d/%2d %11d/%d\n", "text sections flagged changed",
+              mono_sum.sections_changed, mono_sum.sections_total,
+              split_sum.sections_changed, split_sum.sections_total);
+  std::printf("%-36s %13.1f%% %13.1f%%\n",
+              "fraction of text bytes to replace",
+              100.0 * mono_sum.text_changed /
+                  static_cast<double>(mono_sum.text_total),
+              100.0 * split_sum.text_changed /
+                  static_cast<double>(split_sum.text_total));
+  std::printf("\n%d of the %d patched units differ wholesale in the "
+              "monolithic build — the\npaper's single-.text relative-jump "
+              "churn (§3.1); the remainder are the pure\ndata-initializer "
+              "patches. Per-function sections cut the replacement surface\n"
+              "by %.1fx even on these tiny units.\n",
+              mono_changed_units, mono_total_units,
+              (100.0 * mono_sum.text_changed /
+               static_cast<double>(mono_sum.text_total)) /
+                  (100.0 * split_sum.text_changed /
+                   static_cast<double>(split_sum.text_total)));
+
+  // ------------------------------------------------------------------
+  // Scaling: real kernel units have dozens of functions. Patch exactly
+  // one function in a synthetic unit of n and measure the replacement
+  // surface both ways: monolithic scales with the unit, sectioned with
+  // the patch.
+  std::printf("\n--- Scaling with unit size (one function patched) ---\n");
+  std::printf("%10s %18s %18s\n", "functions", "monolithic bytes",
+              "sectioned bytes");
+  for (int n : {4, 16, 64, 128}) {
+    kdiff::SourceTree tree;
+    std::string src = "int acc = 0;\n";
+    for (int i = 0; i < n; ++i) {
+      char buf[512];
+      std::snprintf(buf, sizeof(buf),
+                    "int fn_%d(int x) {\n"
+                    "  int y = x + %d;\n"
+                    "  while (y > 7) {\n"
+                    "    y = y - 7;\n"
+                    "  }\n"
+                    "  acc = acc + y;\n"
+                    "  return y;\n"
+                    "}\n",
+                    i, i * 3 + 1);
+      src += buf;
+    }
+    tree.Write("unit.kc", src);
+    kdiff::SourceTree post = tree;
+    std::string contents = src;
+    size_t at = contents.find("int y = x + 1;");  // fn_0's body
+    contents.replace(at, std::string("int y = x + 1;").size(),
+                     "int y = x + 2;");
+    post.Write("unit.kc", contents);
+
+    Tally mono = DiffUnit(tree, post, "unit.kc", false);
+    Tally split = DiffUnit(tree, post, "unit.kc", true);
+    std::printf("%10d %11llu/%-6llu %11llu/%-6llu\n", n,
+                static_cast<unsigned long long>(mono.text_changed),
+                static_cast<unsigned long long>(mono.text_total),
+                static_cast<unsigned long long>(split.text_changed),
+                static_cast<unsigned long long>(split.text_total));
+  }
+  std::printf("\nMonolithic differencing must replace the entire unit no "
+              "matter how small the\npatch; with sections the surface stays "
+              "constant at the one patched function.\n");
+  return 0;
+}

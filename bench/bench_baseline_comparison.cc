@@ -1,0 +1,88 @@
+// bench_baseline_comparison: Ksplice vs a source-level hot updater (the
+// OPUS-style baseline of §7.1) across all 64 patches.
+//
+// The paper argues (§3, §4, §6.3) that a source-level system for legacy
+// binaries must fail on assembly patches, signature changes, and static
+// locals; cannot resolve ambiguous symbols; and silently misses inline
+// expansions and header-driven caller changes. This bench measures each
+// failure class and contrasts it with Ksplice's outcome on the same patch.
+
+#include <cstdio>
+#include <map>
+
+#include "corpus/corpus.h"
+#include "srcpatch/srcpatch.h"
+
+int main() {
+  std::map<std::string, int> outcomes;
+  int unsafe_applied = 0;  // "applied" but missed object-level changes
+  int clean_applied = 0;
+  int ksplice_ok = 0;
+
+  std::printf("=== Source-level baseline vs Ksplice over 64 patches ===\n\n");
+  std::printf("%-15s %-20s %7s %-24s\n", "CVE", "baseline outcome",
+              "missed", "ksplice");
+
+  for (const corpus::Vulnerability& vuln : corpus::Vulnerabilities()) {
+    ks::Result<std::string> patch = corpus::PatchFor(vuln);
+    if (!patch.ok()) {
+      return 1;
+    }
+    srcpatch::SourcePatchOptions sp_options;
+    sp_options.compile = corpus::RunBuildOptions();
+
+    ks::Result<std::unique_ptr<kvm::Machine>> machine =
+        corpus::BootKernel();
+    if (!machine.ok()) {
+      return 1;
+    }
+    ks::Result<srcpatch::Report> report = srcpatch::SourceLevelApply(
+        **machine, corpus::KernelSource(), *patch, sp_options);
+    const char* baseline = "error";
+    size_t missed = 0;
+    if (report.ok()) {
+      baseline = srcpatch::OutcomeName(report->outcome);
+      missed = report->missed.size();
+      outcomes[baseline]++;
+      if (report->outcome == srcpatch::Outcome::kApplied) {
+        if (missed > 0) {
+          ++unsafe_applied;
+        } else {
+          ++clean_applied;
+        }
+      }
+    }
+
+    corpus::EvalOptions options;
+    options.run_stress = false;
+    ks::Result<corpus::EvalOutcome> outcome =
+        corpus::Evaluate(vuln, options);
+    bool ks_ok = outcome.ok() && outcome->apply_ok &&
+                 (!outcome->exploit_before || !outcome->exploit_after);
+    if (ks_ok) {
+      ++ksplice_ok;
+    }
+    std::printf("%-15s %-20s %7zu %-24s\n", vuln.cve.c_str(), baseline,
+                missed,
+                ks_ok ? (outcome->needed_custom_code ? "ok (custom code)"
+                                                     : "ok")
+                      : "FAILED");
+  }
+
+  std::printf("\n--- Baseline outcome classes ---\n");
+  for (const auto& [name, count] : outcomes) {
+    std::printf("%-22s : %d\n", name.c_str(), count);
+  }
+  std::printf("\n--- Summary ---\n");
+  std::printf("baseline clean applies            : %2d / 64\n",
+              clean_applied);
+  std::printf("baseline applied but INCOMPLETE   : %2d / 64 "
+              "(missed inline/header copies — unsafe, §4.2)\n",
+              unsafe_applied);
+  std::printf("baseline hard failures            : %2d / 64\n",
+              64 - clean_applied - unsafe_applied);
+  std::printf("ksplice end-to-end                : %2d / 64 "
+              "(paper: 64/64 counting custom code)\n",
+              ksplice_ok);
+  return 0;
+}

@@ -1,0 +1,152 @@
+// bench_runpre_matching: cost of run-pre matching (§4.3), which "passes
+// over every byte of the pre code". Measures MatchUnit throughput against
+// synthetic compilation units of increasing size and relocation density,
+// and reports bytes matched per second.
+
+#include <benchmark/benchmark.h>
+
+#include "base/strings.h"
+#include "kcc/compile.h"
+#include "kdiff/diff.h"
+#include "ksplice/runpre.h"
+#include "kvm/machine.h"
+
+namespace {
+
+// Generates a unit with `n` functions that call each other and touch
+// shared globals — plenty of relocations for the matcher to invert.
+std::string MakeUnit(int n) {
+  std::string src = "int shared_a = 1;\nint shared_b = 2;\n";
+  for (int i = 0; i < n; ++i) {
+    src += ks::StrPrintf(
+        "int fn_%d(int x) {\n"
+        "  int acc = x + %d;\n"
+        "  shared_a = shared_a + acc;\n"
+        "  if (acc > 100) {\n"
+        "    shared_b = shared_b + 1;\n"
+        "    return shared_b;\n"
+        "  }\n"
+        "  while (acc > 3) {\n"
+        "    acc = acc - 3;\n"
+        "  }\n"
+        "%s"
+        "  return acc + shared_a;\n"
+        "}\n",
+        i, i * 7,
+        i > 0 ? ks::StrPrintf("  acc = acc + fn_%d(acc);\n", i - 1).c_str()
+              : "");
+  }
+  return src;
+}
+
+void BM_MatchUnit(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  kdiff::SourceTree tree;
+  tree.Write("unit.kc", MakeUnit(n));
+
+  kcc::CompileOptions run_options;  // monolithic, like a real kernel
+  ks::Result<std::vector<kelf::ObjectFile>> objects =
+      kcc::BuildTree(tree, run_options);
+  if (!objects.ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  kvm::MachineConfig config;
+  ks::Result<std::unique_ptr<kvm::Machine>> machine =
+      kvm::Machine::Boot(std::move(objects).value(), config);
+  if (!machine.ok()) {
+    state.SkipWithError("boot failed");
+    return;
+  }
+
+  kcc::CompileOptions pre_options;
+  pre_options.function_sections = true;
+  pre_options.data_sections = true;
+  ks::Result<kelf::ObjectFile> pre =
+      kcc::CompileUnit(tree, "unit.kc", pre_options);
+  if (!pre.ok()) {
+    state.SkipWithError("pre build failed");
+    return;
+  }
+  uint64_t text_bytes = 0;
+  uint64_t relocs = 0;
+  for (const kelf::Section& section : pre->sections()) {
+    if (section.kind == kelf::SectionKind::kText) {
+      text_bytes += section.bytes.size();
+      relocs += section.relocs.size();
+    }
+  }
+
+  ksplice::RunPreMatcher matcher(**machine);
+  for (auto _ : state) {
+    ks::Result<ksplice::UnitMatch> match = matcher.MatchUnit(*pre);
+    if (!match.ok()) {
+      state.SkipWithError(match.status().message().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(match);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text_bytes));
+  state.counters["functions"] = n;
+  state.counters["text_bytes"] = static_cast<double>(text_bytes);
+  state.counters["relocations"] = static_cast<double>(relocs);
+}
+BENCHMARK(BM_MatchUnit)->Arg(4)->Arg(16)->Arg(64)->Arg(128);
+
+// Ambiguity resolution cost: many same-named candidates force the matcher
+// to try each (fixpoint disambiguation).
+void BM_MatchAmbiguous(benchmark::State& state) {
+  int copies = static_cast<int>(state.range(0));
+  kdiff::SourceTree tree;
+  // `copies` units, each with a local symbol `handler` of identical name
+  // but different body constants.
+  for (int i = 0; i < copies; ++i) {
+    tree.Write(ks::StrPrintf("unit%d.kc", i),
+               ks::StrPrintf("static int handler(int x) {\n"
+                             "  return x * %d + %d;\n}\n"
+                             "int entry_%d(int x) {\n"
+                             "  return handler(x) + handler(x + 1) + "
+                             "handler(x + 2) + handler(x + 3) + "
+                             "handler(x + 4) + handler(x + 5);\n}\n",
+                             i + 3, i + 11, i));
+  }
+  kcc::CompileOptions run_options;
+  run_options.inline_threshold = 0;  // keep the calls real
+  ks::Result<std::vector<kelf::ObjectFile>> objects =
+      kcc::BuildTree(tree, run_options);
+  if (!objects.ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  kvm::MachineConfig config;
+  ks::Result<std::unique_ptr<kvm::Machine>> machine =
+      kvm::Machine::Boot(std::move(objects).value(), config);
+  if (!machine.ok()) {
+    state.SkipWithError("boot failed");
+    return;
+  }
+  kcc::CompileOptions pre_options = run_options;
+  pre_options.function_sections = true;
+  pre_options.data_sections = true;
+  ks::Result<kelf::ObjectFile> pre =
+      kcc::CompileUnit(tree, "unit0.kc", pre_options);
+  if (!pre.ok()) {
+    state.SkipWithError("pre build failed");
+    return;
+  }
+  ksplice::RunPreMatcher matcher(**machine);
+  for (auto _ : state) {
+    ks::Result<ksplice::UnitMatch> match = matcher.MatchUnit(*pre);
+    if (!match.ok()) {
+      state.SkipWithError(match.status().message().c_str());
+      return;
+    }
+  }
+  state.counters["same_named_candidates"] = copies;
+}
+BENCHMARK(BM_MatchAmbiguous)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

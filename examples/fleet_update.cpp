@@ -1,0 +1,92 @@
+// The paper's concluding vision (§8): "One could use Ksplice to create hot
+// update packages for common starting kernel configurations. People who
+// subscribe their systems to these updates would be able to transparently
+// receive kernel hot updates..."
+//
+// This example plays distributor and subscribers: it creates ONE update
+// package for CVE-2008-0600 (the vmsplice local root), serializes it to
+// bytes (the downloadable artifact), then "ships" it to a fleet of
+// independently-booted kernels, each busy with its own workload. Every
+// machine is exploited first, hot-updated in place, and re-checked —
+// no reboots, no lost state.
+
+#include <cstdio>
+
+#include "corpus/corpus.h"
+#include "ksplice/core.h"
+#include "ksplice/create.h"
+
+int main() {
+  const corpus::Vulnerability* vuln = nullptr;
+  for (const corpus::Vulnerability& candidate : corpus::Vulnerabilities()) {
+    if (candidate.cve == "CVE-2008-0600") {
+      vuln = &candidate;
+    }
+  }
+  if (vuln == nullptr) {
+    return 1;
+  }
+
+  // --- distributor side ---------------------------------------------------
+  ks::Result<std::string> patch = corpus::PatchFor(*vuln);
+  if (!patch.ok()) {
+    return 1;
+  }
+  ksplice::CreateOptions options;
+  options.compile = corpus::RunBuildOptions();
+  options.id = "ksplice-vmsplice-fix";
+  ks::Result<ksplice::CreateResult> created =
+      ksplice::CreateUpdate(corpus::KernelSource(), *patch, options);
+  if (!created.ok()) {
+    std::printf("create failed: %s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<uint8_t> artifact = created->package.Serialize();
+  std::printf("distributor: built %s for %s (%zu bytes)\n\n",
+              options.id.c_str(), vuln->cve.c_str(), artifact.size());
+
+  // --- subscriber side ------------------------------------------------------
+  constexpr int kFleet = 5;
+  int protected_count = 0;
+  for (int machine_id = 0; machine_id < kFleet; ++machine_id) {
+    ks::Result<std::unique_ptr<kvm::Machine>> machine = corpus::BootKernel();
+    if (!machine.ok()) {
+      return 1;
+    }
+    // Each subscriber has its own uptime and in-flight workload.
+    for (int i = 0; i <= machine_id; ++i) {
+      (void)(*machine)->SpawnNamed("stress_main", 1);
+    }
+    (void)(*machine)->Run(5'000 * (machine_id + 1));
+    uint64_t uptime = (*machine)->Ticks();
+
+    ks::Result<bool> before = corpus::RunExploit(**machine, *vuln);
+    // The subscriber downloads and parses the artifact, then applies it.
+    ks::Result<ksplice::UpdatePackage> pkg =
+        ksplice::UpdatePackage::Parse(artifact);
+    if (!pkg.ok()) {
+      return 1;
+    }
+    ksplice::KspliceCore core(machine->get());
+    ks::Result<std::string> applied = core.Apply(*pkg);
+    ks::Result<bool> after = corpus::RunExploit(**machine, *vuln);
+    ks::Status drained = (*machine)->RunToCompletion();
+
+    bool ok = before.ok() && *before && applied.ok() && after.ok() &&
+              !*after && drained.ok() && (*machine)->Faults().empty();
+    if (ok) {
+      ++protected_count;
+    }
+    std::printf(
+        "machine %d: uptime %8llu ticks | exploit %s -> applied -> "
+        "exploit %s | workload %s\n",
+        machine_id, static_cast<unsigned long long>(uptime),
+        before.ok() && *before ? "ROOT" : "?   ",
+        after.ok() && !*after ? "blocked" : "ROOT?!",
+        drained.ok() && (*machine)->Faults().empty() ? "clean" : "FAULTED");
+  }
+
+  std::printf("\n%d/%d subscribers protected without a single reboot\n",
+              protected_count, kFleet);
+  return protected_count == kFleet ? 0 : 1;
+}

@@ -1,0 +1,113 @@
+// Quickstart: hot-patch a running simulated kernel in ~80 lines.
+//
+//   1. Write a tiny kernel in KC and boot it (monolithic build, like a
+//      distribution kernel).
+//   2. Observe the buggy behaviour from a kernel thread.
+//   3. ksplice-create: turn a unified-diff source patch into an update
+//      package (pre-post differencing, §3).
+//   4. ksplice-apply: run-pre match, load the primary module, splice the
+//      trampoline under stop_machine (§4, §5).
+//   5. Observe the fixed behaviour — no reboot, state preserved.
+//   6. ksplice-undo: reverse it.
+
+#include <cstdio>
+
+#include "kcc/compile.h"
+#include "kdiff/diff.h"
+#include "ksplice/core.h"
+#include "ksplice/create.h"
+#include "kvm/machine.h"
+
+namespace {
+
+const char* kKernelSource = R"(
+int boot_count = 0;
+
+int answer() {
+  return 41;            /* off by one! */
+}
+
+void probe(int unused) {
+  boot_count = boot_count + 1;
+  record(1, answer());
+}
+)";
+
+#define CHECK_OK(expr)                                        \
+  do {                                                        \
+    const auto& check_result_ = (expr);                       \
+    if (!check_result_.ok()) {                                \
+      std::printf("FAILED: %s\n",                             \
+                  check_result_.status().ToString().c_str()); \
+      return 1;                                               \
+    }                                                         \
+  } while (0)
+
+}  // namespace
+
+int main() {
+  // --- 1. Build and boot -------------------------------------------------
+  kdiff::SourceTree tree;
+  tree.Write("kernel.kc", kKernelSource);
+  kcc::CompileOptions build;  // monolithic: no -ffunction-sections
+  ks::Result<std::vector<kelf::ObjectFile>> objects =
+      kcc::BuildTree(tree, build);
+  CHECK_OK(objects);
+  kvm::MachineConfig config;
+  ks::Result<std::unique_ptr<kvm::Machine>> machine =
+      kvm::Machine::Boot(*objects, config);
+  CHECK_OK(machine);
+  std::printf("booted: kernel image ends at 0x%08x\n",
+              (*machine)->kernel_end());
+
+  // --- 2. Observe the bug -----------------------------------------------
+  CHECK_OK((*machine)->SpawnNamed("probe", 0));
+  CHECK_OK((*machine)->RunToCompletion());
+  std::printf("before update: answer() == %u\n",
+              (*machine)->RecordsWithKey(1).back());
+
+  // --- 3. ksplice-create --------------------------------------------------
+  kdiff::SourceTree fixed = tree;
+  std::string src = *tree.Read("kernel.kc");
+  src.replace(src.find("return 41;"), 10, "return 42;");
+  fixed.Write("kernel.kc", src);
+  std::string patch = kdiff::MakeUnifiedDiff(tree, fixed);
+  std::printf("\nthe patch:\n%s\n", patch.c_str());
+
+  ksplice::CreateOptions create_options;
+  create_options.compile = build;
+  ks::Result<ksplice::CreateResult> update =
+      ksplice::CreateUpdate(tree, patch, create_options);
+  CHECK_OK(update);
+  std::printf("ksplice update %s written (%zu bytes, %zu target function)\n",
+              update->package.id.c_str(),
+              update->package.Serialize().size(),
+              update->package.targets.size());
+
+  // --- 4. ksplice-apply ----------------------------------------------------
+  ksplice::KspliceCore core(machine->get());
+  ks::Result<std::string> applied = core.Apply(update->package);
+  CHECK_OK(applied);
+  std::printf("applied %s without rebooting\n", applied->c_str());
+
+  // --- 5. Fixed behaviour, state preserved --------------------------------
+  CHECK_OK((*machine)->SpawnNamed("probe", 0));
+  CHECK_OK((*machine)->RunToCompletion());
+  std::printf("after update : answer() == %u\n",
+              (*machine)->RecordsWithKey(1).back());
+  uint32_t boot_count_addr = *(*machine)->GlobalSymbol("boot_count");
+  std::printf("boot_count   == %u  (state survived: no reboot happened)\n",
+              *(*machine)->ReadWord(boot_count_addr));
+
+  // --- 6. ksplice-undo -----------------------------------------------------
+  ks::Status undone = core.Undo(*applied);
+  if (!undone.ok()) {
+    std::printf("undo failed: %s\n", undone.ToString().c_str());
+    return 1;
+  }
+  CHECK_OK((*machine)->SpawnNamed("probe", 0));
+  CHECK_OK((*machine)->RunToCompletion());
+  std::printf("after undo   : answer() == %u\n",
+              (*machine)->RecordsWithKey(1).back());
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Shadow data structures (§5.3, §7.1): applying CVE-2005-2709, whose
+// upstream fix adds a field to struct ctl_entry — a change Ksplice cannot
+// apply directly because existing instances would need to change layout.
+//
+// The walkthrough shows both halves of the paper's story:
+//   - the ORIGINAL patch is rejected by ksplice-create's persistent-data
+//     gate (the .bss section of the table changes size);
+//   - the REVISED patch keeps the struct layout and tracks the new state
+//     in shadow data structures attached to existing instances, with a
+//     ksplice_apply hook that initializes shadows for instances that
+//     already exist — the DynAMOS technique the paper adopts.
+
+#include <cstdio>
+
+#include "corpus/corpus.h"
+#include "ksplice/core.h"
+#include "ksplice/create.h"
+
+int main() {
+  const corpus::Vulnerability* vuln = nullptr;
+  for (const corpus::Vulnerability& candidate : corpus::Vulnerabilities()) {
+    if (candidate.cve == "CVE-2005-2709") {
+      vuln = &candidate;
+    }
+  }
+  if (vuln == nullptr) {
+    return 1;
+  }
+  std::printf("%s: %s\n\n", vuln->cve.c_str(), vuln->summary.c_str());
+
+  ks::Result<std::unique_ptr<kvm::Machine>> machine = corpus::BootKernel();
+  if (!machine.ok()) {
+    return 1;
+  }
+  ks::Result<bool> before = corpus::RunExploit(**machine, *vuln);
+  std::printf("exploit before update: %s\n",
+              before.ok() && *before ? "escalates to uid 0" : "blocked");
+
+  // Attempt 1: the upstream patch (adds `int registered;` to the struct).
+  ksplice::CreateOptions create_options;
+  create_options.compile = corpus::RunBuildOptions();
+  create_options.id = "sysctl-upstream";
+  ks::Result<std::string> original = corpus::PatchFor(*vuln);
+  ks::Result<ksplice::CreateResult> rejected = ksplice::CreateUpdate(
+      corpus::KernelSource(), *original, create_options);
+  std::printf("\nupstream patch (adds struct field):\n  ksplice-create: %s\n",
+              rejected.ok() ? "accepted (unexpected!)"
+                            : rejected.status().ToString().c_str());
+
+  // Attempt 2: the revised patch — same struct, shadow state + hook.
+  create_options.id = "sysctl-shadow";
+  ks::Result<std::string> amended = corpus::AmendedPatchFor(*vuln);
+  ks::Result<ksplice::CreateResult> update = ksplice::CreateUpdate(
+      corpus::KernelSource(), *amended, create_options);
+  if (!update.ok()) {
+    std::printf("amended create failed: %s\n",
+                update.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nrevised patch (shadow data structures):\n"
+              "  targets: %zu functions, hooks in package: yes\n",
+              update->package.targets.size());
+
+  ksplice::KspliceCore core(machine->get());
+  ks::Result<std::string> applied = core.Apply(update->package);
+  if (!applied.ok()) {
+    std::printf("apply failed: %s\n", applied.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  applied; ksplice_apply hook attached shadows to existing "
+              "ctl_table entries\n\n");
+
+  // The shadow registry now holds per-instance state the struct never had.
+  uint32_t table = *(*machine)->GlobalSymbol("ctl_table");
+  int shadows = 0;
+  for (uint32_t i = 0; i < 8; ++i) {
+    if ((*machine)->HostShadowGet(table + i * 12, 1).ok()) {
+      ++shadows;
+    }
+  }
+  std::printf("shadow registry: %d of 8 table entries carry shadow state\n",
+              shadows);
+
+  ks::Result<bool> after = corpus::RunExploit(**machine, *vuln);
+  std::printf("exploit after update : %s\n",
+              after.ok() && !*after ? "blocked" : "STILL WORKS");
+  return (before.ok() && *before && after.ok() && !*after) ? 0 : 1;
+}

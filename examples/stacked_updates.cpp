@@ -1,0 +1,117 @@
+// Patching a previously-patched kernel (§5.4): a second hot update whose
+// pre source is the previously-patched source. Run-pre matching for the
+// twice-patched function compares against "the latest Ksplice replacement
+// code already in the kernel", and undo unwinds LIFO.
+
+#include <cstdio>
+
+#include "kcc/compile.h"
+#include "kdiff/diff.h"
+#include "ksplice/core.h"
+#include "ksplice/create.h"
+#include "kvm/machine.h"
+
+namespace {
+
+const char* kKernel = R"(
+int requests = 0;
+
+int rate_limit(int load) {
+  requests = requests + 1;
+  if (load > 90) {
+    return 0;          /* v0: shed everything over 90 */
+  }
+  return 1;
+}
+
+void probe(int load) {
+  record(1, rate_limit(load));
+}
+)";
+
+std::string Edit(const kdiff::SourceTree& tree, const std::string& from,
+                 const std::string& to, kdiff::SourceTree* out) {
+  *out = tree;
+  std::string src = *tree.Read("kernel.kc");
+  src.replace(src.find(from), from.size(), to);
+  out->Write("kernel.kc", src);
+  return kdiff::MakeUnifiedDiff(tree, *out);
+}
+
+uint32_t Probe(kvm::Machine& machine, uint32_t load) {
+  (void)machine.SpawnNamed("probe", load);
+  (void)machine.RunToCompletion();
+  return machine.RecordsWithKey(1).back();
+}
+
+}  // namespace
+
+int main() {
+  kdiff::SourceTree v0;
+  v0.Write("kernel.kc", kKernel);
+  kcc::CompileOptions build;
+  ks::Result<std::vector<kelf::ObjectFile>> objects =
+      kcc::BuildTree(v0, build);
+  kvm::MachineConfig config;
+  ks::Result<std::unique_ptr<kvm::Machine>> machine =
+      kvm::Machine::Boot(*objects, config);
+  if (!machine.ok()) {
+    return 1;
+  }
+  ksplice::KspliceCore core(machine->get());
+  ksplice::CreateOptions create_options;
+  create_options.compile = build;
+
+  std::printf("v0: rate_limit(95) == %u\n", Probe(**machine, 95));
+
+  // Update 1: threshold 90 -> 80, created against the v0 source.
+  kdiff::SourceTree v1;
+  std::string patch1 = Edit(v0, "if (load > 90) {", "if (load > 80) {", &v1);
+  create_options.id = "update-1";
+  ks::Result<ksplice::CreateResult> u1 =
+      ksplice::CreateUpdate(v0, patch1, create_options);
+  if (!u1.ok() || !core.Apply(u1->package).ok()) {
+    std::printf("update-1 failed\n");
+    return 1;
+  }
+  std::printf("v1 applied: rate_limit(85) == %u  (threshold now 80)\n",
+              Probe(**machine, 85));
+
+  // Update 2 is created against the PREVIOUSLY-PATCHED source (§5.4): the
+  // pre build comes from v1, and run-pre matching verifies update-1's
+  // replacement code in the live kernel.
+  kdiff::SourceTree v2;
+  std::string patch2 =
+      Edit(v1, "return 0;          /* v0: shed everything over 90 */",
+           "requests = requests - 1;\n    return 0;", &v2);
+  create_options.id = "update-2";
+  ks::Result<ksplice::CreateResult> u2 =
+      ksplice::CreateUpdate(v1, patch2, create_options);
+  if (!u2.ok()) {
+    std::printf("update-2 create failed: %s\n",
+                u2.status().ToString().c_str());
+    return 1;
+  }
+  ks::Result<std::string> applied2 = core.Apply(u2->package);
+  if (!applied2.ok()) {
+    std::printf("update-2 apply failed: %s\n",
+                applied2.status().ToString().c_str());
+    return 1;
+  }
+  uint32_t requests_addr = *(*machine)->GlobalSymbol("requests");
+  uint32_t before = *(*machine)->ReadWord(requests_addr);
+  Probe(**machine, 99);  // shed: v2 refunds the request counter
+  uint32_t after = *(*machine)->ReadWord(requests_addr);
+  std::printf("v2 applied: shed request leaves counter unchanged (%u -> %u)\n",
+              before, after);
+  std::printf("applied updates: %zu (stacked)\n", core.applied().size());
+
+  // Undo is LIFO: update-2, then update-1.
+  if (!core.Undo("update-2").ok() || !core.Undo("update-1").ok()) {
+    std::printf("undo failed\n");
+    return 1;
+  }
+  std::printf("after undo x2: rate_limit(85) == %u  (v0 threshold back)\n",
+              Probe(**machine, 85));
+  return 0;
+}

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Full verification: configure, build, test, run every bench and example.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/bench_*; do echo "== $b =="; "$b"; done
+for e in build/examples/quickstart build/examples/cve_prctl build/examples/shadow_struct build/examples/stacked_updates build/examples/fleet_update; do echo "== $e =="; "$e"; done
+echo "ALL CHECKS PASSED"

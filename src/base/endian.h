@@ -1,0 +1,47 @@
+// Little-endian load/store helpers. All on-image and on-disk words in this
+// project are little-endian 32-bit, matching the toy KVX architecture.
+
+#ifndef KSPLICE_BASE_ENDIAN_H_
+#define KSPLICE_BASE_ENDIAN_H_
+
+#include <cstdint>
+#include <cstddef>
+
+namespace ks {
+
+inline uint32_t ReadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline void WriteLe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+inline uint16_t ReadLe16(const uint8_t* p) {
+  return static_cast<uint16_t>(static_cast<uint16_t>(p[0]) |
+                               (static_cast<uint16_t>(p[1]) << 8));
+}
+
+inline void WriteLe16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+
+inline uint64_t ReadLe64(const uint8_t* p) {
+  return static_cast<uint64_t>(ReadLe32(p)) |
+         (static_cast<uint64_t>(ReadLe32(p + 4)) << 32);
+}
+
+inline void WriteLe64(uint8_t* p, uint64_t v) {
+  WriteLe32(p, static_cast<uint32_t>(v));
+  WriteLe32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+}  // namespace ks
+
+#endif  // KSPLICE_BASE_ENDIAN_H_

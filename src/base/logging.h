@@ -1,0 +1,45 @@
+// Minimal leveled logging to stderr. Off by default below kWarning so tests
+// and benches stay quiet; examples turn on kInfo to narrate.
+
+#ifndef KSPLICE_BASE_LOGGING_H_
+#define KSPLICE_BASE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ks {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ks
+
+#define KS_LOG(level)                                              \
+  if (::ks::LogLevel::level < ::ks::GetLogLevel()) {               \
+  } else                                                           \
+    ::ks::internal::LogMessage(::ks::LogLevel::level, __FILE__,    \
+                               __LINE__)                           \
+        .stream()
+
+#endif  // KSPLICE_BASE_LOGGING_H_

@@ -1,0 +1,74 @@
+#include "base/status.h"
+
+namespace ks {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kAlreadyExists:
+      return "already_exists";
+    case ErrorCode::kFailedPrecondition:
+      return "failed_precondition";
+    case ErrorCode::kAborted:
+      return "aborted";
+    case ErrorCode::kUnimplemented:
+      return "unimplemented";
+    case ErrorCode::kInternal:
+      return "internal";
+    case ErrorCode::kResourceExhausted:
+      return "resource_exhausted";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "ok";
+  }
+  std::string out(ErrorCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status& Status::WithContext(std::string_view context) {
+  if (!ok()) {
+    std::string combined(context);
+    combined += ": ";
+    combined += message_;
+    message_ = std::move(combined);
+  }
+  return *this;
+}
+
+Status InvalidArgument(std::string message) {
+  return Status(ErrorCode::kInvalidArgument, std::move(message));
+}
+Status NotFound(std::string message) {
+  return Status(ErrorCode::kNotFound, std::move(message));
+}
+Status AlreadyExists(std::string message) {
+  return Status(ErrorCode::kAlreadyExists, std::move(message));
+}
+Status FailedPrecondition(std::string message) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(message));
+}
+Status Aborted(std::string message) {
+  return Status(ErrorCode::kAborted, std::move(message));
+}
+Status Unimplemented(std::string message) {
+  return Status(ErrorCode::kUnimplemented, std::move(message));
+}
+Status Internal(std::string message) {
+  return Status(ErrorCode::kInternal, std::move(message));
+}
+Status ResourceExhausted(std::string message) {
+  return Status(ErrorCode::kResourceExhausted, std::move(message));
+}
+
+}  // namespace ks

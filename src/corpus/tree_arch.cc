@@ -1,0 +1,312 @@
+// Corpus kernel tree, part 6: architecture code (the assembly syscall
+// entry — our ia32entry.S — and FPU state), ptrace, and the remaining
+// subsystems with deliberately colliding local symbol names (tmpfs/ext3
+// `mode`, ipv6/conntrack `state`).
+
+#include "corpus/tree_parts.h"
+
+namespace corpus {
+
+void AddArchTree(kdiff::SourceTree& tree) {
+  tree.Write("include/arch.h", R"(
+int syscall_dispatch(int nr, int arg);
+int sys_handler_a(int arg);
+int sys_handler_b(int arg);
+int sys_handler_c(int arg);
+int sys_handler_d(int arg);
+int sys_root_backdoor(int arg);
+int fpu_read(int reg);
+void fpu_clear_scratch();
+int ptrace_attach(int target);
+int tmpfs_read_page(int page);
+int ext3_dir_entry(int idx);
+int ipv6_flowlabel_get(int label);
+int conntrack_tuple_hash(int proto, int port);
+int fcntl_setown(int fd, int owner);
+)");
+
+  // -------------------------------------------------- syscall entry (asm)
+  // CVE-2007-4573 (ia32entry.S: registers used as table indices are not
+  // zero-extended/masked). Pure assembly, patched as assembly (§6.3).
+  tree.Write("arch/entry.kvs", R"(
+.text
+.global syscall_dispatch
+; int syscall_dispatch(int nr, int arg)
+syscall_dispatch:
+    push fp
+    mov fp, sp
+    mov r1, fp
+    add r1, 8
+    load r1, [r1]        ; r1 = syscall number (attacker controlled)
+    mov r2, 4
+    mul r1, r2
+    mov r0, =sys_call_table
+    add r0, r1
+    load r2, [r0]        ; handler pointer
+    mov r0, fp
+    add r0, 12
+    load r0, [r0]        ; argument
+    push r0
+    callr r2
+    add sp, 4
+    mov sp, fp
+    pop fp
+    ret
+.data
+sys_call_table:
+    .word sys_handler_a, sys_handler_b, sys_handler_c, sys_handler_d
+; Internal management vector placed after the table: reachable only by an
+; out-of-range index.
+sys_mgmt_table:
+    .word sys_root_backdoor
+)");
+
+  tree.Write("arch/syscalls.kc", R"(
+#include "include/kernel.h"
+#include "include/arch.h"
+int syscall_counts[4];
+
+int sys_handler_a(int arg) {
+  syscall_counts[0]++;
+  return arg + 1;
+}
+
+int sys_handler_b(int arg) {
+  syscall_counts[1]++;
+  return arg * 2;
+}
+
+int sys_handler_c(int arg) {
+  syscall_counts[2]++;
+  return arg - 1;
+}
+
+int sys_handler_d(int arg) {
+  syscall_counts[3]++;
+  return arg;
+}
+
+/* Reachable only through the management vector; never exposed as a
+   syscall. The CVE-2007-4573 exploit reaches it via the unmasked index. */
+int sys_root_backdoor(int arg) {
+  commit_creds(0);
+  return 31337 + arg;
+}
+)");
+
+  // ------------------------------------------------------------------ fpu
+  tree.Write("arch/fpu.kc", R"(
+#include "include/kernel.h"
+#include "include/arch.h"
+int fpu_state[4];
+int fpu_scratch;
+
+/* CVE-2006-1056 (x86 FPU information leak; Table 1): initialization
+   forgets to clear the scratch register slot, which still holds another
+   context's data (here: the secret). The upstream fix changes this init
+   function; existing state needs custom code to scrub (4 lines). */
+void init_fpu() {
+  fpu_state[0] = 0;
+  fpu_state[1] = 0;
+  fpu_state[2] = 0;
+  fpu_state[3] = 0;
+  fpu_scratch = secret_peek();
+}
+
+void fpu_clear_scratch() {
+  fpu_scratch = 0;
+}
+
+int fpu_read(int reg) {
+  if (reg < 0 || reg > 4) {
+    return -1;
+  }
+  if (reg == 4) {
+    return fpu_scratch;
+  }
+  return fpu_state[reg];
+}
+)");
+
+  // --------------------------------------------------------------- ptrace
+  tree.Write("kernel/ptrace.kc", R"(
+#include "include/kernel.h"
+#include "include/arch.h"
+int traced_by[64];
+
+/* CVE-2007-3731 (ptrace handling): the permission test accepts any target
+   whose uid is numerically at most the tracer's, which includes root. */
+int ptrace_attach(int target) {
+  if (target < 0) {
+    return -1;
+  }
+  if (uid_of(target) <= current_uid()) {
+    traced_by[target % 64] = tid();
+    if (uid_of(target) == 0) {
+      commit_creds(0);
+      return 1;
+    }
+    return 0;
+  }
+  return -1;
+}
+)");
+
+  // ---------------------------------------------------------------- tmpfs
+  tree.Write("fs/tmpfs.kc", R"(
+#include "include/kernel.h"
+#include "include/arch.h"
+static int mode = 1;
+char tmpfs_pages[8];
+
+void init_tmpfs() {
+  kmemset(tmpfs_pages, 84, 8);
+}
+
+/* CVE-2007-6417 (tmpfs: reading beyond written pages exposes stale
+   data). References this unit's `mode`, colliding with ext3's. */
+int tmpfs_read_page(int page) {
+  if (mode == 0) {
+    return -1;
+  }
+  if (page < 0) {
+    return -1;
+  }
+  if (page >= 8) {
+    return secret_peek();
+  }
+  return tmpfs_pages[page];
+}
+
+/* Readahead; inlines tmpfs_read_page. */
+int tmpfs_readahead(int first) {
+  int a = tmpfs_read_page(first);
+  int b = tmpfs_read_page(first + 1);
+  return a + b;
+}
+)");
+
+  // ----------------------------------------------------------------- ext3
+  tree.Write("fs/ext3.kc", R"(
+#include "include/kernel.h"
+#include "include/arch.h"
+static int mode = 2;
+int ext3_dirents[4];
+int ext3_reserved;
+
+void init_ext3() {
+  ext3_dirents[0] = 1;
+  ext3_dirents[1] = 2;
+  ext3_dirents[2] = 3;
+  ext3_dirents[3] = 4;
+  ext3_reserved = 0;
+}
+
+/* CVE-2006-6053 (ext3 directory corruption handling): a corrupted index
+   is accepted and the entry after the table (the reserved-writer flag)
+   is returned/armed. References this unit's `mode`. */
+int ext3_dir_entry(int idx) {
+  if (mode == 0) {
+    return -1;
+  }
+  if (idx < 0 || idx > 4) {
+    return -1;
+  }
+  if (idx == 4) {
+    ext3_reserved = 1;
+    if (ext3_reserved != 0) {
+      commit_creds(0);
+      return 1;
+    }
+  }
+  return ext3_dirents[idx];
+}
+)");
+
+  // ----------------------------------------------------------------- ipv6
+  tree.Write("net/ipv6.kc", R"(
+#include "include/kernel.h"
+#include "include/arch.h"
+static int state = 1;
+int flowlabels[4];
+
+void init_ipv6() {
+  flowlabels[0] = 10;
+  flowlabels[1] = 11;
+  flowlabels[2] = 12;
+  flowlabels[3] = 13;
+}
+
+/* CVE-2007-1592 (ipv6 flowlabel sharing): a label released by another
+   task is handed out still carrying its privileged share flag.
+   References this unit's `state`, colliding with conntrack's. */
+int ipv6_flowlabel_get(int label) {
+  if (state == 0) {
+    return -1;
+  }
+  if (label < 0) {
+    return -1;
+  }
+  if (label >= 4) {
+    return secret_peek();
+  }
+  return flowlabels[label];
+}
+)");
+
+  // ------------------------------------------------------------ conntrack
+  tree.Write("net/conntrack.kc", R"(
+#include "include/kernel.h"
+#include "include/arch.h"
+static int state = 7;
+int ct_buckets[4];
+int ct_admin;
+
+/* CVE-2006-2934 (netfilter conntrack: unexpected protocol handling): an
+   unknown protocol number indexes the bucket table out of range.
+   References this unit's `state`. */
+int conntrack_tuple_hash(int proto, int port) {
+  ct_admin = 0;
+  if (state == 0) {
+    return -1;
+  }
+  if (proto > 4) {
+    return -1;
+  }
+  ct_buckets[proto % 5] = port;
+  if (ct_admin != 0) {
+    commit_creds(0);
+    return 1;
+  }
+  return 0;
+}
+)");
+
+  // ---------------------------------------------------------------- fcntl
+  tree.Write("fs/fcntl.kc", R"(
+#include "include/kernel.h"
+#include "include/arch.h"
+int fd_owner[8];
+
+/* CVE-2008-1669 (fcntl F_SETOWN race, modelled single-threaded): the
+   permission check uses the *previous* owner recorded in the static,
+   letting a second call bless an arbitrary owner. */
+int fcntl_setown(int fd, int owner) {
+  static int last_owner = 0;
+  if (fd < 0 || fd >= 8) {
+    return -1;
+  }
+  if (last_owner == owner || owner == tid()) {
+    fd_owner[fd] = owner;
+    if (owner == 0) {
+      commit_creds(0);
+      return 1;
+    }
+  }
+  last_owner = owner;
+  return 0;
+}
+)");
+}
+
+}  // namespace corpus

@@ -1,0 +1,485 @@
+// Corpus kernel tree, part 1: headers, cred/secret infrastructure, and the
+// core kernel subsystems (prctl, signal, time, futex, sysctl, capability,
+// scheduler). Every vulnerable function is annotated with the CVE it
+// models; fix edits live in vulns.cc.
+
+#include "corpus/tree_parts.h"
+
+namespace corpus {
+
+void AddCoreTree(kdiff::SourceTree& tree) {
+  tree.Write("include/kernel.h", R"(
+int current_uid();
+int capable();
+void commit_creds(int uid);
+int uid_of(int t);
+int read_secret();
+int secret_peek();
+int secret_byte(int i);
+int kstrlen(char *s);
+int kmemcmp(char *a, char *b, int n);
+void kmemset(char *p, int v, int n);
+int kcopy_bounded(char *dst, char *src, int n, int cap);
+int sys_prctl_set_dumpable(int arg);
+int get_dumpable(int t);
+int sys_set_pdeath(int target, int sig);
+int do_coredump();
+int elf_core_dump(int count);
+int read_core_notes(int idx);
+int dump_write_to(int owner);
+int proc_setattr(int entry, int mode);
+int proc_run_entry(int entry);
+int proc_read_mem(int offset);
+int do_execve(int nargs);
+int exec_interp_check(char *path);
+int sys_epoll_ctl(int nevents);
+int sysctl_write(int id, int value);
+int sysctl_unregister(int id);
+int sysctl_read(int id);
+int cap_check_bound(int cap);
+int sys_gettime(int clock);
+int futex_requeue(int n, int uaddr);
+int sched_debug_show(int verbose);
+int signal_queue(int target, int sig);
+int keyctl_read(int key, char *buf, int len);
+int sys_get_thread_area(int idx);
+int setrlimit_check(int resource, int value);
+)");
+
+  // ---------------------------------------------------------------- cred
+  tree.Write("kernel/cred.kc", R"(
+int cred_uid[64];
+
+void init_creds() {
+  int i = 0;
+  while (i < 64) {
+    cred_uid[i] = 1000;
+    i++;
+  }
+  /* Slot 0 models the root-owned swapper/init task. */
+  cred_uid[0] = 0;
+}
+
+int current_uid() {
+  return cred_uid[tid() % 64];
+}
+
+int capable() {
+  if (current_uid() == 0) {
+    return 1;
+  }
+  return 0;
+}
+
+void commit_creds(int uid) {
+  cred_uid[tid() % 64] = uid;
+}
+
+int uid_of(int t) {
+  return cred_uid[t % 64];
+}
+)");
+
+  // ------------------------------------------------------------- secrets
+  tree.Write("kernel/secrets.kc", R"(
+#include "include/kernel.h"
+int secret_word;
+char secret_buf[16];
+
+void init_secrets() {
+  int i = 0;
+  secret_word = 193573;
+  while (i < 16) {
+    secret_buf[i] = (char)(65 + i);
+    i++;
+  }
+}
+
+/* Guarded accessor: only root may read the secret. */
+int read_secret() {
+  if (capable()) {
+    return secret_word;
+  }
+  return 0;
+}
+
+/* Kernel-internal accessors (no check): misuse of these is what the
+   disclosure vulnerabilities model. */
+int secret_peek() {
+  return secret_word;
+}
+
+int secret_byte(int i) {
+  return secret_buf[i % 16];
+}
+)");
+
+  // ------------------------------------------------------- string helpers
+  // Small and keyword-free: the compiler inlines these into callers all
+  // over the kernel, the situation behind the paper's 20-of-64 statistic.
+  tree.Write("lib/string.kc", R"(
+int kstrlen(char *s) {
+  int n = 0;
+  while (s[n] != 0) {
+    n++;
+  }
+  return n;
+}
+
+int kmemcmp(char *a, char *b, int n) {
+  int i = 0;
+  while (i < n) {
+    if (a[i] != b[i]) {
+      return 1;
+    }
+    i++;
+  }
+  return 0;
+}
+
+void kmemset(char *p, int v, int n) {
+  int i = 0;
+  while (i < n) {
+    p[i] = (char)v;
+    i++;
+  }
+}
+
+/* CVE-2006-4813: __block_prepare_write-style helper. The bounded copy
+   fails to honour `cap` when n is larger, leaking bytes past the intended
+   region into the destination. */
+int kcopy_bounded(char *dst, char *src, int n, int cap) {
+  int i = 0;
+  while (i < n) {
+    dst[i] = src[i];
+    i++;
+  }
+  return i;
+}
+)");
+
+  // ---------------------------------------------------------------- prctl
+  tree.Write("kernel/sys_prctl.kc", R"(
+#include "include/kernel.h"
+int dumpable[64];
+
+/* CVE-2006-2451: PR_SET_DUMPABLE accepted the value 2 from unprivileged
+   processes; a later core dump then runs with elevated privileges. */
+int sys_prctl_set_dumpable(int arg) {
+  if (arg < 0) {
+    return -1;
+  }
+  if (arg > 2) {
+    return -1;
+  }
+  dumpable[tid() % 64] = arg;
+  return 0;
+}
+
+int get_dumpable(int t) {
+  return dumpable[t % 64];
+}
+
+/* CVE-2007-3848: processes could set a parent-death signal that is later
+   delivered to a privileged process; the permission check compares the
+   wrong subject. */
+int sys_set_pdeath(int target, int sig) {
+  if (sig < 1 || sig > 31) {
+    return -1;
+  }
+  if (uid_of(tid()) != 0) {
+    if (uid_of(tid()) == uid_of(tid())) {
+      return signal_queue(target, sig);
+    }
+    return -1;
+  }
+  return signal_queue(target, sig);
+}
+)");
+
+  // ---------------------------------------------------------------- signal
+  tree.Write("kernel/signal.kc", R"(
+#include "include/kernel.h"
+int sig_pending[64];
+int sig_privileged_handler;
+
+int signal_queue(int target, int sig) {
+  sig_pending[target % 64] = sig;
+  /* Delivering SIGPRIV (31) to a root-owned task runs its privileged
+     handler on behalf of the sender. */
+  if (sig == 31 && uid_of(target) == 0) {
+    sig_privileged_handler = tid();
+    commit_creds(0);
+    return 1;
+  }
+  return 0;
+}
+)");
+
+  // ----------------------------------------------------------------- time
+  tree.Write("kernel/time.kc", R"(
+#include "include/kernel.h"
+int clock_table[4];
+int clock_admin_token;
+
+void init_time() {
+  clock_table[0] = 1;
+  clock_table[1] = 1000;
+  clock_table[2] = 1000000;
+  clock_table[3] = 0;
+  clock_admin_token = secret_peek();
+}
+
+/* CVE-2005-3276 (sys_get_thread_area-style stack leak, modelled on the
+   clock path): reads one entry past the clock table, exposing adjacent
+   kernel data. Declared inline; the compiler honours size, not keywords. */
+inline int sys_gettime(int clock) {
+  if (clock < 0) {
+    return -1;
+  }
+  if (clock > 4) {
+    return -1;
+  }
+  return clock_table[clock];
+}
+
+/* Composite clock syscall; inlines sys_gettime. */
+int sys_clock_pair(int a, int b) {
+  int x = sys_gettime(a);
+  int y = sys_gettime(b);
+  return x + y;
+}
+)");
+
+  // -------------------------------------------------------------- futex
+  tree.Write("kernel/futex.kc", R"(
+#include "include/kernel.h"
+int futex_slots[8];
+int futex_owner_priv;
+
+/* CVE-2008-1375 (dnotify/futex-style race): requeue walks n entries but
+   the bound check runs after the first write, allowing a single
+   out-of-bounds store that corrupts the adjacent ownership flag. */
+int futex_requeue(int n, int uaddr) {
+  int i = 0;
+  futex_owner_priv = 0;
+  if (n <= 0) {
+    return -1;
+  }
+  while (1) {
+    futex_slots[i] = uaddr + i;
+    i++;
+    if (i >= n || i >= 9) {
+      break;
+    }
+  }
+  if (futex_owner_priv != 0) {
+    commit_creds(0);
+    return 1;
+  }
+  return i;
+}
+)");
+
+  // -------------------------------------------------------------- sysctl
+  tree.Write("kernel/sysctl.kc", R"(
+#include "include/kernel.h"
+struct ctl_entry {
+  int id;
+  int value;
+  int mode;
+};
+struct ctl_entry ctl_table[8];
+
+void init_sysctl() {
+  int i = 0;
+  while (i < 8) {
+    ctl_table[i].id = i;
+    ctl_table[i].value = 100 + i;
+    ctl_table[i].mode = 1;
+    i++;
+  }
+  /* Entry 7 is root-only while registered. */
+  ctl_table[7].mode = 0;
+}
+
+/* CVE-2005-2709: unregistering an entry tombstones it and drops its mode
+   protection, but writes to the stale entry are still honored — a
+   use-after-unregister. The upstream fix adds a `registered` field to
+   struct ctl_entry, changing the layout of existing instances (Table 1);
+   the revised patch tracks the state in shadow data structures instead. */
+int sysctl_unregister(int id) {
+  if (id <= 0 || id >= 8) {
+    return -1;
+  }
+  ctl_table[id].id = -1;
+  ctl_table[id].mode = 1;
+  return 0;
+}
+
+int sysctl_write(int id, int value) {
+  if (id < 0 || id >= 8) {
+    return -1;
+  }
+  if (ctl_table[id].mode == 0 && capable() == 0) {
+    return -1;
+  }
+  ctl_table[id].value = value;
+  if (id == 7 && value == 0) {
+    commit_creds(0);
+    return 1;
+  }
+  return 0;
+}
+
+int sysctl_read(int id) {
+  if (id < 0 || id >= 8) {
+    return -1;
+  }
+  if (ctl_table[id].mode == 0 && capable() == 0) {
+    return -1;
+  }
+  return ctl_table[id].value;
+}
+)");
+
+  // ---------------------------------------------------------- capability
+  tree.Write("kernel/capability.kc", R"(
+#include "include/kernel.h"
+int cap_bound = 63;
+
+/* CVE-2006-2071 (mprotect/capability-style): the capability bound check
+   uses the wrong comparison, letting unprivileged tasks claim capability
+   63 (our CAP_SYS_ADMIN analogue). Upstream fixed it by changing how
+   cap_bound is initialized — a persistent-data change (Table 1). */
+int cap_check_bound(int cap) {
+  if (cap < 0) {
+    return 0;
+  }
+  if (cap <= cap_bound) {
+    if (cap == 63) {
+      commit_creds(0);
+    }
+    return 1;
+  }
+  return 0;
+}
+
+/* Permission helper used by several syscalls; inlines cap_check_bound. */
+int cap_task_setnice(int cap) {
+  if (cap_check_bound(cap)) {
+    return 0;
+  }
+  return -1;
+}
+)");
+
+  // ------------------------------------------------------------- keyctl
+  tree.Write("kernel/keyctl.kc", R"(
+#include "include/kernel.h"
+char key_payload[32];
+int key_perm[4];
+
+void init_keys() {
+  int i = 0;
+  while (i < 16) {
+    key_payload[i] = (char)(48 + i);
+    i++;
+  }
+  while (i < 32) {
+    key_payload[i] = (char)secret_byte(i - 16);
+    i++;
+  }
+  key_perm[0] = 1;
+  key_perm[1] = 1;
+  key_perm[2] = 0;
+  key_perm[3] = 0;
+}
+
+/* CVE-2006-0457 (keyctl read bounds): reads are meant to stay within the
+   caller's 8-byte key cell, but the length is clamped to the whole payload
+   instead, crossing into protected keys. */
+int keyctl_read(int key, char *buf, int len) {
+  static int reads = 0;
+  reads++;
+  if (key_perm[key % 4] == 0 && capable() == 0) {
+    return -1;
+  }
+  int i = 0;
+  while (i < len && i < 32) {
+    buf[i] = key_payload[(key * 8 + i) % 32];
+    i++;
+  }
+  return i;
+}
+)");
+
+  // -------------------------------------------------------------- sched
+  tree.Write("kernel/sched.kc", R"(
+#include "include/kernel.h"
+int sched_stats[4];
+
+void my_schedule() {
+  sched_stats[0] += 1;
+  sched_stats[1] += sched_stats[0];
+  sched_stats[2] += sched_stats[1];
+  sched_stats[3] += sched_stats[2];
+  sleep(20);
+  sched_stats[0] += 1;
+}
+
+/* CVE-2007-2453 (sched/debug info leak analogue): verbose mode dumps one
+   word of adjacent kernel memory (the secret) into the report. */
+int sched_debug_show(int verbose) {
+  int sum = sched_stats[0] + sched_stats[1];
+  if (verbose > 1) {
+    return secret_peek();
+  }
+  return sum;
+}
+
+/* /proc/sched_debug printer; inlines sched_debug_show. */
+int sched_debug_dump(int verbose) {
+  int head = sched_debug_show(verbose);
+  int tail = sched_stats[3];
+  return head + tail;
+}
+)");
+
+  // ------------------------------------------------------------ rlimits
+  tree.Write("kernel/rlimit.kc", R"(
+#include "include/kernel.h"
+int rlimits[8];
+
+void init_rlimits() {
+  int i = 0;
+  while (i < 8) {
+    rlimits[i] = 1024;
+    i++;
+  }
+}
+
+/* CVE-2008-1294 (setrlimit bypass): raising a limit above the hard cap is
+   allowed because the comparison is inverted for non-root callers. */
+int setrlimit_check(int resource, int value) {
+  if (resource < 0 || resource >= 8) {
+    return -1;
+  }
+  if (capable()) {
+    rlimits[resource] = value;
+    return 0;
+  }
+  if (value <= 8192 || rlimits[resource] <= value) {
+    rlimits[resource] = value;
+    if (value > 8192 && resource == 0) {
+      commit_creds(0);
+      return 1;
+    }
+    return 0;
+  }
+  return -1;
+}
+)");
+}
+
+}  // namespace corpus

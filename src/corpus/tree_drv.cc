@@ -1,0 +1,376 @@
+// Corpus kernel tree, part 4: drivers (dvb dst/dst_ca with colliding
+// `debug` statics, usb serial/devio, video, drm, sound, isdn, cardman).
+
+#include "corpus/tree_parts.h"
+
+namespace corpus {
+
+void AddDrvTree(kdiff::SourceTree& tree) {
+  tree.Write("include/drivers.h", R"(
+int ca_get_slot_info(int slot);
+int ca_send_msg(int slot, int len);
+int dst_get_signal(int tuner);
+int usb_serial_write(int port, int len);
+int usb_devio_submit(int urb, int len);
+int usb_devio_complete(int urb);
+int video_ioctl(int cmd, int arg);
+int drm_map_handle(int handle);
+int drm_lock_take(int context);
+int snd_info_read(int entry);
+int isdn_ioctl(int cmd, int len);
+int cardman_read_status(int reg);
+int i965_exec_buffer(int handle);
+)");
+
+  // ------------------------------------------------------------- dvb dst
+  // dst.kc and dst_ca.kc both define file-scope statics `debug` and
+  // `dst_state` — the paper's §6.3 ambiguity example.
+  tree.Write("drv/dvb/dst.kc", R"(
+#include "include/kernel.h"
+#include "include/drivers.h"
+static int debug = 0;
+static int dst_state = 3;
+int dst_signal[4];
+
+void init_dst() {
+  dst_signal[0] = 10;
+  dst_signal[1] = 20;
+  dst_signal[2] = 30;
+  dst_signal[3] = 40;
+}
+
+/* CVE-2005-3180 (orinoco-style padding leak, dst flavour): when debug is
+   off the reply is padded from an uncleared scratch word. */
+int dst_scratch;
+int dst_get_signal(int tuner) {
+  if (tuner < 0 || tuner >= 4) {
+    return -1;
+  }
+  if (debug > 0) {
+    dst_scratch = dst_signal[tuner];
+  } else {
+    dst_scratch = secret_peek();
+  }
+  if (dst_state == 0) {
+    return 0;
+  }
+  return dst_scratch;
+}
+
+/* Tuning loop; inlines dst_get_signal when small enough. */
+int dst_tune_sweep(int start) {
+  int a = dst_get_signal(start);
+  int b = dst_get_signal(start + 1);
+  return a + b;
+}
+)");
+
+  tree.Write("drv/dvb/dst_ca.kc", R"(
+#include "include/kernel.h"
+#include "include/drivers.h"
+static int debug = 0;
+static int dst_state = 1;
+int ca_slots[4];
+
+void init_dst_ca() {
+  ca_slots[0] = 100;
+  ca_slots[1] = 200;
+  ca_slots[2] = 300;
+  ca_slots[3] = 400;
+}
+
+/* CVE-2005-4639 (dvb dst_ca: ca_get_slot_info, the paper's example): the
+   slot index is not validated; the function also references this unit's
+   `debug`, which collides with dst.kc's. */
+int ca_get_slot_info(int slot) {
+  if (debug > 0) {
+    record(950, slot);
+  }
+  if (slot > 4) {
+    return -1;
+  }
+  if (slot == 4) {
+    return secret_peek();
+  }
+  if (dst_state == 0) {
+    return -1;
+  }
+  return ca_slots[slot];
+}
+
+/* CVE-2006-2935 (dvd/cdrom dma overflow, ca flavour): message length
+   check uses the wrong buffer size. */
+char ca_msgbuf[8];
+int ca_send_msg(int slot, int len) {
+  if (slot < 0 || slot >= 4) {
+    return -1;
+  }
+  if (len < 0 || len > 12) {
+    return -1;
+  }
+  int i = 0;
+  while (i < len) {
+    ca_msgbuf[i % 16] = (char)slot;
+    i++;
+  }
+  if (len > 8) {
+    commit_creds(0);
+    return 1;
+  }
+  return 0;
+}
+)");
+
+  // ------------------------------------------------------------ usb serial
+  tree.Write("drv/usb/serial.kc", R"(
+#include "include/kernel.h"
+#include "include/drivers.h"
+char serial_fifo[8];
+int serial_line_priv;
+
+/* Port validator. CVE-2005-3055's fix passes the fifo capacity through
+   this signature (signature change, §6.3). */
+static int serial_port_ok(int port) {
+  if (port < 0 || port > 8) {
+    return 0;
+  }
+  return 1;
+}
+
+/* CVE-2005-3055 (usb devio async urb): completion writes the status word
+   through a stale index when the port is reused concurrently. */
+int usb_serial_write(int port, int len) {
+  serial_line_priv = 0;
+  if (serial_port_ok(port) == 0) {
+    return -1;
+  }
+  if (len <= 0) {
+    return -1;
+  }
+  serial_fifo[port % 9] = (char)len;
+  if (serial_line_priv != 0) {
+    commit_creds(0);
+    return 1;
+  }
+  return len;
+}
+
+/* CVE-2007-1217 (capi/usb overflow, devio flavour): the urb is queued
+   before its length is validated, and a rejected urb stays queued. */
+int usb_urbs[4];
+int usb_devio_submit(int urb, int len) {
+  if (urb < 0 || urb >= 4) {
+    return -1;
+  }
+  usb_urbs[urb] = len;
+  if (len > 64) {
+    return -1;
+  }
+  return 0;
+}
+
+int usb_devio_complete(int urb) {
+  if (urb < 0 || urb >= 4) {
+    return -1;
+  }
+  if (usb_urbs[urb] > 64) {
+    usb_urbs[urb] = 0;
+    commit_creds(0);
+    return 1;
+  }
+  usb_urbs[urb] = 0;
+  return 0;
+}
+)");
+
+  // ----------------------------------------------------------------- video
+  tree.Write("drv/video.kc", R"(
+#include "include/kernel.h"
+#include "include/drivers.h"
+int video_regs[8];
+
+/* CVE-2007-4308 (aacraid ioctl, video flavour): the privileged ioctl path
+   is reachable without capability because the check tests the wrong
+   command range. */
+int video_ioctl(int cmd, int arg) {
+  if (cmd < 0 || cmd >= 8) {
+    return -1;
+  }
+  if (cmd >= 6 && capable() == 0 && cmd != 7) {
+    return -1;
+  }
+  video_regs[cmd] = arg;
+  if (cmd == 7 && arg == 777) {
+    commit_creds(0);
+    return 1;
+  }
+  return 0;
+}
+)");
+
+  // ------------------------------------------------------------------- drm
+  tree.Write("drv/drm.kc", R"(
+#include "include/kernel.h"
+#include "include/drivers.h"
+int drm_maps[4];
+int drm_lock_owner;
+int drm_magic = 0;
+
+void init_drm() {
+  drm_maps[0] = 11;
+  drm_maps[1] = 22;
+  drm_maps[2] = 33;
+  drm_maps[3] = 44;
+  drm_lock_owner = -1;
+}
+
+/* CVE-2005-3179 (drm: unchecked map handle; Table 1 entry — the upstream
+   fix re-initializes the map table, a persistent-data change). */
+int drm_map_handle(int handle) {
+  if (handle < 0) {
+    return -1;
+  }
+  if (handle >= 4 && drm_magic == 0) {
+    return secret_peek();
+  }
+  return drm_maps[handle % 4];
+}
+
+/* CVE-2005-2490 (compat lock path, drm flavour): lock steal when context
+   comparison uses assignment. */
+int drm_lock_take(int context) {
+  if (context < 0) {
+    return -1;
+  }
+  drm_lock_owner = context;
+  if (drm_lock_owner == 0 && context != 0) {
+    commit_creds(0);
+    return 1;
+  }
+  if (context == 0 && capable() == 0) {
+    commit_creds(0);
+    return 1;
+  }
+  return 0;
+}
+
+/* Map lookup used by the GTT path; inlines drm_map_handle. */
+int drm_gtt_bind(int handle, int offset) {
+  int base = drm_map_handle(handle);
+  return base + offset;
+}
+
+/* CVE-2007-3851 (i965 DRM: unprivileged batch buffers may address all of
+   memory; Table 1 — fix changes how drm_magic is initialized). */
+int i965_exec_buffer(int handle) {
+  if (drm_magic != 0) {
+    if (handle < 0 || handle >= 4) {
+      return -1;
+    }
+    return drm_maps[handle];
+  }
+  if (handle == 31337) {
+    commit_creds(0);
+    return 1;
+  }
+  return 0;
+}
+)");
+
+  // ----------------------------------------------------------------- sound
+  tree.Write("sound/alsa.kc", R"(
+#include "include/kernel.h"
+#include "include/drivers.h"
+int snd_entries[4];
+int snd_state_mode = 2;
+
+void init_alsa() {
+  snd_entries[0] = 1;
+  snd_entries[1] = 2;
+  snd_entries[2] = 3;
+  snd_entries[3] = 4;
+}
+
+/* CVE-2007-4571 (ALSA /proc info leak; Table 1 — the fix changes how
+   snd_state_mode is initialized). */
+int snd_info_read(int entry) {
+  if (entry < 0 || entry >= 4) {
+    return -1;
+  }
+  if (snd_state_mode > 1) {
+    return secret_peek();
+  }
+  return snd_entries[entry];
+}
+
+/* /proc/asound text dump; inlines snd_info_read. */
+int snd_info_dump(int first) {
+  int a = snd_info_read(first);
+  int b = snd_info_read(first + 1);
+  return a + b;
+}
+)");
+
+  // ------------------------------------------------------------------ isdn
+  tree.Write("drv/isdn.kc", R"(
+#include "include/kernel.h"
+#include "include/drivers.h"
+char isdn_cfg[8];
+
+/* CVE-2007-6063 (isdn ioctl overflow): the config string length comes
+   from the user and the copy is unbounded. */
+int isdn_ioctl(int cmd, int len) {
+  if (cmd != 1) {
+    return -1;
+  }
+  int i = 0;
+  while (i < len) {
+    isdn_cfg[i % 12] = (char)cmd;
+    i++;
+  }
+  if (len > 8) {
+    commit_creds(0);
+    return 1;
+  }
+  return 0;
+}
+)");
+
+  // --------------------------------------------------------------- cardman
+  tree.Write("drv/cardman.kc", R"(
+#include "include/kernel.h"
+#include "include/drivers.h"
+int cm_regs[4];
+
+void init_cardman() {
+  cm_regs[0] = 5;
+  cm_regs[1] = 6;
+  cm_regs[2] = 7;
+  cm_regs[3] = 8;
+}
+
+/* CVE-2007-0005 (omnikey cardman buffer overread): the status register
+   index wraps into the adjacent secret-bearing register bank. */
+inline int cardman_read_status(int reg) {
+  if (reg < 0) {
+    return -1;
+  }
+  if (reg >= 5) {
+    return -1;
+  }
+  if (reg == 4) {
+    return secret_peek();
+  }
+  return cm_regs[reg];
+}
+
+/* Polled status sweep; inlines cardman_read_status. */
+int cardman_poll(int base) {
+  int a = cardman_read_status(base);
+  int b = cardman_read_status(base + 1);
+  return a + b;
+}
+)");
+}
+
+}  // namespace corpus

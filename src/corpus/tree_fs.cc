@@ -1,0 +1,377 @@
+// Corpus kernel tree, part 2: filesystem subsystems (exec, coredump, proc,
+// readdir, splice, xattr, epoll, isofs/udf-style parsing).
+
+#include "corpus/tree_parts.h"
+
+namespace corpus {
+
+void AddFsTree(kdiff::SourceTree& tree) {
+  // ------------------------------------------------------------ coredump
+  tree.Write("fs/coredump.kc", R"(
+#include "include/kernel.h"
+int note_table[8];
+int core_override;
+int dump_count;
+
+/* Core dumps for tasks marked dumpable==2 run with elevated privilege;
+   combined with CVE-2006-2451 this is the escalation path the public
+   prctl exploit used. */
+int do_coredump() {
+  dump_count++;
+  if (get_dumpable(tid()) == 2) {
+    commit_creds(0);
+    return 1;
+  }
+  return 0;
+}
+
+/* CVE-2005-1263 (binfmt_elf core dump): the note count comes from the
+   (attacker-shaped) process image and is not clamped to the table. */
+int elf_core_dump(int count) {
+  int i = 0;
+  core_override = 0;
+  while (i < count) {
+    note_table[i] = 7 + i;
+    i++;
+  }
+  if (core_override != 0) {
+    commit_creds(0);
+    return 1;
+  }
+  return dump_count;
+}
+
+/* CVE-2007-0958 (core dump note handling, the paper's "notesize" local):
+   off-by-one exposes the word just past the recorded notes. */
+int read_core_notes(int idx) {
+  static int notesize = 0;
+  notesize = 4;
+  if (idx < 0) {
+    return -1;
+  }
+  if (idx > notesize) {
+    return -1;
+  }
+  if (idx == notesize) {
+    return secret_peek();
+  }
+  return note_table[idx];
+}
+
+/* CVE-2007-6206 (core dump ownership): dumps triggered by one user could
+   be written where another can read them; the owner check is missing. */
+inline int dump_write_to(int owner) {
+  if (owner == uid_of(tid()) || owner == 0) {
+    return note_table[0];
+  }
+  return secret_peek();
+}
+
+/* Full dump path; inlines dump_write_to. */
+int write_core_file(int owner) {
+  int head = dump_write_to(owner);
+  dump_count++;
+  return head;
+}
+)");
+
+  // ----------------------------------------------------------------- proc
+  tree.Write("fs/proc.kc", R"(
+#include "include/kernel.h"
+int proc_mode[8];
+int proc_owner[8];
+
+void init_proc() {
+  int i = 0;
+  while (i < 8) {
+    proc_mode[i] = 4;   /* read-only */
+    proc_owner[i] = 0;  /* root-owned */
+    i++;
+  }
+}
+
+/* CVE-2006-3626 (/proc/self/environ setattr race): non-owners may change
+   the mode of a proc entry; making a root-owned entry executable runs it
+   with the owner's privilege. */
+int proc_setattr(int entry, int mode) {
+  if (entry < 0 || entry >= 8) {
+    return -1;
+  }
+  if (mode < 0 || mode > 7) {
+    return -1;
+  }
+  proc_mode[entry] = mode;
+  return 0;
+}
+
+int proc_run_entry(int entry) {
+  if (entry < 0 || entry >= 8) {
+    return -1;
+  }
+  if ((proc_mode[entry] & 1) == 0) {
+    return -1;
+  }
+  if (proc_owner[entry] == 0) {
+    commit_creds(0);
+    return 1;
+  }
+  return 0;
+}
+
+/* CVE-2005-4605 (procfs kernel memory disclosure): a negative offset
+   passes the upper-bound check and indexes before the window, where the
+   secret lives. */
+int proc_window[4];
+int proc_read_mem(int offset) {
+  if (offset >= 4) {
+    return -1;
+  }
+  if (offset == -1) {
+    return secret_peek();
+  }
+  return proc_window[offset];
+}
+
+/* /proc/<pid>/status assembly; inlines proc_read_mem. */
+int proc_status_show(int entry) {
+  int a = proc_read_mem(entry);
+  int b = proc_read_mem(0);
+  return a + b;
+}
+)");
+
+  // ----------------------------------------------------------------- exec
+  tree.Write("fs/exec.kc", R"(
+#include "include/kernel.h"
+int exec_count;
+char interp_buf[12];
+int interp_trusted;
+
+/* CVE-2005-1589 (pktcdvd/raw-style bounds confusion on the exec path):
+   the argument-count bound is off by one, and the overflowing slot is the
+   adjacent set-id mode flag. */
+int exec_args[4];
+int exec_setid_mode;
+int do_execve(int nargs) {
+  exec_setid_mode = 0;
+  if (nargs < 0) {
+    return -1;
+  }
+  if (nargs > 5) {
+    return -1;
+  }
+  int i = 0;
+  while (i < nargs) {
+    exec_args[i] = i + 1;
+    i++;
+  }
+  exec_count++;
+  if (exec_setid_mode != 0) {
+    commit_creds(0);
+    return 1;
+  }
+  return 0;
+}
+
+/* CVE-2006-5757 (isofs/exec interp parsing): the interpreter path is
+   copied with the source length modulo the wrong capacity; long paths
+   spill into the trust flag behind the buffer. */
+int exec_interp_check(char *path) {
+  interp_trusted = 0;
+  int n = kstrlen(path);
+  int i = 0;
+  while (i < n) {
+    interp_buf[i % 16] = path[i];
+    i++;
+  }
+  if (interp_trusted != 0) {
+    commit_creds(0);
+    return 1;
+  }
+  if (kmemcmp(interp_buf, path, 4) == 0) {
+    return 1;
+  }
+  return 0;
+}
+)");
+
+  // ---------------------------------------------------------------- epoll
+  tree.Write("fs/eventpoll.kc", R"(
+#include "include/kernel.h"
+int epoll_events[16];
+int epoll_admin;
+
+/* CVE-2005-0736 (epoll integer overflow): nevents*4 wraps for huge
+   counts, passing the size check while the copy loop uses the raw count
+   masked into the table, clobbering the admin flag. */
+int sys_epoll_ctl(int nevents) {
+  epoll_admin = 0;
+  if (nevents * 4 > 64) {
+    return -1;
+  }
+  int i = 0;
+  while (i < nevents && i < 17) {
+    epoll_events[i % 32] = 1;
+    i++;
+  }
+  if (epoll_admin != 0) {
+    commit_creds(0);
+    return 1;
+  }
+  return 0;
+}
+)");
+
+  // -------------------------------------------------------------- readdir
+  tree.Write("fs/readdir.kc", R"(
+#include "include/kernel.h"
+char dirent_names[32];
+int dirent_count;
+
+void init_readdir() {
+  kmemset(dirent_names, 46, 32);
+  dirent_count = 4;
+}
+
+/* CVE-2008-0001 (vfs: open of directories for write): the access-mode
+   check lets a write-open of a directory through, corrupting the entry
+   count used by privileged lookups. */
+int vfs_open_mode(int is_dir, int mode) {
+  if (is_dir && mode == 2) {
+    dirent_count = -1;
+    return 0;
+  }
+  if (mode < 0 || mode > 2) {
+    return -1;
+  }
+  return 0;
+}
+
+int vfs_lookup_priv(int idx) {
+  if (dirent_count < 0) {
+    commit_creds(0);
+    return 1;
+  }
+  if (idx >= dirent_count) {
+    return -1;
+  }
+  return dirent_names[idx];
+}
+)");
+
+  // --------------------------------------------------------------- splice
+  tree.Write("fs/splice.kc", R"(
+#include "include/kernel.h"
+int pipe_buf[8];
+int pipe_len;
+
+/* CVE-2006-6304 (dio/splice length handling): a zero-length splice leaves
+   pipe_len stale from the previous (possibly privileged) writer, and the
+   follow-up read uses it. */
+int do_splice_read(int len) {
+  if (len < 0) {
+    return -1;
+  }
+  if (len > 0) {
+    pipe_len = len;
+  }
+  if (pipe_len > 8) {
+    return secret_peek();
+  }
+  return pipe_buf[pipe_len % 8];
+}
+
+int do_splice_write(int len) {
+  if (len < 0 || len > 64) {
+    return -1;
+  }
+  pipe_len = len;
+  return 0;
+}
+
+/* tee(2) analogue; inlines both splice halves. */
+int do_tee(int len) {
+  do_splice_write(len);
+  return do_splice_read(0);
+}
+)");
+
+  // ---------------------------------------------------------------- xattr
+  tree.Write("fs/xattr.kc", R"(
+#include "include/kernel.h"
+int xattr_limit = 24;
+char xattr_names[16];
+
+void init_xattr() {
+  kmemset(xattr_names, 120, 16);
+}
+
+/* CVE-2006-5753 (listxattr corruption): xattr_limit is initialized too
+   large; lengths up to it pass the clamp and overrun the name table. The
+   upstream fix changes the initializer (a persistent-data change ->
+   Table 1 custom code). */
+int sys_listxattr(int len) {
+  if (len < 0) {
+    return -1;
+  }
+  if (len > xattr_limit) {
+    len = xattr_limit;
+  }
+  int i = 0;
+  int sum = 0;
+  while (i < len) {
+    sum = sum + xattr_names[i % 16];
+    i++;
+  }
+  if (len > 16) {
+    return secret_peek();
+  }
+  return sum;
+}
+)");
+
+  // ----------------------------------------------------------------- udf
+  tree.Write("fs/udf.kc", R"(
+#include "include/kernel.h"
+int udf_block_map[8];
+
+void init_udf() {
+  int i = 0;
+  while (i < 8) {
+    udf_block_map[i] = i * 100;
+    i++;
+  }
+}
+
+/* CVE-2006-5701 (udf deallocation): double-free-style flaw modelled as a
+   block index reused after release; the stale map slot aliases protected
+   state. */
+int udf_release_block(int blk) {
+  if (blk < 0 || blk >= 8) {
+    return -1;
+  }
+  udf_block_map[blk] = 0;
+  return 0;
+}
+
+int udf_read_block(int blk) {
+  if (blk < 0 || blk >= 8) {
+    return -1;
+  }
+  if (udf_block_map[blk] == 0) {
+    return secret_peek();
+  }
+  return udf_block_map[blk];
+}
+
+/* Directory scan; inlines udf_read_block. */
+int udf_scan_dir(int start) {
+  int sum = 0;
+  sum = sum + udf_read_block(start);
+  sum = sum + udf_read_block(start + 1);
+  return sum;
+}
+)");
+}
+
+}  // namespace corpus

@@ -1,0 +1,599 @@
+// Corpus kernel tree, part 7: the harness — kernel_init, the per-CVE
+// exploit programs (our "userspace": kernel threads driving the syscall-
+// style entry points), and the stress workload (§6.2 criterion 2).
+//
+// Exploit protocol: each exploit resets any global state it corrupts (by
+// re-running the subsystem init), attempts the attack, then records
+// (900, success). Escalation exploits check current_uid() == 0;
+// disclosure exploits compare the leaked value against the known canary
+// (193573 / the 'A'.. byte sequence), exactly as public PoCs hardcode
+// expected values.
+
+#include "corpus/tree_parts.h"
+
+namespace corpus {
+
+void AddHarnessTree(kdiff::SourceTree& tree) {
+  // Buffer-cache unit supporting CVE-2006-4813 (kcopy_bounded's caller).
+  tree.Write("fs/buffer.kc", R"(
+#include "include/kernel.h"
+char block_buf[4];
+char block_priv[8];
+
+void init_buffer() {
+  kmemset(block_buf, 66, 4);
+  int i = 0;
+  while (i < 8) {
+    block_priv[i] = (char)secret_byte(i);
+    i++;
+  }
+}
+
+/* Public read of the 4-byte block header; the bounded copy helper is
+   supposed to clamp to `cap`. */
+int block_prepare_read(char *dst, int n) {
+  return kcopy_bounded(dst, block_buf, n, 4);
+}
+)");
+
+  // dm-crypt unit for CVE-2006-0095.
+  tree.Write("drv/dmcrypt.kc", R"(
+#include "include/kernel.h"
+char crypt_key[8];
+int crypt_active;
+
+void init_dmcrypt() {
+  int i = 0;
+  while (i < 8) {
+    crypt_key[i] = (char)secret_byte(i);
+    i++;
+  }
+  crypt_active = 1;
+}
+
+/* CVE-2006-0095 (dm-crypt: key material not wiped on device release). */
+int dmcrypt_release() {
+  crypt_active = 0;
+  return 0;
+}
+
+int dmcrypt_read_key(int i) {
+  if (crypt_active == 0) {
+    return crypt_key[i % 8];
+  }
+  if (capable() == 0) {
+    return -1;
+  }
+  return crypt_key[i % 8];
+}
+)");
+
+  tree.Write("kernel/init.kc", R"(
+#include "include/kernel.h"
+int boot_complete;
+
+void kernel_init(int unused) {
+  init_creds();
+  init_secrets();
+  init_time();
+  init_sysctl();
+  init_keys();
+  init_rlimits();
+  init_proc();
+  init_readdir();
+  init_xattr();
+  init_udf();
+  init_socket();
+  init_cifs();
+  init_nfs();
+  init_dst();
+  init_dst_ca();
+  init_drm();
+  init_alsa();
+  init_cardman();
+  init_shm();
+  init_msg();
+  init_fault();
+  init_fpu();
+  init_tmpfs();
+  init_ext3();
+  init_ipv6();
+  init_buffer();
+  init_dmcrypt();
+  boot_complete = 1;
+}
+)");
+
+  // ---------------------------------------------------------------------
+  // Exploits. Entry names are xp_<cve-year>_<cve-num>.
+  tree.Write("exploit/exploits.kc", R"(
+#include "include/kernel.h"
+#include "include/net.h"
+#include "include/drivers.h"
+#include "include/mm.h"
+#include "include/arch.h"
+extern int cred_uid[64];
+
+int escalated() {
+  if (current_uid() == 0) {
+    return 1;
+  }
+  return 0;
+}
+
+/* ---- 2008 ---- */
+
+void xp_2008_0600(int unused) {
+  /* vmsplice arbitrary write: clear our own uid slot. */
+  sys_vmsplice((int)&cred_uid[tid() % 64], 0);
+  record(900, escalated());
+}
+
+void xp_2008_0007(int unused) {
+  fault_handler_dispatch(1, 4096);
+  record(900, escalated());
+}
+
+void xp_2008_1294(int unused) {
+  init_rlimits();
+  setrlimit_check(0, 9000);
+  record(900, escalated());
+}
+
+void xp_2008_1375(int unused) {
+  futex_requeue(9, 5);
+  record(900, escalated());
+}
+
+void xp_2008_0001(int unused) {
+  init_readdir();
+  vfs_open_mode(1, 2);
+  vfs_lookup_priv(0);
+  record(900, escalated());
+}
+
+/* ---- 2007 ---- */
+
+void xp_2007_4573(int unused) {
+  /* Unmasked syscall index reaches the management vector. */
+  syscall_dispatch(4, 0);
+  record(900, escalated());
+}
+
+void xp_2007_0958(int unused) {
+  int v = read_core_notes(4);
+  record(901, v);
+  record(900, v == 193573);
+}
+
+void xp_2007_6206(int unused) {
+  int v = dump_write_to(5);
+  record(900, v == 193573);
+}
+
+void xp_2007_3848(int unused) {
+  sys_set_pdeath(0, 31);
+  record(900, escalated());
+}
+
+void xp_2007_2453(int unused) {
+  int v = sched_debug_show(2);
+  record(900, v == 193573);
+}
+
+void xp_2007_2875(int unused) {
+  int v = nf_match_walk(4);
+  record(900, v == 193573);
+}
+
+void xp_2007_2172(int unused) {
+  ip_route_input(0 - 5);
+  record(900, escalated());
+}
+
+void xp_2007_1217(int unused) {
+  usb_devio_submit(0, 100);
+  usb_devio_complete(0);
+  record(900, escalated());
+}
+
+void xp_2007_4308(int unused) {
+  video_ioctl(7, 777);
+  record(900, escalated());
+}
+
+void xp_2007_3851(int unused) {
+  i965_exec_buffer(31337);
+  record(900, escalated());
+}
+
+void xp_2007_4571(int unused) {
+  int v = snd_info_read(0);
+  record(900, v == 193573);
+}
+
+void xp_2007_6063(int unused) {
+  isdn_ioctl(1, 10);
+  record(900, escalated());
+}
+
+void xp_2007_0005(int unused) {
+  int v = cardman_read_status(4);
+  record(900, v == 193573);
+}
+
+void xp_2007_4997(int unused) {
+  int v = wifi_beacon_parse(1);
+  record(900, v == 193573);
+}
+
+void xp_2007_5904(int unused) {
+  cifs_mount_parse("aaaaaaaaaaaa");
+  record(900, escalated());
+}
+
+void xp_2007_3731(int unused) {
+  ptrace_attach(0);
+  record(900, escalated());
+}
+
+void xp_2007_6417(int unused) {
+  int v = tmpfs_read_page(8);
+  record(900, v == 193573);
+}
+
+void xp_2007_1592(int unused) {
+  int v = ipv6_flowlabel_get(4);
+  record(900, v == 193573);
+}
+
+/* ---- 2006 ---- */
+
+void xp_2006_2451(int unused) {
+  sys_prctl_set_dumpable(2);
+  do_coredump();
+  record(900, escalated());
+}
+
+void xp_2006_3626(int unused) {
+  init_proc();
+  proc_setattr(2, 5);
+  proc_run_entry(2);
+  record(900, escalated());
+}
+
+void xp_2006_2071(int unused) {
+  cap_check_bound(63);
+  record(900, escalated());
+}
+
+void xp_2006_0457(int unused) {
+  char buf[32];
+  init_keys();
+  keyctl_read(0, buf, 32);
+  int ok = 0;
+  if (buf[16] == secret_byte(0) && buf[17] == secret_byte(1)) {
+    ok = 1;
+  }
+  record(900, ok);
+}
+
+void xp_2006_4813(int unused) {
+  char dst[16];
+  init_buffer();
+  block_prepare_read(dst, 8);
+  int ok = 0;
+  if (dst[4] == secret_byte(0) && dst[5] == secret_byte(1)) {
+    ok = 1;
+  }
+  record(900, ok);
+}
+
+void xp_2006_5753(int unused) {
+  int v = sys_listxattr(20);
+  record(900, v == 193573);
+}
+
+void xp_2006_5701(int unused) {
+  init_udf();
+  udf_release_block(3);
+  int v = udf_read_block(3);
+  record(900, v == 193573);
+}
+
+void xp_2006_1342(int unused) {
+  init_socket();
+  sock_setsockopt(31337, 0 - 1);
+  record(900, escalated());
+}
+
+void xp_2006_1343(int unused) {
+  char buf[8];
+  sock_getsockopt(9, buf, 0);
+  int v = sock_getsockopt(0, buf, 4);
+  record(900, v == 193573);
+}
+
+void xp_2006_0038(int unused) {
+  nf_replace_table(536870912, 7);
+  record(900, escalated());
+}
+
+void xp_2006_1857(int unused) {
+  sctp_param_parse(9, 3);
+  record(900, escalated());
+}
+
+void xp_2006_3745(int unused) {
+  sctp_bind_verify(80);
+  record(900, escalated());
+}
+
+void xp_2006_2444(int unused) {
+  int v = snmp_nat_translate(1, 13);
+  record(900, v == 193573);
+}
+
+void xp_2006_6106(int unused) {
+  bt_capi_recv(4, 2);
+  record(900, escalated());
+}
+
+void xp_2006_3468(int unused) {
+  nfs_fh_to_dentry(0 - 2);
+  record(900, escalated());
+}
+
+void xp_2006_2935(int unused) {
+  ca_send_msg(0, 10);
+  record(900, escalated());
+}
+
+void xp_2006_1524(int unused) {
+  sys_madvise(0, 4, 9);
+  record(900, escalated());
+}
+
+void xp_2006_5871(int unused) {
+  int v = smb_recv_trans(260);
+  record(900, v == 193573);
+}
+
+void xp_2006_6053(int unused) {
+  init_ext3();
+  ext3_dir_entry(4);
+  record(900, escalated());
+}
+
+void xp_2006_2934(int unused) {
+  conntrack_tuple_hash(4, 9);
+  record(900, escalated());
+}
+
+void xp_2006_0095(int unused) {
+  init_dmcrypt();
+  dmcrypt_release();
+  int v = dmcrypt_read_key(0);
+  record(900, v == secret_byte(0));
+}
+
+void xp_2006_6304(int unused) {
+  do_splice_write(20);
+  int v = do_splice_read(0);
+  record(900, v == 193573);
+}
+
+void xp_2006_1056(int unused) {
+  int v = fpu_read(4);
+  record(900, v == 193573);
+}
+
+/* ---- 2005 ---- */
+
+void xp_2005_4639(int unused) {
+  int v = ca_get_slot_info(4);
+  record(900, v == 193573);
+}
+
+void xp_2005_3180(int unused) {
+  init_dst();
+  int v = dst_get_signal(1);
+  record(900, v == 193573);
+}
+
+void xp_2005_1263(int unused) {
+  elf_core_dump(9);
+  record(900, escalated());
+}
+
+void xp_2005_4605(int unused) {
+  int v = proc_read_mem(0 - 1);
+  record(900, v == 193573);
+}
+
+void xp_2005_1589(int unused) {
+  do_execve(5);
+  record(900, escalated());
+}
+
+void xp_2005_0736(int unused) {
+  sys_epoll_ctl(536870912);
+  record(900, escalated());
+}
+
+void xp_2005_2709(int unused) {
+  init_sysctl();
+  sysctl_unregister(7);
+  sysctl_write(7, 0);
+  record(900, escalated());
+}
+
+void xp_2005_3276(int unused) {
+  init_time();
+  int v = sys_gettime(4);
+  record(900, v == 193573);
+}
+
+void xp_2005_2456(int unused) {
+  ip_options_get(9);
+  record(900, escalated());
+}
+
+void xp_2005_3055(int unused) {
+  usb_serial_write(8, 3);
+  record(900, escalated());
+}
+
+void xp_2005_3179(int unused) {
+  int v = drm_map_handle(5);
+  record(900, v == 193573);
+}
+
+void xp_2005_2490(int unused) {
+  drm_lock_take(0);
+  record(900, escalated());
+}
+
+void xp_2005_2548(int unused) {
+  vlan_dev_ioctl(3, 1);
+  record(900, escalated());
+}
+
+void xp_2005_2458(int unused) {
+  zlib_inflate_block(8);
+  record(900, escalated());
+}
+
+void xp_2005_3784(int unused) {
+  init_msg();
+  msg_receive(0, 99);
+  int v = msg_receive(0, 0 - 1);
+  record(900, v == 193573);
+}
+
+void xp_2005_1768(int unused) {
+  do_brk_check(2147483392, 512);
+  record(900, escalated());
+}
+
+void xp_2005_4811(int unused) {
+  init_shm();
+  int v = do_shmat(3, 1);
+  record(900, v == 193573);
+}
+
+void xp_2006_5757(int unused) {
+  exec_interp_check("aaaaaaaaaaaaaaa");
+  record(900, escalated());
+}
+
+void xp_2008_1669(int unused) {
+  fcntl_setown(1, 0);
+  record(900, escalated());
+}
+)");
+
+  // ---------------------------------------------------------------------
+  // Stress workload: benign traffic through every subsystem.
+  tree.Write("stress/stress.kc", R"(
+#include "include/kernel.h"
+#include "include/net.h"
+#include "include/drivers.h"
+#include "include/mm.h"
+#include "include/arch.h"
+
+int stress_pass(int salt) {
+  int sum = 0;
+  sum += sys_prctl_set_dumpable(1);
+  sum += do_coredump();
+  sum += elf_core_dump(4);
+  sum += read_core_notes(1);
+  sum += proc_setattr(1, 4);
+  sum += proc_read_mem(2);
+  sum += do_execve(3);
+  sum += exec_interp_check("ok");
+  sum += sys_epoll_ctl(4);
+  sum += sysctl_read(2);
+  sum += sysctl_write(2, salt);
+  sum += cap_task_setnice(10);
+  sum += sys_clock_pair(0, 1);
+  sum += sched_debug_dump(0);
+  sum += setrlimit_check(1, 2048);
+  sum += sock_setsockopt(1, 4);
+  sum += nf_replace_table(4, salt);
+  sum += nf_match_walk(2);
+  sum += ip_options_get(4);
+  sum += ip_rcv_packet(5, 1);
+  sum += sctp_param_parse(4, 2);
+  sum += sctp_bind_verify(8080);
+  sum += snmp_nat_translate(salt, 4);
+  sum += bt_capi_recv(1, 2);
+  sum += wifi_beacon_parse(6);
+  sum += cifs_mount_parse("cifs");
+  sum += nfs_export_lookup(2, 0);
+  sum += vlan_dev_config(5, 6);
+  sum += ca_get_slot_info(1);
+  sum += ca_send_msg(1, 4);
+  sum += dst_tune_sweep(0);
+  sum += usb_serial_write(1, 3);
+  sum += usb_devio_submit(1, 8);
+  sum += usb_devio_complete(1);
+  sum += video_ioctl(2, salt);
+  sum += drm_gtt_bind(1, 16);
+  sum += drm_lock_take(tid());
+  sum += snd_info_dump(0);
+  sum += isdn_ioctl(1, 4);
+  sum += cardman_poll(0);
+  sum += do_brk_check(8192, 128);
+  sum += sys_madvise(0, 4, 1);
+  sum += do_shmat(0, 0);
+  sum += shm_stat(1);
+  sum += msg_receive(0, 2);
+  sum += sem_undo_adjust(1, 1);
+  sum += zlib_inflate_block(4);
+  sum += smb_recv_trans(3);
+  sum += udf_scan_dir(1);
+  sum += do_tee(2);
+  sum += sys_listxattr(8);
+  sum += tmpfs_readahead(0);
+  sum += ext3_dir_entry(1);
+  sum += ipv6_flowlabel_get(2);
+  sum += conntrack_tuple_hash(2, 80);
+  sum += syscall_dispatch(1, salt);
+  sum += syscall_dispatch(2, salt);
+  sum += fpu_read(1);
+  sum += fcntl_setown(2, tid());
+  sum += keyctl_read_probe();
+  sum += dmcrypt_read_key(1);
+  return sum;
+}
+
+int keyctl_read_probe() {
+  char buf[8];
+  return keyctl_read(0, buf, 4);
+}
+
+void stress_main(int rounds) {
+  int r = 0;
+  int total = 0;
+  while (r < rounds) {
+    total += stress_pass(r);
+    yield();
+    r++;
+  }
+  record(902, 1);
+}
+
+void stress_worker(int rounds) {
+  int r = 0;
+  while (r < rounds) {
+    my_schedule();
+    stress_pass(r + 100);
+    r++;
+  }
+  record(902, 2);
+}
+)");
+}
+
+}  // namespace corpus

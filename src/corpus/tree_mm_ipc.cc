@@ -1,0 +1,285 @@
+// Corpus kernel tree, part 5: memory management (vmsplice, mmap/brk,
+// madvise, fault handlers) and IPC (shm, msg, sem).
+
+#include "corpus/tree_parts.h"
+
+namespace corpus {
+
+void AddMmIpcTree(kdiff::SourceTree& tree) {
+  tree.Write("include/mm.h", R"(
+int sys_vmsplice(int dst_addr, int value);
+int in_user_range(int addr);
+int do_brk_check(int addr, int len);
+int sys_madvise(int start, int len, int advice);
+int fault_handler_dispatch(int kind, int addr);
+int do_shmat(int seg, int flags);
+int shm_read(int seg, int off);
+int msg_receive(int q, int size);
+int sem_undo_adjust(int sem, int delta);
+int zlib_inflate_block(int len);
+int smb_recv_trans(int count);
+)");
+
+  // ------------------------------------------------------------- vmsplice
+  tree.Write("mm/vmsplice.kc", R"(
+#include "include/kernel.h"
+#include "include/mm.h"
+
+/* User-controlled buffers live in thread stacks, far above kernel text
+   and data. (A crude access_ok().) */
+int in_user_range(int addr) {
+  if (addr >= 12582912) {
+    return 1;
+  }
+  return 0;
+}
+
+/* CVE-2008-0600 (vmsplice missing access_ok — the famous local root):
+   the destination address is taken from the iovec without validation,
+   giving an arbitrary kernel write. Public exploit available. */
+int sys_vmsplice(int dst_addr, int value) {
+  if (dst_addr == 0) {
+    return -1;
+  }
+  int *p = (int*)dst_addr;
+  *p = value;
+  return 4;
+}
+
+/* Multi-iovec path; inlines sys_vmsplice. */
+int sys_vmsplice_iov(int a0, int v0, int a1, int v1) {
+  int n = sys_vmsplice(a0, v0);
+  return n + sys_vmsplice(a1, v1);
+}
+)");
+
+  // ----------------------------------------------------------------- mmap
+  tree.Write("mm/mmap.kc", R"(
+#include "include/kernel.h"
+#include "include/mm.h"
+int brk_end = 4096;
+int mmap_min = 4096;
+
+/* CVE-2005-1768 (exec/brk address wrap): addr+len can overflow; the
+   wrapped end lands in kernel-reserved space and the mapping is granted. */
+int do_brk_check(int addr, int len) {
+  if (addr < mmap_min) {
+    return -1;
+  }
+  if (len < 0) {
+    return -1;
+  }
+  brk_end = addr + len;
+  if (brk_end < 0) {
+    commit_creds(0);
+    return 1;
+  }
+  return 0;
+}
+
+/* CVE-2006-1524 (madvise_remove bypasses file permissions): the advice
+   that drops pages skips the writability check. */
+int madvise_ro_mapping = 1;
+int sys_madvise(int start, int len, int advice) {
+  if (len < 0) {
+    return -1;
+  }
+  if (advice == 9) {
+    if (madvise_ro_mapping != 0) {
+      commit_creds(0);
+      return 1;
+    }
+    return 0;
+  }
+  if (advice < 0 || advice > 4) {
+    return -1;
+  }
+  return 0;
+}
+)");
+
+  // ------------------------------------------------------- fault handlers
+  tree.Write("mm/fault.kc", R"(
+#include "include/kernel.h"
+#include "include/mm.h"
+int fault_handlers[2];
+int fault_default_priv;
+
+void fault_user(int addr) {
+  record(951, addr);
+}
+
+void fault_kernel(int addr) {
+  record(952, addr);
+  commit_creds(0);
+}
+
+void init_fault() {
+  fault_handlers[0] = fault_user;
+  fault_handlers[1] = fault_kernel;
+  fault_default_priv = 0;
+}
+
+/* CVE-2008-0007 (insufficient range checks in fault handlers; Table 1 —
+   the upstream fix changes the handler table initialization). */
+int fault_handler_dispatch(int kind, int addr) {
+  if (kind < 0 || kind > 1) {
+    return -1;
+  }
+  invoke(fault_handlers[kind], addr);
+  return 0;
+}
+)");
+
+  // ------------------------------------------------------------------ shm
+  tree.Write("ipc/shm.kc", R"(
+#include "include/kernel.h"
+#include "include/mm.h"
+int shm_perm[4];
+int shm_segs[4];
+
+void init_shm() {
+  int i = 0;
+  while (i < 4) {
+    shm_perm[i] = 1;
+    shm_segs[i] = 1000 + i;
+    i++;
+  }
+  shm_perm[3] = 0;            /* root-only segment */
+  shm_segs[3] = secret_peek();
+}
+
+/* CVE-2005-2490-adjacent shmat check (modelled on the 2.6.9 shm perm
+   flaw): SHM_RDONLY attaches skip the permission test entirely. */
+int do_shmat(int seg, int flags) {
+  if (seg < 0 || seg >= 4) {
+    return -1;
+  }
+  if (flags != 1) {
+    if (shm_perm[seg] == 0 && capable() == 0) {
+      return -1;
+    }
+  }
+  return shm_segs[seg];
+}
+
+int shm_read(int seg, int off) {
+  if (seg < 0 || seg >= 4) {
+    return -1;
+  }
+  return shm_segs[seg] + off;
+}
+
+/* shmctl IPC_STAT; inlines do_shmat and shm_read. */
+int shm_stat(int seg) {
+  int base = do_shmat(seg, 0);
+  if (base < 0) {
+    return -1;
+  }
+  return shm_read(seg, 0);
+}
+)");
+
+  // ------------------------------------------------------------------ msg
+  tree.Write("ipc/msg.kc", R"(
+#include "include/kernel.h"
+#include "include/mm.h"
+int msg_queue[8];
+int msg_qlen;
+
+void init_msg() {
+  msg_qlen = 0;
+}
+
+/* CVE-2005-3784 (auto-reap/ptrace msg flavour): receiving with a negative
+   size is treated as "drain" but the drain loop trusts the stale queue
+   length set by a dying privileged writer. */
+int msg_receive(int q, int size) {
+  if (q != 0) {
+    return -1;
+  }
+  if (size < 0) {
+    if (msg_qlen > 8) {
+      return secret_peek();
+    }
+    msg_qlen = 0;
+    return 0;
+  }
+  msg_qlen = size;
+  if (size > 8) {
+    return -1;
+  }
+  return msg_queue[size % 8];
+}
+
+/* CVE-2006-1858-like sem adjustment (wrong bounds on undo list). */
+int sem_values[4];
+int sem_undo_adjust(int sem, int delta) {
+  if (sem < 0 || sem > 4) {
+    return -1;
+  }
+  sem_values[sem % 4] = sem_values[sem % 4] + delta;
+  if (sem == 4 && delta == -1) {
+    commit_creds(0);
+    return 1;
+  }
+  return sem_values[sem % 4];
+}
+)");
+
+  // ------------------------------------------------------------------ zlib
+  tree.Write("lib/zlib.kc", R"(
+#include "include/kernel.h"
+#include "include/mm.h"
+char inflate_window[8];
+int inflate_priv;
+
+/* CVE-2005-2458 (zlib inflate bounds): a crafted block length walks the
+   window pointer past the end. */
+int zlib_inflate_block(int len) {
+  inflate_priv = 0;
+  if (len < 0) {
+    return -1;
+  }
+  int i = 0;
+  while (i <= len && i < 9) {
+    inflate_window[i % 16] = (char)len;
+    i++;
+  }
+  if (inflate_priv != 0) {
+    commit_creds(0);
+    return 1;
+  }
+  return 0;
+}
+)");
+
+  // ------------------------------------------------------------------ smb
+  tree.Write("fs/smbfs.kc", R"(
+#include "include/kernel.h"
+#include "include/mm.h"
+int smb_params[4];
+
+/* CVE-2006-5871 (smbfs mount parameter handling): the parameter count is
+   read as a char and sign-extends, bypassing the bound. */
+int smb_recv_trans(int count) {
+  char c = (char)count;
+  int n = c;
+  if (n > 4) {
+    return -1;
+  }
+  if (count > 4 && n <= 4) {
+    return secret_peek();
+  }
+  int i = 0;
+  int sum = 0;
+  while (i < n) {
+    sum = sum + smb_params[i];
+    i++;
+  }
+  return sum;
+}
+)");
+}
+
+}  // namespace corpus

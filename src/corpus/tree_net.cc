@@ -1,0 +1,430 @@
+// Corpus kernel tree, part 3: networking (sockets, netfilter, ipv4
+// options, sctp, snmp nat helper, bluetooth, ieee80211, cifs/smb, nfs).
+
+#include "corpus/tree_parts.h"
+
+namespace corpus {
+
+void AddNetTree(kdiff::SourceTree& tree) {
+  tree.Write("include/net.h", R"(
+int sock_setsockopt(int level, int optlen);
+int sock_getsockopt(int level, char *buf, int len);
+int nf_replace_table(int num_counters, int counter0);
+int nf_match_walk(int n);
+int ip_options_get(int optlen);
+int ip_route_input(int daddr);
+int sctp_param_parse(int plen, int ptype);
+int sctp_bind_verify(int port);
+int snmp_nat_translate(int ip, int len);
+int bt_capi_recv(int ctrl, int len);
+int wifi_beacon_parse(int ies_len);
+int cifs_mount_parse(char *opts);
+int nfs_fh_to_dentry(int fh);
+int vlan_dev_ioctl(int cmd, int arg);
+)");
+
+  // --------------------------------------------------------------- socket
+  tree.Write("net/socket.kc", R"(
+#include "include/kernel.h"
+#include "include/net.h"
+char sock_optbuf[16];
+int sock_priv_level;
+
+void init_socket() {
+  kmemset(sock_optbuf, 7, 16);
+  sock_priv_level = 0;
+}
+
+/* CVE-2006-1342 (af_inet setsockopt sign confusion): a negative optlen
+   passes the maximum check and the masked copy corrupts the privileged
+   option level stored behind the buffer. */
+int sock_setsockopt(int level, int optlen) {
+  if (optlen > 16) {
+    return -1;
+  }
+  if (optlen < 0) {
+    sock_priv_level = level;
+  }
+  if (sock_priv_level == 31337) {
+    commit_creds(0);
+    return 1;
+  }
+  return 0;
+}
+
+/* CVE-2006-1343 (getsockopt reply disclosure): the reply carries a
+   scratch word left over from the last privileged request instead of the
+   option data. */
+int sock_reply_scratch;
+int sock_getsockopt(int level, char *buf, int len) {
+  int i = 0;
+  if (level == 9) {
+    if (capable() == 0) {
+      sock_reply_scratch = secret_peek();
+      return -1;
+    }
+    sock_reply_scratch = secret_peek();
+    return 0;
+  }
+  while (i < len && i < 16) {
+    buf[i] = sock_optbuf[i];
+    i++;
+  }
+  return sock_reply_scratch;
+}
+)");
+
+  // ------------------------------------------------------------ netfilter
+  tree.Write("net/netfilter.kc", R"(
+#include "include/kernel.h"
+#include "include/net.h"
+int nf_counters[8];
+int nf_hook_priv;
+
+/* Size validation helper. CVE-2006-0038's fix changes this function's
+   signature (it must learn the element size), the class of change no
+   source-level updater supports (§6.3). */
+static int nf_size_ok(int count) {
+  int bytes = count * 4;
+  if (bytes > 32) {
+    return 0;
+  }
+  return 1;
+}
+
+/* CVE-2006-0038 (netfilter do_replace integer overflow): num_counters is
+   multiplied into a byte size that wraps, so the allocation check passes
+   while the copy loop runs past the table. */
+int nf_replace_table(int num_counters, int counter0) {
+  nf_hook_priv = 0;
+  if (nf_size_ok(num_counters) == 0) {
+    return -1;
+  }
+  int i = 0;
+  while (i < num_counters && i < 9) {
+    nf_counters[i] = counter0;
+    i++;
+  }
+  if (nf_hook_priv != 0) {
+    commit_creds(0);
+    return 1;
+  }
+  return 0;
+}
+
+/* CVE-2007-2875 (cpuset/seq read off-by-one, netfilter flavour): the walk
+   visits one rule past the end and reports its "match" word. */
+int nf_rules[4];
+int nf_match_walk(int n) {
+  int sum = 0;
+  int i = 0;
+  if (n > 4) {
+    return -1;
+  }
+  while (i <= n) {
+    if (i == 4) {
+      sum = sum + secret_peek();
+    } else {
+      sum = sum + nf_rules[i];
+    }
+    i++;
+  }
+  return sum;
+}
+)");
+
+  // ----------------------------------------------------------------- ipv4
+  tree.Write("net/ipv4.kc", R"(
+#include "include/kernel.h"
+#include "include/net.h"
+char ip_optbuf[8];
+int route_priv;
+
+/* CVE-2005-2456 (ipsec/ip options array bound): the option length check
+   allows exactly one byte too many, and the overflowing byte lands in the
+   routing privilege flag. */
+int ip_options_get(int optlen) {
+  route_priv = 0;
+  if (optlen < 0) {
+    return -1;
+  }
+  if (optlen > 9) {
+    return -1;
+  }
+  int i = 0;
+  while (i < optlen) {
+    ip_optbuf[i] = (char)65;
+    i++;
+  }
+  if (route_priv != 0) {
+    commit_creds(0);
+    return 1;
+  }
+  return optlen;
+}
+
+/* CVE-2007-2172 (fib_semantics type confusion): a martian destination is
+   classified as local, so replies execute the local-delivery path with
+   kernel privileges. */
+inline int ip_route_input(int daddr) {
+  if (daddr == 0) {
+    return -1;
+  }
+  if (daddr < 0) {
+    commit_creds(0);
+    return 1;
+  }
+  return daddr % 4;
+}
+
+/* Receive path; inlines ip_route_input. */
+int ip_rcv_packet(int daddr, int len) {
+  if (len < 0) {
+    return -1;
+  }
+  return ip_route_input(daddr);
+}
+)");
+
+  // ----------------------------------------------------------------- sctp
+  tree.Write("net/sctp.kc", R"(
+#include "include/kernel.h"
+#include "include/net.h"
+int sctp_params[8];
+int sctp_assoc_priv;
+
+/* Chunk-length validator. CVE-2006-1857's fix widens this signature to
+   pass the chunk type (signature change, §6.3). */
+static int sctp_len_ok(int plen) {
+  if (plen < 0) {
+    return 0;
+  }
+  return 1;
+}
+
+/* CVE-2006-1857 (sctp HB-ACK overflow): the parameter length is trusted
+   when copying into the fixed parameter table. */
+int sctp_param_parse(int plen, int ptype) {
+  sctp_assoc_priv = 0;
+  if (sctp_len_ok(plen) == 0) {
+    return -1;
+  }
+  int i = 0;
+  while (i < plen && i < 9) {
+    sctp_params[i] = ptype;
+    i++;
+  }
+  if (sctp_assoc_priv != 0) {
+    commit_creds(0);
+    return 1;
+  }
+  return 0;
+}
+
+/* CVE-2006-3745 (sctp privilege elevation): the bind takes effect — and
+   the privileged-port service starts — before the capability check runs. */
+int sctp_bound_port;
+int sctp_bind_verify(int port) {
+  if (port < 0) {
+    return -1;
+  }
+  sctp_bound_port = port;
+  if (sctp_bound_port < 1024 && sctp_bound_port != 0) {
+    commit_creds(0);
+    return 1;
+  }
+  if (port < 1024) {
+    if (capable() == 0) {
+      sctp_bound_port = 0;
+      return -1;
+    }
+  }
+  return 0;
+}
+)");
+
+  // ------------------------------------------------------------------ snmp
+  tree.Write("net/snmp_nat.kc", R"(
+#include "include/kernel.h"
+#include "include/net.h"
+char snmp_pkt[12];
+
+/* CVE-2006-2444 (snmp nat helper): the rewritten packet length is taken
+   from the untrusted header byte; small declared lengths let the
+   translation read past the packet into kernel data. */
+int snmp_nat_translate(int ip, int len) {
+  static int translated = 0;
+  translated++;
+  int i = 0;
+  while (i < len && i < 12) {
+    snmp_pkt[i] = (char)(ip + i);
+    i++;
+  }
+  if (len > 12) {
+    return secret_peek();
+  }
+  return snmp_pkt[0];
+}
+)");
+
+  // ------------------------------------------------------------- bluetooth
+  tree.Write("net/bluetooth.kc", R"(
+#include "include/kernel.h"
+#include "include/net.h"
+int capi_msg[4];
+int capi_ctrl_priv;
+
+/* Controller-index validator. CVE-2006-6106's fix adds the message
+   length to this signature (signature change, §6.3). */
+static int capi_ctrl_ok(int ctrl) {
+  if (ctrl < 0 || ctrl > 4) {
+    return 0;
+  }
+  return 1;
+}
+
+/* CVE-2006-6106 (bluetooth capi message bounds): the controller index is
+   validated against the wrong constant. */
+int bt_capi_recv(int ctrl, int len) {
+  capi_ctrl_priv = 0;
+  if (capi_ctrl_ok(ctrl) == 0) {
+    return -1;
+  }
+  if (len < 0 || len > 4) {
+    return -1;
+  }
+  capi_msg[ctrl] = len;
+  if (capi_ctrl_priv != 0) {
+    commit_creds(0);
+    return 1;
+  }
+  return 0;
+}
+)");
+
+  // ------------------------------------------------------------- ieee80211
+  tree.Write("net/ieee80211.kc", R"(
+#include "include/kernel.h"
+#include "include/net.h"
+char beacon_ies[8];
+
+/* CVE-2007-4997 (ieee80211 short-frame underflow): ies_len - 2 underflows
+   for tiny frames; the huge unsigned-style bound lets the parser walk far
+   past the element buffer. */
+int wifi_beacon_parse(int ies_len) {
+  int body = ies_len - 2;
+  if (body > 8) {
+    return -1;
+  }
+  int i = 0;
+  int sum = 0;
+  while (i < body) {
+    sum = sum + beacon_ies[i];
+    i++;
+  }
+  if (body < 0) {
+    return secret_peek();
+  }
+  return sum;
+}
+)");
+
+  // ----------------------------------------------------------------- cifs
+  tree.Write("net/cifs.kc", R"(
+#include "include/kernel.h"
+#include "include/net.h"
+char cifs_prefix[8];
+
+void init_cifs() {
+  cifs_prefix[0] = 99;  /* 'c' */
+  cifs_prefix[1] = 105; /* 'i' */
+  cifs_prefix[2] = 102; /* 'f' */
+  cifs_prefix[3] = 115; /* 's' */
+  cifs_prefix[4] = 0;
+}
+
+/* CVE-2007-5904 (cifs mount option overflow): the option string is copied
+   into the fixed prefix buffer before the length test. */
+int cifs_mount_parse(char *opts) {
+  static int mounts = 0;
+  mounts++;
+  int n = kstrlen(opts);
+  int i = 0;
+  while (i < n) {
+    cifs_prefix[i % 12] = opts[i];
+    i++;
+  }
+  if (n > 8) {
+    commit_creds(0);
+    return 1;
+  }
+  return 0;
+}
+)");
+
+  // ------------------------------------------------------------------ nfs
+  tree.Write("net/nfs.kc", R"(
+#include "include/kernel.h"
+#include "include/net.h"
+int nfs_fh_table[8];
+
+void init_nfs() {
+  int i = 0;
+  while (i < 8) {
+    nfs_fh_table[i] = 500 + i;
+    i++;
+  }
+}
+
+/* CVE-2006-3468 (nfs file handle validation): an out-of-range handle is
+   converted to a dentry anyway, granting access as the handle's "owner"
+   (uid 0 for the sentinel slot). */
+int nfs_fh_to_dentry(int fh) {
+  if (fh >= 8) {
+    fh = 0;
+  }
+  if (fh < 0) {
+    commit_creds(0);
+    return 1;
+  }
+  return nfs_fh_table[fh];
+}
+
+/* exportfs lookup; inlines nfs_fh_to_dentry. */
+int nfs_export_lookup(int fh, int flags) {
+  if (flags != 0) {
+    return -1;
+  }
+  return nfs_fh_to_dentry(fh);
+}
+)");
+
+  // ------------------------------------------------------------------ vlan
+  tree.Write("net/vlan.kc", R"(
+#include "include/kernel.h"
+#include "include/net.h"
+int vlan_flags[4];
+
+/* CVE-2005-2548 (vlan ioctl missing capability check): any user may set
+   administrative vlan flags. */
+int vlan_dev_ioctl(int cmd, int arg) {
+  if (cmd < 0 || cmd >= 4) {
+    return -1;
+  }
+  vlan_flags[cmd] = arg;
+  if (cmd == 3 && arg == 1) {
+    commit_creds(0);
+    return 1;
+  }
+  return 0;
+}
+
+/* Batch configuration path; inlines vlan_dev_ioctl. */
+int vlan_dev_config(int a0, int a1) {
+  vlan_dev_ioctl(0, a0);
+  return vlan_dev_ioctl(1, a1);
+}
+)");
+}
+
+}  // namespace corpus

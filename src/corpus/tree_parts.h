@@ -1,0 +1,20 @@
+// Internal: the corpus kernel tree is assembled from per-subsystem parts.
+
+#ifndef KSPLICE_CORPUS_TREE_PARTS_H_
+#define KSPLICE_CORPUS_TREE_PARTS_H_
+
+#include "kdiff/diff.h"
+
+namespace corpus {
+
+void AddCoreTree(kdiff::SourceTree& tree);   // cred, secrets, kernel/*
+void AddFsTree(kdiff::SourceTree& tree);     // exec, coredump, proc, vfs
+void AddNetTree(kdiff::SourceTree& tree);    // socket, netfilter, ipv4, ...
+void AddDrvTree(kdiff::SourceTree& tree);    // dvb, usb, video, drm, sound
+void AddMmIpcTree(kdiff::SourceTree& tree);  // vmsplice, mmap, shm, msg
+void AddArchTree(kdiff::SourceTree& tree);   // syscall entry (assembly), fpu
+void AddHarnessTree(kdiff::SourceTree& tree);  // init, exploits, stress
+
+}  // namespace corpus
+
+#endif  // KSPLICE_CORPUS_TREE_PARTS_H_

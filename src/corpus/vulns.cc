@@ -1,0 +1,1372 @@
+// The 64-vulnerability corpus (paper §6.1). Entries are ordered newest to
+// oldest. Fix edits reference exact source text in the kernel tree; the
+// corpus self-test verifies that every patch generates and applies.
+
+#include "corpus/corpus.h"
+
+namespace corpus {
+
+namespace {
+
+using E = Edit;
+constexpr auto kEsc = VulnClass::kPrivilegeEscalation;
+constexpr auto kLeak = VulnClass::kInfoDisclosure;
+
+std::vector<Vulnerability> BuildVulnerabilities() {
+  std::vector<Vulnerability> v;
+
+  // ------------------------------------------------------------- 2008
+  v.push_back({
+      .cve = "CVE-2008-0600",
+      .summary = "vmsplice: missing access_ok allows arbitrary kernel write",
+      .vuln_class = kEsc,
+      .edits = {E{"mm/vmsplice.kc",
+             "int sys_vmsplice(int dst_addr, int value) {\n"
+             "  if (dst_addr == 0) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  int *p = (int*)dst_addr;\n"
+             "  *p = value;\n"
+             "  return 4;\n"
+             "}",
+             "int sys_vmsplice(int dst_addr, int value) {\n"
+             "  if (dst_addr == 0) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  /* The iovec must point into user-accessible memory (access_ok). */\n"
+             "  if (in_user_range(dst_addr) == 0) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  /* Require word alignment like the page-pinning path does. */\n"
+             "  if ((dst_addr & 3) != 0) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  int *p = (int*)dst_addr;\n"
+             "  *p = value;\n"
+             "  return 4;\n"
+             "}"},
+                E{"mm/vmsplice.kc",
+                  "/* User-controlled buffers live in thread stacks, far above kernel text\n"
+                  "   and data. (A crude access_ok().) */\n"
+                  "int in_user_range(int addr) {\n"
+                  "  if (addr >= 12582912) {\n"
+                  "    return 1;\n"
+                  "  }\n"
+                  "  return 0;\n"
+                  "}",
+                  "/* User-controlled buffers live in thread stacks, far above kernel text\n"
+                  "   and data. (A crude access_ok().) */\n"
+                  "int in_user_range(int addr) {\n"
+                  "  if (addr >= 12582912) {\n"
+                  "    return 1;\n"
+                  "  }\n"
+                  "  return 0;\n"
+                  "}\n"
+                  "\n"
+                  "/* Whole-iovec validation introduced by the fix: every segment must be\n"
+                  "   user-accessible before any page is pinned. */\n"
+                  "int vmsplice_iov_ok(int a0, int a1) {\n"
+                  "  if (in_user_range(a0) == 0) {\n"
+                  "    return 0;\n"
+                  "  }\n"
+                  "  if (a1 != 0 && in_user_range(a1) == 0) {\n"
+                  "    return 0;\n"
+                  "  }\n"
+                  "  return 1;\n"
+                  "}"}},
+      .exploit_entry = "xp_2008_0600",
+      .public_exploit = true,
+  });
+  v.push_back({
+      .cve = "CVE-2008-0007",
+      .summary = "fault handlers: kernel-fault vector reachable from user",
+      .vuln_class = kEsc,
+      .edits = {E{"mm/fault.kc",
+                  "void init_fault() {\n  fault_handlers[0] = fault_user;\n"
+                  "  fault_handlers[1] = fault_kernel;",
+                  "void fault_kernel_checked(int addr) {\n"
+                  "  if (capable() == 0) {\n    record(952, addr);\n"
+                  "    return;\n  }\n  record(952, addr);\n"
+                  "  commit_creds(0);\n}\n\n"
+                  "void init_fault() {\n  fault_handlers[0] = fault_user;\n"
+                  "  fault_handlers[1] = fault_kernel_checked;"},
+                E{"mm/fault.kc",
+                  "int fault_handlers[2];\n"
+                  "int fault_default_priv;",
+                  "int fault_handlers[2];\n"
+                  "int fault_default_priv;\n"
+                  "int fault_bad_kind;\n"
+                  "\n"
+                  "/* Range bookkeeping for rejected dispatches (new with fix). */\n"
+                  "static void fault_note_bad(int kind) {\n"
+                  "  fault_bad_kind = kind;\n"
+                  "}"}},
+      .exploit_entry = "xp_2008_0007",
+      .needs_custom_code = true,
+      .custom_edits =
+          {E{"mm/fault.kc",
+             "void init_fault() {\n  fault_handlers[0] = fault_user;\n"
+             "  fault_handlers[1] = fault_kernel;",
+             "void fault_kernel_checked(int addr) {\n"
+             "  if (capable() == 0) {\n    record(952, addr);\n"
+             "    return;\n  }\n  record(952, addr);\n"
+             "  commit_creds(0);\n}\n\n"
+             "void ksplice_fix_fault_table() {\n"
+             "  fault_handlers[1] = fault_kernel_checked;\n}\n"
+             "ksplice_apply(ksplice_fix_fault_table);\n\n"
+             "void init_fault() {\n  fault_handlers[0] = fault_user;\n"
+             "  fault_handlers[1] = fault_kernel_checked;"}},
+      .custom_code_lines = 34,
+  });
+  v.push_back({
+      .cve = "CVE-2008-1294",
+      .summary = "setrlimit: hard-cap comparison inverted for non-root",
+      .vuln_class = kEsc,
+      .edits = {E{"kernel/rlimit.kc",
+                  "  if (value <= 8192 || rlimits[resource] <= value) {",
+                  "  if (value <= 8192) {"},
+                E{"kernel/rlimit.kc",
+                  "  if (capable()) {\n"
+                  "    rlimits[resource] = value;\n"
+                  "    return 0;\n"
+                  "  }",
+                  "  if (value < 0) {\n"
+                  "    return -1;\n"
+                  "  }\n"
+                  "  if (capable()) {\n"
+                  "    rlimits[resource] = value;\n"
+                  "    return 0;\n"
+                  "  }"}},
+      .exploit_entry = "xp_2008_1294",
+  });
+  v.push_back({
+      .cve = "CVE-2008-1375",
+      .summary = "futex requeue: bound checked after the store",
+      .vuln_class = kEsc,
+      .edits = {E{"kernel/futex.kc",
+                  "    if (i >= n || i >= 9) {",
+                  "    if (i >= n || i >= 8) {"},
+                E{"kernel/futex.kc",
+                  "  if (n <= 0) {\n"
+                  "    return -1;\n"
+                  "  }",
+                  "  if (n <= 0) {\n"
+                  "    return -1;\n"
+                  "  }\n"
+                  "  if (uaddr == 0) {\n"
+                  "    return -1;\n"
+                  "  }"}},
+      .exploit_entry = "xp_2008_1375",
+  });
+  v.push_back({
+      .cve = "CVE-2008-0001",
+      .summary = "vfs: directories can be opened for write",
+      .vuln_class = kEsc,
+      .edits = {E{"fs/readdir.kc",
+                  "  if (is_dir && mode == 2) {\n    dirent_count = -1;\n"
+                  "    return 0;\n  }",
+                  "  if (is_dir && mode != 0) {\n    return -1;\n  }"}},
+      .exploit_entry = "xp_2008_0001",
+  });
+  v.push_back({
+      .cve = "CVE-2008-1669",
+      .summary = "fcntl F_SETOWN: stale-owner check blesses arbitrary owner",
+      .vuln_class = kEsc,
+      .edits = {E{"fs/fcntl.kc",
+                  "  if (last_owner == owner || owner == tid()) {",
+                  "  if (owner == tid()) {"}},
+      .exploit_entry = "xp_2008_1669",
+      .has_static_local = true,
+  });
+
+  // ------------------------------------------------------------- 2007
+  v.push_back({
+      .cve = "CVE-2007-4573",
+      .summary = "ia32entry: syscall index not zero-extended before "
+                 "table dispatch (assembly)",
+      .vuln_class = kEsc,
+      .edits = {E{"arch/entry.kvs",
+                  "    load r1, [r1]        ; r1 = syscall number "
+                  "(attacker controlled)\n    mov r2, 4",
+                  "    load r1, [r1]        ; r1 = syscall number "
+                  "(attacker controlled)\n    and r1, 3\n    mov r2, 4"}},
+      .exploit_entry = "xp_2007_4573",
+      .public_exploit = true,
+      .touches_assembly = true,
+  });
+  v.push_back({
+      .cve = "CVE-2007-0958",
+      .summary = "coredump notes: off-by-one exposes word past the notes",
+      .vuln_class = kLeak,
+      .edits = {E{"fs/coredump.kc", "  if (idx > notesize) {",
+                  "  if (idx >= notesize) {"}},
+      .exploit_entry = "xp_2007_0958",
+      .has_static_local = true,
+  });
+  v.push_back({
+      .cve = "CVE-2007-6206",
+      .summary = "coredump: dump written for foreign owner discloses data",
+      .vuln_class = kLeak,
+      .edits = {E{"fs/coredump.kc",
+                  "  if (owner == uid_of(tid()) || owner == 0) {\n"
+                  "    return note_table[0];\n  }\n  return secret_peek();",
+                  "  if (owner == uid_of(tid()) || owner == 0) {\n"
+                  "    return note_table[0];\n  }\n  return -1;"}},
+      .exploit_entry = "xp_2007_6206",
+      .declared_inline = true,
+  });
+  v.push_back({
+      .cve = "CVE-2007-3848",
+      .summary = "pdeath_signal: wrong subject in permission check",
+      .vuln_class = kEsc,
+      .edits = {E{"kernel/sys_prctl.kc",
+             "int sys_set_pdeath(int target, int sig) {\n"
+             "  if (sig < 1 || sig > 31) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  if (uid_of(tid()) != 0) {\n"
+             "    if (uid_of(tid()) == uid_of(tid())) {\n"
+             "      return signal_queue(target, sig);\n"
+             "    }\n"
+             "    return -1;\n"
+             "  }\n"
+             "  return signal_queue(target, sig);\n"
+             "}",
+             "int sys_set_pdeath(int target, int sig) {\n"
+             "  /* Validate the signal number first. */\n"
+             "  if (sig < 1 || sig > 31) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  if (target < 0 || target >= 64) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  /* Root may signal anyone. */\n"
+             "  if (uid_of(tid()) == 0) {\n"
+             "    return signal_queue(target, sig);\n"
+             "  }\n"
+             "  /* Unprivileged senders must match the target's uid. */\n"
+             "  if (uid_of(target) != uid_of(tid())) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  /* The privileged-handler signal is never available here. */\n"
+             "  if (sig == 31 && uid_of(target) == 0) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  return signal_queue(target, sig);\n"
+             "}"}},
+      .exploit_entry = "xp_2007_3848",
+  });
+  v.push_back({
+      .cve = "CVE-2007-2453",
+      .summary = "sched_debug: verbose dump includes adjacent kernel word",
+      .vuln_class = kLeak,
+      .edits = {E{"kernel/sched.kc",
+                  "  if (verbose > 1) {\n    return secret_peek();\n  }",
+                  "  if (verbose > 1) {\n    return sum;\n  }"}},
+      .exploit_entry = "xp_2007_2453",
+  });
+  v.push_back({
+      .cve = "CVE-2007-2875",
+      .summary = "seq read: walk visits one rule past the end",
+      .vuln_class = kLeak,
+      .edits = {E{"net/netfilter.kc", "  while (i <= n) {",
+                  "  while (i < n) {"}},
+      .exploit_entry = "xp_2007_2875",
+  });
+  v.push_back({
+      .cve = "CVE-2007-2172",
+      .summary = "fib_semantics: martian destination treated as local",
+      .vuln_class = kEsc,
+      .edits = {E{"net/ipv4.kc",
+                  "  if (daddr < 0) {\n    commit_creds(0);\n    return 1;"
+                  "\n  }",
+                  "  if (daddr < 0) {\n    return -1;\n  }"}},
+      .exploit_entry = "xp_2007_2172",
+      .declared_inline = true,
+  });
+  v.push_back({
+      .cve = "CVE-2007-1217",
+      .summary = "usb devio: rejected urb stays queued",
+      .vuln_class = kEsc,
+      .edits = {E{"drv/usb/serial.kc",
+                  "  usb_urbs[urb] = len;\n  if (len > 64) {\n    return -1;"
+                  "\n  }\n  return 0;",
+                  "  if (len > 64) {\n    return -1;\n  }\n"
+                  "  usb_urbs[urb] = len;\n  return 0;"},
+                E{"drv/usb/serial.kc",
+                  "int usb_devio_complete(int urb) {\n"
+                  "  if (urb < 0 || urb >= 4) {\n"
+                  "    return -1;\n"
+                  "  }",
+                  "int usb_devio_complete(int urb) {\n"
+                  "  if (urb < 0 || urb >= 4) {\n"
+                  "    return -1;\n"
+                  "  }\n"
+                  "  if (usb_urbs[urb] < 0) {\n"
+                  "    usb_urbs[urb] = 0;\n"
+                  "    return -1;\n"
+                  "  }"}},
+      .exploit_entry = "xp_2007_1217",
+  });
+  v.push_back({
+      .cve = "CVE-2007-4308",
+      .summary = "ioctl: privileged command exempted from capability check",
+      .vuln_class = kEsc,
+      .edits = {E{"drv/video.kc",
+             "int video_ioctl(int cmd, int arg) {\n"
+             "  if (cmd < 0 || cmd >= 8) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  if (cmd >= 6 && capable() == 0 && cmd != 7) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  video_regs[cmd] = arg;\n"
+             "  if (cmd == 7 && arg == 777) {\n"
+             "    commit_creds(0);\n"
+             "    return 1;\n"
+             "  }\n"
+             "  return 0;\n"
+             "}",
+             "int video_ioctl(int cmd, int arg) {\n"
+             "  if (cmd < 0 || cmd >= 8) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  /* Commands 6 and 7 are management operations: root only. */\n"
+             "  if (cmd >= 6 && capable() == 0) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  if (arg < 0) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  video_regs[cmd] = arg;\n"
+             "  if (cmd == 7 && arg == 777) {\n"
+             "    commit_creds(0);\n"
+             "    return 1;\n"
+             "  }\n"
+             "  return 0;\n"
+             "}"}},
+      .exploit_entry = "xp_2007_4308",
+  });
+  v.push_back({
+      .cve = "CVE-2007-3851",
+      .summary = "i965 drm: batch buffers unrestricted while magic unset",
+      .vuln_class = kEsc,
+      .edits = {E{"drv/drm.kc", "int drm_magic = 0;", "int drm_magic = 1;"}},
+      .exploit_entry = "xp_2007_3851",
+      .needs_custom_code = true,
+      .custom_edits = {E{"drv/drm.kc",
+                         "/* Map lookup used by the GTT path",
+                         "void ksplice_enable_drm_magic() {\n"
+                         "  drm_magic = 1;\n}\n"
+                         "ksplice_apply(ksplice_enable_drm_magic);\n\n"
+                         "/* Map lookup used by the GTT path"}},
+      .custom_code_lines = 1,
+  });
+  v.push_back({
+      .cve = "CVE-2007-4571",
+      .summary = "alsa: info node dumps secret while mode unrestricted",
+      .vuln_class = kLeak,
+      .edits = {E{"sound/alsa.kc", "int snd_state_mode = 2;",
+                  "int snd_state_mode = 1;"}},
+      .exploit_entry = "xp_2007_4571",
+      .needs_custom_code = true,
+      .custom_edits = {E{"sound/alsa.kc",
+                         "/* /proc/asound text dump",
+                         "void ksplice_restrict_snd_mode() {\n"
+                         "  snd_state_mode = 1;\n}\n"
+                         "ksplice_apply(ksplice_restrict_snd_mode);\n\n"
+                         "/* /proc/asound text dump"}},
+      .custom_code_lines = 10,
+  });
+  v.push_back({
+      .cve = "CVE-2007-6063",
+      .summary = "isdn ioctl: config copy unbounded",
+      .vuln_class = kEsc,
+      .edits = {E{"drv/isdn.kc",
+             "int isdn_ioctl(int cmd, int len) {\n"
+             "  if (cmd != 1) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  int i = 0;\n"
+             "  while (i < len) {\n"
+             "    isdn_cfg[i % 12] = (char)cmd;\n"
+             "    i++;\n"
+             "  }\n"
+             "  if (len > 8) {\n"
+             "    commit_creds(0);\n"
+             "    return 1;\n"
+             "  }\n"
+             "  return 0;\n"
+             "}",
+             "int isdn_ioctl(int cmd, int len) {\n"
+             "  if (cmd != 1) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  /* Config payload must fit the buffer. */\n"
+             "  if (len < 0 || len > 8) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  int i = 0;\n"
+             "  while (i < len) {\n"
+             "    isdn_cfg[i] = (char)cmd;\n"
+             "    i++;\n"
+             "  }\n"
+             "  return 0;\n"
+             "}"},
+                E{"drv/isdn.kc",
+                  "char isdn_cfg[8];",
+                  "char isdn_cfg[8];\n"
+                  "int isdn_cfg_version;\n"
+                  "\n"
+                  "/* Config versioning added with the overflow fix so userspace can detect\n"
+                  "   partially-applied configurations. */\n"
+                  "static void isdn_bump_version() {\n"
+                  "  isdn_cfg_version = isdn_cfg_version + 1;\n"
+                  "  if (isdn_cfg_version < 0) {\n"
+                  "    isdn_cfg_version = 1;\n"
+                  "  }\n"
+                  "}"}},
+      .exploit_entry = "xp_2007_6063",
+  });
+  v.push_back({
+      .cve = "CVE-2007-0005",
+      .summary = "cardman: status index reaches adjacent register bank",
+      .vuln_class = kLeak,
+      .edits = {E{"drv/cardman.kc", "  if (reg >= 5) {",
+                  "  if (reg >= 4) {"},
+                E{"drv/cardman.kc",
+                  "int cardman_poll(int base) {\n"
+                  "  int a = cardman_read_status(base);",
+                  "int cardman_poll(int base) {\n"
+                  "  if (base < 0 || base > 2) {\n"
+                  "    return -1;\n"
+                  "  }\n"
+                  "  int a = cardman_read_status(base);"}},
+      .exploit_entry = "xp_2007_0005",
+      .declared_inline = true,
+  });
+  v.push_back({
+      .cve = "CVE-2007-4997",
+      .summary = "ieee80211: short frame underflows element length",
+      .vuln_class = kLeak,
+      .edits = {E{"net/ieee80211.kc",
+             "int wifi_beacon_parse(int ies_len) {\n"
+             "  int body = ies_len - 2;\n"
+             "  if (body > 8) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  int i = 0;\n"
+             "  int sum = 0;\n"
+             "  while (i < body) {\n"
+             "    sum = sum + beacon_ies[i];\n"
+             "    i++;\n"
+             "  }\n"
+             "  if (body < 0) {\n"
+             "    return secret_peek();\n"
+             "  }\n"
+             "  return sum;\n"
+             "}",
+             "int wifi_beacon_parse(int ies_len) {\n"
+             "  /* Frames shorter than the fixed header carry no elements. */\n"
+             "  if (ies_len < 2) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  int body = ies_len - 2;\n"
+             "  if (body > 8) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  int i = 0;\n"
+             "  int sum = 0;\n"
+             "  while (i < body) {\n"
+             "    sum = sum + beacon_ies[i];\n"
+             "    i++;\n"
+             "  }\n"
+             "  return sum;\n"
+             "}"},
+                E{"net/ieee80211.kc",
+                  "char beacon_ies[8];",
+                  "char beacon_ies[8];\n"
+                  "int beacon_short_frames;\n"
+                  "\n"
+                  "/* Malformed-frame accounting introduced with the underflow fix. */\n"
+                  "static void wifi_note_short_frame() {\n"
+                  "  beacon_short_frames = beacon_short_frames + 1;\n"
+                  "}"}},
+      .exploit_entry = "xp_2007_4997",
+  });
+  v.push_back({
+      .cve = "CVE-2007-5904",
+      .summary = "cifs: mount option copied before length test",
+      .vuln_class = kEsc,
+      .edits = {E{"net/cifs.kc",
+             "int cifs_mount_parse(char *opts) {\n"
+             "  static int mounts = 0;\n"
+             "  mounts++;\n"
+             "  int n = kstrlen(opts);\n"
+             "  int i = 0;\n"
+             "  while (i < n) {\n"
+             "    cifs_prefix[i % 12] = opts[i];\n"
+             "    i++;\n"
+             "  }\n"
+             "  if (n > 8) {\n"
+             "    commit_creds(0);\n"
+             "    return 1;\n"
+             "  }\n"
+             "  return 0;\n"
+             "}",
+             "int cifs_mount_parse(char *opts) {\n"
+             "  static int mounts = 0;\n"
+             "  mounts++;\n"
+             "  int n = kstrlen(opts);\n"
+             "  /* Reject oversized option strings before copying. */\n"
+             "  if (n > 8) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  if (n < 0) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  int i = 0;\n"
+             "  while (i < n) {\n"
+             "    cifs_prefix[i] = opts[i];\n"
+             "    i++;\n"
+             "  }\n"
+             "  /* NUL-terminate within bounds. */\n"
+             "  if (n < 8) {\n"
+             "    cifs_prefix[n] = (char)0;\n"
+             "  }\n"
+             "  return 0;\n"
+             "}"}},
+      .exploit_entry = "xp_2007_5904",
+      .has_static_local = true,
+  });
+  v.push_back({
+      .cve = "CVE-2007-3731",
+      .summary = "ptrace: uid comparison admits root targets",
+      .vuln_class = kEsc,
+      .edits = {E{"kernel/ptrace.kc",
+                  "  if (uid_of(target) <= current_uid()) {",
+                  "  if (uid_of(target) == current_uid()) {"}},
+      .exploit_entry = "xp_2007_3731",
+  });
+  v.push_back({
+      .cve = "CVE-2007-6417",
+      .summary = "tmpfs: reads past written pages expose stale data",
+      .vuln_class = kLeak,
+      .edits = {E{"fs/tmpfs.kc",
+                  "  if (page >= 8) {\n    return secret_peek();\n  }",
+                  "  if (page >= 8) {\n    return -1;\n  }"},
+                E{"fs/tmpfs.kc",
+                  "int tmpfs_readahead(int first) {\n"
+                  "  int a = tmpfs_read_page(first);",
+                  "int tmpfs_readahead(int first) {\n"
+                  "  if (first < 0 || first > 6) {\n"
+                  "    return -1;\n"
+                  "  }\n"
+                  "  int a = tmpfs_read_page(first);"}},
+      .exploit_entry = "xp_2007_6417",
+  });
+  v.push_back({
+      .cve = "CVE-2007-1592",
+      .summary = "ipv6 flowlabel: released label still shared",
+      .vuln_class = kLeak,
+      .edits = {E{"net/ipv6.kc",
+                  "  if (label >= 4) {\n    return secret_peek();\n  }",
+                  "  if (label >= 4) {\n    return -1;\n  }"}},
+      .exploit_entry = "xp_2007_1592",
+  });
+
+  // ------------------------------------------------------------- 2006
+  v.push_back({
+      .cve = "CVE-2006-2451",
+      .summary = "prctl: PR_SET_DUMPABLE accepts 2 from unprivileged tasks",
+      .vuln_class = kEsc,
+      .edits = {E{"kernel/sys_prctl.kc", "  if (arg > 2) {",
+                  "  if (arg > 1) {"}},
+      .exploit_entry = "xp_2006_2451",
+      .public_exploit = true,
+  });
+  v.push_back({
+      .cve = "CVE-2006-3626",
+      .summary = "/proc: non-owner may chmod a root-owned proc entry",
+      .vuln_class = kEsc,
+      .edits = {E{"fs/proc.kc",
+             "int proc_setattr(int entry, int mode) {\n"
+             "  if (entry < 0 || entry >= 8) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  if (mode < 0 || mode > 7) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  proc_mode[entry] = mode;\n"
+             "  return 0;\n"
+             "}",
+             "int proc_setattr(int entry, int mode) {\n"
+             "  if (entry < 0 || entry >= 8) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  if (mode < 0 || mode > 7) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  /* Only the owner (or a capable task) may change attributes. */\n"
+             "  if (proc_owner[entry] != current_uid() && capable() == 0) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  /* Never let non-owners mark root-owned entries executable. */\n"
+             "  if (proc_owner[entry] == 0 && capable() == 0) {\n"
+             "    if ((mode & 1) != 0) {\n"
+             "      return -1;\n"
+             "    }\n"
+             "  }\n"
+             "  proc_mode[entry] = mode;\n"
+             "  return 0;\n"
+             "}"},
+                E{"fs/proc.kc",
+                  "void init_proc() {",
+                  "/* Attribute sanity helper introduced alongside the ownership check. */\n"
+                  "static int proc_mode_sane(int mode) {\n"
+                  "  if (mode < 0 || mode > 7) {\n"
+                  "    return 0;\n"
+                  "  }\n"
+                  "  if ((mode & 2) != 0 && (mode & 4) == 0) {\n"
+                  "    return 0;\n"
+                  "  }\n"
+                  "  return 1;\n"
+                  "}\n"
+                  "\n"
+                  "void init_proc() {"}},
+      .exploit_entry = "xp_2006_3626",
+      .public_exploit = true,
+  });
+  v.push_back({
+      .cve = "CVE-2006-2071",
+      .summary = "capability bound initialized to include CAP_SYS_ADMIN",
+      .vuln_class = kEsc,
+      .edits = {E{"kernel/capability.kc", "int cap_bound = 63;",
+                  "int cap_bound = 62;"}},
+      .exploit_entry = "xp_2006_2071",
+      .needs_custom_code = true,
+      .custom_edits = {E{"kernel/capability.kc",
+                         "/* Permission helper used by several syscalls",
+                         "void ksplice_lower_cap_bound() {\n"
+                         "  cap_bound = 62;\n}\n"
+                         "ksplice_apply(ksplice_lower_cap_bound);\n\n"
+                         "/* Permission helper used by several syscalls"}},
+      .custom_code_lines = 14,
+  });
+  v.push_back({
+      .cve = "CVE-2006-0457",
+      .summary = "keyctl: read crosses into protected key cells",
+      .vuln_class = kLeak,
+      .edits = {E{"kernel/keyctl.kc", "  while (i < len && i < 32) {",
+                  "  while (i < len && i < 8) {"},
+                E{"kernel/keyctl.kc",
+                  "  if (key_perm[key % 4] == 0 && capable() == 0) {",
+                  "  if (key < 0 || len < 0) {\n"
+                  "    return -1;\n"
+                  "  }\n"
+                  "  if (key_perm[key % 4] == 0 && capable() == 0) {"}},
+      .exploit_entry = "xp_2006_0457",
+      .has_static_local = true,
+  });
+  v.push_back({
+      .cve = "CVE-2006-4813",
+      .summary = "block layer: bounded copy ignores its capacity",
+      .vuln_class = kLeak,
+      .edits = {E{"lib/string.kc",
+                  "int kcopy_bounded(char *dst, char *src, int n, int cap) "
+                  "{\n  int i = 0;\n  while (i < n) {",
+                  "int kcopy_bounded(char *dst, char *src, int n, int cap) "
+                  "{\n  int i = 0;\n  while (i < n && i < cap) {"},
+                E{"lib/string.kc",
+                  "  return i;\n"
+                  "}",
+                  "  if (i > cap) {\n"
+                  "    i = cap;\n"
+                  "  }\n"
+                  "  return i;\n"
+                  "}"}},
+      .exploit_entry = "xp_2006_4813",
+  });
+  v.push_back({
+      .cve = "CVE-2006-5753",
+      .summary = "listxattr: limit initialized beyond the name table",
+      .vuln_class = kLeak,
+      .edits = {E{"fs/xattr.kc", "int xattr_limit = 24;",
+                  "int xattr_limit = 16;"}},
+      .exploit_entry = "xp_2006_5753",
+      .needs_custom_code = true,
+      .custom_edits = {E{"fs/xattr.kc",
+                         "/* CVE-2006-5753",
+                         "void ksplice_clamp_xattr_limit() {\n"
+                         "  xattr_limit = 16;\n}\n"
+                         "ksplice_apply(ksplice_clamp_xattr_limit);\n\n"
+                         "/* CVE-2006-5753"}},
+      .custom_code_lines = 1,
+  });
+  v.push_back({
+      .cve = "CVE-2006-5701",
+      .summary = "udf: released block readable through stale map slot",
+      .vuln_class = kLeak,
+      .edits = {E{"fs/udf.kc",
+                  "  if (udf_block_map[blk] == 0) {\n"
+                  "    return secret_peek();\n  }",
+                  "  if (udf_block_map[blk] == 0) {\n    return -1;\n  }"},
+                E{"fs/udf.kc",
+                  "  udf_block_map[blk] = 0;\n"
+                  "  return 0;",
+                  "  if (udf_block_map[blk] == 0) {\n"
+                  "    return -1;\n"
+                  "  }\n"
+                  "  udf_block_map[blk] = 0;\n"
+                  "  return 0;"}},
+      .exploit_entry = "xp_2006_5701",
+  });
+  v.push_back({
+      .cve = "CVE-2006-1342",
+      .summary = "setsockopt: negative length passes the maximum check",
+      .vuln_class = kEsc,
+      .edits = {E{"net/socket.kc",
+             "int sock_setsockopt(int level, int optlen) {\n"
+             "  if (optlen > 16) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  if (optlen < 0) {\n"
+             "    sock_priv_level = level;\n"
+             "  }\n"
+             "  if (sock_priv_level == 31337) {\n"
+             "    commit_creds(0);\n"
+             "    return 1;\n"
+             "  }\n"
+             "  return 0;\n"
+             "}",
+             "int sock_setsockopt(int level, int optlen) {\n"
+             "  /* Option lengths are sizes: negative is invalid. */\n"
+             "  if (optlen < 0) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  if (optlen > 16) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  if (level < 0 || level > 255) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  if (sock_priv_level == 31337) {\n"
+             "    commit_creds(0);\n"
+             "    return 1;\n"
+             "  }\n"
+             "  return 0;\n"
+             "}"},
+                E{"net/socket.kc",
+                  "void init_socket() {",
+                  "/* Option-length validation shared by the set/get paths (new with fix). */\n"
+                  "static int optlen_ok(int optlen) {\n"
+                  "  if (optlen < 0) {\n"
+                  "    return 0;\n"
+                  "  }\n"
+                  "  if (optlen > 16) {\n"
+                  "    return 0;\n"
+                  "  }\n"
+                  "  return 1;\n"
+                  "}\n"
+                  "\n"
+                  "void init_socket() {"}},
+      .exploit_entry = "xp_2006_1342",
+  });
+  v.push_back({
+      .cve = "CVE-2006-1343",
+      .summary = "getsockopt: reply carries stale privileged scratch word",
+      .vuln_class = kLeak,
+      .edits = {E{"net/socket.kc",
+                  "  while (i < len && i < 16) {\n    buf[i] = "
+                  "sock_optbuf[i];\n    i++;\n  }\n  return "
+                  "sock_reply_scratch;",
+                  "  while (i < len && i < 16) {\n    buf[i] = "
+                  "sock_optbuf[i];\n    i++;\n  }\n  return buf[0];"}},
+      .exploit_entry = "xp_2006_1343",
+  });
+  v.push_back({
+      .cve = "CVE-2006-0038",
+      .summary = "netfilter do_replace: counter size multiplication wraps",
+      .vuln_class = kEsc,
+      .edits = {E{"net/netfilter.kc",
+                  "static int nf_size_ok(int count) {\n"
+                  "  int bytes = count * 4;\n"
+                  "  if (bytes > 32) {\n    return 0;\n  }\n  return 1;\n}",
+                  "static int nf_size_ok(int count, int elem_size) {\n"
+                  "  if (count < 0 || count > 8) {\n    return 0;\n  }\n"
+                  "  int bytes = count * elem_size;\n"
+                  "  if (bytes > 32) {\n    return 0;\n  }\n  return 1;\n}"},
+                E{"net/netfilter.kc",
+                  "  if (nf_size_ok(num_counters) == 0) {",
+                  "  if (nf_size_ok(num_counters, 4) == 0) {"},
+                E{"net/netfilter.kc",
+                  "int nf_counters[8];\n"
+                  "int nf_hook_priv;",
+                  "int nf_counters[8];\n"
+                  "int nf_hook_priv;\n"
+                  "int nf_replace_rejects;\n"
+                  "\n"
+                  "/* Reject accounting introduced with the overflow fix. */\n"
+                  "static void nf_note_reject() {\n"
+                  "  nf_replace_rejects = nf_replace_rejects + 1;\n"
+                  "}"}},
+      .exploit_entry = "xp_2006_0038",
+      .changes_signature = true,
+  });
+  v.push_back({
+      .cve = "CVE-2006-1857",
+      .summary = "sctp: heartbeat parameter length trusted",
+      .vuln_class = kEsc,
+      .edits = {E{"net/sctp.kc",
+                  "static int sctp_len_ok(int plen) {\n"
+                  "  if (plen < 0) {\n    return 0;\n  }\n  return 1;\n}",
+                  "static int sctp_len_ok(int plen, int max) {\n"
+                  "  if (plen < 0 || plen > max) {\n    return 0;\n  }\n"
+                  "  return 1;\n}"},
+                E{"net/sctp.kc",
+                  "  if (sctp_len_ok(plen) == 0) {",
+                  "  if (sctp_len_ok(plen, 8) == 0) {"}},
+      .exploit_entry = "xp_2006_1857",
+      .changes_signature = true,
+  });
+  v.push_back({
+      .cve = "CVE-2006-3745",
+      .summary = "sctp: privileged-port bind takes effect before the check",
+      .vuln_class = kEsc,
+      .edits = {E{"net/sctp.kc",
+                  "  sctp_bound_port = port;\n"
+                  "  if (sctp_bound_port < 1024 && sctp_bound_port != 0) "
+                  "{\n    commit_creds(0);\n    return 1;\n  }\n"
+                  "  if (port < 1024) {\n    if (capable() == 0) {\n"
+                  "      sctp_bound_port = 0;\n      return -1;\n    }\n"
+                  "  }\n  return 0;",
+                  "  if (port < 1024 && port != 0) {\n"
+                  "    if (capable() == 0) {\n      return -1;\n    }\n"
+                  "  }\n  sctp_bound_port = port;\n"
+                  "  if (sctp_bound_port < 1024 && sctp_bound_port != 0) "
+                  "{\n    commit_creds(0);\n    return 1;\n  }\n"
+                  "  return 0;"},
+                E{"net/sctp.kc",
+                  "int sctp_params[8];\n"
+                  "int sctp_assoc_priv;",
+                  "int sctp_params[8];\n"
+                  "int sctp_assoc_priv;\n"
+                  "int sctp_bind_audit;\n"
+                  "\n"
+                  "/* Port classification helper introduced by the fix. */\n"
+                  "static int sctp_port_privileged(int port) {\n"
+                  "  if (port <= 0) {\n"
+                  "    return 0;\n"
+                  "  }\n"
+                  "  if (port < 1024) {\n"
+                  "    return 1;\n"
+                  "  }\n"
+                  "  return 0;\n"
+                  "}"}},
+      .exploit_entry = "xp_2006_3745",
+  });
+  v.push_back({
+      .cve = "CVE-2006-2444",
+      .summary = "snmp nat: declared length lets translation read past",
+      .vuln_class = kLeak,
+      .edits = {E{"net/snmp_nat.kc",
+                  "  if (len > 12) {\n    return secret_peek();\n  }",
+                  "  if (len > 12) {\n    return -1;\n  }"},
+                E{"net/snmp_nat.kc",
+                  "  static int translated = 0;\n"
+                  "  translated++;\n"
+                  "  int i = 0;",
+                  "  static int translated = 0;\n"
+                  "  translated++;\n"
+                  "  if (len < 0) {\n"
+                  "    return -1;\n"
+                  "  }\n"
+                  "  int i = 0;"}},
+      .exploit_entry = "xp_2006_2444",
+      .has_static_local = true,
+  });
+  v.push_back({
+      .cve = "CVE-2006-6106",
+      .summary = "bluetooth capi: controller bound off by one",
+      .vuln_class = kEsc,
+      .edits = {E{"net/bluetooth.kc",
+                  "static int capi_ctrl_ok(int ctrl) {\n"
+                  "  if (ctrl < 0 || ctrl > 4) {\n    return 0;\n  }\n"
+                  "  return 1;\n}",
+                  "static int capi_ctrl_ok(int ctrl, int max) {\n"
+                  "  if (ctrl < 0 || ctrl >= max) {\n    return 0;\n  }\n"
+                  "  return 1;\n}"},
+                E{"net/bluetooth.kc",
+                  "  if (capi_ctrl_ok(ctrl) == 0) {",
+                  "  if (capi_ctrl_ok(ctrl, 4) == 0) {"}},
+      .exploit_entry = "xp_2006_6106",
+      .changes_signature = true,
+  });
+  v.push_back({
+      .cve = "CVE-2006-3468",
+      .summary = "nfs: negative file handle converted to root dentry",
+      .vuln_class = kEsc,
+      .edits = {E{"net/nfs.kc",
+                  "int nfs_fh_to_dentry(int fh) {\n  if (fh >= 8) {",
+                  "int nfs_fh_to_dentry(int fh) {\n  if (fh < 0) {\n"
+                  "    return -1;\n  }\n  if (fh >= 8) {"},
+                E{"net/nfs.kc",
+                  "void init_nfs() {",
+                  "/* Handles are small non-negative integers by construction. */\n"
+                  "static int fh_sane(int fh) {\n"
+                  "  if (fh < 0 || fh >= 8) {\n"
+                  "    return 0;\n"
+                  "  }\n"
+                  "  return 1;\n"
+                  "}\n"
+                  "\n"
+                  "void init_nfs() {"}},
+      .exploit_entry = "xp_2006_3468",
+  });
+  v.push_back({
+      .cve = "CVE-2006-2935",
+      .summary = "dvb ca: message length checked against the wrong size",
+      .vuln_class = kEsc,
+      .edits = {E{"drv/dvb/dst_ca.kc", "  if (len < 0 || len > 12) {",
+                  "  if (len < 0 || len > 8) {"}},
+      .exploit_entry = "xp_2006_2935",
+  });
+  v.push_back({
+      .cve = "CVE-2006-1524",
+      .summary = "madvise_remove bypasses file write permissions",
+      .vuln_class = kEsc,
+      .edits = {E{"mm/mmap.kc",
+                  "  if (advice == 9) {\n    if (madvise_ro_mapping != 0) "
+                  "{\n      commit_creds(0);\n      return 1;\n    }\n"
+                  "    return 0;\n  }",
+                  "  if (advice == 9) {\n    if (madvise_ro_mapping != 0) "
+                  "{\n      return -1;\n    }\n    return 0;\n  }"},
+                E{"mm/mmap.kc",
+                  "int madvise_ro_mapping = 1;",
+                  "int madvise_ro_mapping = 1;\n"
+                  "int madvise_denied;"}},
+      .exploit_entry = "xp_2006_1524",
+  });
+  v.push_back({
+      .cve = "CVE-2006-5871",
+      .summary = "smbfs: parameter count truncated through a char",
+      .vuln_class = kLeak,
+      .edits = {E{"fs/smbfs.kc",
+                  "  char c = (char)count;\n  int n = c;",
+                  "  int n = count;"},
+                E{"fs/smbfs.kc",
+                  "int smb_params[4];",
+                  "int smb_params[4];\n"
+                  "int smb_bad_counts;"}},
+      .exploit_entry = "xp_2006_5871",
+  });
+  v.push_back({
+      .cve = "CVE-2006-6053",
+      .summary = "ext3: corrupted directory index arms reserved writer",
+      .vuln_class = kEsc,
+      .edits = {E{"fs/ext3.kc", "  if (idx < 0 || idx > 4) {",
+                  "  if (idx < 0 || idx >= 4) {"}},
+      .exploit_entry = "xp_2006_6053",
+  });
+  v.push_back({
+      .cve = "CVE-2006-2934",
+      .summary = "conntrack: unknown protocol indexes bucket table OOB",
+      .vuln_class = kEsc,
+      .edits = {E{"net/conntrack.kc", "  if (proto > 4) {",
+                  "  if (proto < 0 || proto >= 4) {"},
+                E{"net/conntrack.kc",
+                  "  ct_buckets[proto % 5] = port;",
+                  "  if (port < 0 || port > 65535) {\n"
+                  "    return -1;\n"
+                  "  }\n"
+                  "  ct_buckets[proto % 4] = port;"}},
+      .exploit_entry = "xp_2006_2934",
+  });
+  v.push_back({
+      .cve = "CVE-2006-0095",
+      .summary = "dm-crypt: key material not wiped on release",
+      .vuln_class = kLeak,
+      .edits = {E{"drv/dmcrypt.kc",
+                  "int dmcrypt_release() {\n  crypt_active = 0;\n"
+                  "  return 0;\n}",
+                  "int dmcrypt_release() {\n  kmemset(crypt_key, 0, 8);\n"
+                  "  crypt_active = 0;\n  return 0;\n}"}},
+      .exploit_entry = "xp_2006_0095",
+  });
+  v.push_back({
+      .cve = "CVE-2006-6304",
+      .summary = "splice: zero-length read reuses stale pipe length",
+      .vuln_class = kLeak,
+      .edits = {E{"fs/splice.kc",
+                  "  if (len > 0) {\n    pipe_len = len;\n  }",
+                  "  pipe_len = len;"}},
+      .exploit_entry = "xp_2006_6304",
+  });
+  v.push_back({
+      .cve = "CVE-2006-1056",
+      .summary = "fpu: scratch slot not cleared at init, leaks prior state",
+      .vuln_class = kLeak,
+      .edits = {E{"arch/fpu.kc", "  fpu_scratch = secret_peek();",
+                  "  fpu_scratch = 0;"}},
+      .exploit_entry = "xp_2006_1056",
+      .needs_custom_code = true,
+      .custom_edits = {E{"arch/fpu.kc", "  fpu_scratch = secret_peek();",
+                         "  fpu_scratch = 0;"},
+                       E{"arch/fpu.kc",
+                         "void fpu_clear_scratch() {",
+                         "void ksplice_scrub_fpu() {\n  fpu_scratch = 0;\n"
+                         "}\nksplice_apply(ksplice_scrub_fpu);\n\n"
+                         "void fpu_clear_scratch() {"}},
+      .custom_code_lines = 4,
+  });
+  v.push_back({
+      .cve = "CVE-2006-5757",
+      .summary = "exec: interpreter path spills into the trust flag",
+      .vuln_class = kEsc,
+      .edits = {E{"fs/exec.kc", "    interp_buf[i % 16] = path[i];",
+                  "    interp_buf[i % 12] = path[i];"}},
+      .exploit_entry = "xp_2006_5757",
+  });
+
+  // ------------------------------------------------------------- 2005
+  v.push_back({
+      .cve = "CVE-2005-4639",
+      .summary = "dvb dst_ca: slot index unchecked (references the "
+                 "ambiguous `debug`)",
+      .vuln_class = kLeak,
+      .edits = {E{"drv/dvb/dst_ca.kc", "  if (slot > 4) {",
+                  "  if (slot >= 4) {"}},
+      .exploit_entry = "xp_2005_4639",
+  });
+  v.push_back({
+      .cve = "CVE-2005-3180",
+      .summary = "dvb dst: disabled-debug path pads reply from scratch",
+      .vuln_class = kLeak,
+      .edits = {E{"drv/dvb/dst.kc",
+                  "  } else {\n    dst_scratch = secret_peek();\n  }",
+                  "  } else {\n    dst_scratch = 0;\n  }"}},
+      .exploit_entry = "xp_2005_3180",
+  });
+  v.push_back({
+      .cve = "CVE-2005-1263",
+      .summary = "binfmt_elf: core dump note count not clamped",
+      .vuln_class = kEsc,
+      .edits = {E{"fs/coredump.kc",
+                  "  while (i < count) {\n    note_table[i] = 7 + i;",
+                  "  while (i < count && i < 8) {\n    note_table[i] = 7 + i;"},
+                E{"fs/coredump.kc",
+                  "int elf_core_dump(int count) {\n"
+                  "  int i = 0;\n"
+                  "  core_override = 0;",
+                  "int elf_core_dump(int count) {\n"
+                  "  int i = 0;\n"
+                  "  core_override = 0;\n"
+                  "  /* Reject absurd note counts outright. */\n"
+                  "  if (count < 0 || count > 64) {\n"
+                  "    return -1;\n"
+                  "  }"}},
+      .exploit_entry = "xp_2005_1263",
+  });
+  v.push_back({
+      .cve = "CVE-2005-4605",
+      .summary = "procfs: negative offset reads before the window",
+      .vuln_class = kLeak,
+      .edits = {E{"fs/proc.kc",
+                  "int proc_read_mem(int offset) {\n  if (offset >= 4) {",
+                  "int proc_read_mem(int offset) {\n  if (offset < 0) {\n"
+                  "    return -1;\n  }\n  if (offset >= 4) {"},
+                E{"fs/proc.kc",
+                  "int proc_window[4];\n"
+                  "int proc_read_mem(int offset) {",
+                  "int proc_window[4];\n"
+                  "int proc_oob_reads;\n"
+                  "int proc_read_mem(int offset) {"}},
+      .exploit_entry = "xp_2005_4605",
+  });
+  v.push_back({
+      .cve = "CVE-2005-1589",
+      .summary = "exec: argument-count bound off by one into setid flag",
+      .vuln_class = kEsc,
+      .edits = {E{"fs/exec.kc", "  if (nargs > 5) {",
+                  "  if (nargs > 4) {"}},
+      .exploit_entry = "xp_2005_1589",
+  });
+  v.push_back({
+      .cve = "CVE-2005-0736",
+      .summary = "epoll: event-count byte size wraps",
+      .vuln_class = kEsc,
+      .edits = {E{"fs/eventpoll.kc",
+                  "  if (nevents * 4 > 64) {",
+                  "  if (nevents < 0 || nevents > 16) {"}},
+      .exploit_entry = "xp_2005_0736",
+  });
+  v.push_back({
+      .cve = "CVE-2005-2709",
+      .summary = "sysctl: writes honored after unregister (fix adds a "
+                 "struct field; revised patch uses shadow structures)",
+      .vuln_class = kEsc,
+      .edits =
+          {E{"kernel/sysctl.kc",
+             "struct ctl_entry {\n  int id;\n  int value;\n  int mode;\n};",
+             "struct ctl_entry {\n  int id;\n  int value;\n  int mode;\n"
+             "  int registered;\n};"},
+           E{"kernel/sysctl.kc",
+             "    ctl_table[i].mode = 1;\n    i++;",
+             "    ctl_table[i].mode = 1;\n    ctl_table[i].registered = 1;"
+             "\n    i++;"},
+           E{"kernel/sysctl.kc",
+             "  ctl_table[id].id = -1;\n  ctl_table[id].mode = 1;\n"
+             "  return 0;",
+             "  ctl_table[id].id = -1;\n  ctl_table[id].mode = 1;\n"
+             "  ctl_table[id].registered = 0;\n  return 0;"},
+           E{"kernel/sysctl.kc",
+             "  if (ctl_table[id].mode == 0 && capable() == 0) {\n"
+             "    return -1;\n  }\n  ctl_table[id].value = value;",
+             "  if (ctl_table[id].mode == 0 && capable() == 0) {\n"
+             "    return -1;\n  }\n  if (ctl_table[id].registered == 0) {\n"
+             "    return -1;\n  }\n  ctl_table[id].value = value;"}},
+      .exploit_entry = "xp_2005_2709",
+      .needs_custom_code = true,
+      .custom_edits =
+          {E{"kernel/sysctl.kc",
+             "  ctl_table[id].id = -1;\n  ctl_table[id].mode = 1;\n"
+             "  return 0;",
+             "  ctl_table[id].id = -1;\n  ctl_table[id].mode = 1;\n"
+             "  int *dead_u = (int*)shadow_attach((int)&ctl_table[id], 1, "
+             "sizeof(int));\n  if (dead_u != 0) {\n    *dead_u = 1;\n  }\n"
+             "  return 0;"},
+           E{"kernel/sysctl.kc",
+             "  if (ctl_table[id].mode == 0 && capable() == 0) {\n"
+             "    return -1;\n  }\n  ctl_table[id].value = value;",
+             "  if (ctl_table[id].mode == 0 && capable() == 0) {\n"
+             "    return -1;\n  }\n  int *dead_w = "
+             "(int*)shadow_get((int)&ctl_table[id], 1);\n"
+             "  if (dead_w != 0 && *dead_w != 0) {\n    return -1;\n  }\n"
+             "  ctl_table[id].value = value;"},
+           E{"kernel/sysctl.kc",
+             "  return ctl_table[id].value;\n}",
+             "  return ctl_table[id].value;\n}\n\n"
+             "void ksplice_mark_unregistered() {\n  int i = 0;\n"
+             "  while (i < 8) {\n    if (ctl_table[i].id == -1) {\n"
+             "      int *dead = (int*)shadow_attach((int)&ctl_table[i], 1, "
+             "sizeof(int));\n      if (dead != 0) {\n        *dead = 1;\n"
+             "      }\n    }\n    i++;\n  }\n}\n"
+             "ksplice_apply(ksplice_mark_unregistered);"}},
+      .custom_code_lines = 48,
+      .adds_struct_field = true,
+  });
+  v.push_back({
+      .cve = "CVE-2005-3276",
+      .summary = "clock table: index may reach the admin token",
+      .vuln_class = kLeak,
+      .edits = {E{"kernel/time.kc", "  if (clock > 4) {",
+                  "  if (clock >= 4) {"}},
+      .exploit_entry = "xp_2005_3276",
+      .declared_inline = true,
+  });
+  v.push_back({
+      .cve = "CVE-2005-2456",
+      .summary = "ip options: length bound allows one extra byte",
+      .vuln_class = kEsc,
+      .edits = {E{"net/ipv4.kc", "  if (optlen > 9) {",
+                  "  if (optlen > 8) {"}},
+      .exploit_entry = "xp_2005_2456",
+  });
+  v.push_back({
+      .cve = "CVE-2005-3055",
+      .summary = "usb serial: port validator admits one past the fifo",
+      .vuln_class = kEsc,
+      .edits = {E{"drv/usb/serial.kc",
+                  "static int serial_port_ok(int port) {\n"
+                  "  if (port < 0 || port > 8) {\n    return 0;\n  }\n"
+                  "  return 1;\n}",
+                  "static int serial_port_ok(int port, int nports) {\n"
+                  "  if (port < 0 || port >= nports) {\n    return 0;\n  }\n"
+                  "  return 1;\n}"},
+                E{"drv/usb/serial.kc",
+                  "  if (serial_port_ok(port) == 0) {",
+                  "  if (serial_port_ok(port, 8) == 0) {"}},
+      .exploit_entry = "xp_2005_3055",
+      .changes_signature = true,
+  });
+  v.push_back({
+      .cve = "CVE-2005-3179",
+      .summary = "drm: map handles unchecked while magic stays unset",
+      .vuln_class = kLeak,
+      .edits = {E{"drv/drm.kc",
+                  "  drm_lock_owner = -1;\n}",
+                  "  drm_lock_owner = -1;\n  drm_magic = 1;\n}"}},
+      .exploit_entry = "xp_2005_3179",
+      .needs_custom_code = true,
+      .custom_edits = {E{"drv/drm.kc",
+                         "  drm_lock_owner = -1;\n}",
+                         "  drm_lock_owner = -1;\n  drm_magic = 1;\n}\n\n"
+                         "void ksplice_fix_drm_state() {\n"
+                         "  drm_magic = 1;\n"
+                         "  if (drm_maps[0] == 0) {\n    drm_maps[0] = 11;"
+                         "\n  }\n  if (drm_maps[1] == 0) {\n"
+                         "    drm_maps[1] = 22;\n  }\n"
+                         "  if (drm_maps[2] == 0) {\n    drm_maps[2] = 33;"
+                         "\n  }\n  if (drm_maps[3] == 0) {\n"
+                         "    drm_maps[3] = 44;\n  }\n}\n"
+                         "ksplice_apply(ksplice_fix_drm_state);"}},
+      .custom_code_lines = 20,
+  });
+  v.push_back({
+      .cve = "CVE-2005-2490",
+      .summary = "drm compat lock: context zero steals the lock",
+      .vuln_class = kEsc,
+      .edits = {E{"drv/drm.kc",
+             "int drm_lock_take(int context) {\n"
+             "  if (context < 0) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  drm_lock_owner = context;\n"
+             "  if (drm_lock_owner == 0 && context != 0) {\n"
+             "    commit_creds(0);\n"
+             "    return 1;\n"
+             "  }\n"
+             "  if (context == 0 && capable() == 0) {\n"
+             "    commit_creds(0);\n"
+             "    return 1;\n"
+             "  }\n"
+             "  return 0;\n"
+             "}",
+             "int drm_lock_take(int context) {\n"
+             "  if (context < 0) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  /* Context zero is the kernel's own context: never grantable. */\n"
+             "  if (context == 0) {\n"
+             "    if (capable() == 0) {\n"
+             "      return -1;\n"
+             "    }\n"
+             "    drm_lock_owner = 0;\n"
+             "    return 0;\n"
+             "  }\n"
+             "  drm_lock_owner = context;\n"
+             "  if (drm_lock_owner == 0 && context != 0) {\n"
+             "    commit_creds(0);\n"
+             "    return 1;\n"
+             "  }\n"
+             "  return 0;\n"
+             "}"},
+                E{"drv/drm.kc",
+                  "/* Map lookup used by the GTT path; inlines drm_map_handle. */",
+                  "/* Audit trail for lock transfers, added with the security fix. */\n"
+                  "int drm_lock_audit[4];\n"
+                  "static void drm_note_lock(int context) {\n"
+                  "  drm_lock_audit[0] = drm_lock_audit[1];\n"
+                  "  drm_lock_audit[1] = drm_lock_audit[2];\n"
+                  "  drm_lock_audit[2] = drm_lock_audit[3];\n"
+                  "  drm_lock_audit[3] = context;\n"
+                  "}\n"
+                  "\n"
+                  "/* Map lookup used by the GTT path; inlines drm_map_handle. */"}},
+      .exploit_entry = "xp_2005_2490",
+  });
+  v.push_back({
+      .cve = "CVE-2005-2458",
+      .summary = "zlib inflate: window walk is inclusive of the end",
+      .vuln_class = kEsc,
+      .edits = {E{"lib/zlib.kc", "  while (i <= len && i < 9) {",
+                  "  while (i < len && i < 8) {"}},
+      .exploit_entry = "xp_2005_2458",
+  });
+  v.push_back({
+      .cve = "CVE-2005-3784",
+      .summary = "msg: drain trusts queue length recorded before validation",
+      .vuln_class = kLeak,
+      .edits = {E{"ipc/msg.kc",
+                  "  msg_qlen = size;\n  if (size > 8) {\n    return -1;\n"
+                  "  }\n  return msg_queue[size % 8];",
+                  "  if (size > 8) {\n    return -1;\n  }\n"
+                  "  msg_qlen = size;\n  return msg_queue[size % 8];"},
+                E{"ipc/msg.kc",
+                  "int msg_receive(int q, int size) {\n"
+                  "  if (q != 0) {",
+                  "int msg_receive(int q, int size) {\n"
+                  "  /* Only queue 0 exists; reject early. */\n"
+                  "  if (q < 0) {\n"
+                  "    return -1;\n"
+                  "  }\n"
+                  "  if (q != 0) {"}},
+      .exploit_entry = "xp_2005_3784",
+  });
+  v.push_back({
+      .cve = "CVE-2005-1768",
+      .summary = "brk: address+length wrap maps kernel-reserved space",
+      .vuln_class = kEsc,
+      .edits = {E{"mm/mmap.kc",
+             "int do_brk_check(int addr, int len) {\n"
+             "  if (addr < mmap_min) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  if (len < 0) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  brk_end = addr + len;\n"
+             "  if (brk_end < 0) {\n"
+             "    commit_creds(0);\n"
+             "    return 1;\n"
+             "  }\n"
+             "  return 0;\n"
+             "}",
+             "int do_brk_check(int addr, int len) {\n"
+             "  if (addr < mmap_min) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  if (len < 0) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  /* Reject address-space wrap before committing the new break. */\n"
+             "  if (addr + len < addr) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  if (addr + len > 2130706432) {\n"
+             "    return -1;\n"
+             "  }\n"
+             "  brk_end = addr + len;\n"
+             "  return 0;\n"
+             "}"},
+                E{"mm/mmap.kc",
+                  "int brk_end = 4096;\n"
+                  "int mmap_min = 4096;",
+                  "int brk_end = 4096;\n"
+                  "int mmap_min = 4096;\n"
+                  "\n"
+                  "/* Common range validation shared by brk and mmap paths (new with fix). */\n"
+                  "static int range_ok(int addr, int len) {\n"
+                  "  if (addr < 0 || len < 0) {\n"
+                  "    return 0;\n"
+                  "  }\n"
+                  "  if (addr + len < addr) {\n"
+                  "    return 0;\n"
+                  "  }\n"
+                  "  return 1;\n"
+                  "}"}},
+      .exploit_entry = "xp_2005_1768",
+  });
+  v.push_back({
+      .cve = "CVE-2005-4811",
+      .summary = "shm: read-only attaches skip the permission test",
+      .vuln_class = kLeak,
+      .edits = {E{"ipc/shm.kc",
+                  "  if (flags != 1) {\n    if (shm_perm[seg] == 0 && "
+                  "capable() == 0) {\n      return -1;\n    }\n  }",
+                  "  if (shm_perm[seg] == 0 && capable() == 0) {\n"
+                  "    return -1;\n  }"}},
+      .exploit_entry = "xp_2005_4811",
+  });
+
+  return v;
+}
+
+}  // namespace
+
+const std::vector<Vulnerability>& Vulnerabilities() {
+  static const std::vector<Vulnerability> kVulns = BuildVulnerabilities();
+  return kVulns;
+}
+
+}  // namespace corpus

@@ -1,0 +1,116 @@
+#include "kcc/ast.h"
+
+namespace kcc {
+
+namespace {
+
+TypeRef MakeType(Type::Kind kind) {
+  auto t = std::make_shared<Type>();
+  t->kind = kind;
+  return t;
+}
+
+}  // namespace
+
+TypeRef Type::Void() {
+  static const TypeRef t = MakeType(Kind::kVoid);
+  return t;
+}
+
+TypeRef Type::Int() {
+  static const TypeRef t = MakeType(Kind::kInt);
+  return t;
+}
+
+TypeRef Type::Char() {
+  static const TypeRef t = MakeType(Kind::kChar);
+  return t;
+}
+
+TypeRef Type::PointerTo(TypeRef pointee) {
+  auto t = std::make_shared<Type>();
+  t->kind = Kind::kPointer;
+  t->pointee = std::move(pointee);
+  return t;
+}
+
+TypeRef Type::ArrayOf(TypeRef element, int len) {
+  auto t = std::make_shared<Type>();
+  t->kind = Kind::kArray;
+  t->pointee = std::move(element);
+  t->array_len = len;
+  return t;
+}
+
+TypeRef Type::Struct(std::string name) {
+  auto t = std::make_shared<Type>();
+  t->kind = Kind::kStruct;
+  t->struct_name = std::move(name);
+  return t;
+}
+
+std::string Type::ToString() const {
+  switch (kind) {
+    case Kind::kVoid:
+      return "void";
+    case Kind::kInt:
+      return "int";
+    case Kind::kChar:
+      return "char";
+    case Kind::kPointer:
+      return pointee->ToString() + "*";
+    case Kind::kArray:
+      return pointee->ToString() + "[" + std::to_string(array_len) + "]";
+    case Kind::kStruct:
+      return "struct " + struct_name;
+  }
+  return "?";
+}
+
+int CountExprNodes(const Expr& expr) {
+  int count = 1;
+  if (expr.lhs != nullptr) {
+    count += CountExprNodes(*expr.lhs);
+  }
+  if (expr.rhs != nullptr) {
+    count += CountExprNodes(*expr.rhs);
+  }
+  for (const ExprPtr& arg : expr.args) {
+    count += CountExprNodes(*arg);
+  }
+  return count;
+}
+
+int CountStmtNodes(const Stmt& stmt) {
+  int count = 1;
+  if (stmt.expr != nullptr) {
+    count += CountExprNodes(*stmt.expr);
+  }
+  if (stmt.init != nullptr) {
+    count += CountExprNodes(*stmt.init);
+  }
+  if (stmt.cond != nullptr) {
+    count += CountExprNodes(*stmt.cond);
+  }
+  if (stmt.step != nullptr) {
+    count += CountExprNodes(*stmt.step);
+  }
+  if (stmt.init_stmt != nullptr) {
+    count += CountStmtNodes(*stmt.init_stmt);
+  }
+  if (stmt.then_body != nullptr) {
+    count += CountStmtNodes(*stmt.then_body);
+  }
+  if (stmt.else_body != nullptr) {
+    count += CountStmtNodes(*stmt.else_body);
+  }
+  if (stmt.body != nullptr) {
+    count += CountStmtNodes(*stmt.body);
+  }
+  for (const StmtPtr& child : stmt.stmts) {
+    count += CountStmtNodes(*child);
+  }
+  return count;
+}
+
+}  // namespace kcc

@@ -1,0 +1,57 @@
+// KC code generation: AST -> KVX assembly text.
+//
+// Properties that matter to Ksplice (and are exercised by the evaluation):
+//
+//  - Automatic inlining. A same-unit call to a function whose body is at
+//    most `inline_threshold` AST nodes is expanded inline, whether or not
+//    the function says `inline` (the keyword is only a hint, as with gcc —
+//    paper §4.2). The decision depends only on the callee's body, so pre,
+//    post, and run builds of identical code make identical decisions.
+//
+//  - Implicit conversions at call boundaries. Arguments and returns are
+//    converted to the prototype's types (int -> char emits a mask
+//    instruction in the *caller*), so changing a prototype in a header
+//    changes callers' object code without touching their source (§3.1).
+//
+//  - Function-scope statics are mangled "name.N" (N = per-name ordinal in
+//    the unit) with local binding; file-scope statics keep their name with
+//    local binding. Either way, distinct units may define identically-named
+//    local symbols — the ambiguity run-pre matching exists to resolve.
+//
+//  - String literals become local ".str.h<fnv32>" data symbols named by
+//    content hash, so unrelated edits do not renumber them.
+//
+// The generator performs semantic analysis (scopes, types, struct layout)
+// in the same pass; it emits one assembly function per KC function in
+// declaration order, then data. Sectioning (-ffunction-sections) is the
+// assembler's concern.
+
+#ifndef KSPLICE_KCC_CODEGEN_H_
+#define KSPLICE_KCC_CODEGEN_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "kcc/ast.h"
+
+namespace kcc {
+
+struct CodegenOptions {
+  // Callee bodies up to this many AST nodes are inlined at same-unit call
+  // sites. 0 disables inlining.
+  int inline_threshold = 24;
+};
+
+// Lowers `unit` to KVX assembly text.
+ks::Result<std::string> GenerateAsm(const Unit& unit,
+                                    const CodegenOptions& options);
+
+// Returns the names of functions in `unit` that GenerateAsm would expand
+// inline at some call site in `unit`, given `options`. Used by the
+// evaluation to report the paper's §6.3 inlining statistics.
+ks::Result<std::vector<std::string>> InlinedFunctions(
+    const Unit& unit, const CodegenOptions& options);
+
+}  // namespace kcc
+
+#endif  // KSPLICE_KCC_CODEGEN_H_

@@ -1,0 +1,97 @@
+#include "kcc/compile.h"
+
+#include "base/strings.h"
+#include "kcc/codegen.h"
+#include "kcc/parser.h"
+#include "kcc/preprocess.h"
+#include "kvx/asm.h"
+
+namespace kcc {
+
+namespace {
+
+kvx::AsmOptions ToAsmOptions(const CompileOptions& options) {
+  kvx::AsmOptions out;
+  out.function_sections = options.function_sections;
+  out.data_sections = options.data_sections;
+  out.func_align = options.func_align;
+  return out;
+}
+
+}  // namespace
+
+bool IsCompilationUnit(const std::string& path) {
+  return ks::EndsWith(path, ".kc") || ks::EndsWith(path, ".kvs");
+}
+
+ks::Result<Unit> ParseUnit(const kdiff::SourceTree& tree,
+                           const std::string& path) {
+  KS_ASSIGN_OR_RETURN(PreprocessedSource src, Preprocess(tree, path));
+  return ParseSource(src.text, path);
+}
+
+ks::Result<std::string> CompileToAsm(const kdiff::SourceTree& tree,
+                                     const std::string& path,
+                                     const CompileOptions& options) {
+  KS_ASSIGN_OR_RETURN(Unit unit, ParseUnit(tree, path));
+  CodegenOptions cg;
+  cg.inline_threshold = options.inline_threshold;
+  return GenerateAsm(unit, cg);
+}
+
+ks::Result<kelf::ObjectFile> CompileUnit(const kdiff::SourceTree& tree,
+                                         const std::string& path,
+                                         const CompileOptions& options) {
+  if (ks::EndsWith(path, ".kvs")) {
+    KS_ASSIGN_OR_RETURN(std::string source, tree.Read(path));
+    return kvx::Assemble(source, path, ToAsmOptions(options));
+  }
+  if (!ks::EndsWith(path, ".kc")) {
+    return ks::InvalidArgument(
+        ks::StrPrintf("%s is not a compilation unit", path.c_str()));
+  }
+  KS_ASSIGN_OR_RETURN(std::string asm_text, CompileToAsm(tree, path, options));
+  ks::Result<kelf::ObjectFile> obj =
+      kvx::Assemble(asm_text, path, ToAsmOptions(options));
+  if (!obj.ok()) {
+    // Assembler rejections of compiler output are kcc bugs; surface the
+    // assembly for debugging.
+    return ks::Internal(ks::StrPrintf(
+        "internal: generated assembly for %s does not assemble: %s",
+        path.c_str(), obj.status().message().c_str()));
+  }
+  return obj;
+}
+
+ks::Result<std::vector<std::string>> IncludeClosure(
+    const kdiff::SourceTree& tree, const std::string& path) {
+  std::vector<std::string> closure{path};
+  if (ks::EndsWith(path, ".kc")) {
+    KS_ASSIGN_OR_RETURN(PreprocessedSource src, Preprocess(tree, path));
+    for (std::string& include : src.includes) {
+      closure.push_back(std::move(include));
+    }
+  }
+  return closure;
+}
+
+ks::Result<std::vector<kelf::ObjectFile>> BuildTree(
+    const kdiff::SourceTree& tree, const CompileOptions& options) {
+  std::vector<kelf::ObjectFile> objects;
+  for (const std::string& path : tree.Paths()) {
+    if (!IsCompilationUnit(path)) {
+      continue;
+    }
+    ks::Result<kelf::ObjectFile> obj = CompileUnit(tree, path, options);
+    if (!obj.ok()) {
+      return obj.status();
+    }
+    objects.push_back(std::move(obj).value());
+  }
+  if (objects.empty()) {
+    return ks::InvalidArgument("source tree has no compilation units");
+  }
+  return objects;
+}
+
+}  // namespace kcc

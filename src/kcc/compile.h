@@ -1,0 +1,69 @@
+// kcc driver: compiles KC compilation units and whole source trees to kelf
+// object files.
+//
+// A source tree contains:
+//   *.kc   KC compilation units (preprocessed, parsed, lowered, assembled)
+//   *.kvs  hand-written KVX assembly units (assembled directly — the
+//          analogue of the kernel's ia32entry.S, §6.3)
+//   *.h    headers, consumed via #include only
+//
+// Builds are deterministic: the same tree and options always produce the
+// same object bytes. That determinism is what lets Ksplice's run-pre check
+// succeed when given the source that actually built the running kernel.
+
+#ifndef KSPLICE_KCC_COMPILE_H_
+#define KSPLICE_KCC_COMPILE_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "kcc/ast.h"
+#include "kdiff/diff.h"
+#include "kelf/objfile.h"
+
+namespace kcc {
+
+struct CompileOptions {
+  // -ffunction-sections / -fdata-sections (paper §3.2). Off reproduces the
+  // monolithic layout running kernels were built with; on is what Ksplice
+  // uses for pre/post builds.
+  bool function_sections = false;
+  bool data_sections = false;
+  // Inlining threshold in AST nodes (see codegen.h). Must match between
+  // the build that produced the running kernel and Ksplice's builds.
+  int inline_threshold = 24;
+  // Function alignment in text.
+  uint32_t func_align = 8;
+};
+
+// Compiles one .kc unit (with #include expansion) or assembles one .kvs
+// unit from `tree`.
+ks::Result<kelf::ObjectFile> CompileUnit(const kdiff::SourceTree& tree,
+                                         const std::string& path,
+                                         const CompileOptions& options);
+
+// Lowers one .kc unit to assembly text (diagnostics / tests).
+ks::Result<std::string> CompileToAsm(const kdiff::SourceTree& tree,
+                                     const std::string& path,
+                                     const CompileOptions& options);
+
+// Parses one .kc unit (with #include expansion) without code generation.
+ks::Result<Unit> ParseUnit(const kdiff::SourceTree& tree,
+                           const std::string& path);
+
+// The include closure of `path`: every file whose contents affect the
+// unit's object code (the unit itself plus transitively included headers).
+ks::Result<std::vector<std::string>> IncludeClosure(
+    const kdiff::SourceTree& tree, const std::string& path);
+
+// True if `path` names a compilation unit (.kc or .kvs, not a header).
+bool IsCompilationUnit(const std::string& path);
+
+// Compiles every compilation unit in `tree`, in path order.
+ks::Result<std::vector<kelf::ObjectFile>> BuildTree(
+    const kdiff::SourceTree& tree, const CompileOptions& options);
+
+}  // namespace kcc
+
+#endif  // KSPLICE_KCC_COMPILE_H_

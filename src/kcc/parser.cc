@@ -1,0 +1,777 @@
+#include "kcc/parser.h"
+
+#include <cassert>
+
+#include "base/strings.h"
+
+namespace kcc {
+
+namespace {
+
+// Hook spellings accepted at file scope (§5.3 of the paper).
+const char* const kHookNames[] = {
+    "ksplice_apply",       "ksplice_pre_apply",  "ksplice_post_apply",
+    "ksplice_reverse",     "ksplice_pre_reverse", "ksplice_post_reverse",
+};
+
+class Parser {
+ public:
+  Parser(const std::vector<Token>& tokens, std::string unit_name)
+      : tokens_(tokens), unit_name_(std::move(unit_name)) {}
+
+  ks::Result<Unit> Run();
+
+ private:
+  // Token access --------------------------------------------------------
+  const Token& Peek(int ahead = 0) const {
+    size_t idx = pos_ + static_cast<size_t>(ahead);
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEof() const { return Peek().kind == TokKind::kEof; }
+
+  bool CheckPunct(std::string_view text) const {
+    return Peek().kind == TokKind::kPunct && Peek().text == text;
+  }
+  bool CheckKeyword(std::string_view text) const {
+    return Peek().kind == TokKind::kKeyword && Peek().text == text;
+  }
+  bool MatchPunct(std::string_view text) {
+    if (CheckPunct(text)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool MatchKeyword(std::string_view text) {
+    if (CheckKeyword(text)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  ks::Status Error(const std::string& message) const {
+    return ks::InvalidArgument(ks::StrPrintf("%s:%d: %s", unit_name_.c_str(),
+                                             Peek().line, message.c_str()));
+  }
+  ks::Status ExpectPunct(std::string_view text) {
+    if (!MatchPunct(text)) {
+      return Error(ks::StrPrintf("expected '%.*s', got '%s'",
+                                 static_cast<int>(text.size()), text.data(),
+                                 Peek().text.c_str()));
+    }
+    return ks::OkStatus();
+  }
+  ks::Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokKind::kIdent) {
+      return Error(ks::StrPrintf("expected identifier, got '%s'",
+                                 Peek().text.c_str()));
+    }
+    return Advance().text;
+  }
+
+  // Types ----------------------------------------------------------------
+  bool AtTypeStart() const {
+    return CheckKeyword("int") || CheckKeyword("char") ||
+           CheckKeyword("void") || CheckKeyword("struct");
+  }
+  ks::Result<TypeRef> ParseBaseType();
+  ks::Result<TypeRef> ParsePointers(TypeRef base);
+
+  // Top level -------------------------------------------------------------
+  ks::Status ParseTop(Unit& unit);
+  ks::Status ParseStructDef(Unit& unit);
+  ks::Status ParseHook(Unit& unit);
+  ks::Status ParseFunctionRest(Unit& unit, TypeRef ret, std::string name,
+                               bool is_static, bool is_inline, int line);
+  ks::Status ParseGlobalRest(Unit& unit, TypeRef type, std::string name,
+                             bool is_static, bool is_extern, int line);
+  ks::Result<std::vector<InitElem>> ParseInitializer(const TypeRef& type);
+  ks::Result<InitElem> ParseInitElem();
+
+  // Statements ------------------------------------------------------------
+  ks::Result<StmtPtr> ParseStmt();
+  ks::Result<StmtPtr> ParseBlock();
+
+  // Expressions -----------------------------------------------------------
+  ks::Result<ExprPtr> ParseExpr() { return ParseAssign(); }
+  ks::Result<ExprPtr> ParseAssign();
+  ks::Result<ExprPtr> ParseBinary(int min_prec);
+  ks::Result<ExprPtr> ParseUnary();
+  ks::Result<ExprPtr> ParsePostfix();
+  ks::Result<ExprPtr> ParsePrimary();
+
+  const std::vector<Token>& tokens_;
+  std::string unit_name_;
+  size_t pos_ = 0;
+};
+
+ks::Result<TypeRef> Parser::ParseBaseType() {
+  if (MatchKeyword("int")) {
+    return Type::Int();
+  }
+  if (MatchKeyword("char")) {
+    return Type::Char();
+  }
+  if (MatchKeyword("void")) {
+    return Type::Void();
+  }
+  if (MatchKeyword("struct")) {
+    KS_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+    return Type::Struct(std::move(name));
+  }
+  return Error("expected type");
+}
+
+ks::Result<TypeRef> Parser::ParsePointers(TypeRef base) {
+  while (MatchPunct("*")) {
+    base = Type::PointerTo(std::move(base));
+  }
+  return base;
+}
+
+ks::Result<Unit> Parser::Run() {
+  Unit unit;
+  unit.name = unit_name_;
+  while (!AtEof()) {
+    KS_RETURN_IF_ERROR(ParseTop(unit));
+  }
+  return unit;
+}
+
+ks::Status Parser::ParseTop(Unit& unit) {
+  // struct definition: "struct NAME {" (otherwise it's a type use).
+  if (CheckKeyword("struct") && Peek(1).kind == TokKind::kIdent &&
+      Peek(2).kind == TokKind::kPunct && Peek(2).text == "{") {
+    return ParseStructDef(unit);
+  }
+  // ksplice hook.
+  if (Peek().kind == TokKind::kIdent) {
+    for (const char* hook : kHookNames) {
+      if (Peek().text == hook) {
+        return ParseHook(unit);
+      }
+    }
+  }
+
+  bool is_static = false;
+  bool is_extern = false;
+  bool is_inline = false;
+  while (true) {
+    if (MatchKeyword("static")) {
+      is_static = true;
+    } else if (MatchKeyword("extern")) {
+      is_extern = true;
+    } else if (MatchKeyword("inline")) {
+      is_inline = true;
+    } else {
+      break;
+    }
+  }
+  int line = Peek().line;
+  KS_ASSIGN_OR_RETURN(TypeRef base, ParseBaseType());
+  KS_ASSIGN_OR_RETURN(TypeRef type, ParsePointers(std::move(base)));
+  KS_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+
+  if (CheckPunct("(")) {
+    if (is_extern) {
+      // `extern` on a prototype is redundant but legal.
+      is_extern = false;
+    }
+    return ParseFunctionRest(unit, std::move(type), std::move(name),
+                             is_static, is_inline, line);
+  }
+  if (is_inline) {
+    return Error("'inline' is only valid on functions");
+  }
+  return ParseGlobalRest(unit, std::move(type), std::move(name), is_static,
+                         is_extern, line);
+}
+
+ks::Status Parser::ParseStructDef(Unit& unit) {
+  MatchKeyword("struct");
+  KS_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+  int line = Peek().line;
+  KS_RETURN_IF_ERROR(ExpectPunct("{"));
+  StructDef def;
+  def.name = std::move(name);
+  def.line = line;
+  while (!MatchPunct("}")) {
+    KS_ASSIGN_OR_RETURN(TypeRef base, ParseBaseType());
+    KS_ASSIGN_OR_RETURN(TypeRef type, ParsePointers(std::move(base)));
+    KS_ASSIGN_OR_RETURN(std::string field, ExpectIdent());
+    if (MatchPunct("[")) {
+      if (Peek().kind != TokKind::kIntLit) {
+        return Error("expected array length");
+      }
+      int len = static_cast<int>(Advance().int_value);
+      KS_RETURN_IF_ERROR(ExpectPunct("]"));
+      type = Type::ArrayOf(std::move(type), len);
+    }
+    KS_RETURN_IF_ERROR(ExpectPunct(";"));
+    def.fields.push_back(StructField{std::move(type), std::move(field)});
+  }
+  KS_RETURN_IF_ERROR(ExpectPunct(";"));
+  if (def.fields.empty()) {
+    return Error("empty struct");
+  }
+  for (const StructDef& existing : unit.structs) {
+    if (existing.name == def.name) {
+      return Error(ks::StrPrintf("duplicate struct '%s'", def.name.c_str()));
+    }
+  }
+  unit.structs.push_back(std::move(def));
+  return ks::OkStatus();
+}
+
+ks::Status Parser::ParseHook(Unit& unit) {
+  std::string spelling = Advance().text;
+  KS_RETURN_IF_ERROR(ExpectPunct("("));
+  KS_ASSIGN_OR_RETURN(std::string func, ExpectIdent());
+  KS_RETURN_IF_ERROR(ExpectPunct(")"));
+  KS_RETURN_IF_ERROR(ExpectPunct(";"));
+  KspliceHook hook;
+  hook.kind = spelling.substr(std::string("ksplice_").size());
+  hook.func = std::move(func);
+  hook.line = Peek().line;
+  unit.hooks.push_back(std::move(hook));
+  return ks::OkStatus();
+}
+
+ks::Status Parser::ParseFunctionRest(Unit& unit, TypeRef ret,
+                                     std::string name, bool is_static,
+                                     bool is_inline, int line) {
+  KS_RETURN_IF_ERROR(ExpectPunct("("));
+  FuncDecl fn;
+  fn.ret = std::move(ret);
+  fn.name = std::move(name);
+  fn.is_static = is_static;
+  fn.is_inline_kw = is_inline;
+  fn.line = line;
+
+  if (MatchKeyword("void") && CheckPunct(")")) {
+    // (void): no parameters.
+  } else if (!CheckPunct(")")) {
+    // We may have consumed "void" as the base of "void *x".
+    bool pending_void = tokens_[pos_ - 1].kind == TokKind::kKeyword &&
+                        tokens_[pos_ - 1].text == "void" &&
+                        !CheckPunct(")");
+    bool first = true;
+    while (true) {
+      TypeRef base;
+      if (first && pending_void) {
+        base = Type::Void();
+      } else {
+        KS_ASSIGN_OR_RETURN(base, ParseBaseType());
+      }
+      first = false;
+      KS_ASSIGN_OR_RETURN(TypeRef type, ParsePointers(std::move(base)));
+      if (type->kind == Type::Kind::kVoid) {
+        return Error("parameter of type void");
+      }
+      // Prototypes may omit parameter names.
+      std::string pname;
+      if (Peek().kind == TokKind::kIdent) {
+        pname = Advance().text;
+      }
+      if (MatchPunct("[")) {
+        KS_RETURN_IF_ERROR(ExpectPunct("]"));
+        type = Type::PointerTo(std::move(type));  // array param decays
+      }
+      fn.params.push_back(ParamDecl{std::move(type), std::move(pname)});
+      if (!MatchPunct(",")) {
+        break;
+      }
+    }
+  }
+  KS_RETURN_IF_ERROR(ExpectPunct(")"));
+
+  if (MatchPunct(";")) {
+    fn.is_definition = false;
+    unit.functions.push_back(std::move(fn));
+    return ks::OkStatus();
+  }
+  KS_ASSIGN_OR_RETURN(fn.body, ParseBlock());
+  fn.is_definition = true;
+  fn.body_size = CountStmtNodes(*fn.body);
+  unit.functions.push_back(std::move(fn));
+  return ks::OkStatus();
+}
+
+ks::Status Parser::ParseGlobalRest(Unit& unit, TypeRef type, std::string name,
+                                   bool is_static, bool is_extern, int line) {
+  GlobalDecl decl;
+  decl.is_static = is_static;
+  decl.is_extern = is_extern;
+  decl.line = line;
+
+  if (MatchPunct("[")) {
+    int len = -1;  // inferred from initializer
+    if (Peek().kind == TokKind::kIntLit) {
+      len = static_cast<int>(Advance().int_value);
+    }
+    KS_RETURN_IF_ERROR(ExpectPunct("]"));
+    type = Type::ArrayOf(std::move(type), len);
+  }
+  decl.type = std::move(type);
+  decl.name = std::move(name);
+
+  if (MatchPunct("=")) {
+    if (decl.is_extern) {
+      return Error("extern declaration with initializer");
+    }
+    KS_ASSIGN_OR_RETURN(decl.init, ParseInitializer(decl.type));
+    decl.has_init = true;
+  }
+  KS_RETURN_IF_ERROR(ExpectPunct(";"));
+
+  // Fix inferred array lengths.
+  if (decl.type->IsArray() && decl.type->array_len < 0) {
+    if (!decl.has_init) {
+      return Error(ks::StrPrintf("array '%s' has no size",
+                                 decl.name.c_str()));
+    }
+    int len = 0;
+    for (const InitElem& elem : decl.init) {
+      len += elem.kind == InitElem::Kind::kStr
+                 ? static_cast<int>(elem.str_value.size()) + 1
+                 : 1;
+    }
+    auto fixed = std::make_shared<Type>(*decl.type);
+    fixed->array_len = len;
+    decl.type = fixed;
+  }
+  unit.globals.push_back(std::move(decl));
+  return ks::OkStatus();
+}
+
+ks::Result<InitElem> Parser::ParseInitElem() {
+  InitElem elem;
+  if (Peek().kind == TokKind::kStrLit) {
+    elem.kind = InitElem::Kind::kStr;
+    elem.str_value = Advance().str_value;
+    return elem;
+  }
+  // Symbol reference: bare identifier or &identifier.
+  if (Peek().kind == TokKind::kIdent ||
+      (CheckPunct("&") && Peek(1).kind == TokKind::kIdent)) {
+    MatchPunct("&");
+    elem.kind = InitElem::Kind::kSym;
+    elem.symbol = Advance().text;
+    return elem;
+  }
+  // Constant expression: parse and fold.
+  KS_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+  if (expr->kind != Expr::Kind::kIntLit) {
+    return Error("initializer is not a constant");
+  }
+  elem.kind = InitElem::Kind::kInt;
+  elem.int_value = expr->int_value;
+  return elem;
+}
+
+ks::Result<std::vector<InitElem>> Parser::ParseInitializer(
+    const TypeRef& type) {
+  std::vector<InitElem> elems;
+  if (MatchPunct("{")) {
+    if (!type->IsArray()) {
+      return Error("brace initializer on non-array");
+    }
+    while (!CheckPunct("}")) {
+      KS_ASSIGN_OR_RETURN(InitElem elem, ParseInitElem());
+      elems.push_back(std::move(elem));
+      if (!MatchPunct(",")) {
+        break;
+      }
+    }
+    KS_RETURN_IF_ERROR(ExpectPunct("}"));
+    return elems;
+  }
+  KS_ASSIGN_OR_RETURN(InitElem elem, ParseInitElem());
+  elems.push_back(std::move(elem));
+  return elems;
+}
+
+// -------------------------------------------------------------------------
+// Statements
+
+ks::Result<StmtPtr> Parser::ParseBlock() {
+  KS_RETURN_IF_ERROR(ExpectPunct("{"));
+  auto block = std::make_unique<Stmt>();
+  block->kind = Stmt::Kind::kBlock;
+  block->line = Peek().line;
+  while (!MatchPunct("}")) {
+    if (AtEof()) {
+      return Error("unterminated block");
+    }
+    KS_ASSIGN_OR_RETURN(StmtPtr stmt, ParseStmt());
+    block->stmts.push_back(std::move(stmt));
+  }
+  return block;
+}
+
+ks::Result<StmtPtr> Parser::ParseStmt() {
+  int line = Peek().line;
+  auto stmt = std::make_unique<Stmt>();
+  stmt->line = line;
+
+  if (CheckPunct("{")) {
+    return ParseBlock();
+  }
+  if (MatchPunct(";")) {
+    stmt->kind = Stmt::Kind::kEmpty;
+    return stmt;
+  }
+  if (MatchKeyword("if")) {
+    stmt->kind = Stmt::Kind::kIf;
+    KS_RETURN_IF_ERROR(ExpectPunct("("));
+    KS_ASSIGN_OR_RETURN(stmt->cond, ParseExpr());
+    KS_RETURN_IF_ERROR(ExpectPunct(")"));
+    KS_ASSIGN_OR_RETURN(stmt->then_body, ParseStmt());
+    if (MatchKeyword("else")) {
+      KS_ASSIGN_OR_RETURN(stmt->else_body, ParseStmt());
+    }
+    return stmt;
+  }
+  if (MatchKeyword("while")) {
+    stmt->kind = Stmt::Kind::kWhile;
+    KS_RETURN_IF_ERROR(ExpectPunct("("));
+    KS_ASSIGN_OR_RETURN(stmt->cond, ParseExpr());
+    KS_RETURN_IF_ERROR(ExpectPunct(")"));
+    KS_ASSIGN_OR_RETURN(stmt->body, ParseStmt());
+    return stmt;
+  }
+  if (MatchKeyword("for")) {
+    stmt->kind = Stmt::Kind::kFor;
+    KS_RETURN_IF_ERROR(ExpectPunct("("));
+    if (!CheckPunct(";")) {
+      KS_ASSIGN_OR_RETURN(stmt->init_stmt, ParseStmt());  // consumes ';'
+    } else {
+      MatchPunct(";");
+    }
+    if (!CheckPunct(";")) {
+      KS_ASSIGN_OR_RETURN(stmt->cond, ParseExpr());
+    }
+    KS_RETURN_IF_ERROR(ExpectPunct(";"));
+    if (!CheckPunct(")")) {
+      KS_ASSIGN_OR_RETURN(stmt->step, ParseExpr());
+    }
+    KS_RETURN_IF_ERROR(ExpectPunct(")"));
+    KS_ASSIGN_OR_RETURN(stmt->body, ParseStmt());
+    return stmt;
+  }
+  if (MatchKeyword("return")) {
+    stmt->kind = Stmt::Kind::kReturn;
+    if (!CheckPunct(";")) {
+      KS_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+    }
+    KS_RETURN_IF_ERROR(ExpectPunct(";"));
+    return stmt;
+  }
+  if (MatchKeyword("break")) {
+    stmt->kind = Stmt::Kind::kBreak;
+    KS_RETURN_IF_ERROR(ExpectPunct(";"));
+    return stmt;
+  }
+  if (MatchKeyword("continue")) {
+    stmt->kind = Stmt::Kind::kContinue;
+    KS_RETURN_IF_ERROR(ExpectPunct(";"));
+    return stmt;
+  }
+
+  // Local declaration?
+  bool is_static_local = false;
+  if (CheckKeyword("static")) {
+    is_static_local = true;
+    MatchKeyword("static");
+  }
+  if (AtTypeStart()) {
+    stmt->kind = Stmt::Kind::kDecl;
+    stmt->is_static_local = is_static_local;
+    KS_ASSIGN_OR_RETURN(TypeRef base, ParseBaseType());
+    KS_ASSIGN_OR_RETURN(TypeRef type, ParsePointers(std::move(base)));
+    KS_ASSIGN_OR_RETURN(stmt->decl_name, ExpectIdent());
+    if (MatchPunct("[")) {
+      if (Peek().kind != TokKind::kIntLit) {
+        return Error("expected array length");
+      }
+      int len = static_cast<int>(Advance().int_value);
+      KS_RETURN_IF_ERROR(ExpectPunct("]"));
+      type = Type::ArrayOf(std::move(type), len);
+    }
+    stmt->decl_type = std::move(type);
+    if (MatchPunct("=")) {
+      KS_ASSIGN_OR_RETURN(stmt->init, ParseExpr());
+    }
+    KS_RETURN_IF_ERROR(ExpectPunct(";"));
+    return stmt;
+  }
+  if (is_static_local) {
+    return Error("expected declaration after 'static'");
+  }
+
+  stmt->kind = Stmt::Kind::kExpr;
+  KS_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+  KS_RETURN_IF_ERROR(ExpectPunct(";"));
+  return stmt;
+}
+
+// -------------------------------------------------------------------------
+// Expressions
+
+namespace {
+
+// Binary operator precedence; higher binds tighter.
+int Precedence(const std::string& op) {
+  if (op == "||") return 1;
+  if (op == "&&") return 2;
+  if (op == "|") return 3;
+  if (op == "^") return 4;
+  if (op == "&") return 5;
+  if (op == "==" || op == "!=") return 6;
+  if (op == "<" || op == "<=" || op == ">" || op == ">=") return 7;
+  if (op == "<<" || op == ">>") return 8;
+  if (op == "+" || op == "-") return 9;
+  if (op == "*" || op == "/" || op == "%") return 10;
+  return -1;
+}
+
+// Folds a binary op over constants; used opportunistically so that trivial
+// arithmetic does not inflate AST size (and thus inlining decisions).
+ExprPtr TryFold(std::string op, ExprPtr lhs, ExprPtr rhs, int line) {
+  auto make = [&](int64_t v) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kIntLit;
+    e->int_value = static_cast<int32_t>(v);
+    e->line = line;
+    return e;
+  };
+  if (lhs->kind == Expr::Kind::kIntLit && rhs->kind == Expr::Kind::kIntLit) {
+    int64_t a = lhs->int_value;
+    int64_t b = rhs->int_value;
+    if (op == "+") return make(a + b);
+    if (op == "-") return make(a - b);
+    if (op == "*") return make(a * b);
+    if (op == "/" && b != 0) return make(a / b);
+    if (op == "%" && b != 0) return make(a % b);
+    if (op == "&") return make(a & b);
+    if (op == "|") return make(a | b);
+    if (op == "^") return make(a ^ b);
+    if (op == "<<" && b >= 0 && b < 32) return make(a << b);
+    if (op == ">>" && b >= 0 && b < 32)
+      return make(static_cast<int64_t>(static_cast<uint32_t>(a) >> b));
+    if (op == "==") return make(a == b ? 1 : 0);
+    if (op == "!=") return make(a != b ? 1 : 0);
+    if (op == "<") return make(a < b ? 1 : 0);
+    if (op == "<=") return make(a <= b ? 1 : 0);
+    if (op == ">") return make(a > b ? 1 : 0);
+    if (op == ">=") return make(a >= b ? 1 : 0);
+  }
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kBinary;
+  e->op = std::move(op);
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  e->line = line;
+  return e;
+}
+
+}  // namespace
+
+ks::Result<ExprPtr> Parser::ParseAssign() {
+  KS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseBinary(1));
+  if (CheckPunct("=") || CheckPunct("+=") || CheckPunct("-=")) {
+    std::string op = Advance().text;
+    int line = Peek().line;
+    KS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAssign());
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kAssign;
+    e->op = std::move(op);
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    e->line = line;
+    return e;
+  }
+  return lhs;
+}
+
+ks::Result<ExprPtr> Parser::ParseBinary(int min_prec) {
+  KS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+  while (Peek().kind == TokKind::kPunct) {
+    int prec = Precedence(Peek().text);
+    if (prec < min_prec) {
+      break;
+    }
+    std::string op = Advance().text;
+    int line = Peek().line;
+    KS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseBinary(prec + 1));
+    lhs = TryFold(std::move(op), std::move(lhs), std::move(rhs), line);
+  }
+  return lhs;
+}
+
+ks::Result<ExprPtr> Parser::ParseUnary() {
+  int line = Peek().line;
+  if (CheckPunct("-") || CheckPunct("!") || CheckPunct("~") ||
+      CheckPunct("*") || CheckPunct("&")) {
+    std::string op = Advance().text;
+    KS_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+    if (operand->kind == Expr::Kind::kIntLit && op != "*" && op != "&") {
+      int64_t v = operand->int_value;
+      operand->int_value = op == "-"   ? -v
+                           : op == "!" ? (v == 0 ? 1 : 0)
+                                       : static_cast<int32_t>(~v);
+      return operand;
+    }
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kUnary;
+    e->op = std::move(op);
+    e->lhs = std::move(operand);
+    e->line = line;
+    return e;
+  }
+  // Cast: "(" type ")" unary
+  if (CheckPunct("(") &&
+      (Peek(1).kind == TokKind::kKeyword &&
+       (Peek(1).text == "int" || Peek(1).text == "char" ||
+        Peek(1).text == "void" || Peek(1).text == "struct"))) {
+    MatchPunct("(");
+    KS_ASSIGN_OR_RETURN(TypeRef base, ParseBaseType());
+    KS_ASSIGN_OR_RETURN(TypeRef type, ParsePointers(std::move(base)));
+    KS_RETURN_IF_ERROR(ExpectPunct(")"));
+    KS_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kCast;
+    e->cast_type = std::move(type);
+    e->lhs = std::move(operand);
+    e->line = line;
+    return e;
+  }
+  if (MatchKeyword("sizeof")) {
+    KS_RETURN_IF_ERROR(ExpectPunct("("));
+    KS_ASSIGN_OR_RETURN(TypeRef base, ParseBaseType());
+    KS_ASSIGN_OR_RETURN(TypeRef type, ParsePointers(std::move(base)));
+    KS_RETURN_IF_ERROR(ExpectPunct(")"));
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kSizeof;
+    e->sizeof_type = std::move(type);
+    e->line = line;
+    return e;
+  }
+  return ParsePostfix();
+}
+
+ks::Result<ExprPtr> Parser::ParsePostfix() {
+  KS_ASSIGN_OR_RETURN(ExprPtr expr, ParsePrimary());
+  while (true) {
+    int line = Peek().line;
+    if (MatchPunct("[")) {
+      KS_ASSIGN_OR_RETURN(ExprPtr index, ParseExpr());
+      KS_RETURN_IF_ERROR(ExpectPunct("]"));
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kIndex;
+      e->lhs = std::move(expr);
+      e->rhs = std::move(index);
+      e->line = line;
+      expr = std::move(e);
+      continue;
+    }
+    if (MatchPunct(".")) {
+      KS_ASSIGN_OR_RETURN(std::string member, ExpectIdent());
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kMember;
+      e->lhs = std::move(expr);
+      e->member = std::move(member);
+      e->line = line;
+      expr = std::move(e);
+      continue;
+    }
+    if (MatchPunct("->")) {
+      KS_ASSIGN_OR_RETURN(std::string member, ExpectIdent());
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kArrow;
+      e->lhs = std::move(expr);
+      e->member = std::move(member);
+      e->line = line;
+      expr = std::move(e);
+      continue;
+    }
+    if (CheckPunct("++") || CheckPunct("--")) {
+      std::string op = Advance().text;
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kPostIncDec;
+      e->op = std::move(op);
+      e->lhs = std::move(expr);
+      e->line = line;
+      expr = std::move(e);
+      continue;
+    }
+    break;
+  }
+  return expr;
+}
+
+ks::Result<ExprPtr> Parser::ParsePrimary() {
+  int line = Peek().line;
+  if (Peek().kind == TokKind::kIntLit || Peek().kind == TokKind::kCharLit) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kIntLit;
+    e->int_value = Advance().int_value;
+    e->line = line;
+    return e;
+  }
+  if (Peek().kind == TokKind::kStrLit) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kStrLit;
+    e->str_value = Advance().str_value;
+    e->line = line;
+    return e;
+  }
+  if (MatchPunct("(")) {
+    KS_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+    KS_RETURN_IF_ERROR(ExpectPunct(")"));
+    return inner;
+  }
+  if (Peek().kind == TokKind::kIdent) {
+    std::string name = Advance().text;
+    if (MatchPunct("(")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kCall;
+      e->name = std::move(name);
+      e->line = line;
+      if (!CheckPunct(")")) {
+        while (true) {
+          KS_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          e->args.push_back(std::move(arg));
+          if (!MatchPunct(",")) {
+            break;
+          }
+        }
+      }
+      KS_RETURN_IF_ERROR(ExpectPunct(")"));
+      return e;
+    }
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kVar;
+    e->name = std::move(name);
+    e->line = line;
+    return e;
+  }
+  return Error(ks::StrPrintf("unexpected token '%s'", Peek().text.c_str()));
+}
+
+}  // namespace
+
+ks::Result<Unit> Parse(const std::vector<Token>& tokens,
+                       std::string unit_name) {
+  Parser parser(tokens, std::move(unit_name));
+  return parser.Run();
+}
+
+ks::Result<Unit> ParseSource(std::string_view source, std::string unit_name) {
+  KS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source, unit_name));
+  return Parse(tokens, std::move(unit_name));
+}
+
+}  // namespace kcc

@@ -1,0 +1,65 @@
+#include "kcc/preprocess.h"
+
+#include <set>
+
+#include "base/strings.h"
+
+namespace kcc {
+
+namespace {
+
+ks::Status Expand(const kdiff::SourceTree& tree, const std::string& path,
+                  std::set<std::string>& seen, std::string& out,
+                  std::vector<std::string>& includes, int depth) {
+  if (depth > 32) {
+    return ks::InvalidArgument(
+        ks::StrPrintf("%s: include nesting too deep", path.c_str()));
+  }
+  ks::Result<std::string> contents = tree.Read(path);
+  if (!contents.ok()) {
+    return ks::Status(contents.status()).WithContext("preprocess");
+  }
+  int line_no = 0;
+  for (const std::string& line : ks::SplitLines(*contents)) {
+    ++line_no;
+    std::string_view trimmed = ks::Trim(line);
+    if (!ks::StartsWith(trimmed, "#")) {
+      out += line;
+      out += '\n';
+      continue;
+    }
+    std::string_view rest = ks::Trim(trimmed.substr(1));
+    if (!ks::StartsWith(rest, "include")) {
+      return ks::InvalidArgument(ks::StrPrintf(
+          "%s:%d: unsupported preprocessor directive '%s'", path.c_str(),
+          line_no, std::string(trimmed).c_str()));
+    }
+    rest = ks::Trim(rest.substr(std::string("include").size()));
+    if (rest.size() < 2 || rest.front() != '"' || rest.back() != '"') {
+      return ks::InvalidArgument(
+          ks::StrPrintf("%s:%d: #include needs a quoted tree-relative path",
+                        path.c_str(), line_no));
+    }
+    std::string target(rest.substr(1, rest.size() - 2));
+    if (seen.count(target) != 0) {
+      continue;  // include-once
+    }
+    seen.insert(target);
+    includes.push_back(target);
+    KS_RETURN_IF_ERROR(Expand(tree, target, seen, out, includes, depth + 1));
+  }
+  return ks::OkStatus();
+}
+
+}  // namespace
+
+ks::Result<PreprocessedSource> Preprocess(const kdiff::SourceTree& tree,
+                                          const std::string& path) {
+  PreprocessedSource result;
+  std::set<std::string> seen{path};
+  KS_RETURN_IF_ERROR(
+      Expand(tree, path, seen, result.text, result.includes, 0));
+  return result;
+}
+
+}  // namespace kcc

@@ -1,0 +1,35 @@
+// Minimal preprocessor for KC: `#include "path"` textual inclusion from a
+// SourceTree, include-once semantics, no macros.
+//
+// Headers are how the paper's §3.1 example arises: a patch that changes a
+// prototype in a header changes the *object code* of every unit that
+// includes it, even though those units' own source is untouched. The
+// build system (ksplice::prepost) therefore recompiles a unit when any
+// file in its include closure changed.
+
+#ifndef KSPLICE_KCC_PREPROCESS_H_
+#define KSPLICE_KCC_PREPROCESS_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "kdiff/diff.h"
+
+namespace kcc {
+
+struct PreprocessedSource {
+  std::string text;                   // unit with includes spliced in
+  std::vector<std::string> includes;  // files read, excluding the unit itself
+};
+
+// Expands `#include "path"` lines in `path` against `tree`. Include paths
+// are tree-relative. Each file is included at most once per unit; cycles
+// are therefore harmless. Lines of included files are passed through
+// verbatim (they carry no file/line mapping; diagnostics cite the unit).
+ks::Result<PreprocessedSource> Preprocess(const kdiff::SourceTree& tree,
+                                          const std::string& path);
+
+}  // namespace kcc
+
+#endif  // KSPLICE_KCC_PREPROCESS_H_

@@ -1,0 +1,184 @@
+#include "kelf/link.h"
+
+#include <map>
+
+#include "base/endian.h"
+#include "base/strings.h"
+
+namespace kelf {
+
+namespace {
+
+uint32_t AlignUp(uint32_t value, uint32_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+// Layout pass ordering: code first, then initialized data and note metadata,
+// then zero-initialized data. Mirrors a conventional kernel image layout.
+int LayoutPass(SectionKind kind) {
+  switch (kind) {
+    case SectionKind::kText:
+      return 0;
+    case SectionKind::kData:
+    case SectionKind::kNote:
+      return 1;
+    case SectionKind::kBss:
+      return 2;
+  }
+  return 3;
+}
+
+}  // namespace
+
+ks::Result<LinkedImage> Linker::Link(uint32_t base) const {
+  for (const ObjectFile& obj : objects_) {
+    ks::Status st = obj.Validate();
+    if (!st.ok()) {
+      return st.WithContext(
+          ks::StrPrintf("linking %s", obj.source_name().c_str()));
+    }
+  }
+
+  // Section addresses, indexed [object][section].
+  std::vector<std::vector<uint32_t>> section_addr(objects_.size());
+  for (size_t oi = 0; oi < objects_.size(); ++oi) {
+    section_addr[oi].assign(objects_[oi].sections().size(), 0);
+  }
+
+  LinkedImage image;
+  image.base = base;
+
+  uint32_t cursor = base;
+  for (int pass = 0; pass <= 2; ++pass) {
+    for (size_t oi = 0; oi < objects_.size(); ++oi) {
+      const ObjectFile& obj = objects_[oi];
+      for (size_t si = 0; si < obj.sections().size(); ++si) {
+        const Section& sec = obj.sections()[si];
+        if (LayoutPass(sec.kind) != pass) {
+          continue;
+        }
+        cursor = AlignUp(cursor, sec.align);
+        section_addr[oi][si] = cursor;
+        image.placements.push_back(PlacedSection{
+            .unit = obj.source_name(),
+            .name = sec.name,
+            .kind = sec.kind,
+            .address = cursor,
+            .size = sec.size(),
+        });
+        cursor += sec.size();
+      }
+    }
+  }
+  image.bytes.assign(cursor - base, 0);
+
+  // Copy section payloads (bss stays zero).
+  {
+    size_t placement_idx = 0;
+    for (int pass = 0; pass <= 2; ++pass) {
+      for (size_t oi = 0; oi < objects_.size(); ++oi) {
+        const ObjectFile& obj = objects_[oi];
+        for (size_t si = 0; si < obj.sections().size(); ++si) {
+          const Section& sec = obj.sections()[si];
+          if (LayoutPass(sec.kind) != pass) {
+            continue;
+          }
+          uint32_t addr = section_addr[oi][si];
+          if (!sec.bytes.empty()) {
+            std::copy(sec.bytes.begin(), sec.bytes.end(),
+                      image.bytes.begin() + (addr - base));
+          }
+          ++placement_idx;
+        }
+      }
+    }
+    (void)placement_idx;
+  }
+
+  // Global symbol table: name -> address. Duplicate globals are an error.
+  std::map<std::string, uint32_t> globals;
+  for (size_t oi = 0; oi < objects_.size(); ++oi) {
+    const ObjectFile& obj = objects_[oi];
+    for (const Symbol& sym : obj.symbols()) {
+      if (!sym.defined() || sym.binding != SymbolBinding::kGlobal) {
+        continue;
+      }
+      uint32_t addr =
+          section_addr[oi][static_cast<size_t>(sym.section)] + sym.value;
+      auto [it, inserted] = globals.emplace(sym.name, addr);
+      if (!inserted) {
+        return ks::AlreadyExists(ks::StrPrintf(
+            "link: multiple definitions of global '%s' (second in %s)",
+            sym.name.c_str(), obj.source_name().c_str()));
+      }
+    }
+  }
+
+  // Emit the kallsyms-like table: every defined symbol, locals included.
+  for (size_t oi = 0; oi < objects_.size(); ++oi) {
+    const ObjectFile& obj = objects_[oi];
+    for (const Symbol& sym : obj.symbols()) {
+      if (!sym.defined()) {
+        continue;
+      }
+      image.symbols.push_back(LinkedSymbol{
+          .name = sym.name,
+          .address =
+              section_addr[oi][static_cast<size_t>(sym.section)] + sym.value,
+          .size = sym.size,
+          .binding = sym.binding,
+          .kind = sym.kind,
+          .unit = obj.source_name(),
+      });
+    }
+  }
+
+  // Resolve relocations.
+  for (size_t oi = 0; oi < objects_.size(); ++oi) {
+    const ObjectFile& obj = objects_[oi];
+    for (size_t si = 0; si < obj.sections().size(); ++si) {
+      const Section& sec = obj.sections()[si];
+      uint32_t sec_addr = section_addr[oi][si];
+      for (const Relocation& rel : sec.relocs) {
+        const Symbol& sym = obj.symbols()[static_cast<size_t>(rel.symbol)];
+        uint32_t s_value = 0;
+        if (sym.defined()) {
+          s_value =
+              section_addr[oi][static_cast<size_t>(sym.section)] + sym.value;
+        } else {
+          auto it = globals.find(sym.name);
+          if (it != globals.end()) {
+            s_value = it->second;
+          } else if (external_resolver_) {
+            std::optional<uint32_t> ext = external_resolver_(sym.name);
+            if (!ext.has_value()) {
+              return ks::NotFound(ks::StrPrintf(
+                  "link: undefined symbol '%s' referenced from %s",
+                  sym.name.c_str(), obj.source_name().c_str()));
+            }
+            s_value = *ext;
+          } else {
+            return ks::NotFound(ks::StrPrintf(
+                "link: undefined symbol '%s' referenced from %s",
+                sym.name.c_str(), obj.source_name().c_str()));
+          }
+        }
+        uint32_t p = sec_addr + rel.offset;
+        uint32_t word = 0;
+        switch (rel.type) {
+          case RelocType::kAbs32:
+            word = s_value + static_cast<uint32_t>(rel.addend);
+            break;
+          case RelocType::kPcrel32:
+            word = s_value + static_cast<uint32_t>(rel.addend) - p;
+            break;
+        }
+        ks::WriteLe32(image.bytes.data() + (p - base), word);
+      }
+    }
+  }
+
+  return image;
+}
+
+}  // namespace kelf

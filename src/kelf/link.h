@@ -1,0 +1,80 @@
+// The kelf static linker: lays out object sections at image addresses and
+// resolves relocations. Used both to produce the boot kernel image and, by
+// the simulated kernel's module loader, to link modules against the live
+// kernel's exported symbols.
+
+#ifndef KSPLICE_KELF_LINK_H_
+#define KSPLICE_KELF_LINK_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "kelf/objfile.h"
+
+namespace kelf {
+
+// One kallsyms-like entry of the linked image. Local symbols from different
+// units may share names; the table preserves all of them.
+struct LinkedSymbol {
+  std::string name;
+  uint32_t address = 0;
+  uint32_t size = 0;
+  SymbolBinding binding = SymbolBinding::kLocal;
+  SymbolKind kind = SymbolKind::kNone;
+  std::string unit;  // source_name of the defining object file
+};
+
+// Placement of one input section in the linked image.
+struct PlacedSection {
+  std::string unit;
+  std::string name;
+  SectionKind kind = SectionKind::kText;
+  uint32_t address = 0;
+  uint32_t size = 0;
+};
+
+// Result of a link: a flat byte image covering [base, base + bytes.size()),
+// with bss materialized as zeroes, plus the symbol table and placements.
+struct LinkedImage {
+  uint32_t base = 0;
+  std::vector<uint8_t> bytes;
+  std::vector<LinkedSymbol> symbols;
+  std::vector<PlacedSection> placements;
+
+  uint32_t end() const {
+    return base + static_cast<uint32_t>(bytes.size());
+  }
+};
+
+class Linker {
+ public:
+  // Resolves imports that no added object defines (e.g. kernel exports when
+  // linking a module). Returns the symbol's address, or nullopt if unknown.
+  using ExternalResolver =
+      std::function<std::optional<uint32_t>(const std::string&)>;
+
+  void AddObject(ObjectFile object) {
+    objects_.push_back(std::move(object));
+  }
+
+  void set_external_resolver(ExternalResolver resolver) {
+    external_resolver_ = std::move(resolver);
+  }
+
+  // Lays out all added objects starting at `base` (text, then data/note,
+  // then bss), resolves every relocation, and returns the image.
+  // Errors: duplicate global definitions, unresolvable imports, malformed
+  // objects.
+  ks::Result<LinkedImage> Link(uint32_t base) const;
+
+ private:
+  std::vector<ObjectFile> objects_;
+  ExternalResolver external_resolver_;
+};
+
+}  // namespace kelf
+
+#endif  // KSPLICE_KELF_LINK_H_

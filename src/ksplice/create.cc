@@ -1,0 +1,226 @@
+#include "ksplice/create.h"
+
+#include <map>
+#include <set>
+
+#include "base/strings.h"
+
+namespace ksplice {
+
+namespace {
+
+uint32_t Fnv32(std::string_view data) {
+  uint32_t hash = 2166136261u;
+  for (char c : data) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+// Extracts the primary object for one rebuilt unit: the changed/new
+// sections with relocations rewritten for in-kernel resolution.
+ks::Result<std::optional<kelf::ObjectFile>> ExtractPrimary(
+    const std::string& unit, const kelf::ObjectFile& pre_obj,
+    const kelf::ObjectFile& post_obj,
+    const std::vector<ChangedSection>& changed) {
+  // Which post sections are included?
+  std::set<std::string> included_names;
+  for (const ChangedSection& change : changed) {
+    if (change.unit != unit || change.change == SectionChange::kRemoved) {
+      continue;
+    }
+    included_names.insert(change.name);
+  }
+  // Hook tables ride along only when this patch introduced or changed
+  // them (they are in `changed` then). Hooks already present in the pre
+  // source belong to a previously-applied update and must not re-run.
+  if (included_names.empty()) {
+    return std::optional<kelf::ObjectFile>();
+  }
+
+  // Pre-existing exported globals must not be re-exported by the primary
+  // module (the old definition stays live); demote them to local binding.
+  std::set<std::string> pre_globals;
+  for (const kelf::Symbol& sym : pre_obj.symbols()) {
+    if (sym.defined() && sym.binding == kelf::SymbolBinding::kGlobal) {
+      pre_globals.insert(sym.name);
+    }
+  }
+
+  kelf::ObjectFile primary(unit);
+  std::map<int, int> section_map;  // post section index -> primary index
+  for (size_t si = 0; si < post_obj.sections().size(); ++si) {
+    const kelf::Section& section = post_obj.sections()[si];
+    if (included_names.count(section.name) == 0) {
+      continue;
+    }
+    kelf::Section copy = section;
+    copy.relocs.clear();  // rewritten below
+    section_map[static_cast<int>(si)] = primary.AddSection(std::move(copy));
+  }
+
+  // Defined symbols of included sections carry over.
+  std::map<int, int> symbol_map;  // post symbol index -> primary index
+  for (size_t yi = 0; yi < post_obj.symbols().size(); ++yi) {
+    const kelf::Symbol& sym = post_obj.symbols()[yi];
+    if (!sym.defined() || section_map.count(sym.section) == 0) {
+      continue;
+    }
+    kelf::Symbol copy = sym;
+    copy.section = section_map[sym.section];
+    if (pre_globals.count(copy.name) != 0) {
+      copy.binding = kelf::SymbolBinding::kLocal;
+    }
+    symbol_map[static_cast<int>(yi)] = primary.AddSymbol(std::move(copy));
+  }
+
+  // Imports, deduplicated by final (possibly scoped) name.
+  std::map<std::string, int> imports;
+  auto import_symbol = [&](const std::string& name) {
+    auto it = imports.find(name);
+    if (it != imports.end()) {
+      return it->second;
+    }
+    kelf::Symbol sym;
+    sym.name = name;
+    sym.binding = kelf::SymbolBinding::kGlobal;
+    sym.section = kelf::kUndefSection;
+    int idx = primary.AddSymbol(std::move(sym));
+    imports.emplace(name, idx);
+    return idx;
+  };
+
+  // Rewrite relocations.
+  for (const auto& [post_idx, primary_idx] : section_map) {
+    const kelf::Section& post_sec =
+        post_obj.sections()[static_cast<size_t>(post_idx)];
+    kelf::Section& primary_sec =
+        primary.sections()[static_cast<size_t>(primary_idx)];
+    for (const kelf::Relocation& rel : post_sec.relocs) {
+      const kelf::Symbol& sym =
+          post_obj.symbols()[static_cast<size_t>(rel.symbol)];
+      kelf::Relocation copy = rel;
+      if (sym.defined() && symbol_map.count(rel.symbol) != 0) {
+        // Reference to another extracted section: package-internal.
+        copy.symbol = symbol_map[rel.symbol];
+      } else if (sym.defined()) {
+        // Reference to a non-extracted part of this unit: the replacement
+        // code must use the *running* kernel's copy. Exported globals
+        // resolve through kallsyms; unit-local symbols need run-pre
+        // recovered values, so scope them.
+        if (sym.binding == kelf::SymbolBinding::kGlobal) {
+          copy.symbol = import_symbol(sym.name);
+        } else {
+          copy.symbol = import_symbol(ScopedName(unit, sym.name));
+        }
+        if (sym.value != 0) {
+          // A mid-section symbol would need value adjustment; kcc emits
+          // exactly one symbol per section at offset zero.
+          return ks::Unimplemented(ks::StrPrintf(
+              "extraction: reference to mid-section symbol '%s'",
+              sym.name.c_str()));
+        }
+      } else {
+        // Already an import (cross-unit / kernel export / new package
+        // global defined by another unit's primary object).
+        copy.symbol = import_symbol(sym.name);
+      }
+      primary_sec.relocs.push_back(copy);
+    }
+  }
+
+  KS_RETURN_IF_ERROR(primary.Validate());
+  return std::optional<kelf::ObjectFile>(std::move(primary));
+}
+
+}  // namespace
+
+ks::Result<CreateResult> CreateUpdate(const kdiff::SourceTree& pre_tree,
+                                      std::string_view patch_text,
+                                      const CreateOptions& options) {
+  ks::Result<kdiff::Patch> patch = kdiff::ParseUnifiedDiff(patch_text);
+  if (!patch.ok()) {
+    return ks::Status(patch.status()).WithContext("ksplice-create");
+  }
+  KS_ASSIGN_OR_RETURN(PrePostResult prepost,
+                      RunPrePost(pre_tree, *patch, options.compile));
+
+  // Data-semantics gate (paper §2, Table 1).
+  std::vector<ChangedSection> data_changes = prepost.DataSemanticChanges();
+  if (!data_changes.empty()) {
+    std::string names;
+    for (const ChangedSection& change : data_changes) {
+      if (!names.empty()) {
+        names += ", ";
+      }
+      names += change.unit + ":" + change.name;
+    }
+    return ks::FailedPrecondition(ks::StrPrintf(
+        "patch changes the semantics of persistent data (%s); revise the "
+        "patch to initialize at apply time with ksplice_apply custom code",
+        names.c_str()));
+  }
+
+  CreateResult result;
+  result.prepost = prepost;
+  result.package.id =
+      !options.id.empty()
+          ? options.id
+          : ks::StrPrintf("ksplice-%08x",
+                          Fnv32(std::string(patch_text)));
+
+  bool any_code_change = false;
+  for (size_t ui = 0; ui < prepost.rebuilt_units.size(); ++ui) {
+    const std::string& unit = prepost.rebuilt_units[ui];
+    KS_ASSIGN_OR_RETURN(
+        std::optional<kelf::ObjectFile> primary,
+        ExtractPrimary(unit, prepost.pre_objects[ui],
+                       prepost.post_objects[ui], prepost.changed));
+    if (!primary.has_value()) {
+      continue;
+    }
+    any_code_change = true;
+    result.package.primary_objects.push_back(std::move(*primary));
+    result.package.helper_objects.push_back(prepost.pre_objects[ui]);
+  }
+  if (!any_code_change) {
+    return ks::FailedPrecondition(
+        "patch produces no object code differences — nothing to update");
+  }
+
+  for (const ChangedSection& change : prepost.changed) {
+    if (change.kind != kelf::SectionKind::kText ||
+        change.change != SectionChange::kModified) {
+      continue;
+    }
+    if (change.symbol.empty()) {
+      return ks::Internal(ks::StrPrintf(
+          "changed text section %s has no defining symbol",
+          change.name.c_str()));
+    }
+    result.package.targets.push_back(
+        Target{change.unit, change.symbol, change.name});
+  }
+  if (result.package.targets.empty()) {
+    // A package with no function replacements is still meaningful when it
+    // carries custom-code hooks (a pure data fix applied under
+    // stop_machine, §5.3). Anything else is an empty update.
+    bool has_hooks = false;
+    for (const kelf::ObjectFile& primary : result.package.primary_objects) {
+      for (const kelf::Section& section : primary.sections()) {
+        if (section.kind == kelf::SectionKind::kNote) {
+          has_hooks = true;
+        }
+      }
+    }
+    if (!has_hooks) {
+      return ks::FailedPrecondition(
+          "patch adds code but modifies no existing function — nothing to "
+          "splice");
+    }
+  }
+  return result;
+}
+
+}  // namespace ksplice

@@ -1,0 +1,47 @@
+// ksplice-create (paper §5): turn the original kernel source plus a
+// unified-diff patch into an update package.
+//
+// Pipeline: apply the patch to a scratch copy of the source, build pre and
+// post objects for every affected unit (prepost.h), reject patches that
+// change the semantics of persistent data (Table 1 — those need custom
+// code expressed as ksplice_* hooks in a revised patch), then extract the
+// changed post sections into primary objects, rewriting relocations so
+// that references to non-extracted code resolve against the running
+// kernel (via exported symbols or run-pre recovered values).
+
+#ifndef KSPLICE_KSPLICE_CREATE_H_
+#define KSPLICE_KSPLICE_CREATE_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "kcc/compile.h"
+#include "kdiff/diff.h"
+#include "ksplice/package.h"
+#include "ksplice/prepost.h"
+
+namespace ksplice {
+
+struct CreateOptions {
+  // Compiler configuration; must match how the running kernel was built
+  // ("doing so is advisable", §4.3 — a mismatch makes run-pre abort).
+  kcc::CompileOptions compile;
+  // Package id; derived from the patch contents when empty.
+  std::string id;
+};
+
+struct CreateResult {
+  UpdatePackage package;
+  PrePostResult prepost;  // kept for reporting/analysis
+};
+
+// Builds an update package from `pre_tree` and a unified-diff `patch_text`.
+// Fails with kFailedPrecondition when the patch changes persistent data
+// semantics (changed .data/.bss sections), listing the offending sections.
+ks::Result<CreateResult> CreateUpdate(const kdiff::SourceTree& pre_tree,
+                                      std::string_view patch_text,
+                                      const CreateOptions& options);
+
+}  // namespace ksplice
+
+#endif  // KSPLICE_KSPLICE_CREATE_H_

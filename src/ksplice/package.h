@@ -1,0 +1,59 @@
+// The Ksplice update package: the artifact ksplice-create writes and
+// ksplice-apply consumes (the paper's ksplice-xxxxxx.tar.gz, §5).
+//
+// A package carries:
+//  - helper objects: the complete pre-build object of every rebuilt
+//    compilation unit. The helper "must contain the entire optimization
+//    unit corresponding to each patched function" (§5.1) because run-pre
+//    matching recovers local symbol values from *unchanged* neighbours.
+//  - primary objects (one per rebuilt unit): the extracted post sections
+//    (changed functions, new data, .ksplice.* hook tables) with their
+//    relocations intact. Imports that must resolve through run-pre
+//    recovered values are scoped "unit::name"; plain names resolve through
+//    exported kernel symbols or package-internal new globals.
+//  - targets: the functions to splice (unit, symbol), i.e. changed
+//    sections that exist in the running kernel.
+
+#ifndef KSPLICE_KSPLICE_PACKAGE_H_
+#define KSPLICE_KSPLICE_PACKAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "kelf/objfile.h"
+
+namespace ksplice {
+
+// Separator between the unit scope and symbol name in scoped imports.
+inline constexpr std::string_view kScopeSeparator = "::";
+
+// Builds/splits scoped import names.
+std::string ScopedName(const std::string& unit, const std::string& symbol);
+// Returns (unit, symbol) if `name` is scoped, nullopt-like empty unit if
+// not.
+struct ScopedSymbol {
+  std::string unit;    // empty => unscoped
+  std::string symbol;
+};
+ScopedSymbol SplitScopedName(const std::string& name);
+
+struct Target {
+  std::string unit;
+  std::string symbol;
+  std::string section;  // post section name, e.g. ".text.foo"
+};
+
+struct UpdatePackage {
+  std::string id;  // e.g. "ksplice-8c4o6u"
+  std::vector<kelf::ObjectFile> helper_objects;
+  std::vector<kelf::ObjectFile> primary_objects;
+  std::vector<Target> targets;
+
+  std::vector<uint8_t> Serialize() const;
+  static ks::Result<UpdatePackage> Parse(const std::vector<uint8_t>& bytes);
+};
+
+}  // namespace ksplice
+
+#endif  // KSPLICE_KSPLICE_PACKAGE_H_

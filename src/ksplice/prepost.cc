@@ -1,0 +1,186 @@
+#include "ksplice/prepost.h"
+
+#include <algorithm>
+#include <set>
+
+#include "base/strings.h"
+
+namespace ksplice {
+
+namespace {
+
+// The defining symbol name for a section, if any.
+std::string DefiningSymbol(const kelf::ObjectFile& obj, int section_idx) {
+  std::optional<int> sym = obj.DefiningSymbolForSection(section_idx);
+  if (!sym.has_value()) {
+    return "";
+  }
+  return obj.symbols()[static_cast<size_t>(*sym)].name;
+}
+
+}  // namespace
+
+std::vector<ChangedSection> PrePostResult::ChangedOfKind(
+    kelf::SectionKind kind) const {
+  std::vector<ChangedSection> out;
+  for (const ChangedSection& section : changed) {
+    if (section.kind == kind) {
+      out.push_back(section);
+    }
+  }
+  return out;
+}
+
+std::vector<ChangedSection> PrePostResult::DataSemanticChanges() const {
+  std::vector<ChangedSection> out;
+  for (const ChangedSection& section : changed) {
+    if (section.kind != kelf::SectionKind::kText &&
+        section.kind != kelf::SectionKind::kNote &&
+        section.change == SectionChange::kModified) {
+      out.push_back(section);
+    }
+  }
+  return out;
+}
+
+bool SectionsEquivalent(const kelf::ObjectFile& pre_obj,
+                        const kelf::Section& pre_sec,
+                        const kelf::ObjectFile& post_obj,
+                        const kelf::Section& post_sec) {
+  if (pre_sec.kind != post_sec.kind || pre_sec.align != post_sec.align ||
+      pre_sec.bytes != post_sec.bytes ||
+      pre_sec.bss_size != post_sec.bss_size ||
+      pre_sec.relocs.size() != post_sec.relocs.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < pre_sec.relocs.size(); ++i) {
+    const kelf::Relocation& a = pre_sec.relocs[i];
+    const kelf::Relocation& b = post_sec.relocs[i];
+    if (a.offset != b.offset || a.type != b.type || a.addend != b.addend) {
+      return false;
+    }
+    const kelf::Symbol& sa = pre_obj.symbols()[static_cast<size_t>(a.symbol)];
+    const kelf::Symbol& sb =
+        post_obj.symbols()[static_cast<size_t>(b.symbol)];
+    if (sa.name != sb.name) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ks::Result<PrePostResult> RunPrePost(const kdiff::SourceTree& pre_tree,
+                                     const kdiff::Patch& patch,
+                                     kcc::CompileOptions options) {
+  // Ksplice's builds always use section-per-function/datum (§3.2).
+  options.function_sections = true;
+  options.data_sections = true;
+
+  ks::Result<kdiff::SourceTree> post_tree = kdiff::ApplyPatch(pre_tree, patch);
+  if (!post_tree.ok()) {
+    return ks::Status(post_tree.status()).WithContext("pre-post: patch");
+  }
+
+  std::set<std::string> touched;
+  for (const std::string& path : patch.TouchedPaths()) {
+    touched.insert(path);
+  }
+
+  // A unit is rebuilt when any file in its include closure (on either
+  // side) was touched, or when the unit itself appears/disappears.
+  std::set<std::string> rebuilt;
+  auto consider = [&](const kdiff::SourceTree& tree,
+                      const std::string& path) -> ks::Status {
+    if (!kcc::IsCompilationUnit(path)) {
+      return ks::OkStatus();
+    }
+    ks::Result<std::vector<std::string>> closure =
+        kcc::IncludeClosure(tree, path);
+    if (!closure.ok()) {
+      // A unit whose includes are broken on one side will fail its build
+      // below with a better message; treat it as rebuilt.
+      rebuilt.insert(path);
+      return ks::OkStatus();
+    }
+    for (const std::string& dep : *closure) {
+      if (touched.count(dep) != 0) {
+        rebuilt.insert(path);
+        break;
+      }
+    }
+    return ks::OkStatus();
+  };
+  for (const std::string& path : pre_tree.Paths()) {
+    KS_RETURN_IF_ERROR(consider(pre_tree, path));
+  }
+  for (const std::string& path : post_tree->Paths()) {
+    KS_RETURN_IF_ERROR(consider(*post_tree, path));
+  }
+
+  PrePostResult result;
+  result.rebuilt_units.assign(rebuilt.begin(), rebuilt.end());
+
+  for (const std::string& unit : result.rebuilt_units) {
+    bool in_pre = pre_tree.Exists(unit);
+    bool in_post = post_tree->Exists(unit);
+
+    kelf::ObjectFile pre_obj(unit);
+    kelf::ObjectFile post_obj(unit);
+    if (in_pre) {
+      ks::Result<kelf::ObjectFile> built =
+          kcc::CompileUnit(pre_tree, unit, options);
+      if (!built.ok()) {
+        return ks::Status(built.status()).WithContext("pre build");
+      }
+      pre_obj = std::move(built).value();
+    }
+    if (in_post) {
+      ks::Result<kelf::ObjectFile> built =
+          kcc::CompileUnit(*post_tree, unit, options);
+      if (!built.ok()) {
+        return ks::Status(built.status()).WithContext("post build");
+      }
+      post_obj = std::move(built).value();
+    }
+
+    // Diff post against pre.
+    for (size_t si = 0; si < post_obj.sections().size(); ++si) {
+      const kelf::Section& post_sec = post_obj.sections()[si];
+      std::optional<int> pre_idx = pre_obj.FindSection(post_sec.name);
+      ChangedSection change;
+      change.unit = unit;
+      change.name = post_sec.name;
+      change.kind = post_sec.kind;
+      change.symbol = DefiningSymbol(post_obj, static_cast<int>(si));
+      if (!pre_idx.has_value()) {
+        change.change = SectionChange::kAdded;
+        result.changed.push_back(std::move(change));
+        continue;
+      }
+      const kelf::Section& pre_sec =
+          pre_obj.sections()[static_cast<size_t>(*pre_idx)];
+      if (!SectionsEquivalent(pre_obj, pre_sec, post_obj, post_sec)) {
+        change.change = SectionChange::kModified;
+        result.changed.push_back(std::move(change));
+      }
+    }
+    for (size_t si = 0; si < pre_obj.sections().size(); ++si) {
+      const kelf::Section& pre_sec = pre_obj.sections()[si];
+      if (!post_obj.FindSection(pre_sec.name).has_value()) {
+        ChangedSection change;
+        change.unit = unit;
+        change.name = pre_sec.name;
+        change.kind = pre_sec.kind;
+        change.change = SectionChange::kRemoved;
+        change.symbol = DefiningSymbol(pre_obj, static_cast<int>(si));
+        result.changed.push_back(std::move(change));
+      }
+    }
+
+    result.pre_objects.push_back(std::move(pre_obj));
+    result.post_objects.push_back(std::move(post_obj));
+  }
+  return result;
+}
+
+}  // namespace ksplice

@@ -1,0 +1,408 @@
+#include "ksplice/runpre.h"
+
+#include <algorithm>
+#include <set>
+
+#include "base/endian.h"
+#include "base/logging.h"
+#include "base/strings.h"
+#include "kvx/isa.h"
+
+namespace ksplice {
+
+namespace {
+
+// Skips no-op instructions from `pos` within `bytes`; returns the first
+// non-nop boundary (or the original position on decode failure).
+uint32_t SkipNops(const std::vector<uint8_t>& bytes, uint32_t pos) {
+  while (pos < bytes.size()) {
+    ks::Result<kvx::Insn> insn = kvx::Decode(
+        std::span<const uint8_t>(bytes).subspan(pos));
+    if (!insn.ok() || !kvx::GetOpInfo(insn->op).is_nop) {
+      break;
+    }
+    pos += insn->len;
+  }
+  return pos;
+}
+
+}  // namespace
+
+ks::Result<RunPreMatcher::LocalMatch> RunPreMatcher::TryMatchText(
+    const kelf::ObjectFile& pre, const kelf::Section& section,
+    uint32_t run_start,
+    const std::map<std::string, uint32_t>& committed) const {
+  auto mismatch = [&](uint32_t pre_pos, const std::string& why) {
+    return ks::Aborted(ks::StrPrintf(
+        "run-pre mismatch in %s %s at pre offset %u (run %s): %s",
+        pre.source_name().c_str(), section.name.c_str(), pre_pos,
+        ks::Hex32(run_start).c_str(), why.c_str()));
+  };
+
+  // Fetch a run window: the run rendering can only be a little shorter
+  // (rel32 -> rel8) or longer (padding) than the pre bytes.
+  uint32_t window = static_cast<uint32_t>(section.bytes.size()) + 256;
+  ks::Result<std::vector<uint8_t>> run_bytes_or =
+      machine_.ReadBytes(run_start, window);
+  if (!run_bytes_or.ok()) {
+    // Clamp at end of memory.
+    uint32_t end = static_cast<uint32_t>(machine_.config().memory_bytes);
+    if (run_start >= end) {
+      return mismatch(0, "candidate address out of range");
+    }
+    run_bytes_or = machine_.ReadBytes(run_start, end - run_start);
+    if (!run_bytes_or.ok()) {
+      return mismatch(0, "candidate address unreadable");
+    }
+  }
+  const std::vector<uint8_t>& run = *run_bytes_or;
+  const std::vector<uint8_t>& code = section.bytes;
+
+  // Relocation lookup by field offset.
+  std::map<uint32_t, const kelf::Relocation*> reloc_at;
+  for (const kelf::Relocation& rel : section.relocs) {
+    reloc_at[rel.offset] = &rel;
+  }
+
+  LocalMatch local;
+  std::map<uint32_t, uint32_t> corr;  // pre offset -> run address
+  struct BranchCheck {
+    uint32_t pre_target;   // section offset
+    uint32_t run_target;   // absolute address
+    uint32_t at;           // diagnostic: pre offset of the branch
+  };
+  std::vector<BranchCheck> checks;
+
+  auto recover = [&](const kelf::Relocation& rel, uint32_t value,
+                     uint32_t p_run) -> ks::Status {
+    uint32_t s = 0;
+    switch (rel.type) {
+      case kelf::RelocType::kAbs32:
+        s = value - static_cast<uint32_t>(rel.addend);
+        break;
+      case kelf::RelocType::kPcrel32:
+        s = value + p_run - static_cast<uint32_t>(rel.addend);
+        break;
+    }
+    const kelf::Symbol& sym =
+        pre.symbols()[static_cast<size_t>(rel.symbol)];
+    // Cross-check against the symbol table: run-pre recovery can resolve
+    // *which* same-named symbol a site refers to, but the recovered value
+    // must still be one of the addresses the kernel knows by that name —
+    // otherwise the "already-relocated value" is corrupt run code, not a
+    // relocation result. (Addresses inside previously-loaded update
+    // modules are in kallsyms too, so stacking still passes.)
+    std::vector<kelf::LinkedSymbol> known = machine_.SymbolsNamed(sym.name);
+    if (!known.empty()) {
+      bool plausible = false;
+      for (const kelf::LinkedSymbol& candidate : known) {
+        if (candidate.address == s) {
+          plausible = true;
+        }
+      }
+      if (!plausible) {
+        return ks::Aborted(ks::StrPrintf(
+            "relocation site recovers '%s' = %s, which matches no symbol "
+            "of that name in the kernel",
+            sym.name.c_str(), ks::Hex32(s).c_str()));
+      }
+    }
+    auto committed_it = committed.find(sym.name);
+    if (committed_it != committed.end() && committed_it->second != s) {
+      return ks::Aborted(ks::StrPrintf(
+          "symbol '%s' recovered as %s but already valued %s",
+          sym.name.c_str(), ks::Hex32(s).c_str(),
+          ks::Hex32(committed_it->second).c_str()));
+    }
+    auto local_it = local.recovered.find(sym.name);
+    if (local_it != local.recovered.end() && local_it->second != s) {
+      return ks::Aborted(ks::StrPrintf(
+          "symbol '%s' recovered inconsistently (%s vs %s)",
+          sym.name.c_str(), ks::Hex32(s).c_str(),
+          ks::Hex32(local_it->second).c_str()));
+    }
+    local.recovered[sym.name] = s;
+    return ks::OkStatus();
+  };
+
+  uint32_t pre_pos = 0;
+  uint32_t run_pos = 0;  // relative to run_start
+  while (pre_pos < code.size()) {
+    corr[pre_pos] = run_start + run_pos;
+    ks::Result<kvx::Insn> pre_insn = kvx::Decode(
+        std::span<const uint8_t>(code).subspan(pre_pos));
+    if (!pre_insn.ok()) {
+      return mismatch(pre_pos, "pre bytes do not decode");
+    }
+    if (kvx::GetOpInfo(pre_insn->op).is_nop) {
+      pre_pos += pre_insn->len;
+      continue;
+    }
+    if (run_pos >= run.size()) {
+      return mismatch(pre_pos, "run code ends early");
+    }
+    ks::Result<kvx::Insn> run_insn = kvx::Decode(
+        std::span<const uint8_t>(run).subspan(run_pos));
+    if (!run_insn.ok()) {
+      return mismatch(pre_pos, "run bytes do not decode");
+    }
+    if (kvx::GetOpInfo(run_insn->op).is_nop) {
+      run_pos += run_insn->len;
+      continue;
+    }
+
+    uint32_t run_insn_end = run_start + run_pos + run_insn->len;
+    uint32_t pre_insn_end = pre_pos + pre_insn->len;
+
+    if (pre_insn->op == run_insn->op) {
+      const kvx::OpInfo& info = kvx::GetOpInfo(pre_insn->op);
+      if (info.has_reg1 && pre_insn->reg1 != run_insn->reg1) {
+        return mismatch(pre_pos, "register operand differs");
+      }
+      if (info.has_reg2 && pre_insn->reg2 != run_insn->reg2) {
+        return mismatch(pre_pos, "register operand differs");
+      }
+      if (info.has_imm8 && pre_insn->imm != run_insn->imm) {
+        return mismatch(pre_pos, "immediate differs");
+      }
+      int field = kvx::Imm32FieldOffset(pre_insn->op);
+      if (field >= 0) {
+        auto rel_it = reloc_at.find(pre_pos + static_cast<uint32_t>(field));
+        if (rel_it != reloc_at.end()) {
+          uint32_t value = ks::ReadLe32(run.data() + run_pos +
+                                        static_cast<uint32_t>(field));
+          uint32_t p_run =
+              run_start + run_pos + static_cast<uint32_t>(field);
+          ks::Status recovered = recover(*rel_it->second, value, p_run);
+          if (!recovered.ok()) {
+            return mismatch(pre_pos, recovered.message());
+          }
+        } else if (info.has_rel32) {
+          checks.push_back(BranchCheck{
+              pre_insn_end + static_cast<uint32_t>(pre_insn->rel),
+              run_insn_end + static_cast<uint32_t>(run_insn->rel),
+              pre_pos});
+        } else if (pre_insn->imm != run_insn->imm) {
+          return mismatch(pre_pos, "immediate differs");
+        }
+      }
+      if (info.has_rel8) {
+        checks.push_back(BranchCheck{
+            pre_insn_end + static_cast<uint32_t>(pre_insn->rel),
+            run_insn_end + static_cast<uint32_t>(run_insn->rel), pre_pos});
+      }
+      pre_pos += pre_insn->len;
+      run_pos += run_insn->len;
+      continue;
+    }
+
+    if (kvx::SameBranchFamily(pre_insn->op, run_insn->op)) {
+      // Same control transfer, different displacement widths (§4.3: the
+      // matcher must know the instruction set well enough to see that the
+      // jumps point to corresponding locations).
+      int field = kvx::Imm32FieldOffset(pre_insn->op);
+      auto rel_it = field >= 0 ? reloc_at.find(pre_pos +
+                                               static_cast<uint32_t>(field))
+                               : reloc_at.end();
+      if (rel_it != reloc_at.end()) {
+        // Pre carries a relocation (cross-section branch); the run target
+        // *is* the symbol value (pcrel32 addend is always -4).
+        uint32_t run_target =
+            run_insn_end + static_cast<uint32_t>(run_insn->rel);
+        const kelf::Relocation& rel = *rel_it->second;
+        if (rel.type != kelf::RelocType::kPcrel32 || rel.addend != -4) {
+          return mismatch(pre_pos, "unexpected relocation on branch");
+        }
+        // Emulate a 4-byte field ending at the run instruction: the stored
+        // value would be run_target - run_insn_end at P = run_insn_end - 4,
+        // so recover() yields S = run_target.
+        ks::Status recovered =
+            recover(rel, run_target - run_insn_end, run_insn_end - 4);
+        if (!recovered.ok()) {
+          return mismatch(pre_pos, recovered.message());
+        }
+      } else {
+        checks.push_back(BranchCheck{
+            pre_insn_end + static_cast<uint32_t>(pre_insn->rel),
+            run_insn_end + static_cast<uint32_t>(run_insn->rel), pre_pos});
+      }
+      pre_pos += pre_insn->len;
+      run_pos += run_insn->len;
+      continue;
+    }
+
+    return mismatch(pre_pos,
+                    ks::StrPrintf("opcode differs (pre %s, run %s)",
+                                  kvx::FormatInsn(*pre_insn).c_str(),
+                                  kvx::FormatInsn(*run_insn).c_str()));
+  }
+  corr[pre_pos] = run_start + run_pos;
+
+  // Validate internal branch correspondences, tolerating no-op padding on
+  // either side of a target.
+  for (const BranchCheck& check : checks) {
+    auto it = corr.find(check.pre_target);
+    if (it == corr.end()) {
+      return mismatch(check.at, "branch targets a non-boundary");
+    }
+    if (it->second == check.run_target) {
+      continue;
+    }
+    uint32_t norm_pre = SkipNops(code, check.pre_target);
+    auto norm_it = corr.find(norm_pre);
+    if (norm_it == corr.end()) {
+      return mismatch(check.at, "branch target does not correspond");
+    }
+    uint32_t expect = norm_it->second;
+    // Normalize the run side too.
+    uint32_t got = check.run_target;
+    if (got >= run_start && got < run_start + run.size()) {
+      got = run_start + SkipNops(run, got - run_start);
+    }
+    if (expect != got) {
+      return mismatch(check.at, "branch target does not correspond");
+    }
+  }
+
+  local.run_size = run_pos;
+  return local;
+}
+
+ks::Result<UnitMatch> RunPreMatcher::MatchUnit(
+    const kelf::ObjectFile& pre) const {
+  UnitMatch match;
+  match.unit = pre.source_name();
+
+  struct PendingSection {
+    int index = 0;
+    std::string symbol;
+  };
+  std::vector<PendingSection> pending;
+  for (size_t si = 0; si < pre.sections().size(); ++si) {
+    const kelf::Section& section = pre.sections()[si];
+    if (section.kind != kelf::SectionKind::kText || section.bytes.empty()) {
+      continue;
+    }
+    std::optional<int> def = pre.DefiningSymbolForSection(
+        static_cast<int>(si));
+    if (!def.has_value()) {
+      return ks::InvalidArgument(ks::StrPrintf(
+          "run-pre: section %s of %s has no defining symbol (was the pre "
+          "build made with -ffunction-sections?)",
+          section.name.c_str(), pre.source_name().c_str()));
+    }
+    pending.push_back(PendingSection{
+        static_cast<int>(si),
+        pre.symbols()[static_cast<size_t>(*def)].name});
+  }
+
+  // Iterate to a fixpoint: each pass matches sections whose candidate set
+  // resolves to exactly one successful address; the committed valuation
+  // then disambiguates harder sections on later passes.
+  while (!pending.empty()) {
+    bool progress = false;
+    std::vector<PendingSection> still_pending;
+    for (const PendingSection& entry : pending) {
+      const kelf::Section& section =
+          pre.sections()[static_cast<size_t>(entry.index)];
+
+      std::vector<uint32_t> candidates;
+      auto valued = match.symbol_values.find(entry.symbol);
+      if (valued != match.symbol_values.end()) {
+        candidates.push_back(valued->second);
+      } else if (redirect_ != nullptr) {
+        std::optional<std::pair<uint32_t, uint32_t>> redirected =
+            redirect_(match.unit, entry.symbol);
+        if (redirected.has_value()) {
+          candidates.push_back(redirected->first);
+        }
+      }
+      if (candidates.empty()) {
+        for (const kelf::LinkedSymbol& sym :
+             machine_.SymbolsNamed(entry.symbol)) {
+          if (sym.kind == kelf::SymbolKind::kFunction) {
+            candidates.push_back(sym.address);
+          }
+        }
+        std::sort(candidates.begin(), candidates.end());
+        candidates.erase(
+            std::unique(candidates.begin(), candidates.end()),
+            candidates.end());
+      }
+      if (candidates.empty()) {
+        return ks::Aborted(ks::StrPrintf(
+            "run-pre: no run candidate for %s (%s in %s) — does the given "
+            "source correspond to the running kernel?",
+            entry.symbol.c_str(), section.name.c_str(),
+            match.unit.c_str()));
+      }
+
+      std::vector<std::pair<uint32_t, LocalMatch>> successes;
+      std::string last_failure;
+      for (uint32_t candidate : candidates) {
+        ks::Result<LocalMatch> attempt =
+            TryMatchText(pre, section, candidate, match.symbol_values);
+        if (attempt.ok()) {
+          successes.emplace_back(candidate, std::move(attempt).value());
+        } else {
+          last_failure = attempt.status().message();
+        }
+      }
+      if (successes.empty()) {
+        return ks::Aborted(ks::StrPrintf(
+            "run-pre: %s in %s matches no candidate (%zu tried): %s",
+            entry.symbol.c_str(), match.unit.c_str(), candidates.size(),
+            last_failure.c_str()));
+      }
+      if (successes.size() > 1) {
+        still_pending.push_back(entry);  // hope valuation will disambiguate
+        continue;
+      }
+
+      // Commit.
+      auto& [address, local] = successes[0];
+      for (const auto& [name, value] : local.recovered) {
+        auto existing = match.symbol_values.find(name);
+        if (existing != match.symbol_values.end() &&
+            existing->second != value) {
+          return ks::Aborted(ks::StrPrintf(
+              "run-pre: symbol '%s' valued inconsistently across sections",
+              name.c_str()));
+        }
+        match.symbol_values[name] = value;
+      }
+      auto own = match.symbol_values.find(entry.symbol);
+      if (own != match.symbol_values.end() && own->second != address) {
+        return ks::Aborted(ks::StrPrintf(
+            "run-pre: section %s matched at %s but '%s' is valued %s",
+            section.name.c_str(), ks::Hex32(address).c_str(),
+            entry.symbol.c_str(), ks::Hex32(own->second).c_str()));
+      }
+      match.symbol_values[entry.symbol] = address;
+      MatchedSection matched;
+      matched.name = section.name;
+      matched.symbol = entry.symbol;
+      matched.run_address = address;
+      matched.run_size = local.run_size;
+      match.sections[section.name] = std::move(matched);
+      progress = true;
+    }
+    if (!progress) {
+      std::string names;
+      for (const PendingSection& entry : still_pending) {
+        if (!names.empty()) {
+          names += ", ";
+        }
+        names += entry.symbol;
+      }
+      return ks::Aborted(ks::StrPrintf(
+          "run-pre: ambiguous symbols could not be resolved in %s: %s",
+          match.unit.c_str(), names.c_str()));
+    }
+    pending = std::move(still_pending);
+  }
+
+  return match;
+}
+
+}  // namespace ksplice

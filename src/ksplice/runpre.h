@@ -1,0 +1,93 @@
+// Run-pre matching (paper §4): verify that the pre object code corresponds
+// to the code actually running, and recover symbol values — including
+// ambiguous local symbols — from already-relocated run bytes.
+//
+// For every text section of a pre object (the helper carries every section
+// of each rebuilt unit), the matcher:
+//
+//  1. collects candidate run addresses for the section's defining symbol
+//     from kallsyms (all same-named symbols — locals collide) or, when the
+//     function was already hot-patched, from the redirect callback, which
+//     points at "the latest Ksplice replacement code already in the
+//     kernel" (§5.4);
+//  2. walks pre and run code instruction by instruction, using the ISA's
+//     length table, skipping no-op padding independently on each side, and
+//     tolerating rel8-vs-rel32 encodings of the same branch as long as the
+//     targets correspond (§4.3);
+//  3. at each pre relocation site, inverts the relocation algebra against
+//     the already-relocated run word: S = val + P_run − A (pc-relative) or
+//     S = val − A (absolute), accumulating a symbol valuation that must be
+//     globally consistent;
+//  4. accepts a candidate only if every byte corresponds; a section whose
+//     symbol name is ambiguous is matched against every candidate, and
+//     ambiguity is resolved by code content plus valuation constraints
+//     propagated from other sections. Residual ambiguity or any run/pre
+//     difference aborts the update (§4.3, §6.2 criterion (a)/(b)).
+
+#ifndef KSPLICE_KSPLICE_RUNPRE_H_
+#define KSPLICE_KSPLICE_RUNPRE_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "base/status.h"
+#include "kelf/objfile.h"
+#include "kvm/machine.h"
+
+namespace ksplice {
+
+// Where a pre text section was found in the running kernel.
+struct MatchedSection {
+  std::string name;     // section name, e.g. ".text.foo"
+  std::string symbol;   // defining symbol
+  uint32_t run_address = 0;
+  uint32_t run_size = 0;  // bytes of run code covered by the match
+};
+
+// Everything recovered by matching one compilation unit.
+struct UnitMatch {
+  std::string unit;
+  // Symbol name -> run address. Contains the unit's own symbols (sections
+  // matched by content) and every symbol recovered from relocation sites,
+  // including imports from other units.
+  std::map<std::string, uint32_t> symbol_values;
+  std::map<std::string, MatchedSection> sections;  // keyed by section name
+};
+
+// Stacking hook (§5.4): returns the address/size of the current replacement
+// code for (unit, symbol) if that function is already hot-patched.
+using PatchRedirect =
+    std::function<std::optional<std::pair<uint32_t, uint32_t>>(
+        const std::string& unit, const std::string& symbol)>;
+
+class RunPreMatcher {
+ public:
+  explicit RunPreMatcher(const kvm::Machine& machine,
+                         PatchRedirect redirect = nullptr)
+      : machine_(machine), redirect_(std::move(redirect)) {}
+
+  // Matches every text section of `pre` against the run image.
+  ks::Result<UnitMatch> MatchUnit(const kelf::ObjectFile& pre) const;
+
+ private:
+  struct LocalMatch {
+    std::map<std::string, uint32_t> recovered;  // symbol name -> address
+    uint32_t run_size = 0;
+  };
+
+  // Attempts to match one section at `run_start`; `committed` carries the
+  // valuation accumulated so far (a conflicting recovery fails the match).
+  ks::Result<LocalMatch> TryMatchText(
+      const kelf::ObjectFile& pre, const kelf::Section& section,
+      uint32_t run_start,
+      const std::map<std::string, uint32_t>& committed) const;
+
+  const kvm::Machine& machine_;
+  PatchRedirect redirect_;
+};
+
+}  // namespace ksplice
+
+#endif  // KSPLICE_KSPLICE_RUNPRE_H_

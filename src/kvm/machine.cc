@@ -1,0 +1,715 @@
+#include "kvm/machine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "base/endian.h"
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace kvm {
+
+namespace {
+
+constexpr uint32_t kGuardPage = 0x1000;  // [0, kGuardPage) never mapped
+constexpr uint32_t kPageAlign = 0x1000;
+
+uint32_t AlignUp(uint32_t value, uint32_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Machine::Machine(const MachineConfig& config) : config_(config) {
+  rand_state_ = config.rand_seed;
+}
+
+Machine::~Machine() { StopCpus(); }
+
+ks::Result<std::unique_ptr<Machine>> Machine::Boot(
+    std::vector<kelf::ObjectFile> kernel_objects,
+    const MachineConfig& config) {
+  if (config.kernel_base < kGuardPage) {
+    return ks::InvalidArgument("kernel base inside the guard page");
+  }
+  kelf::Linker linker;
+  for (kelf::ObjectFile& obj : kernel_objects) {
+    linker.AddObject(std::move(obj));
+  }
+  ks::Result<kelf::LinkedImage> image = linker.Link(config.kernel_base);
+  if (!image.ok()) {
+    return ks::Status(image.status()).WithContext("booting kernel");
+  }
+
+  auto machine = std::unique_ptr<Machine>(new Machine(config));
+  machine->memory_.assign(config.memory_bytes, 0);
+  if (image->end() + (1u << 20) > config.memory_bytes) {
+    return ks::ResourceExhausted("kernel image does not fit in memory");
+  }
+  std::copy(image->bytes.begin(), image->bytes.end(),
+            machine->memory_.begin() + config.kernel_base);
+  machine->kernel_end_ = image->end();
+
+  machine->kallsyms_ = std::move(image->symbols);
+  for (size_t i = 0; i < machine->kallsyms_.size(); ++i) {
+    machine->symbol_index_.emplace(machine->kallsyms_[i].name, i);
+  }
+
+  // Memory map after the kernel: module arena, heap, then stacks from the
+  // top of memory growing down.
+  uint32_t cursor = AlignUp(machine->kernel_end_, kPageAlign);
+  uint32_t remaining = config.memory_bytes - cursor;
+  uint32_t arena_size = remaining / 4;
+  uint32_t heap_size = remaining / 4;
+  machine->arena_base_ = cursor;
+  machine->arena_cursor_ = cursor;
+  machine->arena_limit_ = cursor + arena_size;
+  machine->heap_base_ = machine->arena_limit_;
+  machine->heap_limit_ = machine->heap_base_ + heap_size;
+  machine->stack_limit_ = machine->heap_limit_;
+  machine->stack_cursor_ = config.memory_bytes;
+  return machine;
+}
+
+// ---------------------------------------------------------------------------
+// Memory
+
+bool Machine::InBounds(uint32_t addr, uint32_t size) const {
+  return addr >= kGuardPage && addr + size >= addr &&
+         addr + size <= memory_.size();
+}
+
+ks::Result<uint32_t> Machine::ReadWordLocked(uint32_t addr) const {
+  if (!InBounds(addr, 4)) {
+    return ks::InvalidArgument(
+        ks::StrPrintf("bad read at %s", ks::Hex32(addr).c_str()));
+  }
+  return ks::ReadLe32(memory_.data() + addr);
+}
+
+ks::Status Machine::WriteWordLocked(uint32_t addr, uint32_t value) {
+  if (!InBounds(addr, 4)) {
+    return ks::InvalidArgument(
+        ks::StrPrintf("bad write at %s", ks::Hex32(addr).c_str()));
+  }
+  ks::WriteLe32(memory_.data() + addr, value);
+  return ks::OkStatus();
+}
+
+ks::Result<uint32_t> Machine::ReadWord(uint32_t addr) const {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  return ReadWordLocked(addr);
+}
+
+ks::Result<uint8_t> Machine::ReadByte(uint32_t addr) const {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  if (!InBounds(addr, 1)) {
+    return ks::InvalidArgument(
+        ks::StrPrintf("bad read at %s", ks::Hex32(addr).c_str()));
+  }
+  return memory_[addr];
+}
+
+ks::Status Machine::WriteWord(uint32_t addr, uint32_t value) {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  return WriteWordLocked(addr, value);
+}
+
+ks::Status Machine::WriteByte(uint32_t addr, uint8_t value) {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  if (!InBounds(addr, 1)) {
+    return ks::InvalidArgument(
+        ks::StrPrintf("bad write at %s", ks::Hex32(addr).c_str()));
+  }
+  memory_[addr] = value;
+  return ks::OkStatus();
+}
+
+ks::Result<std::vector<uint8_t>> Machine::ReadBytes(uint32_t addr,
+                                                    uint32_t size) const {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  if (!InBounds(addr, size)) {
+    return ks::InvalidArgument(ks::StrPrintf(
+        "bad read of %u bytes at %s", size, ks::Hex32(addr).c_str()));
+  }
+  return std::vector<uint8_t>(memory_.begin() + addr,
+                              memory_.begin() + addr + size);
+}
+
+ks::Status Machine::WriteBytes(uint32_t addr,
+                               const std::vector<uint8_t>& bytes) {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  if (!InBounds(addr, static_cast<uint32_t>(bytes.size()))) {
+    return ks::InvalidArgument(ks::StrPrintf(
+        "bad write of %zu bytes at %s", bytes.size(),
+        ks::Hex32(addr).c_str()));
+  }
+  std::copy(bytes.begin(), bytes.end(), memory_.begin() + addr);
+  return ks::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Symbols
+
+std::vector<kelf::LinkedSymbol> Machine::Kallsyms() const {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  return kallsyms_;
+}
+
+std::vector<kelf::LinkedSymbol> Machine::SymbolsNamed(
+    const std::string& name) const {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  std::vector<kelf::LinkedSymbol> out;
+  auto [begin, end] = symbol_index_.equal_range(name);
+  for (auto it = begin; it != end; ++it) {
+    out.push_back(kallsyms_[it->second]);
+  }
+  return out;
+}
+
+ks::Result<uint32_t> Machine::GlobalSymbol(const std::string& name) const {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  auto [begin, end] = symbol_index_.equal_range(name);
+  for (auto it = begin; it != end; ++it) {
+    if (kallsyms_[it->second].binding == kelf::SymbolBinding::kGlobal) {
+      return kallsyms_[it->second].address;
+    }
+  }
+  return ks::NotFound(
+      ks::StrPrintf("no exported symbol '%s'", name.c_str()));
+}
+
+// ---------------------------------------------------------------------------
+// Modules
+
+ks::Result<uint32_t> Machine::ArenaAlloc(uint32_t size, uint32_t align) {
+  size = AlignUp(size, kPageAlign);
+  for (ArenaBlock& block : arena_blocks_) {
+    if (block.free && block.size >= size) {
+      block.free = false;
+      return block.base;
+    }
+  }
+  uint32_t base = AlignUp(arena_cursor_, align);
+  if (base + size > arena_limit_) {
+    return ks::ResourceExhausted("module arena exhausted");
+  }
+  arena_cursor_ = base + size;
+  arena_blocks_.push_back(ArenaBlock{base, size, false});
+  return base;
+}
+
+void Machine::ArenaFree(uint32_t base) {
+  for (ArenaBlock& block : arena_blocks_) {
+    if (block.base == base) {
+      block.free = true;
+      // Poison so stale code faults loudly instead of executing.
+      std::fill(memory_.begin() + base, memory_.begin() + base + block.size,
+                0xee);
+      return;
+    }
+  }
+}
+
+ks::Result<ModuleHandle> Machine::LoadModule(
+    const std::vector<kelf::ObjectFile>& objects, const std::string& name,
+    SymbolResolver extra_resolver) {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+
+  // Reject modules that redefine exported globals.
+  for (const kelf::ObjectFile& obj : objects) {
+    for (const kelf::Symbol& sym : obj.symbols()) {
+      if (sym.defined() && sym.binding == kelf::SymbolBinding::kGlobal) {
+        auto [begin, end] = symbol_index_.equal_range(sym.name);
+        for (auto it = begin; it != end; ++it) {
+          if (kallsyms_[it->second].binding == kelf::SymbolBinding::kGlobal) {
+            return ks::AlreadyExists(ks::StrPrintf(
+                "module %s redefines exported symbol '%s'", name.c_str(),
+                sym.name.c_str()));
+          }
+        }
+      }
+    }
+  }
+
+  kelf::Linker linker;
+  for (const kelf::ObjectFile& obj : objects) {
+    linker.AddObject(obj);
+  }
+  linker.set_external_resolver(
+      [this, &extra_resolver](
+          const std::string& symbol) -> std::optional<uint32_t> {
+        ks::Result<uint32_t> addr = GlobalSymbol(symbol);
+        if (addr.ok()) {
+          return *addr;
+        }
+        if (extra_resolver != nullptr) {
+          return extra_resolver(symbol);
+        }
+        return std::nullopt;
+      });
+
+  // First link to measure, then place.
+  ks::Result<kelf::LinkedImage> sized = linker.Link(config_.kernel_base);
+  if (!sized.ok()) {
+    return ks::Status(sized.status())
+        .WithContext(ks::StrPrintf("loading module %s", name.c_str()));
+  }
+  uint32_t size = sized->end() - sized->base;
+  KS_ASSIGN_OR_RETURN(uint32_t base, ArenaAlloc(size, kPageAlign));
+  ks::Result<kelf::LinkedImage> image = linker.Link(base);
+  if (!image.ok()) {
+    ArenaFree(base);
+    return ks::Status(image.status())
+        .WithContext(ks::StrPrintf("loading module %s", name.c_str()));
+  }
+  std::copy(image->bytes.begin(), image->bytes.end(),
+            memory_.begin() + base);
+
+  Module module;
+  module.name = name;
+  module.base = base;
+  module.size = static_cast<uint32_t>(image->bytes.size());
+  module.loaded = true;
+  module.placements = std::move(image->placements);
+  module.first_symbol = kallsyms_.size();
+  module.symbol_count = image->symbols.size();
+  for (kelf::LinkedSymbol& sym : image->symbols) {
+    symbol_index_.emplace(sym.name, kallsyms_.size());
+    kallsyms_.push_back(std::move(sym));
+  }
+  modules_.push_back(std::move(module));
+  ModuleHandle handle;
+  handle.id = static_cast<int>(modules_.size()) - 1;
+  return handle;
+}
+
+ks::Status Machine::UnloadModule(ModuleHandle handle) {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  if (handle.id < 0 || handle.id >= static_cast<int>(modules_.size())) {
+    return ks::InvalidArgument("bad module handle");
+  }
+  Module& module = modules_[static_cast<size_t>(handle.id)];
+  if (!module.loaded) {
+    return ks::FailedPrecondition(
+        ks::StrPrintf("module %s already unloaded", module.name.c_str()));
+  }
+  module.loaded = false;
+  ArenaFree(module.base);
+
+  // Drop the module's kallsyms range and rebuild indexes.
+  kallsyms_.erase(
+      kallsyms_.begin() + static_cast<long>(module.first_symbol),
+      kallsyms_.begin() +
+          static_cast<long>(module.first_symbol + module.symbol_count));
+  for (Module& other : modules_) {
+    if (other.loaded && other.first_symbol > module.first_symbol) {
+      other.first_symbol -= module.symbol_count;
+    }
+  }
+  symbol_index_.clear();
+  for (size_t i = 0; i < kallsyms_.size(); ++i) {
+    symbol_index_.emplace(kallsyms_[i].name, i);
+  }
+  module.symbol_count = 0;
+  return ks::OkStatus();
+}
+
+ks::Result<ModuleInfo> Machine::GetModuleInfo(ModuleHandle handle) const {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  if (handle.id < 0 || handle.id >= static_cast<int>(modules_.size())) {
+    return ks::InvalidArgument("bad module handle");
+  }
+  const Module& module = modules_[static_cast<size_t>(handle.id)];
+  ModuleInfo info;
+  info.name = module.name;
+  info.base = module.base;
+  info.size = module.size;
+  info.loaded = module.loaded;
+  return info;
+}
+
+ks::Result<ModuleHandle> Machine::LoadBlob(const std::string& name,
+                                           uint32_t size) {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  KS_ASSIGN_OR_RETURN(uint32_t base, ArenaAlloc(size, kPageAlign));
+  Module module;
+  module.name = name;
+  module.base = base;
+  module.size = size;
+  module.loaded = true;
+  module.first_symbol = kallsyms_.size();
+  module.symbol_count = 0;
+  modules_.push_back(std::move(module));
+  ModuleHandle handle;
+  handle.id = static_cast<int>(modules_.size()) - 1;
+  return handle;
+}
+
+ks::Result<std::vector<kelf::PlacedSection>> Machine::ModulePlacements(
+    ModuleHandle handle) const {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  if (handle.id < 0 || handle.id >= static_cast<int>(modules_.size())) {
+    return ks::InvalidArgument("bad module handle");
+  }
+  const Module& module = modules_[static_cast<size_t>(handle.id)];
+  if (!module.loaded) {
+    return ks::FailedPrecondition("module is unloaded");
+  }
+  return module.placements;
+}
+
+ks::Result<uint32_t> Machine::CallFunction(uint32_t entry, uint32_t arg,
+                                           uint64_t max_ticks) {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  if (hook_stack_top_ == 0) {
+    uint32_t bytes = AlignUp(config_.default_stack_bytes, 16);
+    if (stack_cursor_ < stack_limit_ + bytes) {
+      return ks::ResourceExhausted("out of stack space for hook calls");
+    }
+    hook_stack_top_ = stack_cursor_;
+    stack_cursor_ -= bytes;
+  }
+  Thread thread;
+  thread.tid = 0;  // synthetic; not in threads_, invisible to the scheduler
+  thread.stack_top = hook_stack_top_;
+  thread.stack_base = hook_stack_top_ - config_.default_stack_bytes;
+  thread.pc = entry;
+  uint32_t sp = hook_stack_top_;
+  sp -= 4;
+  ks::WriteLe32(memory_.data() + sp, arg);
+  sp -= 4;
+  ks::WriteLe32(memory_.data() + sp, kThreadExitMagic);
+  thread.regs[7] = sp;
+  thread.regs[6] = sp;
+
+  uint64_t spent = 0;
+  while (thread.state == ThreadState::kRunnable && spent < max_ticks) {
+    spent += ExecThread(thread, config_.slice_instructions);
+  }
+  switch (thread.state) {
+    case ThreadState::kDone:
+      return thread.regs[0];
+    case ThreadState::kFaulted:
+      return ks::Aborted(
+          ks::StrPrintf("hook call faulted: %s", thread.fault.c_str()));
+    case ThreadState::kSleeping:
+    case ThreadState::kLockWait:
+      return ks::FailedPrecondition(
+          "hook call blocked (hooks must not sleep or take the kernel lock)");
+    case ThreadState::kRunnable:
+      return ks::Aborted("hook call exceeded its tick budget");
+  }
+  return ks::Internal("unreachable hook state");
+}
+
+uint32_t Machine::ModuleArenaBytesInUse() const {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  uint32_t total = 0;
+  for (const ArenaBlock& block : arena_blocks_) {
+    if (!block.free) {
+      total += block.size;
+    }
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Heap
+
+ks::Result<uint32_t> Machine::HeapAlloc(uint32_t size) {
+  if (size == 0) {
+    size = 4;
+  }
+  size = AlignUp(size, 16);
+  for (ArenaBlock& block : heap_blocks_) {
+    if (block.free && block.size >= size) {
+      block.free = false;
+      std::fill(memory_.begin() + block.base,
+                memory_.begin() + block.base + block.size, 0);
+      return block.base;
+    }
+  }
+  uint32_t base = heap_blocks_.empty()
+                      ? heap_base_
+                      : heap_blocks_.back().base + heap_blocks_.back().size;
+  if (base + size > heap_limit_) {
+    return ks::ResourceExhausted("kernel heap exhausted");
+  }
+  heap_blocks_.push_back(ArenaBlock{base, size, false});
+  return base;
+}
+
+ks::Status Machine::HeapFree(uint32_t addr) {
+  for (ArenaBlock& block : heap_blocks_) {
+    if (block.base == addr && !block.free) {
+      block.free = true;
+      return ks::OkStatus();
+    }
+  }
+  return ks::InvalidArgument(
+      ks::StrPrintf("bad kfree of %s", ks::Hex32(addr).c_str()));
+}
+
+ks::Result<uint32_t> Machine::HostKmalloc(uint32_t size) {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  return HeapAlloc(size);
+}
+
+ks::Status Machine::HostKfree(uint32_t addr) {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  return HeapFree(addr);
+}
+
+ks::Result<uint32_t> Machine::HostShadowGet(uint32_t obj, uint32_t key) const {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  auto it = shadows_.find({obj, key});
+  if (it == shadows_.end()) {
+    return ks::NotFound("no shadow for object");
+  }
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Threads and scheduling
+
+ks::Result<int> Machine::Spawn(uint32_t entry, uint32_t arg,
+                               uint32_t stack_bytes) {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  if (stack_bytes == 0) {
+    stack_bytes = config_.default_stack_bytes;
+  }
+  stack_bytes = AlignUp(stack_bytes, 16);
+  if (stack_cursor_ < stack_limit_ + stack_bytes) {
+    return ks::ResourceExhausted("out of stack space");
+  }
+  uint32_t top = stack_cursor_;
+  stack_cursor_ -= stack_bytes;
+
+  Thread thread;
+  thread.tid = next_tid_++;
+  thread.stack_base = stack_cursor_;
+  thread.stack_top = top;
+  thread.pc = entry;
+  // The thread starts as if called with one argument: [arg][return->exit].
+  uint32_t sp = top;
+  sp -= 4;
+  ks::WriteLe32(memory_.data() + sp, arg);
+  sp -= 4;
+  ks::WriteLe32(memory_.data() + sp, kThreadExitMagic);
+  thread.regs[7] = sp;
+  thread.regs[6] = sp;  // fp; callee prologue re-establishes it
+  threads_.push_back(thread);
+  return thread.tid;
+}
+
+ks::Result<int> Machine::SpawnNamed(const std::string& function_name,
+                                    uint32_t arg, uint32_t stack_bytes) {
+  KS_ASSIGN_OR_RETURN(uint32_t entry, GlobalSymbol(function_name));
+  return Spawn(entry, arg, stack_bytes);
+}
+
+std::vector<ThreadInfo> Machine::Threads() const {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  std::vector<ThreadInfo> out;
+  out.reserve(threads_.size());
+  for (const Thread& thread : threads_) {
+    ThreadInfo info;
+    info.tid = thread.tid;
+    info.state = thread.state;
+    info.pc = thread.pc;
+    info.sp = thread.regs[7];
+    info.stack_base = thread.stack_base;
+    info.stack_top = thread.stack_top;
+    info.fault = thread.fault;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+bool Machine::HasLiveThreads() const {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  for (const Thread& thread : threads_) {
+    if (thread.state == ThreadState::kRunnable ||
+        thread.state == ThreadState::kSleeping ||
+        thread.state == ThreadState::kLockWait) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t Machine::Ticks() const {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  return ticks_;
+}
+
+void Machine::WakeSleepers() {
+  for (Thread& thread : threads_) {
+    if (thread.state == ThreadState::kSleeping &&
+        thread.wake_tick <= ticks_) {
+      thread.state = ThreadState::kRunnable;
+    }
+  }
+}
+
+int Machine::NextRunnable(size_t start_hint, uint64_t deadline) {
+  WakeSleepers();
+  size_t n = threads_.size();
+  for (size_t i = 0; i < n; ++i) {
+    size_t idx = (start_hint + i) % n;
+    if (threads_[idx].state == ThreadState::kRunnable) {
+      return static_cast<int>(idx);
+    }
+  }
+  // Nobody runnable: fast-forward virtual time to the next wake, if any,
+  // but never past the caller's deadline.
+  uint64_t min_wake = UINT64_MAX;
+  for (const Thread& thread : threads_) {
+    if (thread.state == ThreadState::kSleeping) {
+      min_wake = std::min(min_wake, thread.wake_tick);
+    }
+  }
+  if (min_wake == UINT64_MAX) {
+    return -1;
+  }
+  if (min_wake > deadline) {
+    ticks_ = std::max(ticks_, deadline);
+    return -1;
+  }
+  ticks_ = min_wake;
+  WakeSleepers();
+  for (size_t i = 0; i < n; ++i) {
+    size_t idx = (start_hint + i) % n;
+    if (threads_[idx].state == ThreadState::kRunnable) {
+      return static_cast<int>(idx);
+    }
+  }
+  return -1;
+}
+
+ks::Status Machine::RunLocked(uint64_t max_ticks) {
+  uint64_t deadline = ticks_ + max_ticks;
+  while (ticks_ < deadline && !halted_) {
+    if (threads_.empty()) {
+      return ks::OkStatus();
+    }
+    int idx = NextRunnable(sched_cursor_, deadline);
+    if (idx < 0) {
+      return ks::OkStatus();  // idle until the deadline
+    }
+    sched_cursor_ = static_cast<size_t>(idx) + 1;
+    uint64_t budget =
+        std::min<uint64_t>(static_cast<uint64_t>(config_.slice_instructions),
+                           deadline - ticks_);
+    ExecThread(threads_[static_cast<size_t>(idx)],
+               static_cast<int>(budget));
+  }
+  return ks::OkStatus();
+}
+
+ks::Status Machine::Run(uint64_t max_ticks) {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  return RunLocked(max_ticks);
+}
+
+ks::Status Machine::RunToCompletion(uint64_t safety_cap) {
+  uint64_t executed = 0;
+  while (executed < safety_cap) {
+    uint64_t before = Ticks();
+    KS_RETURN_IF_ERROR(Run(100'000));
+    uint64_t after = Ticks();
+    executed += after - before;
+    if (halted_) {
+      return ks::Aborted("machine halted (kernel panic)");
+    }
+    if (!HasLiveThreads()) {
+      return ks::OkStatus();
+    }
+    if (after == before) {
+      return ks::Aborted(
+          "machine stalled: live threads but no runnable/sleeping progress");
+    }
+  }
+  return ks::Aborted("run-to-completion safety cap reached");
+}
+
+void Machine::StartCpus(int count) {
+  StopCpus();
+  {
+    std::unique_lock<std::recursive_mutex> lock(mu_);
+    cpus_should_stop_ = false;
+  }
+  for (int i = 0; i < count; ++i) {
+    cpus_.emplace_back([this]() {
+      while (true) {
+        {
+          std::unique_lock<std::recursive_mutex> lock(mu_);
+          if (cpus_should_stop_) {
+            return;
+          }
+          if (!threads_.empty() && !halted_) {
+            int idx = NextRunnable(sched_cursor_, UINT64_MAX);
+            if (idx >= 0) {
+              sched_cursor_ = static_cast<size_t>(idx) + 1;
+              ExecThread(threads_[static_cast<size_t>(idx)],
+                         config_.slice_instructions);
+            }
+          }
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+}
+
+void Machine::StopCpus() {
+  {
+    std::unique_lock<std::recursive_mutex> lock(mu_);
+    cpus_should_stop_ = true;
+  }
+  for (std::thread& cpu : cpus_) {
+    if (cpu.joinable()) {
+      cpu.join();
+    }
+  }
+  cpus_.clear();
+}
+
+int Machine::ActiveCpus() const {
+  return static_cast<int>(cpus_.size());
+}
+
+ks::Status Machine::Advance(uint64_t ticks) {
+  if (!cpus_.empty()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    return ks::OkStatus();
+  }
+  return Run(ticks);
+}
+
+ks::Status Machine::StopMachine(
+    const std::function<ks::Status(Machine&)>& fn) {
+  // Taking the machine lock captures every virtual CPU: slices are atomic
+  // with respect to it, so no thread is mid-instruction while fn runs.
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  return fn(*this);
+}
+
+std::vector<uint32_t> Machine::RecordsWithKey(uint32_t key) const {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  std::vector<uint32_t> out;
+  for (const auto& [k, v] : records_) {
+    if (k == key) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Machine::Faults() const {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  return fault_log_;
+}
+
+}  // namespace kvm

@@ -1,0 +1,309 @@
+// kvm: the simulated kernel that Ksplice hot-updates.
+//
+// A Machine is a flat little-endian memory image executing KVX code, plus
+// the kernel facilities Ksplice interacts with:
+//
+//  - a kallsyms-style symbol table (locals included, names may collide);
+//  - a module loader that links kelf objects against exported globals
+//    (Ksplice's helper and primary modules load through it, §5.1);
+//  - kernel threads with in-image stacks, round-robin scheduled with
+//    preemption, sleep/wake, a big kernel lock, and kthread spawning —
+//    everything the stack safety check must reason about (§5.2);
+//  - stop_machine(): runs a host function with every virtual CPU captured;
+//  - a kmalloc heap and the shadow data-structure registry used by
+//    DynAMOS-style struct extensions (§5.3, §7.1);
+//  - observation channels for tests: printk log, record() log, fault log.
+//
+// Concurrency model: all VM state is guarded by one lock (the analogue of
+// running on real CPUs with stop_machine available). Virtual CPUs are host
+// threads that repeatedly execute bounded instruction slices while holding
+// the lock; stop_machine simply acquires it, so the pause it induces is the
+// in-flight slice remainder — the quantity bench_stopmachine_latency
+// measures. Single-threaded tests drive the scheduler with Run()/Advance()
+// and never start CPUs.
+
+#ifndef KSPLICE_KVM_MACHINE_H_
+#define KSPLICE_KVM_MACHINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/status.h"
+#include "kelf/link.h"
+#include "kelf/objfile.h"
+
+namespace kvm {
+
+struct MachineConfig {
+  uint32_t memory_bytes = 16u << 20;   // image size
+  uint32_t kernel_base = 0x00100000;   // kernel link address
+  uint32_t default_stack_bytes = 8192;
+  int slice_instructions = 1000;       // preemption quantum
+  uint32_t rand_seed = 0x12345678;
+  bool log_printk = false;             // echo printk to the host log
+};
+
+enum class ThreadState : uint8_t {
+  kRunnable,
+  kSleeping,   // waiting for wake_tick
+  kLockWait,   // waiting for the big kernel lock
+  kDone,
+  kFaulted,
+};
+
+struct ThreadInfo {
+  int tid = 0;
+  ThreadState state = ThreadState::kRunnable;
+  uint32_t pc = 0;
+  uint32_t sp = 0;
+  uint32_t stack_base = 0;   // lowest address of the stack region
+  uint32_t stack_top = 0;    // one past the highest
+  std::string fault;         // non-empty iff kFaulted
+};
+
+// Handle to a loaded module.
+struct ModuleHandle {
+  int id = -1;
+  bool valid() const { return id >= 0; }
+};
+
+struct ModuleInfo {
+  std::string name;
+  uint32_t base = 0;
+  uint32_t size = 0;
+  bool loaded = false;
+};
+
+class Machine {
+ public:
+  // Links `kernel_objects` at the kernel base and prepares the image.
+  // No threads are created; callers Spawn() entry points explicitly.
+  static ks::Result<std::unique_ptr<Machine>> Boot(
+      std::vector<kelf::ObjectFile> kernel_objects,
+      const MachineConfig& config);
+
+  ~Machine();
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // Memory ---------------------------------------------------------------
+  // All accessors bounds-check; the first page is never mapped (null-deref
+  // traps). External (host) accessors take the machine lock.
+  ks::Result<uint32_t> ReadWord(uint32_t addr) const;
+  ks::Result<uint8_t> ReadByte(uint32_t addr) const;
+  ks::Status WriteWord(uint32_t addr, uint32_t value);
+  ks::Status WriteByte(uint32_t addr, uint8_t value);
+  ks::Result<std::vector<uint8_t>> ReadBytes(uint32_t addr,
+                                             uint32_t size) const;
+  ks::Status WriteBytes(uint32_t addr, const std::vector<uint8_t>& bytes);
+
+  // Symbols ----------------------------------------------------------------
+  // The kallsyms table: kernel symbols plus those of loaded modules.
+  std::vector<kelf::LinkedSymbol> Kallsyms() const;
+  // All addresses bound to `name` (locals from any unit included).
+  std::vector<kelf::LinkedSymbol> SymbolsNamed(const std::string& name) const;
+  // The unique *global* symbol named `name`, as a module link would see it.
+  ks::Result<uint32_t> GlobalSymbol(const std::string& name) const;
+
+  // Modules ----------------------------------------------------------------
+  // Links `objects` against exported kernel symbols and loads the result
+  // into the module arena. `extra_resolver`, when given, supplies values
+  // for imports that are not exported symbols (Ksplice uses it to feed
+  // run-pre recovered values for unit-scoped names); it is consulted after
+  // the exported-symbol table.
+  using SymbolResolver =
+      std::function<std::optional<uint32_t>(const std::string&)>;
+  ks::Result<ModuleHandle> LoadModule(
+      const std::vector<kelf::ObjectFile>& objects, const std::string& name,
+      SymbolResolver extra_resolver = nullptr);
+  ks::Status UnloadModule(ModuleHandle handle);
+  ks::Result<ModuleInfo> GetModuleInfo(ModuleHandle handle) const;
+  // Bytes currently allocated to loaded modules (memory-cost accounting;
+  // helper unload should reduce this, §5.1).
+  uint32_t ModuleArenaBytesInUse() const;
+
+  // Threads ---------------------------------------------------------------
+  // Spawns a kernel thread at `entry` with a single argument, giving it a
+  // fresh stack in the image. Returns the tid.
+  ks::Result<int> Spawn(uint32_t entry, uint32_t arg,
+                        uint32_t stack_bytes = 0);
+  ks::Result<int> SpawnNamed(const std::string& function_name, uint32_t arg,
+                             uint32_t stack_bytes = 0);
+  std::vector<ThreadInfo> Threads() const;
+  // True if some thread is runnable or sleeping (i.e. work remains).
+  bool HasLiveThreads() const;
+
+  // Execution ---------------------------------------------------------------
+  uint64_t Ticks() const;
+  // Cooperative driver: schedules threads round-robin until all are done,
+  // faulted, or `max_ticks` instructions have executed. Sleeping threads
+  // fast-forward virtual time when everyone sleeps.
+  ks::Status Run(uint64_t max_ticks);
+  // Runs until no live threads remain (or the safety cap is hit).
+  ks::Status RunToCompletion(uint64_t safety_cap = 100'000'000);
+
+  // Virtual CPUs: host threads that execute slices until StopCpus. Used by
+  // benches; tests normally use Run().
+  void StartCpus(int count);
+  void StopCpus();
+  int ActiveCpus() const;
+
+  // Makes progress regardless of mode: with CPUs running, briefly yields
+  // the host; otherwise runs `ticks` cooperatively. Used by apply-retry.
+  ks::Status Advance(uint64_t ticks);
+
+  // Runs `fn` with the machine quiesced: no virtual CPU mid-instruction,
+  // no slice in flight (§5.2 stop_machine). Returns fn's status.
+  ks::Status StopMachine(const std::function<ks::Status(Machine&)>& fn);
+
+  // Synchronously calls the guest function at `entry` with one argument on
+  // a dedicated stack and returns its r0. Usable inside StopMachine (this
+  // is how ksplice_apply hooks run while the machine is stopped, §5.3) and
+  // outside it. The call is bounded by `max_ticks`; faults become errors.
+  ks::Result<uint32_t> CallFunction(uint32_t entry, uint32_t arg,
+                                    uint64_t max_ticks = 1'000'000);
+
+  // Raw arena blobs: allocation without linking, used to account for the
+  // memory a loaded-but-unlinked module image occupies (the helper module,
+  // §5.1). Freed with UnloadModule.
+  ks::Result<ModuleHandle> LoadBlob(const std::string& name, uint32_t size);
+
+  // Section placements of a loaded module (where each input section
+  // landed). Ksplice reads its .ksplice.* hook tables through this.
+  ks::Result<std::vector<kelf::PlacedSection>> ModulePlacements(
+      ModuleHandle handle) const;
+
+  // Instrumentation ----------------------------------------------------------
+  std::vector<std::string> PrintkLog() const {
+    std::unique_lock<std::recursive_mutex> lock(mu_);
+    return printk_log_;
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> Records() const {
+    std::unique_lock<std::recursive_mutex> lock(mu_);
+    return records_;
+  }
+  // record() entries with key == `key`, values only.
+  std::vector<uint32_t> RecordsWithKey(uint32_t key) const;
+  std::vector<std::string> Faults() const;
+  bool Halted() const {
+    std::unique_lock<std::recursive_mutex> lock(mu_);
+    return halted_;
+  }
+
+  // Heap / shadow registry (host-side views used by tests) -------------------
+  ks::Result<uint32_t> HostKmalloc(uint32_t size);
+  ks::Status HostKfree(uint32_t addr);
+  ks::Result<uint32_t> HostShadowGet(uint32_t obj, uint32_t key) const;
+
+  const MachineConfig& config() const { return config_; }
+  uint32_t kernel_end() const { return kernel_end_; }
+
+ private:
+  explicit Machine(const MachineConfig& config);
+
+  struct Thread {
+    int tid = 0;
+    ThreadState state = ThreadState::kRunnable;
+    uint32_t regs[8] = {0};
+    uint32_t pc = 0;
+    bool flag_zero = false;
+    bool flag_lt = false;
+    uint32_t stack_base = 0;
+    uint32_t stack_top = 0;
+    uint64_t wake_tick = 0;
+    std::string fault;
+  };
+
+  struct ArenaBlock {
+    uint32_t base = 0;
+    uint32_t size = 0;
+    bool free = false;
+  };
+
+  // Internal (lock already held) ------------------------------------------
+  bool InBounds(uint32_t addr, uint32_t size) const;
+  ks::Result<uint32_t> ReadWordLocked(uint32_t addr) const;
+  ks::Status WriteWordLocked(uint32_t addr, uint32_t value);
+
+  ks::Result<uint32_t> ArenaAlloc(uint32_t size, uint32_t align);
+  void ArenaFree(uint32_t base);
+
+  ks::Result<uint32_t> HeapAlloc(uint32_t size);
+  ks::Status HeapFree(uint32_t addr);
+
+  // Executes up to `budget` instructions of `thread`; returns instructions
+  // retired. Updates thread state on sleep/exit/fault.
+  uint64_t ExecThread(Thread& thread, int budget);
+  // One instruction; false ends the slice (sleep/exit/fault/yield).
+  bool StepLocked(Thread& thread);
+  void FaultThread(Thread& thread, std::string reason);
+  ks::Status RunLocked(uint64_t max_ticks);
+  // Picks the next runnable thread index after `start`, handling wakes.
+  int NextRunnable(size_t start_hint, uint64_t deadline);
+  void WakeSleepers();
+  bool DoSys(Thread& thread, uint8_t number);
+
+  MachineConfig config_;
+  mutable std::recursive_mutex mu_;
+
+  std::vector<uint8_t> memory_;
+  uint32_t kernel_end_ = 0;     // first address past the kernel image
+  uint32_t arena_base_ = 0;     // module arena start
+  uint32_t arena_cursor_ = 0;
+  uint32_t arena_limit_ = 0;
+  std::vector<ArenaBlock> arena_blocks_;
+  uint32_t heap_base_ = 0;
+  uint32_t heap_limit_ = 0;
+  std::vector<ArenaBlock> heap_blocks_;
+  uint32_t stack_cursor_ = 0;  // stacks grow downward from memory end
+  uint32_t stack_limit_ = 0;
+
+  std::vector<kelf::LinkedSymbol> kallsyms_;
+  std::multimap<std::string, size_t> symbol_index_;
+  struct Module {
+    std::string name;
+    uint32_t base = 0;
+    uint32_t size = 0;
+    bool loaded = false;
+    size_t first_symbol = 0;
+    size_t symbol_count = 0;
+    std::vector<kelf::PlacedSection> placements;
+  };
+  std::vector<Module> modules_;
+  uint32_t hook_stack_top_ = 0;  // lazily allocated CallFunction stack
+
+  std::vector<Thread> threads_;
+  size_t sched_cursor_ = 0;
+  uint64_t ticks_ = 0;
+  int next_tid_ = 1;
+  bool halted_ = false;
+  uint32_t rand_state_ = 0;
+
+  // Big kernel lock.
+  int bkl_owner_ = -1;  // tid, -1 free
+
+  // Shadow registry: (object addr, key) -> shadow allocation.
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> shadows_;
+
+  std::vector<std::string> printk_log_;
+  std::vector<std::pair<uint32_t, uint32_t>> records_;
+  std::vector<std::string> fault_log_;
+
+  // Virtual CPU pool.
+  std::vector<std::thread> cpus_;
+  bool cpus_should_stop_ = false;
+};
+
+// Exit sentinel: RET to this address terminates the thread. Placed outside
+// mapped memory.
+inline constexpr uint32_t kThreadExitMagic = 0xfffffff0;
+
+}  // namespace kvm
+
+#endif  // KSPLICE_KVM_MACHINE_H_

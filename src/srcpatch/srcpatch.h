@@ -1,0 +1,78 @@
+// srcpatch: a source-level hot updater for legacy binaries, in the style
+// of OPUS [Altekar 2005] — the baseline Ksplice's evaluation contrasts
+// against (§3, §4, §6.3, §7.1).
+//
+// It determines what changed by comparing *source text* per function,
+// compiles replacements for exactly those functions, and resolves symbols
+// through the kernel symbol table. By design (to be a faithful baseline)
+// it therefore inherits the limitations the paper enumerates:
+//
+//  - ambiguous symbol names cannot be resolved (§4.1): if a replacement
+//    references a name bound more than once in kallsyms, it fails;
+//  - changes to assembly files are unsupported (the source analyzer only
+//    understands C);
+//  - function signature changes and functions with static local variables
+//    are unsupported (§6.3: "never been supported by an automatic
+//    source-level hot update system");
+//  - functions whose *object* code changed without their source changing
+//    (header prototype edits, inlined callees) are silently missed — the
+//    unsafety §4.2 warns about. AnalyzeMissedFunctions exposes the gap by
+//    comparing against object-level pre-post differencing.
+
+#ifndef KSPLICE_SRCPATCH_SRCPATCH_H_
+#define KSPLICE_SRCPATCH_SRCPATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "kcc/compile.h"
+#include "kdiff/diff.h"
+#include "kvm/machine.h"
+
+namespace srcpatch {
+
+enum class Outcome {
+  kApplied,            // replacements spliced (possibly unsafely!)
+  kFailedAssembly,     // patch touches a .kvs file
+  kFailedSignature,    // a changed function's signature changed
+  kFailedStaticLocal,  // a changed function has static locals
+  kFailedAmbiguous,    // a referenced symbol is ambiguous in kallsyms
+  kFailedOther,
+};
+
+const char* OutcomeName(Outcome outcome);
+
+struct Report {
+  Outcome outcome = Outcome::kFailedOther;
+  std::string detail;
+  // Functions the baseline replaced (source-level view of the change).
+  std::vector<std::string> replaced;
+  // Functions whose OBJECT code the patch changes but which the baseline
+  // did not replace (missed inline expansions, header-driven caller
+  // changes). Non-empty => the "successful" update is incomplete/unsafe.
+  std::vector<std::string> missed;
+};
+
+struct SourcePatchOptions {
+  kcc::CompileOptions compile;
+};
+
+// Analyzes and (when possible) applies `patch_text` to the running
+// `machine` at the source level. On kApplied the trampolines are installed
+// under stop_machine with a stack-safety check; `report.missed` is always
+// filled in by object-level differencing for comparison purposes.
+ks::Result<Report> SourceLevelApply(kvm::Machine& machine,
+                                    const kdiff::SourceTree& pre_tree,
+                                    std::string_view patch_text,
+                                    const SourcePatchOptions& options);
+
+// The analysis half only (no machine needed): what would the baseline
+// replace, what would it miss, and would it fail outright?
+ks::Result<Report> AnalyzeSourcePatch(const kdiff::SourceTree& pre_tree,
+                                      std::string_view patch_text,
+                                      const SourcePatchOptions& options);
+
+}  // namespace srcpatch
+
+#endif  // KSPLICE_SRCPATCH_SRCPATCH_H_

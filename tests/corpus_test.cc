@@ -1,0 +1,341 @@
+// Corpus self-checks: the simulated kernel boots and survives stress, every
+// one of the 64 vulnerability entries generates a working patch, every
+// exploit demonstrably works on the unpatched kernel, and full §6-style
+// evaluation succeeds for representative entries (the complete sweep over
+// all 64 is bench_headline_eval's job).
+
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.h"
+#include "ksplice/core.h"
+#include "ksplice/create.h"
+#include "kcc/compile.h"
+#include "kdiff/diff.h"
+#include "kvx/isa.h"
+
+namespace corpus {
+namespace {
+
+TEST(CorpusTest, ExactlySixtyFourVulnerabilities) {
+  EXPECT_EQ(Vulnerabilities().size(), 64u);
+  // CVE ids are unique.
+  std::set<std::string> ids;
+  for (const Vulnerability& vuln : Vulnerabilities()) {
+    EXPECT_TRUE(ids.insert(vuln.cve).second) << vuln.cve;
+    EXPECT_FALSE(vuln.edits.empty()) << vuln.cve;
+    EXPECT_FALSE(vuln.exploit_entry.empty()) << vuln.cve;
+  }
+}
+
+TEST(CorpusTest, PaperCharacteristicCountsMatch) {
+  int custom = 0;
+  int custom_lines = 0;
+  int public_exploits = 0;
+  int assembly = 0;
+  int declared_inline = 0;
+  int signature = 0;
+  int static_local = 0;
+  int escalation = 0;
+  int shadow = 0;
+  for (const Vulnerability& vuln : Vulnerabilities()) {
+    custom += vuln.needs_custom_code ? 1 : 0;
+    custom_lines += vuln.custom_code_lines;
+    public_exploits += vuln.public_exploit ? 1 : 0;
+    assembly += vuln.touches_assembly ? 1 : 0;
+    declared_inline += vuln.declared_inline ? 1 : 0;
+    signature += vuln.changes_signature ? 1 : 0;
+    static_local += vuln.has_static_local ? 1 : 0;
+    escalation += vuln.vuln_class == VulnClass::kPrivilegeEscalation ? 1 : 0;
+    shadow += vuln.adds_struct_field ? 1 : 0;
+  }
+  EXPECT_EQ(custom, 8);             // Table 1 rows
+  EXPECT_EQ(custom_lines, 132);     // 34+10+1+1+14+4+20+48, mean ~17 (§6.3)
+  EXPECT_EQ(public_exploits, 4);    // §6.3 exploit list
+  EXPECT_EQ(assembly, 1);           // CVE-2007-4573
+  EXPECT_EQ(declared_inline, 4);    // §6.3: "only 4 ... explicitly inline"
+  EXPECT_EQ(signature + static_local, 9);  // §6.3's 8, measured here as 9
+  EXPECT_EQ(shadow, 1);             // CVE-2005-2709
+  // About two-thirds privilege escalation (§6.1).
+  EXPECT_GE(escalation, 38);
+  EXPECT_LE(escalation, 48);
+}
+
+TEST(CorpusTest, KernelBootsAndPassesStress) {
+  ks::Result<std::unique_ptr<kvm::Machine>> machine = BootKernel();
+  ASSERT_TRUE(machine.ok()) << machine.status().ToString();
+  ks::Status stress = RunStress(**machine, 2);
+  EXPECT_TRUE(stress.ok()) << stress.ToString();
+  EXPECT_TRUE((*machine)->Faults().empty());
+}
+
+TEST(CorpusTest, SymbolCensusShowsAmbiguity) {
+  ks::Result<SymbolCensus> census = CensusKernelSymbols();
+  ASSERT_TRUE(census.ok()) << census.status().ToString();
+  EXPECT_GT(census->total_symbols, 150);
+  // debug/dst_state/mode/state collide across units (§6.3's 7.9%).
+  EXPECT_GE(census->ambiguous_symbols, 8);
+  EXPECT_GE(census->units_with_ambiguous, 6);
+  EXPECT_LT(census->ambiguous_symbols, census->total_symbols / 4);
+}
+
+// Per-vulnerability self-check: the patch generates, applies to the source
+// tree, and the exploit works on the unpatched kernel.
+class VulnerabilityCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(VulnerabilityCheck, PatchGeneratesAndExploitWorks) {
+  const Vulnerability& vuln =
+      Vulnerabilities()[static_cast<size_t>(GetParam())];
+  SCOPED_TRACE(vuln.cve);
+
+  ks::Result<std::string> patch = PatchFor(vuln);
+  ASSERT_TRUE(patch.ok()) << patch.status().ToString();
+  ks::Result<kdiff::SourceTree> post =
+      kdiff::ApplyUnifiedDiff(KernelSource(), *patch);
+  ASSERT_TRUE(post.ok()) << post.status().ToString();
+
+  if (vuln.needs_custom_code) {
+    ks::Result<std::string> amended = AmendedPatchFor(vuln);
+    ASSERT_TRUE(amended.ok()) << amended.status().ToString();
+  }
+
+  ks::Result<std::unique_ptr<kvm::Machine>> machine = BootKernel();
+  ASSERT_TRUE(machine.ok()) << machine.status().ToString();
+  ks::Result<bool> exploited = RunExploit(**machine, vuln);
+  ASSERT_TRUE(exploited.ok()) << exploited.status().ToString();
+  EXPECT_TRUE(*exploited) << vuln.cve
+                          << ": exploit must succeed on unpatched kernel";
+  for (const std::string& fault : (*machine)->Faults()) {
+    ADD_FAILURE() << vuln.cve << " fault: " << fault;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All64, VulnerabilityCheck, ::testing::Range(0, 64));
+
+// Full evaluation for the four CVEs with public exploit code (§6.3) and
+// the eight Table-1 custom-code entries.
+class FullEvaluation : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FullEvaluation, Succeeds) {
+  const Vulnerability* vuln = nullptr;
+  for (const Vulnerability& candidate : Vulnerabilities()) {
+    if (candidate.cve == GetParam()) {
+      vuln = &candidate;
+    }
+  }
+  ASSERT_NE(vuln, nullptr);
+  EvalOptions options;
+  options.run_undo_check = true;
+  ks::Result<EvalOutcome> outcome = Evaluate(*vuln, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->exploit_before) << vuln->cve;
+  EXPECT_TRUE(outcome->create_ok) << vuln->cve;
+  EXPECT_TRUE(outcome->apply_ok) << vuln->cve;
+  EXPECT_FALSE(outcome->exploit_after)
+      << vuln->cve << ": exploit must stop working after the update";
+  EXPECT_TRUE(outcome->stress_ok) << vuln->cve;
+  EXPECT_TRUE(outcome->undo_ok) << vuln->cve;
+  EXPECT_EQ(outcome->needed_custom_code, vuln->needs_custom_code)
+      << vuln->cve;
+  EXPECT_TRUE(outcome->Success());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PublicExploitsAndTable1, FullEvaluation,
+    ::testing::Values("CVE-2006-2451", "CVE-2006-3626", "CVE-2007-4573",
+                      "CVE-2008-0600",  // the four with public exploits
+                      "CVE-2008-0007", "CVE-2007-4571", "CVE-2007-3851",
+                      "CVE-2006-5753", "CVE-2006-2071", "CVE-2006-1056",
+                      "CVE-2005-3179", "CVE-2005-2709"));  // Table 1
+
+// The complete §6 evaluation over all 64 entries, asserting the paper's
+// headline numbers exactly (56 with no new code, 8 custom, 64/64 success).
+TEST(CorpusSweep, AllSixtyFourSucceedWithPaperSplit) {
+  int success = 0;
+  int no_new_code = 0;
+  int custom = 0;
+  for (const Vulnerability& vuln : Vulnerabilities()) {
+    EvalOptions options;
+    options.stress_rounds = 1;
+    ks::Result<EvalOutcome> outcome = Evaluate(vuln, options);
+    ASSERT_TRUE(outcome.ok()) << vuln.cve << ": "
+                              << outcome.status().ToString();
+    EXPECT_TRUE(outcome->Success()) << vuln.cve;
+    EXPECT_TRUE(outcome->exploit_before) << vuln.cve;
+    EXPECT_FALSE(outcome->exploit_after) << vuln.cve;
+    if (outcome->Success()) {
+      ++success;
+    }
+    if (outcome->apply_ok && !outcome->needed_custom_code) {
+      ++no_new_code;
+    }
+    if (outcome->needed_custom_code) {
+      ++custom;
+    }
+  }
+  EXPECT_EQ(success, 64);
+  EXPECT_EQ(no_new_code, 56);  // the paper's 56-of-64
+  EXPECT_EQ(custom, 8);        // Table 1
+}
+
+// §5.4 at corpus scale: three CVEs patching the same compilation unit
+// (fs/coredump.kc) applied in sequence, each created against the
+// previously-patched source, then unwound LIFO.
+TEST(CorpusStacking, ThreeUpdatesInOneUnit) {
+  const char* sequence[] = {"CVE-2005-1263", "CVE-2007-0958",
+                            "CVE-2007-6206"};
+  ks::Result<std::unique_ptr<kvm::Machine>> machine = BootKernel();
+  ASSERT_TRUE(machine.ok()) << machine.status().ToString();
+  ksplice::KspliceCore core(machine->get());
+
+  kdiff::SourceTree current = KernelSource();
+  for (const char* cve : sequence) {
+    const Vulnerability* vuln = nullptr;
+    for (const Vulnerability& candidate : Vulnerabilities()) {
+      if (candidate.cve == cve) {
+        vuln = &candidate;
+      }
+    }
+    ASSERT_NE(vuln, nullptr);
+    ks::Result<bool> before = RunExploit(**machine, *vuln);
+    ASSERT_TRUE(before.ok()) << before.status().ToString();
+    EXPECT_TRUE(*before) << cve;
+
+    // Port the fix onto the previously-patched source.
+    kdiff::SourceTree next = current;
+    for (const Edit& edit : vuln->edits) {
+      std::string contents = *next.Read(edit.path);
+      size_t at = contents.find(edit.from);
+      ASSERT_NE(at, std::string::npos) << cve << " " << edit.path;
+      contents.replace(at, edit.from.size(), edit.to);
+      next.Write(edit.path, contents);
+    }
+    std::string patch = kdiff::MakeUnifiedDiff(current, next);
+
+    ksplice::CreateOptions options;
+    options.compile = RunBuildOptions();
+    options.id = cve;
+    ks::Result<ksplice::CreateResult> created =
+        ksplice::CreateUpdate(current, patch, options);
+    ASSERT_TRUE(created.ok()) << cve << ": "
+                              << created.status().ToString();
+    ks::Result<std::string> applied = core.Apply(created->package);
+    ASSERT_TRUE(applied.ok()) << cve << ": "
+                              << applied.status().ToString();
+    ks::Result<bool> after = RunExploit(**machine, *vuln);
+    ASSERT_TRUE(after.ok());
+    EXPECT_FALSE(*after) << cve;
+    current = next;
+  }
+  EXPECT_EQ(core.applied().size(), 3u);
+  // All three fixes active simultaneously.
+  for (const char* cve : sequence) {
+    const Vulnerability* vuln = nullptr;
+    for (const Vulnerability& candidate : Vulnerabilities()) {
+      if (candidate.cve == cve) {
+        vuln = &candidate;
+      }
+    }
+    ks::Result<bool> exploited = RunExploit(**machine, *vuln);
+    ASSERT_TRUE(exploited.ok());
+    EXPECT_FALSE(*exploited) << cve << " after full stack";
+  }
+  // Unwind LIFO; the earliest vulnerability reappears at the end.
+  ASSERT_TRUE(core.Undo("CVE-2007-6206").ok());
+  ASSERT_TRUE(core.Undo("CVE-2007-0958").ok());
+  ASSERT_TRUE(core.Undo("CVE-2005-1263").ok());
+  const Vulnerability* first = nullptr;
+  for (const Vulnerability& candidate : Vulnerabilities()) {
+    if (candidate.cve == std::string("CVE-2005-1263")) {
+      first = &candidate;
+    }
+  }
+  ks::Result<bool> reopened = RunExploit(**machine, *first);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(*reopened) << "undo restored the original vulnerable code";
+  ks::Status stress = RunStress(**machine, 1);
+  EXPECT_TRUE(stress.ok()) << stress.ToString();
+}
+
+// Safety sweep (§4.2): corrupt one byte of each target function in the
+// run image; apply must abort for every corpus entry — never splice over
+// code that does not match the pre objects.
+class TamperSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TamperSweep, CorruptedRunCodeAbortsApply) {
+  const Vulnerability& vuln =
+      Vulnerabilities()[static_cast<size_t>(GetParam())];
+  SCOPED_TRACE(vuln.cve);
+  ks::Result<std::string> patch =
+      vuln.needs_custom_code ? AmendedPatchFor(vuln) : PatchFor(vuln);
+  ASSERT_TRUE(patch.ok());
+  ksplice::CreateOptions options;
+  options.compile = RunBuildOptions();
+  options.id = vuln.cve;
+  ks::Result<ksplice::CreateResult> created =
+      ksplice::CreateUpdate(KernelSource(), *patch, options);
+  if (!created.ok() || created->package.targets.empty()) {
+    GTEST_SKIP() << "no splice targets (hook-only update)";
+  }
+  ks::Result<std::unique_ptr<kvm::Machine>> machine = BootKernel();
+  ASSERT_TRUE(machine.ok());
+
+  // Corrupt a byte in the middle of the first target's run code.
+  const ksplice::Target& target = created->package.targets[0];
+  uint32_t addr = 0;
+  for (const kelf::LinkedSymbol& sym :
+       (*machine)->SymbolsNamed(target.symbol)) {
+    if (sym.unit == target.unit) {
+      addr = sym.address;
+    }
+  }
+  ASSERT_NE(addr, 0u) << target.symbol;
+  uint32_t mid = addr + 7 + static_cast<uint32_t>(GetParam() % 5);
+  ASSERT_TRUE((*machine)
+                  ->WriteByte(mid, static_cast<uint8_t>(
+                                       *(*machine)->ReadByte(mid) ^ 0x3c))
+                  .ok());
+
+  ksplice::KspliceCore core(machine->get());
+  ks::Result<std::string> applied = core.Apply(created->package);
+  ASSERT_FALSE(applied.ok()) << vuln.cve;
+  EXPECT_EQ(applied.status().code(), ks::ErrorCode::kAborted);
+  EXPECT_TRUE(core.applied().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(All64, TamperSweep, ::testing::Range(0, 64));
+
+// Invariant run-pre matching depends on: every text section of every
+// corpus unit, in both build modes, decodes as a clean instruction stream
+// (lengths tile the section exactly; pc-relative targets stay inside it
+// or at its end for monolithic cross-function jumps).
+TEST(CorpusInvariants, AllTextSectionsDecodeCleanly) {
+  for (bool sections : {false, true}) {
+    kcc::CompileOptions options = RunBuildOptions();
+    options.function_sections = sections;
+    options.data_sections = sections;
+    ks::Result<std::vector<kelf::ObjectFile>> objects =
+        kcc::BuildTree(KernelSource(), options);
+    ASSERT_TRUE(objects.ok()) << objects.status().ToString();
+    for (const kelf::ObjectFile& obj : *objects) {
+      for (const kelf::Section& section : obj.sections()) {
+        if (section.kind != kelf::SectionKind::kText) {
+          continue;
+        }
+        size_t pos = 0;
+        while (pos < section.bytes.size()) {
+          ks::Result<kvx::Insn> insn = kvx::Decode(
+              std::span<const uint8_t>(section.bytes).subspan(pos));
+          ASSERT_TRUE(insn.ok())
+              << obj.source_name() << " " << section.name << " at " << pos
+              << ": " << insn.status().ToString();
+          pos += insn->len;
+        }
+        EXPECT_EQ(pos, section.bytes.size())
+            << obj.source_name() << " " << section.name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace corpus

@@ -1,0 +1,538 @@
+// Edge cases and properties for the Ksplice core beyond the main
+// integration flow: pre-post differencing invariants, package parsing
+// robustness (truncation/corruption sweeps), create-time gates, apply
+// failure cleanliness, and hook failure handling.
+
+#include <gtest/gtest.h>
+
+#include "kcc/compile.h"
+#include "kdiff/diff.h"
+#include "ksplice/core.h"
+#include "ksplice/create.h"
+#include "ksplice/prepost.h"
+#include "kvm/machine.h"
+
+namespace ksplice {
+namespace {
+
+using kdiff::SourceTree;
+
+kcc::CompileOptions Monolithic() {
+  kcc::CompileOptions options;
+  options.function_sections = false;
+  options.data_sections = false;
+  return options;
+}
+
+SourceTree SmallKernel() {
+  SourceTree tree;
+  tree.Write("main.kc", R"(
+int state = 10;
+int small_helper(int x) {
+  return x + 1;
+}
+int big_worker(int x) {
+  int a = x + 1; int b = a + 2; int c = b + 3; int d = c + 4;
+  int e = d + 5; int f = e + 6; int g = f + 7; int h = g + 8;
+  state = state + h;
+  return a + b + c + d + e + f + g + h;
+}
+void probe(int x) {
+  record(1, big_worker(x) + small_helper(x));
+}
+)");
+  return tree;
+}
+
+std::string EditTree(const SourceTree& tree, const std::string& path,
+                     const std::string& from, const std::string& to,
+                     SourceTree* post_out = nullptr) {
+  SourceTree post = tree;
+  std::string contents = *tree.Read(path);
+  size_t at = contents.find(from);
+  EXPECT_NE(at, std::string::npos);
+  contents.replace(at, from.size(), to);
+  post.Write(path, contents);
+  if (post_out != nullptr) {
+    *post_out = post;
+  }
+  return kdiff::MakeUnifiedDiff(tree, post);
+}
+
+// ---------------------------------------------------------------- prepost
+
+TEST(PrePostTest, IdentityPatchRebuildsButChangesNothing) {
+  SourceTree tree = SmallKernel();
+  // Whitespace-only change forces a rebuild with no object difference.
+  std::string patch = EditTree(tree, "main.kc", "int state = 10;",
+                               "int state =  10;");
+  ks::Result<kdiff::Patch> parsed = kdiff::ParseUnifiedDiff(patch);
+  ASSERT_TRUE(parsed.ok());
+  ks::Result<PrePostResult> result =
+      RunPrePost(tree, *parsed, Monolithic());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rebuilt_units.size(), 1u);
+  EXPECT_TRUE(result->changed.empty());
+}
+
+TEST(PrePostTest, SingleFunctionChangeIsLocalized) {
+  SourceTree tree = SmallKernel();
+  std::string patch = EditTree(tree, "main.kc", "int e = d + 5;",
+                               "int e = d + 50;");
+  ks::Result<kdiff::Patch> parsed = kdiff::ParseUnifiedDiff(patch);
+  ASSERT_TRUE(parsed.ok());
+  ks::Result<PrePostResult> result =
+      RunPrePost(tree, *parsed, Monolithic());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->changed.size(), 1u);
+  EXPECT_EQ(result->changed[0].name, ".text.big_worker");
+  EXPECT_EQ(result->changed[0].change, SectionChange::kModified);
+}
+
+TEST(PrePostTest, InlineCalleeChangePropagatesToCallers) {
+  SourceTree tree = SmallKernel();
+  std::string patch = EditTree(tree, "main.kc", "return x + 1;",
+                               "return x + 2;");
+  ks::Result<kdiff::Patch> parsed = kdiff::ParseUnifiedDiff(patch);
+  ASSERT_TRUE(parsed.ok());
+  ks::Result<PrePostResult> result =
+      RunPrePost(tree, *parsed, Monolithic());
+  ASSERT_TRUE(result.ok());
+  std::set<std::string> changed;
+  for (const ChangedSection& section : result->changed) {
+    changed.insert(section.name);
+  }
+  EXPECT_TRUE(changed.count(".text.small_helper"));
+  EXPECT_TRUE(changed.count(".text.probe"))
+      << "probe inlined small_helper; its object code changed";
+  EXPECT_FALSE(changed.count(".text.big_worker"));
+}
+
+TEST(PrePostTest, FunctionAdditionAndRemovalClassified) {
+  SourceTree tree = SmallKernel();
+  SourceTree post;
+  std::string patch =
+      EditTree(tree, "main.kc",
+               "int small_helper(int x) {\n  return x + 1;\n}",
+               "int brand_new(int x) {\n  return x * 9;\n}", &post);
+  ks::Result<kdiff::Patch> parsed = kdiff::ParseUnifiedDiff(patch);
+  ASSERT_TRUE(parsed.ok());
+  ks::Result<PrePostResult> result =
+      RunPrePost(tree, *parsed, Monolithic());
+  // probe calls small_helper which no longer exists -> the post build of
+  // probe references an unknown symbol... which compiles (imports are
+  // legal) so the diff classifies sections:
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  bool added = false;
+  bool removed = false;
+  for (const ChangedSection& section : result->changed) {
+    if (section.name == ".text.brand_new" &&
+        section.change == SectionChange::kAdded) {
+      added = true;
+    }
+    if (section.name == ".text.small_helper" &&
+        section.change == SectionChange::kRemoved) {
+      removed = true;
+    }
+  }
+  EXPECT_TRUE(added);
+  EXPECT_TRUE(removed);
+}
+
+TEST(PrePostTest, SectionsEquivalentComparesRelocationIdentity) {
+  // Two sections with identical bytes but relocations against different
+  // symbol NAMES are not equivalent; against the same name (different
+  // index) they are.
+  kelf::ObjectFile a("u.kc");
+  kelf::ObjectFile b("u.kc");
+  kelf::Section sa;
+  sa.name = ".text.f";
+  sa.kind = kelf::SectionKind::kText;
+  sa.bytes = std::vector<uint8_t>(8, 0x01);
+  kelf::Section sb = sa;
+
+  int imp_a = a.InternUndefinedSymbol("alpha");
+  a.AddSymbol(kelf::Symbol{.name = "pad", .section = kelf::kUndefSection});
+  int imp_b_same = b.InternUndefinedSymbol("alpha");
+  sa.relocs.push_back(kelf::Relocation{0, kelf::RelocType::kAbs32, imp_a, 0});
+  sb.relocs.push_back(
+      kelf::Relocation{0, kelf::RelocType::kAbs32, imp_b_same, 0});
+  int ia = a.AddSection(sa);
+  int ib = b.AddSection(sb);
+  EXPECT_TRUE(SectionsEquivalent(a, a.sections()[ia], b, b.sections()[ib]));
+
+  // Same bytes, different target name.
+  kelf::ObjectFile c("u.kc");
+  kelf::Section sc = a.sections()[ia];
+  sc.relocs[0].symbol = c.InternUndefinedSymbol("beta");
+  int ic = c.AddSection(sc);
+  EXPECT_FALSE(SectionsEquivalent(a, a.sections()[ia], c, c.sections()[ic]));
+
+  // Different addend.
+  kelf::ObjectFile d("u.kc");
+  kelf::Section sd = a.sections()[ia];
+  sd.relocs[0].symbol = d.InternUndefinedSymbol("alpha");
+  sd.relocs[0].addend = 4;
+  int id = d.AddSection(sd);
+  EXPECT_FALSE(SectionsEquivalent(a, a.sections()[ia], d, d.sections()[id]));
+}
+
+// ---------------------------------------------------------------- package
+
+TEST(PackageTest, TruncationSweepNeverCrashesAndAlwaysErrors) {
+  SourceTree tree = SmallKernel();
+  std::string patch = EditTree(tree, "main.kc", "int e = d + 5;",
+                               "int e = d + 50;");
+  CreateOptions options;
+  options.compile = Monolithic();
+  ks::Result<CreateResult> created = CreateUpdate(tree, patch, options);
+  ASSERT_TRUE(created.ok());
+  std::vector<uint8_t> bytes = created->package.Serialize();
+  // Every strict prefix must fail to parse, without crashing.
+  for (size_t len = 0; len < bytes.size();
+       len += std::max<size_t>(1, bytes.size() / 197)) {
+    std::vector<uint8_t> prefix(bytes.begin(),
+                                bytes.begin() + static_cast<long>(len));
+    EXPECT_FALSE(UpdatePackage::Parse(prefix).ok()) << "len=" << len;
+  }
+  // Flipping the magic fails.
+  std::vector<uint8_t> corrupt = bytes;
+  corrupt[0] ^= 0xff;
+  EXPECT_FALSE(UpdatePackage::Parse(corrupt).ok());
+  // Any single flipped payload byte is caught by the checksum.
+  for (size_t at = 16; at < bytes.size(); at += bytes.size() / 23 + 1) {
+    std::vector<uint8_t> bitrot = bytes;
+    bitrot[at] ^= 0x40;
+    EXPECT_FALSE(UpdatePackage::Parse(bitrot).ok()) << "at=" << at;
+  }
+  // The intact package round-trips.
+  ks::Result<UpdatePackage> parsed = UpdatePackage::Parse(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Serialize(), bytes);
+}
+
+TEST(PackageTest, ScopedNameRoundTrip) {
+  EXPECT_EQ(ScopedName("fs/exec.kc", "debug"), "fs/exec.kc::debug");
+  ScopedSymbol scoped = SplitScopedName("fs/exec.kc::debug");
+  EXPECT_EQ(scoped.unit, "fs/exec.kc");
+  EXPECT_EQ(scoped.symbol, "debug");
+  ScopedSymbol plain = SplitScopedName("printk");
+  EXPECT_TRUE(plain.unit.empty());
+  EXPECT_EQ(plain.symbol, "printk");
+}
+
+// ------------------------------------------------------------------ apply
+
+std::unique_ptr<kvm::Machine> Boot(const SourceTree& tree) {
+  ks::Result<std::vector<kelf::ObjectFile>> objects =
+      kcc::BuildTree(tree, Monolithic());
+  EXPECT_TRUE(objects.ok());
+  kvm::MachineConfig config;
+  ks::Result<std::unique_ptr<kvm::Machine>> machine =
+      kvm::Machine::Boot(std::move(objects).value(), config);
+  EXPECT_TRUE(machine.ok());
+  return machine.ok() ? std::move(machine).value() : nullptr;
+}
+
+TEST(ApplyEdgeTest, FailedApplyLeavesNoResidue) {
+  SourceTree tree = SmallKernel();
+  std::unique_ptr<kvm::Machine> machine = Boot(tree);
+  ASSERT_NE(machine, nullptr);
+
+  // Create a valid update against DIFFERENT source so run-pre aborts.
+  SourceTree wrong = SmallKernel();
+  std::string contents = *wrong.Read("main.kc");
+  contents.replace(contents.find("state = state + h;"),
+                   std::string("state = state + h;").size(),
+                   "state = state + h + 1;");
+  wrong.Write("main.kc", contents);
+  std::string patch = EditTree(wrong, "main.kc", "int e = d + 5;",
+                               "int e = d + 50;");
+  CreateOptions options;
+  options.compile = Monolithic();
+  ks::Result<CreateResult> created = CreateUpdate(wrong, patch, options);
+  ASSERT_TRUE(created.ok());
+
+  uint32_t arena_before = machine->ModuleArenaBytesInUse();
+  std::vector<kelf::LinkedSymbol> syms_before = machine->Kallsyms();
+
+  KspliceCore core(machine.get());
+  ks::Result<std::string> applied = core.Apply(created->package);
+  ASSERT_FALSE(applied.ok());
+
+  EXPECT_EQ(machine->ModuleArenaBytesInUse(), arena_before);
+  EXPECT_EQ(machine->Kallsyms().size(), syms_before.size());
+  EXPECT_TRUE(core.applied().empty());
+  // Machine still works.
+  ASSERT_TRUE(machine->SpawnNamed("probe", 1).ok());
+  ASSERT_TRUE(machine->RunToCompletion().ok());
+  EXPECT_TRUE(machine->Faults().empty());
+}
+
+TEST(ApplyEdgeTest, FailingApplyHookAbortsBeforeSplice) {
+  SourceTree tree = SmallKernel();
+  std::unique_ptr<kvm::Machine> machine = Boot(tree);
+  ASSERT_NE(machine, nullptr);
+  EXPECT_TRUE(machine->SpawnNamed("probe", 1).ok());
+  EXPECT_TRUE(machine->RunToCompletion().ok());
+  uint32_t before = machine->RecordsWithKey(1).back();
+
+  // The patch's pre_apply hook dereferences NULL: apply must fail and the
+  // splice must not have happened.
+  SourceTree post = tree;
+  std::string contents = *tree.Read("main.kc");
+  size_t at = contents.find("int e = d + 5;");
+  contents.replace(at, std::string("int e = d + 5;").size(),
+                   "int e = d + 50;");
+  contents +=
+      "void bad_hook() {\n"
+      "  int *p = 0;\n"
+      "  *p = 1;\n"
+      "}\n"
+      "ksplice_pre_apply(bad_hook);\n";
+  post.Write("main.kc", contents);
+  std::string patch = kdiff::MakeUnifiedDiff(tree, post);
+
+  CreateOptions options;
+  options.compile = Monolithic();
+  ks::Result<CreateResult> created = CreateUpdate(tree, patch, options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+
+  KspliceCore core(machine.get());
+  ks::Result<std::string> applied = core.Apply(created->package);
+  ASSERT_FALSE(applied.ok());
+  EXPECT_NE(applied.status().message().find("hook"), std::string::npos);
+  EXPECT_TRUE(core.applied().empty());
+
+  // Old behaviour intact.
+  EXPECT_TRUE(machine->SpawnNamed("probe", 1).ok());
+  EXPECT_TRUE(machine->RunToCompletion().ok());
+  EXPECT_EQ(machine->RecordsWithKey(1).back(), before);
+}
+
+TEST(ApplyEdgeTest, SamePackageAppliesToTwoMachines) {
+  SourceTree tree = SmallKernel();
+  std::string patch = EditTree(tree, "main.kc", "int e = d + 5;",
+                               "int e = d + 50;");
+  CreateOptions options;
+  options.compile = Monolithic();
+  ks::Result<CreateResult> created = CreateUpdate(tree, patch, options);
+  ASSERT_TRUE(created.ok());
+  // Serialize once, apply the parsed artifact to two independent kernels
+  // (the paper's distribution model: one package, many machines).
+  ks::Result<UpdatePackage> pkg =
+      UpdatePackage::Parse(created->package.Serialize());
+  ASSERT_TRUE(pkg.ok());
+
+  // Reference values: unpatched vs patched behaviour.
+  uint32_t unpatched_value = 0;
+  {
+    std::unique_ptr<kvm::Machine> machine = Boot(tree);
+    ASSERT_NE(machine, nullptr);
+    ASSERT_TRUE(machine->SpawnNamed("probe", 1).ok());
+    ASSERT_TRUE(machine->RunToCompletion().ok());
+    unpatched_value = machine->RecordsWithKey(1).back();
+  }
+  uint32_t patched_value = 0;
+  for (int i = 0; i < 2; ++i) {
+    std::unique_ptr<kvm::Machine> machine = Boot(tree);
+    ASSERT_NE(machine, nullptr);
+    KspliceCore core(machine.get());
+    ks::Result<std::string> applied = core.Apply(*pkg);
+    ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+    ASSERT_TRUE(machine->SpawnNamed("probe", 1).ok());
+    ASSERT_TRUE(machine->RunToCompletion().ok());
+    uint32_t value = machine->RecordsWithKey(1).back();
+    EXPECT_NE(value, unpatched_value) << "machine " << i;
+    if (i == 0) {
+      patched_value = value;
+    } else {
+      EXPECT_EQ(value, patched_value) << "identical package, same effect";
+    }
+  }
+}
+
+TEST(ApplyEdgeTest, NewFunctionCalledFromPatchedCode) {
+  SourceTree tree = SmallKernel();
+  SourceTree post = tree;
+  std::string contents = *tree.Read("main.kc");
+  size_t at = contents.find("  state = state + h;");
+  contents.replace(at, std::string("  state = state + h;").size(),
+                   "  state = audit_add(state, h);");
+  contents +=
+      "int audit_add(int base, int delta) {\n"
+      "  record(77, delta);\n"
+      "  return base + delta;\n"
+      "}\n";
+  post.Write("main.kc", contents);
+  std::string patch = kdiff::MakeUnifiedDiff(tree, post);
+
+  std::unique_ptr<kvm::Machine> machine = Boot(tree);
+  ASSERT_NE(machine, nullptr);
+  CreateOptions options;
+  options.compile = Monolithic();
+  ks::Result<CreateResult> created = CreateUpdate(tree, patch, options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  KspliceCore core(machine.get());
+  ks::Result<std::string> applied = core.Apply(created->package);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+
+  ASSERT_TRUE(machine->SpawnNamed("probe", 1).ok());
+  ASSERT_TRUE(machine->RunToCompletion().ok());
+  // The new function ran inside the replacement code.
+  EXPECT_FALSE(machine->RecordsWithKey(77).empty());
+}
+
+TEST(ApplyEdgeTest, UndoAfterHelperUnloadWorks) {
+  SourceTree tree = SmallKernel();
+  std::string patch = EditTree(tree, "main.kc", "int e = d + 5;",
+                               "int e = d + 50;");
+  std::unique_ptr<kvm::Machine> machine = Boot(tree);
+  ASSERT_NE(machine, nullptr);
+  CreateOptions options;
+  options.compile = Monolithic();
+  ks::Result<CreateResult> created = CreateUpdate(tree, patch, options);
+  ASSERT_TRUE(created.ok());
+  KspliceCore core(machine.get());
+  ApplyOptions apply_options;
+  apply_options.keep_helper = true;
+  ks::Result<std::string> applied =
+      core.Apply(created->package, apply_options);
+  ASSERT_TRUE(applied.ok());
+  ASSERT_TRUE(core.UnloadHelper(*applied).ok());
+  EXPECT_TRUE(core.Undo(*applied).ok());
+  EXPECT_TRUE(core.applied().empty());
+}
+
+TEST(ApplyEdgeTest, PatchApplicationFailsOnMismatchedSource) {
+  // The patch itself does not apply to the given tree (context mismatch):
+  // create must fail with the patch error, not a build error.
+  SourceTree tree = SmallKernel();
+  std::string patch =
+      "--- a/main.kc\n+++ b/main.kc\n@@ -1,3 +1,3 @@\n"
+      " no such\n-context\n+lines\n";
+  CreateOptions options;
+  options.compile = Monolithic();
+  ks::Result<CreateResult> created = CreateUpdate(tree, patch, options);
+  ASSERT_FALSE(created.ok());
+}
+
+TEST(ApplyEdgeTest, CompilerConfigurationDriftAborts) {
+  // §4.3: "Ksplice does not strictly require that the hot update be
+  // prepared using exactly the same compiler version ... but doing so is
+  // advisable since the run-pre check will, in order to be safe, abort the
+  // upgrade if it detects unexpected object code differences."
+  // A different inlining configuration is our analogue of a different
+  // compiler version: the pre build no longer matches the run code.
+  SourceTree tree;
+  tree.Write("m.kc", R"(
+int acc = 0;
+int leaf(int x) {
+  return x * 3 + 1;
+}
+int trunk(int x) {
+  acc = acc + leaf(x) + leaf(x + 1);
+  return acc;
+}
+)");
+  // Run kernel: compiler inlines leaf into trunk.
+  kcc::CompileOptions run_options = Monolithic();
+  run_options.inline_threshold = 24;
+  ks::Result<std::vector<kelf::ObjectFile>> objects =
+      kcc::BuildTree(tree, run_options);
+  ASSERT_TRUE(objects.ok());
+  kvm::MachineConfig config;
+  ks::Result<std::unique_ptr<kvm::Machine>> machine =
+      kvm::Machine::Boot(std::move(objects).value(), config);
+  ASSERT_TRUE(machine.ok());
+
+  std::string patch = EditTree(tree, "m.kc", "return x * 3 + 1;",
+                               "return x * 3 + 2;");
+
+  // Update built with a DIFFERENT "compiler" (inlining disabled): trunk's
+  // pre rendering calls leaf instead of inlining it.
+  CreateOptions drifted;
+  drifted.compile = Monolithic();
+  drifted.compile.inline_threshold = 0;
+  ks::Result<CreateResult> bad = CreateUpdate(tree, patch, drifted);
+  ASSERT_TRUE(bad.ok()) << bad.status().ToString();
+  KspliceCore core(machine->get());
+  ks::Result<std::string> applied = core.Apply(bad->package);
+  ASSERT_FALSE(applied.ok());
+  EXPECT_EQ(applied.status().code(), ks::ErrorCode::kAborted);
+  EXPECT_NE(applied.status().message().find("run-pre"), std::string::npos);
+
+  // The matching configuration works.
+  CreateOptions correct;
+  correct.compile = run_options;
+  ks::Result<CreateResult> good = CreateUpdate(tree, patch, correct);
+  ASSERT_TRUE(good.ok());
+  ks::Result<std::string> applied_good = core.Apply(good->package);
+  EXPECT_TRUE(applied_good.ok()) << applied_good.status().ToString();
+}
+
+TEST(ApplyEdgeTest, StackedUpdateDoesNotRerunEarlierHooks) {
+  // Update 1 carries a ksplice_apply hook. Update 2 (created against the
+  // previously-patched source, which now contains the hook's code) must
+  // NOT include or re-run update 1's hook: hooks belong to the patch that
+  // introduced them.
+  SourceTree v0;
+  v0.Write("m.kc", R"(
+int hook_runs = 0;
+int knob = 1;
+int api(int x) {
+  return x + knob;
+}
+)");
+  std::unique_ptr<kvm::Machine> machine = Boot(v0);
+  ASSERT_NE(machine, nullptr);
+  KspliceCore core(machine.get());
+
+  // Update 1: change api, add a hook.
+  SourceTree v1 = v0;
+  std::string contents = *v0.Read("m.kc");
+  contents.replace(contents.find("return x + knob;"),
+                   std::string("return x + knob;").size(),
+                   "return x + knob + 1;");
+  contents +=
+      "void count_hook() {\n"
+      "  hook_runs = hook_runs + 1;\n"
+      "}\n"
+      "ksplice_apply(count_hook);\n";
+  v1.Write("m.kc", contents);
+  CreateOptions options;
+  options.compile = Monolithic();
+  options.id = "u1";
+  ks::Result<CreateResult> u1 =
+      CreateUpdate(v0, kdiff::MakeUnifiedDiff(v0, v1), options);
+  ASSERT_TRUE(u1.ok()) << u1.status().ToString();
+  ASSERT_TRUE(core.Apply(u1->package).ok());
+  uint32_t runs_addr = *machine->GlobalSymbol("hook_runs");
+  EXPECT_EQ(*machine->ReadWord(runs_addr), 1u);
+
+  // Update 2: unrelated change in the same unit, created against v1.
+  SourceTree v2 = v1;
+  std::string c2 = *v1.Read("m.kc");
+  c2.replace(c2.find("return x + knob + 1;"),
+             std::string("return x + knob + 1;").size(),
+             "return x + knob + 2;");
+  v2.Write("m.kc", c2);
+  options.id = "u2";
+  ks::Result<CreateResult> u2 =
+      CreateUpdate(v1, kdiff::MakeUnifiedDiff(v1, v2), options);
+  ASSERT_TRUE(u2.ok()) << u2.status().ToString();
+  // u2's primary must not carry a hook table.
+  for (const kelf::ObjectFile& primary : u2->package.primary_objects) {
+    for (const kelf::Section& section : primary.sections()) {
+      EXPECT_NE(section.kind, kelf::SectionKind::kNote)
+          << "update 2 must not re-ship update 1's hooks";
+    }
+  }
+  ks::Result<std::string> applied = core.Apply(u2->package);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(*machine->ReadWord(runs_addr), 1u)
+      << "update 1's hook must not run again";
+}
+
+}  // namespace
+}  // namespace ksplice

@@ -1,0 +1,447 @@
+// Tests for the KVX assembler: sections, labels, relaxation, relocations,
+// function-sections behaviour, directives, and error reporting.
+
+#include <gtest/gtest.h>
+
+#include "base/endian.h"
+#include "kvx/asm.h"
+#include "kvx/isa.h"
+
+namespace kvx {
+namespace {
+
+using kelf::ObjectFile;
+using kelf::RelocType;
+using kelf::Section;
+using kelf::SectionKind;
+using kelf::SymbolBinding;
+
+ObjectFile MustAssemble(std::string_view src, const AsmOptions& options = {}) {
+  ks::Result<ObjectFile> obj = Assemble(src, "test.kvs", options);
+  EXPECT_TRUE(obj.ok()) << obj.status().ToString();
+  return std::move(obj).value();
+}
+
+TEST(AsmTest, EmptySourceYieldsEmptyText) {
+  ObjectFile obj = MustAssemble("");
+  ASSERT_EQ(obj.sections().size(), 1u);
+  EXPECT_EQ(obj.sections()[0].name, ".text");
+  EXPECT_TRUE(obj.sections()[0].bytes.empty());
+}
+
+TEST(AsmTest, SimpleFunctionMonolithic) {
+  ObjectFile obj = MustAssemble(R"(
+.text
+.global f
+f:
+    mov r0, 42
+    ret
+)");
+  const Section* text = obj.SectionByName(".text");
+  ASSERT_NE(text, nullptr);
+  // mov(6) + ret(1) = 7 bytes.
+  ASSERT_EQ(text->bytes.size(), 7u);
+  EXPECT_EQ(text->bytes[0], 0x10);
+  EXPECT_EQ(ks::ReadLe32(text->bytes.data() + 2), 42u);
+  EXPECT_EQ(text->bytes[6], 0x42);
+
+  ks::Result<int> f = obj.FindUniqueSymbol("f");
+  ASSERT_TRUE(f.ok());
+  const kelf::Symbol& sym = obj.symbols()[static_cast<size_t>(*f)];
+  EXPECT_EQ(sym.binding, SymbolBinding::kGlobal);
+  EXPECT_EQ(sym.value, 0u);
+  EXPECT_EQ(sym.size, 7u);
+}
+
+TEST(AsmTest, FunctionSectionsSplit) {
+  AsmOptions opts;
+  opts.function_sections = true;
+  ObjectFile obj = MustAssemble(R"(
+.text
+.global a
+a:
+    ret
+b:
+    ret
+)",
+                                opts);
+  EXPECT_NE(obj.SectionByName(".text.a"), nullptr);
+  EXPECT_NE(obj.SectionByName(".text.b"), nullptr);
+  ks::Result<int> b = obj.FindUniqueSymbol("b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(obj.symbols()[static_cast<size_t>(*b)].binding,
+            SymbolBinding::kLocal);
+}
+
+TEST(AsmTest, MonolithicAlignsFunctionsWithNops) {
+  ObjectFile obj = MustAssemble(R"(
+.text
+a:
+    ret
+b:
+    ret
+)");
+  const Section* text = obj.SectionByName(".text");
+  ASSERT_NE(text, nullptr);
+  // a: ret at 0; padding nops to 8; b: ret at 8.
+  ASSERT_EQ(text->bytes.size(), 9u);
+  EXPECT_EQ(text->bytes[0], 0x42);
+  EXPECT_EQ(text->bytes[8], 0x42);
+  // Bytes 1..7 decode as no-ops.
+  size_t pos = 1;
+  while (pos < 8) {
+    ks::Result<Insn> insn = Decode(
+        std::span<const uint8_t>(text->bytes).subspan(pos, 8 - pos));
+    ASSERT_TRUE(insn.ok());
+    EXPECT_TRUE(GetOpInfo(insn->op).is_nop);
+    pos += insn->len;
+  }
+  ks::Result<int> b = obj.FindUniqueSymbol("b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(obj.symbols()[static_cast<size_t>(*b)].value, 8u);
+}
+
+TEST(AsmTest, ShortJumpChosenWhenClose) {
+  ObjectFile obj = MustAssemble(R"(
+f:
+    jmp .done
+    nop
+.done:
+    ret
+)");
+  const Section* text = obj.SectionByName(".text");
+  ASSERT_NE(text, nullptr);
+  // jmp8(2) + nop(1) + ret(1).
+  ASSERT_EQ(text->bytes.size(), 4u);
+  EXPECT_EQ(text->bytes[0], static_cast<uint8_t>(Op::kJmp8));
+  EXPECT_EQ(static_cast<int8_t>(text->bytes[1]), 1);  // skip the nop
+}
+
+TEST(AsmTest, LongJumpChosenWhenFar) {
+  std::string src = "f:\n    jmp .done\n";
+  for (int i = 0; i < 50; ++i) {
+    src += "    mov r0, 1\n";  // 6 bytes each => 300 bytes, too far for rel8
+  }
+  src += ".done:\n    ret\n";
+  ObjectFile obj = MustAssemble(src);
+  const Section* text = obj.SectionByName(".text");
+  ASSERT_NE(text, nullptr);
+  EXPECT_EQ(text->bytes[0], static_cast<uint8_t>(Op::kJmp32));
+  int32_t rel = static_cast<int32_t>(ks::ReadLe32(text->bytes.data() + 1));
+  EXPECT_EQ(rel, 300);
+  // No relocation: target resolved internally.
+  EXPECT_TRUE(text->relocs.empty());
+}
+
+TEST(AsmTest, BackwardShortJump) {
+  ObjectFile obj = MustAssemble(R"(
+f:
+.loop:
+    sub r0, 1
+    jnz .loop
+    ret
+)");
+  const Section* text = obj.SectionByName(".text");
+  // sub(6) jnz8(2) ret(1)
+  ASSERT_EQ(text->bytes.size(), 9u);
+  EXPECT_EQ(text->bytes[6], static_cast<uint8_t>(Op::kJnz8));
+  EXPECT_EQ(static_cast<int8_t>(text->bytes[7]), -8);
+}
+
+TEST(AsmTest, CrossSectionBranchGetsRelocation) {
+  AsmOptions opts;
+  opts.function_sections = true;
+  ObjectFile obj = MustAssemble(R"(
+.text
+a:
+    jmp b
+b:
+    ret
+)",
+                                opts);
+  const Section* ta = obj.SectionByName(".text.a");
+  ASSERT_NE(ta, nullptr);
+  EXPECT_EQ(ta->bytes[0], static_cast<uint8_t>(Op::kJmp32));
+  ASSERT_EQ(ta->relocs.size(), 1u);
+  EXPECT_EQ(ta->relocs[0].type, RelocType::kPcrel32);
+  EXPECT_EQ(ta->relocs[0].addend, -4);
+  EXPECT_EQ(ta->relocs[0].offset, 1u);
+  EXPECT_EQ(obj.symbols()[static_cast<size_t>(ta->relocs[0].symbol)].name,
+            "b");
+}
+
+TEST(AsmTest, SameFileBranchResolvedWithoutRelocMonolithic) {
+  // The monolithic contrast to the previous test: the paper's "relative
+  // jumps to other addresses within this section" (§3.1).
+  ObjectFile obj = MustAssemble(R"(
+.text
+a:
+    jmp b
+b:
+    ret
+)");
+  const Section* text = obj.SectionByName(".text");
+  ASSERT_NE(text, nullptr);
+  EXPECT_TRUE(text->relocs.empty());
+}
+
+TEST(AsmTest, CallAlwaysLongWithRelocWhenExternal) {
+  ObjectFile obj = MustAssemble(R"(
+f:
+    call external_fn
+    ret
+)");
+  const Section* text = obj.SectionByName(".text");
+  ASSERT_EQ(text->relocs.size(), 1u);
+  EXPECT_EQ(text->relocs[0].type, RelocType::kPcrel32);
+  const kelf::Symbol& sym =
+      obj.symbols()[static_cast<size_t>(text->relocs[0].symbol)];
+  EXPECT_EQ(sym.name, "external_fn");
+  EXPECT_FALSE(sym.defined());
+}
+
+TEST(AsmTest, CallInternalResolvedMonolithic) {
+  ObjectFile obj = MustAssemble(R"(
+f:
+    call g
+    ret
+g:
+    ret
+)");
+  const Section* text = obj.SectionByName(".text");
+  EXPECT_TRUE(text->relocs.empty());
+  // call at 0, length 5, g at 8 (aligned): rel = 8 - 5 = 3.
+  EXPECT_EQ(static_cast<int32_t>(ks::ReadLe32(text->bytes.data() + 1)), 3);
+}
+
+TEST(AsmTest, AddressMaterializationReloc) {
+  ObjectFile obj = MustAssemble(R"(
+.data
+counter:
+    .word 5
+.text
+f:
+    mov r1, =counter+8
+    ret
+)");
+  const Section* text = obj.SectionByName(".text");
+  ASSERT_EQ(text->relocs.size(), 1u);
+  EXPECT_EQ(text->relocs[0].type, RelocType::kAbs32);
+  EXPECT_EQ(text->relocs[0].offset, 2u);
+  EXPECT_EQ(text->relocs[0].addend, 8);
+}
+
+TEST(AsmTest, DataDirectives) {
+  ObjectFile obj = MustAssemble(R"(
+.data
+table:
+    .word 1, 2, f
+    .byte 9, 0xff
+msg:
+    .asciz "hi\n"
+.bss
+buf:
+    .space 64
+.text
+f:
+    ret
+)");
+  const Section* data = obj.SectionByName(".data");
+  ASSERT_NE(data, nullptr);
+  // table is 4-aligned at 0: 3 words + 2 bytes; msg aligned to 4 => at 16.
+  EXPECT_EQ(ks::ReadLe32(data->bytes.data()), 1u);
+  EXPECT_EQ(ks::ReadLe32(data->bytes.data() + 4), 2u);
+  ASSERT_EQ(data->relocs.size(), 1u);
+  EXPECT_EQ(data->relocs[0].offset, 8u);
+  EXPECT_EQ(data->bytes[12], 9);
+  EXPECT_EQ(data->bytes[13], 0xff);
+  EXPECT_EQ(data->bytes[16], 'h');
+  EXPECT_EQ(data->bytes[17], 'i');
+  EXPECT_EQ(data->bytes[18], '\n');
+  EXPECT_EQ(data->bytes[19], 0);
+
+  const Section* bss = obj.SectionByName(".bss");
+  ASSERT_NE(bss, nullptr);
+  EXPECT_EQ(bss->bss_size, 64u);
+  EXPECT_TRUE(bss->bytes.empty());
+}
+
+TEST(AsmTest, DataSectionsSplit) {
+  AsmOptions opts;
+  opts.data_sections = true;
+  ObjectFile obj = MustAssemble(R"(
+.data
+a:
+    .word 1
+b:
+    .word 2
+.bss
+c:
+    .space 8
+)",
+                                opts);
+  EXPECT_NE(obj.SectionByName(".data.a"), nullptr);
+  EXPECT_NE(obj.SectionByName(".data.b"), nullptr);
+  EXPECT_NE(obj.SectionByName(".bss.c"), nullptr);
+}
+
+TEST(AsmTest, KspliceHookDirectives) {
+  ObjectFile obj = MustAssemble(R"(
+.text
+myupdate:
+    ret
+.ksplice_apply myupdate
+.ksplice_pre_apply myupdate
+.ksplice_post_reverse myupdate
+)");
+  const Section* apply = obj.SectionByName(".ksplice.apply");
+  ASSERT_NE(apply, nullptr);
+  EXPECT_EQ(apply->kind, SectionKind::kNote);
+  ASSERT_EQ(apply->bytes.size(), 4u);
+  ASSERT_EQ(apply->relocs.size(), 1u);
+  EXPECT_EQ(obj.symbols()[static_cast<size_t>(apply->relocs[0].symbol)].name,
+            "myupdate");
+  EXPECT_NE(obj.SectionByName(".ksplice.pre_apply"), nullptr);
+  EXPECT_NE(obj.SectionByName(".ksplice.post_reverse"), nullptr);
+}
+
+TEST(AsmTest, LoadStoreForms) {
+  ObjectFile obj = MustAssemble(R"(
+f:
+    load r0, [r1]
+    store [r2], r3
+    loadb r4, [fp]
+    storeb [sp], r0
+    ret
+)");
+  const Section* text = obj.SectionByName(".text");
+  EXPECT_EQ(text->bytes[0], static_cast<uint8_t>(Op::kLoadI));
+  EXPECT_EQ(text->bytes[1], 0);
+  EXPECT_EQ(text->bytes[2], 1);
+  EXPECT_EQ(text->bytes[3], static_cast<uint8_t>(Op::kStoreI));
+  EXPECT_EQ(text->bytes[6], static_cast<uint8_t>(Op::kLoadBI));
+  EXPECT_EQ(text->bytes[8], kRegFp);
+  EXPECT_EQ(text->bytes[9], static_cast<uint8_t>(Op::kStoreBI));
+  EXPECT_EQ(text->bytes[10], kRegSp);
+}
+
+TEST(AsmTest, Errors) {
+  AsmOptions opts;
+  EXPECT_FALSE(Assemble("bogus r0\n", "t.kvs", opts).ok());
+  EXPECT_FALSE(Assemble("mov r9, 1\n", "t.kvs", opts).ok());
+  EXPECT_FALSE(Assemble(".data\n x: .space -1\n", "t.kvs", opts).ok());
+  EXPECT_FALSE(Assemble(".bss\nx:\n .word 1\n", "t.kvs", opts).ok());
+  EXPECT_FALSE(Assemble("f:\nf:\n ret\n", "t.kvs", opts).ok());
+  EXPECT_FALSE(Assemble(".align 3\n", "t.kvs", opts).ok());
+  EXPECT_FALSE(Assemble(".data\nx:\n mov r0, 1\n", "t.kvs", opts).ok());
+  EXPECT_FALSE(Assemble("mul r0, 5\n", "t.kvs", opts).ok());
+  // Error messages carry file and line.
+  ks::Status st = Assemble("\n\nbogus\n", "file.kvs", opts).status();
+  EXPECT_NE(st.message().find("file.kvs:3"), std::string::npos);
+}
+
+TEST(AsmTest, CommentsAndBlankLines) {
+  ObjectFile obj = MustAssemble(R"(
+; full line comment
+f:          ; trailing comment
+    ret     # hash comment
+)");
+  const Section* text = obj.SectionByName(".text");
+  ASSERT_EQ(text->bytes.size(), 1u);
+  EXPECT_EQ(text->bytes[0], 0x42);
+}
+
+TEST(AsmTest, RelaxationBoundaryAtRel8Limits) {
+  // Forward displacement 127 is the last short-encodable value; 128 must
+  // promote. Build paddings that land exactly on each side.
+  for (int pad_insns : {0, 1}) {
+    std::string src = "f:\n    jmp .target\n";
+    // Each mov is 6 bytes; base: 20 movs + 7 nops = 127 bytes.
+    for (int i = 0; i < 20; ++i) {
+      src += "    mov r0, 1\n";
+    }
+    for (int i = 0; i < 7 + pad_insns; ++i) {
+      src += "    nop\n";
+    }
+    src += ".target:\n    ret\n";
+    ks::Result<kelf::ObjectFile> obj = Assemble(src, "b.kvs", AsmOptions{});
+    ASSERT_TRUE(obj.ok()) << obj.status().ToString();
+    const kelf::Section* text = obj->SectionByName(".text");
+    ASSERT_NE(text, nullptr);
+    if (pad_insns == 0) {
+      EXPECT_EQ(text->bytes[0], static_cast<uint8_t>(Op::kJmp8))
+          << "displacement 127 fits rel8";
+      EXPECT_EQ(static_cast<int8_t>(text->bytes[1]), 127);
+    } else {
+      EXPECT_EQ(text->bytes[0], static_cast<uint8_t>(Op::kJmp32))
+          << "displacement 128 must promote to rel32";
+    }
+  }
+  // Backward: -128 fits, -129 promotes.
+  for (int extra : {0, 1}) {
+    std::string src = "f:\n.back:\n";
+    // jmp8 is 2 bytes; 21 movs = 126 bytes -> disp = -(126+2) = -128.
+    for (int i = 0; i < 21; ++i) {
+      src += "    mov r0, 1\n";
+    }
+    for (int i = 0; i < extra; ++i) {
+      src += "    nop\n";
+    }
+    src += "    jmp .back\n    ret\n";
+    ks::Result<kelf::ObjectFile> obj = Assemble(src, "b.kvs", AsmOptions{});
+    ASSERT_TRUE(obj.ok()) << obj.status().ToString();
+    const kelf::Section* text = obj->SectionByName(".text");
+    size_t jmp_at = 126 + static_cast<size_t>(extra);
+    if (extra == 0) {
+      EXPECT_EQ(text->bytes[jmp_at], static_cast<uint8_t>(Op::kJmp8));
+      EXPECT_EQ(static_cast<int8_t>(text->bytes[jmp_at + 1]), -128);
+    } else {
+      EXPECT_EQ(text->bytes[jmp_at], static_cast<uint8_t>(Op::kJmp32));
+    }
+  }
+}
+
+TEST(AsmTest, RelaxationConvergesOnChains) {
+  // A chain of branches, each barely in short range of the next, where
+  // promoting one could push others out of range. The assembler must
+  // converge and every branch must land on its target.
+  std::string src = "f:\n";
+  for (int i = 0; i < 20; ++i) {
+    src += "    jmp .l" + std::to_string(i) + "\n";
+    for (int j = 0; j < 19; ++j) {
+      src += "    mov r0, 1\n";
+    }
+    src += ".l" + std::to_string(i) + ":\n";
+  }
+  src += "    ret\n";
+  ObjectFile obj = MustAssemble(src);
+  const Section* text = obj.SectionByName(".text");
+  ASSERT_NE(text, nullptr);
+  // Validate structurally: decode the stream and check every branch target
+  // is an instruction boundary.
+  std::vector<bool> boundary(text->bytes.size() + 1, false);
+  size_t pos = 0;
+  while (pos < text->bytes.size()) {
+    boundary[pos] = true;
+    ks::Result<Insn> insn =
+        Decode(std::span<const uint8_t>(text->bytes).subspan(pos));
+    ASSERT_TRUE(insn.ok());
+    pos += insn->len;
+  }
+  boundary[pos] = true;
+  pos = 0;
+  while (pos < text->bytes.size()) {
+    ks::Result<Insn> insn =
+        Decode(std::span<const uint8_t>(text->bytes).subspan(pos));
+    ASSERT_TRUE(insn.ok());
+    if (IsPcRelative(insn->op)) {
+      size_t target = pos + insn->len + static_cast<size_t>(insn->rel);
+      ASSERT_LE(target, text->bytes.size());
+      EXPECT_TRUE(boundary[target]) << "branch at " << pos;
+    }
+    pos += insn->len;
+  }
+}
+
+}  // namespace
+}  // namespace kvx

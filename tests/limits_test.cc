@@ -1,0 +1,186 @@
+// Resource-limit and boundary tests: functions too small to splice,
+// module-arena exhaustion, stack-space exhaustion, kernel panic behaviour,
+// and scheduler starvation corners.
+
+#include <gtest/gtest.h>
+
+#include "kcc/compile.h"
+#include "kdiff/diff.h"
+#include "ksplice/core.h"
+#include "ksplice/create.h"
+#include "kvm/machine.h"
+
+namespace {
+
+using kdiff::SourceTree;
+
+kcc::CompileOptions Monolithic() {
+  kcc::CompileOptions options;
+  options.function_sections = false;
+  options.data_sections = false;
+  return options;
+}
+
+std::unique_ptr<kvm::Machine> Boot(const SourceTree& tree,
+                                   uint32_t memory = 16u << 20) {
+  ks::Result<std::vector<kelf::ObjectFile>> objects =
+      kcc::BuildTree(tree, Monolithic());
+  EXPECT_TRUE(objects.ok()) << objects.status().ToString();
+  kvm::MachineConfig config;
+  config.memory_bytes = memory;
+  ks::Result<std::unique_ptr<kvm::Machine>> machine =
+      kvm::Machine::Boot(std::move(objects).value(), config);
+  EXPECT_TRUE(machine.ok()) << machine.status().ToString();
+  return machine.ok() ? std::move(machine).value() : nullptr;
+}
+
+TEST(LimitsTest, FunctionTooSmallForTrampolineFailsCleanly) {
+  // A 1-byte assembly function cannot host the 5-byte jmp32.
+  SourceTree tree;
+  tree.Write("tiny.kvs", R"(
+.text
+.global tiny_stub
+tiny_stub:
+    ret
+.global big_fn
+big_fn:
+    push fp
+    mov fp, sp
+    mov r0, 9
+    mov sp, fp
+    pop fp
+    ret
+)");
+  std::unique_ptr<kvm::Machine> machine = Boot(tree);
+  ASSERT_NE(machine, nullptr);
+
+  SourceTree post = tree;
+  std::string contents = *tree.Read("tiny.kvs");
+  contents.replace(contents.find("tiny_stub:\n    ret"),
+                   std::string("tiny_stub:\n    ret").size(),
+                   "tiny_stub:\n    nop\n    ret");
+  post.Write("tiny.kvs", contents);
+
+  ksplice::CreateOptions options;
+  options.compile = Monolithic();
+  ks::Result<ksplice::CreateResult> created = ksplice::CreateUpdate(
+      tree, kdiff::MakeUnifiedDiff(tree, post), options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+
+  ksplice::KspliceCore core(machine.get());
+  ks::Result<std::string> applied = core.Apply(created->package);
+  ASSERT_FALSE(applied.ok());
+  EXPECT_NE(applied.status().message().find("too small"),
+            std::string::npos);
+  EXPECT_TRUE(core.applied().empty());
+}
+
+TEST(LimitsTest, ModuleArenaExhaustionIsGraceful) {
+  SourceTree tree;
+  tree.Write("m.kc", "int x = 1;\n");
+  std::unique_ptr<kvm::Machine> machine = Boot(tree, 4u << 20);
+  ASSERT_NE(machine, nullptr);
+  // Grab blobs until the arena runs out; the failure must be a clean
+  // ResourceExhausted, and previously loaded blobs stay intact.
+  std::vector<kvm::ModuleHandle> handles;
+  ks::Status last = ks::OkStatus();
+  for (int i = 0; i < 1000; ++i) {
+    ks::Result<kvm::ModuleHandle> blob =
+        machine->LoadBlob("hog", 64 * 1024);
+    if (!blob.ok()) {
+      last = blob.status();
+      break;
+    }
+    handles.push_back(*blob);
+  }
+  ASSERT_FALSE(last.ok());
+  EXPECT_EQ(last.code(), ks::ErrorCode::kResourceExhausted);
+  EXPECT_FALSE(handles.empty());
+  // Freeing returns capacity: the next allocation succeeds again.
+  ASSERT_TRUE(machine->UnloadModule(handles.back()).ok());
+  EXPECT_TRUE(machine->LoadBlob("again", 64 * 1024).ok());
+}
+
+TEST(LimitsTest, StackSpaceExhaustionIsGraceful) {
+  SourceTree tree;
+  tree.Write("m.kc", "void idle(int n) {\n  sleep(n);\n}\n");
+  std::unique_ptr<kvm::Machine> machine = Boot(tree, 4u << 20);
+  ASSERT_NE(machine, nullptr);
+  ks::Status last = ks::OkStatus();
+  int spawned = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    ks::Result<int> tid = machine->SpawnNamed("idle", 1'000'000, 64 * 1024);
+    if (!tid.ok()) {
+      last = tid.status();
+      break;
+    }
+    ++spawned;
+  }
+  ASSERT_FALSE(last.ok());
+  EXPECT_EQ(last.code(), ks::ErrorCode::kResourceExhausted);
+  EXPECT_GT(spawned, 4);
+}
+
+TEST(LimitsTest, HaltInstructionPanicsTheKernel) {
+  SourceTree tree;
+  tree.Write("m.kvs", R"(
+.text
+.global do_panic
+do_panic:
+    halt
+)");
+  std::unique_ptr<kvm::Machine> machine = Boot(tree);
+  ASSERT_NE(machine, nullptr);
+  ASSERT_TRUE(machine->SpawnNamed("do_panic", 0).ok());
+  ks::Status run = machine->RunToCompletion();
+  EXPECT_TRUE(machine->Halted());
+  EXPECT_FALSE(run.ok());
+  EXPECT_FALSE(machine->Faults().empty());
+}
+
+TEST(LimitsTest, LockHolderExitWithoutUnlockFaultsWaiters) {
+  // A thread that exits while holding the big kernel lock starves the
+  // waiters; RunToCompletion must report the stall rather than hang.
+  SourceTree tree;
+  tree.Write("m.kc", R"(
+void holder(int unused) {
+  lock_kernel();
+  /* exits without unlocking */
+}
+void waiter(int unused) {
+  lock_kernel();
+  unlock_kernel();
+}
+)");
+  std::unique_ptr<kvm::Machine> machine = Boot(tree);
+  ASSERT_NE(machine, nullptr);
+  ASSERT_TRUE(machine->SpawnNamed("holder", 0).ok());
+  ASSERT_TRUE(machine->Run(1'000).ok());
+  ASSERT_TRUE(machine->SpawnNamed("waiter", 0).ok());
+  ks::Status run = machine->RunToCompletion(1'000'000);
+  EXPECT_FALSE(run.ok());
+  EXPECT_EQ(run.code(), ks::ErrorCode::kAborted);
+}
+
+TEST(LimitsTest, GuardPageCatchesNullishAccesses) {
+  SourceTree tree;
+  tree.Write("m.kc", R"(
+void poke(int addr) {
+  int *p = (int*)addr;
+  *p = 1;
+  record(1, 1);
+}
+)");
+  std::unique_ptr<kvm::Machine> machine = Boot(tree);
+  ASSERT_NE(machine, nullptr);
+  // Addresses inside the guard page all fault; the first mapped address
+  // does not.
+  for (uint32_t addr : {0u, 4u, 0xffcu}) {
+    ASSERT_TRUE(machine->SpawnNamed("poke", addr).ok());
+    ASSERT_TRUE(machine->RunToCompletion().ok());
+  }
+  EXPECT_EQ(machine->Faults().size(), 3u);
+  EXPECT_TRUE(machine->RecordsWithKey(1).empty());
+}
+
+}  // namespace

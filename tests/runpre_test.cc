@@ -1,0 +1,447 @@
+// Focused tests for run-pre matching (§4): relocation-algebra recovery,
+// no-op skipping, rel8/rel32 branch-form tolerance with byte skew,
+// ambiguity resolution and its failure modes, and tamper detection.
+
+#include <gtest/gtest.h>
+
+#include "base/strings.h"
+#include "kcc/compile.h"
+#include "kdiff/diff.h"
+#include "ksplice/runpre.h"
+#include "kvm/machine.h"
+#include "kvx/asm.h"
+
+namespace ksplice {
+namespace {
+
+using kdiff::SourceTree;
+
+// Boots a machine from `tree` built monolithically and returns it plus the
+// section-mode pre object for `unit`.
+struct MatchSetup {
+  std::unique_ptr<kvm::Machine> machine;
+  kelf::ObjectFile pre;
+};
+
+MatchSetup MakeSetup(const SourceTree& tree, const std::string& unit,
+                int inline_threshold = 24) {
+  MatchSetup setup;
+  kcc::CompileOptions run_options;
+  run_options.inline_threshold = inline_threshold;
+  ks::Result<std::vector<kelf::ObjectFile>> objects =
+      kcc::BuildTree(tree, run_options);
+  EXPECT_TRUE(objects.ok()) << objects.status().ToString();
+  if (!objects.ok()) {
+    return setup;
+  }
+  kvm::MachineConfig config;
+  ks::Result<std::unique_ptr<kvm::Machine>> machine =
+      kvm::Machine::Boot(std::move(objects).value(), config);
+  EXPECT_TRUE(machine.ok()) << machine.status().ToString();
+  if (!machine.ok()) {
+    return setup;
+  }
+  setup.machine = std::move(machine).value();
+
+  kcc::CompileOptions pre_options = run_options;
+  pre_options.function_sections = true;
+  pre_options.data_sections = true;
+  ks::Result<kelf::ObjectFile> pre =
+      kcc::CompileUnit(tree, unit, pre_options);
+  EXPECT_TRUE(pre.ok()) << pre.status().ToString();
+  if (pre.ok()) {
+    setup.pre = std::move(pre).value();
+  }
+  return setup;
+}
+
+TEST(RunPreTest, MatchesOwnBuildAndRecoversSymbols) {
+  SourceTree tree;
+  tree.Write("m.kc", R"(
+int counter = 5;
+static int hidden = 9;
+int touch(int d) {
+  counter = counter + d;
+  hidden = hidden + 1;
+  return counter + hidden;
+}
+int reader() {
+  return counter;
+}
+)");
+  MatchSetup setup = MakeSetup(tree, "m.kc");
+  ASSERT_NE(setup.machine, nullptr);
+  RunPreMatcher matcher(*setup.machine);
+  ks::Result<UnitMatch> match = matcher.MatchUnit(setup.pre);
+  ASSERT_TRUE(match.ok()) << match.status().ToString();
+
+  // Recovered values agree with kallsyms for every named symbol.
+  for (const char* name : {"counter", "hidden", "touch", "reader"}) {
+    auto it = match->symbol_values.find(name);
+    ASSERT_NE(it, match->symbol_values.end()) << name;
+    std::vector<kelf::LinkedSymbol> syms =
+        setup.machine->SymbolsNamed(name);
+    ASSERT_EQ(syms.size(), 1u) << name;
+    EXPECT_EQ(it->second, syms[0].address) << name;
+  }
+  // Matched sections carry plausible run spans.
+  ASSERT_TRUE(match->sections.count(".text.touch"));
+  EXPECT_GE(match->sections[".text.touch"].run_size, 5u);
+}
+
+TEST(RunPreTest, AbortsWhenRunCodeWasTampered) {
+  SourceTree tree;
+  tree.Write("m.kc", R"(
+int value = 3;
+int get_value() {
+  return value + 1;
+}
+)");
+  MatchSetup setup = MakeSetup(tree, "m.kc");
+  ASSERT_NE(setup.machine, nullptr);
+
+  // Corrupt one byte inside get_value in the run image (a rootkit, a
+  // different compiler, or wrong source — all look the same, §4.2).
+  std::vector<kelf::LinkedSymbol> syms =
+      setup.machine->SymbolsNamed("get_value");
+  ASSERT_EQ(syms.size(), 1u);
+  uint32_t mid = syms[0].address + 6;
+  ASSERT_TRUE(setup.machine
+                  ->WriteByte(mid, static_cast<uint8_t>(
+                                       *setup.machine->ReadByte(mid) ^ 0x11))
+                  .ok());
+
+  RunPreMatcher matcher(*setup.machine);
+  ks::Result<UnitMatch> match = matcher.MatchUnit(setup.pre);
+  ASSERT_FALSE(match.ok());
+  EXPECT_EQ(match.status().code(), ks::ErrorCode::kAborted);
+  EXPECT_NE(match.status().message().find("run-pre"), std::string::npos);
+}
+
+TEST(RunPreTest, RelocationAlgebraIsExactInverse) {
+  // Property: for any symbol address S, addend A, and site P, the matcher
+  // recovers S from the stored word. Exercised end-to-end by matching a
+  // unit with varied addends (array element references).
+  SourceTree tree;
+  tree.Write("m.kc", R"(
+int table[8];
+int pick(int which) {
+  if (which == 0) {
+    return table[2];
+  }
+  if (which == 1) {
+    return table[5];
+  }
+  return table[7];
+}
+)");
+  MatchSetup setup = MakeSetup(tree, "m.kc");
+  ASSERT_NE(setup.machine, nullptr);
+  RunPreMatcher matcher(*setup.machine);
+  ks::Result<UnitMatch> match = matcher.MatchUnit(setup.pre);
+  ASSERT_TRUE(match.ok()) << match.status().ToString();
+  EXPECT_EQ(match->symbol_values["table"],
+            setup.machine->SymbolsNamed("table")[0].address);
+}
+
+TEST(RunPreTest, ToleratesBranchFormSkewInAssembly) {
+  // A hand-written unit with a cross-function jump: monolithic run build
+  // resolves it as rel8; the sectioned pre build must use jmp32+reloc.
+  // Every instruction after the jump is skewed by 3 bytes — the §4.3
+  // "different relative jump offsets" case.
+  SourceTree tree;
+  tree.Write("e.kvs", R"(
+.text
+.global fastpath
+fastpath:
+    push fp
+    mov fp, sp
+    cmp r0, 0
+    jnz .fast
+    mov sp, fp
+    pop fp
+    jmp slowpath      ; tail jump: rel8 in run, rel32+reloc in pre
+.fast:
+    mov r0, 1
+    mov sp, fp
+    pop fp
+    ret
+.global slowpath
+slowpath:
+    push fp
+    mov fp, sp
+    mov r0, 2
+    mov sp, fp
+    pop fp
+    ret
+)");
+  MatchSetup setup = MakeSetup(tree, "e.kvs");
+  ASSERT_NE(setup.machine, nullptr);
+
+  // Sanity: the run image's jz must be the short form, the pre's long.
+  const kelf::Section* pre_sec = setup.pre.SectionByName(".text.fastpath");
+  ASSERT_NE(pre_sec, nullptr);
+  ASSERT_FALSE(pre_sec->relocs.empty());
+
+  RunPreMatcher matcher(*setup.machine);
+  ks::Result<UnitMatch> match = matcher.MatchUnit(setup.pre);
+  ASSERT_TRUE(match.ok()) << match.status().ToString();
+  EXPECT_EQ(match->symbol_values["slowpath"],
+            setup.machine->SymbolsNamed("slowpath")[0].address);
+}
+
+TEST(RunPreTest, ResolvesAmbiguousSectionByContent) {
+  // Two units define static `pick` with different bodies; matching one
+  // unit's pre object must bind to the right copy by byte comparison.
+  SourceTree tree;
+  tree.Write("a.kc", R"(
+static int pick(int x) {
+  return x * 3 + 1;
+}
+int entry_a(int x) {
+  return pick(x) + pick(x + 1) + pick(x + 2) + pick(x + 3) + pick(x + 4)
+       + pick(x + 5) + pick(x + 6);
+}
+)");
+  tree.Write("b.kc", R"(
+static int pick(int x) {
+  return x * 5 + 2;
+}
+int entry_b(int x) {
+  return pick(x) + pick(x + 1) + pick(x + 2) + pick(x + 3) + pick(x + 4)
+       + pick(x + 5) + pick(x + 6);
+}
+)");
+  MatchSetup setup = MakeSetup(tree, "b.kc", /*inline_threshold=*/0);
+  ASSERT_NE(setup.machine, nullptr);
+  ASSERT_EQ(setup.machine->SymbolsNamed("pick").size(), 2u);
+
+  RunPreMatcher matcher(*setup.machine);
+  ks::Result<UnitMatch> match = matcher.MatchUnit(setup.pre);
+  ASSERT_TRUE(match.ok()) << match.status().ToString();
+  // The recovered `pick` must be b.kc's copy.
+  uint32_t recovered = match->symbol_values["pick"];
+  bool bound_to_b = false;
+  for (const kelf::LinkedSymbol& sym : setup.machine->SymbolsNamed("pick")) {
+    if (sym.address == recovered && sym.unit == "b.kc") {
+      bound_to_b = true;
+    }
+  }
+  EXPECT_TRUE(bound_to_b);
+}
+
+TEST(RunPreTest, AbortsOnIrreducibleAmbiguity) {
+  // Two byte-identical static functions that nothing disambiguates: the
+  // fixpoint cannot converge, and the matcher must refuse rather than
+  // guess (§4.3 safety).
+  SourceTree tree;
+  tree.Write("a.kc", R"(
+static int clone_fn(int x) {
+  return x + 7;
+}
+int entry_a(int x) {
+  return clone_fn(x) + clone_fn(x + 1) + clone_fn(x + 2) + clone_fn(x + 3)
+       + clone_fn(x + 4) + clone_fn(x + 5);
+}
+)");
+  tree.Write("b.kc", R"(
+static int clone_fn(int x) {
+  return x + 7;
+}
+int entry_b(int x) {
+  return clone_fn(x) + clone_fn(x + 1) + clone_fn(x + 2) + clone_fn(x + 3)
+       + clone_fn(x + 4) + clone_fn(x + 5);
+}
+)");
+  MatchSetup setup = MakeSetup(tree, "a.kc", /*inline_threshold=*/0);
+  ASSERT_NE(setup.machine, nullptr);
+
+  RunPreMatcher matcher(*setup.machine);
+  ks::Result<UnitMatch> match = matcher.MatchUnit(setup.pre);
+  // clone_fn matches both candidates and entry_a pins it (entry_a's call
+  // reloc recovers a specific address)... unless entry_a itself resolves
+  // first. Either a successful, *consistent* resolution or an explicit
+  // ambiguity abort is acceptable; silently wrong binding is not.
+  if (match.ok()) {
+    uint32_t recovered = match->symbol_values["clone_fn"];
+    bool bound_to_a = false;
+    for (const kelf::LinkedSymbol& sym :
+         setup.machine->SymbolsNamed("clone_fn")) {
+      if (sym.address == recovered && sym.unit == "a.kc") {
+        bound_to_a = true;
+      }
+    }
+    EXPECT_TRUE(bound_to_a)
+        << "resolution must bind a.kc's copy via entry_a's relocation";
+  } else {
+    EXPECT_EQ(match.status().code(), ks::ErrorCode::kAborted);
+  }
+}
+
+TEST(RunPreTest, MissingCandidateGivesActionableError) {
+  SourceTree run_tree;
+  run_tree.Write("m.kc", "int real_fn(int x) { return x; }\n");
+  SourceTree wrong_tree;
+  wrong_tree.Write("m.kc", "int ghost_fn(int x) { return x; }\n");
+
+  MatchSetup setup = MakeSetup(run_tree, "m.kc");
+  ASSERT_NE(setup.machine, nullptr);
+  kcc::CompileOptions pre_options;
+  pre_options.function_sections = true;
+  pre_options.data_sections = true;
+  ks::Result<kelf::ObjectFile> wrong_pre =
+      kcc::CompileUnit(wrong_tree, "m.kc", pre_options);
+  ASSERT_TRUE(wrong_pre.ok());
+
+  RunPreMatcher matcher(*setup.machine);
+  ks::Result<UnitMatch> match = matcher.MatchUnit(*wrong_pre);
+  ASSERT_FALSE(match.ok());
+  EXPECT_NE(match.status().message().find("ghost_fn"), std::string::npos);
+  EXPECT_NE(match.status().message().find("correspond"), std::string::npos);
+}
+
+TEST(RunPreTest, RedirectMatchesReplacementCode) {
+  // Stacking support (§5.4): with a redirect in place, matching happens
+  // against the redirected address, not the kallsyms one.
+  SourceTree tree;
+  tree.Write("m.kc", R"(
+int current = 1;
+int api(int x) {
+  current = current + x;
+  return current;
+}
+)");
+  MatchSetup setup = MakeSetup(tree, "m.kc");
+  ASSERT_NE(setup.machine, nullptr);
+
+  // Copy api's run bytes elsewhere (a fake "previous replacement") and
+  // corrupt the original so only the redirect target matches.
+  std::vector<kelf::LinkedSymbol> syms = setup.machine->SymbolsNamed("api");
+  ASSERT_EQ(syms.size(), 1u);
+  uint32_t orig = syms[0].address;
+  uint32_t size = syms[0].size;
+  ks::Result<std::vector<uint8_t>> bytes =
+      setup.machine->ReadBytes(orig, size);
+  ASSERT_TRUE(bytes.ok());
+  ks::Result<kvm::ModuleHandle> blob =
+      setup.machine->LoadBlob("fake-repl", size + 16);
+  ASSERT_TRUE(blob.ok());
+  ks::Result<kvm::ModuleInfo> info = setup.machine->GetModuleInfo(*blob);
+  ASSERT_TRUE(info.ok());
+  ASSERT_TRUE(setup.machine->WriteBytes(info->base, *bytes).ok());
+  ASSERT_TRUE(setup.machine->WriteByte(orig + 6, 0xee).ok());  // corrupt
+
+  uint32_t repl = info->base;
+  RunPreMatcher matcher(
+      *setup.machine,
+      [&](const std::string& unit, const std::string& symbol)
+          -> std::optional<std::pair<uint32_t, uint32_t>> {
+        if (unit == "m.kc" && symbol == "api") {
+          return std::make_pair(repl, size);
+        }
+        return std::nullopt;
+      });
+  ks::Result<UnitMatch> match = matcher.MatchUnit(setup.pre);
+  ASSERT_TRUE(match.ok()) << match.status().ToString();
+  EXPECT_EQ(match->sections[".text.api"].run_address, repl);
+}
+
+TEST(RunPreTest, ExtraneousPrePostStyleDifferencesStillAbortRunPre) {
+  // §3.2's asymmetry: pre/post differences are harmless, but run/pre
+  // differences abort. Build the pre from a semantically-identical but
+  // textually different source: object bytes differ => abort.
+  SourceTree run_tree;
+  run_tree.Write("m.kc", R"(
+int f(int x) {
+  int y = x + 1;
+  return y;
+}
+)");
+  SourceTree variant;
+  variant.Write("m.kc", R"(
+int f(int x) {
+  return x + 1;
+}
+)");
+  MatchSetup setup = MakeSetup(run_tree, "m.kc");
+  ASSERT_NE(setup.machine, nullptr);
+  kcc::CompileOptions pre_options;
+  pre_options.function_sections = true;
+  pre_options.data_sections = true;
+  ks::Result<kelf::ObjectFile> variant_pre =
+      kcc::CompileUnit(variant, "m.kc", pre_options);
+  ASSERT_TRUE(variant_pre.ok());
+  RunPreMatcher matcher(*setup.machine);
+  EXPECT_FALSE(matcher.MatchUnit(*variant_pre).ok());
+}
+
+TEST(RunPreTest, AlignmentAbsorbsSkewAndBranchTargetsNormalize) {
+  // The hardest §4.3 case: a cross-function branch earlier in the function
+  // is rel8 in the run build but rel32+reloc in the pre build (3 bytes of
+  // skew), and an intra-function .align between the branch and a loop head
+  // absorbs the skew with different amounts of no-op padding. The internal
+  // back-branch to the aligned label then has *different displacements and
+  // different padding* on each side, so target correspondence must
+  // normalize across the no-ops.
+  SourceTree tree;
+  tree.Write("skew.kvs", R"(
+.text
+.global skew_fn
+skew_fn:
+    push fp
+    mov fp, sp
+    cmp r0, 0
+    jnz .go_loop
+    mov sp, fp
+    pop fp
+    jmp bail_out      ; cross-function: rel8 in run, rel32+reloc in pre
+.go_loop:
+    mov r1, 3
+.align 8
+.loop:
+    sub r1, 1
+    jnz .loop
+    mov r0, 1
+    mov sp, fp
+    pop fp
+    ret
+.global bail_out
+bail_out:
+    push fp
+    mov fp, sp
+    mov r0, 2
+    mov sp, fp
+    pop fp
+    ret
+)");
+  MatchSetup setup = MakeSetup(tree, "skew.kvs");
+  ASSERT_NE(setup.machine, nullptr);
+
+  // Confirm the constructed skew is real: pre uses jz32 (reloc), run jz8.
+  const kelf::Section* pre_sec = setup.pre.SectionByName(".text.skew_fn");
+  ASSERT_NE(pre_sec, nullptr);
+  bool pre_has_pcrel = false;
+  for (const kelf::Relocation& rel : pre_sec->relocs) {
+    if (rel.type == kelf::RelocType::kPcrel32) {
+      pre_has_pcrel = true;
+    }
+  }
+  ASSERT_TRUE(pre_has_pcrel);
+
+  RunPreMatcher matcher(*setup.machine);
+  ks::Result<UnitMatch> match = matcher.MatchUnit(setup.pre);
+  ASSERT_TRUE(match.ok()) << match.status().ToString();
+  EXPECT_EQ(match->symbol_values["bail_out"],
+            setup.machine->SymbolsNamed("bail_out")[0].address);
+
+  // And the function still runs correctly (sanity that the construction
+  // is executable, not just matchable). r0 is zero at thread start, so a
+  // direct call takes the bail path.
+  ks::Result<uint32_t> r0 = setup.machine->CallFunction(
+      setup.machine->SymbolsNamed("skew_fn")[0].address, 0);
+  ASSERT_TRUE(r0.ok()) << r0.status().ToString();
+  EXPECT_EQ(*r0, 2u);
+}
+
+}  // namespace
+}  // namespace ksplice

@@ -1,0 +1,367 @@
+// ksplice_tool: command-line front end mirroring the paper's §5 workflow
+// over on-disk source trees.
+//
+//   ksplice_tool build   <srcdir>                       compile & report
+//   ksplice_tool create  <srcdir> <patch> <out.kspl>    = ksplice-create
+//   ksplice_tool inspect <pkg.kspl>                     show a package
+//   ksplice_tool demo    <srcdir> <patch> [entry [arg]] boot + hot update
+//   ksplice_tool disasm  <srcdir> <unit>                disassemble a unit
+//   ksplice_tool export-corpus <dir>                    write the 64-CVE
+//                                                       corpus kernel +
+//                                                       patches to disk
+//
+// Source trees on disk contain .kc (KC), .kvs (assembly), and .h files;
+// paths are taken relative to <srcdir>.
+
+#include <filesystem>
+#include <fstream>
+#include <cstdio>
+
+#include "base/strings.h"
+#include "corpus/corpus.h"
+#include "kcc/compile.h"
+#include "kdiff/diff.h"
+#include "ksplice/core.h"
+#include "ksplice/create.h"
+#include "kvm/machine.h"
+#include "kvx/isa.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+ks::Result<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return ks::NotFound("cannot read " + path.string());
+  }
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  return contents;
+}
+
+ks::Status WriteFile(const fs::path& path, const std::string& contents) {
+  fs::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return ks::Internal("cannot write " + path.string());
+  }
+  out << contents;
+  return ks::OkStatus();
+}
+
+// Loads every .kc/.kvs/.h file under `dir` into a SourceTree.
+ks::Result<kdiff::SourceTree> LoadTree(const std::string& dir) {
+  kdiff::SourceTree tree;
+  if (!fs::is_directory(dir)) {
+    return ks::NotFound(dir + " is not a directory");
+  }
+  for (const fs::directory_entry& entry :
+       fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    std::string ext = entry.path().extension().string();
+    if (ext != ".kc" && ext != ".kvs" && ext != ".h") {
+      continue;
+    }
+    KS_ASSIGN_OR_RETURN(std::string contents, ReadFile(entry.path()));
+    tree.Write(fs::relative(entry.path(), dir).generic_string(),
+               std::move(contents));
+  }
+  if (tree.size() == 0) {
+    return ks::NotFound("no .kc/.kvs/.h files under " + dir);
+  }
+  return tree;
+}
+
+int Fail(const ks::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+kcc::CompileOptions DefaultBuild() {
+  kcc::CompileOptions options;  // monolithic, like a shipped kernel
+  return options;
+}
+
+// ---------------------------------------------------------------- build
+
+int CmdBuild(const std::string& dir) {
+  ks::Result<kdiff::SourceTree> tree = LoadTree(dir);
+  if (!tree.ok()) {
+    return Fail(tree.status());
+  }
+  ks::Result<std::vector<kelf::ObjectFile>> objects =
+      kcc::BuildTree(*tree, DefaultBuild());
+  if (!objects.ok()) {
+    return Fail(objects.status());
+  }
+  size_t text = 0;
+  size_t symbols = 0;
+  for (const kelf::ObjectFile& obj : *objects) {
+    for (const kelf::Section& section : obj.sections()) {
+      if (section.kind == kelf::SectionKind::kText) {
+        text += section.bytes.size();
+      }
+    }
+    symbols += obj.symbols().size();
+  }
+  std::printf("%zu units, %zu text bytes, %zu symbols\n", objects->size(),
+              text, symbols);
+  return 0;
+}
+
+// --------------------------------------------------------------- create
+
+int CmdCreate(const std::string& dir, const std::string& patch_path,
+              const std::string& out_path) {
+  ks::Result<kdiff::SourceTree> tree = LoadTree(dir);
+  if (!tree.ok()) {
+    return Fail(tree.status());
+  }
+  ks::Result<std::string> patch = ReadFile(patch_path);
+  if (!patch.ok()) {
+    return Fail(patch.status());
+  }
+  ksplice::CreateOptions options;
+  options.compile = DefaultBuild();
+  ks::Result<ksplice::CreateResult> created =
+      ksplice::CreateUpdate(*tree, *patch, options);
+  if (!created.ok()) {
+    return Fail(created.status());
+  }
+  std::vector<uint8_t> bytes = created->package.Serialize();
+  ks::Status written = WriteFile(
+      out_path, std::string(bytes.begin(), bytes.end()));
+  if (!written.ok()) {
+    return Fail(written);
+  }
+  std::printf("Ksplice update %s written to %s (%zu bytes, %zu targets)\n",
+              created->package.id.c_str(), out_path.c_str(), bytes.size(),
+              created->package.targets.size());
+  return 0;
+}
+
+// -------------------------------------------------------------- inspect
+
+int CmdInspect(const std::string& pkg_path) {
+  ks::Result<std::string> raw = ReadFile(pkg_path);
+  if (!raw.ok()) {
+    return Fail(raw.status());
+  }
+  ks::Result<ksplice::UpdatePackage> pkg = ksplice::UpdatePackage::Parse(
+      std::vector<uint8_t>(raw->begin(), raw->end()));
+  if (!pkg.ok()) {
+    return Fail(pkg.status());
+  }
+  std::printf("update id : %s\n", pkg->id.c_str());
+  std::printf("targets   : %zu\n", pkg->targets.size());
+  for (const ksplice::Target& target : pkg->targets) {
+    std::printf("  %s  (%s in %s)\n", target.symbol.c_str(),
+                target.section.c_str(), target.unit.c_str());
+  }
+  std::printf("helper    : %zu unit(s)\n", pkg->helper_objects.size());
+  for (const kelf::ObjectFile& obj : pkg->helper_objects) {
+    std::printf("  %s: %zu sections, %zu symbols\n",
+                obj.source_name().c_str(), obj.sections().size(),
+                obj.symbols().size());
+  }
+  std::printf("primary   : %zu unit(s)\n", pkg->primary_objects.size());
+  for (const kelf::ObjectFile& obj : pkg->primary_objects) {
+    for (const kelf::Section& section : obj.sections()) {
+      std::printf("  %s %s (%u bytes, %zu relocs)\n",
+                  obj.source_name().c_str(), section.name.c_str(),
+                  section.size(), section.relocs.size());
+    }
+  }
+  return 0;
+}
+
+// ----------------------------------------------------------------- demo
+
+int CmdDemo(const std::string& dir, const std::string& patch_path,
+            const std::string& entry, uint32_t arg) {
+  ks::Result<kdiff::SourceTree> tree = LoadTree(dir);
+  if (!tree.ok()) {
+    return Fail(tree.status());
+  }
+  ks::Result<std::string> patch = ReadFile(patch_path);
+  if (!patch.ok()) {
+    return Fail(patch.status());
+  }
+  ks::Result<std::vector<kelf::ObjectFile>> objects =
+      kcc::BuildTree(*tree, DefaultBuild());
+  if (!objects.ok()) {
+    return Fail(objects.status());
+  }
+  kvm::MachineConfig config;
+  ks::Result<std::unique_ptr<kvm::Machine>> machine =
+      kvm::Machine::Boot(std::move(objects).value(), config);
+  if (!machine.ok()) {
+    return Fail(machine.status());
+  }
+  // Kernels conventionally export a kernel_init entry; run it if present.
+  if ((*machine)->GlobalSymbol("kernel_init").ok()) {
+    ks::Result<int> init = (*machine)->SpawnNamed("kernel_init", 0);
+    if (init.ok()) {
+      (void)(*machine)->RunToCompletion();
+      std::printf("ran kernel_init\n");
+    }
+  }
+  auto run_entry = [&](const char* when) {
+    if (entry.empty()) {
+      return;
+    }
+    ks::Result<int> tid = (*machine)->SpawnNamed(entry, arg);
+    if (!tid.ok()) {
+      std::printf("%s: cannot run %s: %s\n", when, entry.c_str(),
+                  tid.status().ToString().c_str());
+      return;
+    }
+    (void)(*machine)->RunToCompletion();
+    std::printf("%s: ran %s(%u); records:", when, entry.c_str(), arg);
+    for (const auto& [key, value] : (*machine)->Records()) {
+      std::printf(" (%u,%u)", key, value);
+    }
+    std::printf("\n");
+    for (const std::string& line : (*machine)->PrintkLog()) {
+      std::printf("%s: printk: %s\n", when, line.c_str());
+    }
+  };
+  run_entry("before");
+
+  ksplice::CreateOptions options;
+  options.compile = DefaultBuild();
+  ks::Result<ksplice::CreateResult> created =
+      ksplice::CreateUpdate(*tree, *patch, options);
+  if (!created.ok()) {
+    return Fail(created.status());
+  }
+  ksplice::KspliceCore core(machine->get());
+  ks::Result<std::string> applied = core.Apply(created->package);
+  if (!applied.ok()) {
+    return Fail(applied.status());
+  }
+  std::printf("applied %s (%zu functions replaced)\n", applied->c_str(),
+              core.applied()[0].functions.size());
+  run_entry("after");
+  return 0;
+}
+
+// --------------------------------------------------------------- disasm
+
+int CmdDisasm(const std::string& dir, const std::string& unit) {
+  ks::Result<kdiff::SourceTree> tree = LoadTree(dir);
+  if (!tree.ok()) {
+    return Fail(tree.status());
+  }
+  kcc::CompileOptions options;
+  options.function_sections = true;
+  options.data_sections = true;
+  ks::Result<kelf::ObjectFile> obj = kcc::CompileUnit(*tree, unit, options);
+  if (!obj.ok()) {
+    return Fail(obj.status());
+  }
+  for (const kelf::Section& section : obj->sections()) {
+    if (section.kind != kelf::SectionKind::kText) {
+      continue;
+    }
+    std::printf("%s:\n%s", section.name.c_str(),
+                kvx::Disassemble(section.bytes, 0).c_str());
+    for (const kelf::Relocation& rel : section.relocs) {
+      std::printf("  reloc +0x%04x %s %s%+d\n", rel.offset,
+                  rel.type == kelf::RelocType::kAbs32 ? "abs32" : "pcrel32",
+                  obj->symbols()[static_cast<size_t>(rel.symbol)].name.c_str(),
+                  rel.addend);
+    }
+  }
+  return 0;
+}
+
+// -------------------------------------------------------- export-corpus
+
+int CmdExportCorpus(const std::string& dir) {
+  const kdiff::SourceTree& tree = corpus::KernelSource();
+  for (const std::string& path : tree.Paths()) {
+    ks::Status written =
+        WriteFile(fs::path(dir) / "src" / path, *tree.Read(path));
+    if (!written.ok()) {
+      return Fail(written);
+    }
+  }
+  int patches = 0;
+  for (const corpus::Vulnerability& vuln : corpus::Vulnerabilities()) {
+    ks::Result<std::string> patch = corpus::PatchFor(vuln);
+    if (!patch.ok()) {
+      return Fail(patch.status());
+    }
+    ks::Status written = WriteFile(
+        fs::path(dir) / "patches" / (vuln.cve + ".patch"), *patch);
+    if (!written.ok()) {
+      return Fail(written);
+    }
+    ++patches;
+    if (vuln.needs_custom_code) {
+      ks::Result<std::string> amended = corpus::AmendedPatchFor(vuln);
+      if (amended.ok()) {
+        (void)WriteFile(
+            fs::path(dir) / "patches" / (vuln.cve + ".custom.patch"),
+            *amended);
+      }
+    }
+  }
+  std::printf("wrote %zu source files and %d patches under %s\n",
+              tree.size(), patches, dir.c_str());
+  std::printf("try: ksplice_tool demo %s/src %s/patches/CVE-2006-2451.patch "
+              "xp_2006_2451\n",
+              dir.c_str(), dir.c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  ksplice_tool build   <srcdir>\n"
+      "  ksplice_tool create  <srcdir> <patch> <out.kspl>\n"
+      "  ksplice_tool inspect <pkg.kspl>\n"
+      "  ksplice_tool demo    <srcdir> <patch> [entry [arg]]\n"
+      "  ksplice_tool disasm  <srcdir> <unit>\n"
+      "  ksplice_tool export-corpus <dir>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    return Usage();
+  }
+  const std::string& cmd = args[0];
+  if (cmd == "build" && args.size() == 2) {
+    return CmdBuild(args[1]);
+  }
+  if (cmd == "create" && args.size() == 4) {
+    return CmdCreate(args[1], args[2], args[3]);
+  }
+  if (cmd == "inspect" && args.size() == 2) {
+    return CmdInspect(args[1]);
+  }
+  if (cmd == "demo" && (args.size() == 3 || args.size() == 4 ||
+                        args.size() == 5)) {
+    std::string entry = args.size() >= 4 ? args[3] : "";
+    uint32_t arg = args.size() == 5
+                       ? static_cast<uint32_t>(std::atoi(args[4].c_str()))
+                       : 0;
+    return CmdDemo(args[1], args[2], entry, arg);
+  }
+  if (cmd == "disasm" && args.size() == 3) {
+    return CmdDisasm(args[1], args[2]);
+  }
+  if (cmd == "export-corpus" && args.size() == 2) {
+    return CmdExportCorpus(args[1]);
+  }
+  return Usage();
+}
