@@ -1,8 +1,11 @@
 #!/bin/sh
 # Full verification: configure, build, test, run every bench and example.
+# Set SANITIZE to instrument the build, e.g.:
+#   SANITIZE="address;undefined" scripts/check.sh
+# (scripts/check_tsan.sh covers -fsanitize=thread separately.)
 set -e
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja
+cmake -B build -G Ninja ${SANITIZE:+"-DKSPLICE_SANITIZE=$SANITIZE"}
 cmake --build build
 ctest --test-dir build --output-on-failure
 for b in build/bench/bench_*; do echo "== $b =="; "$b"; done

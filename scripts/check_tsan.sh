@@ -1,0 +1,13 @@
+#!/bin/sh
+# Race-checks the parallel update-creation pipeline: builds the tree with
+# -fsanitize=thread and runs the concurrency test plus the SMP hooks test
+# directly (TSAN aborts the process on the first data race).
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build-tsan -G Ninja -DKSPLICE_SANITIZE=thread
+cmake --build build-tsan --target concurrency_test ksplice_hooks_smp_test
+echo "== build-tsan/tests/concurrency_test =="
+./build-tsan/tests/concurrency_test
+echo "== build-tsan/tests/ksplice_hooks_smp_test =="
+./build-tsan/tests/ksplice_hooks_smp_test
+echo "TSAN CHECKS PASSED"

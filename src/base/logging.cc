@@ -44,7 +44,10 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   std::string text = stream_.str();
-  std::fprintf(stderr, "%s\n", text.c_str());
+  text.push_back('\n');
+  // One fwrite per message: stdio locks the stream per call, so lines from
+  // concurrent pipeline workers cannot interleave mid-line.
+  std::fwrite(text.data(), 1, text.size(), stderr);
   (void)level_;
 }
 

@@ -11,7 +11,10 @@ namespace ks {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-// Global threshold; messages below it are dropped.
+// Global threshold; messages below it are dropped. The threshold is an
+// atomic: Set/Get are safe from any thread (pipeline workers consult it
+// concurrently), and each message is emitted with a single write so
+// concurrent lines never interleave.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 

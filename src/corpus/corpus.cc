@@ -1,9 +1,11 @@
 #include "corpus/corpus.h"
 
 #include <map>
+#include <optional>
 #include <set>
 
 #include "base/strings.h"
+#include "base/threadpool.h"
 #include "corpus/tree_parts.h"
 #include "kcc/codegen.h"
 #include "kcc/parser.h"
@@ -179,6 +181,7 @@ ks::Result<EvalOutcome> Evaluate(const Vulnerability& vuln,
 
   ksplice::CreateOptions create_options;
   create_options.compile = RunBuildOptions();
+  create_options.compile.cache = &SharedObjectCache();
   create_options.id = vuln.cve;
 
   auto try_apply = [&](const std::string& patch_text)
@@ -328,6 +331,7 @@ ks::Result<EvalOutcome> Evaluate(const Vulnerability& vuln,
         kcc::CompileOptions sec_options = RunBuildOptions();
         sec_options.function_sections = true;
         sec_options.data_sections = true;
+        sec_options.cache = &SharedObjectCache();
         ks::Result<kelf::ObjectFile> obj =
             kcc::CompileUnit(KernelSource(), file.path, sec_options);
         for (const std::string& name : changed) {
@@ -361,6 +365,28 @@ ks::Result<EvalOutcome> Evaluate(const Vulnerability& vuln,
   }
 
   return outcome;
+}
+
+kcc::ObjectCache& SharedObjectCache() {
+  static kcc::ObjectCache* cache = new kcc::ObjectCache();
+  return *cache;
+}
+
+std::vector<ks::Result<EvalOutcome>> EvaluateAll(
+    const std::vector<Vulnerability>& vulns, const SweepOptions& options) {
+  // Force the shared kernel build before fanning out so workers don't all
+  // serialize on the KernelObjects() magic static for their first boot.
+  (void)KernelObjects();
+  std::vector<std::optional<ks::Result<EvalOutcome>>> slots(vulns.size());
+  ks::ParallelFor(options.jobs, vulns.size(), [&](size_t i) {
+    slots[i] = Evaluate(vulns[i], options.eval);
+  });
+  std::vector<ks::Result<EvalOutcome>> out;
+  out.reserve(vulns.size());
+  for (std::optional<ks::Result<EvalOutcome>>& slot : slots) {
+    out.push_back(std::move(*slot));
+  }
+  return out;
 }
 
 ks::Result<SymbolCensus> CensusKernelSymbols() {

@@ -33,6 +33,7 @@
 
 #include "base/status.h"
 #include "kcc/compile.h"
+#include "kcc/objcache.h"
 #include "kdiff/diff.h"
 #include "kvm/machine.h"
 
@@ -145,6 +146,30 @@ struct EvalOptions {
 // exploit and the stress workload.
 ks::Result<EvalOutcome> Evaluate(const Vulnerability& vuln,
                                  const EvalOptions& options = {});
+
+// Process-wide content-addressed object cache shared by every Evaluate()
+// call: the pre kernel's units are compiled once per process and identical
+// post units are never recompiled across entries or repeated sweeps.
+kcc::ObjectCache& SharedObjectCache();
+
+// ---------------------------------------------------------------------
+// Parallel sweep: the whole §6 evaluation over many entries at once.
+// Only update *creation* and the per-entry simulated machines fan out;
+// each entry applies its update inside its own machine, so apply-side
+// semantics (stop_machine, quiescence) are untouched.
+
+struct SweepOptions {
+  EvalOptions eval;
+  // Worker threads; 1 = serial, 0 = one per hardware thread.
+  int jobs = 1;
+};
+
+// Evaluates every entry of `vulns` across `options.jobs` workers sharing
+// SharedObjectCache(). Results come back in `vulns` order regardless of
+// worker completion order and are identical to calling Evaluate serially.
+std::vector<ks::Result<EvalOutcome>> EvaluateAll(
+    const std::vector<Vulnerability>& vulns,
+    const SweepOptions& options = {});
 
 // §6.3 symbol census over the built kernel: how many symbols share names,
 // and how many compilation units contain such a symbol.

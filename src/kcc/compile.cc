@@ -1,7 +1,11 @@
 #include "kcc/compile.h"
 
+#include <optional>
+
 #include "base/strings.h"
+#include "base/threadpool.h"
 #include "kcc/codegen.h"
+#include "kcc/objcache.h"
 #include "kcc/parser.h"
 #include "kcc/preprocess.h"
 #include "kvx/asm.h"
@@ -42,6 +46,11 @@ ks::Result<std::string> CompileToAsm(const kdiff::SourceTree& tree,
 ks::Result<kelf::ObjectFile> CompileUnit(const kdiff::SourceTree& tree,
                                          const std::string& path,
                                          const CompileOptions& options) {
+  if (options.cache != nullptr) {
+    // The cache strips itself from the options before compiling, so this
+    // cannot recurse.
+    return options.cache->GetOrCompile(tree, path, options);
+  }
   if (ks::EndsWith(path, ".kvs")) {
     KS_ASSIGN_OR_RETURN(std::string source, tree.Read(path));
     return kvx::Assemble(source, path, ToAsmOptions(options));
@@ -77,19 +86,30 @@ ks::Result<std::vector<std::string>> IncludeClosure(
 
 ks::Result<std::vector<kelf::ObjectFile>> BuildTree(
     const kdiff::SourceTree& tree, const CompileOptions& options) {
-  std::vector<kelf::ObjectFile> objects;
+  std::vector<std::string> units;
   for (const std::string& path : tree.Paths()) {
-    if (!IsCompilationUnit(path)) {
-      continue;
+    if (IsCompilationUnit(path)) {
+      units.push_back(path);
     }
-    ks::Result<kelf::ObjectFile> obj = CompileUnit(tree, path, options);
-    if (!obj.ok()) {
-      return obj.status();
-    }
-    objects.push_back(std::move(obj).value());
   }
-  if (objects.empty()) {
+  if (units.empty()) {
     return ks::InvalidArgument("source tree has no compilation units");
+  }
+  // Fan out across units; each worker writes only its own slot, and the
+  // reduce below walks slots in path order, so output (and the reported
+  // error on failure) is identical for every worker count.
+  std::vector<std::optional<ks::Result<kelf::ObjectFile>>> slots(
+      units.size());
+  ks::ParallelFor(options.jobs, units.size(), [&](size_t i) {
+    slots[i] = CompileUnit(tree, units[i], options);
+  });
+  std::vector<kelf::ObjectFile> objects;
+  objects.reserve(units.size());
+  for (std::optional<ks::Result<kelf::ObjectFile>>& slot : slots) {
+    if (!slot->ok()) {
+      return slot->status();
+    }
+    objects.push_back(std::move(*slot).value());
   }
   return objects;
 }

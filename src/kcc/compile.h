@@ -24,6 +24,8 @@
 
 namespace kcc {
 
+class ObjectCache;
+
 struct CompileOptions {
   // -ffunction-sections / -fdata-sections (paper §3.2). Off reproduces the
   // monolithic layout running kernels were built with; on is what Ksplice
@@ -35,6 +37,17 @@ struct CompileOptions {
   int inline_threshold = 24;
   // Function alignment in text.
   uint32_t func_align = 8;
+
+  // Build-pipeline knobs; neither affects the produced object bytes.
+  //
+  // Worker threads for tree-level builds (BuildTree, pre-post builds);
+  // 1 = serial, 0 = one per hardware thread.
+  int jobs = 1;
+  // Optional shared content-addressed cache (objcache.h). When set,
+  // CompileUnit is served from the cache: a unit whose include-closure
+  // contents and semantic options were compiled before is never
+  // recompiled. The cache is thread-safe and may outlive many builds.
+  ObjectCache* cache = nullptr;
 };
 
 // Compiles one .kc unit (with #include expansion) or assembles one .kvs

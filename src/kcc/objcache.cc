@@ -1,0 +1,92 @@
+#include "kcc/objcache.h"
+
+#include "base/strings.h"
+
+namespace kcc {
+
+namespace {
+
+uint64_t Fnv64(std::string_view data, uint64_t hash = 14695981039346656037u) {
+  for (char c : data) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211u;
+  }
+  return hash;
+}
+
+// The content address: every file whose bytes reach the object (the unit
+// plus its transitive includes, in preprocess order) and every option that
+// changes codegen. `jobs` and `cache` are deliberately excluded.
+ks::Result<std::string> CacheKey(const kdiff::SourceTree& tree,
+                                 const std::string& path,
+                                 const CompileOptions& options) {
+  KS_ASSIGN_OR_RETURN(std::vector<std::string> closure,
+                      IncludeClosure(tree, path));
+  std::string key = ks::StrPrintf(
+      "fs=%d ds=%d it=%d fa=%u |%s", options.function_sections ? 1 : 0,
+      options.data_sections ? 1 : 0, options.inline_threshold,
+      options.func_align, path.c_str());
+  for (const std::string& dep : closure) {
+    KS_ASSIGN_OR_RETURN(std::string contents, tree.Read(dep));
+    key += ks::StrPrintf("|%s:%016llx", dep.c_str(),
+                         static_cast<unsigned long long>(Fnv64(contents)));
+  }
+  return key;
+}
+
+}  // namespace
+
+ks::Result<kelf::ObjectFile> ObjectCache::GetOrCompile(
+    const kdiff::SourceTree& tree, const std::string& path,
+    const CompileOptions& options) {
+  CompileOptions uncached = options;
+  uncached.cache = nullptr;
+
+  ks::Result<std::string> key = CacheKey(tree, path, options);
+  if (!key.ok()) {
+    // Closure/read failures are uncacheable (no content to address); let
+    // the compiler produce its own error for the same input.
+    return CompileUnit(tree, path, uncached);
+  }
+
+  std::shared_ptr<Entry> entry;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_ptr<Entry>& slot = entries_[*key];
+    if (slot == nullptr) {
+      slot = std::make_shared<Entry>();
+    }
+    entry = slot;
+    if (!entry->claimed) {
+      entry->claimed = true;
+      owner = true;
+    }
+  }
+
+  if (owner) {
+    misses_.fetch_add(1);
+    ks::Result<kelf::ObjectFile> compiled = CompileUnit(tree, path, uncached);
+    std::lock_guard<std::mutex> lock(entry->mu);
+    entry->result = std::move(compiled);
+    entry->ready = true;
+    entry->ready_cv.notify_all();
+  } else {
+    hits_.fetch_add(1);
+    std::unique_lock<std::mutex> lock(entry->mu);
+    entry->ready_cv.wait(lock, [&entry] { return entry->ready; });
+  }
+  return *entry->result;
+}
+
+size_t ObjectCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void ObjectCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace kcc

@@ -1,0 +1,71 @@
+// Content-addressed object cache for the update-creation pipeline.
+//
+// Every §6-style evaluation sweep rebuilds the same pre kernel once per
+// corpus entry and recompiles unchanged units across all the post builds.
+// Object bytes are a pure function of (include-closure contents, semantic
+// compile options) — kcc builds are deterministic by design (compile.h) —
+// so compiled units can be shared by content address: the shared pre build
+// is compiled once per sweep and identical post units are never rebuilt.
+//
+// Thread-safe. Concurrent misses on the same key latch on a per-entry
+// monitor so each distinct key is compiled exactly once.
+
+#ifndef KSPLICE_KCC_OBJCACHE_H_
+#define KSPLICE_KCC_OBJCACHE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "base/status.h"
+#include "kcc/compile.h"
+#include "kdiff/diff.h"
+#include "kelf/objfile.h"
+
+namespace kcc {
+
+class ObjectCache {
+ public:
+  ObjectCache() = default;
+  ObjectCache(const ObjectCache&) = delete;
+  ObjectCache& operator=(const ObjectCache&) = delete;
+
+  // Returns the cached object for (closure contents of `path`, semantic
+  // fields of `options`), compiling on first use. Failed compiles are
+  // cached too — retrying identical input cannot succeed.
+  ks::Result<kelf::ObjectFile> GetOrCompile(const kdiff::SourceTree& tree,
+                                            const std::string& path,
+                                            const CompileOptions& options);
+
+  // Statistics. A "miss" is a compile; a "hit" is a result served from a
+  // previously computed entry (including one another thread is still
+  // computing — the caller blocks until it is ready).
+  uint64_t hits() const { return hits_.load(); }
+  uint64_t misses() const { return misses_.load(); }
+  size_t size() const;
+
+  void Clear();
+
+ private:
+  struct Entry {
+    std::mutex mu;
+    std::condition_variable ready_cv;
+    bool claimed = false;  // a thread owns the compile (set under cache mu)
+    bool ready = false;
+    std::optional<ks::Result<kelf::ObjectFile>> result;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace kcc
+
+#endif  // KSPLICE_KCC_OBJCACHE_H_

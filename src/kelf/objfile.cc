@@ -37,19 +37,24 @@ class Writer {
   std::vector<uint8_t>& out_;
 };
 
-// Serialization reader with bounds checking.
+// Serialization reader with bounds checking. Every length/offset read
+// from the buffer is validated against the bytes actually *remaining*
+// before it is dereferenced — the comparisons are written so an attacker-
+// controlled (or bit-rotted) length cannot overflow the check itself.
 class Reader {
  public:
   explicit Reader(const std::vector<uint8_t>& in) : in_(in) {}
 
+  size_t Remaining() const { return in_.size() - pos_; }
+
   ks::Result<uint8_t> U8() {
-    if (pos_ + 1 > in_.size()) {
+    if (Remaining() < 1) {
       return ks::InvalidArgument("kelf: truncated object (u8)");
     }
     return in_[pos_++];
   }
   ks::Result<uint32_t> U32() {
-    if (pos_ + 4 > in_.size()) {
+    if (Remaining() < 4) {
       return ks::InvalidArgument("kelf: truncated object (u32)");
     }
     uint32_t v = ks::ReadLe32(in_.data() + pos_);
@@ -62,7 +67,7 @@ class Reader {
   }
   ks::Result<std::string> Str() {
     KS_ASSIGN_OR_RETURN(uint32_t n, U32());
-    if (pos_ + n > in_.size()) {
+    if (n > Remaining()) {
       return ks::InvalidArgument("kelf: truncated object (string)");
     }
     std::string s(reinterpret_cast<const char*>(in_.data() + pos_), n);
@@ -71,13 +76,25 @@ class Reader {
   }
   ks::Result<std::vector<uint8_t>> Bytes() {
     KS_ASSIGN_OR_RETURN(uint32_t n, U32());
-    if (pos_ + n > in_.size()) {
+    if (n > Remaining()) {
       return ks::InvalidArgument("kelf: truncated object (bytes)");
     }
     std::vector<uint8_t> b(in_.begin() + static_cast<long>(pos_),
                            in_.begin() + static_cast<long>(pos_ + n));
     pos_ += n;
     return b;
+  }
+  // Validates an element count against the bytes left, given the minimum
+  // encoded size of one element. Rejecting count > remaining/min_size
+  // keeps a corrupt count from driving a multi-gigabyte reserve() before
+  // the per-element reads would catch the truncation.
+  ks::Status CheckCount(uint32_t count, size_t min_element_size,
+                        const char* what) {
+    if (count > Remaining() / min_element_size) {
+      return ks::InvalidArgument(
+          ks::StrPrintf("kelf: %s count %u exceeds buffer", what, count));
+    }
+    return ks::OkStatus();
   }
   bool AtEnd() const { return pos_ == in_.size(); }
 
@@ -212,6 +229,7 @@ ks::Result<ObjectFile> ObjectFile::Parse(const std::vector<uint8_t>& bytes) {
   KS_ASSIGN_OR_RETURN(obj.source_name_, r.Str());
 
   KS_ASSIGN_OR_RETURN(uint32_t num_sections, r.U32());
+  KS_RETURN_IF_ERROR(r.CheckCount(num_sections, 21, "section"));
   obj.sections_.reserve(num_sections);
   for (uint32_t i = 0; i < num_sections; ++i) {
     Section sec;
@@ -225,6 +243,7 @@ ks::Result<ObjectFile> ObjectFile::Parse(const std::vector<uint8_t>& bytes) {
     KS_ASSIGN_OR_RETURN(sec.bytes, r.Bytes());
     KS_ASSIGN_OR_RETURN(sec.bss_size, r.U32());
     KS_ASSIGN_OR_RETURN(uint32_t num_relocs, r.U32());
+    KS_RETURN_IF_ERROR(r.CheckCount(num_relocs, 13, "relocation"));
     sec.relocs.reserve(num_relocs);
     for (uint32_t j = 0; j < num_relocs; ++j) {
       Relocation rel;
@@ -242,6 +261,7 @@ ks::Result<ObjectFile> ObjectFile::Parse(const std::vector<uint8_t>& bytes) {
   }
 
   KS_ASSIGN_OR_RETURN(uint32_t num_symbols, r.U32());
+  KS_RETURN_IF_ERROR(r.CheckCount(num_symbols, 18, "symbol"));
   obj.symbols_.reserve(num_symbols);
   for (uint32_t i = 0; i < num_symbols; ++i) {
     Symbol sym;
@@ -292,7 +312,9 @@ ks::Status ObjectFile::Validate() const {
             "kelf: relocation in '%s' names symbol %d out of range",
             sec.name.c_str(), rel.symbol));
       }
-      if (rel.offset + 4 > sec.size()) {
+      // Written overflow-safe: `rel.offset + 4` would wrap to a small
+      // value for offsets near UINT32_MAX and pass the check.
+      if (sec.size() < 4 || rel.offset > sec.size() - 4) {
         return ks::InvalidArgument(ks::StrPrintf(
             "kelf: relocation at %u overruns section '%s' (size %u)",
             rel.offset, sec.name.c_str(), sec.size()));

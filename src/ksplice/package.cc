@@ -49,7 +49,9 @@ struct Cursor {
   }
   ks::Result<std::string> Str() {
     KS_ASSIGN_OR_RETURN(uint32_t n, U32());
-    if (pos + n > in.size()) {
+    // `n > remaining` rather than `pos + n > size`: the length is read
+    // from the (possibly corrupt) file and must not overflow the check.
+    if (n > in.size() - pos) {
       return ks::InvalidArgument("package: truncated string");
     }
     std::string s(reinterpret_cast<const char*>(in.data() + pos), n);
@@ -58,7 +60,7 @@ struct Cursor {
   }
   ks::Result<std::vector<uint8_t>> Blob() {
     KS_ASSIGN_OR_RETURN(uint32_t n, U32());
-    if (pos + n > in.size()) {
+    if (n > in.size() - pos) {
       return ks::InvalidArgument("package: truncated blob");
     }
     std::vector<uint8_t> b(in.begin() + static_cast<long>(pos),

@@ -1,9 +1,11 @@
 #include "ksplice/prepost.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 
 #include "base/strings.h"
+#include "base/threadpool.h"
 
 namespace ksplice {
 
@@ -120,30 +122,39 @@ ks::Result<PrePostResult> RunPrePost(const kdiff::SourceTree& pre_tree,
   PrePostResult result;
   result.rebuilt_units.assign(rebuilt.begin(), rebuilt.end());
 
-  for (const std::string& unit : result.rebuilt_units) {
-    bool in_pre = pre_tree.Exists(unit);
-    bool in_post = post_tree->Exists(unit);
-
-    kelf::ObjectFile pre_obj(unit);
-    kelf::ObjectFile post_obj(unit);
-    if (in_pre) {
+  // Every unit's double build and section diff is independent of every
+  // other unit's, so fan out per unit (options.jobs workers). Workers
+  // write only their own slot; the reduce below runs in unit order, so
+  // the result — including which error is reported on failure — does not
+  // depend on completion order.
+  struct UnitOutcome {
+    kelf::ObjectFile pre_obj;
+    kelf::ObjectFile post_obj;
+    std::vector<ChangedSection> changed;
+  };
+  auto build_and_diff =
+      [&](const std::string& unit) -> ks::Result<UnitOutcome> {
+    UnitOutcome out{kelf::ObjectFile(unit), kelf::ObjectFile(unit), {}};
+    if (pre_tree.Exists(unit)) {
       ks::Result<kelf::ObjectFile> built =
           kcc::CompileUnit(pre_tree, unit, options);
       if (!built.ok()) {
         return ks::Status(built.status()).WithContext("pre build");
       }
-      pre_obj = std::move(built).value();
+      out.pre_obj = std::move(built).value();
     }
-    if (in_post) {
+    if (post_tree->Exists(unit)) {
       ks::Result<kelf::ObjectFile> built =
           kcc::CompileUnit(*post_tree, unit, options);
       if (!built.ok()) {
         return ks::Status(built.status()).WithContext("post build");
       }
-      post_obj = std::move(built).value();
+      out.post_obj = std::move(built).value();
     }
 
     // Diff post against pre.
+    const kelf::ObjectFile& pre_obj = out.pre_obj;
+    const kelf::ObjectFile& post_obj = out.post_obj;
     for (size_t si = 0; si < post_obj.sections().size(); ++si) {
       const kelf::Section& post_sec = post_obj.sections()[si];
       std::optional<int> pre_idx = pre_obj.FindSection(post_sec.name);
@@ -154,14 +165,14 @@ ks::Result<PrePostResult> RunPrePost(const kdiff::SourceTree& pre_tree,
       change.symbol = DefiningSymbol(post_obj, static_cast<int>(si));
       if (!pre_idx.has_value()) {
         change.change = SectionChange::kAdded;
-        result.changed.push_back(std::move(change));
+        out.changed.push_back(std::move(change));
         continue;
       }
       const kelf::Section& pre_sec =
           pre_obj.sections()[static_cast<size_t>(*pre_idx)];
       if (!SectionsEquivalent(pre_obj, pre_sec, post_obj, post_sec)) {
         change.change = SectionChange::kModified;
-        result.changed.push_back(std::move(change));
+        out.changed.push_back(std::move(change));
       }
     }
     for (size_t si = 0; si < pre_obj.sections().size(); ++si) {
@@ -173,12 +184,28 @@ ks::Result<PrePostResult> RunPrePost(const kdiff::SourceTree& pre_tree,
         change.kind = pre_sec.kind;
         change.change = SectionChange::kRemoved;
         change.symbol = DefiningSymbol(pre_obj, static_cast<int>(si));
-        result.changed.push_back(std::move(change));
+        out.changed.push_back(std::move(change));
       }
     }
+    return out;
+  };
 
-    result.pre_objects.push_back(std::move(pre_obj));
-    result.post_objects.push_back(std::move(post_obj));
+  std::vector<std::optional<ks::Result<UnitOutcome>>> slots(
+      result.rebuilt_units.size());
+  ks::ParallelFor(options.jobs, result.rebuilt_units.size(), [&](size_t i) {
+    slots[i] = build_and_diff(result.rebuilt_units[i]);
+  });
+
+  for (std::optional<ks::Result<UnitOutcome>>& slot : slots) {
+    if (!slot->ok()) {
+      return slot->status();
+    }
+    UnitOutcome out = std::move(*slot).value();
+    for (ChangedSection& change : out.changed) {
+      result.changed.push_back(std::move(change));
+    }
+    result.pre_objects.push_back(std::move(out.pre_obj));
+    result.post_objects.push_back(std::move(out.post_obj));
   }
   return result;
 }

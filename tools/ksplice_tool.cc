@@ -20,6 +20,7 @@
 #include "base/strings.h"
 #include "corpus/corpus.h"
 #include "kcc/compile.h"
+#include "kcc/objcache.h"
 #include "kdiff/diff.h"
 #include "ksplice/core.h"
 #include "ksplice/create.h"
@@ -80,8 +81,20 @@ int Fail(const ks::Status& status) {
   return 1;
 }
 
+// Build-side parallelism (-j N; 0 = one worker per hardware thread) and
+// the tool-lifetime object cache. Only creation fans out — apply-side
+// semantics in `demo` are untouched.
+int g_jobs = 1;
+
+kcc::ObjectCache& ToolCache() {
+  static kcc::ObjectCache* cache = new kcc::ObjectCache();
+  return *cache;
+}
+
 kcc::CompileOptions DefaultBuild() {
   kcc::CompileOptions options;  // monolithic, like a shipped kernel
+  options.jobs = g_jobs;
+  options.cache = &ToolCache();
   return options;
 }
 
@@ -322,13 +335,15 @@ int CmdExportCorpus(const std::string& dir) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage:\n"
+      "usage: ksplice_tool [-j N] <command> ...\n"
       "  ksplice_tool build   <srcdir>\n"
       "  ksplice_tool create  <srcdir> <patch> <out.kspl>\n"
       "  ksplice_tool inspect <pkg.kspl>\n"
       "  ksplice_tool demo    <srcdir> <patch> [entry [arg]]\n"
       "  ksplice_tool disasm  <srcdir> <unit>\n"
-      "  ksplice_tool export-corpus <dir>\n");
+      "  ksplice_tool export-corpus <dir>\n"
+      "  -j N   compile with N worker threads (0 = all hardware threads);\n"
+      "         output is byte-identical for every N\n");
   return 2;
 }
 
@@ -336,6 +351,18 @@ int Usage() {
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+  for (size_t i = 0; i < args.size();) {
+    if (args[i] == "-j" && i + 1 < args.size()) {
+      g_jobs = std::atoi(args[i + 1].c_str());
+      args.erase(args.begin() + static_cast<long>(i),
+                 args.begin() + static_cast<long>(i) + 2);
+    } else if (ks::StartsWith(args[i], "-j") && args[i].size() > 2) {
+      g_jobs = std::atoi(args[i].c_str() + 2);
+      args.erase(args.begin() + static_cast<long>(i));
+    } else {
+      ++i;
+    }
+  }
   if (args.empty()) {
     return Usage();
   }
