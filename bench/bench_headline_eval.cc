@@ -10,7 +10,11 @@
 // The sweep fans out per entry (-j N, default all hardware threads) over
 // a shared content-addressed object cache; rows are printed in corpus
 // order, so stdout is byte-identical for every worker count. Wall-clock
-// and cache statistics go to stderr.
+// and pipeline statistics (from the metrics registry) go to stderr.
+//
+// --report-dir=DIR writes one JSON report per corpus entry
+// (EvalOutcome::ToJson: the per-phase create/apply/undo reports included)
+// plus a metrics.json snapshot of the whole-process registry.
 //
 // Paper: "56 of the 64 patches can be applied by Ksplice without writing
 // any new code. The remaining eight ... require 17 new lines each, on
@@ -19,17 +23,24 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
 
+#include "base/metrics.h"
 #include "corpus/corpus.h"
 
 int main(int argc, char** argv) {
   int jobs = 0;  // 0 = one worker per hardware thread
+  std::string report_dir;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "-j" && i + 1 < argc) {
       jobs = std::atoi(argv[++i]);
     } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
       jobs = std::atoi(arg.c_str() + 2);
+    } else if (arg.rfind("--report-dir=", 0) == 0) {
+      report_dir = arg.substr(13);
     }
   }
 
@@ -68,6 +79,10 @@ int main(int argc, char** argv) {
       std::printf("%-15s EVALUATION ERROR: %s\n", vulns[i].cve.c_str(),
                   outcome.status().ToString().c_str());
       continue;
+    }
+    if (!report_dir.empty()) {
+      std::ofstream out(report_dir + "/" + outcome->cve + ".json");
+      out << outcome->ToJson() << "\n";
     }
     std::printf("%-15s %5d %6d %7s %7s %8s %7s %7s\n", outcome->cve.c_str(),
                 outcome->patch_lines, outcome->targets,
@@ -110,12 +125,35 @@ int main(int argc, char** argv) {
   std::printf("end-to-end successes             : %2d / %zu   (paper: 64/64)\n",
               success, vulns.size());
 
-  const kcc::ObjectCache& cache = corpus::SharedObjectCache();
+  // Pipeline statistics from the metrics registry — the same counters the
+  // instrumented code publishes, no private tallies.
+  std::map<std::string, uint64_t> counters = ks::Metrics().CounterValues();
+  auto counter = [&counters](const char* name) -> unsigned long long {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0ull : it->second;
+  };
   std::fprintf(stderr,
                "[timing] sweep wall-clock %.3f s at -j %d; object cache "
                "%llu hits / %llu misses\n",
-               seconds, jobs,
-               static_cast<unsigned long long>(cache.hits()),
-               static_cast<unsigned long long>(cache.misses()));
+               seconds, jobs, counter("kcc.objcache.hits"),
+               counter("kcc.objcache.misses"));
+  std::fprintf(stderr, "[metrics] %-28s %12s\n", "counter", "value");
+  for (const char* name :
+       {"kcc.units_compiled", "kcc.objcache.hits", "kcc.objcache.misses",
+        "prepost.units_rebuilt", "prepost.sections_changed",
+        "runpre.units_matched", "runpre.bytes_matched",
+        "runpre.reloc_sites_inverted", "ksplice.applies", "ksplice.undos",
+        "ksplice.quiescence_retries", "kvm.instructions",
+        "kvm.context_switches", "kvm.stop_machine_calls"}) {
+    std::fprintf(stderr, "[metrics] %-28s %12llu\n", name, counter(name));
+  }
+  if (!report_dir.empty()) {
+    ks::Status written =
+        ks::Metrics().WriteJson(report_dir + "/metrics.json");
+    if (!written.ok()) {
+      std::fprintf(stderr, "[metrics] write failed: %s\n",
+                   written.ToString().c_str());
+    }
+  }
   return success == static_cast<int>(vulns.size()) ? 0 : 1;
 }

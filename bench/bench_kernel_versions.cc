@@ -128,7 +128,7 @@ int main() {
         return 1;
       }
       ksplice::KspliceCore core(machine->get());
-      ks::Result<std::string> applied = core.Apply(v1_update->package);
+      ks::Result<ksplice::ApplyReport> applied = core.Apply(v1_update->package);
 
       // Does the dev change intersect the patched unit?
       bool unit_touched = false;

@@ -2,9 +2,14 @@
 // over every byte of the pre code". Measures MatchUnit throughput against
 // synthetic compilation units of increasing size and relocation density,
 // and reports bytes matched per second.
+//
+// Reported work counts (bytes matched, relocation inversions, candidate
+// attempts) are read back from the "runpre." counters the matcher
+// publishes to the metrics registry, not recomputed locally.
 
 #include <benchmark/benchmark.h>
 
+#include "base/metrics.h"
 #include "base/strings.h"
 #include "kcc/compile.h"
 #include "kdiff/diff.h"
@@ -12,6 +17,31 @@
 #include "kvm/machine.h"
 
 namespace {
+
+// The per-iteration mean growth of a registry counter across the timed
+// loop (the counters are process-wide monotonic aggregates).
+struct RunpreDeltas {
+  uint64_t bytes_matched = 0;
+  uint64_t pre_bytes_walked = 0;
+  uint64_t candidates_tried = 0;
+  uint64_t reloc_sites_inverted = 0;
+  uint64_t ambiguity_deferrals = 0;
+
+  static RunpreDeltas Snapshot() {
+    RunpreDeltas s;
+    s.bytes_matched =
+        ks::Metrics().GetCounter("runpre.bytes_matched").value();
+    s.pre_bytes_walked =
+        ks::Metrics().GetCounter("runpre.pre_bytes_walked").value();
+    s.candidates_tried =
+        ks::Metrics().GetCounter("runpre.candidates_tried").value();
+    s.reloc_sites_inverted =
+        ks::Metrics().GetCounter("runpre.reloc_sites_inverted").value();
+    s.ambiguity_deferrals =
+        ks::Metrics().GetCounter("runpre.ambiguity_deferrals").value();
+    return s;
+  }
+};
 
 // Generates a unit with `n` functions that call each other and touch
 // shared globals — plenty of relocations for the matcher to invert.
@@ -68,16 +98,8 @@ void BM_MatchUnit(benchmark::State& state) {
     state.SkipWithError("pre build failed");
     return;
   }
-  uint64_t text_bytes = 0;
-  uint64_t relocs = 0;
-  for (const kelf::Section& section : pre->sections()) {
-    if (section.kind == kelf::SectionKind::kText) {
-      text_bytes += section.bytes.size();
-      relocs += section.relocs.size();
-    }
-  }
-
   ksplice::RunPreMatcher matcher(**machine);
+  RunpreDeltas before = RunpreDeltas::Snapshot();
   for (auto _ : state) {
     ks::Result<ksplice::UnitMatch> match = matcher.MatchUnit(*pre);
     if (!match.ok()) {
@@ -86,11 +108,18 @@ void BM_MatchUnit(benchmark::State& state) {
     }
     benchmark::DoNotOptimize(match);
   }
-  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(text_bytes));
+  RunpreDeltas after = RunpreDeltas::Snapshot();
+  uint64_t iterations = static_cast<uint64_t>(state.iterations());
+  state.SetBytesProcessed(
+      static_cast<int64_t>(after.bytes_matched - before.bytes_matched));
   state.counters["functions"] = n;
-  state.counters["text_bytes"] = static_cast<double>(text_bytes);
-  state.counters["relocations"] = static_cast<double>(relocs);
+  state.counters["bytes_matched"] = static_cast<double>(
+      (after.bytes_matched - before.bytes_matched) / iterations);
+  state.counters["pre_bytes_walked"] = static_cast<double>(
+      (after.pre_bytes_walked - before.pre_bytes_walked) / iterations);
+  state.counters["reloc_inversions"] = static_cast<double>(
+      (after.reloc_sites_inverted - before.reloc_sites_inverted) /
+      iterations);
 }
 BENCHMARK(BM_MatchUnit)->Arg(4)->Arg(16)->Arg(64)->Arg(128);
 
@@ -136,6 +165,7 @@ void BM_MatchAmbiguous(benchmark::State& state) {
     return;
   }
   ksplice::RunPreMatcher matcher(**machine);
+  RunpreDeltas before = RunpreDeltas::Snapshot();
   for (auto _ : state) {
     ks::Result<ksplice::UnitMatch> match = matcher.MatchUnit(*pre);
     if (!match.ok()) {
@@ -143,7 +173,14 @@ void BM_MatchAmbiguous(benchmark::State& state) {
       return;
     }
   }
+  RunpreDeltas after = RunpreDeltas::Snapshot();
+  uint64_t iterations = static_cast<uint64_t>(state.iterations());
   state.counters["same_named_candidates"] = copies;
+  state.counters["candidates_tried"] = static_cast<double>(
+      (after.candidates_tried - before.candidates_tried) / iterations);
+  state.counters["ambiguity_deferrals"] = static_cast<double>(
+      (after.ambiguity_deferrals - before.ambiguity_deferrals) /
+      iterations);
 }
 BENCHMARK(BM_MatchAmbiguous)->Arg(2)->Arg(8)->Arg(32);
 

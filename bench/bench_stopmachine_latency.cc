@@ -7,9 +7,14 @@
 // application (safety check + hook + splice), and (c) a full
 // apply+undo cycle, against (d) the cost of a simulated reboot (fresh
 // kernel build + boot + init) for scale.
+//
+// All reported numbers come from the metrics registry (base/metrics.h) —
+// the same "kvm.stop_rendezvous_ns" / "ksplice.stop_pause_ns" series the
+// instrumented code publishes — not from private stopwatches.
 
 #include <benchmark/benchmark.h>
 
+#include "base/metrics.h"
 #include "corpus/corpus.h"
 #include "kcc/compile.h"
 #include "ksplice/core.h"
@@ -17,6 +22,28 @@
 #include "kvm/machine.h"
 
 namespace {
+
+// Snapshot of one registry histogram, for before/after deltas.
+struct HistSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+};
+
+HistSnapshot Snapshot(const char* name) {
+  ks::Histogram& hist = ks::Metrics().GetHistogram(name);
+  return HistSnapshot{hist.count(), hist.sum()};
+}
+
+// Mean of the observations made since `before`, in nanoseconds.
+double MeanSince(const char* name, const HistSnapshot& before) {
+  HistSnapshot now = Snapshot(name);
+  uint64_t count = now.count - before.count;
+  if (count == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(now.sum - before.sum) /
+         static_cast<double>(count);
+}
 
 std::unique_ptr<kvm::Machine> BootBusyKernel(int cpus) {
   ks::Result<std::unique_ptr<kvm::Machine>> machine = corpus::BootKernel();
@@ -40,6 +67,9 @@ void BM_StopMachineRendezvous(benchmark::State& state) {
     state.SkipWithError("boot failed");
     return;
   }
+  ks::Counter& calls = ks::Metrics().GetCounter("kvm.stop_machine_calls");
+  uint64_t calls_before = calls.value();
+  HistSnapshot rendezvous_before = Snapshot("kvm.stop_rendezvous_ns");
   for (auto _ : state) {
     ks::Status status = machine->StopMachine(
         [](kvm::Machine&) { return ks::OkStatus(); });
@@ -49,13 +79,17 @@ void BM_StopMachineRendezvous(benchmark::State& state) {
     }
   }
   machine->StopCpus();
+  state.counters["stop_calls"] =
+      static_cast<double>(calls.value() - calls_before);
+  state.counters["rendezvous_ns"] =
+      MeanSince("kvm.stop_rendezvous_ns", rendezvous_before);
 }
 BENCHMARK(BM_StopMachineRendezvous)->Arg(0)->Arg(1)->Arg(2)->Arg(4);
 
 // The full stopped window of one update application: stack-safety check
-// over the patched ranges plus the trampoline splice, measured by timing
-// Apply minus its (dominant, unstopped) run-pre phase is impractical;
-// instead we measure the StopMachine body Ksplice runs, reconstructed.
+// over the patched ranges plus the trampoline splice. The pause is read
+// back from the "ksplice.stop_pause_ns" histogram that KspliceCore
+// publishes for every successful stop window.
 void BM_ApplyUndoCycle(benchmark::State& state) {
   const corpus::Vulnerability* vuln = nullptr;
   for (const corpus::Vulnerability& candidate : corpus::Vulnerabilities()) {
@@ -79,18 +113,30 @@ void BM_ApplyUndoCycle(benchmark::State& state) {
     return;
   }
   ksplice::KspliceCore core(machine.get());
+  ks::Counter& retries =
+      ks::Metrics().GetCounter("ksplice.quiescence_retries");
+  uint64_t retries_before = retries.value();
+  HistSnapshot pause_before = Snapshot("ksplice.stop_pause_ns");
+  uint64_t trampoline_bytes = 0;
   for (auto _ : state) {
-    ks::Result<std::string> applied = core.Apply(created->package);
+    ks::Result<ksplice::ApplyReport> applied = core.Apply(created->package);
     if (!applied.ok()) {
       state.SkipWithError(applied.status().message().c_str());
       return;
     }
-    ks::Status undone = core.Undo(vuln->cve);
+    trampoline_bytes = applied->trampoline_bytes;
+    ks::Result<ksplice::UndoReport> undone = core.Undo(vuln->cve);
     if (!undone.ok()) {
-      state.SkipWithError(undone.message().c_str());
+      state.SkipWithError(undone.status().message().c_str());
       return;
     }
   }
+  state.counters["stop_pause_ns"] =
+      MeanSince("ksplice.stop_pause_ns", pause_before);
+  state.counters["quiescence_retries"] =
+      static_cast<double>(retries.value() - retries_before);
+  state.counters["trampoline_bytes"] =
+      static_cast<double>(trampoline_bytes);
 }
 BENCHMARK(BM_ApplyUndoCycle);
 

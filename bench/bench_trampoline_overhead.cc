@@ -116,7 +116,7 @@ void BM_CallPatchedVsUnpatched(benchmark::State& state) {
   uint32_t arena_before = machine->ModuleArenaBytesInUse();
   ksplice::ApplyOptions apply_options;
   apply_options.keep_helper = true;
-  ks::Result<std::string> applied =
+  ks::Result<ksplice::ApplyReport> applied =
       core.Apply(created->package, apply_options);
   if (!applied.ok()) {
     state.SkipWithError(applied.status().message().c_str());

@@ -63,7 +63,7 @@ int main() {
   std::printf("\nroot:/home/user# ksplice-apply ./%s.tar.gz\n",
               update->package.id.c_str());
   ksplice::KspliceCore core(machine->get());
-  ks::Result<std::string> applied = core.Apply(update->package);
+  ks::Result<ksplice::ApplyReport> applied = core.Apply(update->package);
   if (!applied.ok()) {
     std::printf("apply failed: %s\n", applied.status().ToString().c_str());
     return 1;

@@ -68,7 +68,7 @@ int main() {
       return 1;
     }
     ksplice::KspliceCore core(machine->get());
-    ks::Result<std::string> applied = core.Apply(*pkg);
+    ks::Result<ksplice::ApplyReport> applied = core.Apply(*pkg);
     ks::Result<bool> after = corpus::RunExploit(**machine, *vuln);
     ks::Status drained = (*machine)->RunToCompletion();
 

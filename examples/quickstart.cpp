@@ -86,9 +86,9 @@ int main() {
 
   // --- 4. ksplice-apply ----------------------------------------------------
   ksplice::KspliceCore core(machine->get());
-  ks::Result<std::string> applied = core.Apply(update->package);
+  ks::Result<ksplice::ApplyReport> applied = core.Apply(update->package);
   CHECK_OK(applied);
-  std::printf("applied %s without rebooting\n", applied->c_str());
+  std::printf("applied %s without rebooting\n", applied->id.c_str());
 
   // --- 5. Fixed behaviour, state preserved --------------------------------
   CHECK_OK((*machine)->SpawnNamed("probe", 0));
@@ -100,9 +100,9 @@ int main() {
               *(*machine)->ReadWord(boot_count_addr));
 
   // --- 6. ksplice-undo -----------------------------------------------------
-  ks::Status undone = core.Undo(*applied);
+  ks::Result<ksplice::UndoReport> undone = core.Undo(applied->id);
   if (!undone.ok()) {
-    std::printf("undo failed: %s\n", undone.ToString().c_str());
+    std::printf("undo failed: %s\n", undone.status().ToString().c_str());
     return 1;
   }
   CHECK_OK((*machine)->SpawnNamed("probe", 0));

@@ -62,7 +62,7 @@ int main() {
               update->package.targets.size());
 
   ksplice::KspliceCore core(machine->get());
-  ks::Result<std::string> applied = core.Apply(update->package);
+  ks::Result<ksplice::ApplyReport> applied = core.Apply(update->package);
   if (!applied.ok()) {
     std::printf("apply failed: %s\n", applied.status().ToString().c_str());
     return 1;

@@ -92,7 +92,7 @@ int main() {
                 u2.status().ToString().c_str());
     return 1;
   }
-  ks::Result<std::string> applied2 = core.Apply(u2->package);
+  ks::Result<ksplice::ApplyReport> applied2 = core.Apply(u2->package);
   if (!applied2.ok()) {
     std::printf("update-2 apply failed: %s\n",
                 applied2.status().ToString().c_str());

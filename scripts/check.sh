@@ -10,4 +10,30 @@ cmake --build build
 ctest --test-dir build --output-on-failure
 for b in build/bench/bench_*; do echo "== $b =="; "$b"; done
 for e in build/examples/quickstart build/examples/cve_prctl build/examples/shadow_struct build/examples/stacked_updates build/examples/fleet_update; do echo "== $e =="; "$e"; done
+
+# Observability smoke: export the corpus, hot-apply one CVE fix under
+# --trace/--metrics, and validate the emitted JSON files.
+echo "== ksplice_tool observability smoke =="
+obs_dir=$(mktemp -d)
+trap 'rm -rf "$obs_dir"' EXIT
+build/tools/ksplice_tool export-corpus "$obs_dir/corpus"
+build/tools/ksplice_tool --trace="$obs_dir/trace.json" \
+  --metrics="$obs_dir/metrics.json" \
+  demo "$obs_dir/corpus/src" "$obs_dir/corpus/patches/CVE-2006-2451.patch" \
+  xp_2006_2451
+python3 - "$obs_dir" <<'EOF'
+import json, sys
+obs_dir = sys.argv[1]
+trace = json.load(open(obs_dir + "/trace.json"))
+names = {e["name"] for e in trace["traceEvents"]}
+for span in ("create.update", "runpre.match_unit", "ksplice.apply"):
+    assert span in names, f"missing trace span {span}: {sorted(names)}"
+metrics = json.load(open(obs_dir + "/metrics.json"))
+counters = metrics["counters"]
+for key in ("kcc.units_compiled", "runpre.units_matched", "ksplice.applies"):
+    assert counters.get(key, 0) > 0, f"counter {key} not populated: {counters}"
+assert metrics["histograms"]["ksplice.stop_pause_ns"]["count"] > 0
+print("trace + metrics JSON OK:",
+      len(trace["traceEvents"]), "spans,", len(counters), "counters")
+EOF
 echo "ALL CHECKS PASSED"

@@ -195,10 +195,12 @@ ks::Result<EvalOutcome> Evaluate(const Vulnerability& vuln,
       return created.status();
     }
     outcome.targets = static_cast<int>(created->package.targets.size());
-    ks::Result<std::string> applied = core.Apply(created->package);
+    outcome.create_report = created->report;
+    ks::Result<ksplice::ApplyReport> applied = core.Apply(created->package);
     if (!applied.ok()) {
       return ks::Status(applied.status());
     }
+    outcome.apply_report = std::move(applied).value();
     return true;
   };
 
@@ -212,7 +214,7 @@ ks::Result<EvalOutcome> Evaluate(const Vulnerability& vuln,
     // Table-1 path: undo the ineffective update if one is applied, then
     // use the revised patch with ksplice hooks.
     if (applied) {
-      KS_RETURN_IF_ERROR(core.Undo(vuln.cve));
+      KS_RETURN_IF_ERROR(core.Undo(vuln.cve).status());
     }
     outcome.needed_custom_code = true;
     outcome.custom_code_lines = vuln.custom_code_lines;
@@ -361,10 +363,32 @@ ks::Result<EvalOutcome> Evaluate(const Vulnerability& vuln,
   if (options.run_undo_check && outcome.apply_ok) {
     std::string id = outcome.needed_custom_code ? vuln.cve + "-custom"
                                                 : vuln.cve;
-    outcome.undo_ok = core.Undo(id).ok();
+    ks::Result<ksplice::UndoReport> undone = core.Undo(id);
+    outcome.undo_ok = undone.ok();
+    if (undone.ok()) {
+      outcome.undo_report = std::move(undone).value();
+    }
   }
 
   return outcome;
+}
+
+std::string EvalOutcome::ToJson() const {
+  auto b = [](bool v) { return v ? "true" : "false"; };
+  return ks::StrPrintf(
+      "{\"cve\":\"%s\",\"patch_lines\":%d,\"needed_custom_code\":%s,"
+      "\"custom_code_lines\":%d,\"create_ok\":%s,\"apply_ok\":%s,"
+      "\"stress_ok\":%s,\"exploit_before\":%s,\"exploit_after\":%s,"
+      "\"undo_ok\":%s,\"targets\":%d,\"modified_inlined_function\":%s,"
+      "\"declared_inline\":%s,\"references_ambiguous_symbol\":%s,"
+      "\"touches_assembly\":%s,\"success\":%s,\"create\":%s,\"apply\":%s,"
+      "\"undo\":%s}",
+      cve.c_str(), patch_lines, b(needed_custom_code), custom_code_lines,
+      b(create_ok), b(apply_ok), b(stress_ok), b(exploit_before),
+      b(exploit_after), b(undo_ok), targets, b(modified_inlined_function),
+      b(declared_inline), b(references_ambiguous_symbol),
+      b(touches_assembly), b(Success()), create_report.ToJson().c_str(),
+      apply_report.ToJson().c_str(), undo_report.ToJson().c_str());
 }
 
 kcc::ObjectCache& SharedObjectCache() {

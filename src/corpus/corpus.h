@@ -35,6 +35,7 @@
 #include "kcc/compile.h"
 #include "kcc/objcache.h"
 #include "kdiff/diff.h"
+#include "ksplice/report.h"
 #include "kvm/machine.h"
 
 namespace corpus {
@@ -129,10 +130,20 @@ struct EvalOutcome {
   bool references_ambiguous_symbol = false;
   bool touches_assembly = false;
 
+  // Typed per-phase reports from the pipeline (report.h). Populated when
+  // the corresponding phase ran; the applied report is for the update that
+  // ended up in effect (the amended one on the Table-1 path).
+  ksplice::CreateReport create_report;
+  ksplice::ApplyReport apply_report;
+  ksplice::UndoReport undo_report;  // only with EvalOptions::run_undo_check
+
   bool Success() const {
     return create_ok && apply_ok && stress_ok &&
            (exploit_before ? !exploit_after : true);
   }
+
+  // One JSON object per corpus entry (headline sweep report files).
+  std::string ToJson() const;
 };
 
 struct EvalOptions {

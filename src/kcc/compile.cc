@@ -2,8 +2,10 @@
 
 #include <optional>
 
+#include "base/metrics.h"
 #include "base/strings.h"
 #include "base/threadpool.h"
+#include "base/trace.h"
 #include "kcc/codegen.h"
 #include "kcc/objcache.h"
 #include "kcc/parser.h"
@@ -20,6 +22,21 @@ kvx::AsmOptions ToAsmOptions(const CompileOptions& options) {
   out.data_sections = options.data_sections;
   out.func_align = options.func_align;
   return out;
+}
+
+// Publishes one real (non-cache-served) unit compile to the registry.
+void CountCompiled(const kelf::ObjectFile& obj) {
+  static ks::Counter& units = ks::Metrics().GetCounter("kcc.units_compiled");
+  static ks::Counter& text_bytes =
+      ks::Metrics().GetCounter("kcc.text_bytes_emitted");
+  units.Add(1);
+  uint64_t bytes = 0;
+  for (const kelf::Section& section : obj.sections()) {
+    if (section.kind == kelf::SectionKind::kText) {
+      bytes += section.bytes.size();
+    }
+  }
+  text_bytes.Add(bytes);
 }
 
 }  // namespace
@@ -51,9 +68,16 @@ ks::Result<kelf::ObjectFile> CompileUnit(const kdiff::SourceTree& tree,
     // cannot recurse.
     return options.cache->GetOrCompile(tree, path, options);
   }
+  ks::TraceSpan span("kcc.compile_unit");
+  span.Annotate("unit", path);
   if (ks::EndsWith(path, ".kvs")) {
     KS_ASSIGN_OR_RETURN(std::string source, tree.Read(path));
-    return kvx::Assemble(source, path, ToAsmOptions(options));
+    ks::Result<kelf::ObjectFile> assembled =
+        kvx::Assemble(source, path, ToAsmOptions(options));
+    if (assembled.ok()) {
+      CountCompiled(*assembled);
+    }
+    return assembled;
   }
   if (!ks::EndsWith(path, ".kc")) {
     return ks::InvalidArgument(
@@ -69,6 +93,7 @@ ks::Result<kelf::ObjectFile> CompileUnit(const kdiff::SourceTree& tree,
         "internal: generated assembly for %s does not assemble: %s",
         path.c_str(), obj.status().message().c_str()));
   }
+  CountCompiled(*obj);
   return obj;
 }
 
@@ -86,6 +111,7 @@ ks::Result<std::vector<std::string>> IncludeClosure(
 
 ks::Result<std::vector<kelf::ObjectFile>> BuildTree(
     const kdiff::SourceTree& tree, const CompileOptions& options) {
+  ks::TraceSpan span("kcc.build_tree");
   std::vector<std::string> units;
   for (const std::string& path : tree.Paths()) {
     if (IsCompilationUnit(path)) {
@@ -95,6 +121,7 @@ ks::Result<std::vector<kelf::ObjectFile>> BuildTree(
   if (units.empty()) {
     return ks::InvalidArgument("source tree has no compilation units");
   }
+  span.Annotate("units", static_cast<uint64_t>(units.size()));
   // Fan out across units; each worker writes only its own slot, and the
   // reduce below walks slots in path order, so output (and the reported
   // error on failure) is identical for every worker count.

@@ -1,5 +1,6 @@
 #include "kcc/objcache.h"
 
+#include "base/metrics.h"
 #include "base/strings.h"
 
 namespace kcc {
@@ -38,9 +39,19 @@ ks::Result<std::string> CacheKey(const kdiff::SourceTree& tree,
 
 ks::Result<kelf::ObjectFile> ObjectCache::GetOrCompile(
     const kdiff::SourceTree& tree, const std::string& path,
-    const CompileOptions& options) {
+    const CompileOptions& options, bool* was_hit) {
+  // Registry instruments resolved once; the references stay valid for the
+  // process lifetime (metrics.h).
+  static ks::Counter& hit_counter =
+      ks::Metrics().GetCounter("kcc.objcache.hits");
+  static ks::Counter& miss_counter =
+      ks::Metrics().GetCounter("kcc.objcache.misses");
+
   CompileOptions uncached = options;
   uncached.cache = nullptr;
+  if (was_hit != nullptr) {
+    *was_hit = false;
+  }
 
   ks::Result<std::string> key = CacheKey(tree, path, options);
   if (!key.ok()) {
@@ -66,6 +77,7 @@ ks::Result<kelf::ObjectFile> ObjectCache::GetOrCompile(
 
   if (owner) {
     misses_.fetch_add(1);
+    miss_counter.Add(1);
     ks::Result<kelf::ObjectFile> compiled = CompileUnit(tree, path, uncached);
     std::lock_guard<std::mutex> lock(entry->mu);
     entry->result = std::move(compiled);
@@ -73,6 +85,10 @@ ks::Result<kelf::ObjectFile> ObjectCache::GetOrCompile(
     entry->ready_cv.notify_all();
   } else {
     hits_.fetch_add(1);
+    hit_counter.Add(1);
+    if (was_hit != nullptr) {
+      *was_hit = true;
+    }
     std::unique_lock<std::mutex> lock(entry->mu);
     entry->ready_cv.wait(lock, [&entry] { return entry->ready; });
   }

@@ -37,14 +37,22 @@ class ObjectCache {
 
   // Returns the cached object for (closure contents of `path`, semantic
   // fields of `options`), compiling on first use. Failed compiles are
-  // cached too — retrying identical input cannot succeed.
+  // cached too — retrying identical input cannot succeed. When `was_hit`
+  // is non-null it is set to whether the result was served from a
+  // previously computed entry (per-unit cache attribution for
+  // CreateReport).
   ks::Result<kelf::ObjectFile> GetOrCompile(const kdiff::SourceTree& tree,
                                             const std::string& path,
-                                            const CompileOptions& options);
+                                            const CompileOptions& options,
+                                            bool* was_hit = nullptr);
 
   // Statistics. A "miss" is a compile; a "hit" is a result served from a
   // previously computed entry (including one another thread is still
-  // computing — the caller blocks until it is ready).
+  // computing — the caller blocks until it is ready). Accounting is
+  // atomic, incremented exactly once per GetOrCompile inside the cache,
+  // and mirrored into the global metrics registry under
+  // "kcc.objcache.hits" / "kcc.objcache.misses" — callers read either
+  // view instead of recomputing their own tallies.
   uint64_t hits() const { return hits_.load(); }
   uint64_t misses() const { return misses_.load(); }
   size_t size() const;

@@ -1,15 +1,25 @@
 #include "ksplice/core.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 
 #include "base/logging.h"
+#include "base/metrics.h"
 #include "base/strings.h"
+#include "base/trace.h"
 #include "kvx/isa.h"
 
 namespace ksplice {
 
 namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 // Builds the 5-byte trampoline: jmp32 from `from` to `to` (§2: "placing a
 // jump instruction ... at the start of the obsolete function").
@@ -104,8 +114,14 @@ ks::Status KspliceCore::RunHooks(const std::vector<uint32_t>& hooks) {
   return ks::OkStatus();
 }
 
-ks::Result<std::string> KspliceCore::Apply(const UpdatePackage& package,
+ks::Result<ApplyReport> KspliceCore::Apply(const UpdatePackage& package,
                                            const ApplyOptions& options) {
+  ks::TraceSpan span("ksplice.apply");
+  span.Annotate("id", package.id);
+  ApplyReport report;
+  report.id = package.id;
+  report.helper_retained = options.keep_helper;
+
   for (const AppliedUpdate& existing : applied_) {
     if (existing.id == package.id) {
       return ks::AlreadyExists(
@@ -121,7 +137,9 @@ ks::Result<std::string> KspliceCore::Apply(const UpdatePackage& package,
       });
   std::map<std::string, UnitMatch> matches;
   for (const kelf::ObjectFile& helper : package.helper_objects) {
-    ks::Result<UnitMatch> match = matcher.MatchUnit(helper);
+    MatchStats unit_stats;
+    ks::Result<UnitMatch> match = matcher.MatchUnit(helper, &unit_stats);
+    report.match.MergeFrom(unit_stats);
     if (!match.ok()) {
       return ks::Status(match.status())
           .WithContext(ks::StrPrintf("applying %s", package.id.c_str()));
@@ -176,7 +194,7 @@ ks::Result<std::string> KspliceCore::Apply(const UpdatePackage& package,
         .WithContext("loading primary module");
   }
 
-  auto fail = [&](ks::Status status) -> ks::Result<std::string> {
+  auto fail = [&](ks::Status status) -> ks::Result<ApplyReport> {
     (void)machine_->UnloadModule(*primary_handle);
     (void)machine_->UnloadModule(*helper_handle);
     return status.WithContext(
@@ -188,6 +206,8 @@ ks::Result<std::string> KspliceCore::Apply(const UpdatePackage& package,
   if (!primary_info.ok()) {
     return fail(primary_info.status());
   }
+  report.helper_bytes = helper_bytes;
+  report.primary_bytes = primary_info->size;
 
   // ------------------------------------------------------------------
   // 4. Resolve target placements: where is each obsolete function, and
@@ -291,6 +311,8 @@ ks::Result<std::string> KspliceCore::Apply(const UpdatePackage& package,
   bool applied = false;
   for (int attempt = 0; attempt < options.max_attempts && !applied;
        ++attempt) {
+    report.attempts = attempt + 1;
+    uint64_t stop_begin = NowNs();
     ks::Status stopped = machine_->StopMachine([&](kvm::Machine& m) {
       if (AnyThreadIn(ranges)) {
         return ks::FailedPrecondition("a patched function is in use");
@@ -307,6 +329,7 @@ ks::Result<std::string> KspliceCore::Apply(const UpdatePackage& package,
       return ks::OkStatus();
     });
     if (stopped.ok()) {
+      report.pause_ns = NowNs() - stop_begin;
       applied = true;
       break;
     }
@@ -316,6 +339,7 @@ ks::Result<std::string> KspliceCore::Apply(const UpdatePackage& package,
     // Busy: let the machine make progress and retry (§5.2).
     KS_LOG(kDebug) << "apply " << package.id << " busy, attempt "
                    << attempt + 1;
+    report.retry_ticks += options.retry_advance_ticks;
     (void)machine_->Advance(options.retry_advance_ticks);
   }
   if (!applied) {
@@ -323,6 +347,7 @@ ks::Result<std::string> KspliceCore::Apply(const UpdatePackage& package,
         "a patched function stayed in use after %d attempts",
         options.max_attempts)));
   }
+  report.quiescence_retries = report.attempts - 1;
 
   // ------------------------------------------------------------------
   // 8. post_apply hooks; optional helper unload.
@@ -338,14 +363,51 @@ ks::Result<std::string> KspliceCore::Apply(const UpdatePackage& package,
     update.helper = kvm::ModuleHandle{};
   }
 
+  for (const AppliedFunction& fn : update.functions) {
+    SpliceRecord record;
+    record.unit = fn.unit;
+    record.symbol = fn.symbol;
+    record.orig_address = fn.orig_address;
+    record.repl_address = fn.repl_address;
+    record.code_size = fn.code_size;
+    record.repl_size = fn.repl_size;
+    record.trampoline_bytes = static_cast<uint32_t>(fn.saved_bytes.size());
+    report.trampoline_bytes += record.trampoline_bytes;
+    report.functions.push_back(std::move(record));
+  }
+
+  static ks::Counter& applies = ks::Metrics().GetCounter("ksplice.applies");
+  static ks::Counter& retries =
+      ks::Metrics().GetCounter("ksplice.quiescence_retries");
+  static ks::Counter& tramp_bytes =
+      ks::Metrics().GetCounter("ksplice.trampoline_bytes");
+  static ks::Counter& arena_bytes =
+      ks::Metrics().GetCounter("ksplice.helper_bytes");
+  static ks::Histogram& pause =
+      ks::Metrics().GetHistogram("ksplice.stop_pause_ns");
+  applies.Add(1);
+  retries.Add(static_cast<uint64_t>(report.quiescence_retries));
+  tramp_bytes.Add(report.trampoline_bytes);
+  arena_bytes.Add(report.helper_bytes);
+  pause.Observe(report.pause_ns);
+  span.Annotate("functions",
+                static_cast<uint64_t>(update.functions.size()));
+  span.Annotate("attempts", static_cast<uint64_t>(report.attempts));
+  span.AddTicks(report.retry_ticks);
+
   applied_.push_back(std::move(update));
   KS_LOG(kInfo) << "applied " << package.id << " ("
                 << applied_.back().functions.size() << " functions)";
-  return package.id;
+  return report;
 }
 
-ks::Status KspliceCore::Undo(const std::string& id,
-                             const ApplyOptions& options) {
+ks::Result<UndoReport> KspliceCore::Undo(const std::string& id,
+                                         const ApplyOptions& options) {
+  ks::TraceSpan span("ksplice.undo");
+  span.Annotate("id", id);
+  UndoReport report;
+  report.id = id;
+
   if (applied_.empty() || applied_.back().id != id) {
     return ks::FailedPrecondition(ks::StrPrintf(
         "update %s is not the most recently applied update", id.c_str()));
@@ -364,6 +426,8 @@ ks::Status KspliceCore::Undo(const std::string& id,
   bool reversed = false;
   for (int attempt = 0; attempt < options.max_attempts && !reversed;
        ++attempt) {
+    report.attempts = attempt + 1;
+    uint64_t stop_begin = NowNs();
     ks::Status stopped = machine_->StopMachine([&](kvm::Machine& m) {
       if (AnyThreadIn(ranges)) {
         return ks::FailedPrecondition("replacement code is in use");
@@ -375,12 +439,14 @@ ks::Status KspliceCore::Undo(const std::string& id,
       return ks::OkStatus();
     });
     if (stopped.ok()) {
+      report.pause_ns = NowNs() - stop_begin;
       reversed = true;
       break;
     }
     if (stopped.code() != ks::ErrorCode::kFailedPrecondition) {
       return stopped.WithContext(ks::StrPrintf("undoing %s", id.c_str()));
     }
+    report.retry_ticks += options.retry_advance_ticks;
     (void)machine_->Advance(options.retry_advance_ticks);
   }
   if (!reversed) {
@@ -388,16 +454,40 @@ ks::Status KspliceCore::Undo(const std::string& id,
         "replacement code stayed in use after %d attempts",
         options.max_attempts));
   }
+  report.quiescence_retries = report.attempts - 1;
 
   KS_RETURN_IF_ERROR(RunHooks(update.hooks_post_reverse));
 
+  report.functions_restored = static_cast<uint32_t>(update.functions.size());
+  for (const AppliedFunction& fn : update.functions) {
+    report.bytes_restored += static_cast<uint32_t>(fn.saved_bytes.size());
+  }
+  ks::Result<kvm::ModuleInfo> primary_info =
+      machine_->GetModuleInfo(update.primary);
+  if (primary_info.ok()) {
+    report.primary_bytes_reclaimed = primary_info->size;
+  }
   (void)machine_->UnloadModule(update.primary);
   if (update.helper.valid()) {
+    report.helper_bytes_reclaimed = update.helper_bytes;
     (void)machine_->UnloadModule(update.helper);
   }
   applied_.pop_back();
+
+  static ks::Counter& undos = ks::Metrics().GetCounter("ksplice.undos");
+  static ks::Counter& retries =
+      ks::Metrics().GetCounter("ksplice.quiescence_retries");
+  static ks::Histogram& pause =
+      ks::Metrics().GetHistogram("ksplice.stop_pause_ns");
+  undos.Add(1);
+  retries.Add(static_cast<uint64_t>(report.quiescence_retries));
+  pause.Observe(report.pause_ns);
+  span.Annotate("functions",
+                static_cast<uint64_t>(report.functions_restored));
+  span.AddTicks(report.retry_ticks);
+
   KS_LOG(kInfo) << "reversed " << id;
-  return ks::OkStatus();
+  return report;
 }
 
 ks::Status KspliceCore::UnloadHelper(const std::string& id) {

@@ -30,6 +30,7 @@
 
 #include "base/status.h"
 #include "ksplice/package.h"
+#include "ksplice/report.h"
 #include "ksplice/runpre.h"
 #include "kvm/machine.h"
 
@@ -77,15 +78,17 @@ class KspliceCore {
  public:
   explicit KspliceCore(kvm::Machine* machine) : machine_(machine) {}
 
-  // Applies `package`; returns its id. On any failure the machine is left
-  // untouched (primary/helper modules are unloaded again).
-  ks::Result<std::string> Apply(const UpdatePackage& package,
+  // Applies `package`; returns a typed account of what happened (the
+  // report's `id` doubles as the undo handle). On any failure the machine
+  // is left untouched (primary/helper modules are unloaded again).
+  ks::Result<ApplyReport> Apply(const UpdatePackage& package,
                                 const ApplyOptions& options = {});
 
   // Reverses the most recently applied update (undo is LIFO: reversing an
   // older update while a newer one stacks on it would re-expose spliced
   // code). `id` must name the top of the stack.
-  ks::Status Undo(const std::string& id, const ApplyOptions& options = {});
+  ks::Result<UndoReport> Undo(const std::string& id,
+                              const ApplyOptions& options = {});
 
   // Unloads the helper image of an applied update (memory reclaim, §5.1).
   ks::Status UnloadHelper(const std::string& id);

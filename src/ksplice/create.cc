@@ -1,13 +1,32 @@
 #include "ksplice/create.h"
 
+#include <chrono>
 #include <map>
 #include <set>
 
 #include "base/strings.h"
+#include "base/trace.h"
 
 namespace ksplice {
 
 namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// The size of a named section's payload, or 0 when absent.
+uint32_t SectionSize(const kelf::ObjectFile& obj, const std::string& name) {
+  std::optional<int> idx = obj.FindSection(name);
+  if (!idx.has_value()) {
+    return 0;
+  }
+  return static_cast<uint32_t>(
+      obj.sections()[static_cast<size_t>(*idx)].bytes.size());
+}
 
 uint32_t Fnv32(std::string_view data) {
   uint32_t hash = 2166136261u;
@@ -139,12 +158,16 @@ ks::Result<std::optional<kelf::ObjectFile>> ExtractPrimary(
 ks::Result<CreateResult> CreateUpdate(const kdiff::SourceTree& pre_tree,
                                       std::string_view patch_text,
                                       const CreateOptions& options) {
+  ks::TraceSpan span("create.update");
+  uint64_t create_begin = NowNs();
   ks::Result<kdiff::Patch> patch = kdiff::ParseUnifiedDiff(patch_text);
   if (!patch.ok()) {
     return ks::Status(patch.status()).WithContext("ksplice-create");
   }
+  uint64_t prepost_begin = NowNs();
   KS_ASSIGN_OR_RETURN(PrePostResult prepost,
                       RunPrePost(pre_tree, *patch, options.compile));
+  uint64_t prepost_wall_ns = NowNs() - prepost_begin;
 
   // Data-semantics gate (paper §2, Table 1).
   std::vector<ChangedSection> data_changes = prepost.DataSemanticChanges();
@@ -220,6 +243,49 @@ ks::Result<CreateResult> CreateUpdate(const kdiff::SourceTree& pre_tree,
           "splice");
     }
   }
+
+  // ------------------------------------------------------------------
+  // Fill the typed report (satellite view of everything above).
+  CreateReport& report = result.report;
+  report.id = result.package.id;
+  report.units_rebuilt =
+      static_cast<uint32_t>(result.prepost.rebuilt_units.size());
+  report.units = result.prepost.unit_reports;
+  for (const UnitReport& unit : report.units) {
+    report.cache_hits += (unit.pre_cache_hit ? 1 : 0) +
+                         (unit.post_cache_hit ? 1 : 0);
+  }
+  report.cache_misses =
+      2ull * report.units_rebuilt - report.cache_hits;
+  report.targets = static_cast<uint32_t>(result.package.targets.size());
+  std::map<std::string, size_t> unit_index;
+  for (size_t ui = 0; ui < result.prepost.rebuilt_units.size(); ++ui) {
+    unit_index[result.prepost.rebuilt_units[ui]] = ui;
+  }
+  for (const ChangedSection& change : result.prepost.changed) {
+    if (change.kind != kelf::SectionKind::kText || change.symbol.empty()) {
+      continue;
+    }
+    ChangedFunction fn;
+    fn.unit = change.unit;
+    fn.symbol = change.symbol;
+    fn.change = change.change == SectionChange::kModified ? "modified"
+                : change.change == SectionChange::kAdded  ? "added"
+                                                          : "removed";
+    auto idx = unit_index.find(change.unit);
+    if (idx != unit_index.end()) {
+      fn.pre_size =
+          SectionSize(result.prepost.pre_objects[idx->second], change.name);
+      fn.post_size =
+          SectionSize(result.prepost.post_objects[idx->second], change.name);
+    }
+    report.changed_functions.push_back(std::move(fn));
+  }
+  report.prepost_wall_ns = prepost_wall_ns;
+  report.create_wall_ns = NowNs() - create_begin;
+  span.Annotate("id", report.id);
+  span.Annotate("units", static_cast<uint64_t>(report.units_rebuilt));
+  span.Annotate("targets", static_cast<uint64_t>(report.targets));
   return result;
 }
 

@@ -19,6 +19,7 @@
 #include "kdiff/diff.h"
 #include "ksplice/package.h"
 #include "ksplice/prepost.h"
+#include "ksplice/report.h"
 
 namespace ksplice {
 
@@ -33,6 +34,10 @@ struct CreateOptions {
 struct CreateResult {
   UpdatePackage package;
   PrePostResult prepost;  // kept for reporting/analysis
+  // What the create pipeline observed: compile/cache traffic, the section
+  // diff, and the changed-function list with sizes (report.h). Benches and
+  // `ksplice_tool inspect` consume this instead of re-deriving it.
+  CreateReport report;
 };
 
 // Builds an update package from `pre_tree` and a unified-diff `patch_text`.

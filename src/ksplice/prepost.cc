@@ -4,8 +4,11 @@
 #include <optional>
 #include <set>
 
+#include "base/metrics.h"
 #include "base/strings.h"
 #include "base/threadpool.h"
+#include "base/trace.h"
+#include "kcc/objcache.h"
 
 namespace ksplice {
 
@@ -18,6 +21,16 @@ std::string DefiningSymbol(const kelf::ObjectFile& obj, int section_idx) {
     return "";
   }
   return obj.symbols()[static_cast<size_t>(*sym)].name;
+}
+
+uint32_t TextBytes(const kelf::ObjectFile& obj) {
+  uint32_t bytes = 0;
+  for (const kelf::Section& section : obj.sections()) {
+    if (section.kind == kelf::SectionKind::kText) {
+      bytes += static_cast<uint32_t>(section.bytes.size());
+    }
+  }
+  return bytes;
 }
 
 }  // namespace
@@ -74,6 +87,7 @@ bool SectionsEquivalent(const kelf::ObjectFile& pre_obj,
 ks::Result<PrePostResult> RunPrePost(const kdiff::SourceTree& pre_tree,
                                      const kdiff::Patch& patch,
                                      kcc::CompileOptions options) {
+  ks::TraceSpan span("prepost.run");
   // Ksplice's builds always use section-per-function/datum (§3.2).
   options.function_sections = true;
   options.data_sections = true;
@@ -131,30 +145,54 @@ ks::Result<PrePostResult> RunPrePost(const kdiff::SourceTree& pre_tree,
     kelf::ObjectFile pre_obj;
     kelf::ObjectFile post_obj;
     std::vector<ChangedSection> changed;
+    UnitReport report;
+  };
+  // Compiles one side of the double build, attributing the cache hit when
+  // a cache is in play.
+  auto compile_side = [&options](const kdiff::SourceTree& tree,
+                                 const std::string& unit, const char* side,
+                                 bool* was_hit)
+      -> ks::Result<kelf::ObjectFile> {
+    ks::Result<kelf::ObjectFile> built =
+        options.cache != nullptr
+            ? options.cache->GetOrCompile(tree, unit, options, was_hit)
+            : kcc::CompileUnit(tree, unit, options);
+    if (!built.ok()) {
+      return ks::Status(built.status()).WithContext(side);
+    }
+    return built;
   };
   auto build_and_diff =
       [&](const std::string& unit) -> ks::Result<UnitOutcome> {
-    UnitOutcome out{kelf::ObjectFile(unit), kelf::ObjectFile(unit), {}};
+    ks::TraceSpan span("prepost.build_and_diff");
+    span.Annotate("unit", unit);
+    UnitOutcome out{kelf::ObjectFile(unit), kelf::ObjectFile(unit), {}, {}};
+    out.report.unit = unit;
     if (pre_tree.Exists(unit)) {
-      ks::Result<kelf::ObjectFile> built =
-          kcc::CompileUnit(pre_tree, unit, options);
-      if (!built.ok()) {
-        return ks::Status(built.status()).WithContext("pre build");
-      }
-      out.pre_obj = std::move(built).value();
+      KS_ASSIGN_OR_RETURN(out.pre_obj,
+                          compile_side(pre_tree, unit, "pre build",
+                                       &out.report.pre_cache_hit));
     }
     if (post_tree->Exists(unit)) {
-      ks::Result<kelf::ObjectFile> built =
-          kcc::CompileUnit(*post_tree, unit, options);
-      if (!built.ok()) {
-        return ks::Status(built.status()).WithContext("post build");
-      }
-      out.post_obj = std::move(built).value();
+      KS_ASSIGN_OR_RETURN(out.post_obj,
+                          compile_side(*post_tree, unit, "post build",
+                                       &out.report.post_cache_hit));
     }
+    out.report.pre_text_bytes = TextBytes(out.pre_obj);
+    out.report.post_text_bytes = TextBytes(out.post_obj);
 
     // Diff post against pre.
     const kelf::ObjectFile& pre_obj = out.pre_obj;
     const kelf::ObjectFile& post_obj = out.post_obj;
+    std::set<std::string> section_names;
+    for (const kelf::Section& section : pre_obj.sections()) {
+      section_names.insert(section.name);
+    }
+    for (const kelf::Section& section : post_obj.sections()) {
+      section_names.insert(section.name);
+    }
+    out.report.sections_compared =
+        static_cast<uint32_t>(section_names.size());
     for (size_t si = 0; si < post_obj.sections().size(); ++si) {
       const kelf::Section& post_sec = post_obj.sections()[si];
       std::optional<int> pre_idx = pre_obj.FindSection(post_sec.name);
@@ -187,6 +225,14 @@ ks::Result<PrePostResult> RunPrePost(const kdiff::SourceTree& pre_tree,
         out.changed.push_back(std::move(change));
       }
     }
+    out.report.sections_changed = static_cast<uint32_t>(out.changed.size());
+    for (const ChangedSection& change : out.changed) {
+      if (change.kind == kelf::SectionKind::kText) {
+        out.report.text_changed += 1;
+      } else if (change.kind != kelf::SectionKind::kNote) {
+        out.report.data_changed += 1;
+      }
+    }
     return out;
   };
 
@@ -206,6 +252,19 @@ ks::Result<PrePostResult> RunPrePost(const kdiff::SourceTree& pre_tree,
     }
     result.pre_objects.push_back(std::move(out.pre_obj));
     result.post_objects.push_back(std::move(out.post_obj));
+    result.unit_reports.push_back(std::move(out.report));
+  }
+
+  static ks::Counter& units =
+      ks::Metrics().GetCounter("prepost.units_rebuilt");
+  static ks::Counter& compared =
+      ks::Metrics().GetCounter("prepost.sections_compared");
+  static ks::Counter& changed_counter =
+      ks::Metrics().GetCounter("prepost.sections_changed");
+  units.Add(result.rebuilt_units.size());
+  for (const UnitReport& report : result.unit_reports) {
+    compared.Add(report.sections_compared);
+    changed_counter.Add(report.sections_changed);
   }
   return result;
 }

@@ -20,6 +20,7 @@
 #include "kcc/compile.h"
 #include "kdiff/diff.h"
 #include "kelf/objfile.h"
+#include "ksplice/report.h"
 
 namespace ksplice {
 
@@ -45,6 +46,9 @@ struct PrePostResult {
   std::vector<kelf::ObjectFile> pre_objects;
   std::vector<kelf::ObjectFile> post_objects;
   std::vector<ChangedSection> changed;
+  // Per-unit build/diff statistics, parallel to rebuilt_units (cache hits
+  // are attributed only when options.cache is set).
+  std::vector<UnitReport> unit_reports;
 
   // Convenience filters.
   std::vector<ChangedSection> ChangedOfKind(kelf::SectionKind kind) const;

@@ -1,0 +1,137 @@
+#include "ksplice/report.h"
+
+#include "base/strings.h"
+
+namespace ksplice {
+
+namespace {
+
+std::string Escaped(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string JoinJson(const std::vector<std::string>& parts) {
+  std::string out = "[";
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) {
+      out += ',';
+    }
+    out += parts[i];
+  }
+  out += ']';
+  return out;
+}
+
+unsigned long long U(uint64_t v) {
+  return static_cast<unsigned long long>(v);
+}
+
+}  // namespace
+
+void MatchStats::MergeFrom(const MatchStats& other) {
+  sections_matched += other.sections_matched;
+  candidates_tried += other.candidates_tried;
+  run_bytes_matched += other.run_bytes_matched;
+  pre_bytes_walked += other.pre_bytes_walked;
+  nop_bytes_skipped += other.nop_bytes_skipped;
+  reloc_sites_inverted += other.reloc_sites_inverted;
+  symbols_recovered += other.symbols_recovered;
+  ambiguity_deferrals += other.ambiguity_deferrals;
+  fixpoint_passes += other.fixpoint_passes;
+}
+
+std::string MatchStats::ToJson() const {
+  return ks::StrPrintf(
+      "{\"sections_matched\":%llu,\"candidates_tried\":%llu,"
+      "\"run_bytes_matched\":%llu,\"pre_bytes_walked\":%llu,"
+      "\"nop_bytes_skipped\":%llu,\"reloc_sites_inverted\":%llu,"
+      "\"symbols_recovered\":%llu,\"ambiguity_deferrals\":%llu,"
+      "\"fixpoint_passes\":%llu}",
+      U(sections_matched), U(candidates_tried), U(run_bytes_matched),
+      U(pre_bytes_walked), U(nop_bytes_skipped), U(reloc_sites_inverted),
+      U(symbols_recovered), U(ambiguity_deferrals), U(fixpoint_passes));
+}
+
+std::string UnitReport::ToJson() const {
+  return ks::StrPrintf(
+      "{\"unit\":\"%s\",\"pre_cache_hit\":%s,\"post_cache_hit\":%s,"
+      "\"pre_text_bytes\":%u,\"post_text_bytes\":%u,"
+      "\"sections_compared\":%u,\"sections_changed\":%u,"
+      "\"text_changed\":%u,\"data_changed\":%u}",
+      Escaped(unit).c_str(), pre_cache_hit ? "true" : "false",
+      post_cache_hit ? "true" : "false", pre_text_bytes, post_text_bytes,
+      sections_compared, sections_changed, text_changed, data_changed);
+}
+
+std::string ChangedFunction::ToJson() const {
+  return ks::StrPrintf(
+      "{\"unit\":\"%s\",\"symbol\":\"%s\",\"change\":\"%s\","
+      "\"pre_size\":%u,\"post_size\":%u}",
+      Escaped(unit).c_str(), Escaped(symbol).c_str(),
+      Escaped(change).c_str(), pre_size, post_size);
+}
+
+std::string CreateReport::ToJson() const {
+  std::vector<std::string> unit_rows;
+  for (const UnitReport& unit : units) {
+    unit_rows.push_back(unit.ToJson());
+  }
+  std::vector<std::string> fn_rows;
+  for (const ChangedFunction& fn : changed_functions) {
+    fn_rows.push_back(fn.ToJson());
+  }
+  return ks::StrPrintf(
+      "{\"id\":\"%s\",\"units_rebuilt\":%u,\"cache_hits\":%llu,"
+      "\"cache_misses\":%llu,\"prepost_wall_ns\":%llu,"
+      "\"create_wall_ns\":%llu,\"targets\":%u,\"units\":%s,"
+      "\"changed_functions\":%s}",
+      Escaped(id).c_str(), units_rebuilt, U(cache_hits), U(cache_misses),
+      U(prepost_wall_ns), U(create_wall_ns), targets,
+      JoinJson(unit_rows).c_str(), JoinJson(fn_rows).c_str());
+}
+
+std::string SpliceRecord::ToJson() const {
+  return ks::StrPrintf(
+      "{\"unit\":\"%s\",\"symbol\":\"%s\",\"orig_address\":%u,"
+      "\"repl_address\":%u,\"code_size\":%u,\"repl_size\":%u,"
+      "\"trampoline_bytes\":%u}",
+      Escaped(unit).c_str(), Escaped(symbol).c_str(), orig_address,
+      repl_address, code_size, repl_size, trampoline_bytes);
+}
+
+std::string ApplyReport::ToJson() const {
+  std::vector<std::string> fn_rows;
+  for (const SpliceRecord& fn : functions) {
+    fn_rows.push_back(fn.ToJson());
+  }
+  return ks::StrPrintf(
+      "{\"id\":\"%s\",\"functions\":%s,\"match\":%s,\"attempts\":%d,"
+      "\"quiescence_retries\":%d,\"pause_ns\":%llu,\"retry_ticks\":%llu,"
+      "\"helper_bytes\":%llu,\"primary_bytes\":%u,\"trampoline_bytes\":%u,"
+      "\"helper_retained\":%s}",
+      Escaped(id).c_str(), JoinJson(fn_rows).c_str(),
+      match.ToJson().c_str(), attempts, quiescence_retries, U(pause_ns),
+      U(retry_ticks), U(helper_bytes), primary_bytes, trampoline_bytes,
+      helper_retained ? "true" : "false");
+}
+
+std::string UndoReport::ToJson() const {
+  return ks::StrPrintf(
+      "{\"id\":\"%s\",\"functions_restored\":%u,\"attempts\":%d,"
+      "\"quiescence_retries\":%d,\"pause_ns\":%llu,\"retry_ticks\":%llu,"
+      "\"bytes_restored\":%u,\"primary_bytes_reclaimed\":%u,"
+      "\"helper_bytes_reclaimed\":%u}",
+      Escaped(id).c_str(), functions_restored, attempts,
+      quiescence_retries, U(pause_ns), U(retry_ticks), bytes_restored,
+      primary_bytes_reclaimed, helper_bytes_reclaimed);
+}
+
+}  // namespace ksplice

@@ -1,0 +1,134 @@
+// Typed per-phase reports for the create -> match -> apply pipeline.
+//
+// Every phase of a Ksplice operation returns a machine-readable account of
+// what it did and why: CreateUpdate fills a CreateReport (per-unit
+// compile/cache/diff statistics and the changed-function list), run-pre
+// matching fills a MatchStats (candidates tried, bytes walked, relocation
+// sites inverted), and KspliceCore::Apply/Undo return ApplyReport /
+// UndoReport (per-function splice records, stop_machine pause, quiescence
+// retries, arena bytes). Callers consume these structures — benches,
+// ksplice_tool, the corpus evaluator — instead of scraping internal
+// ledgers like AppliedUpdate.
+//
+// Each report serializes to JSON (ToJson) with stable keys; the same
+// numbers also flow into the global metrics registry (base/metrics.h), so
+// a report is the per-operation view and the registry the per-process
+// aggregate.
+
+#ifndef KSPLICE_KSPLICE_REPORT_H_
+#define KSPLICE_KSPLICE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ksplice {
+
+// Run-pre matching statistics for one MatchUnit call (§4.3's "passes over
+// every byte of the pre code" made measurable).
+struct MatchStats {
+  uint64_t sections_matched = 0;    // text sections accepted
+  uint64_t candidates_tried = 0;    // TryMatchText attempts
+  uint64_t run_bytes_matched = 0;   // run bytes covered by accepted matches
+  uint64_t pre_bytes_walked = 0;    // pre bytes decoded across all attempts
+  uint64_t nop_bytes_skipped = 0;   // padding skipped on either side
+  uint64_t reloc_sites_inverted = 0;  // relocation algebra inversions
+  uint64_t symbols_recovered = 0;   // distinct symbol values in the result
+  uint64_t ambiguity_deferrals = 0; // sections deferred to a later pass
+  uint64_t fixpoint_passes = 0;     // disambiguation rounds
+
+  void MergeFrom(const MatchStats& other);
+  std::string ToJson() const;
+};
+
+// One rebuilt unit's double build and section diff.
+struct UnitReport {
+  std::string unit;
+  bool pre_cache_hit = false;   // object served from the ObjectCache
+  bool post_cache_hit = false;
+  uint32_t pre_text_bytes = 0;
+  uint32_t post_text_bytes = 0;
+  uint32_t sections_compared = 0;  // union of pre/post section names
+  uint32_t sections_changed = 0;   // modified + added + removed
+  uint32_t text_changed = 0;
+  uint32_t data_changed = 0;
+
+  std::string ToJson() const;
+};
+
+// One function the patch changed at the object level.
+struct ChangedFunction {
+  std::string unit;
+  std::string symbol;
+  std::string change;  // "modified" | "added" | "removed"
+  uint32_t pre_size = 0;   // text bytes before the patch (0 when added)
+  uint32_t post_size = 0;  // text bytes after (0 when removed)
+
+  std::string ToJson() const;
+};
+
+// Everything ksplice-create observed: compile/cache traffic, the section
+// diff, and the changed-function list with sizes.
+struct CreateReport {
+  std::string id;
+  uint32_t units_rebuilt = 0;
+  uint64_t cache_hits = 0;    // of the 2 * units_rebuilt unit compiles
+  uint64_t cache_misses = 0;
+  uint64_t prepost_wall_ns = 0;  // double build + section diff
+  uint64_t create_wall_ns = 0;   // whole CreateUpdate call
+  uint32_t targets = 0;          // functions the package will splice
+  std::vector<UnitReport> units;
+  std::vector<ChangedFunction> changed_functions;
+
+  std::string ToJson() const;
+};
+
+// One spliced function of an applied update (the caller-facing subset of
+// the internal AppliedFunction ledger).
+struct SpliceRecord {
+  std::string unit;
+  std::string symbol;
+  uint32_t orig_address = 0;  // entry of the obsolete function
+  uint32_t repl_address = 0;  // the new code in the primary module
+  uint32_t code_size = 0;     // matched run code bytes
+  uint32_t repl_size = 0;
+  uint32_t trampoline_bytes = 0;
+
+  std::string ToJson() const;
+};
+
+// What KspliceCore::Apply did. `id` doubles as the undo handle.
+struct ApplyReport {
+  std::string id;
+  std::vector<SpliceRecord> functions;
+  MatchStats match;              // aggregated run-pre stats (all units)
+  int attempts = 0;              // stop_machine attempts (1 = first try)
+  int quiescence_retries = 0;    // attempts - 1
+  uint64_t pause_ns = 0;         // wall time of the successful stop window
+  uint64_t retry_ticks = 0;      // VM ticks advanced while waiting to retry
+  uint64_t helper_bytes = 0;     // helper image arena bytes
+  uint32_t primary_bytes = 0;    // primary module arena bytes
+  uint32_t trampoline_bytes = 0; // total bytes spliced over
+  bool helper_retained = false;  // ApplyOptions::keep_helper
+
+  std::string ToJson() const;
+};
+
+// What KspliceCore::Undo did.
+struct UndoReport {
+  std::string id;
+  uint32_t functions_restored = 0;
+  int attempts = 0;
+  int quiescence_retries = 0;
+  uint64_t pause_ns = 0;
+  uint64_t retry_ticks = 0;
+  uint32_t bytes_restored = 0;            // trampoline bytes put back
+  uint32_t primary_bytes_reclaimed = 0;   // module arena bytes freed
+  uint32_t helper_bytes_reclaimed = 0;    // 0 when already unloaded
+
+  std::string ToJson() const;
+};
+
+}  // namespace ksplice
+
+#endif  // KSPLICE_KSPLICE_REPORT_H_

@@ -5,7 +5,9 @@
 
 #include "base/endian.h"
 #include "base/logging.h"
+#include "base/metrics.h"
 #include "base/strings.h"
+#include "base/trace.h"
 #include "kvx/isa.h"
 
 namespace ksplice {
@@ -30,8 +32,9 @@ uint32_t SkipNops(const std::vector<uint8_t>& bytes, uint32_t pos) {
 
 ks::Result<RunPreMatcher::LocalMatch> RunPreMatcher::TryMatchText(
     const kelf::ObjectFile& pre, const kelf::Section& section,
-    uint32_t run_start,
-    const std::map<std::string, uint32_t>& committed) const {
+    uint32_t run_start, const std::map<std::string, uint32_t>& committed,
+    MatchStats& stats) const {
+  stats.candidates_tried += 1;
   auto mismatch = [&](uint32_t pre_pos, const std::string& why) {
     return ks::Aborted(ks::StrPrintf(
         "run-pre mismatch in %s %s at pre offset %u (run %s): %s",
@@ -75,6 +78,7 @@ ks::Result<RunPreMatcher::LocalMatch> RunPreMatcher::TryMatchText(
 
   auto recover = [&](const kelf::Relocation& rel, uint32_t value,
                      uint32_t p_run) -> ks::Status {
+    stats.reloc_sites_inverted += 1;
     uint32_t s = 0;
     switch (rel.type) {
       case kelf::RelocType::kAbs32:
@@ -135,6 +139,8 @@ ks::Result<RunPreMatcher::LocalMatch> RunPreMatcher::TryMatchText(
       return mismatch(pre_pos, "pre bytes do not decode");
     }
     if (kvx::GetOpInfo(pre_insn->op).is_nop) {
+      stats.pre_bytes_walked += pre_insn->len;
+      stats.nop_bytes_skipped += pre_insn->len;
       pre_pos += pre_insn->len;
       continue;
     }
@@ -147,6 +153,7 @@ ks::Result<RunPreMatcher::LocalMatch> RunPreMatcher::TryMatchText(
       return mismatch(pre_pos, "run bytes do not decode");
     }
     if (kvx::GetOpInfo(run_insn->op).is_nop) {
+      stats.nop_bytes_skipped += run_insn->len;
       run_pos += run_insn->len;
       continue;
     }
@@ -191,6 +198,7 @@ ks::Result<RunPreMatcher::LocalMatch> RunPreMatcher::TryMatchText(
             pre_insn_end + static_cast<uint32_t>(pre_insn->rel),
             run_insn_end + static_cast<uint32_t>(run_insn->rel), pre_pos});
       }
+      stats.pre_bytes_walked += pre_insn->len;
       pre_pos += pre_insn->len;
       run_pos += run_insn->len;
       continue;
@@ -226,6 +234,7 @@ ks::Result<RunPreMatcher::LocalMatch> RunPreMatcher::TryMatchText(
             pre_insn_end + static_cast<uint32_t>(pre_insn->rel),
             run_insn_end + static_cast<uint32_t>(run_insn->rel), pre_pos});
       }
+      stats.pre_bytes_walked += pre_insn->len;
       pre_pos += pre_insn->len;
       run_pos += run_insn->len;
       continue;
@@ -268,8 +277,56 @@ ks::Result<RunPreMatcher::LocalMatch> RunPreMatcher::TryMatchText(
   return local;
 }
 
-ks::Result<UnitMatch> RunPreMatcher::MatchUnit(
-    const kelf::ObjectFile& pre) const {
+namespace {
+
+// Aggregates one MatchUnit call's stats into the process-wide registry.
+void PublishMatchStats(const MatchStats& stats, bool ok) {
+  static ks::Counter& units = ks::Metrics().GetCounter("runpre.units_matched");
+  static ks::Counter& failures =
+      ks::Metrics().GetCounter("runpre.match_failures");
+  static ks::Counter& sections =
+      ks::Metrics().GetCounter("runpre.sections_matched");
+  static ks::Counter& candidates =
+      ks::Metrics().GetCounter("runpre.candidates_tried");
+  static ks::Counter& bytes = ks::Metrics().GetCounter("runpre.bytes_matched");
+  static ks::Counter& walked =
+      ks::Metrics().GetCounter("runpre.pre_bytes_walked");
+  static ks::Counter& nops =
+      ks::Metrics().GetCounter("runpre.nop_bytes_skipped");
+  static ks::Counter& relocs =
+      ks::Metrics().GetCounter("runpre.reloc_sites_inverted");
+  static ks::Counter& deferrals =
+      ks::Metrics().GetCounter("runpre.ambiguity_deferrals");
+  static ks::Counter& passes =
+      ks::Metrics().GetCounter("runpre.fixpoint_passes");
+  (ok ? units : failures).Add(1);
+  sections.Add(stats.sections_matched);
+  candidates.Add(stats.candidates_tried);
+  bytes.Add(stats.run_bytes_matched);
+  walked.Add(stats.pre_bytes_walked);
+  nops.Add(stats.nop_bytes_skipped);
+  relocs.Add(stats.reloc_sites_inverted);
+  deferrals.Add(stats.ambiguity_deferrals);
+  passes.Add(stats.fixpoint_passes);
+}
+
+}  // namespace
+
+ks::Result<UnitMatch> RunPreMatcher::MatchUnit(const kelf::ObjectFile& pre,
+                                               MatchStats* stats) const {
+  ks::TraceSpan span("runpre.match_unit");
+  span.Annotate("unit", pre.source_name());
+  MatchStats scratch;
+  MatchStats& tally = stats != nullptr ? *stats : scratch;
+  tally = MatchStats{};
+  // Publish to the registry however this call ends (including every early
+  // error return below).
+  struct Publisher {
+    const MatchStats& tally;
+    bool ok = false;
+    ~Publisher() { PublishMatchStats(tally, ok); }
+  } publisher{tally};
+
   UnitMatch match;
   match.unit = pre.source_name();
 
@@ -300,6 +357,7 @@ ks::Result<UnitMatch> RunPreMatcher::MatchUnit(
   // resolves to exactly one successful address; the committed valuation
   // then disambiguates harder sections on later passes.
   while (!pending.empty()) {
+    tally.fixpoint_passes += 1;
     bool progress = false;
     std::vector<PendingSection> still_pending;
     for (const PendingSection& entry : pending) {
@@ -341,7 +399,7 @@ ks::Result<UnitMatch> RunPreMatcher::MatchUnit(
       std::string last_failure;
       for (uint32_t candidate : candidates) {
         ks::Result<LocalMatch> attempt =
-            TryMatchText(pre, section, candidate, match.symbol_values);
+            TryMatchText(pre, section, candidate, match.symbol_values, tally);
         if (attempt.ok()) {
           successes.emplace_back(candidate, std::move(attempt).value());
         } else {
@@ -355,6 +413,7 @@ ks::Result<UnitMatch> RunPreMatcher::MatchUnit(
             last_failure.c_str()));
       }
       if (successes.size() > 1) {
+        tally.ambiguity_deferrals += 1;
         still_pending.push_back(entry);  // hope valuation will disambiguate
         continue;
       }
@@ -385,6 +444,8 @@ ks::Result<UnitMatch> RunPreMatcher::MatchUnit(
       matched.run_address = address;
       matched.run_size = local.run_size;
       match.sections[section.name] = std::move(matched);
+      tally.sections_matched += 1;
+      tally.run_bytes_matched += local.run_size;
       progress = true;
     }
     if (!progress) {
@@ -402,6 +463,10 @@ ks::Result<UnitMatch> RunPreMatcher::MatchUnit(
     pending = std::move(still_pending);
   }
 
+  tally.symbols_recovered = match.symbol_values.size();
+  span.Annotate("sections", tally.sections_matched);
+  span.Annotate("bytes_matched", tally.run_bytes_matched);
+  publisher.ok = true;
   return match;
 }
 

@@ -34,6 +34,7 @@
 
 #include "base/status.h"
 #include "kelf/objfile.h"
+#include "ksplice/report.h"
 #include "kvm/machine.h"
 
 namespace ksplice {
@@ -68,8 +69,13 @@ class RunPreMatcher {
                          PatchRedirect redirect = nullptr)
       : machine_(machine), redirect_(std::move(redirect)) {}
 
-  // Matches every text section of `pre` against the run image.
-  ks::Result<UnitMatch> MatchUnit(const kelf::ObjectFile& pre) const;
+  // Matches every text section of `pre` against the run image. When
+  // `stats` is non-null it is filled with this call's matching statistics
+  // (populated on failure too, up to the point of the abort); the same
+  // numbers are aggregated into the global metrics registry under the
+  // "runpre." prefix either way.
+  ks::Result<UnitMatch> MatchUnit(const kelf::ObjectFile& pre,
+                                  MatchStats* stats = nullptr) const;
 
  private:
   struct LocalMatch {
@@ -79,10 +85,11 @@ class RunPreMatcher {
 
   // Attempts to match one section at `run_start`; `committed` carries the
   // valuation accumulated so far (a conflicting recovery fails the match).
+  // Byte/relocation/no-op tallies accumulate into `stats`.
   ks::Result<LocalMatch> TryMatchText(
       const kelf::ObjectFile& pre, const kelf::Section& section,
-      uint32_t run_start,
-      const std::map<std::string, uint32_t>& committed) const;
+      uint32_t run_start, const std::map<std::string, uint32_t>& committed,
+      MatchStats& stats) const;
 
   const kvm::Machine& machine_;
   PatchRedirect redirect_;

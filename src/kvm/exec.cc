@@ -9,6 +9,7 @@
 
 #include "base/endian.h"
 #include "base/logging.h"
+#include "base/metrics.h"
 #include "base/strings.h"
 #include "kvm/machine.h"
 #include "kvx/isa.h"
@@ -31,6 +32,12 @@ void Machine::FaultThread(Thread& thread, std::string reason) {
 }
 
 uint64_t Machine::ExecThread(Thread& thread, int budget) {
+  // Per-slice (not per-instruction) accounting keeps the interpreter's
+  // inner loop free of atomics.
+  static ks::Counter& instructions =
+      ks::Metrics().GetCounter("kvm.instructions");
+  static ks::Counter& switches =
+      ks::Metrics().GetCounter("kvm.context_switches");
   uint64_t retired = 0;
   for (int i = 0; i < budget; ++i) {
     if (thread.state != ThreadState::kRunnable || halted_) {
@@ -42,6 +49,11 @@ uint64_t Machine::ExecThread(Thread& thread, int budget) {
     if (!keep_going) {
       break;
     }
+  }
+  if (retired > 0) {
+    context_switches_ += 1;
+    instructions.Add(retired);
+    switches.Add(1);
   }
   return retired;
 }

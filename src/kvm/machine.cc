@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #include "base/endian.h"
 #include "base/logging.h"
+#include "base/metrics.h"
 #include "base/strings.h"
+#include "base/trace.h"
 
 namespace kvm {
 
@@ -29,6 +32,7 @@ Machine::~Machine() { StopCpus(); }
 ks::Result<std::unique_ptr<Machine>> Machine::Boot(
     std::vector<kelf::ObjectFile> kernel_objects,
     const MachineConfig& config) {
+  ks::TraceSpan span("kvm.boot");
   if (config.kernel_base < kGuardPage) {
     return ks::InvalidArgument("kernel base inside the guard page");
   }
@@ -544,6 +548,11 @@ uint64_t Machine::Ticks() const {
   return ticks_;
 }
 
+uint64_t Machine::ContextSwitches() const {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  return context_switches_;
+}
+
 void Machine::WakeSleepers() {
   for (Thread& thread : threads_) {
     if (thread.state == ThreadState::kSleeping &&
@@ -690,9 +699,20 @@ ks::Status Machine::Advance(uint64_t ticks) {
 
 ks::Status Machine::StopMachine(
     const std::function<ks::Status(Machine&)>& fn) {
+  static ks::Counter& calls =
+      ks::Metrics().GetCounter("kvm.stop_machine_calls");
+  static ks::Histogram& rendezvous =
+      ks::Metrics().GetHistogram("kvm.stop_rendezvous_ns");
   // Taking the machine lock captures every virtual CPU: slices are atomic
-  // with respect to it, so no thread is mid-instruction while fn runs.
+  // with respect to it, so no thread is mid-instruction while fn runs. The
+  // wait for the lock is the rendezvous latency.
+  auto wait_begin = std::chrono::steady_clock::now();
   std::unique_lock<std::recursive_mutex> lock(mu_);
+  calls.Add(1);
+  rendezvous.Observe(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wait_begin)
+          .count()));
   return fn(*this);
 }
 

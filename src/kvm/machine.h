@@ -141,6 +141,9 @@ class Machine {
 
   // Execution ---------------------------------------------------------------
   uint64_t Ticks() const;
+  // Scheduler slices that retired at least one instruction (the virtual
+  // analogue of a context switch). Also published as "kvm.context_switches".
+  uint64_t ContextSwitches() const;
   // Cooperative driver: schedules threads round-robin until all are done,
   // faulted, or `max_ticks` instructions have executed. Sleeping threads
   // fast-forward virtual time when everyone sleeps.
@@ -281,6 +284,7 @@ class Machine {
   std::vector<Thread> threads_;
   size_t sched_cursor_ = 0;
   uint64_t ticks_ = 0;
+  uint64_t context_switches_ = 0;
   int next_tid_ = 1;
   bool halted_ = false;
   uint32_t rand_state_ = 0;

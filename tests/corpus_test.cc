@@ -218,7 +218,7 @@ TEST(CorpusStacking, ThreeUpdatesInOneUnit) {
         ksplice::CreateUpdate(current, patch, options);
     ASSERT_TRUE(created.ok()) << cve << ": "
                               << created.status().ToString();
-    ks::Result<std::string> applied = core.Apply(created->package);
+    ks::Result<ksplice::ApplyReport> applied = core.Apply(created->package);
     ASSERT_TRUE(applied.ok()) << cve << ": "
                               << applied.status().ToString();
     ks::Result<bool> after = RunExploit(**machine, *vuln);
@@ -296,7 +296,7 @@ TEST_P(TamperSweep, CorruptedRunCodeAbortsApply) {
                   .ok());
 
   ksplice::KspliceCore core(machine->get());
-  ks::Result<std::string> applied = core.Apply(created->package);
+  ks::Result<ksplice::ApplyReport> applied = core.Apply(created->package);
   ASSERT_FALSE(applied.ok()) << vuln.cve;
   EXPECT_EQ(applied.status().code(), ks::ErrorCode::kAborted);
   EXPECT_TRUE(core.applied().empty());

@@ -257,7 +257,7 @@ TEST(ApplyEdgeTest, FailedApplyLeavesNoResidue) {
   std::vector<kelf::LinkedSymbol> syms_before = machine->Kallsyms();
 
   KspliceCore core(machine.get());
-  ks::Result<std::string> applied = core.Apply(created->package);
+  ks::Result<ApplyReport> applied = core.Apply(created->package);
   ASSERT_FALSE(applied.ok());
 
   EXPECT_EQ(machine->ModuleArenaBytesInUse(), arena_before);
@@ -299,7 +299,7 @@ TEST(ApplyEdgeTest, FailingApplyHookAbortsBeforeSplice) {
   ASSERT_TRUE(created.ok()) << created.status().ToString();
 
   KspliceCore core(machine.get());
-  ks::Result<std::string> applied = core.Apply(created->package);
+  ks::Result<ApplyReport> applied = core.Apply(created->package);
   ASSERT_FALSE(applied.ok());
   EXPECT_NE(applied.status().message().find("hook"), std::string::npos);
   EXPECT_TRUE(core.applied().empty());
@@ -338,7 +338,7 @@ TEST(ApplyEdgeTest, SamePackageAppliesToTwoMachines) {
     std::unique_ptr<kvm::Machine> machine = Boot(tree);
     ASSERT_NE(machine, nullptr);
     KspliceCore core(machine.get());
-    ks::Result<std::string> applied = core.Apply(*pkg);
+    ks::Result<ApplyReport> applied = core.Apply(*pkg);
     ASSERT_TRUE(applied.ok()) << applied.status().ToString();
     ASSERT_TRUE(machine->SpawnNamed("probe", 1).ok());
     ASSERT_TRUE(machine->RunToCompletion().ok());
@@ -374,7 +374,7 @@ TEST(ApplyEdgeTest, NewFunctionCalledFromPatchedCode) {
   ks::Result<CreateResult> created = CreateUpdate(tree, patch, options);
   ASSERT_TRUE(created.ok()) << created.status().ToString();
   KspliceCore core(machine.get());
-  ks::Result<std::string> applied = core.Apply(created->package);
+  ks::Result<ApplyReport> applied = core.Apply(created->package);
   ASSERT_TRUE(applied.ok()) << applied.status().ToString();
 
   ASSERT_TRUE(machine->SpawnNamed("probe", 1).ok());
@@ -396,11 +396,11 @@ TEST(ApplyEdgeTest, UndoAfterHelperUnloadWorks) {
   KspliceCore core(machine.get());
   ApplyOptions apply_options;
   apply_options.keep_helper = true;
-  ks::Result<std::string> applied =
+  ks::Result<ApplyReport> applied =
       core.Apply(created->package, apply_options);
   ASSERT_TRUE(applied.ok());
-  ASSERT_TRUE(core.UnloadHelper(*applied).ok());
-  EXPECT_TRUE(core.Undo(*applied).ok());
+  ASSERT_TRUE(core.UnloadHelper(applied->id).ok());
+  EXPECT_TRUE(core.Undo(applied->id).ok());
   EXPECT_TRUE(core.applied().empty());
 }
 
@@ -457,7 +457,7 @@ int trunk(int x) {
   ks::Result<CreateResult> bad = CreateUpdate(tree, patch, drifted);
   ASSERT_TRUE(bad.ok()) << bad.status().ToString();
   KspliceCore core(machine->get());
-  ks::Result<std::string> applied = core.Apply(bad->package);
+  ks::Result<ApplyReport> applied = core.Apply(bad->package);
   ASSERT_FALSE(applied.ok());
   EXPECT_EQ(applied.status().code(), ks::ErrorCode::kAborted);
   EXPECT_NE(applied.status().message().find("run-pre"), std::string::npos);
@@ -467,7 +467,7 @@ int trunk(int x) {
   correct.compile = run_options;
   ks::Result<CreateResult> good = CreateUpdate(tree, patch, correct);
   ASSERT_TRUE(good.ok());
-  ks::Result<std::string> applied_good = core.Apply(good->package);
+  ks::Result<ApplyReport> applied_good = core.Apply(good->package);
   EXPECT_TRUE(applied_good.ok()) << applied_good.status().ToString();
 }
 
@@ -528,7 +528,7 @@ int api(int x) {
           << "update 2 must not re-ship update 1's hooks";
     }
   }
-  ks::Result<std::string> applied = core.Apply(u2->package);
+  ks::Result<ApplyReport> applied = core.Apply(u2->package);
   ASSERT_TRUE(applied.ok()) << applied.status().ToString();
   EXPECT_EQ(*machine->ReadWord(runs_addr), 1u)
       << "update 1's hook must not run again";

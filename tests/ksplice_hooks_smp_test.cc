@@ -72,7 +72,7 @@ int get_mode() {
   ASSERT_TRUE(created.ok()) << created.status().ToString();
 
   KspliceCore core(machine.get());
-  ks::Result<std::string> applied = core.Apply(created->package);
+  ks::Result<ApplyReport> applied = core.Apply(created->package);
   ASSERT_TRUE(applied.ok()) << applied.status().ToString();
   ASSERT_EQ(core.applied().size(), 1u);
   const AppliedUpdate& update = core.applied()[0];
@@ -85,7 +85,7 @@ int get_mode() {
   EXPECT_EQ(*machine->ReadWord(trace_addr), 123u)
       << "pre_apply, apply, post_apply in order";
 
-  ASSERT_TRUE(core.Undo(*applied).ok());
+  ASSERT_TRUE(core.Undo(applied->id).ok());
   EXPECT_EQ(*machine->ReadWord(trace_addr), 123456u)
       << "pre_reverse, reverse, post_reverse in order";
 }
@@ -127,7 +127,7 @@ void runner(int n) {
   ApplyOptions apply_options;
   apply_options.max_attempts = 10;
   apply_options.retry_advance_ticks = 10'000;  // enough to pass the sleep
-  ks::Result<std::string> applied =
+  ks::Result<ApplyReport> applied =
       core.Apply(created->package, apply_options);
   ASSERT_TRUE(applied.ok())
       << "apply must succeed after the sleeper leaves: "
@@ -182,7 +182,7 @@ void worker(int unused) {
   ASSERT_TRUE(created.ok());
 
   KspliceCore core(machine.get());
-  ks::Result<std::string> applied = core.Apply(created->package);
+  ks::Result<ApplyReport> applied = core.Apply(created->package);
   EXPECT_TRUE(applied.ok()) << applied.status().ToString();
 
   // Stop the workers and check nothing faulted.
@@ -198,7 +198,7 @@ void worker(int unused) {
   EXPECT_FALSE(machine->HasLiveThreads());
   EXPECT_TRUE(machine->Faults().empty());
   if (applied.ok()) {
-    EXPECT_TRUE(core.Undo(*applied).ok());
+    EXPECT_TRUE(core.Undo(applied->id).ok());
   }
 }
 
@@ -244,12 +244,12 @@ void worker(int unused) {
   apply_options.max_attempts = 50;
   int cycles = 0;
   for (int i = 0; i < 20; ++i) {
-    ks::Result<std::string> applied =
+    ks::Result<ApplyReport> applied =
         core.Apply(created->package, apply_options);
     ASSERT_TRUE(applied.ok()) << "cycle " << i << ": "
                               << applied.status().ToString();
-    ks::Status undone = core.Undo(*applied, apply_options);
-    ASSERT_TRUE(undone.ok()) << "cycle " << i << ": " << undone.ToString();
+    ks::Result<UndoReport> undone = core.Undo(applied->id, apply_options);
+    ASSERT_TRUE(undone.ok()) << "cycle " << i << ": " << undone.status().ToString();
     ++cycles;
   }
   EXPECT_EQ(cycles, 20);

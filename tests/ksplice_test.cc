@@ -267,7 +267,7 @@ TEST_F(KspliceIntegration, ApplyFixesVulnerabilityWithoutReboot) {
                                 "if (requested > 100) {\n    return 0;");
   ks::Result<CreateResult> created = Create(tree_, patch);
   ASSERT_TRUE(created.ok()) << created.status().ToString();
-  ks::Result<std::string> applied = core_->Apply(created->package);
+  ks::Result<ApplyReport> applied = core_->Apply(created->package);
   ASSERT_TRUE(applied.ok()) << applied.status().ToString();
 
   // ...and stops working after, on the same running machine.
@@ -288,8 +288,8 @@ TEST_F(KspliceIntegration, UndoRestoresOriginalBehaviour) {
   ASSERT_TRUE(core_->Apply(created->package).ok());
   EXPECT_EQ(Probe(*machine_, "probe_access", 150, 200), 0u);
 
-  ks::Status undone = core_->Undo("test-update");
-  ASSERT_TRUE(undone.ok()) << undone.ToString();
+  ks::Result<UndoReport> undone = core_->Undo("test-update");
+  ASSERT_TRUE(undone.ok()) << undone.status().ToString();
   EXPECT_EQ(Probe(*machine_, "probe_access", 150, 200), 1u);
   EXPECT_TRUE(core_->applied().empty());
 }
@@ -303,7 +303,7 @@ TEST_F(KspliceIntegration, DoubleApplyAndBadUndoFail) {
   ASSERT_TRUE(core_->Apply(created->package).ok());
   EXPECT_EQ(core_->Apply(created->package).status().code(),
             ks::ErrorCode::kAlreadyExists);
-  EXPECT_EQ(core_->Undo("nonexistent").code(),
+  EXPECT_EQ(core_->Undo("nonexistent").status().code(),
             ks::ErrorCode::kFailedPrecondition);
 }
 
@@ -322,7 +322,7 @@ TEST_F(KspliceIntegration, RunPreAbortsOnWrongSource) {
                                 "if (requested > 100) {\n    return 0;");
   ks::Result<CreateResult> created = Create(wrong, patch);
   ASSERT_TRUE(created.ok()) << created.status().ToString();
-  ks::Result<std::string> applied = core_->Apply(created->package);
+  ks::Result<ApplyReport> applied = core_->Apply(created->package);
   ASSERT_FALSE(applied.ok());
   EXPECT_EQ(applied.status().code(), ks::ErrorCode::kAborted);
   EXPECT_NE(applied.status().message().find("run-pre"), std::string::npos);
@@ -340,7 +340,7 @@ TEST_F(KspliceIntegration, AmbiguousLocalSymbolResolvedByRunPre) {
                                 "return idx + debug;", "return idx * debug;");
   ks::Result<CreateResult> created = Create(tree_, patch);
   ASSERT_TRUE(created.ok()) << created.status().ToString();
-  ks::Result<std::string> applied = core_->Apply(created->package);
+  ks::Result<ApplyReport> applied = core_->Apply(created->package);
   ASSERT_TRUE(applied.ok()) << applied.status().ToString();
   EXPECT_EQ(Probe(*machine_, "probe_ca", 10, 201), 70u);  // 10 * 7: dst_ca's debug
   // dst.kc untouched.
@@ -465,7 +465,7 @@ TEST_F(KspliceIntegration, CustomApplyHookChangesDataAtomically) {
 
   ks::Result<CreateResult> created = Create(tree_, patch);
   ASSERT_TRUE(created.ok()) << created.status().ToString();
-  ks::Result<std::string> applied = core_->Apply(created->package);
+  ks::Result<ApplyReport> applied = core_->Apply(created->package);
   ASSERT_TRUE(applied.ok()) << applied.status().ToString();
   ASSERT_EQ(core_->applied().size(), 1u);
   EXPECT_EQ(core_->applied()[0].hooks_apply.size(), 1u);
@@ -488,7 +488,7 @@ TEST_F(KspliceIntegration, NonQuiescentFunctionAbortsThenSucceeds) {
   ApplyOptions options;
   options.max_attempts = 3;
   options.retry_advance_ticks = 1'000;
-  ks::Result<std::string> applied = core_->Apply(created->package, options);
+  ks::Result<ApplyReport> applied = core_->Apply(created->package, options);
   ASSERT_FALSE(applied.ok());
   EXPECT_EQ(applied.status().code(), ks::ErrorCode::kAborted);
   EXPECT_NE(applied.status().message().find("in use"), std::string::npos);
@@ -497,7 +497,7 @@ TEST_F(KspliceIntegration, NonQuiescentFunctionAbortsThenSucceeds) {
   ASSERT_TRUE(machine_->RunToCompletion().ok());
   EXPECT_EQ(machine_->RecordsWithKey(204).back(), 7u);
 
-  ks::Result<std::string> retried = core_->Apply(created->package, options);
+  ks::Result<ApplyReport> retried = core_->Apply(created->package, options);
   ASSERT_TRUE(retried.ok()) << retried.status().ToString();
   EXPECT_EQ(Probe(*machine_, "probe_slow", 10, 204), 8u);
 }
@@ -524,7 +524,7 @@ TEST_F(KspliceIntegration, StackedUpdatesAndLifoUndo) {
   ks::Result<CreateResult> created2 =
       CreateUpdate(*patched_tree, patch2, create_options);
   ASSERT_TRUE(created2.ok()) << created2.status().ToString();
-  ks::Result<std::string> applied2 = core_->Apply(created2->package);
+  ks::Result<ApplyReport> applied2 = core_->Apply(created2->package);
   ASSERT_TRUE(applied2.ok()) << applied2.status().ToString();
 
   // Both changes visible: uid-0 path now returns 2, big-request path 0.
@@ -533,7 +533,7 @@ TEST_F(KspliceIntegration, StackedUpdatesAndLifoUndo) {
   // available — check the second change indirectly by undo semantics.
 
   // LIFO: update-1 cannot be undone while update-2 is applied.
-  EXPECT_EQ(core_->Undo("update-1").code(),
+  EXPECT_EQ(core_->Undo("update-1").status().code(),
             ks::ErrorCode::kFailedPrecondition);
   ASSERT_TRUE(core_->Undo("update-2").ok());
   EXPECT_EQ(Probe(*machine_, "probe_access", 150, 200), 0u);  // v1 behaviour
@@ -551,7 +551,7 @@ TEST_F(KspliceIntegration, AssemblyUnitPatch) {
   ASSERT_TRUE(created.ok()) << created.status().ToString();
   ASSERT_EQ(created->package.targets.size(), 1u);
   EXPECT_EQ(created->package.targets[0].symbol, "fast_syscall");
-  ks::Result<std::string> applied = core_->Apply(created->package);
+  ks::Result<ApplyReport> applied = core_->Apply(created->package);
   ASSERT_TRUE(applied.ok()) << applied.status().ToString();
   EXPECT_EQ(Probe(*machine_, "probe_asm", 0, 207), 2u);
   // The local counter kept counting in place: two calls so far.
@@ -606,7 +606,7 @@ TEST_F(KspliceIntegration, UpdateWhileWorkloadRuns) {
                                 "if (requested > 100) {\n    return 0;");
   ks::Result<CreateResult> created = Create(tree_, patch);
   ASSERT_TRUE(created.ok());
-  ks::Result<std::string> applied = core_->Apply(created->package);
+  ks::Result<ApplyReport> applied = core_->Apply(created->package);
   ASSERT_TRUE(applied.ok()) << applied.status().ToString();
 
   ASSERT_TRUE(machine_->RunToCompletion().ok());

@@ -68,7 +68,7 @@ big_fn:
   ASSERT_TRUE(created.ok()) << created.status().ToString();
 
   ksplice::KspliceCore core(machine.get());
-  ks::Result<std::string> applied = core.Apply(created->package);
+  ks::Result<ksplice::ApplyReport> applied = core.Apply(created->package);
   ASSERT_FALSE(applied.ok());
   EXPECT_NE(applied.status().message().find("too small"),
             std::string::npos);

@@ -1,0 +1,498 @@
+// Tests for the observability layer: trace spans (base/trace.h), the
+// metrics registry (base/metrics.h), and the typed per-phase reports
+// (ksplice/report.h) produced across a full create -> apply -> undo cycle.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "base/metrics.h"
+#include "base/trace.h"
+#include "kcc/compile.h"
+#include "kcc/objcache.h"
+#include "kdiff/diff.h"
+#include "ksplice/core.h"
+#include "ksplice/create.h"
+#include "ksplice/runpre.h"
+#include "kvm/machine.h"
+
+namespace ksplice {
+namespace {
+
+using kdiff::SourceTree;
+
+// --------------------------------------------------------- JSON checker
+//
+// A minimal recursive-descent JSON well-formedness checker, so the
+// schema tests validate real syntax instead of grepping for braces.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    SkipWs();
+    if (!Value()) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() != ':') {
+        return false;
+      }
+      ++pos_;
+      SkipWs();
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') {
+      return false;
+    }
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;  // skip the escaped character
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) {
+      return false;
+    }
+    pos_ += len;
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+bool ValidJson(const std::string& text) { return JsonChecker(text).Valid(); }
+
+// Restores the global trace switch on scope exit so one test cannot leak
+// tracing state into the next.
+struct ScopedTrace {
+  explicit ScopedTrace(bool enabled) {
+    ks::ClearTrace();
+    ks::SetTraceEnabled(enabled);
+  }
+  ~ScopedTrace() {
+    ks::SetTraceEnabled(false);
+    ks::ClearTrace();
+  }
+};
+
+const ks::TraceEvent* FindEvent(const std::vector<ks::TraceEvent>& events,
+                                const std::string& name) {
+  for (const ks::TraceEvent& event : events) {
+    if (event.name == name) {
+      return &event;
+    }
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------------------ trace spans
+
+TEST(TraceTest, SpansNestAndRecordDepth) {
+  ScopedTrace trace(true);
+  {
+    ks::TraceSpan outer("test.outer");
+    outer.AddTicks(5);
+    outer.AddTicks(7);
+    outer.Annotate("unit", std::string("sys/vuln.kc"));
+    outer.Annotate("bytes", uint64_t{42});
+    {
+      ks::TraceSpan inner("test.inner");
+      EXPECT_TRUE(inner.enabled());
+      { ks::TraceSpan innermost("test.innermost"); }
+    }
+  }
+  std::vector<ks::TraceEvent> events = ks::TraceSnapshot();
+  ASSERT_EQ(events.size(), 3u);
+
+  const ks::TraceEvent* outer = FindEvent(events, "test.outer");
+  const ks::TraceEvent* inner = FindEvent(events, "test.inner");
+  const ks::TraceEvent* innermost = FindEvent(events, "test.innermost");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(innermost, nullptr);
+
+  EXPECT_EQ(outer->depth, 0);
+  EXPECT_EQ(inner->depth, 1);
+  EXPECT_EQ(innermost->depth, 2);
+  EXPECT_EQ(outer->thread, inner->thread);
+
+  // The outer span contains the inner one in time.
+  EXPECT_LE(outer->start_ns, inner->start_ns);
+  EXPECT_GE(outer->start_ns + outer->dur_ns, inner->start_ns + inner->dur_ns);
+
+  // Ticks accumulate; annotations are preserved as strings.
+  EXPECT_EQ(outer->ticks, 12u);
+  ASSERT_EQ(outer->args.size(), 2u);
+  EXPECT_EQ(outer->args[0].first, "unit");
+  EXPECT_EQ(outer->args[0].second, "sys/vuln.kc");
+  EXPECT_EQ(outer->args[1].second, "42");
+}
+
+TEST(TraceTest, DisabledModeRecordsNothing) {
+  ScopedTrace trace(false);
+  {
+    ks::TraceSpan span("test.disabled");
+    EXPECT_FALSE(span.enabled());
+    span.AddTicks(100);
+    span.Annotate("key", std::string("value"));
+  }
+  EXPECT_TRUE(ks::TraceSnapshot().empty());
+  EXPECT_EQ(ks::TraceDropped(), 0u);
+}
+
+TEST(TraceTest, JsonExportIsWellFormedChromeTrace) {
+  ScopedTrace trace(true);
+  {
+    ks::TraceSpan span("test.json_span");
+    span.Annotate("note", std::string("with \"quotes\" and \\slashes\\"));
+  }
+  std::string json = ks::TraceJson();
+  EXPECT_TRUE(ValidJson(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("test.json_span"), std::string::npos);
+
+  // The summary mentions the span too.
+  std::string summary = ks::TraceSummary();
+  EXPECT_NE(summary.find("test.json_span"), std::string::npos);
+}
+
+// ------------------------------------------------------------- histograms
+
+TEST(MetricsTest, HistogramPowerOfTwoBucketing) {
+  ks::Histogram hist;
+  for (uint64_t v : {1ull, 2ull, 3ull, 4ull, 1024ull}) {
+    hist.Observe(v);
+  }
+  EXPECT_EQ(hist.count(), 5u);
+  EXPECT_EQ(hist.sum(), 1034u);
+  EXPECT_EQ(hist.min(), 1u);
+  EXPECT_EQ(hist.max(), 1024u);
+  EXPECT_DOUBLE_EQ(hist.mean(), 1034.0 / 5.0);
+
+  // Bucket i counts observations in (2^(i-1), 2^i].
+  EXPECT_EQ(hist.bucket(0), 1u);   // 1
+  EXPECT_EQ(hist.bucket(1), 1u);   // 2
+  EXPECT_EQ(hist.bucket(2), 2u);   // 3, 4
+  EXPECT_EQ(hist.bucket(10), 1u);  // 1024
+  EXPECT_EQ(ks::Histogram::BucketBound(0), 1u);
+  EXPECT_EQ(ks::Histogram::BucketBound(10), 1024u);
+
+  hist.Reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.min(), 0u);
+  EXPECT_EQ(hist.max(), 0u);
+}
+
+TEST(MetricsTest, RegistryJsonRoundTrip) {
+  ks::Counter& counter = ks::Metrics().GetCounter("test.roundtrip.counter");
+  ks::Gauge& gauge = ks::Metrics().GetGauge("test.roundtrip.gauge");
+  ks::Histogram& hist = ks::Metrics().GetHistogram("test.roundtrip.hist");
+  counter.Reset();
+  counter.Add(3);
+  gauge.Set(-7);
+  hist.Observe(5);
+
+  std::string json = ks::Metrics().ToJson();
+  EXPECT_TRUE(ValidJson(json)) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.roundtrip.counter\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.roundtrip.gauge\":-7"), std::string::npos);
+
+  // The same instrument comes back on lookup (stable references), and the
+  // counter snapshot includes it.
+  EXPECT_EQ(&counter, &ks::Metrics().GetCounter("test.roundtrip.counter"));
+  std::map<std::string, uint64_t> values = ks::Metrics().CounterValues();
+  ASSERT_NE(values.find("test.roundtrip.counter"), values.end());
+  EXPECT_EQ(values["test.roundtrip.counter"], 3u);
+}
+
+TEST(MetricsTest, ObjectCacheHitsAndMissesReachTheRegistry) {
+  kdiff::SourceTree tree;
+  tree.Write("cached.kc", "int cached_fn(int x) { return x * 3 + 1; }\n");
+  kcc::CompileOptions options;
+  kcc::ObjectCache cache;
+
+  uint64_t hits_before =
+      ks::Metrics().GetCounter("kcc.objcache.hits").value();
+  uint64_t misses_before =
+      ks::Metrics().GetCounter("kcc.objcache.misses").value();
+
+  bool was_hit = true;
+  ASSERT_TRUE(cache.GetOrCompile(tree, "cached.kc", options, &was_hit).ok());
+  EXPECT_FALSE(was_hit);
+  ASSERT_TRUE(cache.GetOrCompile(tree, "cached.kc", options, &was_hit).ok());
+  EXPECT_TRUE(was_hit);
+
+  EXPECT_EQ(ks::Metrics().GetCounter("kcc.objcache.hits").value(),
+            hits_before + 1);
+  EXPECT_EQ(ks::Metrics().GetCounter("kcc.objcache.misses").value(),
+            misses_before + 1);
+}
+
+// ----------------------------------------------- reports, full cycle
+
+SourceTree MiniKernelTree() {
+  SourceTree tree;
+  tree.Write("kapi.h", "int check_access(int uid, int requested);\n");
+  tree.Write("sys/vuln.kc", R"(
+int check_access(int uid, int requested) {
+  if (requested > 100) {
+    return 1;
+  }
+  if (uid == 0) {
+    return 1;
+  }
+  return 0;
+}
+)");
+  tree.Write("sys/probes.kc", R"(
+#include "kapi.h"
+void probe_access(int requested) { record(200, check_access(1000, requested)); }
+)");
+  return tree;
+}
+
+kcc::CompileOptions MonolithicBuild() {
+  kcc::CompileOptions options;
+  options.function_sections = false;
+  options.data_sections = false;
+  return options;
+}
+
+std::string FixPatch(const SourceTree& tree) {
+  SourceTree post = tree;
+  std::string contents = *tree.Read("sys/vuln.kc");
+  size_t at = contents.find("return 1;");
+  EXPECT_NE(at, std::string::npos);
+  contents.replace(at, 9, "return 0;");
+  post.Write("sys/vuln.kc", contents);
+  return kdiff::MakeUnifiedDiff(tree, post);
+}
+
+TEST(ReportTest, FullCyclePopulatesCreateApplyUndoReports) {
+  ScopedTrace trace(true);
+  SourceTree tree = MiniKernelTree();
+  ks::Result<std::vector<kelf::ObjectFile>> objects =
+      kcc::BuildTree(tree, MonolithicBuild());
+  ASSERT_TRUE(objects.ok()) << objects.status().ToString();
+  kvm::MachineConfig config;
+  ks::Result<std::unique_ptr<kvm::Machine>> machine =
+      kvm::Machine::Boot(std::move(objects).value(), config);
+  ASSERT_TRUE(machine.ok()) << machine.status().ToString();
+
+  CreateOptions options;
+  options.compile = MonolithicBuild();
+  options.id = "obs-test";
+  ks::Result<CreateResult> created =
+      CreateUpdate(tree, FixPatch(tree), options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+
+  // Create report: one unit rebuilt, the changed function identified by
+  // name with plausible sizes, wall times measured and properly nested.
+  const CreateReport& create_report = created->report;
+  EXPECT_EQ(create_report.id, "obs-test");
+  EXPECT_EQ(create_report.units_rebuilt, 1u);
+  ASSERT_EQ(create_report.units.size(), 1u);
+  EXPECT_EQ(create_report.units[0].unit, "sys/vuln.kc");
+  EXPECT_GT(create_report.units[0].sections_compared, 0u);
+  EXPECT_GT(create_report.units[0].sections_changed, 0u);
+  EXPECT_GT(create_report.units[0].pre_text_bytes, 0u);
+  EXPECT_EQ(create_report.targets, 1u);
+  ASSERT_EQ(create_report.changed_functions.size(), 1u);
+  EXPECT_EQ(create_report.changed_functions[0].symbol, "check_access");
+  EXPECT_EQ(create_report.changed_functions[0].change, "modified");
+  EXPECT_GT(create_report.changed_functions[0].pre_size, 0u);
+  EXPECT_GT(create_report.changed_functions[0].post_size, 0u);
+  EXPECT_GT(create_report.create_wall_ns, 0u);
+  EXPECT_GE(create_report.create_wall_ns, create_report.prepost_wall_ns);
+  EXPECT_TRUE(ValidJson(create_report.ToJson())) << create_report.ToJson();
+
+  // MatchStats out-param on a direct matcher call.
+  kcc::CompileOptions pre_options = MonolithicBuild();
+  pre_options.function_sections = true;
+  pre_options.data_sections = true;
+  ks::Result<kelf::ObjectFile> pre =
+      kcc::CompileUnit(tree, "sys/vuln.kc", pre_options);
+  ASSERT_TRUE(pre.ok()) << pre.status().ToString();
+  RunPreMatcher matcher(**machine);
+  MatchStats stats;
+  ASSERT_TRUE(matcher.MatchUnit(*pre, &stats).ok());
+  EXPECT_GT(stats.sections_matched, 0u);
+  EXPECT_GT(stats.candidates_tried, 0u);
+  EXPECT_GT(stats.run_bytes_matched, 0u);
+  EXPECT_GT(stats.pre_bytes_walked, 0u);
+  EXPECT_GT(stats.symbols_recovered, 0u);
+  EXPECT_GE(stats.fixpoint_passes, 1u);
+  EXPECT_TRUE(ValidJson(stats.ToJson())) << stats.ToJson();
+
+  uint64_t applies_before = ks::Metrics().GetCounter("ksplice.applies").value();
+  uint64_t pauses_before =
+      ks::Metrics().GetHistogram("ksplice.stop_pause_ns").count();
+
+  KspliceCore core(machine->get());
+  ks::Result<ApplyReport> applied = core.Apply(created->package);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(applied->id, "obs-test");
+  ASSERT_EQ(applied->functions.size(), 1u);
+  EXPECT_EQ(applied->functions[0].symbol, "check_access");
+  EXPECT_GT(applied->functions[0].trampoline_bytes, 0u);
+  EXPECT_GE(applied->attempts, 1);
+  EXPECT_EQ(applied->quiescence_retries, applied->attempts - 1);
+  EXPECT_GT(applied->trampoline_bytes, 0u);
+  EXPECT_GT(applied->primary_bytes, 0u);
+  EXPECT_GT(applied->helper_bytes, 0u);
+  EXPECT_FALSE(applied->helper_retained);
+  EXPECT_GT(applied->match.sections_matched, 0u);
+  EXPECT_GT(applied->match.run_bytes_matched, 0u);
+  EXPECT_TRUE(ValidJson(applied->ToJson())) << applied->ToJson();
+
+  // The per-process aggregates moved in step with the report.
+  EXPECT_EQ(ks::Metrics().GetCounter("ksplice.applies").value(),
+            applies_before + 1);
+  EXPECT_EQ(ks::Metrics().GetHistogram("ksplice.stop_pause_ns").count(),
+            pauses_before + 1);
+
+  ks::Result<UndoReport> undone = core.Undo(applied->id);
+  ASSERT_TRUE(undone.ok()) << undone.status().ToString();
+  EXPECT_EQ(undone->id, "obs-test");
+  EXPECT_EQ(undone->functions_restored, 1u);
+  EXPECT_GE(undone->attempts, 1);
+  EXPECT_GT(undone->bytes_restored, 0u);
+  EXPECT_EQ(undone->bytes_restored, applied->trampoline_bytes);
+  EXPECT_GT(undone->primary_bytes_reclaimed, 0u);
+  EXPECT_TRUE(ValidJson(undone->ToJson())) << undone->ToJson();
+
+  // The traced pipeline left spans for every phase.
+  std::vector<ks::TraceEvent> events = ks::TraceSnapshot();
+  EXPECT_NE(FindEvent(events, "create.update"), nullptr);
+  EXPECT_NE(FindEvent(events, "prepost.run"), nullptr);
+  EXPECT_NE(FindEvent(events, "runpre.match_unit"), nullptr);
+  EXPECT_NE(FindEvent(events, "ksplice.apply"), nullptr);
+  EXPECT_NE(FindEvent(events, "ksplice.undo"), nullptr);
+}
+
+}  // namespace
+}  // namespace ksplice

@@ -10,14 +10,20 @@
 //                                                       corpus kernel +
 //                                                       patches to disk
 //
+// Global flags (any subcommand): -j N, --trace[=FILE], --metrics=FILE,
+// --help. `<command> --help` prints that command's own help. Flags and
+// commands are table-driven — adding one means adding a table row.
+//
 // Source trees on disk contain .kc (KC), .kvs (assembly), and .h files;
 // paths are taken relative to <srcdir>.
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <cstdio>
 
+#include "base/metrics.h"
 #include "base/strings.h"
+#include "base/trace.h"
 #include "corpus/corpus.h"
 #include "kcc/compile.h"
 #include "kcc/objcache.h"
@@ -42,7 +48,9 @@ ks::Result<std::string> ReadFile(const fs::path& path) {
 }
 
 ks::Status WriteFile(const fs::path& path, const std::string& contents) {
-  fs::create_directories(path.parent_path());
+  if (path.has_parent_path()) {
+    fs::create_directories(path.parent_path());
+  }
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     return ks::Internal("cannot write " + path.string());
@@ -81,11 +89,109 @@ int Fail(const ks::Status& status) {
   return 1;
 }
 
-// Build-side parallelism (-j N; 0 = one worker per hardware thread) and
-// the tool-lifetime object cache. Only creation fans out — apply-side
-// semantics in `demo` are untouched.
-int g_jobs = 1;
+// ------------------------------------------------------- global options
 
+struct GlobalOptions {
+  int jobs = 1;          // -j N (0 = one worker per hardware thread)
+  bool trace = false;    // --trace[=FILE]
+  std::string trace_file;    // empty => summary table on stderr at exit
+  std::string metrics_file;  // --metrics=FILE: registry JSON at exit
+  bool help = false;
+};
+
+GlobalOptions g_options;
+
+// One global flag. `arg` names the value in help text; kNone takes no
+// value, kOptional accepts `--flag` or `--flag=V`, kRequired demands one.
+struct FlagSpec {
+  const char* name;  // with leading dashes, e.g. "--trace"
+  enum Arg { kNone, kOptional, kRequired } arg;
+  const char* value_name;
+  const char* help;
+  void (*apply)(const std::string& value);
+};
+
+const FlagSpec kFlags[] = {
+    {"-j", FlagSpec::kRequired, "N",
+     "compile with N worker threads (0 = all hardware threads); output is "
+     "byte-identical for every N",
+     [](const std::string& v) { g_options.jobs = std::atoi(v.c_str()); }},
+    {"--trace", FlagSpec::kOptional, "FILE",
+     "record trace spans; write Chrome trace JSON to FILE, or print a "
+     "summary table to stderr when no FILE is given",
+     [](const std::string& v) {
+       g_options.trace = true;
+       g_options.trace_file = v;
+     }},
+    {"--metrics", FlagSpec::kRequired, "FILE",
+     "write the metrics registry (counters/gauges/histograms) as JSON to "
+     "FILE at exit",
+     [](const std::string& v) { g_options.metrics_file = v; }},
+    {"--help", FlagSpec::kNone, nullptr, "show help and exit",
+     [](const std::string&) { g_options.help = true; }},
+};
+
+// Consumes recognized flags from `args` (anywhere on the command line);
+// leaves positional arguments in place. Returns an error for a malformed
+// or unknown flag-looking argument.
+ks::Status ParseFlags(std::vector<std::string>& args) {
+  std::vector<std::string> rest;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.empty() || arg[0] != '-') {
+      rest.push_back(arg);
+      continue;
+    }
+    const FlagSpec* matched = nullptr;
+    std::string value;
+    bool has_value = false;
+    for (const FlagSpec& spec : kFlags) {
+      std::string name = spec.name;
+      if (arg == name) {
+        matched = &spec;
+        if (spec.arg == FlagSpec::kRequired) {
+          // Value in the next argument ("-j 4") or glued ("-j4").
+          if (i + 1 < args.size()) {
+            value = args[++i];
+            has_value = true;
+          }
+        }
+        break;
+      }
+      if (ks::StartsWith(arg, name + "=")) {
+        matched = &spec;
+        value = arg.substr(name.size() + 1);
+        has_value = true;
+        break;
+      }
+      // Glued short-flag value, e.g. -j8.
+      if (name.size() == 2 && name[0] == '-' && name[1] != '-' &&
+          ks::StartsWith(arg, name) && arg.size() > 2) {
+        matched = &spec;
+        value = arg.substr(2);
+        has_value = true;
+        break;
+      }
+    }
+    if (matched == nullptr) {
+      return ks::InvalidArgument("unknown flag " + arg +
+                                 " (see ksplice_tool --help)");
+    }
+    if (matched->arg == FlagSpec::kRequired && !has_value) {
+      return ks::InvalidArgument(std::string(matched->name) +
+                                 " requires a value");
+    }
+    if (matched->arg == FlagSpec::kNone && has_value) {
+      return ks::InvalidArgument(std::string(matched->name) +
+                                 " takes no value");
+    }
+    matched->apply(value);
+  }
+  args = std::move(rest);
+  return ks::OkStatus();
+}
+
+// The tool-lifetime object cache shared by every build in this process.
 kcc::ObjectCache& ToolCache() {
   static kcc::ObjectCache* cache = new kcc::ObjectCache();
   return *cache;
@@ -93,15 +199,70 @@ kcc::ObjectCache& ToolCache() {
 
 kcc::CompileOptions DefaultBuild() {
   kcc::CompileOptions options;  // monolithic, like a shipped kernel
-  options.jobs = g_jobs;
+  options.jobs = g_options.jobs;
   options.cache = &ToolCache();
   return options;
 }
 
+// ------------------------------------------------------ report printing
+
+void PrintCreateReport(const ksplice::CreateReport& report) {
+  std::printf("create report for %s:\n", report.id.c_str());
+  std::printf(
+      "  %u unit(s) rebuilt; cache %llu hit(s) / %llu miss(es); "
+      "prepost %.2f ms of %.2f ms total\n",
+      report.units_rebuilt,
+      static_cast<unsigned long long>(report.cache_hits),
+      static_cast<unsigned long long>(report.cache_misses),
+      static_cast<double>(report.prepost_wall_ns) / 1e6,
+      static_cast<double>(report.create_wall_ns) / 1e6);
+  for (const ksplice::UnitReport& unit : report.units) {
+    std::printf(
+        "  %-24s %4u/%-4u sections changed, text %u -> %u bytes%s%s\n",
+        unit.unit.c_str(), unit.sections_changed, unit.sections_compared,
+        unit.pre_text_bytes, unit.post_text_bytes,
+        unit.pre_cache_hit ? ", pre cached" : "",
+        unit.post_cache_hit ? ", post cached" : "");
+  }
+  for (const ksplice::ChangedFunction& fn : report.changed_functions) {
+    std::printf("  %-8s %s:%s (%u -> %u bytes)\n", fn.change.c_str(),
+                fn.unit.c_str(), fn.symbol.c_str(), fn.pre_size,
+                fn.post_size);
+  }
+}
+
+void PrintApplyReport(const ksplice::ApplyReport& report) {
+  std::printf(
+      "applied %s: %zu function(s) spliced in %.3f ms pause "
+      "(%d attempt(s), %d quiescence retr%s)\n",
+      report.id.c_str(), report.functions.size(),
+      static_cast<double>(report.pause_ns) / 1e6, report.attempts,
+      report.quiescence_retries,
+      report.quiescence_retries == 1 ? "y" : "ies");
+  std::printf(
+      "  run-pre: %llu candidate(s), %llu byte(s) matched, %llu "
+      "relocation inversions\n",
+      static_cast<unsigned long long>(report.match.candidates_tried),
+      static_cast<unsigned long long>(report.match.run_bytes_matched),
+      static_cast<unsigned long long>(report.match.reloc_sites_inverted));
+  std::printf(
+      "  memory: primary %u byte(s), helper %llu byte(s)%s, trampolines "
+      "%u byte(s)\n",
+      report.primary_bytes,
+      static_cast<unsigned long long>(report.helper_bytes),
+      report.helper_retained ? " (retained)" : " (unloaded)",
+      report.trampoline_bytes);
+  for (const ksplice::SpliceRecord& fn : report.functions) {
+    std::printf("  %s:%s @%08x -> %08x (%u -> %u bytes)\n",
+                fn.unit.c_str(), fn.symbol.c_str(), fn.orig_address,
+                fn.repl_address, fn.code_size, fn.repl_size);
+  }
+}
+
 // ---------------------------------------------------------------- build
 
-int CmdBuild(const std::string& dir) {
-  ks::Result<kdiff::SourceTree> tree = LoadTree(dir);
+int CmdBuild(const std::vector<std::string>& args) {
+  ks::Result<kdiff::SourceTree> tree = LoadTree(args[0]);
   if (!tree.ok()) {
     return Fail(tree.status());
   }
@@ -127,13 +288,13 @@ int CmdBuild(const std::string& dir) {
 
 // --------------------------------------------------------------- create
 
-int CmdCreate(const std::string& dir, const std::string& patch_path,
-              const std::string& out_path) {
-  ks::Result<kdiff::SourceTree> tree = LoadTree(dir);
+int CmdCreate(const std::vector<std::string>& args) {
+  const std::string& out_path = args[2];
+  ks::Result<kdiff::SourceTree> tree = LoadTree(args[0]);
   if (!tree.ok()) {
     return Fail(tree.status());
   }
-  ks::Result<std::string> patch = ReadFile(patch_path);
+  ks::Result<std::string> patch = ReadFile(args[1]);
   if (!patch.ok()) {
     return Fail(patch.status());
   }
@@ -150,15 +311,21 @@ int CmdCreate(const std::string& dir, const std::string& patch_path,
   if (!written.ok()) {
     return Fail(written);
   }
+  // The typed report rides along as JSON so `inspect` can show how the
+  // package came to be.
+  (void)WriteFile(out_path + ".report.json",
+                  created->report.ToJson() + "\n");
   std::printf("Ksplice update %s written to %s (%zu bytes, %zu targets)\n",
               created->package.id.c_str(), out_path.c_str(), bytes.size(),
               created->package.targets.size());
+  PrintCreateReport(created->report);
   return 0;
 }
 
 // -------------------------------------------------------------- inspect
 
-int CmdInspect(const std::string& pkg_path) {
+int CmdInspect(const std::vector<std::string>& args) {
+  const std::string& pkg_path = args[0];
   ks::Result<std::string> raw = ReadFile(pkg_path);
   if (!raw.ok()) {
     return Fail(raw.status());
@@ -188,18 +355,26 @@ int CmdInspect(const std::string& pkg_path) {
                   section.size(), section.relocs.size());
     }
   }
+  // The create report, when the package was written by `create`.
+  ks::Result<std::string> report = ReadFile(pkg_path + ".report.json");
+  if (report.ok()) {
+    std::printf("report    : %s", report->c_str());
+  }
   return 0;
 }
 
 // ----------------------------------------------------------------- demo
 
-int CmdDemo(const std::string& dir, const std::string& patch_path,
-            const std::string& entry, uint32_t arg) {
-  ks::Result<kdiff::SourceTree> tree = LoadTree(dir);
+int CmdDemo(const std::vector<std::string>& args) {
+  std::string entry = args.size() >= 3 ? args[2] : "";
+  uint32_t arg = args.size() == 4
+                     ? static_cast<uint32_t>(std::atoi(args[3].c_str()))
+                     : 0;
+  ks::Result<kdiff::SourceTree> tree = LoadTree(args[0]);
   if (!tree.ok()) {
     return Fail(tree.status());
   }
-  ks::Result<std::string> patch = ReadFile(patch_path);
+  ks::Result<std::string> patch = ReadFile(args[1]);
   if (!patch.ok()) {
     return Fail(patch.status());
   }
@@ -251,28 +426,29 @@ int CmdDemo(const std::string& dir, const std::string& patch_path,
   if (!created.ok()) {
     return Fail(created.status());
   }
+  PrintCreateReport(created->report);
   ksplice::KspliceCore core(machine->get());
-  ks::Result<std::string> applied = core.Apply(created->package);
+  ks::Result<ksplice::ApplyReport> applied = core.Apply(created->package);
   if (!applied.ok()) {
     return Fail(applied.status());
   }
-  std::printf("applied %s (%zu functions replaced)\n", applied->c_str(),
-              core.applied()[0].functions.size());
+  PrintApplyReport(*applied);
   run_entry("after");
   return 0;
 }
 
 // --------------------------------------------------------------- disasm
 
-int CmdDisasm(const std::string& dir, const std::string& unit) {
-  ks::Result<kdiff::SourceTree> tree = LoadTree(dir);
+int CmdDisasm(const std::vector<std::string>& args) {
+  ks::Result<kdiff::SourceTree> tree = LoadTree(args[0]);
   if (!tree.ok()) {
     return Fail(tree.status());
   }
   kcc::CompileOptions options;
   options.function_sections = true;
   options.data_sections = true;
-  ks::Result<kelf::ObjectFile> obj = kcc::CompileUnit(*tree, unit, options);
+  ks::Result<kelf::ObjectFile> obj =
+      kcc::CompileUnit(*tree, args[1], options);
   if (!obj.ok()) {
     return Fail(obj.status());
   }
@@ -294,7 +470,8 @@ int CmdDisasm(const std::string& dir, const std::string& unit) {
 
 // -------------------------------------------------------- export-corpus
 
-int CmdExportCorpus(const std::string& dir) {
+int CmdExportCorpus(const std::vector<std::string>& args) {
+  const std::string& dir = args[0];
   const kdiff::SourceTree& tree = corpus::KernelSource();
   for (const std::string& path : tree.Paths()) {
     ks::Status written =
@@ -332,63 +509,137 @@ int CmdExportCorpus(const std::string& dir) {
   return 0;
 }
 
-int Usage() {
-  std::fprintf(
-      stderr,
-      "usage: ksplice_tool [-j N] <command> ...\n"
-      "  ksplice_tool build   <srcdir>\n"
-      "  ksplice_tool create  <srcdir> <patch> <out.kspl>\n"
-      "  ksplice_tool inspect <pkg.kspl>\n"
-      "  ksplice_tool demo    <srcdir> <patch> [entry [arg]]\n"
-      "  ksplice_tool disasm  <srcdir> <unit>\n"
-      "  ksplice_tool export-corpus <dir>\n"
-      "  -j N   compile with N worker threads (0 = all hardware threads);\n"
-      "         output is byte-identical for every N\n");
-  return 2;
+// -------------------------------------------------------- command table
+
+struct Command {
+  const char* name;
+  const char* synopsis;   // positional arguments
+  const char* summary;    // one line for the global help
+  size_t min_args;
+  size_t max_args;
+  int (*handler)(const std::vector<std::string>& args);
+  const char* help;       // extra detail for `<command> --help`
+};
+
+const Command kCommands[] = {
+    {"build", "<srcdir>", "compile a source tree and report its size", 1, 1,
+     CmdBuild,
+     "Compiles every .kc/.kvs unit under <srcdir> (monolithic, like a\n"
+     "shipped kernel) and prints unit/text/symbol totals."},
+    {"create", "<srcdir> <patch> <out.kspl>",
+     "build an update package from a unified diff (ksplice-create)", 3, 3,
+     CmdCreate,
+     "Runs the pre-post double build and section diff, extracts changed\n"
+     "code, and writes the package to <out.kspl> plus a typed\n"
+     "<out.kspl>.report.json (per-unit compile/cache/diff statistics and\n"
+     "the changed-function list)."},
+    {"inspect", "<pkg.kspl>", "show a package's targets and objects", 1, 1,
+     CmdInspect,
+     "Parses <pkg.kspl> and lists targets, helper and primary objects.\n"
+     "When <pkg.kspl>.report.json exists (written by create), prints the\n"
+     "create report too."},
+    {"demo", "<srcdir> <patch> [entry [arg]]",
+     "boot the tree, hot-apply the patch, compare behaviour", 2, 4, CmdDemo,
+     "Boots the tree in the simulated kernel, optionally runs [entry]\n"
+     "before and after, creates the update from <patch> and applies it\n"
+     "live, printing the typed create and apply reports."},
+    {"disasm", "<srcdir> <unit>", "disassemble one compilation unit", 2, 2,
+     CmdDisasm,
+     "Compiles <unit> with -ffunction-sections and prints each text\n"
+     "section's disassembly and relocations."},
+    {"export-corpus", "<dir>",
+     "write the 64-CVE corpus kernel + patches to disk", 1, 1,
+     CmdExportCorpus,
+     "Writes the corpus kernel source under <dir>/src and every CVE's fix\n"
+     "(and amended Table-1 patch) under <dir>/patches."},
+};
+
+void PrintGlobalHelp() {
+  std::fprintf(stderr, "usage: ksplice_tool [flags] <command> ...\n\n");
+  std::fprintf(stderr, "commands:\n");
+  for (const Command& cmd : kCommands) {
+    std::fprintf(stderr, "  %-13s %-34s %s\n", cmd.name, cmd.synopsis,
+                 cmd.summary);
+  }
+  std::fprintf(stderr, "\nflags:\n");
+  for (const FlagSpec& spec : kFlags) {
+    std::string name = spec.name;
+    if (spec.arg == FlagSpec::kRequired) {
+      name += std::string(" ") + spec.value_name;
+    } else if (spec.arg == FlagSpec::kOptional) {
+      name += std::string("[=") + spec.value_name + "]";
+    }
+    std::fprintf(stderr, "  %-18s %s\n", name.c_str(), spec.help);
+  }
+  std::fprintf(stderr,
+               "\n`ksplice_tool <command> --help` describes one command.\n");
+}
+
+void PrintCommandHelp(const Command& cmd) {
+  std::fprintf(stderr, "usage: ksplice_tool [flags] %s %s\n\n%s\n%s\n",
+               cmd.name, cmd.synopsis, cmd.summary, cmd.help);
+}
+
+// Trace/metrics emission at exit, whatever the command did.
+int Finish(int code) {
+  if (g_options.trace) {
+    if (g_options.trace_file.empty()) {
+      std::fprintf(stderr, "%s", ks::TraceSummary().c_str());
+    } else {
+      ks::Status written = ks::WriteTraceJson(g_options.trace_file);
+      if (!written.ok()) {
+        std::fprintf(stderr, "trace write failed: %s\n",
+                     written.ToString().c_str());
+      }
+    }
+  }
+  if (!g_options.metrics_file.empty()) {
+    ks::Status written = ks::Metrics().WriteJson(g_options.metrics_file);
+    if (!written.ok()) {
+      std::fprintf(stderr, "metrics write failed: %s\n",
+                   written.ToString().c_str());
+    }
+  }
+  return code;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  for (size_t i = 0; i < args.size();) {
-    if (args[i] == "-j" && i + 1 < args.size()) {
-      g_jobs = std::atoi(args[i + 1].c_str());
-      args.erase(args.begin() + static_cast<long>(i),
-                 args.begin() + static_cast<long>(i) + 2);
-    } else if (ks::StartsWith(args[i], "-j") && args[i].size() > 2) {
-      g_jobs = std::atoi(args[i].c_str() + 2);
-      args.erase(args.begin() + static_cast<long>(i));
-    } else {
-      ++i;
-    }
+  ks::Status parsed = ParseFlags(args);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.ToString().c_str());
+    return 2;
   }
   if (args.empty()) {
-    return Usage();
+    PrintGlobalHelp();
+    return g_options.help ? 0 : 2;
   }
-  const std::string& cmd = args[0];
-  if (cmd == "build" && args.size() == 2) {
-    return CmdBuild(args[1]);
+  const Command* command = nullptr;
+  for (const Command& cmd : kCommands) {
+    if (args[0] == cmd.name) {
+      command = &cmd;
+      break;
+    }
   }
-  if (cmd == "create" && args.size() == 4) {
-    return CmdCreate(args[1], args[2], args[3]);
+  if (command == nullptr) {
+    std::fprintf(stderr, "error: unknown command '%s'\n\n", args[0].c_str());
+    PrintGlobalHelp();
+    return 2;
   }
-  if (cmd == "inspect" && args.size() == 2) {
-    return CmdInspect(args[1]);
+  if (g_options.help) {
+    PrintCommandHelp(*command);
+    return 0;
   }
-  if (cmd == "demo" && (args.size() == 3 || args.size() == 4 ||
-                        args.size() == 5)) {
-    std::string entry = args.size() >= 4 ? args[3] : "";
-    uint32_t arg = args.size() == 5
-                       ? static_cast<uint32_t>(std::atoi(args[4].c_str()))
-                       : 0;
-    return CmdDemo(args[1], args[2], entry, arg);
+  std::vector<std::string> positional(args.begin() + 1, args.end());
+  if (positional.size() < command->min_args ||
+      positional.size() > command->max_args) {
+    PrintCommandHelp(*command);
+    return 2;
   }
-  if (cmd == "disasm" && args.size() == 3) {
-    return CmdDisasm(args[1], args[2]);
+  if (g_options.trace) {
+    ks::SetTraceEnabled(true);
   }
-  if (cmd == "export-corpus" && args.size() == 2) {
-    return CmdExportCorpus(args[1]);
-  }
-  return Usage();
+  return Finish(command->handler(positional));
 }
