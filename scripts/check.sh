@@ -36,4 +36,41 @@ assert metrics["histograms"]["ksplice.stop_pause_ns"]["count"] > 0
 print("trace + metrics JSON OK:",
       len(trace["traceEvents"]), "spans,", len(counters), "counters")
 EOF
+
+# Lint smoke: create a package from the prctl patch, run the kanalyze lint
+# over it (text + JSON), and validate the JSON shape: the fix must lint
+# clean and the .report.json sidecar must agree.
+echo "== ksplice_tool lint smoke =="
+build/tools/ksplice_tool create "$obs_dir/corpus/src" \
+  "$obs_dir/corpus/patches/CVE-2006-2451.patch" "$obs_dir/prctl.kspl"
+build/tools/ksplice_tool lint "$obs_dir/prctl.kspl"
+build/tools/ksplice_tool lint --json="$obs_dir/prctl.lint.json" \
+  --fail-on=warning "$obs_dir/prctl.kspl"
+python3 - "$obs_dir" <<'EOF'
+import json, sys
+obs_dir = sys.argv[1]
+lint = json.load(open(obs_dir + "/prctl.lint.json"))
+for key in ("id", "errors", "warnings", "notes", "functions_scanned",
+            "blocks_analyzed", "findings"):
+    assert key in lint, f"lint JSON missing {key}: {sorted(lint)}"
+assert lint["errors"] == 0, f"clean package has errors: {lint['findings']}"
+assert lint["functions_scanned"] > 0 and lint["blocks_analyzed"] > 0
+sidecar = json.load(open(obs_dir + "/prctl.kspl.report.json"))
+assert sidecar["lint"]["errors"] == 0, "sidecar lint disagrees"
+print("lint JSON OK:", lint["functions_scanned"], "functions,",
+      lint["blocks_analyzed"], "blocks,", len(lint["findings"]), "findings")
+EOF
+
+# Flag-handling regression: an unknown flag and a wrong argument count must
+# exit 2 and print the subcommand's usage on stderr.
+echo "== ksplice_tool flag handling =="
+if build/tools/ksplice_tool create --bogus a b c 2>"$obs_dir/err1"; then
+  echo "unknown flag did not fail"; exit 1
+fi
+grep -q "usage: ksplice_tool .* create" "$obs_dir/err1"
+if build/tools/ksplice_tool lint 2>"$obs_dir/err2"; then
+  echo "missing argument did not fail"; exit 1
+fi
+grep -q "usage: ksplice_tool .* lint" "$obs_dir/err2"
+
 echo "ALL CHECKS PASSED"

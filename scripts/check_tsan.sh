@@ -1,13 +1,17 @@
 #!/bin/sh
 # Race-checks the parallel update-creation pipeline: builds the tree with
 # -fsanitize=thread and runs the concurrency test plus the SMP hooks test
-# directly (TSAN aborts the process on the first data race).
+# directly (TSAN aborts the process on the first data race). The kanalyze
+# analyzer and parser fuzz tests run too: lint executes inside the
+# (parallelized) create pipeline, so its metrics updates must stay clean.
 set -e
 cd "$(dirname "$0")/.."
 cmake -B build-tsan -G Ninja -DKSPLICE_SANITIZE=thread
-cmake --build build-tsan --target concurrency_test ksplice_hooks_smp_test
-echo "== build-tsan/tests/concurrency_test =="
-./build-tsan/tests/concurrency_test
-echo "== build-tsan/tests/ksplice_hooks_smp_test =="
-./build-tsan/tests/ksplice_hooks_smp_test
+cmake --build build-tsan --target concurrency_test ksplice_hooks_smp_test \
+  kanalyze_test fuzz_negative_test
+for t in concurrency_test ksplice_hooks_smp_test kanalyze_test \
+         fuzz_negative_test; do
+  echo "== build-tsan/tests/$t =="
+  "./build-tsan/tests/$t"
+done
 echo "TSAN CHECKS PASSED"

@@ -1,0 +1,124 @@
+// ABI/layout differ (kanalyze pass 3): compares each primary object's
+// data/bss sections against the same-named sections of its unit's helper
+// (pre) object. With -fdata-sections every variable is its own
+// ".data.<var>"/".bss.<var>" section, so a section-level size or content
+// difference is the object-code shadow of a struct-layout or initializer
+// semantics change — exactly what the paper's Table 1 says cannot be hot-
+// applied without custom code. A package that carries ksplice hook tables
+// (.ksplice.apply and friends) has declared that custom code, so the same
+// evidence downgrades from an error to a §3.4 "human must review" note.
+
+#include <cstdint>
+#include <string>
+
+#include "base/strings.h"
+#include "kanalyze/kanalyze.h"
+
+namespace kanalyze {
+
+namespace {
+
+using ksplice::LintFinding;
+using ksplice::LintReport;
+using ksplice::LintSeverity;
+
+bool IsDataKind(kelf::SectionKind kind) {
+  return kind == kelf::SectionKind::kData || kind == kelf::SectionKind::kBss;
+}
+
+// Any .ksplice.* hook table anywhere in the package counts: hooks are the
+// package-level declaration that apply-time custom code handles state.
+bool PackageHasHooks(const ksplice::UpdatePackage& package) {
+  for (const kelf::ObjectFile& primary : package.primary_objects) {
+    for (const kelf::Section& section : primary.sections()) {
+      if (section.kind == kelf::SectionKind::kNote &&
+          ks::StartsWith(section.name, ".ksplice.")) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+const kelf::ObjectFile* HelperForUnit(
+    const ksplice::UpdatePackage& package, const std::string& unit) {
+  for (const kelf::ObjectFile& helper : package.helper_objects) {
+    if (helper.source_name() == unit) {
+      return &helper;
+    }
+  }
+  return nullptr;
+}
+
+LintFinding MakeFinding(const char* rule, LintSeverity severity,
+                        const std::string& unit, const std::string& section,
+                        std::string message, std::string hint) {
+  LintFinding finding;
+  finding.rule = rule;
+  finding.severity = severity;
+  finding.pass = "abi";
+  finding.unit = unit;
+  finding.symbol = section;
+  finding.message = std::move(message);
+  finding.hint = std::move(hint);
+  return finding;
+}
+
+}  // namespace
+
+void RunAbiPass(const ksplice::UpdatePackage& package, LintReport* report) {
+  const bool hooks = PackageHasHooks(package);
+  const char* no_hooks_hint =
+      "a data semantics change needs apply-time custom code: revise the "
+      "patch to keep the layout and initialize state in a ksplice_apply "
+      "hook (shadow data structures, §5.3)";
+  const char* hooks_hint =
+      "hooks claim to handle this change; a programmer must still confirm "
+      "they initialize every live instance (§3.4)";
+
+  for (const kelf::ObjectFile& primary : package.primary_objects) {
+    const kelf::ObjectFile* helper =
+        HelperForUnit(package, primary.source_name());
+    if (helper == nullptr) {
+      continue;  // callgraph pass reports missing helpers via targets
+    }
+    for (const kelf::Section& post : primary.sections()) {
+      if (!IsDataKind(post.kind)) {
+        continue;
+      }
+      const kelf::Section* pre = helper->SectionByName(post.name);
+      if (pre == nullptr || !IsDataKind(pre->kind)) {
+        continue;  // new variable: new state is always safe to add
+      }
+      ++report->data_sections_compared;
+
+      if (pre->size() != post.size() || pre->align != post.align) {
+        report->findings.push_back(MakeFinding(
+            hooks ? "KSA303" : "KSA301",
+            hooks ? LintSeverity::kNote : LintSeverity::kError,
+            primary.source_name(), post.name,
+            ks::StrPrintf(
+                "persistent data layout changes: %u -> %u bytes, align "
+                "%u -> %u%s",
+                pre->size(), post.size(), pre->align, post.align,
+                hooks ? " (gated by ksplice hooks)" : ""),
+            hooks ? hooks_hint : no_hooks_hint));
+        continue;
+      }
+      bool bytes_differ =
+          pre->kind != kelf::SectionKind::kBss && pre->bytes != post.bytes;
+      if (bytes_differ) {
+        report->findings.push_back(MakeFinding(
+            hooks ? "KSA303" : "KSA302",
+            hooks ? LintSeverity::kNote : LintSeverity::kError,
+            primary.source_name(), post.name,
+            ks::StrPrintf(
+                "persistent data contents change (%u bytes)%s",
+                post.size(), hooks ? " (gated by ksplice hooks)" : ""),
+            hooks ? hooks_hint : no_hooks_hint));
+      }
+    }
+  }
+}
+
+}  // namespace kanalyze

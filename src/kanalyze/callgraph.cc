@@ -1,0 +1,319 @@
+#include "kanalyze/callgraph.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <span>
+
+#include "kvx/isa.h"
+
+namespace kanalyze {
+
+namespace {
+
+// kanalyze must stay header-only towards ksplice (ks_ksplice links this
+// library, not the reverse), so split scoped names locally.
+std::string ScopedKey(const std::string& unit, const std::string& symbol) {
+  return unit + "::" + symbol;
+}
+
+bool SplitScoped(const std::string& name, std::string* unit,
+                 std::string* symbol) {
+  size_t sep = name.find("::");
+  if (sep == std::string::npos) {
+    return false;
+  }
+  *unit = name.substr(0, sep);
+  *symbol = name.substr(sep + 2);
+  return true;
+}
+
+// The SYS services a thread can park in (paper §4.2's "functions that
+// frequently wait for events"): sleep and the big kernel lock.
+bool IsBlockingSys(uint32_t imm) {
+  return imm == static_cast<uint32_t>(kvx::Sys::kSleep) ||
+         imm == static_cast<uint32_t>(kvx::Sys::kLockKernel);
+}
+
+struct SectionScan {
+  bool self_call = false;
+  bool blocking = false;
+  uint64_t insns = 0;
+};
+
+// Decodes a text section looking for reloc-free CALLs (self-recursion
+// under -ffunction-sections) and blocking SYS instructions. Stops at the
+// first undecodable byte — the CFG pass owns that diagnostic.
+SectionScan ScanText(const kelf::Section& section) {
+  SectionScan scan;
+  std::set<uint32_t> reloc_fields;
+  for (const kelf::Relocation& rel : section.relocs) {
+    reloc_fields.insert(rel.offset);
+  }
+  uint32_t off = 0;
+  const uint32_t size = static_cast<uint32_t>(section.bytes.size());
+  while (off < size) {
+    ks::Result<kvx::Insn> insn = kvx::Decode(
+        std::span<const uint8_t>(section.bytes.data() + off, size - off));
+    if (!insn.ok()) {
+      break;
+    }
+    ++scan.insns;
+    if (insn->op == kvx::Op::kCall) {
+      int field = kvx::Imm32FieldOffset(insn->op);
+      if (field >= 0 &&
+          reloc_fields.count(off + static_cast<uint32_t>(field)) == 0) {
+        scan.self_call = true;
+      }
+    }
+    if (insn->op == kvx::Op::kSys && IsBlockingSys(insn->imm)) {
+      scan.blocking = true;
+    }
+    off += insn->len;
+  }
+  return scan;
+}
+
+}  // namespace
+
+int CallGraph::FindHelperNode(const std::string& unit,
+                              const std::string& symbol) const {
+  auto it = helper_by_scoped_.find(ScopedKey(unit, symbol));
+  return it == helper_by_scoped_.end() ? -1 : it->second;
+}
+
+int CallGraph::FindPrimaryNode(const std::string& unit,
+                               const std::string& symbol) const {
+  auto it = primary_by_scoped_.find(ScopedKey(unit, symbol));
+  return it == primary_by_scoped_.end() ? -1 : it->second;
+}
+
+bool CallGraph::OnCycle(int node) const {
+  if (node < 0 || node >= static_cast<int>(nodes.size())) {
+    return false;
+  }
+  // BFS from the node's callees back to the node.
+  std::deque<int> queue(callees[static_cast<size_t>(node)].begin(),
+                        callees[static_cast<size_t>(node)].end());
+  std::set<int> seen;
+  while (!queue.empty()) {
+    int at = queue.front();
+    queue.pop_front();
+    if (at == node) {
+      return true;
+    }
+    if (!seen.insert(at).second) {
+      continue;
+    }
+    for (int next : callees[static_cast<size_t>(at)]) {
+      queue.push_back(next);
+    }
+  }
+  return false;
+}
+
+CallGraph BuildCallGraph(const ksplice::UpdatePackage& package) {
+  CallGraph graph;
+
+  // ---- Nodes: every text section of every object, helpers then
+  // primaries. Sections without a defining symbol (hand-built packages,
+  // monolithic builds) become anonymous nodes keyed by section name.
+  struct ObjRef {
+    const kelf::ObjectFile* obj;
+    bool in_primary;
+    int object_index;
+  };
+  std::vector<ObjRef> objects;
+  for (size_t i = 0; i < package.helper_objects.size(); ++i) {
+    objects.push_back({&package.helper_objects[i], false,
+                       static_cast<int>(i)});
+  }
+  for (size_t i = 0; i < package.primary_objects.size(); ++i) {
+    objects.push_back({&package.primary_objects[i], true,
+                       static_cast<int>(i)});
+  }
+
+  // (object position in `objects`, section index) -> node index.
+  std::map<std::pair<int, int>, int> node_of_section;
+  // Global function name -> node, helpers and primaries kept apart
+  // (apply-time resolution prefers package-internal definitions).
+  std::map<std::string, int> helper_globals;
+  std::map<std::string, int> primary_globals;
+  // Every defined symbol per helper unit, text AND data: apply-time
+  // scoped-import resolution goes through run-pre symbol_values, which
+  // cover the whole helper symbol table, so a data reference like
+  // `unit::some_static` is perfectly resolvable even though it never
+  // becomes a call-graph node.
+  std::map<std::string, std::set<std::string>> helper_defined;
+
+  for (size_t i = 0; i < package.helper_objects.size(); ++i) {
+    const kelf::ObjectFile& obj = package.helper_objects[i];
+    std::set<std::string>& defined = helper_defined[obj.source_name()];
+    for (const kelf::Symbol& sym : obj.symbols()) {
+      if (sym.defined() && !sym.name.empty()) {
+        defined.insert(sym.name);
+      }
+    }
+  }
+
+  for (size_t oi = 0; oi < objects.size(); ++oi) {
+    const ObjRef& ref = objects[oi];
+    for (size_t si = 0; si < ref.obj->sections().size(); ++si) {
+      const kelf::Section& section = ref.obj->sections()[si];
+      if (section.kind != kelf::SectionKind::kText ||
+          section.bytes.empty()) {
+        continue;
+      }
+      CallNode node;
+      node.unit = ref.obj->source_name();
+      node.section = section.name;
+      node.in_primary = ref.in_primary;
+      node.object_index = ref.object_index;
+      node.section_index = static_cast<int>(si);
+      node.text_bytes = static_cast<uint32_t>(section.bytes.size());
+      std::optional<int> def =
+          ref.obj->DefiningSymbolForSection(static_cast<int>(si));
+      kelf::SymbolBinding binding = kelf::SymbolBinding::kLocal;
+      if (def.has_value()) {
+        const kelf::Symbol& sym =
+            ref.obj->symbols()[static_cast<size_t>(*def)];
+        node.symbol = sym.name;
+        binding = sym.binding;
+      }
+      int index = static_cast<int>(graph.nodes.size());
+      node_of_section[{static_cast<int>(oi), static_cast<int>(si)}] = index;
+      if (!node.symbol.empty()) {
+        auto& scoped = ref.in_primary ? graph.primary_by_scoped_
+                                      : graph.helper_by_scoped_;
+        scoped.emplace(ScopedKey(node.unit, node.symbol), index);
+        if (binding == kelf::SymbolBinding::kGlobal) {
+          auto& globals = ref.in_primary ? primary_globals : helper_globals;
+          globals.emplace(node.symbol, index);
+        }
+      }
+      graph.nodes.push_back(std::move(node));
+    }
+  }
+  graph.callees.assign(graph.nodes.size(), {});
+  graph.callers.assign(graph.nodes.size(), {});
+
+  // ---- Edges from relocations in text sections.
+  auto add_edge = [&](int from, int to) {
+    auto& out = graph.callees[static_cast<size_t>(from)];
+    if (std::find(out.begin(), out.end(), to) != out.end()) {
+      return;
+    }
+    out.push_back(to);
+    graph.callers[static_cast<size_t>(to)].push_back(from);
+    ++graph.edges;
+  };
+
+  for (size_t oi = 0; oi < objects.size(); ++oi) {
+    const ObjRef& ref = objects[oi];
+    for (size_t si = 0; si < ref.obj->sections().size(); ++si) {
+      auto from_it = node_of_section.find(
+          {static_cast<int>(oi), static_cast<int>(si)});
+      if (from_it == node_of_section.end()) {
+        continue;
+      }
+      int from = from_it->second;
+      const kelf::Section& section = ref.obj->sections()[si];
+      for (const kelf::Relocation& rel : section.relocs) {
+        if (rel.symbol < 0 ||
+            rel.symbol >= static_cast<int>(ref.obj->symbols().size())) {
+          continue;  // ObjectFile::Validate rejects this; stay defensive
+        }
+        const kelf::Symbol& sym =
+            ref.obj->symbols()[static_cast<size_t>(rel.symbol)];
+        int to = -1;
+        if (sym.defined()) {
+          // Intra-object reference.
+          auto to_it = node_of_section.find(
+              {static_cast<int>(oi), sym.section});
+          if (to_it != node_of_section.end()) {
+            to = to_it->second;
+          }
+        } else {
+          std::string import_unit;
+          std::string import_symbol;
+          if (SplitScoped(sym.name, &import_unit, &import_symbol)) {
+            // Scoped import: must resolve through that unit's helper.
+            // Text targets become edges; data targets (statics, tables)
+            // are fine as long as the helper defines the symbol at all.
+            to = graph.FindHelperNode(import_unit, import_symbol);
+            if (to < 0 && ref.in_primary) {
+              auto unit_it = helper_defined.find(import_unit);
+              if (unit_it == helper_defined.end() ||
+                  unit_it->second.count(import_symbol) == 0) {
+                graph.dangling.push_back(DanglingImport{
+                    ref.obj->source_name(),
+                    graph.nodes[static_cast<size_t>(from)].symbol,
+                    sym.name});
+              }
+            }
+          } else {
+            // Plain import: package-internal new globals shadow nothing;
+            // then pre-kernel globals; else assume an export of an
+            // un-rebuilt unit (invisible to the package).
+            auto hit = primary_globals.find(sym.name);
+            if (hit == primary_globals.end()) {
+              hit = helper_globals.find(sym.name);
+              if (hit != helper_globals.end()) {
+                to = hit->second;
+              }
+            } else {
+              to = hit->second;
+            }
+          }
+        }
+        if (to >= 0) {
+          add_edge(from, to);
+        }
+      }
+    }
+  }
+
+  // ---- Decode-level facts: self-recursion and blocking primitives.
+  for (size_t ni = 0; ni < graph.nodes.size(); ++ni) {
+    CallNode& node = graph.nodes[ni];
+    const ObjRef* ref = nullptr;
+    for (const ObjRef& candidate : objects) {
+      if (candidate.in_primary == node.in_primary &&
+          candidate.object_index == node.object_index) {
+        ref = &candidate;
+        break;
+      }
+    }
+    const kelf::Section& section =
+        ref->obj->sections()[static_cast<size_t>(node.section_index)];
+    SectionScan scan = ScanText(section);
+    graph.insns_decoded += scan.insns;
+    node.blocking = scan.blocking;
+    if (scan.self_call) {
+      add_edge(static_cast<int>(ni), static_cast<int>(ni));
+    }
+  }
+
+  // ---- Blocking reachability: reverse BFS from blocking nodes.
+  std::deque<int> queue;
+  for (size_t ni = 0; ni < graph.nodes.size(); ++ni) {
+    if (graph.nodes[ni].blocking) {
+      graph.nodes[ni].reaches_blocking = true;
+      queue.push_back(static_cast<int>(ni));
+    }
+  }
+  while (!queue.empty()) {
+    int at = queue.front();
+    queue.pop_front();
+    for (int caller : graph.callers[static_cast<size_t>(at)]) {
+      if (!graph.nodes[static_cast<size_t>(caller)].reaches_blocking) {
+        graph.nodes[static_cast<size_t>(caller)].reaches_blocking = true;
+        queue.push_back(caller);
+      }
+    }
+  }
+
+  return graph;
+}
+
+}  // namespace kanalyze

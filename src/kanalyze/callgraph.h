@@ -1,0 +1,87 @@
+// Call-graph recovery over an update package (kanalyze pass 1 substrate).
+//
+// Nodes are functions: one per text section with a defining symbol, drawn
+// from both the helper objects (the pre build of every rebuilt unit — the
+// running kernel's side of the picture) and the primary objects (the
+// replacement code). Edges are recovered from relocations: a relocation in
+// a text section whose symbol resolves to a function — a direct `call`, or
+// a `mov r, =fn` address materialization feeding an indirect `callr` — is
+// a call edge. Self-recursion is invisible to relocations (the assembler
+// resolves intra-section branches inline), so primary and helper text is
+// additionally decoded to find reloc-free CALL instructions, which with
+// -ffunction-sections can only target the function itself.
+//
+// Resolution order mirrors the apply-time linker (ksplice/core.cc):
+// package-internal definitions first, then scoped "unit::name" imports
+// against that unit's helper, then plain names against helper globals.
+// Plain imports that resolve nowhere are assumed to be kernel exports of
+// un-rebuilt units (the package cannot see those); scoped imports that
+// fail to resolve are a guaranteed apply failure and surface as KSA101.
+
+#ifndef KSPLICE_KANALYZE_CALLGRAPH_H_
+#define KSPLICE_KANALYZE_CALLGRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "kelf/objfile.h"
+#include "ksplice/package.h"
+
+namespace kanalyze {
+
+// One function in the recovered graph.
+struct CallNode {
+  std::string unit;     // owning object's source name
+  std::string symbol;   // defining symbol ("" when the section is unnamed)
+  std::string section;  // text section name
+  bool in_primary = false;  // replacement code vs pre-kernel code
+  int object_index = -1;    // index into helper_objects / primary_objects
+  int section_index = -1;   // section within that object
+  bool blocking = false;    // contains SYS sleep / lock_kernel
+  bool reaches_blocking = false;  // can reach a blocking node via calls
+  uint32_t text_bytes = 0;
+};
+
+// An unresolved scoped import seen in primary code: a guaranteed
+// apply-time link failure (feeds rule KSA101).
+struct DanglingImport {
+  std::string unit;    // primary unit containing the reference
+  std::string symbol;  // symbol of the section holding the relocation
+  std::string import;  // the scoped name that failed to resolve
+};
+
+struct CallGraph {
+  std::vector<CallNode> nodes;
+  std::vector<std::vector<int>> callees;  // adjacency, by node index
+  std::vector<std::vector<int>> callers;  // reverse adjacency
+  std::vector<DanglingImport> dangling;
+  uint64_t edges = 0;          // total call edges (deduplicated)
+  uint64_t insns_decoded = 0;  // self-call + blocking-primitive scans
+
+  // Node lookup for a helper (pre) function, by unit + defining symbol.
+  // Returns -1 when absent.
+  int FindHelperNode(const std::string& unit,
+                     const std::string& symbol) const;
+  int FindPrimaryNode(const std::string& unit,
+                      const std::string& symbol) const;
+
+  // True if `node` can reach itself through at least one call edge.
+  bool OnCycle(int node) const;
+
+ private:
+  friend CallGraph BuildCallGraph(const ksplice::UpdatePackage& package);
+  std::map<std::string, int> helper_by_scoped_;   // "unit::symbol" -> node
+  std::map<std::string, int> primary_by_scoped_;
+};
+
+// Builds the graph. Malformed inputs degrade (sections without defining
+// symbols become anonymous nodes; undecodable text stops that section's
+// scan) rather than fail: the analyzer reports on what it can see.
+CallGraph BuildCallGraph(const ksplice::UpdatePackage& package);
+
+}  // namespace kanalyze
+
+#endif  // KSPLICE_KANALYZE_CALLGRAPH_H_

@@ -1,0 +1,394 @@
+#include "kanalyze/cfg.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <span>
+
+#include "base/strings.h"
+
+namespace kanalyze {
+
+namespace {
+
+using ksplice::LintFinding;
+using ksplice::LintReport;
+using ksplice::LintSeverity;
+
+bool IsTerminator(kvx::Op op) {
+  return op == kvx::Op::kRet || op == kvx::Op::kHalt ||
+         op == kvx::Op::kJmp8 || op == kvx::Op::kJmp32;
+}
+
+bool IsBranch(const kvx::OpInfo& info) {
+  return info.has_rel8 || info.has_rel32;
+}
+
+// Unconditional control transfer: no fallthrough edge.
+bool NoFallthrough(kvx::Op op) {
+  return op == kvx::Op::kRet || op == kvx::Op::kHalt ||
+         op == kvx::Op::kJmp8 || op == kvx::Op::kJmp32;
+}
+
+LintFinding MakeFinding(const char* rule, LintSeverity severity,
+                        const std::string& unit, const std::string& symbol,
+                        std::string message, std::string hint) {
+  LintFinding finding;
+  finding.rule = rule;
+  finding.severity = severity;
+  finding.pass = "cfg";
+  finding.unit = unit;
+  finding.symbol = symbol;
+  finding.message = std::move(message);
+  finding.hint = std::move(hint);
+  return finding;
+}
+
+// ---- Stack-balance abstract interpretation ---------------------------
+
+struct StackState {
+  bool known = true;
+  int32_t depth = 0;  // bytes pushed since function entry
+  bool fp_known = false;
+  int32_t fp_depth = 0;  // depth snapshotted by `mov fp, sp`
+
+  bool operator==(const StackState& other) const {
+    if (known != other.known || fp_known != other.fp_known) {
+      return false;
+    }
+    return (!known || depth == other.depth) &&
+           (!fp_known || fp_depth == other.fp_depth);
+  }
+};
+
+// Joins two path states: agreeing facts survive, disagreements degrade to
+// unknown (a conditional push on one path is legal code, not a finding —
+// only a provably wrong depth at RET is).
+StackState Join(const StackState& a, const StackState& b) {
+  StackState out;
+  out.known = a.known && b.known && a.depth == b.depth;
+  out.depth = out.known ? a.depth : 0;
+  out.fp_known = a.fp_known && b.fp_known && a.fp_depth == b.fp_depth;
+  out.fp_depth = out.fp_known ? a.fp_depth : 0;
+  return out;
+}
+
+// The register an instruction writes, or -1.
+int DestRegister(const kvx::Insn& insn) {
+  switch (insn.op) {
+    case kvx::Op::kMovRI:
+    case kvx::Op::kMovRR:
+    case kvx::Op::kLoadI:
+    case kvx::Op::kLoadBI:
+    case kvx::Op::kAddRR:
+    case kvx::Op::kSubRR:
+    case kvx::Op::kMulRR:
+    case kvx::Op::kAndRR:
+    case kvx::Op::kOrRR:
+    case kvx::Op::kXorRR:
+    case kvx::Op::kDivRR:
+    case kvx::Op::kModRR:
+    case kvx::Op::kShlRR:
+    case kvx::Op::kShrRR:
+    case kvx::Op::kAddRI:
+    case kvx::Op::kSubRI:
+    case kvx::Op::kAndRI:
+    case kvx::Op::kPop:
+      return insn.reg1;
+    case kvx::Op::kSys:
+      return 0;  // results land in r0
+    default:
+      return -1;
+  }
+}
+
+// Applies one instruction to the state. Returns the depth the state had
+// if the instruction is a RET (for the balance check), else nullopt.
+std::optional<StackState> ApplyInsn(const kvx::Insn& insn,
+                                    StackState state) {
+  switch (insn.op) {
+    case kvx::Op::kPush:
+      state.depth += 4;
+      return state;
+    case kvx::Op::kPop:
+      state.depth -= 4;
+      if (insn.reg1 == kvx::kRegFp) {
+        state.fp_known = false;  // caller's fp: unknowable here
+      }
+      return state;
+    case kvx::Op::kSubRI:
+      if (insn.reg1 == kvx::kRegSp) {
+        state.depth += static_cast<int32_t>(insn.imm);
+        return state;
+      }
+      break;
+    case kvx::Op::kAddRI:
+      if (insn.reg1 == kvx::kRegSp) {
+        state.depth -= static_cast<int32_t>(insn.imm);
+        return state;
+      }
+      break;
+    case kvx::Op::kMovRR:
+      if (insn.reg1 == kvx::kRegFp && insn.reg2 == kvx::kRegSp) {
+        state.fp_known = state.known;
+        state.fp_depth = state.depth;
+        return state;
+      }
+      if (insn.reg1 == kvx::kRegSp && insn.reg2 == kvx::kRegFp) {
+        state.known = state.fp_known;
+        state.depth = state.fp_depth;
+        return state;
+      }
+      break;
+    default:
+      break;
+  }
+  int dest = DestRegister(insn);
+  if (dest == kvx::kRegSp) {
+    state.known = false;  // arithmetic on sp the model cannot follow
+  } else if (dest == kvx::kRegFp) {
+    state.fp_known = false;
+  }
+  return state;
+}
+
+}  // namespace
+
+Cfg BuildCfg(const kelf::Section& section) {
+  Cfg cfg;
+  const uint32_t size = static_cast<uint32_t>(section.bytes.size());
+
+  std::set<uint32_t> reloc_fields;
+  for (const kelf::Relocation& rel : section.relocs) {
+    reloc_fields.insert(rel.offset);
+  }
+
+  // ---- Linear decode.
+  std::set<uint32_t> boundaries;
+  uint32_t off = 0;
+  while (off < size) {
+    ks::Result<kvx::Insn> insn = kvx::Decode(
+        std::span<const uint8_t>(section.bytes.data() + off, size - off));
+    if (!insn.ok()) {
+      cfg.decode_ok = false;
+      cfg.decode_error_offset = off;
+      cfg.decode_error = insn.status().message();
+      break;
+    }
+    CfgInsn entry;
+    entry.offset = off;
+    entry.insn = *insn;
+    int field = kvx::Imm32FieldOffset(insn->op);
+    entry.reloc_in_field =
+        field >= 0 &&
+        reloc_fields.count(off + static_cast<uint32_t>(field)) != 0;
+    // rel8 displacements live at offset 1 and are never relocation sites,
+    // but a reloc anywhere inside the instruction still means "patched by
+    // the linker" — stay conservative.
+    boundaries.insert(off);
+    cfg.insns.push_back(entry);
+    off += insn->len;
+  }
+  const uint32_t decoded_end = off;
+
+  // ---- Branch targets and leaders.
+  std::set<uint32_t> leaders{0};
+  std::map<uint32_t, uint32_t> branch_target;  // insn offset -> target
+  for (const CfgInsn& entry : cfg.insns) {
+    const kvx::OpInfo& info = kvx::GetOpInfo(entry.insn.op);
+    uint32_t next = entry.offset + entry.insn.len;
+    if (IsBranch(info) && !entry.reloc_in_field &&
+        entry.insn.op != kvx::Op::kCall) {
+      int64_t target = static_cast<int64_t>(next) + entry.insn.rel;
+      if (target < 0 || target >= decoded_end ||
+          boundaries.count(static_cast<uint32_t>(target)) == 0) {
+        cfg.wild_jumps.emplace_back(
+            entry.offset,
+            static_cast<uint32_t>(static_cast<int64_t>(target) & 0xffffffff));
+      } else {
+        branch_target[entry.offset] = static_cast<uint32_t>(target);
+        leaders.insert(static_cast<uint32_t>(target));
+      }
+      if (next < decoded_end) {
+        leaders.insert(next);  // block ends at any branch
+      }
+    } else if (IsTerminator(entry.insn.op) && next < decoded_end) {
+      leaders.insert(next);
+    }
+  }
+
+  // ---- Blocks.
+  std::map<uint32_t, uint32_t> block_of_leader;
+  std::vector<uint32_t> leader_list(leaders.begin(), leaders.end());
+  for (size_t i = 0; i < leader_list.size(); ++i) {
+    block_of_leader[leader_list[i]] = static_cast<uint32_t>(i);
+  }
+  uint32_t insn_index = 0;
+  for (size_t i = 0; i < leader_list.size(); ++i) {
+    BasicBlock block;
+    block.start = leader_list[i];
+    block.end =
+        i + 1 < leader_list.size() ? leader_list[i + 1] : decoded_end;
+    block.first_insn = insn_index;
+    while (insn_index < cfg.insns.size() &&
+           cfg.insns[insn_index].offset < block.end) {
+      const CfgInsn& entry = cfg.insns[insn_index];
+      if (!kvx::GetOpInfo(entry.insn.op).is_nop) {
+        block.nops_only = false;
+      }
+      ++block.num_insns;
+      ++insn_index;
+    }
+    cfg.blocks.push_back(std::move(block));
+  }
+
+  // ---- Edges.
+  for (size_t i = 0; i < cfg.blocks.size(); ++i) {
+    BasicBlock& block = cfg.blocks[i];
+    if (block.num_insns == 0) {
+      continue;
+    }
+    const CfgInsn& last = cfg.insns[block.first_insn + block.num_insns - 1];
+    block.terminated = NoFallthrough(last.insn.op);
+    auto target = branch_target.find(last.offset);
+    if (target != branch_target.end()) {
+      block.succ.push_back(block_of_leader[target->second]);
+    }
+    bool falls = !NoFallthrough(last.insn.op);
+    if (falls) {
+      if (block.end < decoded_end) {
+        block.succ.push_back(block_of_leader[block.end]);
+      } else {
+        block.falls_off = true;
+      }
+    }
+  }
+
+  // ---- Reachability from the function entry.
+  if (!cfg.blocks.empty()) {
+    std::deque<uint32_t> queue{0};
+    while (!queue.empty()) {
+      uint32_t at = queue.front();
+      queue.pop_front();
+      if (cfg.blocks[at].reachable) {
+        continue;
+      }
+      cfg.blocks[at].reachable = true;
+      for (uint32_t next : cfg.blocks[at].succ) {
+        queue.push_back(next);
+      }
+    }
+  }
+  return cfg;
+}
+
+size_t VerifyFunction(const std::string& unit, const std::string& symbol,
+                      const kelf::Section& section, LintReport* report) {
+  Cfg cfg = BuildCfg(section);
+  report->insns_decoded += cfg.insns.size();
+
+  // KSA201: undecodable instruction.
+  if (!cfg.decode_ok) {
+    LintFinding finding = MakeFinding(
+        "KSA201", LintSeverity::kError, unit, symbol,
+        ks::StrPrintf("undecodable instruction (%s)",
+                      cfg.decode_error.c_str()),
+        "replacement code must be valid kvx; check .byte directives and "
+        "truncated instructions in hand-written assembly");
+    finding.offset = cfg.decode_error_offset;
+    finding.has_offset = true;
+    report->findings.push_back(std::move(finding));
+  }
+
+  // KSA202: wild jumps.
+  for (const auto& [branch_off, target] : cfg.wild_jumps) {
+    LintFinding finding = MakeFinding(
+        "KSA202", LintSeverity::kError, unit, symbol,
+        ks::StrPrintf("jump to 0x%x is outside the function or lands "
+                      "inside an instruction (%u code bytes)",
+                      target, static_cast<uint32_t>(section.bytes.size())),
+        "intra-function branches must target instruction boundaries; "
+        "out-of-function control flow needs a relocation");
+    finding.offset = branch_off;
+    finding.has_offset = true;
+    report->findings.push_back(std::move(finding));
+  }
+
+  // KSA203: control can run off the end (only meaningful when the whole
+  // section decoded — an undecodable tail is already KSA201).
+  if (cfg.decode_ok) {
+    for (const BasicBlock& block : cfg.blocks) {
+      if (block.reachable && block.falls_off && block.num_insns > 0) {
+        LintFinding finding = MakeFinding(
+            "KSA203", LintSeverity::kError, unit, symbol,
+            "control falls off the end of the function",
+            "end every path with ret, jmp, or halt");
+        finding.offset = block.end;
+        finding.has_offset = true;
+        report->findings.push_back(std::move(finding));
+      }
+    }
+  }
+
+  // KSA204: dead blocks (beyond nop alignment padding and undecoded
+  // tails, which KSA201 already covers).
+  for (const BasicBlock& block : cfg.blocks) {
+    if (!block.reachable && !block.nops_only && block.num_insns > 0) {
+      LintFinding finding = MakeFinding(
+          "KSA204", LintSeverity::kWarning, unit, symbol,
+          ks::StrPrintf("unreachable code at 0x%x (%u instruction(s))",
+                        block.start, block.num_insns),
+          "dead blocks waste splice bytes and often indicate a wrong "
+          "branch polarity in the patch");
+      finding.offset = block.start;
+      finding.has_offset = true;
+      report->findings.push_back(std::move(finding));
+    }
+  }
+
+  // KSA205: stack balance at every reachable RET.
+  std::vector<std::optional<StackState>> entry_state(cfg.blocks.size());
+  if (!cfg.blocks.empty() && cfg.blocks[0].reachable) {
+    entry_state[0] = StackState{};
+    std::deque<uint32_t> worklist{0};
+    std::set<uint32_t> reported_rets;
+    while (!worklist.empty()) {
+      uint32_t at = worklist.front();
+      worklist.pop_front();
+      const BasicBlock& block = cfg.blocks[at];
+      StackState state = *entry_state[at];
+      for (uint32_t i = 0; i < block.num_insns; ++i) {
+        const CfgInsn& entry = cfg.insns[block.first_insn + i];
+        if (entry.insn.op == kvx::Op::kRet && state.known &&
+            state.depth != 0 && reported_rets.insert(entry.offset).second) {
+          LintFinding finding = MakeFinding(
+              "KSA205", LintSeverity::kWarning, unit, symbol,
+              ks::StrPrintf("returns with %d byte(s) left on the frame",
+                            state.depth),
+              "pushes and pops must balance on every path to ret");
+          finding.offset = entry.offset;
+          finding.has_offset = true;
+          report->findings.push_back(std::move(finding));
+        }
+        state = *ApplyInsn(entry.insn, state);
+      }
+      for (uint32_t next : block.succ) {
+        StackState joined = entry_state[next].has_value()
+                                ? Join(*entry_state[next], state)
+                                : state;
+        if (!entry_state[next].has_value() ||
+            !(joined == *entry_state[next])) {
+          entry_state[next] = joined;
+          worklist.push_back(next);
+        }
+      }
+    }
+  }
+
+  report->blocks_analyzed += cfg.blocks.size();
+  return cfg.blocks.size();
+}
+
+}  // namespace kanalyze

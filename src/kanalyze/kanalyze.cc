@@ -1,0 +1,217 @@
+#include "kanalyze/kanalyze.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <tuple>
+
+#include "base/metrics.h"
+#include "base/strings.h"
+#include "base/trace.h"
+#include "kanalyze/cfg.h"
+
+namespace kanalyze {
+
+namespace {
+
+using ksplice::LintFinding;
+using ksplice::LintReport;
+using ksplice::LintSeverity;
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+LintFinding CallGraphFinding(const char* rule, LintSeverity severity,
+                             std::string unit, std::string symbol,
+                             std::string message, std::string hint) {
+  LintFinding finding;
+  finding.rule = rule;
+  finding.severity = severity;
+  finding.pass = "callgraph";
+  finding.unit = std::move(unit);
+  finding.symbol = std::move(symbol);
+  finding.message = std::move(message);
+  finding.hint = std::move(hint);
+  return finding;
+}
+
+int SeverityRank(LintSeverity severity) {
+  return -static_cast<int>(severity);  // errors first
+}
+
+}  // namespace
+
+void RunCallGraphPass(const ksplice::UpdatePackage& package,
+                      const CallGraph& graph, const AnalyzeOptions& options,
+                      LintReport* report) {
+  report->call_edges += graph.edges;
+  report->insns_decoded += graph.insns_decoded;
+  report->functions_scanned += graph.nodes.size();
+
+  // KSA101: scoped imports that resolve nowhere — a guaranteed apply-time
+  // link failure (run-pre has no symbol to recover).
+  std::set<std::string> seen_imports;
+  for (const DanglingImport& dangling : graph.dangling) {
+    if (!seen_imports.insert(dangling.unit + "\0" + dangling.import)
+             .second) {
+      continue;
+    }
+    report->findings.push_back(CallGraphFinding(
+        "KSA101", LintSeverity::kError, dangling.unit, dangling.symbol,
+        ks::StrPrintf("reference to '%s' cannot resolve: the unit's "
+                      "helper object defines no such symbol",
+                      dangling.import.c_str()),
+        "the helper must carry the entire optimization unit (§5.1); "
+        "rebuild the package from matching pre source"));
+  }
+
+  // KSA104: targets that name code the package does not carry.
+  for (const ksplice::Target& target : package.targets) {
+    bool has_primary = graph.FindPrimaryNode(target.unit, target.symbol) >= 0;
+    bool has_helper = graph.FindHelperNode(target.unit, target.symbol) >= 0;
+    if (!has_primary || !has_helper) {
+      report->findings.push_back(CallGraphFinding(
+          "KSA104", LintSeverity::kError, target.unit, target.symbol,
+          ks::StrPrintf(
+              "splice target missing from the package (%s object has no "
+              "'%s')",
+              !has_primary ? "primary" : "helper", target.symbol.c_str()),
+          "every target needs replacement code in a primary object and "
+          "its pre image in that unit's helper"));
+    }
+  }
+
+  // KSA102/KSA103 evaluate each patched function against the graph.
+  for (const ksplice::Target& target : package.targets) {
+    int primary = graph.FindPrimaryNode(target.unit, target.symbol);
+    if (primary >= 0 && graph.OnCycle(primary)) {
+      report->findings.push_back(CallGraphFinding(
+          "KSA102", LintSeverity::kWarning, target.unit, target.symbol,
+          "patched function is recursive: long-lived activation frames "
+          "make the §4.2 stack check likelier to fail repeatedly",
+          "expect quiescence retries on busy systems"));
+    }
+    int helper = graph.FindHelperNode(target.unit, target.symbol);
+    if (helper >= 0) {
+      uint32_t fan_in = static_cast<uint32_t>(
+          graph.callers[static_cast<size_t>(helper)].size());
+      if (fan_in >= options.fanin_note_threshold) {
+        report->findings.push_back(CallGraphFinding(
+            "KSA103", LintSeverity::kNote, target.unit, target.symbol,
+            ks::StrPrintf("high fan-in: %u static caller(s) in the pre "
+                          "kernel reach this function",
+                          fan_in),
+            "a hot function raises the chance a thread is executing it "
+            "when stop_machine rendezvous"));
+      }
+    }
+  }
+}
+
+void RunCfgPass(const ksplice::UpdatePackage& package, LintReport* report) {
+  for (const kelf::ObjectFile& primary : package.primary_objects) {
+    for (size_t si = 0; si < primary.sections().size(); ++si) {
+      const kelf::Section& section = primary.sections()[si];
+      if (section.kind != kelf::SectionKind::kText ||
+          section.bytes.empty()) {
+        continue;
+      }
+      std::string symbol = section.name;
+      std::optional<int> def =
+          primary.DefiningSymbolForSection(static_cast<int>(si));
+      if (def.has_value()) {
+        symbol = primary.symbols()[static_cast<size_t>(*def)].name;
+      }
+      VerifyFunction(primary.source_name(), symbol, section, report);
+    }
+  }
+}
+
+ks::Result<LintReport> AnalyzePackage(const ksplice::UpdatePackage& package,
+                                      const AnalyzeOptions& options) {
+  ks::TraceSpan span("kanalyze.lint");
+  static ks::Counter& packages_linted =
+      ks::Metrics().GetCounter("kanalyze.packages_linted");
+  static ks::Counter& functions_scanned =
+      ks::Metrics().GetCounter("kanalyze.functions_scanned");
+  static ks::Counter& findings_error =
+      ks::Metrics().GetCounter("kanalyze.findings.error");
+  static ks::Counter& findings_warning =
+      ks::Metrics().GetCounter("kanalyze.findings.warning");
+  static ks::Counter& findings_note =
+      ks::Metrics().GetCounter("kanalyze.findings.note");
+  static ks::Histogram& callgraph_ns =
+      ks::Metrics().GetHistogram("kanalyze.callgraph_ns");
+  static ks::Histogram& cfg_ns = ks::Metrics().GetHistogram("kanalyze.cfg_ns");
+  static ks::Histogram& abi_ns = ks::Metrics().GetHistogram("kanalyze.abi_ns");
+  static ks::Histogram& quiescence_ns =
+      ks::Metrics().GetHistogram("kanalyze.quiescence_ns");
+
+  LintReport report;
+  report.id = package.id;
+
+  CallGraph graph;
+  {
+    ks::TraceSpan pass_span("kanalyze.callgraph");
+    uint64_t begin = NowNs();
+    graph = BuildCallGraph(package);
+    RunCallGraphPass(package, graph, options, &report);
+    callgraph_ns.Observe(NowNs() - begin);
+    pass_span.Annotate("edges", graph.edges);
+  }
+  {
+    ks::TraceSpan pass_span("kanalyze.cfg");
+    uint64_t begin = NowNs();
+    RunCfgPass(package, &report);
+    cfg_ns.Observe(NowNs() - begin);
+    pass_span.Annotate("blocks", report.blocks_analyzed);
+  }
+  {
+    ks::TraceSpan pass_span("kanalyze.abi");
+    uint64_t begin = NowNs();
+    RunAbiPass(package, &report);
+    abi_ns.Observe(NowNs() - begin);
+    pass_span.Annotate("sections", report.data_sections_compared);
+  }
+  {
+    ks::TraceSpan pass_span("kanalyze.quiescence");
+    uint64_t begin = NowNs();
+    RunQuiescencePass(package, graph, &report);
+    quiescence_ns.Observe(NowNs() - begin);
+  }
+
+  std::stable_sort(
+      report.findings.begin(), report.findings.end(),
+      [](const LintFinding& a, const LintFinding& b) {
+        int ra = SeverityRank(a.severity);
+        int rb = SeverityRank(b.severity);
+        return std::tie(ra, a.rule, a.unit, a.symbol, a.offset) <
+               std::tie(rb, b.rule, b.unit, b.symbol, b.offset);
+      });
+
+  packages_linted.Add(1);
+  functions_scanned.Add(report.functions_scanned);
+  for (const LintFinding& finding : report.findings) {
+    switch (finding.severity) {
+      case LintSeverity::kError:
+        findings_error.Add(1);
+        break;
+      case LintSeverity::kWarning:
+        findings_warning.Add(1);
+        break;
+      case LintSeverity::kNote:
+        findings_note.Add(1);
+        break;
+    }
+  }
+  span.Annotate("id", package.id);
+  span.Annotate("findings", static_cast<uint64_t>(report.findings.size()));
+  span.Annotate("errors", static_cast<uint64_t>(report.errors()));
+  return report;
+}
+
+}  // namespace kanalyze

@@ -1,0 +1,78 @@
+// kanalyze: static patch-safety analysis over Ksplice update packages.
+//
+// The paper leaves the hardest safety questions to people and to the
+// apply-time machinery: §3.4 asks a programmer to inspect any patch that
+// changes data-structure semantics, and §4.2's stack check only discovers
+// an unsafe function after stop_machine has already paused the kernel.
+// kanalyze moves both forward to create time: a package is vetted
+// statically — call graph, per-function CFG/bytecode verification,
+// pre-vs-post ABI/layout diff, and quiescence-risk prediction — and the
+// findings become typed lint diagnostics (ksplice::LintReport) that
+// `ksplice_tool lint` prints, the .report.json sidecar carries, and
+// CreateUpdate's --lint gate enforces.
+//
+// Pass families and rules (full catalog in DESIGN.md):
+//   callgraph  KSA101 dangling scoped import        error
+//              KSA102 recursive patched function    warning
+//              KSA103 high fan-in patched function  note
+//              KSA104 target missing from package   error
+//   cfg        KSA201 undecodable instruction       error
+//              KSA202 wild jump                     error
+//              KSA203 falls off function end        error
+//              KSA204 unreachable code              warning
+//              KSA205 stack imbalance at ret        warning
+//   abi        KSA301 data layout change, no hooks  error
+//              KSA302 data content change, no hooks error
+//              KSA303 data change gated by hooks    note
+//   quiescence KSA401 patched function blocks       warning
+//              KSA402 reaches a blocking primitive  note
+//
+// Layering: ks_ksplice links ks_kanalyze (CreateUpdate calls
+// AnalyzePackage), so this library must consume ksplice/package.h and
+// ksplice/report.h as headers only — no calls into ks_ksplice-compiled
+// code.
+
+#ifndef KSPLICE_KANALYZE_KANALYZE_H_
+#define KSPLICE_KANALYZE_KANALYZE_H_
+
+#include "base/status.h"
+#include "kanalyze/callgraph.h"
+#include "ksplice/package.h"
+#include "ksplice/report.h"
+
+namespace kanalyze {
+
+struct AnalyzeOptions {
+  // KSA103 fires when a patched function has at least this many distinct
+  // static callers in the pre kernel (a busy function is likelier to be
+  // on some thread's stack when stop_machine rendezvous).
+  uint32_t fanin_note_threshold = 8;
+};
+
+// Runs all four pass families over `package` and returns the findings,
+// deterministically ordered (severity first, then rule/unit/symbol/
+// offset). Returns a Status only for conditions that prevent analysis
+// altogether; structural problems in the package become findings.
+//
+// Publishes kanalyze.* counters and per-pass histograms to the global
+// metrics registry and opens kanalyze.* trace spans (base/trace.h).
+ks::Result<ksplice::LintReport> AnalyzePackage(
+    const ksplice::UpdatePackage& package,
+    const AnalyzeOptions& options = AnalyzeOptions());
+
+// Individual passes, exposed for targeted tests. Each appends findings
+// to `report` and bumps the report's work counters.
+void RunCallGraphPass(const ksplice::UpdatePackage& package,
+                      const CallGraph& graph, const AnalyzeOptions& options,
+                      ksplice::LintReport* report);
+void RunCfgPass(const ksplice::UpdatePackage& package,
+                ksplice::LintReport* report);
+void RunAbiPass(const ksplice::UpdatePackage& package,
+                ksplice::LintReport* report);
+void RunQuiescencePass(const ksplice::UpdatePackage& package,
+                       const CallGraph& graph,
+                       ksplice::LintReport* report);
+
+}  // namespace kanalyze
+
+#endif  // KSPLICE_KANALYZE_KANALYZE_H_

@@ -1,0 +1,67 @@
+// Quiescence-risk pass (kanalyze pass 4): predicts §4.2 stack-check
+// failures before stop_machine ever runs. The apply-time safety check
+// aborts when any thread's pc or return addresses fall inside a function
+// being replaced; a function that sleeps — or that can reach sleep() or
+// lock_kernel() through its callees — is exactly the function likeliest
+// to be pinned on a blocked thread's stack, making the check fail on
+// every retry. The pass walks the pre-kernel call graph (the running
+// kernel's behavior is what matters: threads park in old code) from each
+// replacement target and flags direct blockers (KSA401) and transitive
+// reachers (KSA402).
+
+#include <string>
+
+#include "base/strings.h"
+#include "kanalyze/kanalyze.h"
+
+namespace kanalyze {
+
+namespace {
+
+using ksplice::LintFinding;
+using ksplice::LintReport;
+using ksplice::LintSeverity;
+
+LintFinding MakeFinding(const char* rule, LintSeverity severity,
+                        const ksplice::Target& target, std::string message,
+                        std::string hint) {
+  LintFinding finding;
+  finding.rule = rule;
+  finding.severity = severity;
+  finding.pass = "quiescence";
+  finding.unit = target.unit;
+  finding.symbol = target.symbol;
+  finding.message = std::move(message);
+  finding.hint = std::move(hint);
+  return finding;
+}
+
+}  // namespace
+
+void RunQuiescencePass(const ksplice::UpdatePackage& package,
+                       const CallGraph& graph, LintReport* report) {
+  for (const ksplice::Target& target : package.targets) {
+    // The pre function: what threads are executing at apply time.
+    int node = graph.FindHelperNode(target.unit, target.symbol);
+    if (node < 0) {
+      continue;  // callgraph pass reports the inconsistency (KSA104)
+    }
+    const CallNode& fn = graph.nodes[static_cast<size_t>(node)];
+    if (fn.blocking) {
+      report->findings.push_back(MakeFinding(
+          "KSA401", LintSeverity::kWarning, target,
+          "patched function blocks (sleep/lock_kernel): threads may be "
+          "parked inside it, defeating the §4.2 stack check",
+          "expect quiescence retries; consider splitting the blocking "
+          "region out of the patched function or raising max_attempts"));
+    } else if (fn.reaches_blocking) {
+      report->findings.push_back(MakeFinding(
+          "KSA402", LintSeverity::kNote, target,
+          "patched function can reach a blocking primitive through its "
+          "callees; a thread may hold it on the stack while sleeping",
+          "apply during low activity or raise ApplyOptions::max_attempts"));
+    }
+  }
+}
+
+}  // namespace kanalyze

@@ -6,6 +6,7 @@
 
 #include "base/strings.h"
 #include "base/trace.h"
+#include "kanalyze/kanalyze.h"
 
 namespace ksplice {
 
@@ -281,6 +282,26 @@ ks::Result<CreateResult> CreateUpdate(const kdiff::SourceTree& pre_tree,
     }
     report.changed_functions.push_back(std::move(fn));
   }
+  // Static patch-safety analysis (kanalyze). The lint runs on the exact
+  // package a user would ship, so the report travels with the package via
+  // the .report.json sidecar and `ksplice_tool lint` can reproduce it.
+  if (options.lint != LintMode::kOff) {
+    KS_ASSIGN_OR_RETURN(report.lint,
+                        kanalyze::AnalyzePackage(result.package));
+    if (options.lint == LintMode::kError && report.lint.errors() > 0) {
+      std::string details;
+      for (const LintFinding& finding : report.lint.findings) {
+        if (finding.severity != LintSeverity::kError) {
+          continue;
+        }
+        details += "\n  " + finding.ToString();
+      }
+      return ks::FailedPrecondition(ks::StrPrintf(
+          "lint gate: package has %zu error finding(s) (--lint=error):%s",
+          report.lint.errors(), details.c_str()));
+    }
+  }
+
   report.prepost_wall_ns = prepost_wall_ns;
   report.create_wall_ns = NowNs() - create_begin;
   span.Annotate("id", report.id);

@@ -23,12 +23,21 @@
 
 namespace ksplice {
 
+// How CreateUpdate treats kanalyze lint findings on the finished package.
+//   kOff   — skip analysis entirely (report.lint stays empty).
+//   kWarn  — analyze and record findings in CreateReport::lint; never fail.
+//   kError — additionally refuse the package when any finding has error
+//            severity (kFailedPrecondition listing the findings).
+enum class LintMode { kOff, kWarn, kError };
+
 struct CreateOptions {
   // Compiler configuration; must match how the running kernel was built
   // ("doing so is advisable", §4.3 — a mismatch makes run-pre abort).
   kcc::CompileOptions compile;
   // Package id; derived from the patch contents when empty.
   std::string id;
+  // Static-analysis gate (kanalyze); see LintMode above.
+  LintMode lint = LintMode::kWarn;
 };
 
 struct CreateResult {

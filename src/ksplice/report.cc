@@ -60,6 +60,56 @@ std::string MatchStats::ToJson() const {
       U(symbols_recovered), U(ambiguity_deferrals), U(fixpoint_passes));
 }
 
+std::string LintFinding::ToString() const {
+  std::string where;
+  if (!unit.empty() || !symbol.empty()) {
+    where = unit;
+    if (!symbol.empty()) {
+      where += (where.empty() ? "" : ":") + symbol;
+    }
+    if (has_offset) {
+      where += ks::StrPrintf("+0x%x", offset);
+    }
+    where += ": ";
+  }
+  std::string out = ks::StrPrintf("%s %s [%s] %s%s", rule.c_str(),
+                                  LintSeverityName(severity), pass.c_str(),
+                                  where.c_str(), message.c_str());
+  if (!hint.empty()) {
+    out += " (hint: " + hint + ")";
+  }
+  return out;
+}
+
+std::string LintFinding::ToJson() const {
+  std::string offset_field =
+      has_offset ? ks::StrPrintf(",\"offset\":%u", offset) : "";
+  return ks::StrPrintf(
+      "{\"rule\":\"%s\",\"severity\":\"%s\",\"pass\":\"%s\","
+      "\"unit\":\"%s\",\"symbol\":\"%s\"%s,\"message\":\"%s\","
+      "\"hint\":\"%s\"}",
+      Escaped(rule).c_str(), LintSeverityName(severity),
+      Escaped(pass).c_str(), Escaped(unit).c_str(), Escaped(symbol).c_str(),
+      offset_field.c_str(), Escaped(message).c_str(), Escaped(hint).c_str());
+}
+
+std::string LintReport::ToJson() const {
+  std::vector<std::string> rows;
+  for (const LintFinding& finding : findings) {
+    rows.push_back(finding.ToJson());
+  }
+  return ks::StrPrintf(
+      "{\"id\":\"%s\",\"errors\":%zu,\"warnings\":%zu,\"notes\":%zu,"
+      "\"functions_scanned\":%llu,\"call_edges\":%llu,"
+      "\"blocks_analyzed\":%llu,\"insns_decoded\":%llu,"
+      "\"data_sections_compared\":%llu,\"findings\":%s}",
+      Escaped(id).c_str(), errors(),
+      CountAtLeast(LintSeverity::kWarning) - errors(),
+      findings.size() - CountAtLeast(LintSeverity::kWarning),
+      U(functions_scanned), U(call_edges), U(blocks_analyzed),
+      U(insns_decoded), U(data_sections_compared), JoinJson(rows).c_str());
+}
+
 std::string UnitReport::ToJson() const {
   return ks::StrPrintf(
       "{\"unit\":\"%s\",\"pre_cache_hit\":%s,\"post_cache_hit\":%s,"
@@ -92,10 +142,11 @@ std::string CreateReport::ToJson() const {
       "{\"id\":\"%s\",\"units_rebuilt\":%u,\"cache_hits\":%llu,"
       "\"cache_misses\":%llu,\"prepost_wall_ns\":%llu,"
       "\"create_wall_ns\":%llu,\"targets\":%u,\"units\":%s,"
-      "\"changed_functions\":%s}",
+      "\"changed_functions\":%s,\"lint\":%s}",
       Escaped(id).c_str(), units_rebuilt, U(cache_hits), U(cache_misses),
       U(prepost_wall_ns), U(create_wall_ns), targets,
-      JoinJson(unit_rows).c_str(), JoinJson(fn_rows).c_str());
+      JoinJson(unit_rows).c_str(), JoinJson(fn_rows).c_str(),
+      lint.ToJson().c_str());
 }
 
 std::string SpliceRecord::ToJson() const {

@@ -41,6 +41,70 @@ struct MatchStats {
   std::string ToJson() const;
 };
 
+// ------------------------------------------------------------------
+// Lint diagnostics (src/kanalyze): typed findings of the static
+// patch-safety analyzer. Rule IDs are stable ("KSA101", ...); the first
+// digit names the pass family (1 call graph, 2 CFG/bytecode, 3 ABI/layout,
+// 4 quiescence risk). DESIGN.md carries the full rule catalog.
+
+enum class LintSeverity : uint8_t { kNote = 0, kWarning = 1, kError = 2 };
+
+inline const char* LintSeverityName(LintSeverity severity) {
+  switch (severity) {
+    case LintSeverity::kNote:
+      return "note";
+    case LintSeverity::kWarning:
+      return "warning";
+    case LintSeverity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+// One diagnostic: rule id, severity, location (unit/symbol, and a byte
+// offset into the named section when the finding is about a particular
+// instruction), message, and a fix hint.
+struct LintFinding {
+  std::string rule;  // "KSA202"
+  LintSeverity severity = LintSeverity::kNote;
+  std::string pass;    // "callgraph" | "cfg" | "abi" | "quiescence"
+  std::string unit;    // object/unit the finding is in (may be empty)
+  std::string symbol;  // function or section name (may be empty)
+  uint32_t offset = 0;      // byte offset within `symbol`'s section
+  bool has_offset = false;  // whether `offset` is meaningful
+  std::string message;
+  std::string hint;  // how to revise the patch/package
+
+  std::string ToString() const;  // "KSA202 error [cfg] unit:sym+0x12: ..."
+  std::string ToJson() const;
+};
+
+// Everything the analyzer observed over one package: the findings plus
+// per-pass work counters (the registry carries the per-process aggregate
+// under "kanalyze.*").
+struct LintReport {
+  std::string id;  // package id
+  std::vector<LintFinding> findings;
+  uint64_t functions_scanned = 0;   // text sections analyzed (pre + post)
+  uint64_t call_edges = 0;          // call-graph edges recovered
+  uint64_t blocks_analyzed = 0;     // CFG basic blocks
+  uint64_t insns_decoded = 0;       // instructions decoded across passes
+  uint64_t data_sections_compared = 0;  // ABI differ pairs
+
+  size_t CountAtLeast(LintSeverity severity) const {
+    size_t n = 0;
+    for (const LintFinding& finding : findings) {
+      if (finding.severity >= severity) {
+        ++n;
+      }
+    }
+    return n;
+  }
+  size_t errors() const { return CountAtLeast(LintSeverity::kError); }
+
+  std::string ToJson() const;
+};
+
 // One rebuilt unit's double build and section diff.
 struct UnitReport {
   std::string unit;
@@ -79,6 +143,9 @@ struct CreateReport {
   uint32_t targets = 0;          // functions the package will splice
   std::vector<UnitReport> units;
   std::vector<ChangedFunction> changed_functions;
+  // Static patch-safety findings (CreateOptions::lint != kOff). Rides into
+  // the .report.json sidecar so `inspect` shows what the analyzer said.
+  LintReport lint;
 
   std::string ToJson() const;
 };

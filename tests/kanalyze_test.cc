@@ -1,0 +1,542 @@
+// kanalyze: golden lint behaviour over real created packages plus crafted
+// packages that trip each pass family, and the CreateUpdate --lint gate.
+//
+//   - a clean quickstart-style patch lints with zero findings
+//   - callgraph: dangling scoped import (KSA101), recursion (KSA102),
+//     missing target (KSA104)
+//   - cfg: undecodable bytes (KSA201), wild jump (KSA202), falling off the
+//     end (KSA203), unreachable code (KSA204), stack imbalance (KSA205)
+//   - abi: data change without hooks (KSA302) vs with hooks (KSA303),
+//     layout change (KSA301)
+//   - quiescence: patched function blocks (KSA401) or reaches a blocking
+//     primitive (KSA402)
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "kanalyze/cfg.h"
+#include "kanalyze/kanalyze.h"
+#include "kcc/compile.h"
+#include "kdiff/diff.h"
+#include "ksplice/create.h"
+#include "ksplice/package.h"
+
+namespace kanalyze {
+namespace {
+
+using kdiff::SourceTree;
+using ksplice::LintReport;
+using ksplice::LintSeverity;
+
+kcc::CompileOptions Monolithic() {
+  kcc::CompileOptions options;
+  options.function_sections = false;
+  options.data_sections = false;
+  return options;
+}
+
+ks::Result<ksplice::CreateResult> Create(
+    const SourceTree& tree, const std::string& patch,
+    ksplice::LintMode lint = ksplice::LintMode::kWarn) {
+  ksplice::CreateOptions options;
+  options.compile = Monolithic();
+  options.id = "kanalyze-test";
+  options.lint = lint;
+  return ksplice::CreateUpdate(tree, patch, options);
+}
+
+std::string EditPatch(const SourceTree& tree, const std::string& path,
+                      const std::string& from, const std::string& to) {
+  SourceTree post = tree;
+  std::string contents = *tree.Read(path);
+  size_t at = contents.find(from);
+  EXPECT_NE(at, std::string::npos) << from;
+  contents.replace(at, from.size(), to);
+  post.Write(path, contents);
+  return kdiff::MakeUnifiedDiff(tree, post);
+}
+
+// Findings in `report` with the given rule id.
+std::vector<ksplice::LintFinding> WithRule(const LintReport& report,
+                                           const std::string& rule) {
+  std::vector<ksplice::LintFinding> out;
+  for (const ksplice::LintFinding& finding : report.findings) {
+    if (finding.rule == rule) {
+      out.push_back(finding);
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------------
+// Golden: a clean patch produces a clean report.
+
+TEST(KanalyzeGolden, CleanPatchHasNoFindings) {
+  SourceTree tree;
+  tree.Write("m.kc", R"(
+int scale(int x) {
+  return x * 3;
+}
+)");
+  std::string patch = EditPatch(tree, "m.kc", "x * 3", "x * 4");
+  ks::Result<ksplice::CreateResult> created = Create(tree, patch);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+
+  const LintReport& lint = created->report.lint;
+  EXPECT_TRUE(lint.findings.empty()) << lint.ToJson();
+  EXPECT_GT(lint.functions_scanned, 0u);
+  EXPECT_GT(lint.blocks_analyzed, 0u);
+  EXPECT_GT(lint.insns_decoded, 0u);
+  EXPECT_EQ(lint.id, "kanalyze-test");
+}
+
+TEST(KanalyzeGolden, ReportIsDeterministic) {
+  SourceTree tree;
+  tree.Write("m.kc", R"(
+int pick(int x) {
+  sleep(1);
+  return x + 1;
+}
+)");
+  std::string patch = EditPatch(tree, "m.kc", "x + 1", "x + 2");
+  ks::Result<ksplice::CreateResult> created = Create(tree, patch);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+
+  ks::Result<LintReport> again = AnalyzePackage(created->package);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(created->report.lint.ToJson(), again->ToJson());
+}
+
+// ------------------------------------------------------------------------
+// Callgraph pass.
+
+TEST(KanalyzeCallgraph, DanglingScopedImportIsError) {
+  SourceTree tree;
+  tree.Write("m.kc", R"(
+static int secret = 42;
+int reveal(int x) {
+  return secret + x;
+}
+)");
+  std::string patch = EditPatch(tree, "m.kc", "secret + x", "secret + x + 1");
+  ks::Result<ksplice::CreateResult> created = Create(tree, patch);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+
+  // The extracted replacement references the unit-local `secret` through a
+  // scoped import that run-pre matching must resolve. Renaming the
+  // helper's symbol models a package built against the wrong pre source.
+  ksplice::UpdatePackage package = created->package;
+  ASSERT_EQ(package.helper_objects.size(), 1u);
+  bool renamed = false;
+  for (kelf::Symbol& sym : package.helper_objects[0].symbols()) {
+    if (sym.name == "secret") {
+      sym.name = "hidden";
+      renamed = true;
+    }
+  }
+  ASSERT_TRUE(renamed);
+
+  ks::Result<LintReport> report = AnalyzePackage(package);
+  ASSERT_TRUE(report.ok());
+  std::vector<ksplice::LintFinding> findings = WithRule(*report, "KSA101");
+  ASSERT_EQ(findings.size(), 1u) << report->ToJson();
+  EXPECT_EQ(findings[0].severity, LintSeverity::kError);
+  EXPECT_NE(findings[0].message.find("secret"), std::string::npos);
+}
+
+TEST(KanalyzeCallgraph, RecursivePatchedFunctionWarns) {
+  SourceTree tree;
+  tree.Write("m.kc", R"(
+int fact(int n) {
+  if (n < 2) {
+    return 1;
+  }
+  return n * fact(n - 1);
+}
+)");
+  std::string patch = EditPatch(tree, "m.kc", "return 1;", "return 2;");
+  ks::Result<ksplice::CreateResult> created = Create(tree, patch);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+
+  std::vector<ksplice::LintFinding> findings =
+      WithRule(created->report.lint, "KSA102");
+  ASSERT_EQ(findings.size(), 1u) << created->report.lint.ToJson();
+  EXPECT_EQ(findings[0].severity, LintSeverity::kWarning);
+  EXPECT_EQ(findings[0].symbol, "fact");
+  EXPECT_EQ(created->report.lint.errors(), 0u);
+}
+
+TEST(KanalyzeCallgraph, TargetMissingFromPackageIsError) {
+  SourceTree tree;
+  tree.Write("m.kc", R"(
+int plain(int x) {
+  return x + 1;
+}
+)");
+  std::string patch = EditPatch(tree, "m.kc", "x + 1", "x + 2");
+  ks::Result<ksplice::CreateResult> created = Create(tree, patch);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+
+  ksplice::UpdatePackage package = created->package;
+  package.targets.push_back(
+      ksplice::Target{"m.kc", "no_such_fn", ".text.no_such_fn"});
+
+  ks::Result<LintReport> report = AnalyzePackage(package);
+  ASSERT_TRUE(report.ok());
+  std::vector<ksplice::LintFinding> findings = WithRule(*report, "KSA104");
+  ASSERT_EQ(findings.size(), 1u) << report->ToJson();
+  EXPECT_EQ(findings[0].severity, LintSeverity::kError);
+  EXPECT_EQ(findings[0].symbol, "no_such_fn");
+}
+
+// ------------------------------------------------------------------------
+// CFG pass: crafted sections exercise each verifier rule.
+
+// Assembles a one-unit tree and returns the object (monolithic .text).
+kelf::ObjectFile Assemble(const std::string& source) {
+  SourceTree tree;
+  tree.Write("m.kvs", source);
+  ks::Result<kelf::ObjectFile> obj =
+      kcc::CompileUnit(tree, "m.kvs", Monolithic());
+  EXPECT_TRUE(obj.ok()) << obj.status().ToString();
+  return obj.ok() ? *obj : kelf::ObjectFile("m.kvs");
+}
+
+const kelf::Section* TextSection(const kelf::ObjectFile& obj) {
+  for (const kelf::Section& section : obj.sections()) {
+    if (section.kind == kelf::SectionKind::kText && !section.bytes.empty()) {
+      return &section;
+    }
+  }
+  return nullptr;
+}
+
+TEST(KanalyzeCfg, UndecodableBytesAreAnError) {
+  kelf::Section section;
+  section.name = ".text.f";
+  section.kind = kelf::SectionKind::kText;
+  section.bytes = {0xff, 0xff};  // no such opcode
+
+  LintReport report;
+  VerifyFunction("m.kvs", "f", section, &report);
+  std::vector<ksplice::LintFinding> findings = WithRule(report, "KSA201");
+  ASSERT_EQ(findings.size(), 1u) << report.ToJson();
+  EXPECT_EQ(findings[0].severity, LintSeverity::kError);
+}
+
+TEST(KanalyzeCfg, WildJumpIsAnError) {
+  // jmp8 +127 from a 2-byte function: far outside the section.
+  kelf::Section section;
+  section.name = ".text.f";
+  section.kind = kelf::SectionKind::kText;
+  section.bytes = {0x43, 0x7f};
+
+  LintReport report;
+  VerifyFunction("m.kvs", "f", section, &report);
+  std::vector<ksplice::LintFinding> findings = WithRule(report, "KSA202");
+  ASSERT_EQ(findings.size(), 1u) << report.ToJson();
+  EXPECT_EQ(findings[0].severity, LintSeverity::kError);
+  EXPECT_TRUE(findings[0].has_offset);
+}
+
+TEST(KanalyzeCfg, FallingOffTheEndIsAnError) {
+  kelf::ObjectFile obj = Assemble(R"(
+.text
+.global f
+f:
+    mov r0, 1
+)");
+  const kelf::Section* section = TextSection(obj);
+  ASSERT_NE(section, nullptr);
+
+  LintReport report;
+  VerifyFunction("m.kvs", "f", *section, &report);
+  std::vector<ksplice::LintFinding> findings = WithRule(report, "KSA203");
+  ASSERT_EQ(findings.size(), 1u) << report.ToJson();
+  EXPECT_EQ(findings[0].severity, LintSeverity::kError);
+}
+
+TEST(KanalyzeCfg, UnreachableCodeIsAWarning) {
+  kelf::ObjectFile obj = Assemble(R"(
+.text
+.global f
+f:
+    ret
+dead:
+    mov r0, 1
+    ret
+)");
+  const kelf::Section* section = TextSection(obj);
+  ASSERT_NE(section, nullptr);
+
+  LintReport report;
+  VerifyFunction("m.kvs", "f", *section, &report);
+  std::vector<ksplice::LintFinding> findings = WithRule(report, "KSA204");
+  ASSERT_EQ(findings.size(), 1u) << report.ToJson();
+  EXPECT_EQ(findings[0].severity, LintSeverity::kWarning);
+  EXPECT_EQ(report.errors(), 0u);
+}
+
+TEST(KanalyzeCfg, StackImbalanceAtRetIsAWarning) {
+  kelf::ObjectFile obj = Assemble(R"(
+.text
+.global f
+f:
+    push fp
+    ret
+)");
+  const kelf::Section* section = TextSection(obj);
+  ASSERT_NE(section, nullptr);
+
+  LintReport report;
+  VerifyFunction("m.kvs", "f", *section, &report);
+  std::vector<ksplice::LintFinding> findings = WithRule(report, "KSA205");
+  ASSERT_EQ(findings.size(), 1u) << report.ToJson();
+  EXPECT_EQ(findings[0].severity, LintSeverity::kWarning);
+}
+
+TEST(KanalyzeCfg, BalancedFunctionIsClean) {
+  kelf::ObjectFile obj = Assemble(R"(
+.text
+.global f
+f:
+    push fp
+    mov fp, sp
+    sub sp, 8
+    mov r0, 7
+    mov sp, fp
+    pop fp
+    ret
+)");
+  const kelf::Section* section = TextSection(obj);
+  ASSERT_NE(section, nullptr);
+
+  LintReport report;
+  size_t blocks = VerifyFunction("m.kvs", "f", *section, &report);
+  EXPECT_GT(blocks, 0u);
+  EXPECT_TRUE(report.findings.empty()) << report.ToJson();
+}
+
+// A wild jump planted in a package (not just a bare section) surfaces
+// through the full AnalyzePackage pipeline.
+TEST(KanalyzeCfg, WildJumpSurfacesThroughAnalyzePackage) {
+  ksplice::UpdatePackage package;
+  package.id = "crafted-wild";
+  kelf::ObjectFile primary("m.kc");
+  kelf::Section section;
+  section.name = ".text.f";
+  section.kind = kelf::SectionKind::kText;
+  section.bytes = {0x43, 0x7f};
+  int si = primary.AddSection(std::move(section));
+  kelf::Symbol sym;
+  sym.name = "f";
+  sym.binding = kelf::SymbolBinding::kGlobal;
+  sym.kind = kelf::SymbolKind::kFunction;
+  sym.section = si;
+  primary.AddSymbol(std::move(sym));
+  package.primary_objects.push_back(std::move(primary));
+
+  ks::Result<LintReport> report = AnalyzePackage(package);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(WithRule(*report, "KSA202").size(), 1u) << report->ToJson();
+  EXPECT_GE(report->errors(), 1u);
+}
+
+// ------------------------------------------------------------------------
+// ABI pass: crafted pre/post data sections.
+
+ksplice::UpdatePackage DataChangePackage(bool with_hooks, bool grow) {
+  ksplice::UpdatePackage package;
+  package.id = "crafted-abi";
+
+  kelf::ObjectFile helper("m.kc");
+  kelf::Section pre;
+  pre.name = ".data.x";
+  pre.kind = kelf::SectionKind::kData;
+  pre.align = 4;
+  pre.bytes = {1, 0, 0, 0};
+  int hsi = helper.AddSection(std::move(pre));
+  kelf::Symbol hsym;
+  hsym.name = "x";
+  hsym.binding = kelf::SymbolBinding::kGlobal;
+  hsym.kind = kelf::SymbolKind::kObject;
+  hsym.section = hsi;
+  helper.AddSymbol(std::move(hsym));
+  package.helper_objects.push_back(std::move(helper));
+
+  kelf::ObjectFile primary("m.kc");
+  kelf::Section post;
+  post.name = ".data.x";
+  post.kind = kelf::SectionKind::kData;
+  post.align = 4;
+  post.bytes = grow ? std::vector<uint8_t>{2, 0, 0, 0, 0, 0, 0, 0}
+                    : std::vector<uint8_t>{2, 0, 0, 0};
+  int psi = primary.AddSection(std::move(post));
+  kelf::Symbol psym;
+  psym.name = "x";
+  psym.binding = kelf::SymbolBinding::kGlobal;
+  psym.kind = kelf::SymbolKind::kObject;
+  psym.section = psi;
+  primary.AddSymbol(std::move(psym));
+  if (with_hooks) {
+    kelf::Section hook;
+    hook.name = ".ksplice.apply";
+    hook.kind = kelf::SectionKind::kNote;
+    hook.bytes = {0, 0, 0, 0};
+    primary.AddSection(std::move(hook));
+  }
+  package.primary_objects.push_back(std::move(primary));
+  return package;
+}
+
+TEST(KanalyzeAbi, DataContentChangeWithoutHooksIsError) {
+  ks::Result<LintReport> report =
+      AnalyzePackage(DataChangePackage(/*with_hooks=*/false, /*grow=*/false));
+  ASSERT_TRUE(report.ok());
+  std::vector<ksplice::LintFinding> findings = WithRule(*report, "KSA302");
+  ASSERT_EQ(findings.size(), 1u) << report->ToJson();
+  EXPECT_EQ(findings[0].severity, LintSeverity::kError);
+  EXPECT_EQ(findings[0].symbol, ".data.x");
+  EXPECT_EQ(report->data_sections_compared, 1u);
+}
+
+TEST(KanalyzeAbi, DataLayoutChangeWithoutHooksIsError) {
+  ks::Result<LintReport> report =
+      AnalyzePackage(DataChangePackage(/*with_hooks=*/false, /*grow=*/true));
+  ASSERT_TRUE(report.ok());
+  std::vector<ksplice::LintFinding> findings = WithRule(*report, "KSA301");
+  ASSERT_EQ(findings.size(), 1u) << report->ToJson();
+  EXPECT_EQ(findings[0].severity, LintSeverity::kError);
+}
+
+TEST(KanalyzeAbi, HooksDowngradeDataChangeToNote) {
+  ks::Result<LintReport> report =
+      AnalyzePackage(DataChangePackage(/*with_hooks=*/true, /*grow=*/false));
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(WithRule(*report, "KSA302").empty());
+  std::vector<ksplice::LintFinding> findings = WithRule(*report, "KSA303");
+  ASSERT_EQ(findings.size(), 1u) << report->ToJson();
+  EXPECT_EQ(findings[0].severity, LintSeverity::kNote);
+  EXPECT_EQ(report->errors(), 0u);
+}
+
+// ------------------------------------------------------------------------
+// Quiescence pass.
+
+TEST(KanalyzeQuiescence, BlockingPatchedFunctionWarns) {
+  SourceTree tree;
+  tree.Write("m.kc", R"(
+int st_a; int st_b; int st_c; int st_d;
+int busy_op(int n) {
+  st_a += 1; st_b += 2; st_c += 3; st_d += 4;
+  st_a += st_b; st_c += st_d;
+  sleep(n);
+  st_b += st_c;
+  return 7;
+}
+)");
+  std::string patch = EditPatch(tree, "m.kc", "return 7;", "return 8;");
+  ks::Result<ksplice::CreateResult> created = Create(tree, patch);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+
+  std::vector<ksplice::LintFinding> findings =
+      WithRule(created->report.lint, "KSA401");
+  ASSERT_EQ(findings.size(), 1u) << created->report.lint.ToJson();
+  EXPECT_EQ(findings[0].severity, LintSeverity::kWarning);
+  EXPECT_EQ(findings[0].symbol, "busy_op");
+  EXPECT_EQ(created->report.lint.errors(), 0u);
+}
+
+TEST(KanalyzeQuiescence, TransitivelyBlockingPatchedFunctionNoted) {
+  SourceTree tree;
+  tree.Write("m.kc", R"(
+int st_a; int st_b; int st_c; int st_d;
+int parker(int n) {
+  st_a += 1; st_b += 2; st_c += 3; st_d += 4;
+  st_a += st_b; st_c += st_d;
+  sleep(n);
+  st_b += st_c;
+  return 7;
+}
+int outer(int n) {
+  return parker(n) + 1;
+}
+)");
+  std::string patch =
+      EditPatch(tree, "m.kc", "parker(n) + 1", "parker(n) + 2");
+  ks::Result<ksplice::CreateResult> created = Create(tree, patch);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+
+  std::vector<ksplice::LintFinding> findings =
+      WithRule(created->report.lint, "KSA402");
+  ASSERT_EQ(findings.size(), 1u) << created->report.lint.ToJson();
+  EXPECT_EQ(findings[0].severity, LintSeverity::kNote);
+  EXPECT_EQ(findings[0].symbol, "outer");
+  // The direct-blocking warning belongs to a patch of parker itself, not
+  // this one.
+  EXPECT_TRUE(WithRule(created->report.lint, "KSA401").empty());
+}
+
+// ------------------------------------------------------------------------
+// The CreateUpdate lint gate.
+
+// An assembly patch is the only way to smuggle a wild jump into a package
+// through the real toolchain: kcc and the assembler never emit one, but
+// `.byte` lets a (malicious or broken) patch author hand-encode jmp8 +127.
+const char kWildPre[] = R"(
+.text
+.global broken
+broken:
+    push fp
+    mov fp, sp
+    mov r0, 1
+    mov sp, fp
+    pop fp
+    ret
+)";
+
+TEST(KanalyzeGate, LintErrorRefusesWildJumpPackage) {
+  SourceTree tree;
+  tree.Write("m.kvs", kWildPre);
+  std::string patch = EditPatch(tree, "m.kvs", "    mov r0, 1\n",
+                                "    mov r0, 1\n    .byte 0x43, 0x7f\n");
+
+  ks::Result<ksplice::CreateResult> refused =
+      Create(tree, patch, ksplice::LintMode::kError);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), ks::ErrorCode::kFailedPrecondition);
+  EXPECT_NE(refused.status().ToString().find("KSA202"), std::string::npos)
+      << refused.status().ToString();
+}
+
+TEST(KanalyzeGate, LintWarnRecordsButDoesNotRefuse) {
+  SourceTree tree;
+  tree.Write("m.kvs", kWildPre);
+  std::string patch = EditPatch(tree, "m.kvs", "    mov r0, 1\n",
+                                "    mov r0, 1\n    .byte 0x43, 0x7f\n");
+
+  ks::Result<ksplice::CreateResult> created =
+      Create(tree, patch, ksplice::LintMode::kWarn);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  EXPECT_GE(created->report.lint.errors(), 1u);
+  EXPECT_FALSE(WithRule(created->report.lint, "KSA202").empty())
+      << created->report.lint.ToJson();
+}
+
+TEST(KanalyzeGate, LintOffSkipsAnalysis) {
+  SourceTree tree;
+  tree.Write("m.kvs", kWildPre);
+  std::string patch = EditPatch(tree, "m.kvs", "    mov r0, 1\n",
+                                "    mov r0, 1\n    .byte 0x43, 0x7f\n");
+
+  ks::Result<ksplice::CreateResult> created =
+      Create(tree, patch, ksplice::LintMode::kOff);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  EXPECT_TRUE(created->report.lint.findings.empty());
+  EXPECT_EQ(created->report.lint.functions_scanned, 0u);
+}
+
+}  // namespace
+}  // namespace kanalyze

@@ -3,6 +3,7 @@
 //
 //   ksplice_tool build   <srcdir>                       compile & report
 //   ksplice_tool create  <srcdir> <patch> <out.kspl>    = ksplice-create
+//   ksplice_tool lint    <pkg.kspl>                     static analysis
 //   ksplice_tool inspect <pkg.kspl>                     show a package
 //   ksplice_tool demo    <srcdir> <patch> [entry [arg]] boot + hot update
 //   ksplice_tool disasm  <srcdir> <unit>                disassemble a unit
@@ -11,8 +12,11 @@
 //                                                       patches to disk
 //
 // Global flags (any subcommand): -j N, --trace[=FILE], --metrics=FILE,
-// --help. `<command> --help` prints that command's own help. Flags and
-// commands are table-driven — adding one means adding a table row.
+// --help. Some commands take their own flags (create --lint=MODE, lint
+// --json[=FILE] --fail-on=SEV). `<command> --help` prints that command's
+// own help, including its flags; an unknown flag or a wrong argument
+// count prints the same help on stderr and exits 2. Flags and commands
+// are table-driven — adding one means adding a table row.
 //
 // Source trees on disk contain .kc (KC), .kvs (assembly), and .h files;
 // paths are taken relative to <srcdir>.
@@ -25,6 +29,7 @@
 #include "base/strings.h"
 #include "base/trace.h"
 #include "corpus/corpus.h"
+#include "kanalyze/kanalyze.h"
 #include "kcc/compile.h"
 #include "kcc/objcache.h"
 #include "kdiff/diff.h"
@@ -101,7 +106,17 @@ struct GlobalOptions {
 
 GlobalOptions g_options;
 
-// One global flag. `arg` names the value in help text; kNone takes no
+// Per-command flag values (only the active command reads its own).
+struct CommandOptions {
+  std::string lint_mode;          // create --lint=off|warn|error
+  bool json = false;              // lint --json[=FILE]
+  std::string json_file;
+  std::string fail_on = "error";  // lint --fail-on=note|warning|error
+};
+
+CommandOptions g_cmd;
+
+// One flag. `arg` names the value in help text; kNone takes no
 // value, kOptional accepts `--flag` or `--flag=V`, kRequired demands one.
 struct FlagSpec {
   const char* name;  // with leading dashes, e.g. "--trace"
@@ -131,10 +146,62 @@ const FlagSpec kFlags[] = {
      [](const std::string&) { g_options.help = true; }},
 };
 
-// Consumes recognized flags from `args` (anywhere on the command line);
-// leaves positional arguments in place. Returns an error for a malformed
-// or unknown flag-looking argument.
-ks::Status ParseFlags(std::vector<std::string>& args) {
+const FlagSpec kCreateFlags[] = {
+    {"--lint", FlagSpec::kRequired, "MODE",
+     "static-analysis gate: off, warn (default: record findings in the "
+     "report) or error (refuse a package with error-severity findings)",
+     [](const std::string& v) { g_cmd.lint_mode = v; }},
+};
+
+const FlagSpec kLintFlags[] = {
+    {"--json", FlagSpec::kOptional, "FILE",
+     "emit the lint report as JSON (to FILE when given, else stdout) "
+     "instead of text",
+     [](const std::string& v) {
+       g_cmd.json = true;
+       g_cmd.json_file = v;
+     }},
+    {"--fail-on", FlagSpec::kRequired, "SEV",
+     "exit 1 when any finding has severity SEV (note|warning|error) or "
+     "higher (default: error)",
+     [](const std::string& v) { g_cmd.fail_on = v; }},
+};
+
+// Matches `arg` (argv token i) against `spec`, extracting a glued or
+// following-token value. Advances *i when the value is the next token.
+bool MatchFlag(const FlagSpec& spec, const std::vector<std::string>& args,
+               size_t* i, std::string* value, bool* has_value) {
+  const std::string& arg = args[*i];
+  std::string name = spec.name;
+  if (arg == name) {
+    if (spec.arg == FlagSpec::kRequired && *i + 1 < args.size()) {
+      // Value in the next argument ("-j 4").
+      *value = args[++*i];
+      *has_value = true;
+    }
+    return true;
+  }
+  if (ks::StartsWith(arg, name + "=")) {
+    *value = arg.substr(name.size() + 1);
+    *has_value = true;
+    return true;
+  }
+  // Glued short-flag value, e.g. -j8.
+  if (name.size() == 2 && name[0] == '-' && name[1] != '-' &&
+      ks::StartsWith(arg, name) && arg.size() > 2) {
+    *value = arg.substr(2);
+    *has_value = true;
+    return true;
+  }
+  return false;
+}
+
+// Consumes recognized flags from `args` (anywhere on the command line) —
+// the global table plus the active command's `extra` table — leaving
+// positional arguments in place. Returns an error for a malformed or
+// unknown flag-looking argument.
+ks::Status ParseFlags(std::vector<std::string>& args, const FlagSpec* extra,
+                      size_t num_extra) {
   std::vector<std::string> rest;
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -146,36 +213,18 @@ ks::Status ParseFlags(std::vector<std::string>& args) {
     std::string value;
     bool has_value = false;
     for (const FlagSpec& spec : kFlags) {
-      std::string name = spec.name;
-      if (arg == name) {
+      if (MatchFlag(spec, args, &i, &value, &has_value)) {
         matched = &spec;
-        if (spec.arg == FlagSpec::kRequired) {
-          // Value in the next argument ("-j 4") or glued ("-j4").
-          if (i + 1 < args.size()) {
-            value = args[++i];
-            has_value = true;
-          }
-        }
-        break;
-      }
-      if (ks::StartsWith(arg, name + "=")) {
-        matched = &spec;
-        value = arg.substr(name.size() + 1);
-        has_value = true;
-        break;
-      }
-      // Glued short-flag value, e.g. -j8.
-      if (name.size() == 2 && name[0] == '-' && name[1] != '-' &&
-          ks::StartsWith(arg, name) && arg.size() > 2) {
-        matched = &spec;
-        value = arg.substr(2);
-        has_value = true;
         break;
       }
     }
+    for (size_t e = 0; matched == nullptr && e < num_extra; ++e) {
+      if (MatchFlag(extra[e], args, &i, &value, &has_value)) {
+        matched = &extra[e];
+      }
+    }
     if (matched == nullptr) {
-      return ks::InvalidArgument("unknown flag " + arg +
-                                 " (see ksplice_tool --help)");
+      return ks::InvalidArgument("unknown flag " + arg);
     }
     if (matched->arg == FlagSpec::kRequired && !has_value) {
       return ks::InvalidArgument(std::string(matched->name) +
@@ -228,6 +277,22 @@ void PrintCreateReport(const ksplice::CreateReport& report) {
     std::printf("  %-8s %s:%s (%u -> %u bytes)\n", fn.change.c_str(),
                 fn.unit.c_str(), fn.symbol.c_str(), fn.pre_size,
                 fn.post_size);
+  }
+}
+
+void PrintLintReport(const ksplice::LintReport& report) {
+  std::printf(
+      "lint: %zu finding(s) — %zu error(s), %zu warning(s), %zu note(s); "
+      "%llu function(s), %llu call edge(s), %llu block(s)\n",
+      report.findings.size(), report.errors(),
+      report.CountAtLeast(ksplice::LintSeverity::kWarning) - report.errors(),
+      report.findings.size() -
+          report.CountAtLeast(ksplice::LintSeverity::kWarning),
+      static_cast<unsigned long long>(report.functions_scanned),
+      static_cast<unsigned long long>(report.call_edges),
+      static_cast<unsigned long long>(report.blocks_analyzed));
+  for (const ksplice::LintFinding& finding : report.findings) {
+    std::printf("  %s\n", finding.ToString().c_str());
   }
 }
 
@@ -300,6 +365,20 @@ int CmdCreate(const std::vector<std::string>& args) {
   }
   ksplice::CreateOptions options;
   options.compile = DefaultBuild();
+  if (!g_cmd.lint_mode.empty()) {
+    if (g_cmd.lint_mode == "off") {
+      options.lint = ksplice::LintMode::kOff;
+    } else if (g_cmd.lint_mode == "warn") {
+      options.lint = ksplice::LintMode::kWarn;
+    } else if (g_cmd.lint_mode == "error") {
+      options.lint = ksplice::LintMode::kError;
+    } else {
+      std::fprintf(stderr,
+                   "error: --lint=%s is not off, warn or error\n",
+                   g_cmd.lint_mode.c_str());
+      return 2;
+    }
+  }
   ks::Result<ksplice::CreateResult> created =
       ksplice::CreateUpdate(*tree, *patch, options);
   if (!created.ok()) {
@@ -319,7 +398,56 @@ int CmdCreate(const std::vector<std::string>& args) {
               created->package.id.c_str(), out_path.c_str(), bytes.size(),
               created->package.targets.size());
   PrintCreateReport(created->report);
+  if (!created->report.lint.findings.empty()) {
+    PrintLintReport(created->report.lint);
+  }
   return 0;
+}
+
+// ----------------------------------------------------------------- lint
+
+int CmdLint(const std::vector<std::string>& args) {
+  ksplice::LintSeverity threshold;
+  if (g_cmd.fail_on == "note") {
+    threshold = ksplice::LintSeverity::kNote;
+  } else if (g_cmd.fail_on == "warning") {
+    threshold = ksplice::LintSeverity::kWarning;
+  } else if (g_cmd.fail_on == "error") {
+    threshold = ksplice::LintSeverity::kError;
+  } else {
+    std::fprintf(stderr,
+                 "error: --fail-on=%s is not note, warning or error\n",
+                 g_cmd.fail_on.c_str());
+    return 2;
+  }
+  ks::Result<std::string> raw = ReadFile(args[0]);
+  if (!raw.ok()) {
+    return Fail(raw.status());
+  }
+  ks::Result<ksplice::UpdatePackage> pkg = ksplice::UpdatePackage::Parse(
+      std::vector<uint8_t>(raw->begin(), raw->end()));
+  if (!pkg.ok()) {
+    return Fail(pkg.status());
+  }
+  ks::Result<ksplice::LintReport> report = kanalyze::AnalyzePackage(*pkg);
+  if (!report.ok()) {
+    return Fail(report.status());
+  }
+  if (g_cmd.json) {
+    if (g_cmd.json_file.empty()) {
+      std::printf("%s\n", report->ToJson().c_str());
+    } else {
+      ks::Status written =
+          WriteFile(g_cmd.json_file, report->ToJson() + "\n");
+      if (!written.ok()) {
+        return Fail(written);
+      }
+    }
+  } else {
+    std::printf("lint report for %s:\n", report->id.c_str());
+    PrintLintReport(*report);
+  }
+  return report->CountAtLeast(threshold) > 0 ? 1 : 0;
 }
 
 // -------------------------------------------------------------- inspect
@@ -519,6 +647,10 @@ struct Command {
   size_t max_args;
   int (*handler)(const std::vector<std::string>& args);
   const char* help;       // extra detail for `<command> --help`
+  // Command-specific flags, listed in the command's help and accepted
+  // only when this command runs.
+  const FlagSpec* flags = nullptr;
+  size_t num_flags = 0;
 };
 
 const Command kCommands[] = {
@@ -531,8 +663,16 @@ const Command kCommands[] = {
      CmdCreate,
      "Runs the pre-post double build and section diff, extracts changed\n"
      "code, and writes the package to <out.kspl> plus a typed\n"
-     "<out.kspl>.report.json (per-unit compile/cache/diff statistics and\n"
-     "the changed-function list)."},
+     "<out.kspl>.report.json (per-unit compile/cache/diff statistics, the\n"
+     "changed-function list and the kanalyze lint findings).",
+     kCreateFlags, std::size(kCreateFlags)},
+    {"lint", "<pkg.kspl>",
+     "statically analyze a package for patch-safety hazards", 1, 1, CmdLint,
+     "Runs the kanalyze passes — call graph, CFG/bytecode verification,\n"
+     "pre-vs-post ABI/layout diff, quiescence risk — over <pkg.kspl> and\n"
+     "prints the typed findings (rule id KSAxxx, severity, location, fix\n"
+     "hint). Exits 1 when a finding meets --fail-on (default: error).",
+     kLintFlags, std::size(kLintFlags)},
     {"inspect", "<pkg.kspl>", "show a package's targets and objects", 1, 1,
      CmdInspect,
      "Parses <pkg.kspl> and lists targets, helper and primary objects.\n"
@@ -578,6 +718,60 @@ void PrintGlobalHelp() {
 void PrintCommandHelp(const Command& cmd) {
   std::fprintf(stderr, "usage: ksplice_tool [flags] %s %s\n\n%s\n%s\n",
                cmd.name, cmd.synopsis, cmd.summary, cmd.help);
+  if (cmd.num_flags > 0) {
+    std::fprintf(stderr, "\nflags (in addition to the global ones):\n");
+    for (size_t i = 0; i < cmd.num_flags; ++i) {
+      const FlagSpec& spec = cmd.flags[i];
+      std::string name = spec.name;
+      if (spec.arg == FlagSpec::kRequired) {
+        name += std::string("=") + spec.value_name;
+      } else if (spec.arg == FlagSpec::kOptional) {
+        name += std::string("[=") + spec.value_name + "]";
+      }
+      std::fprintf(stderr, "  %-18s %s\n", name.c_str(), spec.help);
+    }
+  }
+}
+
+// Finds the command named by the first positional-looking argument
+// without consuming anything: flag tokens are skipped, as is the value
+// token of a known value-in-next-argument flag. Returns nullptr when no
+// argument names a command; *name gets the candidate (empty when the
+// command line has no positional arguments at all).
+const Command* LocateCommand(const std::vector<std::string>& args,
+                             std::string* name) {
+  name->clear();
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (!arg.empty() && arg[0] == '-') {
+      // Skip a known flag's detached value so `-j 4 create ...` does not
+      // mistake "4" for the command.
+      auto skips_next = [&](const FlagSpec& spec) {
+        return spec.arg == FlagSpec::kRequired && arg == spec.name;
+      };
+      bool skip = false;
+      for (const FlagSpec& spec : kFlags) {
+        skip = skip || skips_next(spec);
+      }
+      for (const Command& cmd : kCommands) {
+        for (size_t f = 0; f < cmd.num_flags; ++f) {
+          skip = skip || skips_next(cmd.flags[f]);
+        }
+      }
+      if (skip) {
+        ++i;
+      }
+      continue;
+    }
+    *name = arg;
+    for (const Command& cmd : kCommands) {
+      if (arg == cmd.name) {
+        return &cmd;
+      }
+    }
+    return nullptr;
+  }
+  return nullptr;
 }
 
 // Trace/metrics emission at exit, whatever the command did.
@@ -607,26 +801,31 @@ int Finish(int code) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  ks::Status parsed = ParseFlags(args);
-  if (!parsed.ok()) {
-    std::fprintf(stderr, "error: %s\n", parsed.ToString().c_str());
+  // The command is located before flags are parsed so that a flag error
+  // can print that command's own help (and accept its own flags).
+  std::string command_name;
+  const Command* command = LocateCommand(args, &command_name);
+  if (command == nullptr && !command_name.empty()) {
+    std::fprintf(stderr, "error: unknown command '%s'\n\n",
+                 command_name.c_str());
+    PrintGlobalHelp();
     return 2;
   }
-  if (args.empty()) {
-    PrintGlobalHelp();
-    return g_options.help ? 0 : 2;
-  }
-  const Command* command = nullptr;
-  for (const Command& cmd : kCommands) {
-    if (args[0] == cmd.name) {
-      command = &cmd;
-      break;
+  ks::Status parsed = ParseFlags(
+      args, command != nullptr ? command->flags : nullptr,
+      command != nullptr ? command->num_flags : 0);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n\n", parsed.ToString().c_str());
+    if (command != nullptr) {
+      PrintCommandHelp(*command);
+    } else {
+      PrintGlobalHelp();
     }
+    return 2;
   }
   if (command == nullptr) {
-    std::fprintf(stderr, "error: unknown command '%s'\n\n", args[0].c_str());
     PrintGlobalHelp();
-    return 2;
+    return g_options.help ? 0 : 2;
   }
   if (g_options.help) {
     PrintCommandHelp(*command);
@@ -635,6 +834,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> positional(args.begin() + 1, args.end());
   if (positional.size() < command->min_args ||
       positional.size() > command->max_args) {
+    std::fprintf(stderr,
+                 "error: %s expects %zu..%zu argument(s), got %zu\n\n",
+                 command->name, command->min_args, command->max_args,
+                 positional.size());
     PrintCommandHelp(*command);
     return 2;
   }
