@@ -61,6 +61,34 @@ print("lint JSON OK:", lint["functions_scanned"], "functions,",
       lint["blocks_analyzed"], "blocks,", len(lint["findings"]), "findings")
 EOF
 
+# Transaction smoke: batch-apply two CVE fixes with disjoint targets in
+# ONE transaction and show the update stack. The metrics JSON proves the
+# batch shared a single stop_machine rendezvous.
+echo "== ksplice_tool batch apply + status smoke =="
+build/tools/ksplice_tool create "$obs_dir/corpus/src" \
+  "$obs_dir/corpus/patches/CVE-2005-0736.patch" "$obs_dir/epoll.kspl"
+build/tools/ksplice_tool create "$obs_dir/corpus/src" \
+  "$obs_dir/corpus/patches/CVE-2005-1263.patch" "$obs_dir/coredump.kspl"
+build/tools/ksplice_tool --metrics="$obs_dir/batch-metrics.json" \
+  apply "$obs_dir/corpus/src" "$obs_dir/epoll.kspl" "$obs_dir/coredump.kspl"
+build/tools/ksplice_tool status --json="$obs_dir/status.json" \
+  "$obs_dir/corpus/src" "$obs_dir/epoll.kspl" "$obs_dir/coredump.kspl"
+python3 - "$obs_dir" <<'EOF'
+import json, sys
+obs_dir = sys.argv[1]
+metrics = json.load(open(obs_dir + "/batch-metrics.json"))
+counters = metrics["counters"]
+assert counters.get("ksplice.batch_applies") == 1, counters
+assert counters.get("ksplice.applies") == 2, counters
+assert counters.get("kvm.stop_machine_calls") == 1, \
+    f"2 packages must share ONE rendezvous: {counters}"
+status = json.load(open(obs_dir + "/status.json"))
+assert len(status["updates"]) == 2, status
+assert status["arena_bytes_in_use"] > 0, status
+print("batch JSON OK:", len(status["updates"]), "updates,",
+      counters["kvm.stop_machine_calls"], "stop_machine call")
+EOF
+
 # Flag-handling regression: an unknown flag and a wrong argument count must
 # exit 2 and print the subcommand's usage on stderr.
 echo "== ksplice_tool flag handling =="

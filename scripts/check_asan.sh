@@ -1,0 +1,18 @@
+#!/bin/sh
+# Memory-checks the transactional apply/undo engine: builds the tree with
+# -fsanitize=address,undefined and runs the tests that stress module
+# load/unload churn (ASAN aborts on the first heap error). The transaction
+# tests matter most here: every rollback path unloads a group of
+# partially-initialized modules, and out-of-order undo rewrites records
+# that point into other updates' arenas.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build-asan -G Ninja -DKSPLICE_SANITIZE="address;undefined"
+cmake --build build-asan --target ksplice_txn_test concurrency_test \
+  ksplice_hooks_smp_test kanalyze_test fuzz_negative_test
+for t in ksplice_txn_test concurrency_test ksplice_hooks_smp_test \
+         kanalyze_test fuzz_negative_test; do
+  echo "== build-asan/tests/$t =="
+  "./build-asan/tests/$t"
+done
+echo "ASAN CHECKS PASSED"

@@ -59,7 +59,8 @@ void RunQuiescencePass(const ksplice::UpdatePackage& package,
           "KSA402", LintSeverity::kNote, target,
           "patched function can reach a blocking primitive through its "
           "callees; a thread may hold it on the stack while sleeping",
-          "apply during low activity or raise ApplyOptions::max_attempts"));
+          "apply during low activity or raise "
+          "RendezvousOptions::max_attempts"));
     }
   }
 }

@@ -1,507 +1,29 @@
 #include "ksplice/core.h"
 
-#include <algorithm>
-#include <chrono>
-#include <map>
-
-#include "base/logging.h"
-#include "base/metrics.h"
-#include "base/strings.h"
-#include "base/trace.h"
-#include "kvx/isa.h"
-
 namespace ksplice {
 
-namespace {
-
-uint64_t NowNs() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
+ks::Result<ApplyReport> KspliceCore::Apply(const UpdatePackage& package,
+                                           const ApplyOptions& options) {
+  return manager_.Apply(package, options);
 }
 
-// Builds the 5-byte trampoline: jmp32 from `from` to `to` (§2: "placing a
-// jump instruction ... at the start of the obsolete function").
-std::vector<uint8_t> MakeTrampoline(uint32_t from, uint32_t to) {
-  kvx::Insn jmp;
-  jmp.op = kvx::Op::kJmp32;
-  jmp.rel = static_cast<int32_t>(to - (from + kvx::kTrampolineSize));
-  return kvx::Encode(jmp);
+ks::Result<BatchApplyReport> KspliceCore::ApplyAll(
+    std::span<const UpdatePackage> packages, const ApplyOptions& options) {
+  return manager_.ApplyAll(packages, options);
 }
 
-// Reads a table of function pointers out of a module's note sections named
-// `section_name` (the ksplice_apply/... hook tables, §5.3).
-ks::Result<std::vector<uint32_t>> ReadHookTable(
-    const kvm::Machine& machine,
-    const std::vector<kelf::PlacedSection>& placements,
-    const std::string& section_name) {
-  std::vector<uint32_t> hooks;
-  for (const kelf::PlacedSection& placement : placements) {
-    if (placement.name != section_name) {
-      continue;
-    }
-    for (uint32_t off = 0; off + 4 <= placement.size; off += 4) {
-      KS_ASSIGN_OR_RETURN(uint32_t fn,
-                          machine.ReadWord(placement.address + off));
-      hooks.push_back(fn);
-    }
-  }
-  return hooks;
+ks::Result<UndoReport> KspliceCore::Undo(const std::string& id,
+                                         const RendezvousOptions& options) {
+  return manager_.Undo(id, options);
 }
 
-}  // namespace
-
-const AppliedFunction* KspliceCore::FindApplied(
-    const std::string& unit, const std::string& symbol) const {
-  for (auto it = applied_.rbegin(); it != applied_.rend(); ++it) {
-    for (const AppliedFunction& fn : it->functions) {
-      if (fn.unit == unit && fn.symbol == symbol) {
-        return &fn;
-      }
-    }
-  }
-  return nullptr;
+ks::Status KspliceCore::UnloadHelper(const std::string& id) {
+  return manager_.UnloadHelper(id);
 }
 
 std::optional<std::pair<uint32_t, uint32_t>> KspliceCore::CurrentCode(
     const std::string& unit, const std::string& symbol) const {
-  const AppliedFunction* fn = FindApplied(unit, symbol);
-  if (fn == nullptr) {
-    return std::nullopt;
-  }
-  return std::make_pair(fn->repl_address, fn->repl_size);
-}
-
-bool KspliceCore::AnyThreadIn(
-    const std::vector<std::pair<uint32_t, uint32_t>>& ranges) const {
-  auto hit = [&ranges](uint32_t addr) {
-    for (const auto& [begin, end] : ranges) {
-      if (addr >= begin && addr < end) {
-        return true;
-      }
-    }
-    return false;
-  };
-  for (const kvm::ThreadInfo& thread : machine_->Threads()) {
-    if (thread.state == kvm::ThreadState::kDone ||
-        thread.state == kvm::ThreadState::kFaulted) {
-      continue;
-    }
-    if (hit(thread.pc)) {
-      return true;
-    }
-    // Conservative scan of every word of the kernel stack (§5.2): any
-    // value that lands in a patched range is treated as a return address.
-    for (uint32_t sp = thread.sp & ~3u; sp + 4 <= thread.stack_top;
-         sp += 4) {
-      ks::Result<uint32_t> word = machine_->ReadWord(sp);
-      if (word.ok() && hit(*word)) {
-        return true;
-      }
-    }
-  }
-  return false;
-}
-
-ks::Status KspliceCore::RunHooks(const std::vector<uint32_t>& hooks) {
-  for (uint32_t hook : hooks) {
-    ks::Result<uint32_t> result = machine_->CallFunction(hook, 0);
-    if (!result.ok()) {
-      return ks::Status(result.status()).WithContext("ksplice hook");
-    }
-  }
-  return ks::OkStatus();
-}
-
-ks::Result<ApplyReport> KspliceCore::Apply(const UpdatePackage& package,
-                                           const ApplyOptions& options) {
-  ks::TraceSpan span("ksplice.apply");
-  span.Annotate("id", package.id);
-  ApplyReport report;
-  report.id = package.id;
-  report.helper_retained = options.keep_helper;
-
-  for (const AppliedUpdate& existing : applied_) {
-    if (existing.id == package.id) {
-      return ks::AlreadyExists(
-          ks::StrPrintf("update %s is already applied", package.id.c_str()));
-    }
-  }
-
-  // ------------------------------------------------------------------
-  // 1. Run-pre matching: verify the run code and recover symbol values.
-  RunPreMatcher matcher(
-      *machine_, [this](const std::string& unit, const std::string& symbol) {
-        return CurrentCode(unit, symbol);
-      });
-  std::map<std::string, UnitMatch> matches;
-  for (const kelf::ObjectFile& helper : package.helper_objects) {
-    MatchStats unit_stats;
-    ks::Result<UnitMatch> match = matcher.MatchUnit(helper, &unit_stats);
-    report.match.MergeFrom(unit_stats);
-    if (!match.ok()) {
-      return ks::Status(match.status())
-          .WithContext(ks::StrPrintf("applying %s", package.id.c_str()));
-    }
-    matches.emplace(helper.source_name(), std::move(match).value());
-  }
-
-  // ------------------------------------------------------------------
-  // 2. Helper image (memory accounting; unloadable afterwards, §5.1).
-  uint32_t helper_bytes = 0;
-  for (const kelf::ObjectFile& helper : package.helper_objects) {
-    helper_bytes += static_cast<uint32_t>(helper.Serialize().size());
-  }
-  ks::Result<kvm::ModuleHandle> helper_handle =
-      machine_->LoadBlob(package.id + "-helper", helper_bytes);
-  if (!helper_handle.ok()) {
-    return helper_handle.status();
-  }
-
-  // ------------------------------------------------------------------
-  // 3. Load the primary module. Scoped imports ("unit::name") resolve via
-  // the valuation; plain imports via exported symbols (kvm) or, failing
-  // that, via recovered values (globals of a patched unit are also in the
-  // valuation and must agree with kallsyms — run-pre checked that).
-  auto resolver = [&matches](const std::string& name)
-      -> std::optional<uint32_t> {
-    ScopedSymbol scoped = SplitScopedName(name);
-    if (!scoped.unit.empty()) {
-      auto unit_it = matches.find(scoped.unit);
-      if (unit_it == matches.end()) {
-        return std::nullopt;
-      }
-      auto sym_it = unit_it->second.symbol_values.find(scoped.symbol);
-      if (sym_it == unit_it->second.symbol_values.end()) {
-        return std::nullopt;
-      }
-      return sym_it->second;
-    }
-    for (const auto& [unit, match] : matches) {
-      auto sym_it = match.symbol_values.find(name);
-      if (sym_it != match.symbol_values.end()) {
-        return sym_it->second;
-      }
-    }
-    return std::nullopt;
-  };
-  ks::Result<kvm::ModuleHandle> primary_handle = machine_->LoadModule(
-      package.primary_objects, package.id + "-primary", resolver);
-  if (!primary_handle.ok()) {
-    (void)machine_->UnloadModule(*helper_handle);
-    return ks::Status(primary_handle.status())
-        .WithContext("loading primary module");
-  }
-
-  auto fail = [&](ks::Status status) -> ks::Result<ApplyReport> {
-    (void)machine_->UnloadModule(*primary_handle);
-    (void)machine_->UnloadModule(*helper_handle);
-    return status.WithContext(
-        ks::StrPrintf("applying %s", package.id.c_str()));
-  };
-
-  ks::Result<kvm::ModuleInfo> primary_info =
-      machine_->GetModuleInfo(*primary_handle);
-  if (!primary_info.ok()) {
-    return fail(primary_info.status());
-  }
-  report.helper_bytes = helper_bytes;
-  report.primary_bytes = primary_info->size;
-
-  // ------------------------------------------------------------------
-  // 4. Resolve target placements: where is each obsolete function, and
-  // where is its replacement inside the primary module?
-  AppliedUpdate update;
-  update.id = package.id;
-  update.primary = *primary_handle;
-  update.helper = *helper_handle;
-  update.helper_bytes = helper_bytes;
-
-  for (const Target& target : package.targets) {
-    auto match_it = matches.find(target.unit);
-    if (match_it == matches.end()) {
-      return fail(ks::Internal(
-          ks::StrPrintf("no unit match for %s", target.unit.c_str())));
-    }
-    auto section_it = match_it->second.sections.find(target.section);
-    if (section_it == match_it->second.sections.end()) {
-      return fail(ks::Internal(ks::StrPrintf(
-          "target section %s was not matched", target.section.c_str())));
-    }
-    const MatchedSection& matched = section_it->second;
-
-    AppliedFunction fn;
-    fn.unit = target.unit;
-    fn.symbol = target.symbol;
-    fn.code_address = matched.run_address;
-    fn.code_size = matched.run_size;
-    const AppliedFunction* previous = FindApplied(target.unit, target.symbol);
-    fn.orig_address =
-        previous != nullptr ? previous->orig_address : matched.run_address;
-
-    // The replacement: the primary module's copy of the symbol, identified
-    // by name + unit + module address range.
-    bool found = false;
-    for (const kelf::LinkedSymbol& sym :
-         machine_->SymbolsNamed(target.symbol)) {
-      if (sym.unit == target.unit && sym.address >= primary_info->base &&
-          sym.address < primary_info->base + primary_info->size) {
-        fn.repl_address = sym.address;
-        fn.repl_size = sym.size;
-        found = true;
-        break;
-      }
-    }
-    if (!found) {
-      return fail(ks::Internal(ks::StrPrintf(
-          "replacement symbol %s missing from primary module",
-          target.symbol.c_str())));
-    }
-    if (fn.code_size < kvx::kTrampolineSize) {
-      return fail(ks::FailedPrecondition(ks::StrPrintf(
-          "function %s is too small (%u bytes) for a trampoline",
-          target.symbol.c_str(), fn.code_size)));
-    }
-    update.functions.push_back(std::move(fn));
-  }
-
-  // ------------------------------------------------------------------
-  // 5. Hook tables from the primary module's note sections.
-  ks::Result<std::vector<kelf::PlacedSection>> placements =
-      machine_->ModulePlacements(*primary_handle);
-  if (!placements.ok()) {
-    return fail(placements.status());
-  }
-  struct HookBinding {
-    const char* section;
-    std::vector<uint32_t>* table;
-  };
-  const HookBinding bindings[] = {
-      {".ksplice.apply", &update.hooks_apply},
-      {".ksplice.pre_apply", &update.hooks_pre_apply},
-      {".ksplice.post_apply", &update.hooks_post_apply},
-      {".ksplice.reverse", &update.hooks_reverse},
-      {".ksplice.pre_reverse", &update.hooks_pre_reverse},
-      {".ksplice.post_reverse", &update.hooks_post_reverse},
-  };
-  for (const HookBinding& binding : bindings) {
-    ks::Result<std::vector<uint32_t>> table =
-        ReadHookTable(*machine_, *placements, binding.section);
-    if (!table.ok()) {
-      return fail(table.status());
-    }
-    *binding.table = std::move(table).value();
-  }
-
-  // ------------------------------------------------------------------
-  // 6. pre_apply hooks (machine running).
-  ks::Status pre_hooks = RunHooks(update.hooks_pre_apply);
-  if (!pre_hooks.ok()) {
-    return fail(pre_hooks);
-  }
-
-  // ------------------------------------------------------------------
-  // 7. stop_machine: safety check, apply hooks, splice (§5.2).
-  std::vector<std::pair<uint32_t, uint32_t>> ranges;
-  for (const AppliedFunction& fn : update.functions) {
-    ranges.emplace_back(fn.code_address, fn.code_address + fn.code_size);
-  }
-
-  bool applied = false;
-  for (int attempt = 0; attempt < options.max_attempts && !applied;
-       ++attempt) {
-    report.attempts = attempt + 1;
-    uint64_t stop_begin = NowNs();
-    ks::Status stopped = machine_->StopMachine([&](kvm::Machine& m) {
-      if (AnyThreadIn(ranges)) {
-        return ks::FailedPrecondition("a patched function is in use");
-      }
-      KS_RETURN_IF_ERROR(RunHooks(update.hooks_apply));
-      for (AppliedFunction& fn : update.functions) {
-        KS_ASSIGN_OR_RETURN(
-            fn.saved_bytes,
-            m.ReadBytes(fn.orig_address, kvx::kTrampolineSize));
-        KS_RETURN_IF_ERROR(m.WriteBytes(
-            fn.orig_address,
-            MakeTrampoline(fn.orig_address, fn.repl_address)));
-      }
-      return ks::OkStatus();
-    });
-    if (stopped.ok()) {
-      report.pause_ns = NowNs() - stop_begin;
-      applied = true;
-      break;
-    }
-    if (stopped.code() != ks::ErrorCode::kFailedPrecondition) {
-      return fail(stopped);
-    }
-    // Busy: let the machine make progress and retry (§5.2).
-    KS_LOG(kDebug) << "apply " << package.id << " busy, attempt "
-                   << attempt + 1;
-    report.retry_ticks += options.retry_advance_ticks;
-    (void)machine_->Advance(options.retry_advance_ticks);
-  }
-  if (!applied) {
-    return fail(ks::Aborted(ks::StrPrintf(
-        "a patched function stayed in use after %d attempts",
-        options.max_attempts)));
-  }
-  report.quiescence_retries = report.attempts - 1;
-
-  // ------------------------------------------------------------------
-  // 8. post_apply hooks; optional helper unload.
-  ks::Status post_hooks = RunHooks(update.hooks_post_apply);
-  if (!post_hooks.ok()) {
-    // The splice already happened; surface the hook failure but keep the
-    // update registered so it can be undone.
-    applied_.push_back(std::move(update));
-    return post_hooks.WithContext("post_apply");
-  }
-  if (!options.keep_helper) {
-    (void)machine_->UnloadModule(update.helper);
-    update.helper = kvm::ModuleHandle{};
-  }
-
-  for (const AppliedFunction& fn : update.functions) {
-    SpliceRecord record;
-    record.unit = fn.unit;
-    record.symbol = fn.symbol;
-    record.orig_address = fn.orig_address;
-    record.repl_address = fn.repl_address;
-    record.code_size = fn.code_size;
-    record.repl_size = fn.repl_size;
-    record.trampoline_bytes = static_cast<uint32_t>(fn.saved_bytes.size());
-    report.trampoline_bytes += record.trampoline_bytes;
-    report.functions.push_back(std::move(record));
-  }
-
-  static ks::Counter& applies = ks::Metrics().GetCounter("ksplice.applies");
-  static ks::Counter& retries =
-      ks::Metrics().GetCounter("ksplice.quiescence_retries");
-  static ks::Counter& tramp_bytes =
-      ks::Metrics().GetCounter("ksplice.trampoline_bytes");
-  static ks::Counter& arena_bytes =
-      ks::Metrics().GetCounter("ksplice.helper_bytes");
-  static ks::Histogram& pause =
-      ks::Metrics().GetHistogram("ksplice.stop_pause_ns");
-  applies.Add(1);
-  retries.Add(static_cast<uint64_t>(report.quiescence_retries));
-  tramp_bytes.Add(report.trampoline_bytes);
-  arena_bytes.Add(report.helper_bytes);
-  pause.Observe(report.pause_ns);
-  span.Annotate("functions",
-                static_cast<uint64_t>(update.functions.size()));
-  span.Annotate("attempts", static_cast<uint64_t>(report.attempts));
-  span.AddTicks(report.retry_ticks);
-
-  applied_.push_back(std::move(update));
-  KS_LOG(kInfo) << "applied " << package.id << " ("
-                << applied_.back().functions.size() << " functions)";
-  return report;
-}
-
-ks::Result<UndoReport> KspliceCore::Undo(const std::string& id,
-                                         const ApplyOptions& options) {
-  ks::TraceSpan span("ksplice.undo");
-  span.Annotate("id", id);
-  UndoReport report;
-  report.id = id;
-
-  if (applied_.empty() || applied_.back().id != id) {
-    return ks::FailedPrecondition(ks::StrPrintf(
-        "update %s is not the most recently applied update", id.c_str()));
-  }
-  AppliedUpdate& update = applied_.back();
-
-  KS_RETURN_IF_ERROR(RunHooks(update.hooks_pre_reverse));
-
-  // No thread may be executing (or returning into) the replacement code we
-  // are about to disconnect and unload.
-  std::vector<std::pair<uint32_t, uint32_t>> ranges;
-  for (const AppliedFunction& fn : update.functions) {
-    ranges.emplace_back(fn.repl_address, fn.repl_address + fn.repl_size);
-  }
-
-  bool reversed = false;
-  for (int attempt = 0; attempt < options.max_attempts && !reversed;
-       ++attempt) {
-    report.attempts = attempt + 1;
-    uint64_t stop_begin = NowNs();
-    ks::Status stopped = machine_->StopMachine([&](kvm::Machine& m) {
-      if (AnyThreadIn(ranges)) {
-        return ks::FailedPrecondition("replacement code is in use");
-      }
-      KS_RETURN_IF_ERROR(RunHooks(update.hooks_reverse));
-      for (const AppliedFunction& fn : update.functions) {
-        KS_RETURN_IF_ERROR(m.WriteBytes(fn.orig_address, fn.saved_bytes));
-      }
-      return ks::OkStatus();
-    });
-    if (stopped.ok()) {
-      report.pause_ns = NowNs() - stop_begin;
-      reversed = true;
-      break;
-    }
-    if (stopped.code() != ks::ErrorCode::kFailedPrecondition) {
-      return stopped.WithContext(ks::StrPrintf("undoing %s", id.c_str()));
-    }
-    report.retry_ticks += options.retry_advance_ticks;
-    (void)machine_->Advance(options.retry_advance_ticks);
-  }
-  if (!reversed) {
-    return ks::Aborted(ks::StrPrintf(
-        "replacement code stayed in use after %d attempts",
-        options.max_attempts));
-  }
-  report.quiescence_retries = report.attempts - 1;
-
-  KS_RETURN_IF_ERROR(RunHooks(update.hooks_post_reverse));
-
-  report.functions_restored = static_cast<uint32_t>(update.functions.size());
-  for (const AppliedFunction& fn : update.functions) {
-    report.bytes_restored += static_cast<uint32_t>(fn.saved_bytes.size());
-  }
-  ks::Result<kvm::ModuleInfo> primary_info =
-      machine_->GetModuleInfo(update.primary);
-  if (primary_info.ok()) {
-    report.primary_bytes_reclaimed = primary_info->size;
-  }
-  (void)machine_->UnloadModule(update.primary);
-  if (update.helper.valid()) {
-    report.helper_bytes_reclaimed = update.helper_bytes;
-    (void)machine_->UnloadModule(update.helper);
-  }
-  applied_.pop_back();
-
-  static ks::Counter& undos = ks::Metrics().GetCounter("ksplice.undos");
-  static ks::Counter& retries =
-      ks::Metrics().GetCounter("ksplice.quiescence_retries");
-  static ks::Histogram& pause =
-      ks::Metrics().GetHistogram("ksplice.stop_pause_ns");
-  undos.Add(1);
-  retries.Add(static_cast<uint64_t>(report.quiescence_retries));
-  pause.Observe(report.pause_ns);
-  span.Annotate("functions",
-                static_cast<uint64_t>(report.functions_restored));
-  span.AddTicks(report.retry_ticks);
-
-  KS_LOG(kInfo) << "reversed " << id;
-  return report;
-}
-
-ks::Status KspliceCore::UnloadHelper(const std::string& id) {
-  for (AppliedUpdate& update : applied_) {
-    if (update.id == id) {
-      if (!update.helper.valid()) {
-        return ks::FailedPrecondition("helper already unloaded");
-      }
-      KS_RETURN_IF_ERROR(machine_->UnloadModule(update.helper));
-      update.helper = kvm::ModuleHandle{};
-      return ks::OkStatus();
-    }
-  }
-  return ks::NotFound(ks::StrPrintf("no applied update %s", id.c_str()));
+  return manager_.CurrentCode(unit, symbol);
 }
 
 }  // namespace ksplice

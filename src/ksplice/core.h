@@ -2,117 +2,75 @@
 // packages to a live Machine, reverses them, and tracks what is patched so
 // later updates can stack (§5.4).
 //
-// Apply pipeline (ksplice-apply):
-//   1. run-pre match every helper unit, recovering the symbol valuation
-//      and verifying the run code (§4);
-//   2. load the helper image into the module arena (memory accounting —
-//      it can be unloaded after apply, §5.1);
-//   3. link + load the primary module, resolving scoped imports through
-//      the valuation and plain imports through exported symbols;
-//   4. run ksplice_pre_apply hooks (side effects of pre_apply are NOT
-//      rolled back if a later step aborts — like the paper, setup that
-//      must be undone belongs in the reverse hooks of a revised patch);
-//   5. under stop_machine: check that no thread's pc or stack return
-//      addresses fall within any function being replaced (§5.2),
-//      retrying after a delay and abandoning after max_attempts; run
-//      ksplice_apply hooks; splice a jump at each obsolete function;
-//   6. run ksplice_post_apply hooks, optionally unload the helper.
+// KspliceCore is a facade over the transactional engine:
 //
-// Undo restores the saved bytes under the same safety check aimed at the
-// replacement code, running the three reverse hook stages (§5.3).
+//  - UpdateManager (manager.h) owns the applied-update registry, the
+//    stacking redirect (CurrentCode), and the undo engine — including
+//    out-of-order undo of mid-stack updates via chain rewriting;
+//  - UpdateTransaction (transaction.h) stages each apply through
+//    Prepare -> Match -> Load -> PreApply -> Rendezvous -> Commit with
+//    automatic rollback of every completed stage on failure, and splices
+//    a whole batch of packages in one stop_machine rendezvous (ApplyAll).
+//
+// The options split mirrors the operations: RendezvousOptions carries the
+// stop_machine retry policy shared by apply and undo; ApplyOptions adds
+// the apply-only knobs on top.
 
 #ifndef KSPLICE_KSPLICE_CORE_H_
 #define KSPLICE_KSPLICE_CORE_H_
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "base/status.h"
+#include "ksplice/manager.h"
 #include "ksplice/package.h"
 #include "ksplice/report.h"
-#include "ksplice/runpre.h"
 #include "kvm/machine.h"
 
 namespace ksplice {
 
-struct ApplyOptions {
-  // Stack-safety retry policy (§5.2: "tries again after a short delay; if
-  // multiple such attempts are unsuccessful, Ksplice abandons the upgrade
-  // attempt").
-  int max_attempts = 10;
-  uint64_t retry_advance_ticks = 50'000;
-  // Keep the helper image loaded after a successful apply (off by default;
-  // unloading it saves memory, §5.1).
-  bool keep_helper = false;
-};
-
-// One spliced function of an applied update.
-struct AppliedFunction {
-  std::string unit;
-  std::string symbol;
-  uint32_t orig_address = 0;  // entry of the obsolete function (trampoline)
-  uint32_t code_address = 0;  // code that was matched/replaced (== orig, or
-                              // the previous replacement when stacking)
-  uint32_t code_size = 0;
-  uint32_t repl_address = 0;  // the new code in the primary module
-  uint32_t repl_size = 0;
-  std::vector<uint8_t> saved_bytes;  // original bytes under the trampoline
-};
-
-struct AppliedUpdate {
-  std::string id;
-  std::vector<AppliedFunction> functions;
-  kvm::ModuleHandle primary;
-  kvm::ModuleHandle helper;  // invalid once unloaded
-  uint32_t helper_bytes = 0;
-  std::vector<uint32_t> hooks_apply;
-  std::vector<uint32_t> hooks_pre_apply;
-  std::vector<uint32_t> hooks_post_apply;
-  std::vector<uint32_t> hooks_reverse;
-  std::vector<uint32_t> hooks_pre_reverse;
-  std::vector<uint32_t> hooks_post_reverse;
-};
-
 class KspliceCore {
  public:
-  explicit KspliceCore(kvm::Machine* machine) : machine_(machine) {}
+  explicit KspliceCore(kvm::Machine* machine) : manager_(machine) {}
 
   // Applies `package`; returns a typed account of what happened (the
-  // report's `id` doubles as the undo handle). On any failure the machine
-  // is left untouched (primary/helper modules are unloaded again).
+  // report's `id` doubles as the undo handle). On any failure every
+  // completed transaction stage is rolled back and the machine is left
+  // byte-identical to its pre-apply state.
   ks::Result<ApplyReport> Apply(const UpdatePackage& package,
                                 const ApplyOptions& options = {});
 
-  // Reverses the most recently applied update (undo is LIFO: reversing an
-  // older update while a newer one stacks on it would re-expose spliced
-  // code). `id` must name the top of the stack.
+  // Applies every package in one transaction with a single combined
+  // stop_machine rendezvous; all-or-nothing (see UpdateManager::ApplyAll).
+  ks::Result<BatchApplyReport> ApplyAll(std::span<const UpdatePackage> packages,
+                                        const ApplyOptions& options = {});
+
+  // Reverses the applied update named `id` — any update, not just the top
+  // of the stack (mid-stack removal rewrites the chains of newer updates).
   ks::Result<UndoReport> Undo(const std::string& id,
-                              const ApplyOptions& options = {});
+                              const RendezvousOptions& options = {});
 
   // Unloads the helper image of an applied update (memory reclaim, §5.1).
   ks::Status UnloadHelper(const std::string& id);
 
-  const std::vector<AppliedUpdate>& applied() const { return applied_; }
+  const std::vector<AppliedUpdate>& applied() const {
+    return manager_.applied();
+  }
 
   // Stacking redirect (§5.4): current code location for (unit, symbol).
   std::optional<std::pair<uint32_t, uint32_t>> CurrentCode(
       const std::string& unit, const std::string& symbol) const;
 
+  // Snapshot of the applied-update stack (ksplice_tool status).
+  StatusReport Status() const { return manager_.Status(); }
+
+  UpdateManager& manager() { return manager_; }
+
  private:
-  // Finds the applied function record that currently owns (unit, symbol).
-  const AppliedFunction* FindApplied(const std::string& unit,
-                                     const std::string& symbol) const;
-
-  // True if any live thread's pc or conservatively-scanned stack word
-  // falls in one of `ranges` ([begin, end) pairs).
-  bool AnyThreadIn(const std::vector<std::pair<uint32_t, uint32_t>>& ranges)
-      const;
-
-  ks::Status RunHooks(const std::vector<uint32_t>& hooks);
-
-  kvm::Machine* machine_;
-  std::vector<AppliedUpdate> applied_;
+  UpdateManager manager_;
 };
 
 }  // namespace ksplice

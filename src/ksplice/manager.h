@@ -1,0 +1,157 @@
+// UpdateManager: the applied-update registry and the undo engine.
+//
+// The manager owns the stack of applied updates (paper §5.4's "Ksplice
+// keeps track of what code is patched") and everything that reads or
+// mutates it:
+//
+//  - Apply / ApplyAll stage packages through an UpdateTransaction
+//    (transaction.h) and register the result here. ApplyAll splices every
+//    function of every package in ONE stop_machine rendezvous with a
+//    single combined quiescence check.
+//  - Undo reverses any applied update, not just the newest. Reversing a
+//    mid-stack update re-points the stacked records of newer updates at
+//    the removed update's replaced code (CurrentCode chain rewriting), so
+//    their trampolines and saved bytes stay consistent; it refuses only
+//    when a newer update's module imports resolve into the module being
+//    removed (the new-globals hazard).
+//  - CurrentCode answers the §5.4 stacking question: where does the
+//    newest version of (unit, symbol) live right now?
+//
+// KspliceCore (core.h) is a thin facade over this class.
+
+#ifndef KSPLICE_KSPLICE_MANAGER_H_
+#define KSPLICE_KSPLICE_MANAGER_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "ksplice/package.h"
+#include "ksplice/report.h"
+#include "kvm/machine.h"
+
+namespace ksplice {
+
+// Stop_machine retry policy shared by apply and undo (§5.2: "tries again
+// after a short delay; if multiple such attempts are unsuccessful, Ksplice
+// abandons the upgrade attempt").
+struct RendezvousOptions {
+  int max_attempts = 10;
+  uint64_t retry_advance_ticks = 50'000;
+};
+
+// Apply-only knobs on top of the shared rendezvous policy.
+struct ApplyOptions : RendezvousOptions {
+  // Keep the helper image loaded after a successful apply (off by default;
+  // unloading it saves memory, §5.1).
+  bool keep_helper = false;
+  // Worker threads for the run-pre match stage (1 = serial; matching is
+  // read-only on the machine, so units can be verified concurrently).
+  int jobs = 1;
+};
+
+// One spliced function of an applied update.
+struct AppliedFunction {
+  std::string unit;
+  std::string symbol;
+  uint32_t orig_address = 0;  // entry of the obsolete function (trampoline)
+  uint32_t code_address = 0;  // code that was matched/replaced (== orig, or
+                              // the previous replacement when stacking)
+  uint32_t code_size = 0;
+  uint32_t repl_address = 0;  // the new code in the primary module
+  uint32_t repl_size = 0;
+  std::vector<uint8_t> saved_bytes;  // original bytes under the trampoline
+};
+
+struct AppliedUpdate {
+  std::string id;
+  std::vector<AppliedFunction> functions;
+  kvm::ModuleHandle primary;
+  kvm::ModuleHandle helper;  // invalid once unloaded
+  uint32_t helper_bytes = 0;
+  uint32_t primary_base = 0;  // primary module range, for the out-of-order
+  uint32_t primary_size = 0;  // undo dependency check
+  HookSet hooks;
+  // External symbols the primary link resolved (name -> value). A later
+  // update whose imports land inside this update's primary module depends
+  // on it and blocks its out-of-order removal.
+  std::vector<std::pair<std::string, uint32_t>> imports;
+};
+
+class UpdateManager {
+ public:
+  explicit UpdateManager(kvm::Machine* machine) : machine_(machine) {}
+
+  // Applies `package` through a single-package transaction; returns a
+  // typed account of what happened (the report's `id` doubles as the undo
+  // handle). On any failure every completed stage is rolled back and the
+  // machine is left byte-identical to its pre-apply state.
+  ks::Result<ApplyReport> Apply(const UpdatePackage& package,
+                                const ApplyOptions& options = {});
+
+  // Applies every package in one transaction: all packages are matched and
+  // loaded up front, then every function of every package is spliced in a
+  // single stop_machine rendezvous with one combined quiescence check. If
+  // any package fails any stage, the whole batch rolls back. Packages in
+  // one batch must be independent (no two may target the same function);
+  // stacked updates apply in separate calls.
+  ks::Result<BatchApplyReport> ApplyAll(std::span<const UpdatePackage> packages,
+                                        const ApplyOptions& options = {});
+
+  // Reverses the applied update named `id` — any update, not just the top
+  // of the stack. Mid-stack removal rewrites the affected chains of newer
+  // updates; it fails (kFailedPrecondition) if a newer update's imports
+  // resolve into the module being removed.
+  ks::Result<UndoReport> Undo(const std::string& id,
+                              const RendezvousOptions& options = {});
+
+  // Unloads the helper image of an applied update (memory reclaim, §5.1).
+  ks::Status UnloadHelper(const std::string& id);
+
+  const std::vector<AppliedUpdate>& applied() const { return applied_; }
+
+  // Stacking redirect (§5.4): current code location for (unit, symbol).
+  std::optional<std::pair<uint32_t, uint32_t>> CurrentCode(
+      const std::string& unit, const std::string& symbol) const;
+
+  // Snapshot of the applied-update stack for `ksplice_tool status`.
+  StatusReport Status() const;
+
+  kvm::Machine* machine() const { return machine_; }
+
+ private:
+  friend class UpdateTransaction;
+
+  // Finds the applied function record that currently owns (unit, symbol).
+  const AppliedFunction* FindApplied(const std::string& unit,
+                                     const std::string& symbol) const;
+
+  // True if any live thread's pc or conservatively-scanned stack word
+  // falls in one of `ranges` ([begin, end) pairs).
+  bool AnyThreadIn(const std::vector<std::pair<uint32_t, uint32_t>>& ranges)
+      const;
+
+  ks::Status RunHooks(const std::vector<uint32_t>& hooks);
+  // Runs every hook, ignoring failures (rollback compensation must make as
+  // much progress as it can).
+  void RunHooksBestEffort(const std::vector<uint32_t>& hooks);
+
+  // Registers a committed update (called by UpdateTransaction).
+  void Register(AppliedUpdate update) {
+    applied_.push_back(std::move(update));
+  }
+
+  // Fresh module-group tag for one transaction's loads.
+  std::string NextTransactionGroup();
+
+  kvm::Machine* machine_;
+  std::vector<AppliedUpdate> applied_;
+  uint64_t next_txn_ = 0;
+};
+
+}  // namespace ksplice
+
+#endif  // KSPLICE_KSPLICE_MANAGER_H_

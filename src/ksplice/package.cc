@@ -5,6 +5,18 @@
 
 namespace ksplice {
 
+const std::array<HookStageBinding, 6>& HookStageBindings() {
+  static const std::array<HookStageBinding, 6> kBindings = {{
+      {"pre_apply", ".ksplice.pre_apply", &HookSet::pre_apply},
+      {"apply", ".ksplice.apply", &HookSet::apply},
+      {"post_apply", ".ksplice.post_apply", &HookSet::post_apply},
+      {"pre_reverse", ".ksplice.pre_reverse", &HookSet::pre_reverse},
+      {"reverse", ".ksplice.reverse", &HookSet::reverse},
+      {"post_reverse", ".ksplice.post_reverse", &HookSet::post_reverse},
+  }};
+  return kBindings;
+}
+
 namespace {
 
 constexpr uint32_t kMagic = 0x4b535055;  // "KSPU"

@@ -17,6 +17,7 @@
 #ifndef KSPLICE_KSPLICE_PACKAGE_H_
 #define KSPLICE_KSPLICE_PACKAGE_H_
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,36 @@ struct Target {
   std::string symbol;
   std::string section;  // post section name, e.g. ".text.foo"
 };
+
+// The six ksplice hook stages (§5.3) as one struct. A package's primary
+// module declares hooks in note sections (".ksplice.pre_apply" etc.); the
+// apply engine reads them into a HookSet and runs each stage at the right
+// point of the transaction. Layout mirrors the lifecycle: the *_apply
+// stages run around the splice, the *_reverse stages around the undo.
+struct HookSet {
+  std::vector<uint32_t> pre_apply;    // machine running, before rendezvous
+  std::vector<uint32_t> apply;        // inside stop_machine, before splice
+  std::vector<uint32_t> post_apply;   // machine running, after splice
+  std::vector<uint32_t> pre_reverse;  // machine running, before undo
+  std::vector<uint32_t> reverse;      // inside stop_machine, before restore
+  std::vector<uint32_t> post_reverse; // machine running, after restore
+
+  size_t TotalCount() const {
+    return pre_apply.size() + apply.size() + post_apply.size() +
+           pre_reverse.size() + reverse.size() + post_reverse.size();
+  }
+};
+
+// One hook stage's name and the note section it is declared in, bound to
+// the HookSet member that stores it. HookStageBindings() is the single
+// source of truth for the stage/section naming shared by the package
+// layer and the apply engine.
+struct HookStageBinding {
+  const char* stage;    // "pre_apply"
+  const char* section;  // ".ksplice.pre_apply"
+  std::vector<uint32_t> HookSet::*table;
+};
+const std::array<HookStageBinding, 6>& HookStageBindings();
 
 struct UpdatePackage {
   std::string id;  // e.g. "ksplice-8c4o6u"

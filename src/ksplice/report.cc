@@ -158,6 +158,23 @@ std::string SpliceRecord::ToJson() const {
       repl_address, code_size, repl_size, trampoline_bytes);
 }
 
+std::string StageTiming::ToJson() const {
+  return ks::StrPrintf("{\"stage\":\"%s\",\"wall_ns\":%llu}",
+                       Escaped(stage).c_str(), U(wall_ns));
+}
+
+namespace {
+
+std::string StagesJson(const std::vector<StageTiming>& stages) {
+  std::vector<std::string> rows;
+  for (const StageTiming& stage : stages) {
+    rows.push_back(stage.ToJson());
+  }
+  return JoinJson(rows);
+}
+
+}  // namespace
+
 std::string ApplyReport::ToJson() const {
   std::vector<std::string> fn_rows;
   for (const SpliceRecord& fn : functions) {
@@ -167,11 +184,25 @@ std::string ApplyReport::ToJson() const {
       "{\"id\":\"%s\",\"functions\":%s,\"match\":%s,\"attempts\":%d,"
       "\"quiescence_retries\":%d,\"pause_ns\":%llu,\"retry_ticks\":%llu,"
       "\"helper_bytes\":%llu,\"primary_bytes\":%u,\"trampoline_bytes\":%u,"
-      "\"helper_retained\":%s}",
+      "\"helper_retained\":%s,\"stages\":%s}",
       Escaped(id).c_str(), JoinJson(fn_rows).c_str(),
       match.ToJson().c_str(), attempts, quiescence_retries, U(pause_ns),
       U(retry_ticks), U(helper_bytes), primary_bytes, trampoline_bytes,
-      helper_retained ? "true" : "false");
+      helper_retained ? "true" : "false", StagesJson(stages).c_str());
+}
+
+std::string BatchApplyReport::ToJson() const {
+  std::vector<std::string> rows;
+  for (const ApplyReport& update : updates) {
+    rows.push_back(update.ToJson());
+  }
+  return ks::StrPrintf(
+      "{\"packages\":%u,\"updates\":%s,\"attempts\":%d,"
+      "\"quiescence_retries\":%d,\"pause_ns\":%llu,\"retry_ticks\":%llu,"
+      "\"functions_spliced\":%u,\"stages\":%s}",
+      packages, JoinJson(rows).c_str(), attempts, quiescence_retries,
+      U(pause_ns), U(retry_ticks), functions_spliced,
+      StagesJson(stages).c_str());
 }
 
 std::string UndoReport::ToJson() const {
@@ -179,10 +210,35 @@ std::string UndoReport::ToJson() const {
       "{\"id\":\"%s\",\"functions_restored\":%u,\"attempts\":%d,"
       "\"quiescence_retries\":%d,\"pause_ns\":%llu,\"retry_ticks\":%llu,"
       "\"bytes_restored\":%u,\"primary_bytes_reclaimed\":%u,"
-      "\"helper_bytes_reclaimed\":%u}",
+      "\"helper_bytes_reclaimed\":%u,\"out_of_order\":%s,"
+      "\"chains_rewritten\":%u}",
       Escaped(id).c_str(), functions_restored, attempts,
       quiescence_retries, U(pause_ns), U(retry_ticks), bytes_restored,
-      primary_bytes_reclaimed, helper_bytes_reclaimed);
+      primary_bytes_reclaimed, helper_bytes_reclaimed,
+      out_of_order ? "true" : "false", chains_rewritten);
+}
+
+std::string UpdateStatusRow::ToJson() const {
+  std::vector<std::string> symbol_rows;
+  for (const std::string& symbol : symbols) {
+    symbol_rows.push_back(ks::StrPrintf("\"%s\"", Escaped(symbol).c_str()));
+  }
+  return ks::StrPrintf(
+      "{\"id\":\"%s\",\"functions\":%u,\"helper_loaded\":%s,"
+      "\"helper_bytes\":%u,\"primary_bytes\":%u,\"trampoline_bytes\":%u,"
+      "\"symbols\":%s}",
+      Escaped(id).c_str(), functions, helper_loaded ? "true" : "false",
+      helper_bytes, primary_bytes, trampoline_bytes,
+      JoinJson(symbol_rows).c_str());
+}
+
+std::string StatusReport::ToJson() const {
+  std::vector<std::string> rows;
+  for (const UpdateStatusRow& row : updates) {
+    rows.push_back(row.ToJson());
+  }
+  return ks::StrPrintf("{\"updates\":%s,\"arena_bytes_in_use\":%u}",
+                       JoinJson(rows).c_str(), arena_bytes_in_use);
 }
 
 }  // namespace ksplice

@@ -164,6 +164,15 @@ struct SpliceRecord {
   std::string ToJson() const;
 };
 
+// Wall time one transaction stage took (Prepare, Match, Load, PreApply,
+// Rendezvous, Commit — see ksplice/transaction.h).
+struct StageTiming {
+  std::string stage;
+  uint64_t wall_ns = 0;
+
+  std::string ToJson() const;
+};
+
 // What KspliceCore::Apply did. `id` doubles as the undo handle.
 struct ApplyReport {
   std::string id;
@@ -177,6 +186,26 @@ struct ApplyReport {
   uint32_t primary_bytes = 0;    // primary module arena bytes
   uint32_t trampoline_bytes = 0; // total bytes spliced over
   bool helper_retained = false;  // ApplyOptions::keep_helper
+  // Per-stage wall times of the transaction that applied this update. In a
+  // batch the stages are shared, so every member report carries the same
+  // timings.
+  std::vector<StageTiming> stages;
+
+  std::string ToJson() const;
+};
+
+// What UpdateManager::ApplyAll did: one transaction over N packages with a
+// single shared rendezvous. The attempts/pause numbers are properties of
+// the batch, not of any one update.
+struct BatchApplyReport {
+  uint32_t packages = 0;          // updates applied (== updates.size())
+  std::vector<ApplyReport> updates;
+  int attempts = 0;               // shared stop_machine attempts
+  int quiescence_retries = 0;
+  uint64_t pause_ns = 0;          // the one combined stop window
+  uint64_t retry_ticks = 0;
+  uint32_t functions_spliced = 0; // across all packages
+  std::vector<StageTiming> stages;
 
   std::string ToJson() const;
 };
@@ -192,6 +221,31 @@ struct UndoReport {
   uint32_t bytes_restored = 0;            // trampoline bytes put back
   uint32_t primary_bytes_reclaimed = 0;   // module arena bytes freed
   uint32_t helper_bytes_reclaimed = 0;    // 0 when already unloaded
+  bool out_of_order = false;              // reversed from mid-stack (§5.4)
+  // Newer updates whose stacked records were re-pointed at this update's
+  // replaced code when it left the stack (0 for LIFO undo).
+  uint32_t chains_rewritten = 0;
+
+  std::string ToJson() const;
+};
+
+// One row of the applied-update stack (`ksplice_tool status`).
+struct UpdateStatusRow {
+  std::string id;
+  uint32_t functions = 0;
+  bool helper_loaded = false;     // helper image still resident
+  uint32_t helper_bytes = 0;      // arena bytes while resident
+  uint32_t primary_bytes = 0;
+  uint32_t trampoline_bytes = 0;
+  std::vector<std::string> symbols;  // "unit:symbol" per spliced function
+
+  std::string ToJson() const;
+};
+
+// The applied-update stack plus arena accounting.
+struct StatusReport {
+  std::vector<UpdateStatusRow> updates;
+  uint32_t arena_bytes_in_use = 0;  // whole module arena
 
   std::string ToJson() const;
 };

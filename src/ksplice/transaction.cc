@@ -1,0 +1,586 @@
+#include "ksplice/transaction.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <set>
+#include <utility>
+
+#include "base/logging.h"
+#include "base/metrics.h"
+#include "base/strings.h"
+#include "base/threadpool.h"
+#include "base/trace.h"
+#include "kvx/isa.h"
+
+namespace ksplice {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Builds the 5-byte trampoline: jmp32 from `from` to `to` (§2: "placing a
+// jump instruction ... at the start of the obsolete function").
+std::vector<uint8_t> MakeTrampoline(uint32_t from, uint32_t to) {
+  kvx::Insn jmp;
+  jmp.op = kvx::Op::kJmp32;
+  jmp.rel = static_cast<int32_t>(to - (from + kvx::kTrampolineSize));
+  return kvx::Encode(jmp);
+}
+
+// Reads a table of function pointers out of a module's note sections named
+// `section_name` (the ksplice_apply/... hook tables, §5.3).
+ks::Result<std::vector<uint32_t>> ReadHookTable(
+    const kvm::Machine& machine,
+    const std::vector<kelf::PlacedSection>& placements,
+    const std::string& section_name) {
+  std::vector<uint32_t> hooks;
+  for (const kelf::PlacedSection& placement : placements) {
+    if (placement.name != section_name) {
+      continue;
+    }
+    for (uint32_t off = 0; off + 4 <= placement.size; off += 4) {
+      KS_ASSIGN_OR_RETURN(uint32_t fn,
+                          machine.ReadWord(placement.address + off));
+      hooks.push_back(fn);
+    }
+  }
+  return hooks;
+}
+
+}  // namespace
+
+const char* TxnStageName(TxnStage stage) {
+  switch (stage) {
+    case TxnStage::kPrepare:
+      return "prepare";
+    case TxnStage::kMatch:
+      return "match";
+    case TxnStage::kLoad:
+      return "load";
+    case TxnStage::kPreApply:
+      return "pre_apply";
+    case TxnStage::kRendezvous:
+      return "rendezvous";
+    case TxnStage::kCommit:
+      return "commit";
+  }
+  return "?";
+}
+
+namespace {
+
+// Static span names (TraceSpan keeps a const char*).
+const char* TxnSpanName(TxnStage stage) {
+  switch (stage) {
+    case TxnStage::kPrepare:
+      return "ksplice.txn.prepare";
+    case TxnStage::kMatch:
+      return "ksplice.txn.match";
+    case TxnStage::kLoad:
+      return "ksplice.txn.load";
+    case TxnStage::kPreApply:
+      return "ksplice.txn.pre_apply";
+    case TxnStage::kRendezvous:
+      return "ksplice.txn.rendezvous";
+    case TxnStage::kCommit:
+      return "ksplice.txn.commit";
+  }
+  return "ksplice.txn.unknown";
+}
+
+}  // namespace
+
+UpdateTransaction::UpdateTransaction(UpdateManager* manager,
+                                     const ApplyOptions& options)
+    : manager_(manager), machine_(manager->machine()), options_(options) {}
+
+ks::Status UpdateTransaction::RunStage(TxnStage stage,
+                                       const std::function<ks::Status()>& fn) {
+  ks::TraceSpan span(TxnSpanName(stage));
+  uint64_t begin = NowNs();
+  ks::Status status = fn();
+  StageTiming timing;
+  timing.stage = TxnStageName(stage);
+  timing.wall_ns = NowNs() - begin;
+  ks::Metrics()
+      .GetHistogram(std::string("ksplice.txn.") + timing.stage + "_ns")
+      .Observe(timing.wall_ns);
+  batch_.stages.push_back(std::move(timing));
+  return status;
+}
+
+ks::Status UpdateTransaction::Prepare(
+    std::span<const UpdatePackage> packages) {
+  if (packages.empty()) {
+    return ks::InvalidArgument("no packages to apply");
+  }
+  std::set<std::string> ids;
+  std::map<std::pair<std::string, std::string>, std::string> targets;
+  for (const UpdatePackage& package : packages) {
+    for (const AppliedUpdate& existing : manager_->applied()) {
+      if (existing.id == package.id) {
+        return ks::AlreadyExists(ks::StrPrintf(
+            "update %s is already applied", package.id.c_str()));
+      }
+    }
+    if (!ids.insert(package.id).second) {
+      return ks::InvalidArgument(ks::StrPrintf(
+          "package %s appears twice in the batch", package.id.c_str()));
+    }
+    // Packages inside one batch must be independent: two packages that
+    // patch the same function would have to stack, and stacking requires
+    // the earlier one to be committed before the later one matches.
+    for (const Target& target : package.targets) {
+      auto [it, inserted] = targets.emplace(
+          std::make_pair(target.unit, target.symbol), package.id);
+      if (!inserted) {
+        return ks::InvalidArgument(ks::StrPrintf(
+            "packages %s and %s both target %s:%s (stacked updates must "
+            "apply in separate transactions)",
+            it->second.c_str(), package.id.c_str(), target.unit.c_str(),
+            target.symbol.c_str()));
+      }
+    }
+    Staged staged;
+    staged.package = &package;
+    staged.update.id = package.id;
+    staged.report.id = package.id;
+    staged.report.helper_retained = options_.keep_helper;
+    staged_.push_back(std::move(staged));
+  }
+  return ks::OkStatus();
+}
+
+ks::Status UpdateTransaction::Match() {
+  // Every (package, helper unit) pair is independent: all packages match
+  // against the committed registry (batches are disjoint by Prepare), and
+  // MatchUnit only reads the machine. Fan the pairs out across the match
+  // pool, then merge stats and pick the first failure in input order so
+  // the outcome is identical at any worker count.
+  struct Task {
+    Staged* staged;
+    const kelf::ObjectFile* helper;
+  };
+  std::vector<Task> tasks;
+  for (Staged& staged : staged_) {
+    for (const kelf::ObjectFile& helper : staged.package->helper_objects) {
+      tasks.push_back(Task{&staged, &helper});
+    }
+  }
+  RunPreMatcher matcher(
+      *machine_,
+      [this](const std::string& unit, const std::string& symbol) {
+        return manager_->CurrentCode(unit, symbol);
+      });
+  std::vector<MatchStats> stats(tasks.size());
+  std::vector<ks::Result<UnitMatch>> results(
+      tasks.size(), ks::Result<UnitMatch>(ks::Internal("not matched")));
+  ks::ParallelFor(options_.jobs, tasks.size(), [&](size_t i) {
+    results[i] = matcher.MatchUnit(*tasks[i].helper, &stats[i]);
+  });
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    tasks[i].staged->report.match.MergeFrom(stats[i]);
+    if (!results[i].ok()) {
+      return ks::Status(results[i].status())
+          .WithContext(ks::StrPrintf(
+              "applying %s", tasks[i].staged->package->id.c_str()));
+    }
+  }
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    tasks[i].staged->matches.emplace(tasks[i].helper->source_name(),
+                                     std::move(results[i]).value());
+  }
+  return ks::OkStatus();
+}
+
+ks::Status UpdateTransaction::Load() {
+  // Sequential, in package order: the module arena layout (and therefore
+  // every splice address) must not depend on load interleaving.
+  for (Staged& staged : staged_) {
+    const UpdatePackage& package = *staged.package;
+    auto fail = [&package](ks::Status status) {
+      return status.WithContext(
+          ks::StrPrintf("applying %s", package.id.c_str()));
+    };
+
+    // Helper image (memory accounting; unloadable afterwards, §5.1).
+    uint32_t helper_bytes = 0;
+    for (const kelf::ObjectFile& helper : package.helper_objects) {
+      helper_bytes += static_cast<uint32_t>(helper.Serialize().size());
+    }
+    ks::Result<kvm::ModuleHandle> helper_handle =
+        machine_->LoadBlob(package.id + "-helper", helper_bytes, group_);
+    if (!helper_handle.ok()) {
+      return fail(helper_handle.status());
+    }
+    staged.update.helper = *helper_handle;
+    staged.update.helper_bytes = helper_bytes;
+    staged.report.helper_bytes = helper_bytes;
+
+    // Primary module: scoped imports ("unit::name") resolve via the
+    // valuation; plain imports via exported symbols (kvm) or, failing
+    // that, via recovered values (globals of a patched unit are also in
+    // the valuation and must agree with kallsyms — run-pre checked that).
+    const auto& matches = staged.matches;
+    auto resolver = [&matches](
+                        const std::string& name) -> std::optional<uint32_t> {
+      ScopedSymbol scoped = SplitScopedName(name);
+      if (!scoped.unit.empty()) {
+        auto unit_it = matches.find(scoped.unit);
+        if (unit_it == matches.end()) {
+          return std::nullopt;
+        }
+        auto sym_it = unit_it->second.symbol_values.find(scoped.symbol);
+        if (sym_it == unit_it->second.symbol_values.end()) {
+          return std::nullopt;
+        }
+        return sym_it->second;
+      }
+      for (const auto& [unit, match] : matches) {
+        auto sym_it = match.symbol_values.find(name);
+        if (sym_it != match.symbol_values.end()) {
+          return sym_it->second;
+        }
+      }
+      return std::nullopt;
+    };
+    ks::Result<kvm::ModuleHandle> primary_handle = machine_->LoadModule(
+        package.primary_objects, package.id + "-primary", resolver, group_);
+    if (!primary_handle.ok()) {
+      return ks::Status(primary_handle.status())
+          .WithContext("loading primary module");
+    }
+    staged.update.primary = *primary_handle;
+
+    ks::Result<kvm::ModuleInfo> primary_info =
+        machine_->GetModuleInfo(*primary_handle);
+    if (!primary_info.ok()) {
+      return fail(primary_info.status());
+    }
+    staged.update.primary_base = primary_info->base;
+    staged.update.primary_size = primary_info->size;
+    staged.report.primary_bytes = primary_info->size;
+
+    // The import bindings the link chose, for the out-of-order undo
+    // dependency check (manager.h).
+    ks::Result<std::vector<std::pair<std::string, uint32_t>>> imports =
+        machine_->ModuleImports(*primary_handle);
+    if (!imports.ok()) {
+      return fail(imports.status());
+    }
+    staged.update.imports = std::move(imports).value();
+
+    // Target placements: where is each obsolete function, and where is its
+    // replacement inside the primary module?
+    for (const Target& target : package.targets) {
+      auto match_it = staged.matches.find(target.unit);
+      if (match_it == staged.matches.end()) {
+        return fail(ks::Internal(
+            ks::StrPrintf("no unit match for %s", target.unit.c_str())));
+      }
+      auto section_it = match_it->second.sections.find(target.section);
+      if (section_it == match_it->second.sections.end()) {
+        return fail(ks::Internal(ks::StrPrintf(
+            "target section %s was not matched", target.section.c_str())));
+      }
+      const MatchedSection& matched = section_it->second;
+
+      AppliedFunction fn;
+      fn.unit = target.unit;
+      fn.symbol = target.symbol;
+      fn.code_address = matched.run_address;
+      fn.code_size = matched.run_size;
+      const AppliedFunction* previous =
+          manager_->FindApplied(target.unit, target.symbol);
+      fn.orig_address =
+          previous != nullptr ? previous->orig_address : matched.run_address;
+
+      // The replacement: the primary module's copy of the symbol,
+      // identified by name + unit + module address range.
+      bool found = false;
+      for (const kelf::LinkedSymbol& sym :
+           machine_->SymbolsNamed(target.symbol)) {
+        if (sym.unit == target.unit && sym.address >= primary_info->base &&
+            sym.address < primary_info->base + primary_info->size) {
+          fn.repl_address = sym.address;
+          fn.repl_size = sym.size;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return fail(ks::Internal(ks::StrPrintf(
+            "replacement symbol %s missing from primary module",
+            target.symbol.c_str())));
+      }
+      if (fn.code_size < kvx::kTrampolineSize) {
+        return fail(ks::FailedPrecondition(ks::StrPrintf(
+            "function %s is too small (%u bytes) for a trampoline",
+            target.symbol.c_str(), fn.code_size)));
+      }
+      staged.update.functions.push_back(std::move(fn));
+    }
+
+    // Hook tables from the primary module's note sections, through the
+    // shared stage/section binding table (package.h).
+    ks::Result<std::vector<kelf::PlacedSection>> placements =
+        machine_->ModulePlacements(*primary_handle);
+    if (!placements.ok()) {
+      return fail(placements.status());
+    }
+    for (const HookStageBinding& binding : HookStageBindings()) {
+      ks::Result<std::vector<uint32_t>> table =
+          ReadHookTable(*machine_, *placements, binding.section);
+      if (!table.ok()) {
+        return fail(table.status());
+      }
+      staged.update.hooks.*binding.table = std::move(table).value();
+    }
+  }
+  return ks::OkStatus();
+}
+
+ks::Status UpdateTransaction::PreApply() {
+  for (Staged& staged : staged_) {
+    // Mark before running: if a hook fails partway through, the hooks that
+    // did run are compensated by this package's post_reverse stage during
+    // rollback.
+    staged.pre_applied = true;
+    ks::Status hooks = manager_->RunHooks(staged.update.hooks.pre_apply);
+    if (!hooks.ok()) {
+      return hooks.WithContext(
+          ks::StrPrintf("applying %s", staged.package->id.c_str()));
+    }
+  }
+  return ks::OkStatus();
+}
+
+ks::Status UpdateTransaction::Rendezvous() {
+  // One combined quiescence check over every function of every package
+  // (§5.2): no thread's pc or conservatively-scanned stack word may fall
+  // in any code being replaced.
+  std::vector<std::pair<uint32_t, uint32_t>> ranges;
+  for (const Staged& staged : staged_) {
+    for (const AppliedFunction& fn : staged.update.functions) {
+      ranges.emplace_back(fn.code_address, fn.code_address + fn.code_size);
+    }
+  }
+
+  bool applied = false;
+  ks::Status last_error = ks::OkStatus();
+  for (int attempt = 0; attempt < options_.max_attempts && !applied;
+       ++attempt) {
+    batch_.attempts = attempt + 1;
+    uint64_t stop_begin = NowNs();
+    ks::Status stopped = machine_->StopMachine([&](kvm::Machine& m) {
+      if (manager_->AnyThreadIn(ranges)) {
+        return ks::FailedPrecondition("a patched function is in use");
+      }
+      // Package order: each package's apply hooks, then its splices. If
+      // anything fails, put every written trampoline back and run the
+      // reverse hooks of the packages whose apply hooks already ran —
+      // all inside this same stop window, so no thread ever observes the
+      // partial state.
+      std::vector<std::pair<uint32_t, std::vector<uint8_t>>> written;
+      size_t hooked = 0;
+      auto unwind = [&]() {
+        for (auto it = written.rbegin(); it != written.rend(); ++it) {
+          (void)m.WriteBytes(it->first, it->second);
+        }
+        for (size_t i = hooked; i-- > 0;) {
+          manager_->RunHooksBestEffort(staged_[i].update.hooks.reverse);
+        }
+      };
+      for (Staged& staged : staged_) {
+        ks::Status hooks = manager_->RunHooks(staged.update.hooks.apply);
+        if (!hooks.ok()) {
+          unwind();
+          return hooks;
+        }
+        ++hooked;
+        for (AppliedFunction& fn : staged.update.functions) {
+          ks::Result<std::vector<uint8_t>> saved =
+              m.ReadBytes(fn.orig_address, kvx::kTrampolineSize);
+          if (!saved.ok()) {
+            unwind();
+            return saved.status();
+          }
+          fn.saved_bytes = std::move(saved).value();
+          ks::Status wrote = m.WriteBytes(
+              fn.orig_address,
+              MakeTrampoline(fn.orig_address, fn.repl_address));
+          if (!wrote.ok()) {
+            unwind();
+            return wrote;
+          }
+          written.emplace_back(fn.orig_address, fn.saved_bytes);
+        }
+      }
+      return ks::OkStatus();
+    });
+    if (stopped.ok()) {
+      batch_.pause_ns = NowNs() - stop_begin;
+      applied = true;
+      break;
+    }
+    if (stopped.code() != ks::ErrorCode::kFailedPrecondition) {
+      last_error = stopped;
+      break;
+    }
+    // Busy: let the machine make progress and retry (§5.2).
+    KS_LOG(kDebug) << "apply batch busy, attempt " << attempt + 1;
+    batch_.retry_ticks += options_.retry_advance_ticks;
+    (void)machine_->Advance(options_.retry_advance_ticks);
+  }
+  auto fail = [this](ks::Status status) {
+    if (staged_.size() == 1) {
+      return status.WithContext(
+          ks::StrPrintf("applying %s", staged_[0].package->id.c_str()));
+    }
+    return status.WithContext(
+        ks::StrPrintf("applying %zu packages", staged_.size()));
+  };
+  if (!last_error.ok()) {
+    return fail(last_error);
+  }
+  if (!applied) {
+    return fail(ks::Aborted(ks::StrPrintf(
+        "a patched function stayed in use after %d attempts",
+        options_.max_attempts)));
+  }
+  batch_.quiescence_retries = batch_.attempts - 1;
+  return ks::OkStatus();
+}
+
+ks::Status UpdateTransaction::Commit() {
+  // The splice is live: from here on, failures (post_apply hooks) surface
+  // as errors but the updates stay registered so they can be undone — the
+  // trampolines are not unwound for a cleanup-stage error.
+  ks::Status first_error = ks::OkStatus();
+  for (Staged& staged : staged_) {
+    if (first_error.ok()) {
+      ks::Status hooks = manager_->RunHooks(staged.update.hooks.post_apply);
+      if (!hooks.ok()) {
+        first_error = hooks.WithContext("post_apply");
+      }
+    }
+    if (first_error.ok() && !options_.keep_helper) {
+      (void)machine_->UnloadModule(staged.update.helper);
+      staged.update.helper = kvm::ModuleHandle{};
+    }
+
+    ApplyReport& report = staged.report;
+    report.attempts = batch_.attempts;
+    report.quiescence_retries = batch_.quiescence_retries;
+    report.pause_ns = batch_.pause_ns;
+    report.retry_ticks = batch_.retry_ticks;
+    for (const AppliedFunction& fn : staged.update.functions) {
+      SpliceRecord record;
+      record.unit = fn.unit;
+      record.symbol = fn.symbol;
+      record.orig_address = fn.orig_address;
+      record.repl_address = fn.repl_address;
+      record.code_size = fn.code_size;
+      record.repl_size = fn.repl_size;
+      record.trampoline_bytes = static_cast<uint32_t>(fn.saved_bytes.size());
+      report.trampoline_bytes += record.trampoline_bytes;
+      report.functions.push_back(std::move(record));
+    }
+    batch_.functions_spliced +=
+        static_cast<uint32_t>(staged.update.functions.size());
+
+    static ks::Counter& applies =
+        ks::Metrics().GetCounter("ksplice.applies");
+    static ks::Counter& tramp_bytes =
+        ks::Metrics().GetCounter("ksplice.trampoline_bytes");
+    static ks::Counter& arena_bytes =
+        ks::Metrics().GetCounter("ksplice.helper_bytes");
+    applies.Add(1);
+    tramp_bytes.Add(report.trampoline_bytes);
+    arena_bytes.Add(report.helper_bytes);
+
+    size_t function_count = staged.update.functions.size();
+    manager_->Register(std::move(staged.update));
+    KS_LOG(kInfo) << "applied " << staged.package->id << " ("
+                  << function_count << " functions)";
+  }
+  static ks::Counter& retries =
+      ks::Metrics().GetCounter("ksplice.quiescence_retries");
+  static ks::Histogram& pause =
+      ks::Metrics().GetHistogram("ksplice.stop_pause_ns");
+  retries.Add(static_cast<uint64_t>(batch_.quiescence_retries));
+  pause.Observe(batch_.pause_ns);
+  return first_error;
+}
+
+void UpdateTransaction::Rollback(TxnStage failed) {
+  ks::TraceSpan span("ksplice.txn.rollback");
+  span.Annotate("failed_stage", TxnStageName(failed));
+  static ks::Counter& rollbacks =
+      ks::Metrics().GetCounter("ksplice.txn_rollbacks");
+  rollbacks.Add(1);
+
+  // Compensate completed (or partially completed) pre_apply stages, newest
+  // first, while the hooks' module code is still loaded: post_reverse is
+  // the stage that undoes pre_apply's setup in a reversed update, so a
+  // patch whose pre_apply has side effects pairs it with a post_reverse
+  // that clears them (§5.3).
+  for (auto it = staged_.rbegin(); it != staged_.rend(); ++it) {
+    if (it->pre_applied) {
+      manager_->RunHooksBestEffort(it->update.hooks.post_reverse);
+    }
+  }
+  // Drop every module this transaction loaded in one group unload.
+  (void)machine_->UnloadGroup(group_);
+}
+
+ks::Result<BatchApplyReport> UpdateTransaction::Run(
+    std::span<const UpdatePackage> packages) {
+  group_ = manager_->NextTransactionGroup();
+
+  ks::Status prepared = RunStage(TxnStage::kPrepare, [this, packages] {
+    return Prepare(packages);
+  });
+  if (!prepared.ok()) {
+    return prepared;
+  }
+
+  struct StageStep {
+    TxnStage stage;
+    ks::Status (UpdateTransaction::*fn)();
+  };
+  const StageStep steps[] = {
+      {TxnStage::kMatch, &UpdateTransaction::Match},
+      {TxnStage::kLoad, &UpdateTransaction::Load},
+      {TxnStage::kPreApply, &UpdateTransaction::PreApply},
+      {TxnStage::kRendezvous, &UpdateTransaction::Rendezvous},
+  };
+  for (const StageStep& step : steps) {
+    ks::Status status =
+        RunStage(step.stage, [this, &step] { return (this->*step.fn)(); });
+    if (!status.ok()) {
+      Rollback(step.stage);
+      return status;
+    }
+  }
+
+  // No rollback past this point: the splice is committed even if a
+  // post_apply hook complains (the updates are registered for undo).
+  KS_RETURN_IF_ERROR(
+      RunStage(TxnStage::kCommit, [this] { return Commit(); }));
+
+  batch_.packages = static_cast<uint32_t>(staged_.size());
+  for (Staged& staged : staged_) {
+    staged.report.stages = batch_.stages;
+    batch_.updates.push_back(std::move(staged.report));
+  }
+  return std::move(batch_);
+}
+
+}  // namespace ksplice

@@ -1,0 +1,103 @@
+// UpdateTransaction: the staged apply engine.
+//
+// Applying updates is a transaction over six stages:
+//
+//   Prepare    validate the batch (unique ids, disjoint targets)
+//   Match      run-pre verify every helper unit of every package (§4)
+//   Load       helper blobs + primary modules into the module arena, hook
+//              tables, target placement resolution (§5.1)
+//   PreApply   ksplice_pre_apply hooks, machine running (§5.3)
+//   Rendezvous one stop_machine over the whole batch: combined quiescence
+//              check (§5.2), apply hooks, splice every trampoline
+//   Commit     post_apply hooks, helper unload, registry insertion
+//
+// Any stage failure rolls back every completed stage, newest first:
+// written trampolines are restored inside the same stop window, completed
+// pre_apply stages are compensated by running that package's post_reverse
+// hooks (the stage that normally undoes pre_apply's setup), and all
+// modules the transaction loaded are dropped with one group unload — the
+// machine ends byte-identical to its pre-apply state. This closes the old
+// core's documented "side effects of pre_apply are NOT rolled back" gap.
+//
+// A single-package Apply is just a batch of one: same stages, same
+// rollback, one function list in the rendezvous.
+
+#ifndef KSPLICE_KSPLICE_TRANSACTION_H_
+#define KSPLICE_KSPLICE_TRANSACTION_H_
+
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "ksplice/manager.h"
+#include "ksplice/package.h"
+#include "ksplice/report.h"
+#include "ksplice/runpre.h"
+
+namespace ksplice {
+
+enum class TxnStage : uint8_t {
+  kPrepare = 0,
+  kMatch,
+  kLoad,
+  kPreApply,
+  kRendezvous,
+  kCommit,
+};
+
+const char* TxnStageName(TxnStage stage);
+
+class UpdateTransaction {
+ public:
+  UpdateTransaction(UpdateManager* manager, const ApplyOptions& options);
+
+  // Runs the transaction over `packages`. On success every package is
+  // registered with the manager and the batch report describes the shared
+  // rendezvous plus one ApplyReport per package. On failure the machine is
+  // rolled back to its pre-apply state (exception: a post_apply hook
+  // failure after the splice leaves the updates registered, matching
+  // single-apply semantics — the splice itself is not unwound for a
+  // cleanup-stage error).
+  ks::Result<BatchApplyReport> Run(std::span<const UpdatePackage> packages);
+
+ private:
+  // One package's in-flight state, built up across stages.
+  struct Staged {
+    const UpdatePackage* package = nullptr;
+    std::map<std::string, UnitMatch> matches;  // unit -> run-pre valuation
+    AppliedUpdate update;
+    ApplyReport report;
+    bool pre_applied = false;  // pre_apply stage reached (hooks may have
+                               // partially run; rollback compensates)
+  };
+
+  ks::Status Prepare(std::span<const UpdatePackage> packages);
+  ks::Status Match();
+  ks::Status Load();
+  ks::Status PreApply();
+  ks::Status Rendezvous();
+  ks::Status Commit();
+
+  // Reverses every completed stage after a failure in `failed`:
+  // compensates completed pre_apply stages with post_reverse hooks, then
+  // drops all modules this transaction loaded (one group unload).
+  void Rollback(TxnStage failed);
+
+  // Runs `stage`, recording its wall time and a trace span.
+  ks::Status RunStage(TxnStage stage,
+                      const std::function<ks::Status()>& fn);
+
+  UpdateManager* manager_;
+  kvm::Machine* machine_;
+  ApplyOptions options_;
+  std::string group_;  // module-group tag for this transaction's loads
+  std::vector<Staged> staged_;
+  BatchApplyReport batch_;
+};
+
+}  // namespace ksplice
+
+#endif  // KSPLICE_KSPLICE_TRANSACTION_H_

@@ -217,7 +217,7 @@ void Machine::ArenaFree(uint32_t base) {
 
 ks::Result<ModuleHandle> Machine::LoadModule(
     const std::vector<kelf::ObjectFile>& objects, const std::string& name,
-    SymbolResolver extra_resolver) {
+    SymbolResolver extra_resolver, const std::string& group) {
   std::unique_lock<std::recursive_mutex> lock(mu_);
 
   // Reject modules that redefine exported globals.
@@ -240,17 +240,25 @@ ks::Result<ModuleHandle> Machine::LoadModule(
   for (const kelf::ObjectFile& obj : objects) {
     linker.AddObject(obj);
   }
+  // Record every external resolution so the module's import bindings can
+  // be inspected after the fact (ModuleImports). The link runs twice (once
+  // to measure, once to place); imports are base-independent, so the map
+  // simply deduplicates.
+  std::map<std::string, uint32_t> imports;
   linker.set_external_resolver(
-      [this, &extra_resolver](
+      [this, &extra_resolver, &imports](
           const std::string& symbol) -> std::optional<uint32_t> {
+        std::optional<uint32_t> value;
         ks::Result<uint32_t> addr = GlobalSymbol(symbol);
         if (addr.ok()) {
-          return *addr;
+          value = *addr;
+        } else if (extra_resolver != nullptr) {
+          value = extra_resolver(symbol);
         }
-        if (extra_resolver != nullptr) {
-          return extra_resolver(symbol);
+        if (value.has_value()) {
+          imports[symbol] = *value;
         }
-        return std::nullopt;
+        return value;
       });
 
   // First link to measure, then place.
@@ -272,10 +280,12 @@ ks::Result<ModuleHandle> Machine::LoadModule(
 
   Module module;
   module.name = name;
+  module.group = group;
   module.base = base;
   module.size = static_cast<uint32_t>(image->bytes.size());
   module.loaded = true;
   module.placements = std::move(image->placements);
+  module.imports.assign(imports.begin(), imports.end());
   module.first_symbol = kallsyms_.size();
   module.symbol_count = image->symbols.size();
   for (kelf::LinkedSymbol& sym : image->symbols) {
@@ -283,6 +293,8 @@ ks::Result<ModuleHandle> Machine::LoadModule(
     kallsyms_.push_back(std::move(sym));
   }
   modules_.push_back(std::move(module));
+  ks::Metrics().GetGauge("kvm.module_arena_bytes").Set(
+      ModuleArenaBytesInUse());
   ModuleHandle handle;
   handle.id = static_cast<int>(modules_.size()) - 1;
   return handle;
@@ -316,6 +328,8 @@ ks::Status Machine::UnloadModule(ModuleHandle handle) {
     symbol_index_.emplace(kallsyms_[i].name, i);
   }
   module.symbol_count = 0;
+  ks::Metrics().GetGauge("kvm.module_arena_bytes").Set(
+      ModuleArenaBytesInUse());
   return ks::OkStatus();
 }
 
@@ -333,18 +347,62 @@ ks::Result<ModuleInfo> Machine::GetModuleInfo(ModuleHandle handle) const {
   return info;
 }
 
+uint32_t Machine::ModuleArenaBytesForGroup(const std::string& group) const {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  uint32_t bytes = 0;
+  for (const Module& module : modules_) {
+    if (module.loaded && module.group == group) {
+      bytes += module.size;
+    }
+  }
+  return bytes;
+}
+
+ks::Result<int> Machine::UnloadGroup(const std::string& group) {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  if (group.empty()) {
+    return ks::InvalidArgument("cannot unload the ungrouped modules");
+  }
+  int unloaded = 0;
+  // Newest first: later modules of a group may resolve against earlier
+  // ones, and unloading in reverse keeps kallsyms consistent throughout.
+  for (int id = static_cast<int>(modules_.size()) - 1; id >= 0; --id) {
+    if (modules_[static_cast<size_t>(id)].loaded &&
+        modules_[static_cast<size_t>(id)].group == group) {
+      ModuleHandle handle;
+      handle.id = id;
+      KS_RETURN_IF_ERROR(UnloadModule(handle));
+      ++unloaded;
+    }
+  }
+  return unloaded;
+}
+
+ks::Result<std::vector<std::pair<std::string, uint32_t>>>
+Machine::ModuleImports(ModuleHandle handle) const {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  if (handle.id < 0 || handle.id >= static_cast<int>(modules_.size())) {
+    return ks::InvalidArgument("bad module handle");
+  }
+  return modules_[static_cast<size_t>(handle.id)].imports;
+}
+
 ks::Result<ModuleHandle> Machine::LoadBlob(const std::string& name,
-                                           uint32_t size) {
+                                           uint32_t size,
+                                           const std::string& group) {
   std::unique_lock<std::recursive_mutex> lock(mu_);
   KS_ASSIGN_OR_RETURN(uint32_t base, ArenaAlloc(size, kPageAlign));
   Module module;
   module.name = name;
+  module.group = group;
   module.base = base;
   module.size = size;
   module.loaded = true;
   module.first_symbol = kallsyms_.size();
   module.symbol_count = 0;
   modules_.push_back(std::move(module));
+  ks::Metrics().GetGauge("kvm.module_arena_bytes").Set(
+      ModuleArenaBytesInUse());
   ModuleHandle handle;
   handle.id = static_cast<int>(modules_.size()) - 1;
   return handle;

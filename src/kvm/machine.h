@@ -119,14 +119,26 @@ class Machine {
   // the exported-symbol table.
   using SymbolResolver =
       std::function<std::optional<uint32_t>(const std::string&)>;
+  // `group` tags the module so related loads (e.g. every module of one
+  // update transaction) can be accounted for and unloaded together.
   ks::Result<ModuleHandle> LoadModule(
       const std::vector<kelf::ObjectFile>& objects, const std::string& name,
-      SymbolResolver extra_resolver = nullptr);
+      SymbolResolver extra_resolver = nullptr, const std::string& group = "");
   ks::Status UnloadModule(ModuleHandle handle);
   ks::Result<ModuleInfo> GetModuleInfo(ModuleHandle handle) const;
   // Bytes currently allocated to loaded modules (memory-cost accounting;
   // helper unload should reduce this, §5.1).
   uint32_t ModuleArenaBytesInUse() const;
+  // Group bookkeeping: bytes held by loaded modules tagged `group`, and a
+  // bulk unload of all of them (transaction rollback drops every module an
+  // aborted batch loaded in one call). Returns the number unloaded.
+  uint32_t ModuleArenaBytesForGroup(const std::string& group) const;
+  ks::Result<int> UnloadGroup(const std::string& group);
+  // External symbols the module link resolved, with the address each bound
+  // to (name -> value, deduplicated). Ksplice's out-of-order undo uses this
+  // to refuse removing a module that a later module's imports point into.
+  ks::Result<std::vector<std::pair<std::string, uint32_t>>> ModuleImports(
+      ModuleHandle handle) const;
 
   // Threads ---------------------------------------------------------------
   // Spawns a kernel thread at `entry` with a single argument, giving it a
@@ -175,7 +187,8 @@ class Machine {
   // Raw arena blobs: allocation without linking, used to account for the
   // memory a loaded-but-unlinked module image occupies (the helper module,
   // §5.1). Freed with UnloadModule.
-  ks::Result<ModuleHandle> LoadBlob(const std::string& name, uint32_t size);
+  ks::Result<ModuleHandle> LoadBlob(const std::string& name, uint32_t size,
+                                    const std::string& group = "");
 
   // Section placements of a loaded module (where each input section
   // landed). Ksplice reads its .ksplice.* hook tables through this.
@@ -271,12 +284,15 @@ class Machine {
   std::multimap<std::string, size_t> symbol_index_;
   struct Module {
     std::string name;
+    std::string group;  // load-group tag ("" = ungrouped)
     uint32_t base = 0;
     uint32_t size = 0;
     bool loaded = false;
     size_t first_symbol = 0;
     size_t symbol_count = 0;
     std::vector<kelf::PlacedSection> placements;
+    // name -> value of every external import the link resolved.
+    std::vector<std::pair<std::string, uint32_t>> imports;
   };
   std::vector<Module> modules_;
   uint32_t hook_stack_top_ = 0;  // lazily allocated CallFunction stack

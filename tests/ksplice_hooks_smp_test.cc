@@ -76,10 +76,10 @@ int get_mode() {
   ASSERT_TRUE(applied.ok()) << applied.status().ToString();
   ASSERT_EQ(core.applied().size(), 1u);
   const AppliedUpdate& update = core.applied()[0];
-  EXPECT_EQ(update.hooks_pre_apply.size(), 1u);
-  EXPECT_EQ(update.hooks_apply.size(), 1u);
-  EXPECT_EQ(update.hooks_post_apply.size(), 1u);
-  EXPECT_EQ(update.hooks_reverse.size(), 1u);
+  EXPECT_EQ(update.hooks.pre_apply.size(), 1u);
+  EXPECT_EQ(update.hooks.apply.size(), 1u);
+  EXPECT_EQ(update.hooks.post_apply.size(), 1u);
+  EXPECT_EQ(update.hooks.reverse.size(), 1u);
 
   uint32_t trace_addr = *machine->GlobalSymbol("hook_trace");
   EXPECT_EQ(*machine->ReadWord(trace_addr), 123u)

@@ -468,7 +468,7 @@ TEST_F(KspliceIntegration, CustomApplyHookChangesDataAtomically) {
   ks::Result<ApplyReport> applied = core_->Apply(created->package);
   ASSERT_TRUE(applied.ok()) << applied.status().ToString();
   ASSERT_EQ(core_->applied().size(), 1u);
-  EXPECT_EQ(core_->applied()[0].hooks_apply.size(), 1u);
+  EXPECT_EQ(core_->applied()[0].hooks.apply.size(), 1u);
 
   EXPECT_EQ(Probe(*machine_, "probe_limit", 80, 206), 1u);  // 80 >= 50
   EXPECT_EQ(Probe(*machine_, "probe_limit", 30, 206), 0u);
@@ -502,7 +502,7 @@ TEST_F(KspliceIntegration, NonQuiescentFunctionAbortsThenSucceeds) {
   EXPECT_EQ(Probe(*machine_, "probe_slow", 10, 204), 8u);
 }
 
-TEST_F(KspliceIntegration, StackedUpdatesAndLifoUndo) {
+TEST_F(KspliceIntegration, StackedUpdatesAndOutOfOrderUndo) {
   // Update 1.
   std::string patch1 = EditPatch(tree_, "sys/vuln.kc",
                                  "if (requested > 100) {\n    return 1;",
@@ -532,12 +532,23 @@ TEST_F(KspliceIntegration, StackedUpdatesAndLifoUndo) {
   // probe_access uses uid 1000; exercise uid 0 via a direct thread: not
   // available — check the second change indirectly by undo semantics.
 
-  // LIFO: update-1 cannot be undone while update-2 is applied.
-  EXPECT_EQ(core_->Undo("update-1").status().code(),
-            ks::ErrorCode::kFailedPrecondition);
-  ASSERT_TRUE(core_->Undo("update-2").ok());
-  EXPECT_EQ(Probe(*machine_, "probe_access", 150, 200), 0u);  // v1 behaviour
-  ASSERT_TRUE(core_->Undo("update-1").ok());
+  // Out-of-order undo (§5.4): update-1 leaves the middle of the stack.
+  // update-2 matched update-1's replacement code, so its stacked record is
+  // re-pointed at what update-1 had replaced (chain rewriting) and its
+  // trampoline stays live.
+  ks::Result<UndoReport> undone1 = core_->Undo("update-1");
+  ASSERT_TRUE(undone1.ok()) << undone1.status().ToString();
+  EXPECT_TRUE(undone1->out_of_order);
+  EXPECT_EQ(undone1->chains_rewritten, 1u);
+  // update-2's trampoline still owns the function: it was built from the
+  // patch1-patched source, so both changes remain visible.
+  ASSERT_EQ(core_->applied().size(), 1u);
+  EXPECT_EQ(Probe(*machine_, "probe_access", 150, 200), 0u);
+  // Undoing update-2 now restores the *original* bytes (the rewritten
+  // chain carries update-1's saved bytes).
+  ks::Result<UndoReport> undone2 = core_->Undo("update-2");
+  ASSERT_TRUE(undone2.ok()) << undone2.status().ToString();
+  EXPECT_FALSE(undone2->out_of_order);
   EXPECT_EQ(Probe(*machine_, "probe_access", 150, 200), 1u);  // original
 }
 

@@ -6,6 +6,11 @@
 //   ksplice_tool lint    <pkg.kspl>                     static analysis
 //   ksplice_tool inspect <pkg.kspl>                     show a package
 //   ksplice_tool demo    <srcdir> <patch> [entry [arg]] boot + hot update
+//   ksplice_tool apply   <srcdir> <pkg.kspl>...         boot + apply all
+//                                                       packages in ONE
+//                                                       rendezvous
+//   ksplice_tool status  <srcdir> [pkg.kspl...]         applied-update
+//                                                       stack table
 //   ksplice_tool disasm  <srcdir> <unit>                disassemble a unit
 //   ksplice_tool export-corpus <dir>                    write the 64-CVE
 //                                                       corpus kernel +
@@ -151,6 +156,16 @@ const FlagSpec kCreateFlags[] = {
      "static-analysis gate: off, warn (default: record findings in the "
      "report) or error (refuse a package with error-severity findings)",
      [](const std::string& v) { g_cmd.lint_mode = v; }},
+};
+
+const FlagSpec kStatusFlags[] = {
+    {"--json", FlagSpec::kOptional, "FILE",
+     "emit the status report as JSON (to FILE when given, else stdout) "
+     "instead of the table",
+     [](const std::string& v) {
+       g_cmd.json = true;
+       g_cmd.json_file = v;
+     }},
 };
 
 const FlagSpec kLintFlags[] = {
@@ -322,6 +337,42 @@ void PrintApplyReport(const ksplice::ApplyReport& report) {
                 fn.unit.c_str(), fn.symbol.c_str(), fn.orig_address,
                 fn.repl_address, fn.code_size, fn.repl_size);
   }
+}
+
+void PrintBatchApplyReport(const ksplice::BatchApplyReport& report) {
+  std::printf(
+      "applied %u package(s) in one rendezvous: %u function(s) spliced in "
+      "%.3f ms pause (%d attempt(s), %d quiescence retr%s)\n",
+      report.packages, report.functions_spliced,
+      static_cast<double>(report.pause_ns) / 1e6, report.attempts,
+      report.quiescence_retries,
+      report.quiescence_retries == 1 ? "y" : "ies");
+  std::printf("  stages:");
+  for (const ksplice::StageTiming& stage : report.stages) {
+    std::printf(" %s %.3fms", stage.stage.c_str(),
+                static_cast<double>(stage.wall_ns) / 1e6);
+  }
+  std::printf("\n");
+  for (const ksplice::ApplyReport& update : report.updates) {
+    PrintApplyReport(update);
+  }
+}
+
+void PrintStatusReport(const ksplice::StatusReport& report) {
+  std::printf("%-24s %9s %7s %11s %12s %11s  %s\n", "update", "functions",
+              "helper", "helper B", "primary B", "tramp B", "symbols");
+  for (const ksplice::UpdateStatusRow& row : report.updates) {
+    std::string symbols;
+    for (const std::string& symbol : row.symbols) {
+      symbols += (symbols.empty() ? "" : " ") + symbol;
+    }
+    std::printf("%-24s %9u %7s %11u %12u %11u  %s\n", row.id.c_str(),
+                row.functions, row.helper_loaded ? "loaded" : "-",
+                row.helper_bytes, row.primary_bytes, row.trampoline_bytes,
+                symbols.c_str());
+  }
+  std::printf("%zu update(s) applied; module arena: %u byte(s) in use\n",
+              report.updates.size(), report.arena_bytes_in_use);
 }
 
 // ---------------------------------------------------------------- build
@@ -565,6 +616,104 @@ int CmdDemo(const std::vector<std::string>& args) {
   return 0;
 }
 
+// -------------------------------------------------------- apply / status
+
+ks::Result<std::unique_ptr<kvm::Machine>> BootDir(const std::string& dir) {
+  KS_ASSIGN_OR_RETURN(kdiff::SourceTree tree, LoadTree(dir));
+  KS_ASSIGN_OR_RETURN(std::vector<kelf::ObjectFile> objects,
+                      kcc::BuildTree(tree, DefaultBuild()));
+  kvm::MachineConfig config;
+  return kvm::Machine::Boot(std::move(objects), config);
+}
+
+ks::Result<std::vector<ksplice::UpdatePackage>> LoadPackages(
+    const std::vector<std::string>& paths) {
+  std::vector<ksplice::UpdatePackage> packages;
+  for (const std::string& path : paths) {
+    KS_ASSIGN_OR_RETURN(std::string raw, ReadFile(path));
+    ks::Result<ksplice::UpdatePackage> package = ksplice::UpdatePackage::Parse(
+        std::vector<uint8_t>(raw.begin(), raw.end()));
+    if (!package.ok()) {
+      ks::Status status = package.status();
+      return status.WithContext("parsing " + path);
+    }
+    packages.push_back(std::move(package).value());
+  }
+  return packages;
+}
+
+// Boots args[0] and applies every remaining argument as a package — all
+// of them in one transaction with a single stop_machine rendezvous.
+int CmdApply(const std::vector<std::string>& args) {
+  ks::Result<std::unique_ptr<kvm::Machine>> machine = BootDir(args[0]);
+  if (!machine.ok()) {
+    return Fail(machine.status());
+  }
+  ks::Result<std::vector<ksplice::UpdatePackage>> packages = LoadPackages(
+      std::vector<std::string>(args.begin() + 1, args.end()));
+  if (!packages.ok()) {
+    return Fail(packages.status());
+  }
+  ksplice::KspliceCore core(machine->get());
+  ksplice::ApplyOptions options;
+  options.jobs = g_options.jobs;
+  if (packages->size() == 1) {
+    ks::Result<ksplice::ApplyReport> applied =
+        core.Apply(packages->front(), options);
+    if (!applied.ok()) {
+      return Fail(applied.status());
+    }
+    PrintApplyReport(*applied);
+  } else {
+    ks::Result<ksplice::BatchApplyReport> applied =
+        core.ApplyAll(*packages, options);
+    if (!applied.ok()) {
+      return Fail(applied.status());
+    }
+    PrintBatchApplyReport(*applied);
+  }
+  PrintStatusReport(core.Status());
+  return 0;
+}
+
+// Boots args[0], applies any packages given after it, and prints the
+// applied-update stack (the live analogue of Ksplice's /sys status).
+int CmdStatus(const std::vector<std::string>& args) {
+  ks::Result<std::unique_ptr<kvm::Machine>> machine = BootDir(args[0]);
+  if (!machine.ok()) {
+    return Fail(machine.status());
+  }
+  ks::Result<std::vector<ksplice::UpdatePackage>> packages = LoadPackages(
+      std::vector<std::string>(args.begin() + 1, args.end()));
+  if (!packages.ok()) {
+    return Fail(packages.status());
+  }
+  ksplice::KspliceCore core(machine->get());
+  if (!packages->empty()) {
+    ksplice::ApplyOptions options;
+    options.jobs = g_options.jobs;
+    ks::Result<ksplice::BatchApplyReport> applied =
+        core.ApplyAll(*packages, options);
+    if (!applied.ok()) {
+      return Fail(applied.status());
+    }
+  }
+  ksplice::StatusReport report = core.Status();
+  if (g_cmd.json) {
+    if (g_cmd.json_file.empty()) {
+      std::printf("%s\n", report.ToJson().c_str());
+    } else {
+      ks::Status written = WriteFile(g_cmd.json_file, report.ToJson() + "\n");
+      if (!written.ok()) {
+        return Fail(written);
+      }
+    }
+  } else {
+    PrintStatusReport(report);
+  }
+  return 0;
+}
+
 // --------------------------------------------------------------- disasm
 
 int CmdDisasm(const std::vector<std::string>& args) {
@@ -683,6 +832,23 @@ const Command kCommands[] = {
      "Boots the tree in the simulated kernel, optionally runs [entry]\n"
      "before and after, creates the update from <patch> and applies it\n"
      "live, printing the typed create and apply reports."},
+    {"apply", "<srcdir> <pkg.kspl>...",
+     "boot the tree and apply package(s) in one rendezvous", 2, 64,
+     CmdApply,
+     "Boots <srcdir> in the simulated kernel and applies every package in\n"
+     "ONE transaction: a single combined quiescence check and stop_machine\n"
+     "pause covers all of them, and any failure rolls the whole batch\n"
+     "back. Prints the typed apply report(s) and the resulting update\n"
+     "stack. Packages must target disjoint functions; stacked updates to\n"
+     "the same function apply in separate transactions."},
+    {"status", "<srcdir> [pkg.kspl...]",
+     "show the applied-update stack after applying package(s)", 1, 64,
+     CmdStatus,
+     "Boots <srcdir>, applies any packages given (one transaction, like\n"
+     "apply), and prints one row per applied update: functions spliced,\n"
+     "helper retention, module/trampoline bytes and patched symbols —\n"
+     "the live analogue of Ksplice's /sys update status.",
+     kStatusFlags, std::size(kStatusFlags)},
     {"disasm", "<srcdir> <unit>", "disassemble one compilation unit", 2, 2,
      CmdDisasm,
      "Compiles <unit> with -ffunction-sections and prints each text\n"
