@@ -89,8 +89,33 @@ print("batch JSON OK:", len(status["updates"]), "updates,",
       counters["kvm.stop_machine_calls"], "stop_machine call")
 EOF
 
-# Flag-handling regression: an unknown flag and a wrong argument count must
-# exit 2 and print the subcommand's usage on stderr.
+# Chaos smoke: one fixed-seed randomized fault-injection round (the full
+# multi-seed soak is scripts/check_chaos.sh), then a fault-injected apply
+# through the tool — the injected failure must exit 1 and the fault and
+# rendezvous metrics must show up in the --metrics JSON.
+echo "== chaos + fault-injection smoke =="
+KSPLICE_CHAOS_SEED=12648430 build/tests/chaos_test \
+  --gtest_filter='ChaosTest.RandomizedFaultCombinationsPreserveInvariants'
+rc=0; build/tools/ksplice_tool --faults=kvm.write_bytes=always \
+  --metrics="$obs_dir/fault-metrics.json" \
+  apply "$obs_dir/corpus/src" "$obs_dir/prctl.kspl" \
+  >/dev/null 2>&1 || rc=$?
+test "$rc" -eq 1 || { echo "fault-injected apply exited $rc, want 1"; exit 1; }
+python3 - "$obs_dir" <<'EOF'
+import json, sys
+metrics = json.load(open(sys.argv[1] + "/fault-metrics.json"))
+counters = metrics["counters"]
+for key in ("ksplice.fault.checks", "ksplice.fault.injected",
+            "ksplice.fault.injected.kvm.write_bytes",
+            "ksplice.rendezvous.attempts", "ksplice.txn_rollbacks"):
+    assert counters.get(key, 0) > 0, f"counter {key} not populated: {counters}"
+print("fault metrics OK:", counters["ksplice.fault.checks"], "checks,",
+      counters["ksplice.fault.injected"], "injected")
+EOF
+
+# Flag-handling regression: usage errors (unknown flag, wrong argument
+# count, bad flag value, bad fault plan) must exit 2 and print the right
+# usage on stderr; a failed operation must exit 1.
 echo "== ksplice_tool flag handling =="
 if build/tools/ksplice_tool create --bogus a b c 2>"$obs_dir/err1"; then
   echo "unknown flag did not fail"; exit 1
@@ -100,5 +125,20 @@ if build/tools/ksplice_tool lint 2>"$obs_dir/err2"; then
   echo "missing argument did not fail"; exit 1
 fi
 grep -q "usage: ksplice_tool .* lint" "$obs_dir/err2"
+rc=0; build/tools/ksplice_tool create --lint=bogus "$obs_dir/corpus/src" \
+  "$obs_dir/corpus/patches/CVE-2006-2451.patch" "$obs_dir/unused.kspl" \
+  2>"$obs_dir/err3" || rc=$?
+test "$rc" -eq 2 || { echo "create --lint=bogus exited $rc, want 2"; exit 1; }
+grep -q "usage: ksplice_tool .* create" "$obs_dir/err3"
+rc=0; build/tools/ksplice_tool lint --fail-on=bogus "$obs_dir/prctl.kspl" \
+  2>"$obs_dir/err4" || rc=$?
+test "$rc" -eq 2 || { echo "lint --fail-on=bogus exited $rc, want 2"; exit 1; }
+grep -q "usage: ksplice_tool .* lint" "$obs_dir/err4"
+rc=0; build/tools/ksplice_tool --faults=bogus build "$obs_dir/corpus/src" \
+  2>/dev/null || rc=$?
+test "$rc" -eq 2 || { echo "--faults=bogus exited $rc, want 2"; exit 1; }
+rc=0; build/tools/ksplice_tool inspect "$obs_dir/no-such.kspl" \
+  2>/dev/null || rc=$?
+test "$rc" -eq 1 || { echo "inspect missing file exited $rc, want 1"; exit 1; }
 
 echo "ALL CHECKS PASSED"

@@ -8,9 +8,9 @@ set -e
 cd "$(dirname "$0")/.."
 cmake -B build-tsan -G Ninja -DKSPLICE_SANITIZE=thread
 cmake --build build-tsan --target concurrency_test ksplice_hooks_smp_test \
-  ksplice_txn_test kanalyze_test fuzz_negative_test
+  ksplice_txn_test kanalyze_test fuzz_negative_test chaos_test
 for t in concurrency_test ksplice_hooks_smp_test ksplice_txn_test \
-         kanalyze_test fuzz_negative_test; do
+         kanalyze_test fuzz_negative_test chaos_test; do
   echo "== build-tsan/tests/$t =="
   "./build-tsan/tests/$t"
 done

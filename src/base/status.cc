@@ -26,6 +26,21 @@ std::string_view ErrorCodeName(ErrorCode code) {
   return "unknown";
 }
 
+std::optional<ErrorCode> ErrorCodeFromName(std::string_view name) {
+  static constexpr ErrorCode kCodes[] = {
+      ErrorCode::kInvalidArgument, ErrorCode::kNotFound,
+      ErrorCode::kAlreadyExists,   ErrorCode::kFailedPrecondition,
+      ErrorCode::kAborted,         ErrorCode::kUnimplemented,
+      ErrorCode::kInternal,        ErrorCode::kResourceExhausted,
+  };
+  for (ErrorCode code : kCodes) {
+    if (ErrorCodeName(code) == name) {
+      return code;
+    }
+  }
+  return std::nullopt;
+}
+
 std::string Status::ToString() const {
   if (ok()) {
     return "ok";

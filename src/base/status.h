@@ -35,6 +35,10 @@ enum class ErrorCode {
 // Returns a stable lowercase name for an error code ("invalid_argument").
 std::string_view ErrorCodeName(ErrorCode code);
 
+// Inverse of ErrorCodeName. kOk is not nameable (plans and wire formats
+// never carry a success code); unknown names return nullopt.
+std::optional<ErrorCode> ErrorCodeFromName(std::string_view name);
+
 // A success-or-error value with no payload.
 class [[nodiscard]] Status {
  public:

@@ -1,5 +1,7 @@
 #include "kcc/compile.h"
 
+#include "base/faultinject.h"
+
 #include <optional>
 
 #include "base/metrics.h"
@@ -68,6 +70,7 @@ ks::Result<kelf::ObjectFile> CompileUnit(const kdiff::SourceTree& tree,
     // cannot recurse.
     return options.cache->GetOrCompile(tree, path, options);
   }
+  KS_FAULT_POINT("kcc.compile");
   ks::TraceSpan span("kcc.compile_unit");
   span.Annotate("unit", path);
   if (ks::EndsWith(path, ".kvs")) {

@@ -1,5 +1,6 @@
 #include "kcc/objcache.h"
 
+#include "base/faultinject.h"
 #include "base/metrics.h"
 #include "base/strings.h"
 
@@ -13,6 +14,11 @@ uint64_t Fnv64(std::string_view data, uint64_t hash = 14695981039346656037u) {
     hash *= 1099511628211u;
   }
   return hash;
+}
+
+uint64_t Fnv64Bytes(const std::vector<uint8_t>& bytes) {
+  return Fnv64(std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                                bytes.size()));
 }
 
 // The content address: every file whose bytes reach the object (the unit
@@ -42,8 +48,6 @@ ks::Result<kelf::ObjectFile> ObjectCache::GetOrCompile(
     const CompileOptions& options, bool* was_hit) {
   // Registry instruments resolved once; the references stay valid for the
   // process lifetime (metrics.h).
-  static ks::Counter& hit_counter =
-      ks::Metrics().GetCounter("kcc.objcache.hits");
   static ks::Counter& miss_counter =
       ks::Metrics().GetCounter("kcc.objcache.misses");
 
@@ -80,19 +84,96 @@ ks::Result<kelf::ObjectFile> ObjectCache::GetOrCompile(
     miss_counter.Add(1);
     ks::Result<kelf::ObjectFile> compiled = CompileUnit(tree, path, uncached);
     std::lock_guard<std::mutex> lock(entry->mu);
-    entry->result = std::move(compiled);
+    if (compiled.ok()) {
+      // Persist the serialized object under a checksum, the way an
+      // on-disk cache would. A failed write leaves the entry empty: the
+      // next reader recompiles and heals it.
+      ks::Status write_fault = ks::Faults().Check("kcc.objcache.write");
+      if (write_fault.ok()) {
+        entry->bytes = compiled->Serialize();
+        entry->checksum = Fnv64Bytes(entry->bytes);
+      } else {
+        static ks::Counter& write_failures =
+            ks::Metrics().GetCounter("kcc.objcache.write_failures");
+        write_failures.Add(1);
+      }
+    } else {
+      // Failed compiles are cached too — retrying identical input cannot
+      // succeed.
+      entry->error = compiled.status();
+    }
     entry->ready = true;
     entry->ready_cv.notify_all();
-  } else {
-    hits_.fetch_add(1);
-    hit_counter.Add(1);
-    if (was_hit != nullptr) {
-      *was_hit = true;
-    }
+    return compiled;
+  }
+
+  {
     std::unique_lock<std::mutex> lock(entry->mu);
     entry->ready_cv.wait(lock, [&entry] { return entry->ready; });
   }
-  return *entry->result;
+  return ServeEntry(*entry, tree, path, uncached, was_hit);
+}
+
+ks::Result<kelf::ObjectFile> ObjectCache::ServeEntry(
+    Entry& entry, const kdiff::SourceTree& tree, const std::string& path,
+    const CompileOptions& uncached, bool* was_hit) {
+  static ks::Counter& hit_counter =
+      ks::Metrics().GetCounter("kcc.objcache.hits");
+  static ks::Counter& miss_counter =
+      ks::Metrics().GetCounter("kcc.objcache.misses");
+  static ks::Counter& corrupt_counter =
+      ks::Metrics().GetCounter("kcc.objcache.corrupt_entries");
+
+  {
+    std::lock_guard<std::mutex> lock(entry.mu);
+    if (!entry.error.ok()) {
+      hits_.fetch_add(1);
+      hit_counter.Add(1);
+      if (was_hit != nullptr) {
+        *was_hit = true;
+      }
+      return entry.error;
+    }
+    ks::Status read_fault = ks::Faults().Check("kcc.objcache.read");
+    if (read_fault.ok() && !entry.bytes.empty() &&
+        entry.checksum == Fnv64Bytes(entry.bytes)) {
+      ks::Result<kelf::ObjectFile> parsed = kelf::ObjectFile::Parse(entry.bytes);
+      if (parsed.ok()) {
+        hits_.fetch_add(1);
+        hit_counter.Add(1);
+        if (was_hit != nullptr) {
+          *was_hit = true;
+        }
+        return parsed;
+      }
+    }
+  }
+  // Corrupt, truncated, or unreadable entry: a damaged cache must cost at
+  // most a recompile, never fail the lookup. Count it as a miss, rebuild
+  // from source, and heal the entry in place.
+  corrupt_counter.Add(1);
+  misses_.fetch_add(1);
+  miss_counter.Add(1);
+  ks::Result<kelf::ObjectFile> compiled = CompileUnit(tree, path, uncached);
+  if (compiled.ok()) {
+    std::lock_guard<std::mutex> lock(entry.mu);
+    entry.bytes = compiled->Serialize();
+    entry.checksum = Fnv64Bytes(entry.bytes);
+  }
+  return compiled;
+}
+
+size_t ObjectCache::CorruptEntriesForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t corrupted = 0;
+  for (auto& [key, entry] : entries_) {
+    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    if (entry->ready && entry->error.ok() && !entry->bytes.empty()) {
+      entry->bytes[entry->bytes.size() / 2] ^= 0x01;
+      ++corrupted;
+    }
+  }
+  return corrupted;
 }
 
 size_t ObjectCache::size() const {

@@ -9,6 +9,12 @@
 //
 // Thread-safe. Concurrent misses on the same key latch on a per-entry
 // monitor so each distinct key is compiled exactly once.
+//
+// Entries hold the object's *serialized* bytes guarded by a checksum, the
+// way an on-disk cache would, and a corrupt or truncated entry is treated
+// as a miss: the unit is recompiled from source and the entry healed in
+// place. A damaged cache can cost a rebuild but can never fail a create or
+// feed it wrong bytes.
 
 #ifndef KSPLICE_KCC_OBJCACHE_H_
 #define KSPLICE_KCC_OBJCACHE_H_
@@ -19,8 +25,8 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
+#include <vector>
 
 #include "base/status.h"
 #include "kcc/compile.h"
@@ -59,14 +65,30 @@ class ObjectCache {
 
   void Clear();
 
+  // Flips one bit in every ready entry's stored bytes (chaos/robustness
+  // tests), returning how many entries were damaged. Each corrupted entry
+  // must be detected by its checksum and served as a miss.
+  size_t CorruptEntriesForTest();
+
  private:
   struct Entry {
     std::mutex mu;
     std::condition_variable ready_cv;
     bool claimed = false;  // a thread owns the compile (set under cache mu)
     bool ready = false;
-    std::optional<ks::Result<kelf::ObjectFile>> result;
+    ks::Status error;             // cached failed compile (ok == success)
+    std::vector<uint8_t> bytes;   // serialized object (success only)
+    uint64_t checksum = 0;        // FNV-64 over `bytes`
   };
+
+  // Serves `entry` (which must be ready): parses the stored bytes after
+  // a checksum pass, or recompiles and heals the entry when the read
+  // fails. Does the hit/miss accounting for this lookup.
+  ks::Result<kelf::ObjectFile> ServeEntry(Entry& entry,
+                                          const kdiff::SourceTree& tree,
+                                          const std::string& path,
+                                          const CompileOptions& uncached,
+                                          bool* was_hit);
 
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Entry>> entries_;

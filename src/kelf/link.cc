@@ -1,5 +1,7 @@
 #include "kelf/link.h"
 
+#include "base/faultinject.h"
+
 #include <map>
 
 #include "base/endian.h"
@@ -31,6 +33,7 @@ int LayoutPass(SectionKind kind) {
 }  // namespace
 
 ks::Result<LinkedImage> Linker::Link(uint32_t base) const {
+  KS_FAULT_POINT("kelf.link");
   for (const ObjectFile& obj : objects_) {
     ks::Status st = obj.Validate();
     if (!st.ok()) {

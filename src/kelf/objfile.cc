@@ -1,5 +1,7 @@
 #include "kelf/objfile.h"
 
+#include "base/faultinject.h"
+
 #include <cstring>
 
 #include "base/endian.h"
@@ -215,6 +217,7 @@ std::vector<uint8_t> ObjectFile::Serialize() const {
 }
 
 ks::Result<ObjectFile> ObjectFile::Parse(const std::vector<uint8_t>& bytes) {
+  KS_FAULT_POINT("kelf.objfile.parse");
   Reader r(bytes);
   KS_ASSIGN_OR_RETURN(uint32_t magic, r.U32());
   if (magic != kMagic) {

@@ -1,26 +1,16 @@
 #include "ksplice/manager.h"
 
 #include <algorithm>
-#include <chrono>
 
+#include "base/faultinject.h"
 #include "base/logging.h"
 #include "base/metrics.h"
 #include "base/strings.h"
 #include "base/trace.h"
+#include "ksplice/rendezvous.h"
 #include "ksplice/transaction.h"
 
 namespace ksplice {
-
-namespace {
-
-uint64_t NowNs() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
-}  // namespace
 
 const AppliedFunction* UpdateManager::FindApplied(
     const std::string& unit, const std::string& symbol) const {
@@ -41,37 +31,6 @@ std::optional<std::pair<uint32_t, uint32_t>> UpdateManager::CurrentCode(
     return std::nullopt;
   }
   return std::make_pair(fn->repl_address, fn->repl_size);
-}
-
-bool UpdateManager::AnyThreadIn(
-    const std::vector<std::pair<uint32_t, uint32_t>>& ranges) const {
-  auto hit = [&ranges](uint32_t addr) {
-    for (const auto& [begin, end] : ranges) {
-      if (addr >= begin && addr < end) {
-        return true;
-      }
-    }
-    return false;
-  };
-  for (const kvm::ThreadInfo& thread : machine_->Threads()) {
-    if (thread.state == kvm::ThreadState::kDone ||
-        thread.state == kvm::ThreadState::kFaulted) {
-      continue;
-    }
-    if (hit(thread.pc)) {
-      return true;
-    }
-    // Conservative scan of every word of the kernel stack (§5.2): any
-    // value that lands in a patched range is treated as a return address.
-    for (uint32_t sp = thread.sp & ~3u; sp + 4 <= thread.stack_top;
-         sp += 4) {
-      ks::Result<uint32_t> word = machine_->ReadWord(sp);
-      if (word.ok() && hit(*word)) {
-        return true;
-      }
-    }
-  }
-  return false;
 }
 
 ks::Status UpdateManager::RunHooks(const std::vector<uint32_t>& hooks) {
@@ -215,40 +174,59 @@ ks::Result<UndoReport> UpdateManager::Undo(const std::string& id,
     ranges.emplace_back(fn.repl_address, fn.repl_address + fn.repl_size);
   }
 
-  bool reversed = false;
-  for (int attempt = 0; attempt < options.max_attempts && !reversed;
-       ++attempt) {
-    report.attempts = attempt + 1;
-    uint64_t stop_begin = NowNs();
-    ks::Status stopped = machine_->StopMachine([&](kvm::Machine& m) {
-      if (AnyThreadIn(ranges)) {
-        return ks::FailedPrecondition("replacement code is in use");
-      }
-      KS_RETURN_IF_ERROR(RunHooks(update.hooks.reverse));
-      for (const AppliedFunction* fn : restores) {
-        KS_RETURN_IF_ERROR(m.WriteBytes(fn->orig_address, fn->saved_bytes));
-      }
-      return ks::OkStatus();
-    });
-    if (stopped.ok()) {
-      report.pause_ns = NowNs() - stop_begin;
-      reversed = true;
-      break;
-    }
-    if (stopped.code() != ks::ErrorCode::kFailedPrecondition) {
-      return stopped.WithContext(ks::StrPrintf("undoing %s", id.c_str()));
-    }
-    report.retry_ticks += options.retry_advance_ticks;
-    (void)machine_->Advance(options.retry_advance_ticks);
-  }
-  if (!reversed) {
-    return ks::Aborted(ks::StrPrintf(
-        "replacement code stayed in use after %d attempts",
-        options.max_attempts));
+  RendezvousOutcome outcome;
+  ks::Status stopped = RunRendezvous(
+      *machine_, options, ranges,
+      [&](kvm::Machine& m) -> ks::Status {
+        ks::Status hooks = RunHooks(update.hooks.reverse);
+        if (!hooks.ok()) {
+          // Re-establish what the reverse hooks that did run tore down;
+          // the update stays applied.
+          ks::ScopedFaultSuppression suppress;
+          RunHooksBestEffort(update.hooks.apply);
+          return hooks;
+        }
+        // Restore-or-abort: if any restore fails partway through, put the
+        // already-restored trampolines back — all inside this same stop
+        // window — so the machine leaves it either fully reversed or still
+        // fully patched, never a mix.
+        std::vector<std::pair<uint32_t, std::vector<uint8_t>>> undone;
+        for (const AppliedFunction* fn : restores) {
+          ks::Result<std::vector<uint8_t>> tramp = m.ReadBytes(
+              fn->orig_address,
+              static_cast<uint32_t>(fn->saved_bytes.size()));
+          ks::Status st = tramp.ok()
+                              ? ks::Faults().Check("ksplice.undo.restore")
+                              : ks::Status(tramp.status());
+          if (st.ok()) {
+            st = m.WriteBytes(fn->orig_address, fn->saved_bytes);
+          }
+          if (!st.ok()) {
+            ks::ScopedFaultSuppression suppress;
+            for (auto it = undone.rbegin(); it != undone.rend(); ++it) {
+              (void)m.WriteBytes(it->first, it->second);
+            }
+            RunHooksBestEffort(update.hooks.apply);
+            return st;
+          }
+          undone.emplace_back(fn->orig_address, std::move(tramp).value());
+        }
+        return ks::OkStatus();
+      },
+      "undo", &outcome);
+  report.attempts = outcome.attempts;
+  report.retry_ticks = outcome.retry_ticks;
+  report.pause_ns = outcome.pause_ns;
+  report.blockers = outcome.blockers;
+  if (!stopped.ok()) {
+    return stopped.WithContext(ks::StrPrintf("undoing %s", id.c_str()));
   }
   report.quiescence_retries = report.attempts - 1;
 
-  KS_RETURN_IF_ERROR(RunHooks(update.hooks.post_reverse));
+  // Past this point the undo is committed: the trampolines are gone, so
+  // the update must leave the registry even if a cleanup hook complains
+  // (mirrors the apply-side Commit contract).
+  ks::Status post_reverse = RunHooks(update.hooks.post_reverse);
 
   // The machine no longer references the departing update: re-point the
   // stacked records of newer updates at what it had replaced.
@@ -300,6 +278,10 @@ ks::Result<UndoReport> UpdateManager::Undo(const std::string& id,
 
   KS_LOG(kInfo) << "reversed " << id
                 << (was_out_of_order ? " (out of order)" : "");
+  if (!post_reverse.ok()) {
+    return post_reverse.WithContext(ks::StrPrintf(
+        "post_reverse (update %s reversed)", report.id.c_str()));
+  }
   return report;
 }
 

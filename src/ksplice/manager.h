@@ -37,10 +37,20 @@ namespace ksplice {
 
 // Stop_machine retry policy shared by apply and undo (§5.2: "tries again
 // after a short delay; if multiple such attempts are unsuccessful, Ksplice
-// abandons the upgrade attempt").
+// abandons the upgrade attempt"). Retries use exponential backoff with
+// seeded jitter — the machine is advanced backoff_base_ticks before the
+// first retry, twice that before the next, and so on up to
+// backoff_max_ticks per retry — under two budgets: at most max_attempts
+// stop windows, and at most deadline_ticks of total backoff. Exhausting
+// either yields kResourceExhausted naming the blocking threads
+// (rendezvous.h).
 struct RendezvousOptions {
   int max_attempts = 10;
-  uint64_t retry_advance_ticks = 50'000;
+  uint64_t backoff_base_ticks = 10'000;  // first retry's advance
+  uint64_t backoff_max_ticks = 200'000;  // per-retry cap
+  double backoff_jitter = 0.25;          // ± fraction of each step
+  uint64_t deadline_ticks = 2'000'000;   // total backoff budget (0 = none)
+  uint64_t backoff_seed = 0;             // jitter PRNG seed (deterministic)
 };
 
 // Apply-only knobs on top of the shared rendezvous policy.
@@ -128,11 +138,6 @@ class UpdateManager {
   // Finds the applied function record that currently owns (unit, symbol).
   const AppliedFunction* FindApplied(const std::string& unit,
                                      const std::string& symbol) const;
-
-  // True if any live thread's pc or conservatively-scanned stack word
-  // falls in one of `ranges` ([begin, end) pairs).
-  bool AnyThreadIn(const std::vector<std::pair<uint32_t, uint32_t>>& ranges)
-      const;
 
   ks::Status RunHooks(const std::vector<uint32_t>& hooks);
   // Runs every hook, ignoring failures (rollback compensation must make as

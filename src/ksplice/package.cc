@@ -1,5 +1,7 @@
 #include "ksplice/package.h"
 
+#include "base/faultinject.h"
+
 #include "base/endian.h"
 #include "base/strings.h"
 
@@ -125,6 +127,7 @@ std::vector<uint8_t> UpdatePackage::Serialize() const {
 
 ks::Result<UpdatePackage> UpdatePackage::Parse(
     const std::vector<uint8_t>& bytes) {
+  KS_FAULT_POINT("ksplice.package.parse");
   Cursor cursor{bytes};
   KS_ASSIGN_OR_RETURN(uint32_t magic, cursor.U32());
   if (magic != kMagic) {

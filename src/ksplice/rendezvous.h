@@ -1,0 +1,69 @@
+// The shared stop_machine rendezvous loop (§5.2).
+//
+// Apply and undo both need the same dance: stop the machine, check that no
+// thread's pc (or conservatively-scanned stack word) lands in the code
+// about to be patched, run a body inside the stop window, and — when the
+// check says "busy" — let the machine make progress and try again. The
+// paper prescribes retrying "after a short delay"; a fixed delay is either
+// too short (wasted stop windows while a long syscall drains) or too long
+// (update latency when the kernel went quiescent immediately), so the
+// retry schedule here is exponential backoff with seeded jitter under two
+// budgets: an attempt cap and an overall tick deadline.
+//
+// On exhaustion the caller gets ks::ResourceExhausted naming the threads
+// and PCs that blocked quiescence on the final attempt; the same blocker
+// records (union over every failed attempt) land in the outcome so
+// Apply/Undo reports can show an operator why an update would not land.
+//
+// Observability: "ksplice.rendezvous.*" metrics (attempts, retries,
+// backoff_ticks, blocked_threads, exhausted) and a trace span per call.
+
+#ifndef KSPLICE_KSPLICE_RENDEZVOUS_H_
+#define KSPLICE_KSPLICE_RENDEZVOUS_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "ksplice/report.h"
+#include "kvm/machine.h"
+
+namespace ksplice {
+
+struct RendezvousOptions;  // manager.h (circular include avoidance)
+
+// Scans every live thread of `machine` for a pc or stack word inside one
+// of `ranges` ([begin, end) pairs); returns one record per blocked thread
+// (first offending address wins). Call only while the machine is stopped.
+std::vector<QuiescenceBlocker> ThreadsIn(
+    const kvm::Machine& machine,
+    const std::vector<std::pair<uint32_t, uint32_t>>& ranges);
+
+// What one rendezvous did, success or not.
+struct RendezvousOutcome {
+  int attempts = 0;           // stop windows opened (1 = first try worked)
+  uint64_t retry_ticks = 0;   // VM ticks advanced across backoff waits
+  uint64_t pause_ns = 0;      // wall time of the successful stop window
+  bool deadline_exhausted = false;  // gave up on the tick deadline
+  // Union of blockers over every failed attempt, deduped by (tid, pc).
+  std::vector<QuiescenceBlocker> blockers;
+};
+
+// Runs `body` under one stop_machine window once no live thread executes
+// (or would return into) `ranges`, retrying with backoff per `options`.
+// `what` names the operation for messages ("apply", "undo"). `outcome` is
+// always filled, including on failure. Returns:
+//  - ok: body ran and returned ok;
+//  - kResourceExhausted: quiescence was never reached within the attempt
+//    cap / tick deadline (message names a blocking thread + pc);
+//  - anything else: the body's own error, passed through.
+ks::Status RunRendezvous(
+    kvm::Machine& machine, const RendezvousOptions& options,
+    const std::vector<std::pair<uint32_t, uint32_t>>& ranges,
+    const std::function<ks::Status(kvm::Machine&)>& body, const char* what,
+    RendezvousOutcome* outcome);
+
+}  // namespace ksplice
+
+#endif  // KSPLICE_KSPLICE_RENDEZVOUS_H_

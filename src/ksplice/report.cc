@@ -158,6 +158,12 @@ std::string SpliceRecord::ToJson() const {
       repl_address, code_size, repl_size, trampoline_bytes);
 }
 
+std::string QuiescenceBlocker::ToJson() const {
+  return ks::StrPrintf(
+      "{\"tid\":%d,\"pc\":%u,\"hit_address\":%u,\"from_stack\":%s}", tid,
+      pc, hit_address, from_stack ? "true" : "false");
+}
+
 std::string StageTiming::ToJson() const {
   return ks::StrPrintf("{\"stage\":\"%s\",\"wall_ns\":%llu}",
                        Escaped(stage).c_str(), U(wall_ns));
@@ -173,6 +179,14 @@ std::string StagesJson(const std::vector<StageTiming>& stages) {
   return JoinJson(rows);
 }
 
+std::string BlockersJson(const std::vector<QuiescenceBlocker>& blockers) {
+  std::vector<std::string> rows;
+  for (const QuiescenceBlocker& blocker : blockers) {
+    rows.push_back(blocker.ToJson());
+  }
+  return JoinJson(rows);
+}
+
 }  // namespace
 
 std::string ApplyReport::ToJson() const {
@@ -184,11 +198,12 @@ std::string ApplyReport::ToJson() const {
       "{\"id\":\"%s\",\"functions\":%s,\"match\":%s,\"attempts\":%d,"
       "\"quiescence_retries\":%d,\"pause_ns\":%llu,\"retry_ticks\":%llu,"
       "\"helper_bytes\":%llu,\"primary_bytes\":%u,\"trampoline_bytes\":%u,"
-      "\"helper_retained\":%s,\"stages\":%s}",
+      "\"helper_retained\":%s,\"stages\":%s,\"blockers\":%s}",
       Escaped(id).c_str(), JoinJson(fn_rows).c_str(),
       match.ToJson().c_str(), attempts, quiescence_retries, U(pause_ns),
       U(retry_ticks), U(helper_bytes), primary_bytes, trampoline_bytes,
-      helper_retained ? "true" : "false", StagesJson(stages).c_str());
+      helper_retained ? "true" : "false", StagesJson(stages).c_str(),
+      BlockersJson(blockers).c_str());
 }
 
 std::string BatchApplyReport::ToJson() const {
@@ -199,10 +214,10 @@ std::string BatchApplyReport::ToJson() const {
   return ks::StrPrintf(
       "{\"packages\":%u,\"updates\":%s,\"attempts\":%d,"
       "\"quiescence_retries\":%d,\"pause_ns\":%llu,\"retry_ticks\":%llu,"
-      "\"functions_spliced\":%u,\"stages\":%s}",
+      "\"functions_spliced\":%u,\"stages\":%s,\"blockers\":%s}",
       packages, JoinJson(rows).c_str(), attempts, quiescence_retries,
       U(pause_ns), U(retry_ticks), functions_spliced,
-      StagesJson(stages).c_str());
+      StagesJson(stages).c_str(), BlockersJson(blockers).c_str());
 }
 
 std::string UndoReport::ToJson() const {
@@ -211,11 +226,12 @@ std::string UndoReport::ToJson() const {
       "\"quiescence_retries\":%d,\"pause_ns\":%llu,\"retry_ticks\":%llu,"
       "\"bytes_restored\":%u,\"primary_bytes_reclaimed\":%u,"
       "\"helper_bytes_reclaimed\":%u,\"out_of_order\":%s,"
-      "\"chains_rewritten\":%u}",
+      "\"chains_rewritten\":%u,\"blockers\":%s}",
       Escaped(id).c_str(), functions_restored, attempts,
       quiescence_retries, U(pause_ns), U(retry_ticks), bytes_restored,
       primary_bytes_reclaimed, helper_bytes_reclaimed,
-      out_of_order ? "true" : "false", chains_rewritten);
+      out_of_order ? "true" : "false", chains_rewritten,
+      BlockersJson(blockers).c_str());
 }
 
 std::string UpdateStatusRow::ToJson() const {

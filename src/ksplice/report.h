@@ -164,6 +164,20 @@ struct SpliceRecord {
   std::string ToJson() const;
 };
 
+// One thread that blocked a stop_machine quiescence check (§5.2): its pc,
+// or a conservatively-scanned stack word treated as a return address, fell
+// inside a range being patched. Reports carry the union over every failed
+// attempt so an operator can see *why* an update would not land even when
+// a later retry eventually succeeded.
+struct QuiescenceBlocker {
+  int tid = 0;
+  uint32_t pc = 0;           // the thread's program counter at scan time
+  uint32_t hit_address = 0;  // the address that landed in a patched range
+  bool from_stack = false;   // found by the stack scan, not the pc check
+
+  std::string ToJson() const;
+};
+
 // Wall time one transaction stage took (Prepare, Match, Load, PreApply,
 // Rendezvous, Commit — see ksplice/transaction.h).
 struct StageTiming {
@@ -190,6 +204,9 @@ struct ApplyReport {
   // batch the stages are shared, so every member report carries the same
   // timings.
   std::vector<StageTiming> stages;
+  // Threads that blocked quiescence on failed rendezvous attempts (shared
+  // across a batch, deduplicated by thread and pc).
+  std::vector<QuiescenceBlocker> blockers;
 
   std::string ToJson() const;
 };
@@ -206,6 +223,7 @@ struct BatchApplyReport {
   uint64_t retry_ticks = 0;
   uint32_t functions_spliced = 0; // across all packages
   std::vector<StageTiming> stages;
+  std::vector<QuiescenceBlocker> blockers;  // see ApplyReport::blockers
 
   std::string ToJson() const;
 };
@@ -225,6 +243,7 @@ struct UndoReport {
   // Newer updates whose stacked records were re-pointed at this update's
   // replaced code when it left the stack (0 for LIFO undo).
   uint32_t chains_rewritten = 0;
+  std::vector<QuiescenceBlocker> blockers;  // see ApplyReport::blockers
 
   std::string ToJson() const;
 };

@@ -6,11 +6,13 @@
 #include <set>
 #include <utility>
 
+#include "base/faultinject.h"
 #include "base/logging.h"
 #include "base/metrics.h"
 #include "base/strings.h"
 #include "base/threadpool.h"
 #include "base/trace.h"
+#include "ksplice/rendezvous.h"
 #include "kvx/isa.h"
 
 namespace ksplice {
@@ -117,6 +119,7 @@ ks::Status UpdateTransaction::RunStage(TxnStage stage,
 
 ks::Status UpdateTransaction::Prepare(
     std::span<const UpdatePackage> packages) {
+  KS_FAULT_POINT("ksplice.txn.prepare");
   if (packages.empty()) {
     return ks::InvalidArgument("no packages to apply");
   }
@@ -158,6 +161,7 @@ ks::Status UpdateTransaction::Prepare(
 }
 
 ks::Status UpdateTransaction::Match() {
+  KS_FAULT_POINT("ksplice.txn.match");
   // Every (package, helper unit) pair is independent: all packages match
   // against the committed registry (batches are disjoint by Prepare), and
   // MatchUnit only reads the machine. Fan the pairs out across the match
@@ -200,6 +204,7 @@ ks::Status UpdateTransaction::Match() {
 }
 
 ks::Status UpdateTransaction::Load() {
+  KS_FAULT_POINT("ksplice.txn.load");
   // Sequential, in package order: the module arena layout (and therefore
   // every splice address) must not depend on load interleaving.
   for (Staged& staged : staged_) {
@@ -347,6 +352,7 @@ ks::Status UpdateTransaction::Load() {
 }
 
 ks::Status UpdateTransaction::PreApply() {
+  KS_FAULT_POINT("ksplice.txn.pre_apply");
   for (Staged& staged : staged_) {
     // Mark before running: if a hook fails partway through, the hooks that
     // did run are compensated by this package's post_reverse stage during
@@ -372,87 +378,66 @@ ks::Status UpdateTransaction::Rendezvous() {
     }
   }
 
-  bool applied = false;
-  ks::Status last_error = ks::OkStatus();
-  for (int attempt = 0; attempt < options_.max_attempts && !applied;
-       ++attempt) {
-    batch_.attempts = attempt + 1;
-    uint64_t stop_begin = NowNs();
-    ks::Status stopped = machine_->StopMachine([&](kvm::Machine& m) {
-      if (manager_->AnyThreadIn(ranges)) {
-        return ks::FailedPrecondition("a patched function is in use");
+  auto body = [this](kvm::Machine& m) -> ks::Status {
+    // Package order: each package's apply hooks, then its splices. If
+    // anything fails, put every written trampoline back and run the
+    // reverse hooks of the packages whose apply hooks already ran —
+    // all inside this same stop window, so no thread ever observes the
+    // partial state.
+    std::vector<std::pair<uint32_t, std::vector<uint8_t>>> written;
+    size_t hooked = 0;
+    auto unwind = [&]() {
+      // Unwinding must not itself be fault-injected: the rollback promise
+      // is what the injected faults are probing.
+      ks::ScopedFaultSuppression suppress;
+      for (auto it = written.rbegin(); it != written.rend(); ++it) {
+        (void)m.WriteBytes(it->first, it->second);
       }
-      // Package order: each package's apply hooks, then its splices. If
-      // anything fails, put every written trampoline back and run the
-      // reverse hooks of the packages whose apply hooks already ran —
-      // all inside this same stop window, so no thread ever observes the
-      // partial state.
-      std::vector<std::pair<uint32_t, std::vector<uint8_t>>> written;
-      size_t hooked = 0;
-      auto unwind = [&]() {
-        for (auto it = written.rbegin(); it != written.rend(); ++it) {
-          (void)m.WriteBytes(it->first, it->second);
+      for (size_t i = hooked; i-- > 0;) {
+        manager_->RunHooksBestEffort(staged_[i].update.hooks.reverse);
+      }
+    };
+    for (Staged& staged : staged_) {
+      ks::Status hooks = manager_->RunHooks(staged.update.hooks.apply);
+      if (!hooks.ok()) {
+        unwind();
+        return hooks;
+      }
+      ++hooked;
+      for (AppliedFunction& fn : staged.update.functions) {
+        ks::Result<std::vector<uint8_t>> saved =
+            m.ReadBytes(fn.orig_address, kvx::kTrampolineSize);
+        ks::Status st = saved.ok() ? ks::Faults().Check("ksplice.txn.splice")
+                                   : ks::Status(saved.status());
+        if (st.ok()) {
+          fn.saved_bytes = *saved;
+          st = m.WriteBytes(fn.orig_address,
+                            MakeTrampoline(fn.orig_address, fn.repl_address));
         }
-        for (size_t i = hooked; i-- > 0;) {
-          manager_->RunHooksBestEffort(staged_[i].update.hooks.reverse);
-        }
-      };
-      for (Staged& staged : staged_) {
-        ks::Status hooks = manager_->RunHooks(staged.update.hooks.apply);
-        if (!hooks.ok()) {
+        if (!st.ok()) {
           unwind();
-          return hooks;
+          return st;
         }
-        ++hooked;
-        for (AppliedFunction& fn : staged.update.functions) {
-          ks::Result<std::vector<uint8_t>> saved =
-              m.ReadBytes(fn.orig_address, kvx::kTrampolineSize);
-          if (!saved.ok()) {
-            unwind();
-            return saved.status();
-          }
-          fn.saved_bytes = std::move(saved).value();
-          ks::Status wrote = m.WriteBytes(
-              fn.orig_address,
-              MakeTrampoline(fn.orig_address, fn.repl_address));
-          if (!wrote.ok()) {
-            unwind();
-            return wrote;
-          }
-          written.emplace_back(fn.orig_address, fn.saved_bytes);
-        }
+        written.emplace_back(fn.orig_address, fn.saved_bytes);
       }
-      return ks::OkStatus();
-    });
-    if (stopped.ok()) {
-      batch_.pause_ns = NowNs() - stop_begin;
-      applied = true;
-      break;
     }
-    if (stopped.code() != ks::ErrorCode::kFailedPrecondition) {
-      last_error = stopped;
-      break;
-    }
-    // Busy: let the machine make progress and retry (§5.2).
-    KS_LOG(kDebug) << "apply batch busy, attempt " << attempt + 1;
-    batch_.retry_ticks += options_.retry_advance_ticks;
-    (void)machine_->Advance(options_.retry_advance_ticks);
-  }
-  auto fail = [this](ks::Status status) {
+    return ks::OkStatus();
+  };
+
+  RendezvousOutcome outcome;
+  ks::Status stopped =
+      RunRendezvous(*machine_, options_, ranges, body, "apply", &outcome);
+  batch_.attempts = outcome.attempts;
+  batch_.retry_ticks = outcome.retry_ticks;
+  batch_.pause_ns = outcome.pause_ns;
+  batch_.blockers = outcome.blockers;
+  if (!stopped.ok()) {
     if (staged_.size() == 1) {
-      return status.WithContext(
+      return stopped.WithContext(
           ks::StrPrintf("applying %s", staged_[0].package->id.c_str()));
     }
-    return status.WithContext(
+    return stopped.WithContext(
         ks::StrPrintf("applying %zu packages", staged_.size()));
-  };
-  if (!last_error.ok()) {
-    return fail(last_error);
-  }
-  if (!applied) {
-    return fail(ks::Aborted(ks::StrPrintf(
-        "a patched function stayed in use after %d attempts",
-        options_.max_attempts)));
   }
   batch_.quiescence_retries = batch_.attempts - 1;
   return ks::OkStatus();
@@ -461,8 +446,10 @@ ks::Status UpdateTransaction::Rendezvous() {
 ks::Status UpdateTransaction::Commit() {
   // The splice is live: from here on, failures (post_apply hooks) surface
   // as errors but the updates stay registered so they can be undone — the
-  // trampolines are not unwound for a cleanup-stage error.
-  ks::Status first_error = ks::OkStatus();
+  // trampolines are not unwound for a cleanup-stage error. The commit
+  // fault site follows the same contract, which is why it seeds
+  // first_error instead of returning before registration.
+  ks::Status first_error = ks::Faults().Check("ksplice.txn.commit");
   for (Staged& staged : staged_) {
     if (first_error.ok()) {
       ks::Status hooks = manager_->RunHooks(staged.update.hooks.post_apply);
@@ -471,8 +458,12 @@ ks::Status UpdateTransaction::Commit() {
       }
     }
     if (first_error.ok() && !options_.keep_helper) {
-      (void)machine_->UnloadModule(staged.update.helper);
-      staged.update.helper = kvm::ModuleHandle{};
+      // Only drop the handle once the unload actually happened: a failed
+      // unload keeps the helper registered so it can still be reclaimed
+      // by UnloadHelper or undo instead of leaking its arena block.
+      if (machine_->UnloadModule(staged.update.helper).ok()) {
+        staged.update.helper = kvm::ModuleHandle{};
+      }
     }
 
     ApplyReport& report = staged.report;
@@ -480,6 +471,7 @@ ks::Status UpdateTransaction::Commit() {
     report.quiescence_retries = batch_.quiescence_retries;
     report.pause_ns = batch_.pause_ns;
     report.retry_ticks = batch_.retry_ticks;
+    report.blockers = batch_.blockers;
     for (const AppliedFunction& fn : staged.update.functions) {
       SpliceRecord record;
       record.unit = fn.unit;
@@ -520,6 +512,10 @@ ks::Status UpdateTransaction::Commit() {
 }
 
 void UpdateTransaction::Rollback(TxnStage failed) {
+  // Compensation code is exempt from fault injection (faultinject.h): a
+  // fault injected while undoing a previous fault's damage would leave the
+  // machine in exactly the partial state rollback exists to prevent.
+  ks::ScopedFaultSuppression suppress;
   ks::TraceSpan span("ksplice.txn.rollback");
   span.Annotate("failed_stage", TxnStageName(failed));
   static ks::Counter& rollbacks =

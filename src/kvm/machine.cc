@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "base/endian.h"
+#include "base/faultinject.h"
 #include "base/logging.h"
 #include "base/metrics.h"
 #include "base/strings.h"
@@ -115,6 +116,7 @@ ks::Result<uint8_t> Machine::ReadByte(uint32_t addr) const {
 }
 
 ks::Status Machine::WriteWord(uint32_t addr, uint32_t value) {
+  KS_FAULT_POINT("kvm.write_word");
   std::unique_lock<std::recursive_mutex> lock(mu_);
   return WriteWordLocked(addr, value);
 }
@@ -131,6 +133,7 @@ ks::Status Machine::WriteByte(uint32_t addr, uint8_t value) {
 
 ks::Result<std::vector<uint8_t>> Machine::ReadBytes(uint32_t addr,
                                                     uint32_t size) const {
+  KS_FAULT_POINT("kvm.read_bytes");
   std::unique_lock<std::recursive_mutex> lock(mu_);
   if (!InBounds(addr, size)) {
     return ks::InvalidArgument(ks::StrPrintf(
@@ -142,6 +145,7 @@ ks::Result<std::vector<uint8_t>> Machine::ReadBytes(uint32_t addr,
 
 ks::Status Machine::WriteBytes(uint32_t addr,
                                const std::vector<uint8_t>& bytes) {
+  KS_FAULT_POINT("kvm.write_bytes");
   std::unique_lock<std::recursive_mutex> lock(mu_);
   if (!InBounds(addr, static_cast<uint32_t>(bytes.size()))) {
     return ks::InvalidArgument(ks::StrPrintf(
@@ -218,6 +222,7 @@ void Machine::ArenaFree(uint32_t base) {
 ks::Result<ModuleHandle> Machine::LoadModule(
     const std::vector<kelf::ObjectFile>& objects, const std::string& name,
     SymbolResolver extra_resolver, const std::string& group) {
+  KS_FAULT_POINT("kvm.load_module");
   std::unique_lock<std::recursive_mutex> lock(mu_);
 
   // Reject modules that redefine exported globals.
@@ -301,6 +306,7 @@ ks::Result<ModuleHandle> Machine::LoadModule(
 }
 
 ks::Status Machine::UnloadModule(ModuleHandle handle) {
+  KS_FAULT_POINT("kvm.unload_module");
   std::unique_lock<std::recursive_mutex> lock(mu_);
   if (handle.id < 0 || handle.id >= static_cast<int>(modules_.size())) {
     return ks::InvalidArgument("bad module handle");
@@ -359,6 +365,7 @@ uint32_t Machine::ModuleArenaBytesForGroup(const std::string& group) const {
 }
 
 ks::Result<int> Machine::UnloadGroup(const std::string& group) {
+  KS_FAULT_POINT("kvm.unload_group");
   std::unique_lock<std::recursive_mutex> lock(mu_);
   if (group.empty()) {
     return ks::InvalidArgument("cannot unload the ungrouped modules");
@@ -390,6 +397,7 @@ Machine::ModuleImports(ModuleHandle handle) const {
 ks::Result<ModuleHandle> Machine::LoadBlob(const std::string& name,
                                            uint32_t size,
                                            const std::string& group) {
+  KS_FAULT_POINT("kvm.load_blob");
   std::unique_lock<std::recursive_mutex> lock(mu_);
   KS_ASSIGN_OR_RETURN(uint32_t base, ArenaAlloc(size, kPageAlign));
   Module module;
@@ -423,6 +431,7 @@ ks::Result<std::vector<kelf::PlacedSection>> Machine::ModulePlacements(
 
 ks::Result<uint32_t> Machine::CallFunction(uint32_t entry, uint32_t arg,
                                            uint64_t max_ticks) {
+  KS_FAULT_POINT("kvm.call_function");
   std::unique_lock<std::recursive_mutex> lock(mu_);
   if (hook_stack_top_ == 0) {
     uint32_t bytes = AlignUp(config_.default_stack_bytes, 16);
@@ -514,6 +523,7 @@ ks::Status Machine::HeapFree(uint32_t addr) {
 }
 
 ks::Result<uint32_t> Machine::HostKmalloc(uint32_t size) {
+  KS_FAULT_POINT("kvm.host_kmalloc");
   std::unique_lock<std::recursive_mutex> lock(mu_);
   return HeapAlloc(size);
 }
@@ -757,6 +767,7 @@ ks::Status Machine::Advance(uint64_t ticks) {
 
 ks::Status Machine::StopMachine(
     const std::function<ks::Status(Machine&)>& fn) {
+  KS_FAULT_POINT("kvm.stop_machine");
   static ks::Counter& calls =
       ks::Metrics().GetCounter("kvm.stop_machine_calls");
   static ks::Histogram& rendezvous =

@@ -126,7 +126,9 @@ void runner(int n) {
   KspliceCore core(machine.get());
   ApplyOptions apply_options;
   apply_options.max_attempts = 10;
-  apply_options.retry_advance_ticks = 10'000;  // enough to pass the sleep
+  // Backoff from 10k ticks doubles past the sleeper's 30k-tick nap well
+  // within the attempt budget.
+  apply_options.backoff_base_ticks = 10'000;
   ks::Result<ApplyReport> applied =
       core.Apply(created->package, apply_options);
   ASSERT_TRUE(applied.ok())

@@ -487,11 +487,16 @@ TEST_F(KspliceIntegration, NonQuiescentFunctionAbortsThenSucceeds) {
 
   ApplyOptions options;
   options.max_attempts = 3;
-  options.retry_advance_ticks = 1'000;
+  options.backoff_base_ticks = 1'000;
+  options.backoff_max_ticks = 1'000;
+  options.backoff_jitter = 0.0;
   ks::Result<ApplyReport> applied = core_->Apply(created->package, options);
   ASSERT_FALSE(applied.ok());
-  EXPECT_EQ(applied.status().code(), ks::ErrorCode::kAborted);
+  EXPECT_EQ(applied.status().code(), ks::ErrorCode::kResourceExhausted);
   EXPECT_NE(applied.status().message().find("in use"), std::string::npos);
+  // The exhaustion report names the blocking thread and its pc.
+  EXPECT_NE(applied.status().message().find("thread"), std::string::npos);
+  EXPECT_NE(applied.status().message().find("pc 0x"), std::string::npos);
 
   // Let the sleeper finish; the old code records 7.
   ASSERT_TRUE(machine_->RunToCompletion().ok());

@@ -254,10 +254,12 @@ void sleeper(int n) {
   KspliceCore core(machine.get());
   ApplyOptions options;
   options.max_attempts = 2;
-  options.retry_advance_ticks = 1'000;
+  options.backoff_base_ticks = 1'000;
+  options.backoff_max_ticks = 1'000;
+  options.backoff_jitter = 0.0;
   ks::Result<BatchApplyReport> batch = core.ApplyAll(packages, options);
   ASSERT_FALSE(batch.ok());
-  EXPECT_EQ(batch.status().code(), ks::ErrorCode::kAborted);
+  EXPECT_EQ(batch.status().code(), ks::ErrorCode::kResourceExhausted);
   EXPECT_NE(batch.status().message().find("in use"), std::string::npos);
 
   // Nothing applied, nothing leaked: no update registered, every module

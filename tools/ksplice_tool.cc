@@ -17,11 +17,15 @@
 //                                                       patches to disk
 //
 // Global flags (any subcommand): -j N, --trace[=FILE], --metrics=FILE,
-// --help. Some commands take their own flags (create --lint=MODE, lint
-// --json[=FILE] --fail-on=SEV). `<command> --help` prints that command's
-// own help, including its flags; an unknown flag or a wrong argument
-// count prints the same help on stderr and exits 2. Flags and commands
-// are table-driven — adding one means adding a table row.
+// --faults=PLAN, --help. Some commands take their own flags (create
+// --lint=MODE, lint --json[=FILE] --fail-on=SEV). `<command> --help`
+// prints that command's own help, including its flags; an unknown flag, a
+// bad flag value or a wrong argument count prints the same help on stderr
+// and exits 2. Flags and commands are table-driven — adding one means
+// adding a table row.
+//
+// Exit codes: 0 success, 1 the operation itself failed (bad package,
+// apply error, lint findings at --fail-on), 2 usage error.
 //
 // Source trees on disk contain .kc (KC), .kvs (assembly), and .h files;
 // paths are taken relative to <srcdir>.
@@ -30,6 +34,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "base/faultinject.h"
 #include "base/metrics.h"
 #include "base/strings.h"
 #include "base/trace.h"
@@ -99,10 +104,17 @@ int Fail(const ks::Status& status) {
   return 1;
 }
 
+// Usage error inside a command handler: prints the message and the active
+// command's help, and returns the usage exit code (2). Defined after the
+// command table.
+struct Command;
+int UsageError(const std::string& message);
+
 // ------------------------------------------------------- global options
 
 struct GlobalOptions {
   int jobs = 1;          // -j N (0 = one worker per hardware thread)
+  std::string faults;    // --faults=PLAN (deterministic fault injection)
   bool trace = false;    // --trace[=FILE]
   std::string trace_file;    // empty => summary table on stderr at exit
   std::string metrics_file;  // --metrics=FILE: registry JSON at exit
@@ -147,6 +159,12 @@ const FlagSpec kFlags[] = {
      "write the metrics registry (counters/gauges/histograms) as JSON to "
      "FILE at exit",
      [](const std::string& v) { g_options.metrics_file = v; }},
+    {"--faults", FlagSpec::kRequired, "PLAN",
+     "arm deterministic fault injection before the command runs: "
+     "site=mode[@code] clauses joined by commas, modes off, once, always, "
+     "nth:N, prob:P (see base/faultinject.h; KSPLICE_FAULTS is the "
+     "equivalent environment variable)",
+     [](const std::string& v) { g_options.faults = v; }},
     {"--help", FlagSpec::kNone, nullptr, "show help and exit",
      [](const std::string&) { g_options.help = true; }},
 };
@@ -424,10 +442,8 @@ int CmdCreate(const std::vector<std::string>& args) {
     } else if (g_cmd.lint_mode == "error") {
       options.lint = ksplice::LintMode::kError;
     } else {
-      std::fprintf(stderr,
-                   "error: --lint=%s is not off, warn or error\n",
-                   g_cmd.lint_mode.c_str());
-      return 2;
+      return UsageError("--lint=" + g_cmd.lint_mode +
+                        " is not off, warn or error");
     }
   }
   ks::Result<ksplice::CreateResult> created =
@@ -466,10 +482,8 @@ int CmdLint(const std::vector<std::string>& args) {
   } else if (g_cmd.fail_on == "error") {
     threshold = ksplice::LintSeverity::kError;
   } else {
-    std::fprintf(stderr,
-                 "error: --fail-on=%s is not note, warning or error\n",
-                 g_cmd.fail_on.c_str());
-    return 2;
+    return UsageError("--fail-on=" + g_cmd.fail_on +
+                      " is not note, warning or error");
   }
   ks::Result<std::string> raw = ReadFile(args[0]);
   if (!raw.ok()) {
@@ -881,6 +895,18 @@ void PrintGlobalHelp() {
                "\n`ksplice_tool <command> --help` describes one command.\n");
 }
 
+const Command* g_active_command = nullptr;
+
+void PrintCommandHelp(const Command& cmd);
+
+int UsageError(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n\n", message.c_str());
+  if (g_active_command != nullptr) {
+    PrintCommandHelp(*g_active_command);
+  }
+  return 2;
+}
+
 void PrintCommandHelp(const Command& cmd) {
   std::fprintf(stderr, "usage: ksplice_tool [flags] %s %s\n\n%s\n%s\n",
                cmd.name, cmd.synopsis, cmd.summary, cmd.help);
@@ -1007,8 +1033,17 @@ int main(int argc, char** argv) {
     PrintCommandHelp(*command);
     return 2;
   }
+  if (!g_options.faults.empty()) {
+    ks::Status armed = ks::Faults().Configure(g_options.faults);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "error: %s\n\n", armed.ToString().c_str());
+      PrintGlobalHelp();
+      return 2;
+    }
+  }
   if (g_options.trace) {
     ks::SetTraceEnabled(true);
   }
+  g_active_command = command;
   return Finish(command->handler(positional));
 }
