@@ -4,13 +4,17 @@
 # directly (TSAN aborts the process on the first data race). The kanalyze
 # analyzer and parser fuzz tests run too: lint executes inside the
 # (parallelized) create pipeline, so its metrics updates must stay clean.
+# The runpre tests cover the matcher's multi-job candidate fan-out, which
+# shares per-unit decode caches and gram tables across worker threads.
 set -e
 cd "$(dirname "$0")/.."
 cmake -B build-tsan -G Ninja -DKSPLICE_SANITIZE=thread
 cmake --build build-tsan --target concurrency_test ksplice_hooks_smp_test \
-  ksplice_txn_test kanalyze_test fuzz_negative_test chaos_test
+  ksplice_txn_test kanalyze_test fuzz_negative_test chaos_test \
+  runpre_test runpre_index_test
 for t in concurrency_test ksplice_hooks_smp_test ksplice_txn_test \
-         kanalyze_test fuzz_negative_test chaos_test; do
+         kanalyze_test fuzz_negative_test chaos_test \
+         runpre_test runpre_index_test; do
   echo "== build-tsan/tests/$t =="
   "./build-tsan/tests/$t"
 done

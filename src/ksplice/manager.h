@@ -61,6 +61,10 @@ struct ApplyOptions : RendezvousOptions {
   // Worker threads for the run-pre match stage (1 = serial; matching is
   // read-only on the machine, so units can be verified concurrently).
   int jobs = 1;
+  // Use the canonical n-gram prefilter in run-pre matching (see
+  // ksplice/runpre.h). Off = the linear fallback, same decisions, more
+  // bytes walked; exposed as `--no-index` in ksplice_tool.
+  bool use_index = true;
 };
 
 // One spliced function of an applied update.

@@ -46,6 +46,12 @@ void MatchStats::MergeFrom(const MatchStats& other) {
   symbols_recovered += other.symbols_recovered;
   ambiguity_deferrals += other.ambiguity_deferrals;
   fixpoint_passes += other.fixpoint_passes;
+  index_anchors += other.index_anchors;
+  index_hits += other.index_hits;
+  index_misses += other.index_misses;
+  pre_bytes_canonicalized += other.pre_bytes_canonicalized;
+  run_bytes_canonicalized += other.run_bytes_canonicalized;
+  revalidations += other.revalidations;
 }
 
 std::string MatchStats::ToJson() const {
@@ -54,10 +60,16 @@ std::string MatchStats::ToJson() const {
       "\"run_bytes_matched\":%llu,\"pre_bytes_walked\":%llu,"
       "\"nop_bytes_skipped\":%llu,\"reloc_sites_inverted\":%llu,"
       "\"symbols_recovered\":%llu,\"ambiguity_deferrals\":%llu,"
-      "\"fixpoint_passes\":%llu}",
+      "\"fixpoint_passes\":%llu,\"index_anchors\":%llu,"
+      "\"index_hits\":%llu,\"index_misses\":%llu,"
+      "\"pre_bytes_canonicalized\":%llu,\"run_bytes_canonicalized\":%llu,"
+      "\"revalidations\":%llu}",
       U(sections_matched), U(candidates_tried), U(run_bytes_matched),
       U(pre_bytes_walked), U(nop_bytes_skipped), U(reloc_sites_inverted),
-      U(symbols_recovered), U(ambiguity_deferrals), U(fixpoint_passes));
+      U(symbols_recovered), U(ambiguity_deferrals), U(fixpoint_passes),
+      U(index_anchors), U(index_hits), U(index_misses),
+      U(pre_bytes_canonicalized), U(run_bytes_canonicalized),
+      U(revalidations));
 }
 
 std::string LintFinding::ToString() const {

@@ -37,6 +37,14 @@ struct MatchStats {
   uint64_t ambiguity_deferrals = 0; // sections deferred to a later pass
   uint64_t fixpoint_passes = 0;     // disambiguation rounds
 
+  // Canonical n-gram index statistics (zero in --no-index linear mode).
+  uint64_t index_anchors = 0;     // kallsyms functions in the gram table
+  uint64_t index_hits = 0;        // candidates the prefilter admitted
+  uint64_t index_misses = 0;      // candidates the prefilter pruned
+  uint64_t pre_bytes_canonicalized = 0;  // pre bytes decoded once per section
+  uint64_t run_bytes_canonicalized = 0;  // run bytes decoded once per anchor
+  uint64_t revalidations = 0;  // cached successes re-checked across passes
+
   void MergeFrom(const MatchStats& other);
   std::string ToJson() const;
 };

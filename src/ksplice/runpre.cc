@@ -1,65 +1,298 @@
 #include "ksplice/runpre.h"
 
 #include <algorithm>
-#include <set>
+#include <cassert>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 
 #include "base/endian.h"
 #include "base/logging.h"
 #include "base/metrics.h"
 #include "base/strings.h"
+#include "base/threadpool.h"
 #include "base/trace.h"
 #include "kvx/isa.h"
 
 namespace ksplice {
 
-namespace {
+CanonicalPrefix CanonicalizeCode(std::span<const uint8_t> code,
+                                 size_t max_bytes) {
+  CanonicalPrefix prefix;
+  size_t pos = 0;
+  while (pos < code.size() && prefix.bytes.size() < max_bytes) {
+    ks::Result<kvx::Insn> insn = kvx::Decode(code.subspan(pos));
+    if (!insn.ok()) {
+      prefix.decode_ok = false;
+      break;
+    }
+    kvx::AppendCanonicalBytes(*insn, prefix.bytes);
+    pos += insn->len;
+  }
+  prefix.src_consumed = static_cast<uint32_t>(pos);
+  return prefix;
+}
 
-// Skips no-op instructions from `pos` within `bytes`; returns the first
-// non-nop boundary (or the original position on decode failure).
-uint32_t SkipNops(const std::vector<uint8_t>& bytes, uint32_t pos) {
-  while (pos < bytes.size()) {
-    ks::Result<kvx::Insn> insn = kvx::Decode(
-        std::span<const uint8_t>(bytes).subspan(pos));
+uint64_t CanonicalGramHash(std::span<const uint8_t> canonical_bytes) {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a
+  for (uint8_t b : canonical_bytes) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+uint64_t NormalizeBranchTarget(std::span<const uint8_t> window,
+                               uint64_t window_base, uint64_t target) {
+  if (target < window_base || target >= window_base + window.size()) {
+    return target;
+  }
+  uint64_t pos = target - window_base;
+  while (pos < window.size()) {
+    ks::Result<kvx::Insn> insn = kvx::Decode(window.subspan(pos));
     if (!insn.ok() || !kvx::GetOpInfo(insn->op).is_nop) {
       break;
     }
     pos += insn->len;
   }
-  return pos;
+  return window_base + pos;
 }
 
-}  // namespace
+namespace {
 
-ks::Result<RunPreMatcher::LocalMatch> RunPreMatcher::TryMatchText(
-    const kelf::ObjectFile& pre, const kelf::Section& section,
-    uint32_t run_start, const std::map<std::string, uint32_t>& committed,
-    MatchStats& stats) const {
-  stats.candidates_tried += 1;
-  auto mismatch = [&](uint32_t pre_pos, const std::string& why) {
-    return ks::Aborted(ks::StrPrintf(
-        "run-pre mismatch in %s %s at pre offset %u (run %s): %s",
-        pre.source_name().c_str(), section.name.c_str(), pre_pos,
-        ks::Hex32(run_start).c_str(), why.c_str()));
+// ------------------------------------------------------------------
+// Stage 1: decode-once representations.
+
+// One non-nop instruction of a decoded code blob.
+struct CodeRec {
+  uint32_t pos = 0;  // offset from the section start / run anchor
+  kvx::Insn insn;
+};
+
+// A pre text section decoded once per MatchUnit (indexed mode) or per
+// attempt (linear mode): non-nop records, the boundary map branch
+// correspondence needs, and the canonical prefilter gram.
+struct PreDecoded {
+  std::vector<CodeRec> recs;
+  // Every instruction boundary the byte walk visits (nop starts included,
+  // plus the end-of-walk boundary) -> index of the first record at or
+  // after it (recs.size() for boundaries past the last record). This is
+  // the record-level image of the byte matcher's `corr` keys and its
+  // SkipNops target normalization.
+  std::map<uint32_t, size_t> boundary;
+  uint32_t end = 0;           // bytes consumed by the decode walk
+  bool decode_error = false;  // decoding failed at offset `end`
+  uint64_t nop_bytes = 0;     // nop padding inside the walked span
+  uint64_t gram_hash = 0;
+  bool gram_complete = false;  // canonical form reached kGramBytes
+};
+
+PreDecoded DecodePre(const std::vector<uint8_t>& code) {
+  PreDecoded d;
+  uint32_t pos = 0;
+  while (pos < code.size()) {
+    d.boundary[pos] = d.recs.size();
+    ks::Result<kvx::Insn> insn = kvx::Decode(
+        std::span<const uint8_t>(code).subspan(pos));
+    if (!insn.ok()) {
+      d.decode_error = true;
+      break;
+    }
+    if (kvx::GetOpInfo(insn->op).is_nop) {
+      d.nop_bytes += insn->len;
+      pos += insn->len;
+      continue;
+    }
+    d.recs.push_back(CodeRec{pos, *insn});
+    pos += insn->len;
+  }
+  d.end = pos;
+  d.boundary[pos] = d.recs.size();
+  CanonicalPrefix prefix =
+      CanonicalizeCode(code, RunPreMatcher::kGramBytes);
+  if (prefix.bytes.size() >= RunPreMatcher::kGramBytes) {
+    d.gram_complete = true;
+    d.gram_hash = CanonicalGramHash(std::span<const uint8_t>(prefix.bytes)
+                                        .first(RunPreMatcher::kGramBytes));
+  }
+  return d;
+}
+
+// Lazily-decoded run code at one candidate address. Bytes are fetched from
+// the machine in growing chunks — the run rendering of a function can be
+// arbitrarily longer than the pre section (alignment padding), so there is
+// no fixed window slack to outgrow — and decoded into non-nop records on
+// demand. One stream per anchor is shared by every section and fixpoint
+// pass of a MatchUnit in indexed mode; callers hold mu() around use.
+class RunStream {
+ public:
+  RunStream(const kvm::Machine& machine, uint32_t start)
+      : machine_(machine),
+        start_(start),
+        mem_end_(machine.config().memory_bytes) {}
+
+  std::mutex& mu() { return mu_; }
+
+  enum class Pull {
+    kRec,         // *rec filled
+    kEndOfCode,   // decode hit the end of memory
+    kBadDecode,   // undecodable (or truncated-at-memory-end) bytes
+    kOutOfRange,  // the anchor itself is past the end of memory
+    kUnreadable,  // the machine refused to read at the anchor
   };
 
-  // Fetch a run window: the run rendering can only be a little shorter
-  // (rel32 -> rel8) or longer (padding) than the pre bytes.
-  uint32_t window = static_cast<uint32_t>(section.bytes.size()) + 256;
-  ks::Result<std::vector<uint8_t>> run_bytes_or =
-      machine_.ReadBytes(run_start, window);
-  if (!run_bytes_or.ok()) {
-    // Clamp at end of memory.
-    uint32_t end = static_cast<uint32_t>(machine_.config().memory_bytes);
-    if (run_start >= end) {
-      return mismatch(0, "candidate address out of range");
+  // Ensures record `k` is decoded. On kRec fills *rec and *nops_before
+  // (nop bytes skipped between record k-1 and record k).
+  Pull GetRec(size_t k, CodeRec* rec, uint64_t* nops_before) {
+    while (recs_.size() <= k && state_ == Pull::kRec) {
+      DecodeNext();
     }
-    run_bytes_or = machine_.ReadBytes(run_start, end - run_start);
-    if (!run_bytes_or.ok()) {
-      return mismatch(0, "candidate address unreadable");
+    if (k < recs_.size()) {
+      *rec = recs_[k];
+      *nops_before = nops_before_[k];
+      return Pull::kRec;
     }
+    return state_;
   }
-  const std::vector<uint8_t>& run = *run_bytes_or;
-  const std::vector<uint8_t>& code = section.bytes;
+
+  // The contiguous run bytes decoded so far, for branch-target
+  // nop-normalization. Only the first `len` bytes are exposed; `len` must
+  // not exceed consumed().
+  std::span<const uint8_t> Window(uint64_t len) const {
+    return std::span<const uint8_t>(bytes_).first(static_cast<size_t>(len));
+  }
+
+  // Canonical-gram hash of the leading instructions; nullopt when the code
+  // here cannot yield kGramBytes of canonical form (in which case no
+  // gram-complete pre section can match it either).
+  std::optional<uint64_t> GramHash() {
+    if (!gram_computed_) {
+      gram_computed_ = true;
+      std::vector<uint8_t> canon;
+      CodeRec rec;
+      uint64_t nops = 0;
+      for (size_t k = 0; canon.size() < RunPreMatcher::kGramBytes; ++k) {
+        if (GetRec(k, &rec, &nops) != Pull::kRec) {
+          return std::nullopt;
+        }
+        kvx::AppendCanonicalBytes(rec.insn, canon);
+      }
+      gram_hash_ = CanonicalGramHash(std::span<const uint8_t>(canon).first(
+          RunPreMatcher::kGramBytes));
+    }
+    return gram_hash_;
+  }
+
+  uint32_t start() const { return start_; }
+  uint64_t consumed() const { return decode_pos_; }    // bytes decoded
+  uint64_t nops_skipped() const { return nops_skipped_; }
+
+ private:
+  void DecodeNext() {
+    // Keep >= one max-length instruction of lookahead unless memory ends.
+    uint64_t want = decode_pos_ + 16;
+    while (bytes_.size() < want && start_ + bytes_.size() < mem_end_) {
+      uint64_t grow = std::max<uint64_t>(256, bytes_.size());
+      grow = std::min(grow, mem_end_ - start_ - bytes_.size());
+      if (start_ >= mem_end_) {
+        break;
+      }
+      ks::Result<std::vector<uint8_t>> chunk = machine_.ReadBytes(
+          static_cast<uint32_t>(start_ + bytes_.size()),
+          static_cast<uint32_t>(grow));
+      if (!chunk.ok()) {
+        state_ = bytes_.empty() ? Pull::kUnreadable : Pull::kEndOfCode;
+        return;
+      }
+      bytes_.insert(bytes_.end(), chunk->begin(), chunk->end());
+    }
+    if (decode_pos_ >= bytes_.size()) {
+      state_ = start_ >= mem_end_ ? Pull::kOutOfRange : Pull::kEndOfCode;
+      return;
+    }
+    ks::Result<kvx::Insn> insn = kvx::Decode(
+        std::span<const uint8_t>(bytes_).subspan(
+            static_cast<size_t>(decode_pos_)));
+    if (!insn.ok()) {
+      state_ = Pull::kBadDecode;
+      return;
+    }
+    if (kvx::GetOpInfo(insn->op).is_nop) {
+      nop_accum_ += insn->len;
+      nops_skipped_ += insn->len;
+      decode_pos_ += insn->len;
+      return;
+    }
+    recs_.push_back(CodeRec{static_cast<uint32_t>(decode_pos_), *insn});
+    nops_before_.push_back(nop_accum_);
+    nop_accum_ = 0;
+    decode_pos_ += insn->len;
+  }
+
+  const kvm::Machine& machine_;
+  const uint32_t start_;
+  const uint64_t mem_end_;
+  std::mutex mu_;
+
+  std::vector<uint8_t> bytes_;  // fetched image bytes from start_
+  std::vector<CodeRec> recs_;
+  std::vector<uint64_t> nops_before_;
+  uint64_t decode_pos_ = 0;
+  uint64_t nop_accum_ = 0;
+  uint64_t nops_skipped_ = 0;
+  Pull state_ = Pull::kRec;  // kRec = decoding can continue
+  bool gram_computed_ = false;
+  std::optional<uint64_t> gram_hash_;
+};
+
+// ------------------------------------------------------------------
+// Stage 2: the verifier (the oracle).
+
+// One relocation site whose symbol value a successful verification
+// recovered, in walk order (first occurrence per symbol). Carried with the
+// cached LocalMatch so later fixpoint passes can re-check valuation
+// consistency — reproducing the exact conflict message a full re-walk
+// would produce — without touching a single code byte again.
+struct RecoveredSite {
+  uint32_t pre_pos = 0;
+  std::string name;
+  uint32_t value = 0;
+};
+
+struct LocalMatch {
+  std::map<std::string, uint32_t> recovered;  // symbol name -> address
+  std::vector<RecoveredSite> sites;           // first occurrences, in order
+  uint32_t run_size = 0;
+};
+
+std::string MismatchMessage(const kelf::ObjectFile& pre,
+                            const kelf::Section& section, uint32_t pre_pos,
+                            uint32_t run_start, const std::string& why) {
+  return ks::StrPrintf(
+      "run-pre mismatch in %s %s at pre offset %u (run %s): %s",
+      pre.source_name().c_str(), section.name.c_str(), pre_pos,
+      ks::Hex32(run_start).c_str(), why.c_str());
+}
+
+// Verifies one (section, candidate) pair by walking pre and run
+// instruction records in step. `predec` carries the pre decode; `run` the
+// (lazily extended) run decode — the caller holds run.mu(). `committed`
+// is the valuation accumulated so far (a conflicting recovery fails the
+// match). When `walk_acct` is non-null (linear mode) the walk charges
+// pre_bytes_walked / nop_bytes_skipped exactly as the byte-by-byte
+// matcher did: bytes up to the mismatch point, per attempt. Relocation
+// inversions always charge into `stats`.
+ks::Result<LocalMatch> VerifyCandidate(
+    const kvm::Machine& machine, const kelf::ObjectFile& pre,
+    const kelf::Section& section, const PreDecoded& predec,
+    uint32_t run_start, RunStream& run,
+    const std::map<std::string, uint32_t>& committed, MatchStats& stats,
+    bool walk_acct) {
+  stats.candidates_tried += 1;
+  auto mismatch = [&](uint32_t pre_pos, const std::string& why) {
+    return ks::Aborted(
+        MismatchMessage(pre, section, pre_pos, run_start, why));
+  };
 
   // Relocation lookup by field offset.
   std::map<uint32_t, const kelf::Relocation*> reloc_at;
@@ -68,16 +301,15 @@ ks::Result<RunPreMatcher::LocalMatch> RunPreMatcher::TryMatchText(
   }
 
   LocalMatch local;
-  std::map<uint32_t, uint32_t> corr;  // pre offset -> run address
   struct BranchCheck {
-    uint32_t pre_target;   // section offset
-    uint32_t run_target;   // absolute address
-    uint32_t at;           // diagnostic: pre offset of the branch
+    uint32_t pre_target;  // section offset
+    uint32_t run_target;  // absolute address
+    uint32_t at;          // diagnostic: pre offset of the branch
   };
   std::vector<BranchCheck> checks;
 
   auto recover = [&](const kelf::Relocation& rel, uint32_t value,
-                     uint32_t p_run) -> ks::Status {
+                     uint32_t p_run, uint32_t at_pre) -> ks::Status {
     stats.reloc_sites_inverted += 1;
     uint32_t s = 0;
     switch (rel.type) {
@@ -96,7 +328,7 @@ ks::Result<RunPreMatcher::LocalMatch> RunPreMatcher::TryMatchText(
     // otherwise the "already-relocated value" is corrupt run code, not a
     // relocation result. (Addresses inside previously-loaded update
     // modules are in kallsyms too, so stacking still passes.)
-    std::vector<kelf::LinkedSymbol> known = machine_.SymbolsNamed(sym.name);
+    std::vector<kelf::LinkedSymbol> known = machine.SymbolsNamed(sym.name);
     if (!known.empty()) {
       bool plausible = false;
       for (const kelf::LinkedSymbol& candidate : known) {
@@ -125,159 +357,196 @@ ks::Result<RunPreMatcher::LocalMatch> RunPreMatcher::TryMatchText(
           sym.name.c_str(), ks::Hex32(s).c_str(),
           ks::Hex32(local_it->second).c_str()));
     }
-    local.recovered[sym.name] = s;
+    if (local.recovered.emplace(sym.name, s).second) {
+      local.sites.push_back(RecoveredSite{at_pre, sym.name, s});
+    }
     return ks::OkStatus();
   };
 
-  uint32_t pre_pos = 0;
-  uint32_t run_pos = 0;  // relative to run_start
-  while (pre_pos < code.size()) {
-    corr[pre_pos] = run_start + run_pos;
-    ks::Result<kvx::Insn> pre_insn = kvx::Decode(
-        std::span<const uint8_t>(code).subspan(pre_pos));
-    if (!pre_insn.ok()) {
-      return mismatch(pre_pos, "pre bytes do not decode");
+  const size_t npre = predec.recs.size();
+  uint32_t last_run_end = 0;  // offset after the last matched run insn
+  for (size_t k = 0; k < npre; ++k) {
+    const CodeRec& P = predec.recs[k];
+    if (walk_acct) {
+      uint32_t gap_start =
+          k == 0 ? 0 : predec.recs[k - 1].pos + predec.recs[k - 1].insn.len;
+      stats.pre_bytes_walked += P.pos - gap_start;
+      stats.nop_bytes_skipped += P.pos - gap_start;
     }
-    if (kvx::GetOpInfo(pre_insn->op).is_nop) {
-      stats.pre_bytes_walked += pre_insn->len;
-      stats.nop_bytes_skipped += pre_insn->len;
-      pre_pos += pre_insn->len;
-      continue;
+    CodeRec R;
+    uint64_t run_nops = 0;
+    RunStream::Pull pull = run.GetRec(k, &R, &run_nops);
+    if (walk_acct && pull == RunStream::Pull::kRec) {
+      stats.nop_bytes_skipped += run_nops;
     }
-    if (run_pos >= run.size()) {
-      return mismatch(pre_pos, "run code ends early");
-    }
-    ks::Result<kvx::Insn> run_insn = kvx::Decode(
-        std::span<const uint8_t>(run).subspan(run_pos));
-    if (!run_insn.ok()) {
-      return mismatch(pre_pos, "run bytes do not decode");
-    }
-    if (kvx::GetOpInfo(run_insn->op).is_nop) {
-      stats.nop_bytes_skipped += run_insn->len;
-      run_pos += run_insn->len;
-      continue;
+    switch (pull) {
+      case RunStream::Pull::kOutOfRange:
+        return mismatch(0, "candidate address out of range");
+      case RunStream::Pull::kUnreadable:
+        return mismatch(0, "candidate address unreadable");
+      case RunStream::Pull::kEndOfCode:
+        return mismatch(P.pos, "run code ends early");
+      case RunStream::Pull::kBadDecode:
+        return mismatch(P.pos, "run bytes do not decode");
+      case RunStream::Pull::kRec:
+        break;
     }
 
-    uint32_t run_insn_end = run_start + run_pos + run_insn->len;
-    uint32_t pre_insn_end = pre_pos + pre_insn->len;
+    uint32_t run_insn_end = run_start + R.pos + R.insn.len;
+    uint32_t pre_insn_end = P.pos + P.insn.len;
 
-    if (pre_insn->op == run_insn->op) {
-      const kvx::OpInfo& info = kvx::GetOpInfo(pre_insn->op);
-      if (info.has_reg1 && pre_insn->reg1 != run_insn->reg1) {
-        return mismatch(pre_pos, "register operand differs");
+    if (P.insn.op == R.insn.op) {
+      const kvx::OpInfo& info = kvx::GetOpInfo(P.insn.op);
+      if (info.has_reg1 && P.insn.reg1 != R.insn.reg1) {
+        return mismatch(P.pos, "register operand differs");
       }
-      if (info.has_reg2 && pre_insn->reg2 != run_insn->reg2) {
-        return mismatch(pre_pos, "register operand differs");
+      if (info.has_reg2 && P.insn.reg2 != R.insn.reg2) {
+        return mismatch(P.pos, "register operand differs");
       }
-      if (info.has_imm8 && pre_insn->imm != run_insn->imm) {
-        return mismatch(pre_pos, "immediate differs");
+      if (info.has_imm8 && P.insn.imm != R.insn.imm) {
+        return mismatch(P.pos, "immediate differs");
       }
-      int field = kvx::Imm32FieldOffset(pre_insn->op);
+      int field = kvx::Imm32FieldOffset(P.insn.op);
       if (field >= 0) {
-        auto rel_it = reloc_at.find(pre_pos + static_cast<uint32_t>(field));
+        auto rel_it = reloc_at.find(P.pos + static_cast<uint32_t>(field));
         if (rel_it != reloc_at.end()) {
-          uint32_t value = ks::ReadLe32(run.data() + run_pos +
-                                        static_cast<uint32_t>(field));
-          uint32_t p_run =
-              run_start + run_pos + static_cast<uint32_t>(field);
-          ks::Status recovered = recover(*rel_it->second, value, p_run);
+          // The already-relocated run word at the field: the imm32 value,
+          // or the stored rel32 displacement bits.
+          uint32_t value = info.has_imm32
+                               ? R.insn.imm
+                               : static_cast<uint32_t>(R.insn.rel);
+          uint32_t p_run = run_start + R.pos + static_cast<uint32_t>(field);
+          ks::Status recovered = recover(*rel_it->second, value, p_run,
+                                         P.pos);
           if (!recovered.ok()) {
-            return mismatch(pre_pos, recovered.message());
+            return mismatch(P.pos, recovered.message());
           }
         } else if (info.has_rel32) {
           checks.push_back(BranchCheck{
-              pre_insn_end + static_cast<uint32_t>(pre_insn->rel),
-              run_insn_end + static_cast<uint32_t>(run_insn->rel),
-              pre_pos});
-        } else if (pre_insn->imm != run_insn->imm) {
-          return mismatch(pre_pos, "immediate differs");
+              pre_insn_end + static_cast<uint32_t>(P.insn.rel),
+              run_insn_end + static_cast<uint32_t>(R.insn.rel), P.pos});
+        } else if (P.insn.imm != R.insn.imm) {
+          return mismatch(P.pos, "immediate differs");
         }
       }
       if (info.has_rel8) {
         checks.push_back(BranchCheck{
-            pre_insn_end + static_cast<uint32_t>(pre_insn->rel),
-            run_insn_end + static_cast<uint32_t>(run_insn->rel), pre_pos});
+            pre_insn_end + static_cast<uint32_t>(P.insn.rel),
+            run_insn_end + static_cast<uint32_t>(R.insn.rel), P.pos});
       }
-      stats.pre_bytes_walked += pre_insn->len;
-      pre_pos += pre_insn->len;
-      run_pos += run_insn->len;
+      if (walk_acct) {
+        stats.pre_bytes_walked += P.insn.len;
+      }
+      last_run_end = R.pos + R.insn.len;
       continue;
     }
 
-    if (kvx::SameBranchFamily(pre_insn->op, run_insn->op)) {
+    if (kvx::SameBranchFamily(P.insn.op, R.insn.op)) {
       // Same control transfer, different displacement widths (§4.3: the
       // matcher must know the instruction set well enough to see that the
       // jumps point to corresponding locations).
-      int field = kvx::Imm32FieldOffset(pre_insn->op);
-      auto rel_it = field >= 0 ? reloc_at.find(pre_pos +
-                                               static_cast<uint32_t>(field))
-                               : reloc_at.end();
+      int field = kvx::Imm32FieldOffset(P.insn.op);
+      auto rel_it = field >= 0
+                        ? reloc_at.find(P.pos + static_cast<uint32_t>(field))
+                        : reloc_at.end();
       if (rel_it != reloc_at.end()) {
         // Pre carries a relocation (cross-section branch); the run target
         // *is* the symbol value (pcrel32 addend is always -4).
         uint32_t run_target =
-            run_insn_end + static_cast<uint32_t>(run_insn->rel);
+            run_insn_end + static_cast<uint32_t>(R.insn.rel);
         const kelf::Relocation& rel = *rel_it->second;
         if (rel.type != kelf::RelocType::kPcrel32 || rel.addend != -4) {
-          return mismatch(pre_pos, "unexpected relocation on branch");
+          return mismatch(P.pos, "unexpected relocation on branch");
         }
         // Emulate a 4-byte field ending at the run instruction: the stored
         // value would be run_target - run_insn_end at P = run_insn_end - 4,
         // so recover() yields S = run_target.
         ks::Status recovered =
-            recover(rel, run_target - run_insn_end, run_insn_end - 4);
+            recover(rel, run_target - run_insn_end, run_insn_end - 4, P.pos);
         if (!recovered.ok()) {
-          return mismatch(pre_pos, recovered.message());
+          return mismatch(P.pos, recovered.message());
         }
       } else {
         checks.push_back(BranchCheck{
-            pre_insn_end + static_cast<uint32_t>(pre_insn->rel),
-            run_insn_end + static_cast<uint32_t>(run_insn->rel), pre_pos});
+            pre_insn_end + static_cast<uint32_t>(P.insn.rel),
+            run_insn_end + static_cast<uint32_t>(R.insn.rel), P.pos});
       }
-      stats.pre_bytes_walked += pre_insn->len;
-      pre_pos += pre_insn->len;
-      run_pos += run_insn->len;
+      if (walk_acct) {
+        stats.pre_bytes_walked += P.insn.len;
+      }
+      last_run_end = R.pos + R.insn.len;
       continue;
     }
 
-    return mismatch(pre_pos,
+    return mismatch(P.pos,
                     ks::StrPrintf("opcode differs (pre %s, run %s)",
-                                  kvx::FormatInsn(*pre_insn).c_str(),
-                                  kvx::FormatInsn(*run_insn).c_str()));
+                                  kvx::FormatInsn(P.insn).c_str(),
+                                  kvx::FormatInsn(R.insn).c_str()));
   }
-  corr[pre_pos] = run_start + run_pos;
+
+  // Trailing pre nop padding (walked but matched against nothing).
+  if (walk_acct) {
+    uint32_t tail_start =
+        npre == 0 ? 0 : predec.recs[npre - 1].pos + predec.recs[npre - 1].insn.len;
+    stats.pre_bytes_walked += predec.end - tail_start;
+    stats.nop_bytes_skipped += predec.end - tail_start;
+  }
+  if (predec.decode_error) {
+    return mismatch(predec.end, "pre bytes do not decode");
+  }
 
   // Validate internal branch correspondences, tolerating no-op padding on
   // either side of a target.
+  auto run_rec_addr = [&](size_t k) -> uint32_t {
+    CodeRec rec;
+    uint64_t nops = 0;
+    RunStream::Pull pull = run.GetRec(k, &rec, &nops);
+    assert(pull == RunStream::Pull::kRec);  // pulled during the walk
+    (void)pull;
+    return run_start + rec.pos;
+  };
   for (const BranchCheck& check : checks) {
-    auto it = corr.find(check.pre_target);
-    if (it == corr.end()) {
+    auto bit = predec.boundary.find(check.pre_target);
+    if (bit == predec.boundary.end()) {
       return mismatch(check.at, "branch targets a non-boundary");
     }
-    if (it->second == check.run_target) {
+    size_t k = bit->second;
+    // The walk's correspondence at this boundary: a real instruction
+    // boundary maps to its matched run instruction; a nop boundary (or the
+    // end) maps to the end of the previously matched run instruction.
+    uint32_t direct;
+    if (k < npre && predec.recs[k].pos == check.pre_target) {
+      direct = run_rec_addr(k);
+    } else if (k == 0) {
+      direct = run_start;
+    } else {
+      CodeRec rec;
+      uint64_t nops = 0;
+      RunStream::Pull pull = run.GetRec(k - 1, &rec, &nops);
+      assert(pull == RunStream::Pull::kRec);
+      (void)pull;
+      direct = run_start + rec.pos + rec.insn.len;
+    }
+    if (direct == check.run_target) {
       continue;
     }
-    uint32_t norm_pre = SkipNops(code, check.pre_target);
-    auto norm_it = corr.find(norm_pre);
-    if (norm_it == corr.end()) {
-      return mismatch(check.at, "branch target does not correspond");
-    }
-    uint32_t expect = norm_it->second;
-    // Normalize the run side too.
-    uint32_t got = check.run_target;
-    if (got >= run_start && got < run_start + run.size()) {
-      got = run_start + SkipNops(run, got - run_start);
-    }
+    // Normalize both sides across their no-op padding.
+    uint64_t expect =
+        k < npre ? run_rec_addr(k)
+                 : static_cast<uint64_t>(run_start) + last_run_end;
+    uint64_t got = NormalizeBranchTarget(run.Window(last_run_end),
+                                         run_start, check.run_target);
     if (expect != got) {
       return mismatch(check.at, "branch target does not correspond");
     }
   }
 
-  local.run_size = run_pos;
+  local.run_size = last_run_end;
   return local;
 }
 
-namespace {
+// ------------------------------------------------------------------
+// Publication.
 
 // Aggregates one MatchUnit call's stats into the process-wide registry.
 void PublishMatchStats(const MatchStats& stats, bool ok) {
@@ -299,6 +568,18 @@ void PublishMatchStats(const MatchStats& stats, bool ok) {
       ks::Metrics().GetCounter("runpre.ambiguity_deferrals");
   static ks::Counter& passes =
       ks::Metrics().GetCounter("runpre.fixpoint_passes");
+  static ks::Counter& revalidations =
+      ks::Metrics().GetCounter("runpre.revalidations");
+  static ks::Counter& index_anchors =
+      ks::Metrics().GetCounter("runpre.index.anchors");
+  static ks::Counter& index_hits =
+      ks::Metrics().GetCounter("runpre.index.hits");
+  static ks::Counter& index_misses =
+      ks::Metrics().GetCounter("runpre.index.misses");
+  static ks::Counter& index_pre_bytes =
+      ks::Metrics().GetCounter("runpre.index.pre_bytes_canonicalized");
+  static ks::Counter& index_run_bytes =
+      ks::Metrics().GetCounter("runpre.index.run_bytes_canonicalized");
   (ok ? units : failures).Add(1);
   sections.Add(stats.sections_matched);
   candidates.Add(stats.candidates_tried);
@@ -308,7 +589,43 @@ void PublishMatchStats(const MatchStats& stats, bool ok) {
   relocs.Add(stats.reloc_sites_inverted);
   deferrals.Add(stats.ambiguity_deferrals);
   passes.Add(stats.fixpoint_passes);
+  revalidations.Add(stats.revalidations);
+  index_anchors.Add(stats.index_anchors);
+  index_hits.Add(stats.index_hits);
+  index_misses.Add(stats.index_misses);
+  index_pre_bytes.Add(stats.pre_bytes_canonicalized);
+  index_run_bytes.Add(stats.run_bytes_canonicalized);
 }
+
+// ------------------------------------------------------------------
+// The fixpoint driver.
+
+// Cached outcome of one (section, candidate) verification. A failed
+// candidate never recovers (byte mismatches are permanent and the
+// committed valuation only grows), and a successful one only needs its
+// recovered sites re-checked against the valuation, so nothing is ever
+// verified twice.
+struct Attempt {
+  enum class Kind { kSuccess, kFailure, kPruned } kind = Kind::kFailure;
+  LocalMatch local;    // kSuccess
+  ks::Status failure = ks::OkStatus();  // kFailure
+};
+
+struct PendingSection {
+  int index = 0;
+  std::string symbol;
+  const kelf::Section* section = nullptr;
+  PreDecoded pre;            // decoded once (indexed mode)
+  bool pre_decoded = false;
+  std::map<uint32_t, Attempt> attempts;   // candidate addr -> outcome
+  // Scratch for the current pass:
+  std::vector<uint32_t> candidates;       // pass-start candidate list
+  std::vector<uint32_t> to_verify;        // uncached, prefilter-admitted
+};
+
+// How many per-candidate failure reasons an all-candidates-failed abort
+// reports before eliding the rest.
+constexpr size_t kMaxFailureReasons = 6;
 
 }  // namespace
 
@@ -330,10 +647,6 @@ ks::Result<UnitMatch> RunPreMatcher::MatchUnit(const kelf::ObjectFile& pre,
   UnitMatch match;
   match.unit = pre.source_name();
 
-  struct PendingSection {
-    int index = 0;
-    std::string symbol;
-  };
   std::vector<PendingSection> pending;
   for (size_t si = 0; si < pre.sections().size(); ++si) {
     const kelf::Section& section = pre.sections()[si];
@@ -348,45 +661,235 @@ ks::Result<UnitMatch> RunPreMatcher::MatchUnit(const kelf::ObjectFile& pre,
           "build made with -ffunction-sections?)",
           section.name.c_str(), pre.source_name().c_str()));
     }
-    pending.push_back(PendingSection{
-        static_cast<int>(si),
-        pre.symbols()[static_cast<size_t>(*def)].name});
+    PendingSection entry;
+    entry.index = static_cast<int>(si);
+    entry.symbol = pre.symbols()[static_cast<size_t>(*def)].name;
+    entry.section = &section;
+    if (options_.use_index) {
+      entry.pre = DecodePre(section.bytes);
+      entry.pre_decoded = true;
+      tally.pre_bytes_canonicalized += entry.pre.end;
+    }
+    pending.push_back(std::move(entry));
   }
+
+  // Per-MatchUnit run-side state (indexed mode): one RunStream per
+  // candidate address, shared across sections and passes, plus the n-gram
+  // table over every kallsyms function entry. The stream map is only
+  // mutated in the serial phases; streams themselves carry a mutex for the
+  // parallel verification phase.
+  std::map<uint32_t, std::unique_ptr<RunStream>> streams;
+  auto stream_at = [&](uint32_t addr) -> RunStream& {
+    auto it = streams.find(addr);
+    if (it == streams.end()) {
+      it = streams
+               .emplace(addr, std::make_unique<RunStream>(machine_, addr))
+               .first;
+    }
+    return *it->second;
+  };
+  std::unordered_map<uint64_t, std::vector<uint32_t>> gram_table;
+  bool gram_table_built = false;
+  auto build_gram_table = [&]() {
+    if (gram_table_built) {
+      return;
+    }
+    gram_table_built = true;
+    std::vector<uint32_t> anchors;
+    for (const kelf::LinkedSymbol& sym : machine_.Kallsyms()) {
+      if (sym.kind == kelf::SymbolKind::kFunction) {
+        anchors.push_back(sym.address);
+      }
+    }
+    std::sort(anchors.begin(), anchors.end());
+    anchors.erase(std::unique(anchors.begin(), anchors.end()),
+                  anchors.end());
+    for (uint32_t addr : anchors) {
+      std::optional<uint64_t> hash;
+      {
+        RunStream& stream = stream_at(addr);
+        std::lock_guard<std::mutex> lock(stream.mu());
+        hash = stream.GramHash();
+      }
+      if (hash.has_value()) {
+        gram_table[*hash].push_back(addr);  // anchors ascending => sorted
+      }
+    }
+    tally.index_anchors += anchors.size();
+  };
+
+  // The candidate list for a section under the given valuation — the same
+  // precedence as always: an already-committed value pins the candidate,
+  // else the stacking redirect, else every same-named kallsyms function.
+  auto compute_candidates =
+      [&](const PendingSection& entry) -> std::vector<uint32_t> {
+    std::vector<uint32_t> candidates;
+    auto valued = match.symbol_values.find(entry.symbol);
+    if (valued != match.symbol_values.end()) {
+      candidates.push_back(valued->second);
+    } else if (redirect_ != nullptr) {
+      std::optional<std::pair<uint32_t, uint32_t>> redirected =
+          redirect_(match.unit, entry.symbol);
+      if (redirected.has_value()) {
+        candidates.push_back(redirected->first);
+      }
+    }
+    if (candidates.empty()) {
+      for (const kelf::LinkedSymbol& sym :
+           machine_.SymbolsNamed(entry.symbol)) {
+        if (sym.kind == kelf::SymbolKind::kFunction) {
+          candidates.push_back(sym.address);
+        }
+      }
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+    }
+    return candidates;
+  };
+
+  // Verifies one candidate of one section right now (serial phases and
+  // the failure-diagnostics path). Decodes per attempt in linear mode.
+  auto verify_now = [&](PendingSection& entry, uint32_t candidate,
+                        const std::map<std::string, uint32_t>& committed,
+                        MatchStats& into) -> Attempt {
+    Attempt attempt;
+    if (!entry.pre_decoded && options_.use_index) {
+      entry.pre = DecodePre(entry.section->bytes);
+      entry.pre_decoded = true;
+      into.pre_bytes_canonicalized += entry.pre.end;
+    }
+    PreDecoded fresh;
+    const PreDecoded* predec = &entry.pre;
+    if (!options_.use_index) {
+      fresh = DecodePre(entry.section->bytes);
+      predec = &fresh;
+    }
+    ks::Result<LocalMatch> result = [&] {
+      if (options_.use_index) {
+        RunStream& stream = stream_at(candidate);
+        std::lock_guard<std::mutex> lock(stream.mu());
+        return VerifyCandidate(machine_, pre, *entry.section, *predec,
+                               candidate, stream, committed, into,
+                               /*walk_acct=*/false);
+      }
+      RunStream stream(machine_, candidate);
+      std::lock_guard<std::mutex> lock(stream.mu());
+      return VerifyCandidate(machine_, pre, *entry.section, *predec,
+                             candidate, stream, committed, into,
+                             /*walk_acct=*/true);
+    }();
+    if (result.ok()) {
+      attempt.kind = Attempt::Kind::kSuccess;
+      attempt.local = std::move(result).value();
+    } else {
+      attempt.kind = Attempt::Kind::kFailure;
+      attempt.failure = result.status();
+    }
+    return attempt;
+  };
+
+  // Re-checks a cached successful verification against the current
+  // valuation, reproducing the exact conflict message a re-walk would
+  // give. Returns OkStatus when the candidate still matches.
+  auto revalidate = [&](const PendingSection& entry, uint32_t candidate,
+                        const LocalMatch& local) -> ks::Status {
+    tally.revalidations += 1;
+    for (const RecoveredSite& site : local.sites) {
+      auto it = match.symbol_values.find(site.name);
+      if (it != match.symbol_values.end() && it->second != site.value) {
+        return ks::Aborted(MismatchMessage(
+            pre, *entry.section, site.pre_pos, candidate,
+            ks::StrPrintf("symbol '%s' recovered as %s but already valued %s",
+                          site.name.c_str(), ks::Hex32(site.value).c_str(),
+                          ks::Hex32(it->second).c_str())));
+      }
+    }
+    return ks::OkStatus();
+  };
 
   // Iterate to a fixpoint: each pass matches sections whose candidate set
   // resolves to exactly one successful address; the committed valuation
-  // then disambiguates harder sections on later passes.
+  // then disambiguates harder sections on later passes. Per pass:
+  // (1) serial: compute pass-start candidate lists, prune via the n-gram
+  //     prefilter, and collect the uncached (section, candidate) pairs;
+  // (2) parallel: verify those pairs against the pass-start valuation —
+  //     verification is read-only on the machine and each task writes only
+  //     its own slot, so the fan-out is deterministic at any worker count;
+  // (3) serial, in section order: gather per-section outcomes against the
+  //     *current* valuation (commits propagate within a pass, exactly as
+  //     the sequential matcher behaved) and commit unique successes.
   while (!pending.empty()) {
     tally.fixpoint_passes += 1;
-    bool progress = false;
-    std::vector<PendingSection> still_pending;
-    for (const PendingSection& entry : pending) {
-      const kelf::Section& section =
-          pre.sections()[static_cast<size_t>(entry.index)];
 
-      std::vector<uint32_t> candidates;
-      auto valued = match.symbol_values.find(entry.symbol);
-      if (valued != match.symbol_values.end()) {
-        candidates.push_back(valued->second);
-      } else if (redirect_ != nullptr) {
-        std::optional<std::pair<uint32_t, uint32_t>> redirected =
-            redirect_(match.unit, entry.symbol);
-        if (redirected.has_value()) {
-          candidates.push_back(redirected->first);
-        }
-      }
-      if (candidates.empty()) {
-        for (const kelf::LinkedSymbol& sym :
-             machine_.SymbolsNamed(entry.symbol)) {
-          if (sym.kind == kelf::SymbolKind::kFunction) {
-            candidates.push_back(sym.address);
+    // (1) Schedule.
+    struct Task {
+      PendingSection* entry;
+      uint32_t candidate;
+    };
+    std::vector<Task> tasks;
+    for (PendingSection& entry : pending) {
+      entry.candidates = compute_candidates(entry);
+      entry.to_verify.clear();
+      std::vector<uint32_t> admitted = entry.candidates;
+      if (options_.use_index && admitted.size() > 1 &&
+          entry.pre.gram_complete) {
+        build_gram_table();
+        auto bucket = gram_table.find(entry.pre.gram_hash);
+        static const std::vector<uint32_t> kEmpty;
+        const std::vector<uint32_t>& hits =
+            bucket != gram_table.end() ? bucket->second : kEmpty;
+        std::vector<uint32_t> survived;
+        for (uint32_t candidate : admitted) {
+          if (entry.attempts.count(candidate) != 0) {
+            survived.push_back(candidate);  // already decided or pruned
+            continue;
+          }
+          if (std::binary_search(hits.begin(), hits.end(), candidate)) {
+            tally.index_hits += 1;
+            survived.push_back(candidate);
+          } else {
+            tally.index_misses += 1;
+            Attempt pruned;
+            pruned.kind = Attempt::Kind::kPruned;
+            entry.attempts.emplace(candidate, std::move(pruned));
           }
         }
-        std::sort(candidates.begin(), candidates.end());
-        candidates.erase(
-            std::unique(candidates.begin(), candidates.end()),
-            candidates.end());
+        admitted = std::move(survived);
       }
+      for (uint32_t candidate : admitted) {
+        if (entry.attempts.count(candidate) == 0) {
+          entry.to_verify.push_back(candidate);
+          tasks.push_back(Task{&entry, candidate});
+        }
+      }
+    }
+
+    // (2) Verify uncached pairs in parallel against the pass-start
+    // valuation snapshot.
+    if (!tasks.empty()) {
+      std::vector<Attempt> results(tasks.size());
+      std::vector<MatchStats> task_stats(tasks.size());
+      const std::map<std::string, uint32_t> snapshot = match.symbol_values;
+      ks::ParallelFor(options_.jobs, tasks.size(), [&](size_t i) {
+        results[i] = verify_now(*tasks[i].entry, tasks[i].candidate,
+                                snapshot, task_stats[i]);
+      });
+      for (size_t i = 0; i < tasks.size(); ++i) {
+        tally.MergeFrom(task_stats[i]);
+        tasks[i].entry->attempts.emplace(tasks[i].candidate,
+                                         std::move(results[i]));
+      }
+    }
+
+    // (3) Gather and commit in section order.
+    bool progress = false;
+    std::vector<PendingSection> still_pending;
+    for (PendingSection& entry : pending) {
+      const kelf::Section& section = *entry.section;
+      // Re-derive the candidate list: a commit earlier in this same pass
+      // may have pinned this symbol to a single address.
+      std::vector<uint32_t> candidates = compute_candidates(entry);
       if (candidates.empty()) {
         return ks::Aborted(ks::StrPrintf(
             "run-pre: no run candidate for %s (%s in %s) — does the given "
@@ -395,31 +898,75 @@ ks::Result<UnitMatch> RunPreMatcher::MatchUnit(const kelf::ObjectFile& pre,
             match.unit.c_str()));
       }
 
-      std::vector<std::pair<uint32_t, LocalMatch>> successes;
-      std::string last_failure;
+      std::vector<std::pair<uint32_t, const LocalMatch*>> successes;
       for (uint32_t candidate : candidates) {
-        ks::Result<LocalMatch> attempt =
-            TryMatchText(pre, section, candidate, match.symbol_values, tally);
-        if (attempt.ok()) {
-          successes.emplace_back(candidate, std::move(attempt).value());
-        } else {
-          last_failure = attempt.status().message();
+        auto it = entry.attempts.find(candidate);
+        if (it == entry.attempts.end()) {
+          // Never scheduled: the valuation pinned an address the pass-start
+          // candidate list did not contain. Verify it now, against the
+          // current valuation. (A kPruned entry stays pruned — the gram
+          // mismatch proves the verifier would reject it; the diagnostics
+          // path below runs the verifier anyway when everything failed.)
+          Attempt attempt =
+              verify_now(entry, candidate, match.symbol_values, tally);
+          it = entry.attempts.insert_or_assign(candidate,
+                                               std::move(attempt)).first;
+        } else if (it->second.kind == Attempt::Kind::kSuccess) {
+          ks::Status still = revalidate(entry, candidate, it->second.local);
+          if (!still.ok()) {
+            Attempt failed;
+            failed.kind = Attempt::Kind::kFailure;
+            failed.failure = std::move(still);
+            it->second = std::move(failed);
+          }
+        }
+        if (it->second.kind == Attempt::Kind::kSuccess) {
+          successes.emplace_back(candidate, &it->second.local);
         }
       }
+
       if (successes.empty()) {
+        // Report every candidate's address and reason (capped), so an
+        // ambiguous-symbol failure names which copy failed why, instead of
+        // surfacing only whichever candidate happened to fail last.
+        std::string detail;
+        for (size_t i = 0; i < candidates.size(); ++i) {
+          if (i == kMaxFailureReasons) {
+            detail += ks::StrPrintf("\n  ... and %zu more candidate(s)",
+                                    candidates.size() - kMaxFailureReasons);
+            break;
+          }
+          uint32_t candidate = candidates[i];
+          auto it = entry.attempts.find(candidate);
+          if (it == entry.attempts.end() ||
+              it->second.kind == Attempt::Kind::kPruned) {
+            // Prefilter-pruned: run the verifier after all, purely for the
+            // authoritative diagnostic (this is the abort path).
+            Attempt attempt =
+                verify_now(entry, candidate, match.symbol_values, tally);
+            it = entry.attempts.insert_or_assign(candidate,
+                                                 std::move(attempt)).first;
+          }
+          detail += ks::StrPrintf(
+              "\n  candidate %s: %s", ks::Hex32(candidate).c_str(),
+              it->second.kind == Attempt::Kind::kFailure
+                  ? it->second.failure.message().c_str()
+                  : "matches (valuation later invalidated it)");
+        }
         return ks::Aborted(ks::StrPrintf(
-            "run-pre: %s in %s matches no candidate (%zu tried): %s",
+            "run-pre: %s in %s matches no candidate (%zu tried):%s",
             entry.symbol.c_str(), match.unit.c_str(), candidates.size(),
-            last_failure.c_str()));
+            detail.c_str()));
       }
       if (successes.size() > 1) {
         tally.ambiguity_deferrals += 1;
-        still_pending.push_back(entry);  // hope valuation will disambiguate
-        continue;
+        still_pending.push_back(std::move(entry));
+        continue;  // hope valuation will disambiguate on a later pass
       }
 
       // Commit.
-      auto& [address, local] = successes[0];
+      uint32_t address = successes[0].first;
+      const LocalMatch& local = *successes[0].second;
       for (const auto& [name, value] : local.recovered) {
         auto existing = match.symbol_values.find(name);
         if (existing != match.symbol_values.end() &&
@@ -461,6 +1008,13 @@ ks::Result<UnitMatch> RunPreMatcher::MatchUnit(const kelf::ObjectFile& pre,
           match.unit.c_str(), names.c_str()));
     }
     pending = std::move(still_pending);
+  }
+
+  // The index's decode work, counted once per stream however many
+  // sections and passes shared it.
+  for (const auto& [addr, stream] : streams) {
+    tally.run_bytes_canonicalized += stream->consumed();
+    tally.nop_bytes_skipped += stream->nops_skipped();
   }
 
   tally.symbols_recovered = match.symbol_values.size();

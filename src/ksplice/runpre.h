@@ -2,35 +2,49 @@
 // to the code actually running, and recover symbol values — including
 // ambiguous local symbols — from already-relocated run bytes.
 //
-// For every text section of a pre object (the helper carries every section
-// of each rebuilt unit), the matcher:
+// The matcher is a two-stage design:
 //
-//  1. collects candidate run addresses for the section's defining symbol
-//     from kallsyms (all same-named symbols — locals collide) or, when the
-//     function was already hot-patched, from the redirect callback, which
-//     points at "the latest Ksplice replacement code already in the
-//     kernel" (§5.4);
-//  2. walks pre and run code instruction by instruction, using the ISA's
-//     length table, skipping no-op padding independently on each side, and
-//     tolerating rel8-vs-rel32 encodings of the same branch as long as the
-//     targets correspond (§4.3);
-//  3. at each pre relocation site, inverts the relocation algebra against
-//     the already-relocated run word: S = val + P_run − A (pc-relative) or
-//     S = val − A (absolute), accumulating a symbol valuation that must be
-//     globally consistent;
-//  4. accepts a candidate only if every byte corresponds; a section whose
-//     symbol name is ambiguous is matched against every candidate, and
-//     ambiguity is resolved by code content plus valuation constraints
-//     propagated from other sections. Residual ambiguity or any run/pre
-//     difference aborts the update (§4.3, §6.2 criterion (a)/(b)).
+//  stage 1 (canonicalize + index, the prefilter): pre sections and run
+//  candidates are decoded once into instruction records, and a canonical
+//  byte form (kvx::AppendCanonicalBytes: nop padding dropped, rel8/rel32
+//  displacements and imm32 operand bytes wildcarded) feeds a content-hash
+//  n-gram table built once per MatchUnit over every kallsyms function
+//  address, so ambiguous-symbol candidate discovery is an index lookup
+//  instead of a byte-by-byte scan of every candidate;
+//
+//  stage 2 (verify, the oracle): surviving candidates run through the
+//  precise verifier, which walks pre and run instruction records in step,
+//  tolerating rel8-vs-rel32 encodings of the same branch as long as the
+//  targets correspond (§4.3), and at each pre relocation site inverts the
+//  relocation algebra against the already-relocated run word: S = val +
+//  P_run − A (pc-relative) or S = val − A (absolute), accumulating a
+//  symbol valuation that must be globally consistent.
+//
+// The prefilter proposes, the verifier decides: pruning is sound (equal
+// canonical streams are a necessary condition for any verifier match), so
+// match decisions, recovered valuations, and failure messages are
+// byte-identical with the index disabled (MatcherOptions::use_index =
+// false, the `--no-index` linear fallback).
+//
+// A section whose symbol name is ambiguous is matched against every
+// surviving candidate, and ambiguity is resolved by code content plus
+// valuation constraints propagated from other sections across fixpoint
+// passes; a section's successful verifications are carried forward across
+// passes (only the valuation consistency of the cached recovery is
+// re-checked), so no (section, candidate) pair is ever walked twice.
+// Residual ambiguity or any run/pre difference aborts the update (§4.3,
+// §6.2 criterion (a)/(b)).
 
 #ifndef KSPLICE_KSPLICE_RUNPRE_H_
 #define KSPLICE_KSPLICE_RUNPRE_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "base/status.h"
 #include "kelf/objfile.h"
@@ -63,11 +77,58 @@ using PatchRedirect =
     std::function<std::optional<std::pair<uint32_t, uint32_t>>(
         const std::string& unit, const std::string& symbol)>;
 
+// Matching knobs.
+struct MatcherOptions {
+  // Use the canonical n-gram prefilter and per-MatchUnit decode cache. Off
+  // = the linear fallback: every candidate of every section is decoded and
+  // walked per attempt (same decisions, an order of magnitude more bytes
+  // walked on ambiguous units).
+  bool use_index = true;
+  // Worker threads for the per-section fan-out inside one fixpoint pass
+  // (<= 1 = serial). Verification is read-only on the machine and writes
+  // only per-section state, so sections verify concurrently; commits stay
+  // sequential in section order, so results are identical at any count.
+  int jobs = 1;
+};
+
+// The canonical prefix of a code blob: kvx canonical bytes of the leading
+// instructions, stopping at `max_bytes` canonical bytes, a decode failure,
+// or the end of `code`. Exposed for prefilter tests; the matcher uses the
+// same routine for pre sections and for run anchors.
+struct CanonicalPrefix {
+  std::vector<uint8_t> bytes;
+  uint32_t src_consumed = 0;  // original bytes the prefix covers
+  bool decode_ok = true;      // false: stopped at an undecodable byte
+};
+CanonicalPrefix CanonicalizeCode(std::span<const uint8_t> code,
+                                 size_t max_bytes);
+
+// The content hash the n-gram prefilter keys on: FNV-1a over the first
+// `RunPreMatcher::kGramBytes` canonical bytes. Exposed for tests.
+uint64_t CanonicalGramHash(std::span<const uint8_t> canonical_bytes);
+
+// Nop-normalizes a branch target (§4.3): when `target` lies inside
+// [window_base, window_base + window.size()), skips no-op instructions
+// starting at it and returns the first non-nop boundary; otherwise returns
+// `target` unchanged. All arithmetic is 64-bit — window_base near the top
+// of the 32-bit address space must not wrap the range check (a wrapped
+// uint32_t comparison silently skipped normalization for top-of-memory
+// sections). Exposed for the overflow regression test.
+uint64_t NormalizeBranchTarget(std::span<const uint8_t> window,
+                               uint64_t window_base, uint64_t target);
+
 class RunPreMatcher {
  public:
+  // Canonical bytes per prefilter gram. Sections whose canonical form is
+  // shorter are never pruned (the gram would not be content-complete).
+  static constexpr size_t kGramBytes = 16;
+
   explicit RunPreMatcher(const kvm::Machine& machine,
-                         PatchRedirect redirect = nullptr)
-      : machine_(machine), redirect_(std::move(redirect)) {}
+                         PatchRedirect redirect = nullptr,
+                         MatcherOptions options = {})
+      : machine_(machine),
+        redirect_(std::move(redirect)),
+        options_(options) {}
 
   // Matches every text section of `pre` against the run image. When
   // `stats` is non-null it is filled with this call's matching statistics
@@ -78,21 +139,9 @@ class RunPreMatcher {
                                   MatchStats* stats = nullptr) const;
 
  private:
-  struct LocalMatch {
-    std::map<std::string, uint32_t> recovered;  // symbol name -> address
-    uint32_t run_size = 0;
-  };
-
-  // Attempts to match one section at `run_start`; `committed` carries the
-  // valuation accumulated so far (a conflicting recovery fails the match).
-  // Byte/relocation/no-op tallies accumulate into `stats`.
-  ks::Result<LocalMatch> TryMatchText(
-      const kelf::ObjectFile& pre, const kelf::Section& section,
-      uint32_t run_start, const std::map<std::string, uint32_t>& committed,
-      MatchStats& stats) const;
-
   const kvm::Machine& machine_;
   PatchRedirect redirect_;
+  MatcherOptions options_;
 };
 
 }  // namespace ksplice
