@@ -22,62 +22,11 @@
 #include "ksplice/create.h"
 #include "kvm/machine.h"
 
-namespace {
-
-struct Version {
-  const char* name;
-  const char* dev_path;  // file this release changed ("" for v1)
-  const char* dev_from;
-  const char* dev_to;
-};
-
-// Each release makes a small unrelated change to one subsystem.
-const Version kVersions[] = {
-    {"v2.6.1", "", "", ""},
-    {"v2.6.2", "kernel/sched.kc", "sched_stats[0] += 1;",
-     "sched_stats[0] += 2;"},
-    {"v2.6.3", "net/ipv4.kc", "return daddr % 4;", "return daddr % 8;"},
-    {"v2.6.4", "kernel/sys_prctl.kc", "dumpable[tid() % 64] = arg;",
-     "dumpable[tid() % 63] = arg;"},
-    {"v2.6.5", "drv/dvb/dst_ca.kc", "record(950, slot);",
-     "record(951, slot);"},
-};
-
-ks::Result<kdiff::SourceTree> TreeFor(const Version& version) {
-  kdiff::SourceTree tree = corpus::KernelSource();
-  if (version.dev_path[0] == '\0') {
-    return tree;
-  }
-  ks::Result<std::string> contents = tree.Read(version.dev_path);
-  if (!contents.ok()) {
-    return contents.status();
-  }
-  std::string updated = *contents;
-  size_t at = updated.find(version.dev_from);
-  if (at == std::string::npos) {
-    return ks::NotFound("dev edit anchor missing");
-  }
-  updated.replace(at, std::string(version.dev_from).size(), version.dev_to);
-  tree.Write(version.dev_path, updated);
-  return tree;
-}
-
-ks::Result<std::unique_ptr<kvm::Machine>> BootTree(
-    const kdiff::SourceTree& tree) {
-  KS_ASSIGN_OR_RETURN(std::vector<kelf::ObjectFile> objects,
-                      kcc::BuildTree(tree, corpus::RunBuildOptions()));
-  kvm::MachineConfig config;
-  config.memory_bytes = 24u << 20;
-  KS_ASSIGN_OR_RETURN(std::unique_ptr<kvm::Machine> machine,
-                      kvm::Machine::Boot(std::move(objects), config));
-  KS_RETURN_IF_ERROR(machine->SpawnNamed("kernel_init", 0).status());
-  KS_RETURN_IF_ERROR(machine->RunToCompletion());
-  return machine;
-}
-
-}  // namespace
-
 int main() {
+  // The release line lives in the corpus (corpus::KernelVersions) so the
+  // fleet orchestrator, its tests and this bench share one drift model.
+  const std::vector<corpus::KernelVersion>& versions =
+      corpus::KernelVersions();
   // Patches whose units some development release touched.
   const char* sample[] = {"CVE-2006-2451", "CVE-2005-4639",
                           "CVE-2007-2172", "CVE-2008-1294"};
@@ -85,8 +34,8 @@ int main() {
   std::printf("=== §6.2 methodology: one update package across kernel "
               "versions ===\n\n");
   std::printf("%-15s", "CVE \\ kernel");
-  for (const Version& version : kVersions) {
-    std::printf(" %9s", version.name);
+  for (const corpus::KernelVersion& version : versions) {
+    std::printf(" %9s", version.name.c_str());
   }
   std::printf("\n");
 
@@ -118,12 +67,14 @@ int main() {
     }
 
     std::printf("%-15s", cve);
-    for (const Version& version : kVersions) {
-      ks::Result<kdiff::SourceTree> tree = TreeFor(version);
+    for (size_t vi = 0; vi < versions.size(); ++vi) {
+      const corpus::KernelVersion& version = versions[vi];
+      ks::Result<kdiff::SourceTree> tree = corpus::KernelSourceAt(vi);
       if (!tree.ok()) {
         return 1;
       }
-      ks::Result<std::unique_ptr<kvm::Machine>> machine = BootTree(*tree);
+      ks::Result<std::unique_ptr<kvm::Machine>> machine =
+          corpus::BootKernelVersion(vi);
       if (!machine.ok()) {
         return 1;
       }

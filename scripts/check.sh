@@ -173,4 +173,32 @@ rc=0; build/tools/ksplice_tool inspect "$obs_dir/no-such.kspl" \
   2>/dev/null || rc=$?
 test "$rc" -eq 1 || { echo "inspect missing file exited $rc, want 1"; exit 1; }
 
+# Fleet rollout smoke: a clean 8-node rollout must patch every non-stale
+# node and exit 0; a drill with a doomed canary must trip the canary wave,
+# roll every patched node back, and exit 1 — and the report JSON must say
+# so (aborted, zero nodes left patched).
+echo "== ksplice_tool fleet rollout smoke =="
+build/tools/ksplice_tool rollout --nodes=8 --wave=4 --max-in-flight=4 \
+  --json="$obs_dir/rollout-clean.json"
+rc=0; build/tools/ksplice_tool rollout --nodes=8 --wave=4 --max-in-flight=4 \
+  --canary=0.25 --doom=1 --json="$obs_dir/rollout-drill.json" || rc=$?
+test "$rc" -eq 1 || { echo "doomed rollout exited $rc, want 1"; exit 1; }
+python3 - "$obs_dir" <<'EOF'
+import json, sys
+obs_dir = sys.argv[1]
+clean = json.load(open(obs_dir + "/rollout-clean.json"))
+assert not clean["aborted"], clean
+assert clean["failed"] == 0, clean
+assert clean["patched"] + clean["skipped_stale"] == clean["fleet_size"], clean
+drill = json.load(open(obs_dir + "/rollout-drill.json"))
+assert drill["aborted"] and drill["tripped_wave"] == 0, drill
+assert drill["patched"] == 0, f"nodes left patched after abort: {drill}"
+assert drill["failed"] == 1 and drill["rolled_back"] == 1, drill
+outcomes = {n["node"]: n["outcome"] for n in drill["nodes"]}
+assert outcomes["node-000"] == "failed", outcomes
+print("fleet rollout JSON OK:", clean["patched"], "patched clean;",
+      "drill aborted at wave", drill["tripped_wave"], "with",
+      drill["rolled_back"], "rolled back")
+EOF
+
 echo "ALL CHECKS PASSED"

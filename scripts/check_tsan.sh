@@ -6,15 +6,17 @@
 # (parallelized) create pipeline, so its metrics updates must stay clean.
 # The runpre tests cover the matcher's multi-job candidate fan-out, which
 # shares per-unit decode caches and gram tables across worker threads.
+# The fleet test drives wave rollouts at max_in_flight 8, where worker
+# threads share the fault injector and the metrics registry.
 set -e
 cd "$(dirname "$0")/.."
 cmake -B build-tsan -G Ninja -DKSPLICE_SANITIZE=thread
 cmake --build build-tsan --target concurrency_test ksplice_hooks_smp_test \
   ksplice_txn_test kanalyze_test fuzz_negative_test chaos_test \
-  runpre_test runpre_index_test
+  runpre_test runpre_index_test fleet_test
 for t in concurrency_test ksplice_hooks_smp_test ksplice_txn_test \
          kanalyze_test fuzz_negative_test chaos_test \
-         runpre_test runpre_index_test; do
+         runpre_test runpre_index_test fleet_test; do
   echo "== build-tsan/tests/$t =="
   "./build-tsan/tests/$t"
 done

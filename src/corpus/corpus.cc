@@ -1,6 +1,7 @@
 #include "corpus/corpus.h"
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <set>
 
@@ -112,6 +113,88 @@ ks::Result<std::unique_ptr<kvm::Machine>> BootKernel() {
                       kvm::Machine::Boot(objects, config));
   KS_ASSIGN_OR_RETURN(int tid, machine->SpawnNamed("kernel_init", 0));
   (void)tid;
+  KS_RETURN_IF_ERROR(machine->RunToCompletion());
+  if (!machine->Faults().empty()) {
+    return ks::Internal("corpus: kernel_init faulted: " +
+                        machine->Faults()[0]);
+  }
+  return machine;
+}
+
+const std::vector<KernelVersion>& KernelVersions() {
+  static const std::vector<KernelVersion>* kVersions =
+      new std::vector<KernelVersion>{
+          {"v2.6.1", "", "", ""},
+          {"v2.6.2", "kernel/sched.kc", "sched_stats[0] += 1;",
+           "sched_stats[0] += 2;"},
+          {"v2.6.3", "net/ipv4.kc", "return daddr % 4;",
+           "return daddr % 8;"},
+          {"v2.6.4", "kernel/sys_prctl.kc", "dumpable[tid() % 64] = arg;",
+           "dumpable[tid() % 63] = arg;"},
+          {"v2.6.5", "drv/dvb/dst_ca.kc", "record(950, slot);",
+           "record(951, slot);"},
+      };
+  return *kVersions;
+}
+
+ks::Result<kdiff::SourceTree> KernelSourceAt(size_t index) {
+  const std::vector<KernelVersion>& versions = KernelVersions();
+  if (index >= versions.size()) {
+    return ks::InvalidArgument(
+        ks::StrPrintf("corpus: no kernel release %zu (have %zu)", index,
+                      versions.size()));
+  }
+  const KernelVersion& version = versions[index];
+  kdiff::SourceTree tree = KernelSource();
+  if (version.dev_path.empty()) {
+    return tree;
+  }
+  KS_ASSIGN_OR_RETURN(std::string contents, tree.Read(version.dev_path));
+  size_t at = contents.find(version.dev_from);
+  if (at == std::string::npos) {
+    return ks::NotFound("corpus: dev edit anchor missing in " +
+                        version.dev_path);
+  }
+  contents.replace(at, version.dev_from.size(), version.dev_to);
+  tree.Write(version.dev_path, contents);
+  return tree;
+}
+
+namespace {
+
+// Built objects per release, compiled once per process (fleet boots of N
+// same-release nodes re-link the cached objects instead of recompiling).
+ks::Result<std::vector<kelf::ObjectFile>> VersionObjects(size_t index) {
+  static std::mutex mu;
+  static std::map<size_t, std::vector<kelf::ObjectFile>>* built =
+      new std::map<size_t, std::vector<kelf::ObjectFile>>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = built->find(index);
+  if (it == built->end()) {
+    KS_ASSIGN_OR_RETURN(kdiff::SourceTree tree, KernelSourceAt(index));
+    kcc::CompileOptions options = RunBuildOptions();
+    options.cache = &SharedObjectCache();
+    KS_ASSIGN_OR_RETURN(std::vector<kelf::ObjectFile> objects,
+                        kcc::BuildTree(tree, options));
+    it = built->emplace(index, std::move(objects)).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+ks::Result<std::unique_ptr<kvm::Machine>> BootKernelVersion(
+    size_t index, uint32_t memory_bytes) {
+  if (!KernelVersions().empty()) {
+    index %= KernelVersions().size();
+  }
+  KS_ASSIGN_OR_RETURN(std::vector<kelf::ObjectFile> objects,
+                      VersionObjects(index));
+  kvm::MachineConfig config;
+  config.memory_bytes = memory_bytes == 0 ? 24u << 20 : memory_bytes;
+  KS_ASSIGN_OR_RETURN(std::unique_ptr<kvm::Machine> machine,
+                      kvm::Machine::Boot(std::move(objects), config));
+  KS_RETURN_IF_ERROR(machine->SpawnNamed("kernel_init", 0).status());
   KS_RETURN_IF_ERROR(machine->RunToCompletion());
   if (!machine->Faults().empty()) {
     return ks::Internal("corpus: kernel_init faulted: " +

@@ -101,6 +101,36 @@ kcc::CompileOptions RunBuildOptions();
 // Boots a fresh corpus kernel and runs kernel_init.
 ks::Result<std::unique_ptr<kvm::Machine>> BootKernel();
 
+// ---------------------------------------------------------------------
+// Kernel release line (the §6.2 methodology's 6 Debian + 8 vanilla
+// kernels, miniaturized). Index 0 is the pristine corpus kernel; each
+// later release applies one unrelated development edit to one subsystem,
+// so a fleet of mixed releases exercises run-pre staleness detection:
+// updates built from v1 source apply everywhere except on releases whose
+// development touched the patched unit.
+
+struct KernelVersion {
+  std::string name;      // "v2.6.1"
+  std::string dev_path;  // unit this release changed ("" for the first)
+  std::string dev_from;  // first occurrence replaced
+  std::string dev_to;
+};
+
+// The release line, oldest first.
+const std::vector<KernelVersion>& KernelVersions();
+
+// KernelSource() with release `index`'s development edit applied (each
+// release's tree differs from v1 in exactly its own unit, so staleness of
+// a v1-built update against release N is decided by N's unit alone).
+ks::Result<kdiff::SourceTree> KernelSourceAt(size_t index);
+
+// Boots a kernel of release `index % KernelVersions().size()` and runs
+// kernel_init. memory_bytes == 0 keeps BootKernel()'s default (24MB);
+// fleets pass smaller machines (the image needs ~2.5MB). Built objects
+// are cached per release, so booting N same-release nodes compiles once.
+ks::Result<std::unique_ptr<kvm::Machine>> BootKernelVersion(
+    size_t index, uint32_t memory_bytes = 0);
+
 // Runs `vuln`'s exploit in `machine` as a fresh thread; true if the attack
 // succeeded (escalation observed or the secret leaked).
 ks::Result<bool> RunExploit(kvm::Machine& machine, const Vulnerability& vuln);

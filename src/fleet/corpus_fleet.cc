@@ -1,0 +1,33 @@
+#include "fleet/corpus_fleet.h"
+
+#include <set>
+
+#include "base/strings.h"
+#include "corpus/corpus.h"
+#include "fleet/rollout.h"
+
+namespace fleet {
+
+ks::Result<Fleet> MakeCorpusFleet(const CorpusFleetOptions& options) {
+  const size_t releases = corpus::KernelVersions().size();
+  std::vector<size_t> order = RolloutOrder(options.nodes, options.seed);
+  std::set<size_t> doomed;
+  for (size_t i = 0; i < options.doomed && i < order.size(); ++i) {
+    doomed.insert(order[i]);
+  }
+
+  Fleet fleet;
+  for (size_t i = 0; i < options.nodes; ++i) {
+    KS_ASSIGN_OR_RETURN(
+        std::unique_ptr<kvm::Machine> machine,
+        corpus::BootKernelVersion(i % releases, options.memory_bytes));
+    NodeSpec spec;
+    spec.id = ks::StrPrintf("node-%03zu", i);
+    spec.version = corpus::KernelVersions()[i % releases].name;
+    spec.doomed = doomed.count(i) != 0;
+    KS_RETURN_IF_ERROR(fleet.AddNode(std::move(spec), std::move(machine)));
+  }
+  return fleet;
+}
+
+}  // namespace fleet

@@ -1,0 +1,30 @@
+#include "fleet/fleet.h"
+
+namespace fleet {
+
+ks::Status Fleet::AddNode(NodeSpec spec,
+                          std::unique_ptr<kvm::Machine> machine) {
+  if (machine == nullptr) {
+    return ks::InvalidArgument("fleet: null machine for node " + spec.id);
+  }
+  if (spec.id.empty()) {
+    return ks::InvalidArgument("fleet: node id must be non-empty");
+  }
+  if (index_.count(spec.id) != 0) {
+    return ks::AlreadyExists("fleet: duplicate node id " + spec.id);
+  }
+  Node node;
+  node.spec = std::move(spec);
+  node.core = std::make_unique<ksplice::KspliceCore>(machine.get());
+  node.machine = std::move(machine);
+  index_[node.spec.id] = nodes_.size();
+  nodes_.push_back(std::move(node));
+  return ks::OkStatus();
+}
+
+int Fleet::IndexOf(const std::string& id) const {
+  auto it = index_.find(id);
+  return it == index_.end() ? -1 : static_cast<int>(it->second);
+}
+
+}  // namespace fleet

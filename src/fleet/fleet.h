@@ -1,0 +1,73 @@
+// Fleet: a registry of live machines under one administrative domain.
+//
+// The paper's deployment story is per-machine — build an update package
+// once, hot-apply it on every box running that kernel. This module adds
+// the fleet half: a Fleet owns N booted kvm::Machine instances (typically
+// heterogeneous — mixed kernel releases, different pre-applied update
+// stacks) and gives each a persistent ksplice::KspliceCore so stacking
+// state survives across rollouts. The rollout orchestrator (rollout.h)
+// drives waves of applies over this registry.
+//
+// Nodes are addressed by index (stable, insertion order) for iteration
+// and by id for operator-facing lookups. A NodeSpec carries the metadata
+// the orchestrator schedules on: the kernel release label (staleness
+// bookkeeping) and a `doomed` flag that test/bench harnesses set on nodes
+// that should fail their canary apply (the rollout runs doomed nodes
+// without fault suppression while a canary fault plan is armed).
+
+#ifndef KSPLICE_FLEET_FLEET_H_
+#define KSPLICE_FLEET_FLEET_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "ksplice/core.h"
+#include "kvm/machine.h"
+
+namespace fleet {
+
+struct NodeSpec {
+  std::string id;       // unique within the fleet, e.g. "node-017"
+  std::string version;  // kernel release label, e.g. "v2.6.3"
+  // Canary-fault target: while a rollout has a fault plan armed, this
+  // node's apply runs with injection live (everyone else is suppressed).
+  bool doomed = false;
+};
+
+class Fleet {
+ public:
+  Fleet() = default;
+  Fleet(Fleet&&) = default;
+  Fleet& operator=(Fleet&&) = default;
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  // Registers a booted machine under `spec.id`. Fails on duplicate ids
+  // and null machines. The fleet owns the machine and its KspliceCore.
+  ks::Status AddNode(NodeSpec spec, std::unique_ptr<kvm::Machine> machine);
+
+  size_t size() const { return nodes_.size(); }
+
+  const NodeSpec& spec(size_t index) const { return nodes_[index].spec; }
+  kvm::Machine& machine(size_t index) { return *nodes_[index].machine; }
+  ksplice::KspliceCore& core(size_t index) { return *nodes_[index].core; }
+
+  // Index of the node named `id`, or -1.
+  int IndexOf(const std::string& id) const;
+
+ private:
+  struct Node {
+    NodeSpec spec;
+    std::unique_ptr<kvm::Machine> machine;
+    std::unique_ptr<ksplice::KspliceCore> core;
+  };
+  std::vector<Node> nodes_;
+  std::map<std::string, size_t> index_;
+};
+
+}  // namespace fleet
+
+#endif  // KSPLICE_FLEET_FLEET_H_

@@ -1,0 +1,380 @@
+#include "fleet/rollout.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+#include <optional>
+
+#include "base/faultinject.h"
+#include "base/metrics.h"
+#include "base/strings.h"
+#include "base/threadpool.h"
+
+namespace fleet {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t SplitMix(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Deterministic per-node stream from (rollout seed, node index).
+uint64_t MixSeed(uint64_t seed, size_t index) {
+  uint64_t state = seed ^ (0x632be59bd9b4e019ull + index);
+  return SplitMix(&state);
+}
+
+// Arms a fault plan for one rollout and disarms exactly the sites the
+// plan named on every exit path.
+class ArmedFaultPlan {
+ public:
+  static ks::Result<ArmedFaultPlan> Arm(const std::string& plan,
+                                        uint64_t seed) {
+    ArmedFaultPlan armed;
+    if (plan.empty()) {
+      return armed;
+    }
+    ks::Faults().SetSeed(seed);
+    KS_RETURN_IF_ERROR(ks::Faults().Configure(plan));
+    // Site names are the prefixes before '=' in each clause.
+    size_t start = 0;
+    while (start < plan.size()) {
+      size_t comma = plan.find(',', start);
+      if (comma == std::string::npos) {
+        comma = plan.size();
+      }
+      std::string clause = plan.substr(start, comma - start);
+      size_t eq = clause.find('=');
+      if (eq != std::string::npos) {
+        armed.sites_.push_back(clause.substr(0, eq));
+      }
+      start = comma + 1;
+    }
+    return armed;
+  }
+
+  ArmedFaultPlan(ArmedFaultPlan&& other) noexcept
+      : sites_(std::move(other.sites_)) {
+    other.sites_.clear();
+  }
+  ArmedFaultPlan& operator=(ArmedFaultPlan&&) = delete;
+  ArmedFaultPlan(const ArmedFaultPlan&) = delete;
+
+  ~ArmedFaultPlan() {
+    for (const std::string& site : sites_) {
+      ks::Faults().Disarm(site);
+    }
+  }
+
+ private:
+  ArmedFaultPlan() = default;
+  std::vector<std::string> sites_;
+};
+
+// Per-node working state accumulated across the rollout.
+struct NodeState {
+  ksplice::RolloutNodeReport report;
+  // Ids this rollout applied on the node, apply order (rollback undoes
+  // them newest-first, preserving any pre-existing stack underneath).
+  std::vector<std::string> applied_ids;
+};
+
+bool Contains(const std::vector<std::string>& haystack,
+              const std::string& needle) {
+  return std::find(haystack.begin(), haystack.end(), needle) !=
+         haystack.end();
+}
+
+// Applies the not-yet-applied subset of `packages` on one node and fills
+// its report. Runs on a wave worker thread.
+void ApplyOnNode(Fleet& fleet, size_t node,
+                 std::span<const ksplice::UpdatePackage> packages,
+                 const RolloutPlan& plan, NodeState* state) {
+  // Canary drill: only doomed nodes feel the armed fault plan.
+  std::optional<ks::ScopedFaultSuppression> suppress;
+  if (!fleet.spec(node).doomed) {
+    suppress.emplace();
+  }
+
+  ksplice::KspliceCore& core = fleet.core(node);
+  std::vector<std::string> already = core.AppliedIds();
+  std::vector<ksplice::UpdatePackage> missing;
+  for (const ksplice::UpdatePackage& package : packages) {
+    if (!Contains(already, package.id)) {
+      missing.push_back(package);
+    }
+  }
+  if (missing.empty()) {
+    state->report.outcome = ksplice::RolloutNodeOutcome::kAlreadyApplied;
+    return;
+  }
+
+  ksplice::ApplyOptions options = plan.apply;
+  options.rendezvous.backoff_seed = MixSeed(plan.seed, node);
+  ks::Result<ksplice::BatchApplyReport> batch =
+      core.ApplyAll(missing, options);
+  if (!batch.ok()) {
+    state->report.outcome =
+        batch.status().code() == ks::ErrorCode::kAborted
+            ? ksplice::RolloutNodeOutcome::kSkippedStale
+            : ksplice::RolloutNodeOutcome::kFailed;
+    state->report.error = batch.status().message();
+    return;
+  }
+
+  state->report.attempts = batch->attempts;
+  state->report.quiescence_retries = batch->quiescence_retries;
+  state->report.pause_ns = batch->pause_ns;
+  state->report.functions_spliced = batch->functions_spliced;
+  for (const ksplice::UpdatePackage& package : missing) {
+    state->applied_ids.push_back(package.id);
+  }
+
+  // Health budget: a pause over budget is a failure — undo on the spot
+  // (recovery always runs suppressed, doomed or not).
+  if (plan.max_pause_ns != 0 && batch->pause_ns > plan.max_pause_ns) {
+    ks::ScopedFaultSuppression recovery;
+    for (auto it = state->applied_ids.rbegin();
+         it != state->applied_ids.rend(); ++it) {
+      (void)core.Undo(*it, options.rendezvous);
+    }
+    state->applied_ids.clear();
+    state->report.outcome = ksplice::RolloutNodeOutcome::kFailed;
+    state->report.error = ks::StrPrintf(
+        "stop pause %llu ns over budget %llu ns",
+        static_cast<unsigned long long>(batch->pause_ns),
+        static_cast<unsigned long long>(plan.max_pause_ns));
+    return;
+  }
+  state->report.outcome = ksplice::RolloutNodeOutcome::kPatched;
+}
+
+}  // namespace
+
+std::vector<size_t> RolloutOrder(size_t n, uint64_t seed) {
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  if (seed == 0 || n < 2) {
+    return order;
+  }
+  uint64_t state = seed;
+  for (size_t i = n - 1; i > 0; --i) {
+    size_t j = static_cast<size_t>(SplitMix(&state) % (i + 1));
+    std::swap(order[i], order[j]);
+  }
+  return order;
+}
+
+ks::Result<ksplice::RolloutReport> RunRollout(
+    Fleet& fleet, std::span<const ksplice::UpdatePackage> packages,
+    const RolloutPlan& plan) {
+  if (packages.empty()) {
+    return ks::InvalidArgument("rollout: no packages");
+  }
+  if (plan.canary_fraction < 0.0 || plan.canary_fraction > 1.0) {
+    return ks::InvalidArgument("rollout: canary_fraction outside [0,1]");
+  }
+  if (plan.abort_failure_fraction < 0.0) {
+    return ks::InvalidArgument("rollout: negative abort_failure_fraction");
+  }
+
+  ks::MetricsRegistry& metrics = ks::Metrics();
+  metrics.GetCounter("fleet.rollouts").Add();
+  ks::Histogram& pause_hist =
+      metrics.GetHistogram("fleet.node_pause_ns");
+
+  ksplice::RolloutReport report;
+  for (size_t i = 0; i < packages.size(); ++i) {
+    if (i != 0) {
+      report.id += '+';
+    }
+    report.id += packages[i].id;
+  }
+  report.fleet_size = static_cast<uint32_t>(fleet.size());
+
+  const uint64_t begin_ns = NowNs();
+  KS_ASSIGN_OR_RETURN(ArmedFaultPlan armed,
+                      ArmedFaultPlan::Arm(plan.canary_fault_plan,
+                                          plan.seed));
+
+  // Partition the visit order into the canary wave plus wave_size chunks.
+  std::vector<size_t> order = RolloutOrder(fleet.size(), plan.seed);
+  size_t canary =
+      std::max<size_t>(plan.canary_min,
+                       static_cast<size_t>(std::ceil(
+                           plan.canary_fraction *
+                           static_cast<double>(fleet.size()))));
+  canary = std::min(canary, fleet.size());
+  std::vector<std::pair<size_t, size_t>> waves;  // [begin, end) into order
+  if (canary > 0) {
+    waves.emplace_back(0, canary);
+  }
+  for (size_t at = canary; at < order.size();) {
+    size_t take = plan.wave_size == 0
+                      ? order.size() - at
+                      : std::min<size_t>(plan.wave_size,
+                                         order.size() - at);
+    waves.emplace_back(at, at + take);
+    at += take;
+  }
+
+  std::vector<NodeState> nodes(fleet.size());
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    nodes[i].report.node = fleet.spec(i).id;
+    nodes[i].report.version = fleet.spec(i).version;
+  }
+
+  for (size_t w = 0; w < waves.size(); ++w) {
+    auto [begin, end] = waves[w];
+    bool is_canary = canary > 0 && w == 0;
+    for (size_t at = begin; at < end; ++at) {
+      nodes[order[at]].report.wave = static_cast<int>(w);
+      nodes[order[at]].report.canary = is_canary;
+    }
+
+    const uint64_t wave_begin_ns = NowNs();
+    ks::ParallelFor(plan.max_in_flight, end - begin, [&](size_t i) {
+      size_t node = order[begin + i];
+      ApplyOnNode(fleet, node, packages, plan, &nodes[node]);
+    });
+
+    ksplice::RolloutWaveReport wave;
+    wave.wave = static_cast<int>(w);
+    wave.canary = is_canary;
+    wave.nodes = static_cast<uint32_t>(end - begin);
+    for (size_t at = begin; at < end; ++at) {
+      const ksplice::RolloutNodeReport& node = nodes[order[at]].report;
+      switch (node.outcome) {
+        case ksplice::RolloutNodeOutcome::kPatched:
+          ++wave.patched;
+          break;
+        case ksplice::RolloutNodeOutcome::kAlreadyApplied:
+          ++wave.already_applied;
+          break;
+        case ksplice::RolloutNodeOutcome::kSkippedStale:
+          ++wave.skipped_stale;
+          break;
+        default:
+          ++wave.failed;
+          break;
+      }
+      wave.max_pause_ns = std::max(wave.max_pause_ns, node.pause_ns);
+      if (node.pause_ns != 0) {
+        pause_hist.Observe(node.pause_ns);
+      }
+    }
+    wave.wall_ns = NowNs() - wave_begin_ns;
+    wave.tripped =
+        wave.failed > plan.abort_failure_fraction *
+                          static_cast<double>(wave.nodes);
+    metrics.GetCounter("fleet.waves").Add();
+    report.wave_reports.push_back(wave);
+
+    if (wave.tripped) {
+      report.aborted = true;
+      report.tripped_wave = static_cast<int>(w);
+      break;
+    }
+  }
+  report.waves = static_cast<uint32_t>(report.wave_reports.size());
+
+  // Fleet-wide rollback: undo everything this rollout applied, leaving
+  // pre-existing stacks intact. Recovery runs suppressed.
+  if (report.aborted && plan.undo_on_abort) {
+    ks::ParallelFor(plan.max_in_flight, fleet.size(), [&](size_t node) {
+      NodeState& state = nodes[node];
+      if (state.applied_ids.empty()) {
+        return;
+      }
+      ks::ScopedFaultSuppression recovery;
+      bool undone = true;
+      for (auto it = state.applied_ids.rbegin();
+           it != state.applied_ids.rend(); ++it) {
+        ks::Result<ksplice::UndoReport> undo =
+            fleet.core(node).Undo(*it, plan.apply.rendezvous);
+        if (!undo.ok()) {
+          state.report.error =
+              "rollback failed: " + undo.status().message();
+          undone = false;
+          break;
+        }
+      }
+      state.report.outcome =
+          undone ? ksplice::RolloutNodeOutcome::kRolledBack
+                 : ksplice::RolloutNodeOutcome::kFailed;
+    });
+  }
+
+  // Totals over final outcomes; percentiles over the observed stop
+  // windows (patched and rolled-back nodes both paused once).
+  std::vector<uint64_t> pauses;
+  for (NodeState& state : nodes) {
+    const ksplice::RolloutNodeReport& node = state.report;
+    switch (node.outcome) {
+      case ksplice::RolloutNodeOutcome::kNotAttempted:
+        ++report.not_attempted;
+        break;
+      case ksplice::RolloutNodeOutcome::kAlreadyApplied:
+        ++report.already_applied;
+        break;
+      case ksplice::RolloutNodeOutcome::kPatched:
+        ++report.patched;
+        break;
+      case ksplice::RolloutNodeOutcome::kSkippedStale:
+        ++report.skipped_stale;
+        break;
+      case ksplice::RolloutNodeOutcome::kFailed:
+        ++report.failed;
+        break;
+      case ksplice::RolloutNodeOutcome::kRolledBack:
+        ++report.rolled_back;
+        break;
+    }
+    if (node.pause_ns != 0) {
+      pauses.push_back(node.pause_ns);
+    }
+    report.nodes.push_back(std::move(state.report));
+  }
+  if (!pauses.empty()) {
+    std::sort(pauses.begin(), pauses.end());
+    auto at = [&](double q) {
+      size_t i = static_cast<size_t>(q * static_cast<double>(
+                                             pauses.size() - 1));
+      return pauses[i];
+    };
+    report.pause_p50_ns = at(0.50);
+    report.pause_p99_ns = at(0.99);
+    report.pause_max_ns = pauses.back();
+  }
+  report.wall_ns = NowNs() - begin_ns;
+  uint32_t attempted = report.fleet_size - report.not_attempted;
+  if (report.wall_ns > 0) {
+    report.nodes_per_sec = static_cast<double>(attempted) * 1e9 /
+                           static_cast<double>(report.wall_ns);
+  }
+
+  metrics.GetCounter("fleet.nodes_patched").Add(report.patched);
+  metrics.GetCounter("fleet.nodes_already_applied")
+      .Add(report.already_applied);
+  metrics.GetCounter("fleet.nodes_skipped_stale")
+      .Add(report.skipped_stale);
+  metrics.GetCounter("fleet.nodes_failed").Add(report.failed);
+  metrics.GetCounter("fleet.nodes_rolled_back").Add(report.rolled_back);
+  if (report.aborted) {
+    metrics.GetCounter("fleet.rollouts_aborted").Add();
+  }
+  return report;
+}
+
+}  // namespace fleet

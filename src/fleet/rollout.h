@@ -1,0 +1,107 @@
+// Wave/canary rollout orchestration over a Fleet.
+//
+// RunRollout pushes one batch of update packages across every node of a
+// fleet the way an operator would: a small canary wave first, then the
+// rest of the fleet in fixed-size waves, each wave fanned across worker
+// threads. After every wave the orchestrator reads the health signals —
+// per-node Apply/Undo reports (stop-machine pause, quiescence retries,
+// failure status) — and if the wave's failure fraction exceeds the plan's
+// threshold it aborts the rollout and rolls back every node it patched,
+// leaving each byte-identical to its pre-rollout state (pre-existing
+// update stacks survive; only this rollout's updates are undone).
+//
+// Node outcomes (ksplice::RolloutNodeOutcome):
+//  - a run-pre mismatch (ks::ErrorCode::kAborted) means the node runs a
+//    kernel release whose patched unit drifted — the package is stale
+//    there, the node is counted `skipped_stale`, and staleness never
+//    counts toward the abort threshold (§6.2: one package does not fit
+//    every release, and that is detected, not fatal);
+//  - any other apply failure (quiescence exhaustion, injected faults,
+//    load errors) counts `failed` and feeds the abort threshold;
+//  - a node whose stack already carries every package is
+//    `already_applied` and is not re-applied.
+//
+// Canary failure drill: arming RolloutPlan::canary_fault_plan (the
+// base/faultinject grammar) makes the process-wide injector live for the
+// rollout's duration, but every non-doomed node applies under a
+// thread-local ScopedFaultSuppression, so only nodes whose NodeSpec says
+// `doomed` actually fail. With `site=always` modes the drill is
+// deterministic across thread counts. All rollback/undo work also runs
+// suppressed — recovery is exempt from injection, as always.
+//
+// Determinism: node order comes from RolloutOrder(n, seed) (seeded
+// Fisher-Yates; seed 0 = insertion order), per-node rendezvous jitter is
+// seeded from (plan seed, node index), and wave aggregation is
+// index-slotted — the same plan over the same fleet yields identical
+// outcomes at any max_in_flight.
+
+#ifndef KSPLICE_FLEET_ROLLOUT_H_
+#define KSPLICE_FLEET_ROLLOUT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "fleet/fleet.h"
+#include "ksplice/manager.h"
+#include "ksplice/package.h"
+#include "ksplice/report.h"
+
+namespace fleet {
+
+struct RolloutPlan {
+  // Canary sizing: the first wave holds max(canary_min,
+  // ceil(canary_fraction * fleet size)) nodes, capped at the fleet size.
+  double canary_fraction = 0.05;
+  uint32_t canary_min = 1;
+
+  // Post-canary waves hold up to `wave_size` nodes (0 = the whole rest of
+  // the fleet in one wave). Within a wave up to `max_in_flight` node
+  // applies run concurrently (<= 1 = serial).
+  uint32_t wave_size = 32;
+  int max_in_flight = 1;
+
+  // Abort when a wave's failed fraction exceeds this (strictly greater,
+  // so 0.0 trips on any failure). Stale skips never count as failures.
+  double abort_failure_fraction = 0.0;
+
+  // Health budget: a node whose combined stop window exceeds this is
+  // undone on the spot and counted failed (0 = no budget).
+  uint64_t max_pause_ns = 0;
+
+  // Seeds RolloutOrder and each node's rendezvous backoff jitter.
+  uint64_t seed = 0;
+
+  // Fault plan armed for the rollout's duration (faultinject grammar,
+  // e.g. "ksplice.txn.pre_apply=always"); "" arms nothing. Only nodes
+  // with NodeSpec::doomed feel it — see the header comment.
+  std::string canary_fault_plan;
+
+  // Per-node apply options; rendezvous.backoff_seed is overridden per
+  // node for deterministic jitter.
+  ksplice::ApplyOptions apply;
+
+  // Roll back every patched node when a wave trips (true = the
+  // zero-partially-patched-nodes guarantee; false leaves survivors for
+  // post-mortem inspection).
+  bool undo_on_abort = true;
+};
+
+// The visit order RunRollout uses: a seeded Fisher-Yates shuffle of
+// 0..n-1 (seed 0 = identity). Exposed so harnesses can predict which
+// nodes land in the canary wave (e.g. to doom the first k).
+std::vector<size_t> RolloutOrder(size_t n, uint64_t seed);
+
+// Rolls `packages` across the fleet per `plan`. Returns the full ledger
+// (never an error status for per-node failures — those are in the
+// report; the status is only for malformed input). Packages a node
+// already has applied are skipped per node.
+ks::Result<ksplice::RolloutReport> RunRollout(
+    Fleet& fleet, std::span<const ksplice::UpdatePackage> packages,
+    const RolloutPlan& plan);
+
+}  // namespace fleet
+
+#endif  // KSPLICE_FLEET_ROLLOUT_H_

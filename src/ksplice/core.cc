@@ -17,8 +17,28 @@ ks::Result<UndoReport> KspliceCore::Undo(const std::string& id,
   return manager_.Undo(id, options);
 }
 
+ks::Result<std::vector<UndoReport>> KspliceCore::UndoAll(
+    const RendezvousOptions& options) {
+  std::vector<UndoReport> reports;
+  while (!manager_.applied().empty()) {
+    const std::string id = manager_.applied().back().id;
+    KS_ASSIGN_OR_RETURN(UndoReport report, manager_.Undo(id, options));
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
 ks::Status KspliceCore::UnloadHelper(const std::string& id) {
   return manager_.UnloadHelper(id);
+}
+
+std::vector<std::string> KspliceCore::AppliedIds() const {
+  std::vector<std::string> ids;
+  ids.reserve(manager_.applied().size());
+  for (const AppliedUpdate& update : manager_.applied()) {
+    ids.push_back(update.id);
+  }
+  return ids;
 }
 
 std::optional<std::pair<uint32_t, uint32_t>> KspliceCore::CurrentCode(

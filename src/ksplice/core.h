@@ -12,9 +12,9 @@
 //    automatic rollback of every completed stage on failure, and splices
 //    a whole batch of packages in one stop_machine rendezvous (ApplyAll).
 //
-// The options split mirrors the operations: RendezvousOptions carries the
-// stop_machine retry policy shared by apply and undo; ApplyOptions adds
-// the apply-only knobs on top.
+// The options split mirrors the operations: RendezvousOptions
+// (rendezvous.h) carries the stop_machine retry policy shared by apply and
+// undo; ApplyOptions (manager.h) composes it with the apply-only knobs.
 
 #ifndef KSPLICE_KSPLICE_CORE_H_
 #define KSPLICE_KSPLICE_CORE_H_
@@ -53,12 +53,23 @@ class KspliceCore {
   ks::Result<UndoReport> Undo(const std::string& id,
                               const RendezvousOptions& options = {});
 
+  // Reverses every applied update, newest first, in one call per update.
+  // Stops at the first failure (already-reversed updates stay reversed);
+  // on success the machine carries no Ksplice modifications at all. The
+  // fleet orchestrator's fleet-wide rollback and `examples` quiesce
+  // machines through this instead of iterating the registry by hand.
+  ks::Result<std::vector<UndoReport>> UndoAll(
+      const RendezvousOptions& options = {});
+
   // Unloads the helper image of an applied update (memory reclaim, §5.1).
   ks::Status UnloadHelper(const std::string& id);
 
   const std::vector<AppliedUpdate>& applied() const {
     return manager_.applied();
   }
+
+  // Ids of the applied updates, oldest first (each is an Undo handle).
+  std::vector<std::string> AppliedIds() const;
 
   // Stacking redirect (§5.4): current code location for (unit, symbol).
   std::optional<std::pair<uint32_t, uint32_t>> CurrentCode(
@@ -67,6 +78,9 @@ class KspliceCore {
   // Snapshot of the applied-update stack (ksplice_tool status).
   StatusReport Status() const { return manager_.Status(); }
 
+  // Escape hatch into the underlying engine, for tests that assert on
+  // internal registry state. Production callers (tools, benches, examples,
+  // the fleet orchestrator) use the facade methods above instead.
   UpdateManager& manager() { return manager_; }
 
  private:

@@ -30,31 +30,20 @@
 
 #include "base/status.h"
 #include "ksplice/package.h"
+#include "ksplice/rendezvous.h"
 #include "ksplice/report.h"
 #include "kvm/machine.h"
 
 namespace ksplice {
 
-// Stop_machine retry policy shared by apply and undo (§5.2: "tries again
-// after a short delay; if multiple such attempts are unsuccessful, Ksplice
-// abandons the upgrade attempt"). Retries use exponential backoff with
-// seeded jitter — the machine is advanced backoff_base_ticks before the
-// first retry, twice that before the next, and so on up to
-// backoff_max_ticks per retry — under two budgets: at most max_attempts
-// stop windows, and at most deadline_ticks of total backoff. Exhausting
-// either yields kResourceExhausted naming the blocking threads
-// (rendezvous.h).
-struct RendezvousOptions {
-  int max_attempts = 10;
-  uint64_t backoff_base_ticks = 10'000;  // first retry's advance
-  uint64_t backoff_max_ticks = 200'000;  // per-retry cap
-  double backoff_jitter = 0.25;          // ± fraction of each step
-  uint64_t deadline_ticks = 2'000'000;   // total backoff budget (0 = none)
-  uint64_t backoff_seed = 0;             // jitter PRNG seed (deterministic)
-};
-
-// Apply-only knobs on top of the shared rendezvous policy.
-struct ApplyOptions : RendezvousOptions {
+// Apply knobs composed with the shared stop_machine retry policy
+// (RendezvousOptions, rendezvous.h). Composition, not inheritance: callers
+// that need only the retry policy — Undo, the fleet rollout orchestrator
+// deriving per-node backoff seeds — take or pass `rendezvous` directly
+// instead of slicing an ApplyOptions.
+struct ApplyOptions {
+  // Stop_machine retry policy shared with undo (see rendezvous.h).
+  RendezvousOptions rendezvous;
   // Keep the helper image loaded after a successful apply (off by default;
   // unloading it saves memory, §5.1).
   bool keep_helper = false;

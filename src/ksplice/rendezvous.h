@@ -31,7 +31,22 @@
 
 namespace ksplice {
 
-struct RendezvousOptions;  // manager.h (circular include avoidance)
+// Stop_machine retry policy shared by apply and undo (§5.2: "tries again
+// after a short delay; if multiple such attempts are unsuccessful, Ksplice
+// abandons the upgrade attempt"). Retries use exponential backoff with
+// seeded jitter — the machine is advanced backoff_base_ticks before the
+// first retry, twice that before the next, and so on up to
+// backoff_max_ticks per retry — under two budgets: at most max_attempts
+// stop windows, and at most deadline_ticks of total backoff. Exhausting
+// either yields kResourceExhausted naming the blocking threads.
+struct RendezvousOptions {
+  int max_attempts = 10;
+  uint64_t backoff_base_ticks = 10'000;  // first retry's advance
+  uint64_t backoff_max_ticks = 200'000;  // per-retry cap
+  double backoff_jitter = 0.25;          // ± fraction of each step
+  uint64_t deadline_ticks = 2'000'000;   // total backoff budget (0 = none)
+  uint64_t backoff_seed = 0;             // jitter PRNG seed (deterministic)
+};
 
 // Scans every live thread of `machine` for a pc or stack word inside one
 // of `ranges` ([begin, end) pairs); returns one record per blocked thread

@@ -269,4 +269,68 @@ std::string StatusReport::ToJson() const {
                        JoinJson(rows).c_str(), arena_bytes_in_use);
 }
 
+const char* RolloutNodeOutcomeName(RolloutNodeOutcome outcome) {
+  switch (outcome) {
+    case RolloutNodeOutcome::kNotAttempted:
+      return "not_attempted";
+    case RolloutNodeOutcome::kAlreadyApplied:
+      return "already_applied";
+    case RolloutNodeOutcome::kPatched:
+      return "patched";
+    case RolloutNodeOutcome::kSkippedStale:
+      return "skipped_stale";
+    case RolloutNodeOutcome::kFailed:
+      return "failed";
+    case RolloutNodeOutcome::kRolledBack:
+      return "rolled_back";
+  }
+  return "?";
+}
+
+std::string RolloutNodeReport::ToJson() const {
+  return ks::StrPrintf(
+      "{\"node\":\"%s\",\"version\":\"%s\",\"wave\":%d,\"canary\":%s,"
+      "\"outcome\":\"%s\",\"pause_ns\":%llu,\"attempts\":%d,"
+      "\"quiescence_retries\":%d,\"functions_spliced\":%u,"
+      "\"error\":\"%s\"}",
+      Escaped(node).c_str(), Escaped(version).c_str(), wave,
+      canary ? "true" : "false", RolloutNodeOutcomeName(outcome),
+      U(pause_ns), attempts, quiescence_retries, functions_spliced,
+      Escaped(error).c_str());
+}
+
+std::string RolloutWaveReport::ToJson() const {
+  return ks::StrPrintf(
+      "{\"wave\":%d,\"canary\":%s,\"nodes\":%u,\"patched\":%u,"
+      "\"already_applied\":%u,\"skipped_stale\":%u,\"failed\":%u,"
+      "\"wall_ns\":%llu,\"max_pause_ns\":%llu,\"tripped\":%s}",
+      wave, canary ? "true" : "false", nodes, patched, already_applied,
+      skipped_stale, failed, U(wall_ns), U(max_pause_ns),
+      tripped ? "true" : "false");
+}
+
+std::string RolloutReport::ToJson() const {
+  std::vector<std::string> wave_rows;
+  for (const RolloutWaveReport& wave : wave_reports) {
+    wave_rows.push_back(wave.ToJson());
+  }
+  std::vector<std::string> node_rows;
+  for (const RolloutNodeReport& node : nodes) {
+    node_rows.push_back(node.ToJson());
+  }
+  return ks::StrPrintf(
+      "{\"id\":\"%s\",\"fleet_size\":%u,\"aborted\":%s,"
+      "\"tripped_wave\":%d,\"waves\":%u,\"patched\":%u,"
+      "\"already_applied\":%u,\"skipped_stale\":%u,\"failed\":%u,"
+      "\"rolled_back\":%u,\"not_attempted\":%u,\"wall_ns\":%llu,"
+      "\"nodes_per_sec\":%.3f,\"pause_p50_ns\":%llu,"
+      "\"pause_p99_ns\":%llu,\"pause_max_ns\":%llu,\"wave_reports\":%s,"
+      "\"nodes\":%s}",
+      Escaped(id).c_str(), fleet_size, aborted ? "true" : "false",
+      tripped_wave, waves, patched, already_applied, skipped_stale, failed,
+      rolled_back, not_attempted, U(wall_ns), nodes_per_sec,
+      U(pause_p50_ns), U(pause_p99_ns), U(pause_max_ns),
+      JoinJson(wave_rows).c_str(), JoinJson(node_rows).c_str());
+}
+
 }  // namespace ksplice

@@ -277,6 +277,84 @@ struct StatusReport {
   std::string ToJson() const;
 };
 
+// ------------------------------------------------------------------
+// Fleet rollout reports (src/fleet): what a wave/canary rollout did to
+// every node. Same ToJson contract as the per-machine reports above, so
+// `ksplice_tool rollout --json`, bench --report-dir and the tests all
+// consume one serialization.
+
+// Final disposition of one node after the rollout ends.
+enum class RolloutNodeOutcome : uint8_t {
+  kNotAttempted = 0,   // rollout aborted before this node's wave
+  kAlreadyApplied = 1, // every package already on the node's stack
+  kPatched = 2,        // applied and still applied at the end
+  kSkippedStale = 3,   // run-pre mismatch (drifted kernel) — not an error
+  kFailed = 4,         // apply failed for a non-staleness reason
+  kRolledBack = 5,     // patched, then undone by a fleet-wide abort
+};
+
+const char* RolloutNodeOutcomeName(RolloutNodeOutcome outcome);
+
+// One node's row in the rollout ledger.
+struct RolloutNodeReport {
+  std::string node;      // fleet node id
+  std::string version;   // kernel version label ("v2.6.1", ...)
+  int wave = -1;         // wave index the node was scheduled in (-1 = none)
+  bool canary = false;   // scheduled in the canary wave
+  RolloutNodeOutcome outcome = RolloutNodeOutcome::kNotAttempted;
+  uint64_t pause_ns = 0;        // combined stop window (0 if not patched)
+  int attempts = 0;             // stop_machine attempts
+  int quiescence_retries = 0;
+  uint32_t functions_spliced = 0;
+  std::string error;  // status message for kSkippedStale / kFailed
+
+  std::string ToJson() const;
+};
+
+// One wave's aggregate: how many nodes it touched and whether its failure
+// fraction tripped the abort threshold.
+struct RolloutWaveReport {
+  int wave = 0;
+  bool canary = false;
+  uint32_t nodes = 0;
+  uint32_t patched = 0;
+  uint32_t already_applied = 0;
+  uint32_t skipped_stale = 0;
+  uint32_t failed = 0;
+  uint64_t wall_ns = 0;         // wave fan-out wall time
+  uint64_t max_pause_ns = 0;    // worst per-node stop window in the wave
+  bool tripped = false;         // failure fraction exceeded the threshold
+
+  std::string ToJson() const;
+};
+
+// The whole rollout: totals over final node outcomes (a node that was
+// patched and then rolled back counts under rolled_back only), throughput,
+// pause percentiles from the fleet.node_pause_ns histogram, and the
+// per-wave / per-node ledgers.
+struct RolloutReport {
+  std::string id;          // update id(s), "+"-joined for batches
+  uint32_t fleet_size = 0;
+  bool aborted = false;    // a wave tripped and the rollout stopped
+  int tripped_wave = -1;   // which wave tripped (-1 = none)
+  uint32_t waves = 0;      // waves actually dispatched
+  uint32_t patched = 0;
+  uint32_t already_applied = 0;
+  uint32_t skipped_stale = 0;
+  uint32_t failed = 0;
+  uint32_t rolled_back = 0;    // undone by the fleet-wide abort
+  uint32_t not_attempted = 0;  // waves never dispatched after the trip
+  uint64_t wall_ns = 0;        // whole rollout
+  double nodes_per_sec = 0.0;  // attempted nodes / wall seconds
+  uint64_t pause_p50_ns = 0;   // per-node stop-window percentiles
+  uint64_t pause_p99_ns = 0;
+  uint64_t pause_max_ns = 0;
+  std::vector<RolloutWaveReport> wave_reports;
+  std::vector<RolloutNodeReport> nodes;
+
+  std::string ToJson() const;
+};
+
 }  // namespace ksplice
 
 #endif  // KSPLICE_KSPLICE_REPORT_H_

@@ -427,7 +427,8 @@ ks::Status UpdateTransaction::Rendezvous() {
 
   RendezvousOutcome outcome;
   ks::Status stopped =
-      RunRendezvous(*machine_, options_, ranges, body, "apply", &outcome);
+      RunRendezvous(*machine_, options_.rendezvous, ranges, body, "apply",
+                    &outcome);
   batch_.attempts = outcome.attempts;
   batch_.retry_ticks = outcome.retry_ticks;
   batch_.pause_ns = outcome.pause_ns;

@@ -735,10 +735,10 @@ void spinner(int n) {
   // Attempt budget exhaustion: the error must name a blocking thread and
   // its PC so the operator knows *why* the update never landed.
   ApplyOptions options;
-  options.max_attempts = 3;
-  options.backoff_base_ticks = 1'000;
-  options.backoff_max_ticks = 4'000;
-  options.backoff_jitter = 0.25;
+  options.rendezvous.max_attempts = 3;
+  options.rendezvous.backoff_base_ticks = 1'000;
+  options.rendezvous.backoff_max_ticks = 4'000;
+  options.rendezvous.backoff_jitter = 0.25;
   const uint64_t attempts_before = attempts.value();
   const uint64_t exhausted_before = exhausted.value();
   ks::Result<ApplyReport> blocked = core.Apply(created->package, options);
@@ -753,8 +753,8 @@ void spinner(int n) {
 
   // Deadline exhaustion: a huge attempt budget still gives up once the
   // retry ticks cross deadline_ticks.
-  options.max_attempts = 1'000'000;
-  options.deadline_ticks = 5'000;
+  options.rendezvous.max_attempts = 1'000'000;
+  options.rendezvous.deadline_ticks = 5'000;
   ks::Result<ApplyReport> deadline = core.Apply(created->package, options);
   ASSERT_FALSE(deadline.ok());
   EXPECT_EQ(deadline.status().code(), ks::ErrorCode::kResourceExhausted);

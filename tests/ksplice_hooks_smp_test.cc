@@ -125,10 +125,10 @@ void runner(int n) {
 
   KspliceCore core(machine.get());
   ApplyOptions apply_options;
-  apply_options.max_attempts = 10;
+  apply_options.rendezvous.max_attempts = 10;
   // Backoff from 10k ticks doubles past the sleeper's 30k-tick nap well
   // within the attempt budget.
-  apply_options.backoff_base_ticks = 10'000;
+  apply_options.rendezvous.backoff_base_ticks = 10'000;
   ks::Result<ApplyReport> applied =
       core.Apply(created->package, apply_options);
   ASSERT_TRUE(applied.ok())
@@ -243,14 +243,15 @@ void worker(int unused) {
 
   KspliceCore core(machine.get());
   ApplyOptions apply_options;
-  apply_options.max_attempts = 50;
+  apply_options.rendezvous.max_attempts = 50;
   int cycles = 0;
   for (int i = 0; i < 20; ++i) {
     ks::Result<ApplyReport> applied =
         core.Apply(created->package, apply_options);
     ASSERT_TRUE(applied.ok()) << "cycle " << i << ": "
                               << applied.status().ToString();
-    ks::Result<UndoReport> undone = core.Undo(applied->id, apply_options);
+    ks::Result<UndoReport> undone =
+        core.Undo(applied->id, apply_options.rendezvous);
     ASSERT_TRUE(undone.ok()) << "cycle " << i << ": " << undone.status().ToString();
     ++cycles;
   }

@@ -486,10 +486,10 @@ TEST_F(KspliceIntegration, NonQuiescentFunctionAbortsThenSucceeds) {
   ASSERT_TRUE(created.ok()) << created.status().ToString();
 
   ApplyOptions options;
-  options.max_attempts = 3;
-  options.backoff_base_ticks = 1'000;
-  options.backoff_max_ticks = 1'000;
-  options.backoff_jitter = 0.0;
+  options.rendezvous.max_attempts = 3;
+  options.rendezvous.backoff_base_ticks = 1'000;
+  options.rendezvous.backoff_max_ticks = 1'000;
+  options.rendezvous.backoff_jitter = 0.0;
   ks::Result<ApplyReport> applied = core_->Apply(created->package, options);
   ASSERT_FALSE(applied.ok());
   EXPECT_EQ(applied.status().code(), ks::ErrorCode::kResourceExhausted);

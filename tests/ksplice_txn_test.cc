@@ -253,10 +253,10 @@ void sleeper(int n) {
 
   KspliceCore core(machine.get());
   ApplyOptions options;
-  options.max_attempts = 2;
-  options.backoff_base_ticks = 1'000;
-  options.backoff_max_ticks = 1'000;
-  options.backoff_jitter = 0.0;
+  options.rendezvous.max_attempts = 2;
+  options.rendezvous.backoff_base_ticks = 1'000;
+  options.rendezvous.backoff_max_ticks = 1'000;
+  options.rendezvous.backoff_jitter = 0.0;
   ks::Result<BatchApplyReport> batch = core.ApplyAll(packages, options);
   ASSERT_FALSE(batch.ok());
   EXPECT_EQ(batch.status().code(), ks::ErrorCode::kResourceExhausted);

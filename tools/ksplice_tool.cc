@@ -11,6 +11,9 @@
 //                                                       rendezvous
 //   ksplice_tool status  <srcdir> [pkg.kspl...]         applied-update
 //                                                       stack table
+//   ksplice_tool rollout [cve...]                       wave/canary rollout
+//                                                       across a simulated
+//                                                       fleet
 //   ksplice_tool disasm  <srcdir> <unit>                disassemble a unit
 //   ksplice_tool export-corpus <dir>                    write the 64-CVE
 //                                                       corpus kernel +
@@ -31,6 +34,7 @@
 // paths are taken relative to <srcdir>.
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 
@@ -39,6 +43,8 @@
 #include "base/strings.h"
 #include "base/trace.h"
 #include "corpus/corpus.h"
+#include "fleet/corpus_fleet.h"
+#include "fleet/rollout.h"
 #include "kanalyze/kanalyze.h"
 #include "kcc/compile.h"
 #include "kcc/objcache.h"
@@ -130,6 +136,15 @@ struct CommandOptions {
   bool json = false;              // lint --json[=FILE]
   std::string json_file;
   std::string fail_on = "error";  // lint --fail-on=note|warning|error
+  // rollout flags.
+  int nodes = 8;                  // --nodes=N fleet size
+  double canary = 0.05;           // --canary=F canary fraction
+  int wave = 4;                   // --wave=N post-canary wave size
+  int max_in_flight = 4;          // --max-in-flight=N per-wave workers
+  double abort_frac = 0.0;        // --abort-frac=F wave failure threshold
+  int doom = 0;                   // --doom=K canary-fault the first K nodes
+  std::string canary_fault = "ksplice.txn.pre_apply=always";
+  uint64_t seed = 0;              // --seed=N rollout order + jitter seed
 };
 
 CommandOptions g_cmd;
@@ -203,6 +218,52 @@ const FlagSpec kLintFlags[] = {
      "exit 1 when any finding has severity SEV (note|warning|error) or "
      "higher (default: error)",
      [](const std::string& v) { g_cmd.fail_on = v; }},
+};
+
+const FlagSpec kRolloutFlags[] = {
+    {"--nodes", FlagSpec::kRequired, "N",
+     "fleet size: N machines round-robin across the corpus kernel release "
+     "line (default 8)",
+     [](const std::string& v) { g_cmd.nodes = std::atoi(v.c_str()); }},
+    {"--canary", FlagSpec::kRequired, "F",
+     "canary fraction: the first wave holds max(1, ceil(F * nodes)) nodes "
+     "(default 0.05)",
+     [](const std::string& v) { g_cmd.canary = std::atof(v.c_str()); }},
+    {"--wave", FlagSpec::kRequired, "N",
+     "post-canary wave size (0 = the rest of the fleet at once; default 4)",
+     [](const std::string& v) { g_cmd.wave = std::atoi(v.c_str()); }},
+    {"--max-in-flight", FlagSpec::kRequired, "N",
+     "concurrent node applies within a wave (default 4)",
+     [](const std::string& v) {
+       g_cmd.max_in_flight = std::atoi(v.c_str());
+     }},
+    {"--abort-frac", FlagSpec::kRequired, "F",
+     "abort the rollout (and roll every patched node back) when a wave's "
+     "failed fraction exceeds F (default 0.0: any failure trips; stale "
+     "skips never count)",
+     [](const std::string& v) { g_cmd.abort_frac = std::atof(v.c_str()); }},
+    {"--doom", FlagSpec::kRequired, "K",
+     "canary-failure drill: arm the --canary-fault plan and let it fire on "
+     "the first K nodes in rollout order (everyone else applies "
+     "fault-suppressed)",
+     [](const std::string& v) { g_cmd.doom = std::atoi(v.c_str()); }},
+    {"--canary-fault", FlagSpec::kRequired, "PLAN",
+     "fault plan armed for the drill (faultinject grammar; default "
+     "ksplice.txn.pre_apply=always)",
+     [](const std::string& v) { g_cmd.canary_fault = v; }},
+    {"--seed", FlagSpec::kRequired, "N",
+     "seeds the rollout order shuffle and per-node rendezvous jitter "
+     "(0 = visit nodes in id order; default 0)",
+     [](const std::string& v) {
+       g_cmd.seed = std::strtoull(v.c_str(), nullptr, 10);
+     }},
+    {"--json", FlagSpec::kOptional, "FILE",
+     "emit the rollout report as JSON (to FILE when given, else stdout) "
+     "instead of the table",
+     [](const std::string& v) {
+       g_cmd.json = true;
+       g_cmd.json_file = v;
+     }},
 };
 
 // Matches `arg` (argv token i) against `spec`, extracting a glued or
@@ -738,6 +799,126 @@ int CmdStatus(const std::vector<std::string>& args) {
   return 0;
 }
 
+// -------------------------------------------------------------- rollout
+
+// Builds one package per CVE argument from the v1 corpus source (the
+// distro's single package for every installed kernel release).
+ks::Result<std::vector<ksplice::UpdatePackage>> BuildCorpusPackages(
+    const std::vector<std::string>& cves) {
+  std::vector<ksplice::UpdatePackage> packages;
+  for (const std::string& cve : cves) {
+    const corpus::Vulnerability* vuln = nullptr;
+    for (const corpus::Vulnerability& candidate :
+         corpus::Vulnerabilities()) {
+      if (candidate.cve == cve) {
+        vuln = &candidate;
+      }
+    }
+    if (vuln == nullptr) {
+      return ks::NotFound("no corpus entry for " + cve);
+    }
+    KS_ASSIGN_OR_RETURN(std::string patch, corpus::PatchFor(*vuln));
+    ksplice::CreateOptions options;
+    options.compile = corpus::RunBuildOptions();
+    options.compile.jobs = g_options.jobs;
+    options.compile.cache = &ToolCache();
+    options.id = vuln->cve;
+    KS_ASSIGN_OR_RETURN(
+        ksplice::CreateResult created,
+        ksplice::CreateUpdate(corpus::KernelSource(), patch, options));
+    packages.push_back(std::move(created.package));
+  }
+  return packages;
+}
+
+void PrintRolloutReport(const ksplice::RolloutReport& report) {
+  std::printf("rollout %s over %u node(s): %s\n", report.id.c_str(),
+              report.fleet_size,
+              report.aborted ? "ABORTED (rolled back)" : "completed");
+  std::printf("%5s %7s %6s %8s %8s %6s %7s %9s\n", "wave", "canary",
+              "nodes", "patched", "already", "stale", "failed", "pause ms");
+  for (const ksplice::RolloutWaveReport& wave : report.wave_reports) {
+    std::printf("%5d %7s %6u %8u %8u %6u %7u %9.3f%s\n", wave.wave,
+                wave.canary ? "yes" : "-", wave.nodes, wave.patched,
+                wave.already_applied, wave.skipped_stale, wave.failed,
+                static_cast<double>(wave.max_pause_ns) / 1e6,
+                wave.tripped ? "  << tripped" : "");
+  }
+  std::printf(
+      "totals: %u patched, %u already applied, %u skipped stale, "
+      "%u failed, %u rolled back, %u not attempted\n",
+      report.patched, report.already_applied, report.skipped_stale,
+      report.failed, report.rolled_back, report.not_attempted);
+  std::printf(
+      "%.1f machines/sec; pause p50 %.3f ms, p99 %.3f ms, max %.3f ms\n",
+      report.nodes_per_sec,
+      static_cast<double>(report.pause_p50_ns) / 1e6,
+      static_cast<double>(report.pause_p99_ns) / 1e6,
+      static_cast<double>(report.pause_max_ns) / 1e6);
+}
+
+// Rolls corpus CVE package(s) across a mixed-release fleet. Exits 1 when
+// the rollout aborted or any node failed.
+int CmdRollout(const std::vector<std::string>& args) {
+  if (g_cmd.nodes <= 0) {
+    return UsageError("--nodes must be positive");
+  }
+  if (g_cmd.doom < 0 || g_cmd.doom > g_cmd.nodes) {
+    return UsageError("--doom must be between 0 and --nodes");
+  }
+  std::vector<std::string> cves(args.begin(), args.end());
+  if (cves.empty()) {
+    // Applies cleanly on every corpus release (mm/vmsplice drifted in
+    // none of them), so the default rollout exercises the whole fleet.
+    cves.push_back("CVE-2008-0600");
+  }
+  ks::Result<std::vector<ksplice::UpdatePackage>> packages =
+      BuildCorpusPackages(cves);
+  if (!packages.ok()) {
+    return Fail(packages.status());
+  }
+
+  fleet::CorpusFleetOptions fleet_options;
+  fleet_options.nodes = static_cast<size_t>(g_cmd.nodes);
+  fleet_options.doomed = static_cast<size_t>(g_cmd.doom);
+  fleet_options.seed = g_cmd.seed;
+  ks::Result<fleet::Fleet> machines = fleet::MakeCorpusFleet(fleet_options);
+  if (!machines.ok()) {
+    return Fail(machines.status());
+  }
+
+  fleet::RolloutPlan plan;
+  plan.canary_fraction = g_cmd.canary;
+  plan.wave_size = static_cast<uint32_t>(g_cmd.wave);
+  plan.max_in_flight = g_cmd.max_in_flight;
+  plan.abort_failure_fraction = g_cmd.abort_frac;
+  plan.seed = g_cmd.seed;
+  if (g_cmd.doom > 0) {
+    plan.canary_fault_plan = g_cmd.canary_fault;
+  }
+  plan.apply.use_index = g_options.use_index;
+  ks::Result<ksplice::RolloutReport> report =
+      fleet::RunRollout(*machines, *packages, plan);
+  if (!report.ok()) {
+    return Fail(report.status());
+  }
+
+  if (g_cmd.json) {
+    if (g_cmd.json_file.empty()) {
+      std::printf("%s\n", report->ToJson().c_str());
+    } else {
+      ks::Status written =
+          WriteFile(g_cmd.json_file, report->ToJson() + "\n");
+      if (!written.ok()) {
+        return Fail(written);
+      }
+    }
+  } else {
+    PrintRolloutReport(*report);
+  }
+  return (report->aborted || report->failed > 0) ? 1 : 0;
+}
+
 // --------------------------------------------------------------- disasm
 
 int CmdDisasm(const std::vector<std::string>& args) {
@@ -873,6 +1054,19 @@ const Command kCommands[] = {
      "helper retention, module/trampoline bytes and patched symbols —\n"
      "the live analogue of Ksplice's /sys update status.",
      kStatusFlags, std::size(kStatusFlags)},
+    {"rollout", "[cve...]",
+     "wave/canary rollout of corpus CVE update(s) across a fleet", 0, 8,
+     CmdRollout,
+     "Boots --nodes machines spread round-robin across the corpus kernel\n"
+     "release line, builds one package per CVE from the v1 source (default\n"
+     "CVE-2008-0600), and rolls the batch out canary wave first. A node on\n"
+     "a release whose development touched the patched unit is skipped by\n"
+     "run-pre matching (counted stale, not failed). When a wave's failed\n"
+     "fraction exceeds --abort-frac the rollout aborts and every patched\n"
+     "node is rolled back. --doom=K drills that path: the first K nodes in\n"
+     "rollout order apply with the --canary-fault plan live. Exits 1 when\n"
+     "the rollout aborted or any node failed.",
+     kRolloutFlags, std::size(kRolloutFlags)},
     {"disasm", "<srcdir> <unit>", "disassemble one compilation unit", 2, 2,
      CmdDisasm,
      "Compiles <unit> with -ffunction-sections and prints each text\n"
