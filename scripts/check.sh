@@ -8,6 +8,7 @@ cd "$(dirname "$0")/.."
 cmake -B build -G Ninja ${SANITIZE:+"-DKSPLICE_SANITIZE=$SANITIZE"}
 cmake --build build
 ctest --test-dir build --output-on-failure
+scripts/check_tidy.sh
 for b in build/bench/bench_*; do echo "== $b =="; "$b"; done
 for e in build/examples/quickstart build/examples/cve_prctl build/examples/shadow_struct build/examples/stacked_updates build/examples/fleet_update; do echo "== $e =="; "$e"; done
 
@@ -92,6 +93,60 @@ assert sidecar["lint"]["errors"] == 0, "sidecar lint disagrees"
 print("lint JSON OK:", lint["functions_scanned"], "functions,",
       lint["blocks_analyzed"], "blocks,", len(lint["findings"]), "findings")
 EOF
+
+# Semantic-diff + rollout gate smoke: a patch that returns holding the
+# big kernel lock must produce an error-severity KSA503 finding, `lint
+# --json` and the .report.json sidecar must agree byte-for-byte on the
+# findings array (one serializer), and `rollout --lint` (the default)
+# must refuse the package before touching any node.
+echo "== kanalyze semdiff + rollout --lint gate smoke =="
+python3 - "$obs_dir" <<'EOF'
+import difflib, pathlib, sys
+obs = pathlib.Path(sys.argv[1])
+pre = (obs / "corpus/src/kernel/sched.kc").read_text().splitlines(
+    keepends=True)
+post = []
+for line in pre:
+    post.append(line)
+    if line.strip() == "void my_schedule() {":
+        post.append("  lock_kernel();\n")
+assert len(post) == len(pre) + 1, "my_schedule not found"
+(obs / "doomed.patch").write_text("".join(difflib.unified_diff(
+    pre, post, fromfile="a/kernel/sched.kc", tofile="b/kernel/sched.kc")))
+EOF
+build/tools/ksplice_tool create --lint=warn "$obs_dir/corpus/src" \
+  "$obs_dir/doomed.patch" "$obs_dir/doomed.kspl"
+rc=0; build/tools/ksplice_tool lint --json="$obs_dir/doomed.lint.json" \
+  "$obs_dir/doomed.kspl" || rc=$?
+test "$rc" -eq 1 || { echo "lint of doomed package exited $rc, want 1"; exit 1; }
+python3 - "$obs_dir" <<'EOF'
+import json, sys
+obs = sys.argv[1]
+def findings_raw(text):
+    at = text.index('"findings":')
+    start = text.index('[', at)
+    depth = 0
+    for j in range(start, len(text)):
+        depth += text[j] == '['
+        depth -= text[j] == ']'
+        if depth == 0:
+            return text[at:j + 1]
+    raise AssertionError("unterminated findings array")
+lint_raw = open(obs + "/doomed.lint.json").read()
+side_raw = open(obs + "/doomed.kspl.report.json").read()
+assert findings_raw(lint_raw) == findings_raw(side_raw), \
+    "lint --json and sidecar disagree on the findings array"
+lint = json.loads(lint_raw)
+rules = {f["rule"] for f in lint["findings"]}
+assert "KSA503" in rules, rules
+assert lint["errors"] > 0 and lint["functions_summarized"] > 0, lint
+print("semdiff OK:", sorted(rules), "- findings byte-identical with sidecar")
+EOF
+rc=0; build/tools/ksplice_tool rollout --nodes=2 "$obs_dir/doomed.kspl" \
+  2>"$obs_dir/rollout-refused.err" || rc=$?
+test "$rc" -eq 1 || { echo "doomed rollout exited $rc, want 1"; exit 1; }
+grep -q "rollout refused before touching any node" \
+  "$obs_dir/rollout-refused.err"
 
 # Transaction smoke: batch-apply two CVE fixes with disjoint targets in
 # ONE transaction and show the update stack. The metrics JSON proves the

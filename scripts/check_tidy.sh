@@ -1,0 +1,33 @@
+#!/bin/sh
+# clang-tidy over src/ with the repo's .clang-tidy (bugprone-*,
+# concurrency-*, performance-*; bugprone/concurrency findings are
+# errors). Needs a compile database; reuses build/compile_commands.json
+# when present, else configures one. Exits 0 with a notice when
+# clang-tidy is not installed, so scripts/check.sh stays runnable on
+# minimal containers.
+set -e
+cd "$(dirname "$0")/.."
+
+TIDY=""
+for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                 clang-tidy-15 clang-tidy-14; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    TIDY="$candidate"
+    break
+  fi
+done
+if [ -z "$TIDY" ]; then
+  echo "check_tidy: clang-tidy not installed; skipping"
+  exit 0
+fi
+
+build_dir="${TIDY_BUILD_DIR:-build}"
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  cmake -B "$build_dir" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+echo "== $TIDY over src/ (-p $build_dir, $jobs workers) =="
+find src -name '*.cc' -print0 | sort -z \
+  | xargs -0 -n 1 -P "$jobs" "$TIDY" --quiet -p "$build_dir"
+echo "check_tidy: OK"

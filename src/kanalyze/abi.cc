@@ -26,20 +26,6 @@ bool IsDataKind(kelf::SectionKind kind) {
   return kind == kelf::SectionKind::kData || kind == kelf::SectionKind::kBss;
 }
 
-// Any .ksplice.* hook table anywhere in the package counts: hooks are the
-// package-level declaration that apply-time custom code handles state.
-bool PackageHasHooks(const ksplice::UpdatePackage& package) {
-  for (const kelf::ObjectFile& primary : package.primary_objects) {
-    for (const kelf::Section& section : primary.sections()) {
-      if (section.kind == kelf::SectionKind::kNote &&
-          ks::StartsWith(section.name, ".ksplice.")) {
-        return true;
-      }
-    }
-  }
-  return false;
-}
-
 const kelf::ObjectFile* HelperForUnit(
     const ksplice::UpdatePackage& package, const std::string& unit) {
   for (const kelf::ObjectFile& helper : package.helper_objects) {
@@ -65,6 +51,21 @@ LintFinding MakeFinding(const char* rule, LintSeverity severity,
 }
 
 }  // namespace
+
+// Any .ksplice.* hook table anywhere in the package counts: hooks are the
+// package-level declaration that apply-time custom code handles state.
+// Shared with the semantic-diff pass (KSA502/KSA504 downgrade/gate on it).
+bool PackageHasHooks(const ksplice::UpdatePackage& package) {
+  for (const kelf::ObjectFile& primary : package.primary_objects) {
+    for (const kelf::Section& section : primary.sections()) {
+      if (section.kind == kelf::SectionKind::kNote &&
+          ks::StartsWith(section.name, ".ksplice.")) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
 
 void RunAbiPass(const ksplice::UpdatePackage& package, LintReport* report) {
   const bool hooks = PackageHasHooks(package);

@@ -28,22 +28,15 @@ bool SplitScoped(const std::string& name, std::string* unit,
   return true;
 }
 
-// The SYS services a thread can park in (paper §4.2's "functions that
-// frequently wait for events"): sleep and the big kernel lock.
-bool IsBlockingSys(uint32_t imm) {
-  return imm == static_cast<uint32_t>(kvx::Sys::kSleep) ||
-         imm == static_cast<uint32_t>(kvx::Sys::kLockKernel);
-}
-
 struct SectionScan {
   bool self_call = false;
-  bool blocking = false;
   uint64_t insns = 0;
 };
 
 // Decodes a text section looking for reloc-free CALLs (self-recursion
-// under -ffunction-sections) and blocking SYS instructions. Stops at the
-// first undecodable byte — the CFG pass owns that diagnostic.
+// under -ffunction-sections). Stops at the first undecodable byte — the
+// CFG pass owns that diagnostic. Blocking facts (sleep/lock_kernel) are
+// the side-effect summaries' job (summary.h), not the graph's.
 SectionScan ScanText(const kelf::Section& section) {
   SectionScan scan;
   std::set<uint32_t> reloc_fields;
@@ -65,9 +58,6 @@ SectionScan ScanText(const kelf::Section& section) {
           reloc_fields.count(off + static_cast<uint32_t>(field)) == 0) {
         scan.self_call = true;
       }
-    }
-    if (insn->op == kvx::Op::kSys && IsBlockingSys(insn->imm)) {
-      scan.blocking = true;
     }
     off += insn->len;
   }
@@ -273,7 +263,7 @@ CallGraph BuildCallGraph(const ksplice::UpdatePackage& package) {
     }
   }
 
-  // ---- Decode-level facts: self-recursion and blocking primitives.
+  // ---- Decode-level facts: self-recursion.
   for (size_t ni = 0; ni < graph.nodes.size(); ++ni) {
     CallNode& node = graph.nodes[ni];
     const ObjRef* ref = nullptr;
@@ -288,28 +278,8 @@ CallGraph BuildCallGraph(const ksplice::UpdatePackage& package) {
         ref->obj->sections()[static_cast<size_t>(node.section_index)];
     SectionScan scan = ScanText(section);
     graph.insns_decoded += scan.insns;
-    node.blocking = scan.blocking;
     if (scan.self_call) {
       add_edge(static_cast<int>(ni), static_cast<int>(ni));
-    }
-  }
-
-  // ---- Blocking reachability: reverse BFS from blocking nodes.
-  std::deque<int> queue;
-  for (size_t ni = 0; ni < graph.nodes.size(); ++ni) {
-    if (graph.nodes[ni].blocking) {
-      graph.nodes[ni].reaches_blocking = true;
-      queue.push_back(static_cast<int>(ni));
-    }
-  }
-  while (!queue.empty()) {
-    int at = queue.front();
-    queue.pop_front();
-    for (int caller : graph.callers[static_cast<size_t>(at)]) {
-      if (!graph.nodes[static_cast<size_t>(caller)].reaches_blocking) {
-        graph.nodes[static_cast<size_t>(caller)].reaches_blocking = true;
-        queue.push_back(caller);
-      }
     }
   }
 

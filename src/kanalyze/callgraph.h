@@ -40,9 +40,9 @@ struct CallNode {
   bool in_primary = false;  // replacement code vs pre-kernel code
   int object_index = -1;    // index into helper_objects / primary_objects
   int section_index = -1;   // section within that object
-  bool blocking = false;    // contains SYS sleep / lock_kernel
-  bool reaches_blocking = false;  // can reach a blocking node via calls
   uint32_t text_bytes = 0;
+  // Blocking facts (sleep/lock_kernel, direct and transitive) live in the
+  // side-effect summaries (summary.h), computed over this graph.
 };
 
 // An unresolved scoped import seen in primary code: a guaranteed
@@ -59,7 +59,7 @@ struct CallGraph {
   std::vector<std::vector<int>> callers;  // reverse adjacency
   std::vector<DanglingImport> dangling;
   uint64_t edges = 0;          // total call edges (deduplicated)
-  uint64_t insns_decoded = 0;  // self-call + blocking-primitive scans
+  uint64_t insns_decoded = 0;  // self-call scans
 
   // Node lookup for a helper (pre) function, by unit + defining symbol.
   // Returns -1 when absent.

@@ -146,10 +146,14 @@ ks::Result<LintReport> AnalyzePackage(const ksplice::UpdatePackage& package,
       ks::Metrics().GetCounter("kanalyze.findings.note");
   static ks::Histogram& callgraph_ns =
       ks::Metrics().GetHistogram("kanalyze.callgraph_ns");
+  static ks::Histogram& summary_ns =
+      ks::Metrics().GetHistogram("kanalyze.summary_ns");
   static ks::Histogram& cfg_ns = ks::Metrics().GetHistogram("kanalyze.cfg_ns");
   static ks::Histogram& abi_ns = ks::Metrics().GetHistogram("kanalyze.abi_ns");
   static ks::Histogram& quiescence_ns =
       ks::Metrics().GetHistogram("kanalyze.quiescence_ns");
+  static ks::Histogram& semdiff_ns =
+      ks::Metrics().GetHistogram("kanalyze.semdiff_ns");
 
   LintReport report;
   report.id = package.id;
@@ -162,6 +166,22 @@ ks::Result<LintReport> AnalyzePackage(const ksplice::UpdatePackage& package,
     RunCallGraphPass(package, graph, options, &report);
     callgraph_ns.Observe(NowNs() - begin);
     pass_span.Annotate("edges", graph.edges);
+  }
+  PackageSummaries summaries;
+  {
+    ks::TraceSpan pass_span("kanalyze.summary");
+    uint64_t begin = NowNs();
+    SummaryOptions summary_options;
+    summary_options.jobs = options.jobs;
+    summary_options.cache = options.cache;
+    summaries = ComputeSummaries(package, graph, summary_options);
+    summary_ns.Observe(NowNs() - begin);
+    report.functions_summarized += summaries.functions.size();
+    report.insns_decoded += summaries.insns_interpreted;
+    pass_span.Annotate("functions",
+                       static_cast<uint64_t>(summaries.functions.size()));
+    pass_span.Annotate("cache_hits", summaries.cache_hits);
+    pass_span.Annotate("cache_misses", summaries.cache_misses);
   }
   {
     ks::TraceSpan pass_span("kanalyze.cfg");
@@ -180,8 +200,14 @@ ks::Result<LintReport> AnalyzePackage(const ksplice::UpdatePackage& package,
   {
     ks::TraceSpan pass_span("kanalyze.quiescence");
     uint64_t begin = NowNs();
-    RunQuiescencePass(package, graph, &report);
+    RunQuiescencePass(package, graph, summaries, &report);
     quiescence_ns.Observe(NowNs() - begin);
+  }
+  {
+    ks::TraceSpan pass_span("kanalyze.semdiff");
+    uint64_t begin = NowNs();
+    RunSemanticDiffPass(package, graph, summaries, &report);
+    semdiff_ns.Observe(NowNs() - begin);
   }
 
   std::stable_sort(

@@ -26,19 +26,36 @@
 //              KSA303 data change gated by hooks    note
 //   quiescence KSA401 patched function blocks       warning
 //              KSA402 reaches a blocking primitive  note
+//   semdiff    KSA501 write-set grew into
+//                     persistent data               warning
+//              KSA502 store width changed at a
+//                     shared field                  error (note w/ hooks)
+//              KSA503 lock imbalance introduced     error
+//              KSA504 new call path writes
+//                     hook-gated data               note
+//
+// The quiescence and semdiff passes consume per-function side-effect
+// summaries (summary.h) computed between the callgraph and cfg phases.
 //
 // Layering: ks_ksplice links ks_kanalyze (CreateUpdate calls
 // AnalyzePackage), so this library must consume ksplice/package.h and
 // ksplice/report.h as headers only — no calls into ks_ksplice-compiled
-// code.
+// code. ks_kanalyze links ks_kcc for the summary blob cache
+// (kcc::ObjectCache), which is acyclic: ks_kcc depends only on
+// ks_base/ks_kelf/ks_kvx/ks_kdiff.
 
 #ifndef KSPLICE_KANALYZE_KANALYZE_H_
 #define KSPLICE_KANALYZE_KANALYZE_H_
 
 #include "base/status.h"
 #include "kanalyze/callgraph.h"
+#include "kanalyze/summary.h"
 #include "ksplice/package.h"
 #include "ksplice/report.h"
+
+namespace kcc {
+class ObjectCache;
+}
 
 namespace kanalyze {
 
@@ -47,6 +64,13 @@ struct AnalyzeOptions {
   // static callers in the pre kernel (a busy function is likelier to be
   // on some thread's stack when stop_machine rendezvous).
   uint32_t fanin_note_threshold = 8;
+  // Fan-out width for the summary phase (ks::ParallelFor). Findings are
+  // byte-identical at any width.
+  int jobs = 1;
+  // Optional content-addressed cache for direct summaries; a lint, a
+  // create --lint and a rollout gate sharing one cache summarize each
+  // distinct function body once.
+  kcc::ObjectCache* cache = nullptr;
 };
 
 // Runs all four pass families over `package` and returns the findings,
@@ -71,7 +95,17 @@ void RunAbiPass(const ksplice::UpdatePackage& package,
                 ksplice::LintReport* report);
 void RunQuiescencePass(const ksplice::UpdatePackage& package,
                        const CallGraph& graph,
+                       const PackageSummaries& summaries,
                        ksplice::LintReport* report);
+void RunSemanticDiffPass(const ksplice::UpdatePackage& package,
+                         const CallGraph& graph,
+                         const PackageSummaries& summaries,
+                         ksplice::LintReport* report);
+
+// True if any primary object carries a .ksplice.* hook note section (the
+// package-level declaration that apply-time custom code handles state).
+// Defined in abi.cc; the abi and semdiff passes both key off it.
+bool PackageHasHooks(const ksplice::UpdatePackage& package);
 
 }  // namespace kanalyze
 

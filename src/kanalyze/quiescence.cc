@@ -4,15 +4,22 @@
 // being replaced; a function that sleeps — or that can reach sleep() or
 // lock_kernel() through its callees — is exactly the function likeliest
 // to be pinned on a blocked thread's stack, making the check fail on
-// every retry. The pass walks the pre-kernel call graph (the running
-// kernel's behavior is what matters: threads park in old code) from each
-// replacement target and flags direct blockers (KSA401) and transitive
-// reachers (KSA402).
+// every retry.
+//
+// Blocking facts come from the side-effect summaries (summary.h): the pre
+// function's direct `blocks` bit feeds KSA401, and its transitive
+// `reachable_blocking` set — one entry per distinct primitive, however
+// many call paths reach it — feeds KSA402. Deduplicating by (rule,
+// function, primitive) is therefore structural: two call paths to the
+// same sleep() are one risk, not two findings.
 
+#include <set>
 #include <string>
+#include <tuple>
 
 #include "base/strings.h"
 #include "kanalyze/kanalyze.h"
+#include "kanalyze/summary.h"
 
 namespace kanalyze {
 
@@ -39,28 +46,53 @@ LintFinding MakeFinding(const char* rule, LintSeverity severity,
 }  // namespace
 
 void RunQuiescencePass(const ksplice::UpdatePackage& package,
-                       const CallGraph& graph, LintReport* report) {
+                       const CallGraph& graph,
+                       const PackageSummaries& summaries,
+                       LintReport* report) {
+  // (rule, function, primitive) already reported — a target listed twice,
+  // or two call paths to one primitive, must not double-report.
+  std::set<std::tuple<std::string, std::string, std::string>> emitted;
   for (const ksplice::Target& target : package.targets) {
     // The pre function: what threads are executing at apply time.
     int node = graph.FindHelperNode(target.unit, target.symbol);
     if (node < 0) {
       continue;  // callgraph pass reports the inconsistency (KSA104)
     }
-    const CallNode& fn = graph.nodes[static_cast<size_t>(node)];
-    if (fn.blocking) {
-      report->findings.push_back(MakeFinding(
-          "KSA401", LintSeverity::kWarning, target,
-          "patched function blocks (sleep/lock_kernel): threads may be "
-          "parked inside it, defeating the §4.2 stack check",
-          "expect quiescence retries; consider splitting the blocking "
-          "region out of the patched function or raising max_attempts"));
-    } else if (fn.reaches_blocking) {
-      report->findings.push_back(MakeFinding(
-          "KSA402", LintSeverity::kNote, target,
-          "patched function can reach a blocking primitive through its "
-          "callees; a thread may hold it on the stack while sleeping",
-          "apply during low activity or raise "
-          "RendezvousOptions::max_attempts"));
+    const FunctionSummary& fn = summaries.functions[static_cast<size_t>(node)];
+    if (fn.blocks) {
+      std::string prims;
+      for (const std::string& prim : fn.blocking_primitives) {
+        if (!prims.empty()) {
+          prims += ", ";
+        }
+        prims += prim;
+      }
+      if (emitted.insert({"KSA401", target.unit + "::" + target.symbol, prims})
+              .second) {
+        report->findings.push_back(MakeFinding(
+            "KSA401", LintSeverity::kWarning, target,
+            ks::StrPrintf("patched function blocks (%s): threads may be "
+                          "parked inside it, defeating the §4.2 stack check",
+                          prims.c_str()),
+            "expect quiescence retries; consider splitting the blocking "
+            "region out of the patched function or raising max_attempts"));
+      }
+    } else {
+      for (const std::string& prim : fn.reachable_blocking) {
+        if (!emitted
+                 .insert({"KSA402", target.unit + "::" + target.symbol, prim})
+                 .second) {
+          continue;
+        }
+        report->findings.push_back(MakeFinding(
+            "KSA402", LintSeverity::kNote, target,
+            ks::StrPrintf("patched function can reach blocking primitive "
+                          "'%s' through its callees; a thread may hold it "
+                          "on the stack while sleeping",
+                          prim.c_str()),
+            "apply during low activity or raise "
+            "RendezvousOptions::max_attempts"));
+      }
     }
   }
 }

@@ -163,14 +163,99 @@ ks::Result<kelf::ObjectFile> ObjectCache::ServeEntry(
   return compiled;
 }
 
+ks::Result<std::vector<uint8_t>> ObjectCache::GetOrComputeBlob(
+    const std::string& key,
+    const std::function<ks::Result<std::vector<uint8_t>>()>& compute,
+    bool* was_hit) {
+  static ks::Counter& hit_counter =
+      ks::Metrics().GetCounter("kcc.objcache.blob_hits");
+  static ks::Counter& miss_counter =
+      ks::Metrics().GetCounter("kcc.objcache.blob_misses");
+  static ks::Counter& corrupt_counter =
+      ks::Metrics().GetCounter("kcc.objcache.corrupt_entries");
+
+  if (was_hit != nullptr) {
+    *was_hit = false;
+  }
+
+  std::shared_ptr<Entry> entry;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_ptr<Entry>& slot = blob_entries_[key];
+    if (slot == nullptr) {
+      slot = std::make_shared<Entry>();
+    }
+    entry = slot;
+    if (!entry->claimed) {
+      entry->claimed = true;
+      owner = true;
+    }
+  }
+
+  if (owner) {
+    blob_misses_.fetch_add(1);
+    miss_counter.Add(1);
+    ks::Result<std::vector<uint8_t>> computed = compute();
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (computed.ok()) {
+      entry->bytes = *computed;
+      entry->checksum = Fnv64Bytes(entry->bytes);
+    } else {
+      entry->error = computed.status();
+    }
+    entry->ready = true;
+    entry->ready_cv.notify_all();
+    return computed;
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(entry->mu);
+    entry->ready_cv.wait(lock, [&entry] { return entry->ready; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (!entry->error.ok()) {
+      blob_hits_.fetch_add(1);
+      hit_counter.Add(1);
+      if (was_hit != nullptr) {
+        *was_hit = true;
+      }
+      return entry->error;
+    }
+    if (entry->checksum == Fnv64Bytes(entry->bytes)) {
+      blob_hits_.fetch_add(1);
+      hit_counter.Add(1);
+      if (was_hit != nullptr) {
+        *was_hit = true;
+      }
+      return entry->bytes;
+    }
+  }
+  // Checksum mismatch: recompute and heal, same contract as ServeEntry —
+  // a damaged cache can cost a recompute but never fail the lookup.
+  corrupt_counter.Add(1);
+  blob_misses_.fetch_add(1);
+  miss_counter.Add(1);
+  ks::Result<std::vector<uint8_t>> computed = compute();
+  if (computed.ok()) {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    entry->bytes = *computed;
+    entry->checksum = Fnv64Bytes(entry->bytes);
+  }
+  return computed;
+}
+
 size_t ObjectCache::CorruptEntriesForTest() {
   std::lock_guard<std::mutex> lock(mu_);
   size_t corrupted = 0;
-  for (auto& [key, entry] : entries_) {
-    std::lock_guard<std::mutex> entry_lock(entry->mu);
-    if (entry->ready && entry->error.ok() && !entry->bytes.empty()) {
-      entry->bytes[entry->bytes.size() / 2] ^= 0x01;
-      ++corrupted;
+  for (auto* map : {&entries_, &blob_entries_}) {
+    for (auto& [key, entry] : *map) {
+      std::lock_guard<std::mutex> entry_lock(entry->mu);
+      if (entry->ready && entry->error.ok() && !entry->bytes.empty()) {
+        entry->bytes[entry->bytes.size() / 2] ^= 0x01;
+        ++corrupted;
+      }
     }
   }
   return corrupted;
@@ -178,12 +263,13 @@ size_t ObjectCache::CorruptEntriesForTest() {
 
 size_t ObjectCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return entries_.size();
+  return entries_.size() + blob_entries_.size();
 }
 
 void ObjectCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+  blob_entries_.clear();
 }
 
 }  // namespace kcc

@@ -22,6 +22,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -51,6 +52,27 @@ class ObjectCache {
                                             const std::string& path,
                                             const CompileOptions& options,
                                             bool* was_hit = nullptr);
+
+  // Generic content-addressed blob store sharing the cache's lifetime,
+  // monitor latching and checksum discipline. `key` must already be a
+  // content address (the caller hashes every input that reaches the
+  // bytes); `compute` runs at most once per distinct key across all
+  // threads, and its failures are cached like failed compiles. A corrupt
+  // or truncated entry (checksum mismatch) is recomputed and healed in
+  // place, exactly as GetOrCompile does for objects. kanalyze keys its
+  // per-function side-effect summaries here so a lint, a create --lint
+  // and a rollout gate in one process summarize each function body once.
+  //
+  // Blob traffic is accounted separately from object traffic (the
+  // blob_hits/blob_misses accessors and the "kcc.objcache.blob_*"
+  // counters), so exact-count object-cache tests stay undisturbed.
+  ks::Result<std::vector<uint8_t>> GetOrComputeBlob(
+      const std::string& key,
+      const std::function<ks::Result<std::vector<uint8_t>>()>& compute,
+      bool* was_hit = nullptr);
+
+  uint64_t blob_hits() const { return blob_hits_.load(); }
+  uint64_t blob_misses() const { return blob_misses_.load(); }
 
   // Statistics. A "miss" is a compile; a "hit" is a result served from a
   // previously computed entry (including one another thread is still
@@ -92,8 +114,13 @@ class ObjectCache {
 
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Entry>> entries_;
+  // Blob entries live in their own namespace so a summary key can never
+  // collide with a compile key.
+  std::map<std::string, std::shared_ptr<Entry>> blob_entries_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> blob_hits_{0};
+  std::atomic<uint64_t> blob_misses_{0};
 };
 
 }  // namespace kcc

@@ -286,8 +286,11 @@ ks::Result<CreateResult> CreateUpdate(const kdiff::SourceTree& pre_tree,
   // package a user would ship, so the report travels with the package via
   // the .report.json sidecar and `ksplice_tool lint` can reproduce it.
   if (options.lint != LintMode::kOff) {
-    KS_ASSIGN_OR_RETURN(report.lint,
-                        kanalyze::AnalyzePackage(result.package));
+    kanalyze::AnalyzeOptions lint_options;
+    lint_options.jobs = options.compile.jobs;
+    lint_options.cache = options.compile.cache;
+    KS_ASSIGN_OR_RETURN(
+        report.lint, kanalyze::AnalyzePackage(result.package, lint_options));
     if (options.lint == LintMode::kError && report.lint.errors() > 0) {
       std::string details;
       for (const LintFinding& finding : report.lint.findings) {

@@ -105,21 +105,27 @@ std::string LintFinding::ToJson() const {
       offset_field.c_str(), Escaped(message).c_str(), Escaped(hint).c_str());
 }
 
-std::string LintReport::ToJson() const {
+std::string LintFindingsJson(const std::vector<LintFinding>& findings) {
   std::vector<std::string> rows;
   for (const LintFinding& finding : findings) {
     rows.push_back(finding.ToJson());
   }
+  return JoinJson(rows);
+}
+
+std::string LintReport::ToJson() const {
   return ks::StrPrintf(
       "{\"id\":\"%s\",\"errors\":%zu,\"warnings\":%zu,\"notes\":%zu,"
       "\"functions_scanned\":%llu,\"call_edges\":%llu,"
       "\"blocks_analyzed\":%llu,\"insns_decoded\":%llu,"
-      "\"data_sections_compared\":%llu,\"findings\":%s}",
+      "\"data_sections_compared\":%llu,\"functions_summarized\":%llu,"
+      "\"findings\":%s}",
       Escaped(id).c_str(), errors(),
       CountAtLeast(LintSeverity::kWarning) - errors(),
       findings.size() - CountAtLeast(LintSeverity::kWarning),
       U(functions_scanned), U(call_edges), U(blocks_analyzed),
-      U(insns_decoded), U(data_sections_compared), JoinJson(rows).c_str());
+      U(insns_decoded), U(data_sections_compared), U(functions_summarized),
+      LintFindingsJson(findings).c_str());
 }
 
 std::string UnitReport::ToJson() const {

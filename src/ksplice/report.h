@@ -53,7 +53,8 @@ struct MatchStats {
 // Lint diagnostics (src/kanalyze): typed findings of the static
 // patch-safety analyzer. Rule IDs are stable ("KSA101", ...); the first
 // digit names the pass family (1 call graph, 2 CFG/bytecode, 3 ABI/layout,
-// 4 quiescence risk). DESIGN.md carries the full rule catalog.
+// 4 quiescence risk, 5 semantic diff). DESIGN.md carries the full rule
+// catalog.
 
 enum class LintSeverity : uint8_t { kNote = 0, kWarning = 1, kError = 2 };
 
@@ -75,7 +76,8 @@ inline const char* LintSeverityName(LintSeverity severity) {
 struct LintFinding {
   std::string rule;  // "KSA202"
   LintSeverity severity = LintSeverity::kNote;
-  std::string pass;    // "callgraph" | "cfg" | "abi" | "quiescence"
+  std::string pass;  // "callgraph" | "cfg" | "abi" | "quiescence" |
+                     // "semdiff"
   std::string unit;    // object/unit the finding is in (may be empty)
   std::string symbol;  // function or section name (may be empty)
   uint32_t offset = 0;      // byte offset within `symbol`'s section
@@ -86,6 +88,12 @@ struct LintFinding {
   std::string ToString() const;  // "KSA202 error [cfg] unit:sym+0x12: ..."
   std::string ToJson() const;
 };
+
+// The one serializer for a findings array: "[{...},{...}]". Every surface
+// that emits findings JSON — LintReport::ToJson, the .report.json sidecar
+// through it, `ksplice_tool lint --json` — goes through this function, so
+// the byte streams agree by construction.
+std::string LintFindingsJson(const std::vector<LintFinding>& findings);
 
 // Everything the analyzer observed over one package: the findings plus
 // per-pass work counters (the registry carries the per-process aggregate
@@ -98,6 +106,7 @@ struct LintReport {
   uint64_t blocks_analyzed = 0;     // CFG basic blocks
   uint64_t insns_decoded = 0;       // instructions decoded across passes
   uint64_t data_sections_compared = 0;  // ABI differ pairs
+  uint64_t functions_summarized = 0;    // side-effect summaries computed
 
   size_t CountAtLeast(LintSeverity severity) const {
     size_t n = 0;

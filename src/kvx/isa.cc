@@ -159,6 +159,45 @@ int Imm32FieldOffset(Op op) {
   return -1;
 }
 
+bool IsMemStore(Op op) {
+  return op == Op::kStoreI || op == Op::kStoreBI;
+}
+
+bool IsMemLoad(Op op) { return op == Op::kLoadI || op == Op::kLoadBI; }
+
+int MemAccessWidth(Op op) {
+  switch (op) {
+    case Op::kLoadI:
+    case Op::kStoreI:
+      return 4;
+    case Op::kLoadBI:
+    case Op::kStoreBI:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+int MemAddrRegister(const Insn& insn) {
+  if (IsMemStore(insn.op)) {
+    return insn.reg1;  // store [rd], rs
+  }
+  if (IsMemLoad(insn.op)) {
+    return insn.reg2;  // load rd, [rs]
+  }
+  return -1;
+}
+
+int MemValueRegister(const Insn& insn) {
+  if (IsMemStore(insn.op)) {
+    return insn.reg2;
+  }
+  if (IsMemLoad(insn.op)) {
+    return insn.reg1;
+  }
+  return -1;
+}
+
 void AppendCanonicalBytes(const Insn& insn, std::vector<uint8_t>& out) {
   const OpInfo& info = GetOpInfo(insn.op);
   if (info.mnemonic == nullptr || info.is_nop) {

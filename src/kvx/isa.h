@@ -156,6 +156,38 @@ bool SameBranchFamily(Op a, Op b);
 // such field.
 int Imm32FieldOffset(Op op);
 
+// ---- Operand-effect decoding (kanalyze side-effect summaries) --------
+//
+// Memory-effect classification of an instruction: whether it reads or
+// writes memory, how wide the access is, and which register operands
+// carry the address and the value. The toy ISA only touches memory
+// through LOAD/STORE (word) and LOADB/STOREB (byte) plus the implicit
+// stack traffic of PUSH/POP/CALL/RET, so an abstract interpreter can
+// attribute every explicit access from these four accessors alone.
+
+// True if `op` stores to memory through a register-held address
+// (kStoreI / kStoreBI). PUSH and CALL write the stack but are excluded:
+// stack traffic is frame-local by construction.
+bool IsMemStore(Op op);
+
+// True if `op` loads from memory through a register-held address
+// (kLoadI / kLoadBI). POP and RET are excluded for the same reason.
+bool IsMemLoad(Op op);
+
+// Access width in bytes for a memory-touching opcode (4 for LOAD/STORE,
+// 1 for LOADB/STOREB); 0 when the opcode does not access memory through
+// a register address.
+int MemAccessWidth(Op op);
+
+// The register operand holding the effective address of a memory access
+// ("store [rd], rs" addresses through reg1; "load rd, [rs]" through
+// reg2). -1 when `insn` is not a register-addressed memory access.
+int MemAddrRegister(const Insn& insn);
+
+// The register operand carrying the stored value / receiving the loaded
+// value. -1 when `insn` is not a register-addressed memory access.
+int MemValueRegister(const Insn& insn);
+
 // Appends the canonical form of `insn` to `out`: the encoding with every
 // byte an assembler or linker may legitimately vary removed. No-ops vanish
 // entirely (alignment padding), rel8/rel32 displacement bytes are dropped

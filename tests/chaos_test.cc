@@ -642,24 +642,30 @@ TEST_F(ObjCacheChaosTest, CorruptEntryIsServedAsAMissAndHealed) {
   const uint64_t hits_after_second = cache.hits();
   ASSERT_GT(hits_after_second, hits_after_first);
 
-  // Flip one bit in every stored entry. Each corrupted entry must be
-  // detected by its checksum, recompiled (a miss, counted as corrupt),
-  // and healed in place.
+  // Flip one bit in every stored entry — compiled objects AND the lint
+  // pass's summary blobs share the checksum discipline. Each corrupted
+  // entry must be detected, recomputed (a miss in its own traffic class,
+  // counted as corrupt), and healed in place.
   const uint64_t corrupt_before = corrupt.value();
   const uint64_t misses_before = cache.misses();
+  const uint64_t blob_misses_before = cache.blob_misses();
   const size_t damaged = cache.CorruptEntriesForTest();
   ASSERT_GT(damaged, 0u);
   ks::Result<CreateResult> after = Create(tree, patch, "cc-3", &cache);
   ASSERT_TRUE(after.ok()) << after.status().ToString();
   EXPECT_EQ(corrupt.value() - corrupt_before, damaged);
-  EXPECT_EQ(cache.misses() - misses_before, damaged);
+  EXPECT_EQ((cache.misses() - misses_before) +
+                (cache.blob_misses() - blob_misses_before),
+            damaged);
 
   // Healed: the next create is served entirely from the repaired entries.
   const uint64_t corrupt_after_heal = corrupt.value();
   const uint64_t misses_after_heal = cache.misses();
+  const uint64_t blob_misses_after_heal = cache.blob_misses();
   ASSERT_TRUE(Create(tree, patch, "cc-4", &cache).ok());
   EXPECT_EQ(corrupt.value(), corrupt_after_heal);
   EXPECT_EQ(cache.misses(), misses_after_heal);
+  EXPECT_EQ(cache.blob_misses(), blob_misses_after_heal);
 
   // The recompiled-from-corruption package is a working update.
   std::unique_ptr<kvm::Machine> machine = Boot(tree);

@@ -9,7 +9,10 @@
 //   - abi: data change without hooks (KSA302) vs with hooks (KSA303),
 //     layout change (KSA301)
 //   - quiescence: patched function blocks (KSA401) or reaches a blocking
-//     primitive (KSA402)
+//     primitive (KSA402), deduplicated per (function, primitive)
+//
+// Summary-layer internals and the semantic-diff pass (KSA501-504) are
+// exercised in kanalyze_summary_test.cc.
 
 #include <gtest/gtest.h>
 
@@ -297,6 +300,59 @@ f:
   EXPECT_EQ(findings[0].severity, LintSeverity::kWarning);
 }
 
+// A loop that is balanced within each iteration must not confuse the
+// abstract stack: the push before the loop gives every ret the same
+// provable depth, so exactly one imbalance fires at the ret.
+TEST(KanalyzeCfg, LoopCarriedBalancedDepthStillProvesImbalance) {
+  kelf::ObjectFile obj = Assemble(R"(
+.text
+.global f
+f:
+    push fp
+    mov r0, 3
+.loop:
+    sub r0, 1
+    cmp r0, 0
+    jnz .loop
+    ret
+)");
+  const kelf::Section* section = TextSection(obj);
+  ASSERT_NE(section, nullptr);
+
+  LintReport report;
+  VerifyFunction("m.kvs", "f", *section, &report);
+  std::vector<ksplice::LintFinding> findings = WithRule(report, "KSA205");
+  ASSERT_EQ(findings.size(), 1u) << report.ToJson();
+  EXPECT_EQ(findings[0].severity, LintSeverity::kWarning);
+}
+
+// A push on only one path through the loop body makes the depth at the
+// loop head path-dependent; the join must degrade to unknown and KSA205
+// must stay silent (provable imbalance only).
+TEST(KanalyzeCfg, ConditionalPushInLoopDegradesToUnknown) {
+  kelf::ObjectFile obj = Assemble(R"(
+.text
+.global f
+f:
+    mov r0, 2
+.loop:
+    cmp r0, 1
+    jz .skip
+    push r0
+.skip:
+    sub r0, 1
+    cmp r0, 0
+    jnz .loop
+    ret
+)");
+  const kelf::Section* section = TextSection(obj);
+  ASSERT_NE(section, nullptr);
+
+  LintReport report;
+  VerifyFunction("m.kvs", "f", *section, &report);
+  EXPECT_TRUE(WithRule(report, "KSA205").empty()) << report.ToJson();
+}
+
 TEST(KanalyzeCfg, BalancedFunctionIsClean) {
   kelf::ObjectFile obj = Assemble(R"(
 .text
@@ -477,6 +533,79 @@ int outer(int n) {
   // The direct-blocking warning belongs to a patch of parker itself, not
   // this one.
   EXPECT_TRUE(WithRule(created->report.lint, "KSA401").empty());
+}
+
+// Two call paths to the same blocking primitive are one risk: KSA402 is
+// deduplicated by (rule, function, primitive).
+TEST(KanalyzeQuiescence, TwoPathsToOnePrimitiveReportOnce) {
+  SourceTree tree;
+  tree.Write("m.kc", R"(
+int st_a; int st_b; int st_c; int st_d;
+int path_one(int n) {
+  st_a += 1; st_b += 2; st_c += 3; st_d += 4;
+  st_a += st_b; st_c += st_d;
+  sleep(n);
+  st_b += st_c;
+  return st_a;
+}
+int path_two(int n) {
+  st_a += 4; st_b += 3; st_c += 2; st_d += 1;
+  st_d += st_c; st_b += st_a;
+  sleep(n);
+  st_c += st_b;
+  return st_b;
+}
+int outer(int n) {
+  return path_one(n) + path_two(n);
+}
+)");
+  std::string patch =
+      EditPatch(tree, "m.kc", "path_one(n) + path_two(n)",
+                "path_two(n) + path_one(n)");
+  ks::Result<ksplice::CreateResult> created = Create(tree, patch);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+
+  std::vector<ksplice::LintFinding> findings =
+      WithRule(created->report.lint, "KSA402");
+  ASSERT_EQ(findings.size(), 1u) << created->report.lint.ToJson();
+  EXPECT_EQ(findings[0].symbol, "outer");
+  EXPECT_NE(findings[0].message.find("sleep"), std::string::npos)
+      << findings[0].message;
+}
+
+// Distinct primitives stay distinct findings: reaching both sleep() and
+// lock_kernel() is two different risks with two different remediations.
+TEST(KanalyzeQuiescence, DistinctPrimitivesReportSeparately) {
+  SourceTree tree;
+  tree.Write("m.kc", R"(
+int st_a; int st_b; int st_c; int st_d;
+int sleeper(int n) {
+  st_a += 1; st_b += 2; st_c += 3; st_d += 4;
+  st_a += st_b; st_c += st_d;
+  sleep(n);
+  st_b += st_c;
+  return st_a;
+}
+int locker(int n) {
+  lock_kernel();
+  st_a += 4; st_b += 3; st_c += 2; st_d += 1;
+  st_d += st_c; st_b += st_a;
+  unlock_kernel();
+  st_c += st_b;
+  return st_b;
+}
+int outer(int n) {
+  return sleeper(n) + locker(n);
+}
+)");
+  std::string patch = EditPatch(tree, "m.kc", "sleeper(n) + locker(n)",
+                                "locker(n) + sleeper(n)");
+  ks::Result<ksplice::CreateResult> created = Create(tree, patch);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+
+  std::vector<ksplice::LintFinding> findings =
+      WithRule(created->report.lint, "KSA402");
+  ASSERT_EQ(findings.size(), 2u) << created->report.lint.ToJson();
 }
 
 // ------------------------------------------------------------------------

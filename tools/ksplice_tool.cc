@@ -221,6 +221,11 @@ const FlagSpec kLintFlags[] = {
 };
 
 const FlagSpec kRolloutFlags[] = {
+    {"--lint", FlagSpec::kRequired, "MODE",
+     "pre-rollout static-analysis gate over every package: off, warn "
+     "(print findings, proceed) or error (default: refuse to start the "
+     "rollout when any package has error-severity findings)",
+     [](const std::string& v) { g_cmd.lint_mode = v; }},
     {"--nodes", FlagSpec::kRequired, "N",
      "fleet size: N machines round-robin across the corpus kernel release "
      "line (default 8)",
@@ -353,6 +358,18 @@ kcc::CompileOptions DefaultBuild() {
 }
 
 // ------------------------------------------------------ report printing
+
+// The one place --json[=FILE] output leaves the tool: stdout when no FILE
+// was given, else the file. Returns the command exit code (0 unless the
+// write failed).
+int EmitJson(const std::string& json) {
+  if (g_cmd.json_file.empty()) {
+    std::printf("%s\n", json.c_str());
+    return 0;
+  }
+  ks::Status written = WriteFile(g_cmd.json_file, json + "\n");
+  return written.ok() ? 0 : Fail(written);
+}
 
 void PrintCreateReport(const ksplice::CreateReport& report) {
   std::printf("create report for %s:\n", report.id.c_str());
@@ -560,19 +577,18 @@ int CmdLint(const std::vector<std::string>& args) {
   if (!pkg.ok()) {
     return Fail(pkg.status());
   }
-  ks::Result<ksplice::LintReport> report = kanalyze::AnalyzePackage(*pkg);
+  kanalyze::AnalyzeOptions lint_options;
+  lint_options.jobs = g_options.jobs;
+  lint_options.cache = &ToolCache();
+  ks::Result<ksplice::LintReport> report =
+      kanalyze::AnalyzePackage(*pkg, lint_options);
   if (!report.ok()) {
     return Fail(report.status());
   }
   if (g_cmd.json) {
-    if (g_cmd.json_file.empty()) {
-      std::printf("%s\n", report->ToJson().c_str());
-    } else {
-      ks::Status written =
-          WriteFile(g_cmd.json_file, report->ToJson() + "\n");
-      if (!written.ok()) {
-        return Fail(written);
-      }
+    int rc = EmitJson(report->ToJson());
+    if (rc != 0) {
+      return rc;
     }
   } else {
     std::printf("lint report for %s:\n", report->id.c_str());
@@ -785,17 +801,9 @@ int CmdStatus(const std::vector<std::string>& args) {
   }
   ksplice::StatusReport report = core.Status();
   if (g_cmd.json) {
-    if (g_cmd.json_file.empty()) {
-      std::printf("%s\n", report.ToJson().c_str());
-    } else {
-      ks::Status written = WriteFile(g_cmd.json_file, report.ToJson() + "\n");
-      if (!written.ok()) {
-        return Fail(written);
-      }
-    }
-  } else {
-    PrintStatusReport(report);
+    return EmitJson(report.ToJson());
   }
+  PrintStatusReport(report);
   return 0;
 }
 
@@ -857,8 +865,9 @@ void PrintRolloutReport(const ksplice::RolloutReport& report) {
       static_cast<double>(report.pause_max_ns) / 1e6);
 }
 
-// Rolls corpus CVE package(s) across a mixed-release fleet. Exits 1 when
-// the rollout aborted or any node failed.
+// Rolls package(s) — corpus CVEs and/or on-disk .kspl files — across a
+// mixed-release fleet, after a static-analysis gate over every package.
+// Exits 1 when the gate refuses, the rollout aborted, or any node failed.
 int CmdRollout(const std::vector<std::string>& args) {
   if (g_cmd.nodes <= 0) {
     return UsageError("--nodes must be positive");
@@ -866,8 +875,16 @@ int CmdRollout(const std::vector<std::string>& args) {
   if (g_cmd.doom < 0 || g_cmd.doom > g_cmd.nodes) {
     return UsageError("--doom must be between 0 and --nodes");
   }
-  std::vector<std::string> cves(args.begin(), args.end());
-  if (cves.empty()) {
+  std::string lint_mode = g_cmd.lint_mode.empty() ? "error" : g_cmd.lint_mode;
+  if (lint_mode != "off" && lint_mode != "warn" && lint_mode != "error") {
+    return UsageError("--lint=" + lint_mode + " is not off, warn or error");
+  }
+  std::vector<std::string> cves;
+  std::vector<std::string> package_paths;
+  for (const std::string& arg : args) {
+    (ks::EndsWith(arg, ".kspl") ? package_paths : cves).push_back(arg);
+  }
+  if (cves.empty() && package_paths.empty()) {
     // Applies cleanly on every corpus release (mm/vmsplice drifted in
     // none of them), so the default rollout exercises the whole fleet.
     cves.push_back("CVE-2008-0600");
@@ -876,6 +893,47 @@ int CmdRollout(const std::vector<std::string>& args) {
       BuildCorpusPackages(cves);
   if (!packages.ok()) {
     return Fail(packages.status());
+  }
+  ks::Result<std::vector<ksplice::UpdatePackage>> loaded =
+      LoadPackages(package_paths);
+  if (!loaded.ok()) {
+    return Fail(loaded.status());
+  }
+  for (ksplice::UpdatePackage& pkg : *loaded) {
+    packages->push_back(std::move(pkg));
+  }
+
+  // The gate: a package that static analysis can condemn must be refused
+  // before any node is touched.
+  if (lint_mode != "off") {
+    kanalyze::AnalyzeOptions lint_options;
+    lint_options.jobs = g_options.jobs;
+    lint_options.cache = &ToolCache();
+    for (const ksplice::UpdatePackage& pkg : *packages) {
+      ks::Result<ksplice::LintReport> lint =
+          kanalyze::AnalyzePackage(pkg, lint_options);
+      if (!lint.ok()) {
+        return Fail(lint.status());
+      }
+      if (lint->errors() == 0) {
+        continue;
+      }
+      std::fprintf(stderr,
+                   "rollout: package %s has %zu error-severity lint "
+                   "finding(s):\n",
+                   lint->id.c_str(), lint->errors());
+      for (const ksplice::LintFinding& finding : lint->findings) {
+        if (finding.severity == ksplice::LintSeverity::kError) {
+          std::fprintf(stderr, "  %s\n", finding.ToString().c_str());
+        }
+      }
+      if (lint_mode == "error") {
+        std::fprintf(stderr,
+                     "rollout refused before touching any node "
+                     "(--lint=warn to override)\n");
+        return 1;
+      }
+    }
   }
 
   fleet::CorpusFleetOptions fleet_options;
@@ -904,14 +962,9 @@ int CmdRollout(const std::vector<std::string>& args) {
   }
 
   if (g_cmd.json) {
-    if (g_cmd.json_file.empty()) {
-      std::printf("%s\n", report->ToJson().c_str());
-    } else {
-      ks::Status written =
-          WriteFile(g_cmd.json_file, report->ToJson() + "\n");
-      if (!written.ok()) {
-        return Fail(written);
-      }
+    int rc = EmitJson(report->ToJson());
+    if (rc != 0) {
+      return rc;
     }
   } else {
     PrintRolloutReport(*report);
@@ -1054,18 +1107,21 @@ const Command kCommands[] = {
      "helper retention, module/trampoline bytes and patched symbols —\n"
      "the live analogue of Ksplice's /sys update status.",
      kStatusFlags, std::size(kStatusFlags)},
-    {"rollout", "[cve...]",
-     "wave/canary rollout of corpus CVE update(s) across a fleet", 0, 8,
+    {"rollout", "[cve|pkg.kspl ...]",
+     "wave/canary rollout of update package(s) across a fleet", 0, 8,
      CmdRollout,
      "Boots --nodes machines spread round-robin across the corpus kernel\n"
      "release line, builds one package per CVE from the v1 source (default\n"
-     "CVE-2008-0600), and rolls the batch out canary wave first. A node on\n"
-     "a release whose development touched the patched unit is skipped by\n"
+     "CVE-2008-0600) and loads any .kspl arguments from disk, then rolls\n"
+     "the batch out canary wave first. Every package passes the --lint\n"
+     "static-analysis gate before any node is touched: error-severity\n"
+     "findings refuse the rollout (default --lint=error). A node on a\n"
+     "release whose development touched the patched unit is skipped by\n"
      "run-pre matching (counted stale, not failed). When a wave's failed\n"
      "fraction exceeds --abort-frac the rollout aborts and every patched\n"
      "node is rolled back. --doom=K drills that path: the first K nodes in\n"
      "rollout order apply with the --canary-fault plan live. Exits 1 when\n"
-     "the rollout aborted or any node failed.",
+     "the gate refused, the rollout aborted, or any node failed.",
      kRolloutFlags, std::size(kRolloutFlags)},
     {"disasm", "<srcdir> <unit>", "disassemble one compilation unit", 2, 2,
      CmdDisasm,
