@@ -62,6 +62,43 @@ Tally DiffUnit(const kdiff::SourceTree& pre_tree,
   return tally;
 }
 
+// Same comparison for howto table sections (.extable.*/.bug_table.*):
+// how many tables would byte-level extraction have to replace?
+Tally DiffHowtoTables(const kdiff::SourceTree& pre_tree,
+                      const kdiff::SourceTree& post_tree,
+                      const std::string& unit, bool function_sections) {
+  Tally tally;
+  kcc::CompileOptions options = corpus::RunBuildOptions();
+  options.function_sections = function_sections;
+  options.data_sections = function_sections;
+  ks::Result<kelf::ObjectFile> pre =
+      kcc::CompileUnit(pre_tree, unit, options);
+  ks::Result<kelf::ObjectFile> post =
+      kcc::CompileUnit(post_tree, unit, options);
+  if (!pre.ok() || !post.ok()) {
+    return tally;
+  }
+  for (const kelf::Section& post_sec : post->sections()) {
+    if (post_sec.howto != kelf::Howto::kExtable &&
+        post_sec.howto != kelf::Howto::kBug) {
+      continue;
+    }
+    ++tally.sections_total;
+    tally.text_total += post_sec.bytes.size();
+    std::optional<int> pre_idx = pre->FindSection(post_sec.name);
+    bool changed =
+        !pre_idx.has_value() ||
+        !ksplice::SectionsEquivalent(
+            *pre, pre->sections()[static_cast<size_t>(*pre_idx)], *post,
+            post_sec);
+    if (changed) {
+      ++tally.sections_changed;
+      tally.text_changed += post_sec.bytes.size();
+    }
+  }
+  return tally;
+}
+
 }  // namespace
 
 int main() {
@@ -172,5 +209,71 @@ int main() {
   std::printf("\nMonolithic differencing must replace the entire unit no "
               "matter how small the\npatch; with sections the surface stays "
               "constant at the one patched function.\n");
+
+  // ------------------------------------------------------------------
+  // Special sections (§4.3 howtos): exception tables are emitted
+  // per-function with function-relative entries, so they diff like
+  // sectioned text even in the monolithic build — only the patched
+  // function's table moves, and a patch that leaves the faulting load's
+  // offsets alone changes no table at all.
+  std::printf("\n--- Exception tables under ablation (%d guarded "
+              "functions, one patched) ---\n", 8);
+  kdiff::SourceTree guarded_tree;
+  std::string guarded_src = "int sink = 0;\n";
+  for (int i = 0; i < 8; ++i) {
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "int peek_%d(int p) {\n"
+                  "  sink = sink + %d;\n"
+                  "  return try_load(p, %d);\n"
+                  "}\n",
+                  i, i + 1, i * 100);
+    guarded_src += buf;
+  }
+  guarded_tree.Write("unit.kc", guarded_src);
+
+  // Patch A inserts code ahead of peek_0's faulting load: its table entry
+  // moves with the code. Patch B only changes the fallback constant after
+  // the load: every entry survives byte-identical.
+  struct TableCase {
+    const char* label;
+    const char* from;
+    const char* to;
+  };
+  for (const TableCase& table_case :
+       {TableCase{"entry-moving patch (peek_0)", "sink = sink + 1;",
+                  "sink = sink + 1 + 1;"},
+        TableCase{"entry-preserving patch (peek_0)", "try_load(p, 0)",
+                  "try_load(p, 7)"}}) {
+    kdiff::SourceTree post_tree = guarded_tree;
+    std::string contents = guarded_src;
+    size_t at = contents.find(table_case.from);
+    if (at == std::string::npos) {
+      return 1;
+    }
+    contents.replace(at, std::string(table_case.from).size(),
+                     table_case.to);
+    post_tree.Write("unit.kc", contents);
+    Tally mono =
+        DiffHowtoTables(guarded_tree, post_tree, "unit.kc", false);
+    Tally split =
+        DiffHowtoTables(guarded_tree, post_tree, "unit.kc", true);
+    std::printf("%-36s %11d/%-2d %13d/%d\n", table_case.label,
+                mono.sections_changed, mono.sections_total,
+                split.sections_changed, split.sections_total);
+    if (mono.sections_total == 0 || split.sections_total == 0) {
+      std::fprintf(stderr, "FAIL: no howto tables emitted\n");
+      return 1;
+    }
+    if (split.sections_changed > 1 || mono.sections_changed > 1) {
+      std::fprintf(stderr,
+                   "FAIL: a one-function patch moved more than one "
+                   "exception table\n");
+      return 1;
+    }
+  }
+  std::printf("\nFunction-relative table entries keep unrelated tables "
+              "byte-equivalent under\nmonolithic text churn; only an entry "
+              "whose own code moved is replaced.\n");
   return 0;
 }

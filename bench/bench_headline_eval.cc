@@ -144,8 +144,29 @@ int main(int argc, char** argv) {
         "runpre.units_matched", "runpre.bytes_matched",
         "runpre.reloc_sites_inverted", "ksplice.applies", "ksplice.undos",
         "ksplice.quiescence_retries", "kvm.instructions",
-        "kvm.context_switches", "kvm.stop_machine_calls"}) {
+        "kvm.context_switches", "kvm.stop_machine_calls",
+        "kvm.extable_fixups", "runpre.howto.extable_sections_matched",
+        "runpre.howto.bug_table_sections_matched",
+        "runpre.howto.date_time_sections_matched"}) {
     std::fprintf(stderr, "[metrics] %-28s %12llu\n", name, counter(name));
+  }
+
+  // Fault-dispatch sanity: the stress workload's wild kcore read (via
+  // CVE-2005-4605's try_load path) must have recovered through exception
+  // tables during the sweep, and the sweep must have matched extable
+  // sections structurally — otherwise the headline numbers silently
+  // stopped covering the special-section machinery.
+  if (counter("kvm.extable_fixups") == 0) {
+    std::fprintf(stderr,
+                 "FAIL: no exception-table fixups dispatched during the "
+                 "sweep\n");
+    return 1;
+  }
+  if (counter("runpre.howto.extable_sections_matched") == 0) {
+    std::fprintf(stderr,
+                 "FAIL: no extable sections matched structurally during "
+                 "the sweep\n");
+    return 1;
   }
   if (!report_dir.empty()) {
     ks::Status written =

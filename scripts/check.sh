@@ -256,4 +256,49 @@ print("fleet rollout JSON OK:", clean["patched"], "patched clean;",
       drill["rolled_back"], "rolled back")
 EOF
 
+# Date-drift smoke: build a tiny kernel embedding __DATE__/__TIME__ and a
+# try_load exception-table entry, then create the update with a DIFFERENT
+# build timestamp. Byte-wise matching would refuse (the .rodata.date bytes
+# differ); the structural matcher's content-ignoring date/time howto must
+# apply it, and --metrics must show the per-howto counters.
+echo "== date-drift structural matching smoke =="
+mkdir -p "$obs_dir/drift/src/kern"
+cat >"$obs_dir/drift/src/kern/banner.kc" <<'EOF'
+int stamp_len = 0;
+char *banner(int x) {
+  stamp_len = x;
+  return __DATE__;
+}
+int guarded(int p) {
+  return try_load(p, 4095);
+}
+EOF
+python3 - "$obs_dir" <<'EOF'
+import difflib, pathlib, sys
+obs = pathlib.Path(sys.argv[1])
+pre = (obs / "drift/src/kern/banner.kc").read_text().splitlines(keepends=True)
+post = [l.replace("stamp_len = x;", "stamp_len = x + 1;") for l in pre]
+assert post != pre, "patch anchor not found"
+(obs / "drift/banner.patch").write_text("".join(difflib.unified_diff(
+    pre, post, fromfile="a/kern/banner.kc", tofile="b/kern/banner.kc")))
+EOF
+build/tools/ksplice_tool --build-date "Mar  3 2026" --build-time "09:41:00" \
+  create "$obs_dir/drift/src" "$obs_dir/drift/banner.patch" \
+  "$obs_dir/drift/drift.kspl"
+build/tools/ksplice_tool --metrics="$obs_dir/drift-metrics.json" \
+  apply "$obs_dir/drift/src" "$obs_dir/drift/drift.kspl"
+python3 - "$obs_dir" <<'EOF'
+import json, sys
+metrics = json.load(open(sys.argv[1] + "/drift-metrics.json"))
+counters = metrics["counters"]
+assert counters.get("runpre.howto.date_time_sections_matched", 0) > 0, \
+    f"date/time howto never matched content-ignoring: {counters}"
+assert counters.get("ksplice.applies", 0) > 0, counters
+print("date-drift smoke OK:",
+      counters["runpre.howto.date_time_sections_matched"],
+      "date/time section(s) matched content-ignoring;",
+      counters.get("runpre.howto.extable_sections_matched", 0),
+      "extable section(s) matched structurally")
+EOF
+
 echo "ALL CHECKS PASSED"

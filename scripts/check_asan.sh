@@ -10,10 +10,10 @@ cd "$(dirname "$0")/.."
 cmake -B build-asan -G Ninja -DKSPLICE_SANITIZE="address;undefined"
 cmake --build build-asan --target ksplice_txn_test concurrency_test \
   ksplice_hooks_smp_test kanalyze_test fuzz_negative_test chaos_test \
-  runpre_test runpre_index_test fleet_test
+  runpre_test runpre_index_test fleet_test howto_test
 for t in ksplice_txn_test concurrency_test ksplice_hooks_smp_test \
          kanalyze_test fuzz_negative_test chaos_test \
-         runpre_test runpre_index_test fleet_test; do
+         runpre_test runpre_index_test fleet_test howto_test; do
   echo "== build-asan/tests/$t =="
   "./build-asan/tests/$t"
 done

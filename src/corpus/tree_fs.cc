@@ -118,18 +118,21 @@ int proc_run_entry(int entry) {
   return 0;
 }
 
-/* CVE-2005-4605 (procfs kernel memory disclosure): a negative offset
-   passes the upper-bound check and indexes before the window, where the
-   secret lives. */
+/* CVE-2005-4605 (procfs kernel memory disclosure): offsets 0..3 index
+   the /proc window; anything else is treated as a raw kcore address for
+   the debugger path, read with a faulting load whose exception-table
+   entry substitutes -1 (the kernel's __get_user pattern, so a wild
+   address cannot oops the kernel). The bug: negative offsets reach the
+   raw path and read before the window, where the secret lives. */
 int proc_window[4];
 int proc_read_mem(int offset) {
-  if (offset >= 4) {
-    return -1;
+  if (offset >= 0 && offset < 4) {
+    return proc_window[offset];
   }
   if (offset == -1) {
     return secret_peek();
   }
-  return proc_window[offset];
+  return try_load(offset, 0 - 1);
 }
 
 /* /proc/<pid>/status assembly; inlines proc_read_mem. */

@@ -510,6 +510,7 @@ int stress_pass(int salt) {
   sum += read_core_notes(1);
   sum += proc_setattr(1, 4);
   sum += proc_read_mem(2);
+  sum += proc_read_mem(536870912); /* wild kcore address: extable fixup */
   sum += do_execve(3);
   sum += exec_interp_check("ok");
   sum += sys_epoll_ctl(4);

@@ -1072,9 +1072,8 @@ std::vector<Vulnerability> BuildVulnerabilities() {
       .summary = "procfs: negative offset reads before the window",
       .vuln_class = kLeak,
       .edits = {E{"fs/proc.kc",
-                  "int proc_read_mem(int offset) {\n  if (offset >= 4) {",
-                  "int proc_read_mem(int offset) {\n  if (offset < 0) {\n"
-                  "    return -1;\n  }\n  if (offset >= 4) {"},
+                  "  if (offset == -1) {\n    return secret_peek();\n  }",
+                  "  if (offset < 0) {\n    return -1;\n  }"},
                 E{"fs/proc.kc",
                   "int proc_window[4];\n"
                   "int proc_read_mem(int offset) {",

@@ -84,7 +84,10 @@ void RunAbiPass(const ksplice::UpdatePackage& package, LintReport* report) {
       continue;  // callgraph pass reports missing helpers via targets
     }
     for (const kelf::Section& post : primary.sections()) {
-      if (!IsDataKind(post.kind)) {
+      // Howto-tagged sections are code metadata (exception/bug tables,
+      // build timestamps), not persistent state; the howto pass (KSA6xx)
+      // owns their invariants.
+      if (!IsDataKind(post.kind) || post.howto != kelf::Howto::kNone) {
         continue;
       }
       const kelf::Section* pre = helper->SectionByName(post.name);

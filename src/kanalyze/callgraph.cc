@@ -43,24 +43,19 @@ SectionScan ScanText(const kelf::Section& section) {
   for (const kelf::Relocation& rel : section.relocs) {
     reloc_fields.insert(rel.offset);
   }
-  uint32_t off = 0;
-  const uint32_t size = static_cast<uint32_t>(section.bytes.size());
-  while (off < size) {
-    ks::Result<kvx::Insn> insn = kvx::Decode(
-        std::span<const uint8_t>(section.bytes.data() + off, size - off));
-    if (!insn.ok()) {
-      break;
-    }
-    ++scan.insns;
-    if (insn->op == kvx::Op::kCall) {
-      int field = kvx::Imm32FieldOffset(insn->op);
-      if (field >= 0 &&
-          reloc_fields.count(off + static_cast<uint32_t>(field)) == 0) {
-        scan.self_call = true;
-      }
-    }
-    off += insn->len;
-  }
+  kvx::WalkInsns(std::span<const uint8_t>(section.bytes),
+                 [&](uint32_t off, const kvx::Insn& insn) {
+                   ++scan.insns;
+                   if (insn.op == kvx::Op::kCall) {
+                     int field = kvx::Imm32FieldOffset(insn.op);
+                     if (field >= 0 &&
+                         reloc_fields.count(
+                             off + static_cast<uint32_t>(field)) == 0) {
+                       scan.self_call = true;
+                     }
+                   }
+                   return true;
+                 });
   return scan;
 }
 

@@ -156,7 +156,8 @@ std::optional<StackState> ApplyInsn(const kvx::Insn& insn,
 
 }  // namespace
 
-Cfg BuildCfg(const kelf::Section& section) {
+Cfg BuildCfg(const kelf::Section& section,
+             const std::set<uint32_t>& extra_entry_points) {
   Cfg cfg;
   const uint32_t size = static_cast<uint32_t>(section.bytes.size());
 
@@ -167,31 +168,29 @@ Cfg BuildCfg(const kelf::Section& section) {
 
   // ---- Linear decode.
   std::set<uint32_t> boundaries;
-  uint32_t off = 0;
-  while (off < size) {
-    ks::Result<kvx::Insn> insn = kvx::Decode(
-        std::span<const uint8_t>(section.bytes.data() + off, size - off));
-    if (!insn.ok()) {
-      cfg.decode_ok = false;
-      cfg.decode_error_offset = off;
-      cfg.decode_error = insn.status().message();
-      break;
-    }
-    CfgInsn entry;
-    entry.offset = off;
-    entry.insn = *insn;
-    int field = kvx::Imm32FieldOffset(insn->op);
-    entry.reloc_in_field =
-        field >= 0 &&
-        reloc_fields.count(off + static_cast<uint32_t>(field)) != 0;
-    // rel8 displacements live at offset 1 and are never relocation sites,
-    // but a reloc anywhere inside the instruction still means "patched by
-    // the linker" — stay conservative.
-    boundaries.insert(off);
-    cfg.insns.push_back(entry);
-    off += insn->len;
+  kvx::WalkEnd walk = kvx::WalkInsns(
+      std::span<const uint8_t>(section.bytes),
+      [&](uint32_t off, const kvx::Insn& insn) {
+        CfgInsn entry;
+        entry.offset = off;
+        entry.insn = insn;
+        int field = kvx::Imm32FieldOffset(insn.op);
+        entry.reloc_in_field =
+            field >= 0 &&
+            reloc_fields.count(off + static_cast<uint32_t>(field)) != 0;
+        // rel8 displacements live at offset 1 and are never relocation
+        // sites, but a reloc anywhere inside the instruction still means
+        // "patched by the linker" — stay conservative.
+        boundaries.insert(off);
+        cfg.insns.push_back(entry);
+        return true;
+      });
+  if (!walk.decode_ok) {
+    cfg.decode_ok = false;
+    cfg.decode_error_offset = walk.end;
+    cfg.decode_error = walk.error;
   }
-  const uint32_t decoded_end = off;
+  const uint32_t decoded_end = walk.end;
 
   // ---- Branch targets and leaders.
   std::set<uint32_t> leaders{0};
@@ -266,9 +265,19 @@ Cfg BuildCfg(const kelf::Section& section) {
     }
   }
 
-  // ---- Reachability from the function entry.
+  // ---- Reachability from the function entry plus any out-of-band entry
+  // points (extable fixup targets: control arrives from the fault
+  // dispatcher, not from a decoded branch). An extra point that is not a
+  // block leader is ignored here — the howto pass's KSA602 owns
+  // mid-instruction table targets.
   if (!cfg.blocks.empty()) {
     std::deque<uint32_t> queue{0};
+    for (uint32_t entry_point : extra_entry_points) {
+      auto leader = block_of_leader.find(entry_point);
+      if (leader != block_of_leader.end()) {
+        queue.push_back(leader->second);
+      }
+    }
     while (!queue.empty()) {
       uint32_t at = queue.front();
       queue.pop_front();
@@ -285,8 +294,9 @@ Cfg BuildCfg(const kelf::Section& section) {
 }
 
 size_t VerifyFunction(const std::string& unit, const std::string& symbol,
-                      const kelf::Section& section, LintReport* report) {
-  Cfg cfg = BuildCfg(section);
+                      const kelf::Section& section, LintReport* report,
+                      const std::set<uint32_t>& extra_entry_points) {
+  Cfg cfg = BuildCfg(section, extra_entry_points);
   report->insns_decoded += cfg.insns.size();
 
   // KSA201: undecodable instruction.

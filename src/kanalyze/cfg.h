@@ -23,6 +23,7 @@
 #define KSPLICE_KANALYZE_CFG_H_
 
 #include <cstdint>
+#include <set>
 #include <vector>
 
 #include "base/status.h"
@@ -65,15 +66,20 @@ struct Cfg {
 
 // Decodes `section` into a CFG. Structural problems are recorded in the
 // returned Cfg, not surfaced as a Status — the caller turns them into
-// typed findings.
-Cfg BuildCfg(const kelf::Section& section);
+// typed findings. `extra_entry_points` are section offsets reached from
+// outside the static control flow (exception-table fixup targets: the
+// fault dispatcher jumps there, so they seed reachability alongside
+// offset 0).
+Cfg BuildCfg(const kelf::Section& section,
+             const std::set<uint32_t>& extra_entry_points = {});
 
 // Runs all CFG/bytecode checks over one changed function and appends
 // findings (KSA201..KSA205) to `report`. Returns the number of basic
 // blocks analyzed.
 size_t VerifyFunction(const std::string& unit, const std::string& symbol,
                       const kelf::Section& section,
-                      ksplice::LintReport* report);
+                      ksplice::LintReport* report,
+                      const std::set<uint32_t>& extra_entry_points = {});
 
 }  // namespace kanalyze
 

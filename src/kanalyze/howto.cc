@@ -1,0 +1,231 @@
+// Special-section howto checks (kanalyze pass 6): validates the typed
+// table sections a primary object ships against the code it ships. An
+// exception-table or bug-table entry is only meaningful if its words name
+// instruction boundaries of the packaged text — a patch that moved or
+// deleted the code a fixup pointed at would otherwise be discovered only
+// when a fault dispatches through a stale entry in the running kernel.
+//
+//   KSA601 (error): an entry word's relocation is missing, references an
+//          undefined or non-text symbol, or its addend lies past the end
+//          of the target section — the fixup target does not exist.
+//   KSA602 (error): the addend is inside the section but does not start
+//          an instruction — the patch rewrote the code under the entry
+//          (the classic "fixup into patched-out code").
+//   KSA603 (error): a bug-table entry's trap word decodes, but not to the
+//          bug trap opcode — the entry no longer guards a BUG().
+//   KSA604 (note): a build-timestamp section's content differs between
+//          the helper (pre) and primary (post) objects. Harmless by
+//          construction: run-pre matches date/time sections content-
+//          ignoring (§4.3 applied to special sections).
+
+#include <map>
+#include <set>
+
+#include "base/strings.h"
+#include "kanalyze/kanalyze.h"
+#include "kvx/isa.h"
+
+namespace kanalyze {
+
+namespace {
+
+using ksplice::LintFinding;
+using ksplice::LintReport;
+using ksplice::LintSeverity;
+
+LintFinding MakeFinding(const char* rule, LintSeverity severity,
+                        const std::string& unit, const std::string& section,
+                        uint32_t offset, std::string message,
+                        std::string hint) {
+  LintFinding finding;
+  finding.rule = rule;
+  finding.severity = severity;
+  finding.pass = "howto";
+  finding.unit = unit;
+  finding.symbol = section;
+  finding.offset = offset;
+  finding.has_offset = true;
+  finding.message = std::move(message);
+  finding.hint = std::move(hint);
+  return finding;
+}
+
+// Instruction boundaries of a text section, including the end-of-walk
+// offset. Second member is false when the walk hit undecodable bytes
+// (the cfg pass reports that as KSA201; here it just truncates the set).
+std::pair<std::set<uint32_t>, uint64_t> TextBoundaries(
+    const kelf::Section& text) {
+  std::set<uint32_t> boundaries;
+  uint64_t decoded = 0;
+  kvx::WalkEnd walk = kvx::WalkInsns(
+      std::span<const uint8_t>(text.bytes),
+      [&](uint32_t pos, const kvx::Insn&) {
+        boundaries.insert(pos);
+        ++decoded;
+        return true;
+      });
+  boundaries.insert(walk.end);
+  return {std::move(boundaries), decoded};
+}
+
+// Checks one table word: the relocation at `off` must name a defined text
+// symbol whose section contains addend, on an instruction boundary.
+// `what` names the word in diagnostics ("faulting instruction", "fixup",
+// "trap"). Returns the resolved (section, offset) when valid.
+struct WordTarget {
+  const kelf::Section* text = nullptr;
+  uint32_t offset = 0;
+  bool ok = false;
+};
+
+WordTarget CheckTableWord(
+    const kelf::ObjectFile& obj, const kelf::Section& table, uint32_t off,
+    const char* what,
+    std::map<const kelf::Section*, std::set<uint32_t>>& boundary_cache,
+    LintReport* report) {
+  WordTarget target;
+  const kelf::Relocation* rel = nullptr;
+  for (const kelf::Relocation& r : table.relocs) {
+    if (r.offset == off) {
+      rel = &r;
+      break;
+    }
+  }
+  const char* hint =
+      "rebuild the package: table entries must be regenerated with the "
+      "code they describe, never patched independently";
+  if (rel == nullptr) {
+    report->findings.push_back(MakeFinding(
+        "KSA601", LintSeverity::kError, obj.source_name(), table.name, off,
+        ks::StrPrintf("entry %u: %s word carries no relocation — the "
+                      "target cannot move with the code",
+                      off / kelf::kHowtoEntrySize, what),
+        hint));
+    return target;
+  }
+  const kelf::Symbol& sym = obj.symbols()[static_cast<size_t>(rel->symbol)];
+  if (!sym.defined()) {
+    report->findings.push_back(MakeFinding(
+        "KSA601", LintSeverity::kError, obj.source_name(), table.name, off,
+        ks::StrPrintf("entry %u: %s word references '%s', which this "
+                      "object does not define",
+                      off / kelf::kHowtoEntrySize, what, sym.name.c_str()),
+        hint));
+    return target;
+  }
+  const kelf::Section& text =
+      obj.sections()[static_cast<size_t>(sym.section)];
+  uint32_t resolved = sym.value + static_cast<uint32_t>(rel->addend);
+  if (text.kind != kelf::SectionKind::kText ||
+      resolved >= text.bytes.size()) {
+    report->findings.push_back(MakeFinding(
+        "KSA601", LintSeverity::kError, obj.source_name(), table.name, off,
+        ks::StrPrintf("entry %u: %s target '%s'+%u is outside the "
+                      "function's code (%zu bytes)",
+                      off / kelf::kHowtoEntrySize, what, sym.name.c_str(),
+                      static_cast<uint32_t>(rel->addend), text.bytes.size()),
+        hint));
+    return target;
+  }
+  auto cached = boundary_cache.find(&text);
+  if (cached == boundary_cache.end()) {
+    auto [boundaries, decoded] = TextBoundaries(text);
+    report->insns_decoded += decoded;
+    cached = boundary_cache.emplace(&text, std::move(boundaries)).first;
+  }
+  if (cached->second.count(resolved) == 0) {
+    report->findings.push_back(MakeFinding(
+        "KSA602", LintSeverity::kError, obj.source_name(), table.name, off,
+        ks::StrPrintf("entry %u: %s target '%s'+%u does not start an "
+                      "instruction — the patch rewrote the code this "
+                      "entry described",
+                      off / kelf::kHowtoEntrySize, what, sym.name.c_str(),
+                      resolved),
+        hint));
+    return target;
+  }
+  target.text = &text;
+  target.offset = resolved;
+  target.ok = true;
+  return target;
+}
+
+const kelf::ObjectFile* HelperForUnit(const ksplice::UpdatePackage& package,
+                                      const std::string& unit) {
+  for (const kelf::ObjectFile& helper : package.helper_objects) {
+    if (helper.source_name() == unit) {
+      return &helper;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void RunHowtoPass(const ksplice::UpdatePackage& package, LintReport* report) {
+  for (const kelf::ObjectFile& primary : package.primary_objects) {
+    std::map<const kelf::Section*, std::set<uint32_t>> boundary_cache;
+    for (const kelf::Section& section : primary.sections()) {
+      if (section.howto != kelf::Howto::kExtable &&
+          section.howto != kelf::Howto::kBug) {
+        continue;
+      }
+      const bool extable = section.howto == kelf::Howto::kExtable;
+      uint32_t size = static_cast<uint32_t>(section.bytes.size());
+      for (uint32_t off = 0; off + kelf::kHowtoEntrySize <= size;
+           off += kelf::kHowtoEntrySize) {
+        if (extable) {
+          CheckTableWord(primary, section, off, "faulting instruction",
+                         boundary_cache, report);
+          CheckTableWord(primary, section, off + 4, "fixup",
+                         boundary_cache, report);
+          continue;
+        }
+        WordTarget trap = CheckTableWord(primary, section, off, "trap",
+                                         boundary_cache, report);
+        if (!trap.ok) {
+          continue;
+        }
+        ks::Result<kvx::Insn> insn = kvx::Decode(
+            std::span<const uint8_t>(trap.text->bytes).subspan(trap.offset));
+        if (!insn.ok() || insn->op != kvx::Op::kBug) {
+          report->findings.push_back(MakeFinding(
+              "KSA603", LintSeverity::kError, primary.source_name(),
+              section.name, off,
+              ks::StrPrintf("entry %u: trap address no longer decodes to a "
+                            "bug trap (found %s)",
+                            off / kelf::kHowtoEntrySize,
+                            insn.ok() ? kvx::FormatInsn(*insn).c_str()
+                                      : "undecodable bytes"),
+              "rebuild the package: the BUG() site moved or was removed"));
+        }
+      }
+    }
+
+    // KSA604: pre-vs-post build timestamps. Only fires when a primary
+    // carries a date/time section at all (a patch that touched it
+    // directly); matching is content-ignoring, so this is informational.
+    const kelf::ObjectFile* helper =
+        HelperForUnit(package, primary.source_name());
+    if (helper == nullptr) {
+      continue;
+    }
+    for (const kelf::Section& post : primary.sections()) {
+      if (post.howto != kelf::Howto::kDate &&
+          post.howto != kelf::Howto::kTime) {
+        continue;
+      }
+      const kelf::Section* pre = helper->SectionByName(post.name);
+      if (pre != nullptr && pre->bytes != post.bytes) {
+        report->findings.push_back(MakeFinding(
+            "KSA604", LintSeverity::kNote, primary.source_name(), post.name,
+            0,
+            "build timestamp differs between pre and post objects",
+            "harmless: date/time sections match content-ignoring at "
+            "apply time"));
+      }
+    }
+  }
+}
+
+}  // namespace kanalyze

@@ -114,6 +114,28 @@ void RunCallGraphPass(const ksplice::UpdatePackage& package,
 
 void RunCfgPass(const ksplice::UpdatePackage& package, LintReport* report) {
   for (const kelf::ObjectFile& primary : package.primary_objects) {
+    // Exception-table fixup targets are entry points the static CFG
+    // cannot see (the fault dispatcher jumps there): collect them per
+    // text section so the recovery blocks do not lint as unreachable.
+    std::map<int, std::set<uint32_t>> fixups_by_section;
+    for (const kelf::Section& table : primary.sections()) {
+      if (table.howto != kelf::Howto::kExtable) {
+        continue;
+      }
+      for (const kelf::Relocation& rel : table.relocs) {
+        if (rel.offset % kelf::kHowtoEntrySize != 4 || rel.symbol < 0 ||
+            rel.symbol >= static_cast<int>(primary.symbols().size())) {
+          continue;  // word0 (faulting insn) is in normal control flow
+        }
+        const kelf::Symbol& sym =
+            primary.symbols()[static_cast<size_t>(rel.symbol)];
+        if (!sym.defined()) {
+          continue;
+        }
+        fixups_by_section[sym.section].insert(
+            sym.value + static_cast<uint32_t>(rel.addend));
+      }
+    }
     for (size_t si = 0; si < primary.sections().size(); ++si) {
       const kelf::Section& section = primary.sections()[si];
       if (section.kind != kelf::SectionKind::kText ||
@@ -126,7 +148,8 @@ void RunCfgPass(const ksplice::UpdatePackage& package, LintReport* report) {
       if (def.has_value()) {
         symbol = primary.symbols()[static_cast<size_t>(*def)].name;
       }
-      VerifyFunction(primary.source_name(), symbol, section, report);
+      VerifyFunction(primary.source_name(), symbol, section, report,
+                     fixups_by_section[static_cast<int>(si)]);
     }
   }
 }
@@ -154,6 +177,8 @@ ks::Result<LintReport> AnalyzePackage(const ksplice::UpdatePackage& package,
       ks::Metrics().GetHistogram("kanalyze.quiescence_ns");
   static ks::Histogram& semdiff_ns =
       ks::Metrics().GetHistogram("kanalyze.semdiff_ns");
+  static ks::Histogram& howto_ns =
+      ks::Metrics().GetHistogram("kanalyze.howto_ns");
 
   LintReport report;
   report.id = package.id;
@@ -208,6 +233,12 @@ ks::Result<LintReport> AnalyzePackage(const ksplice::UpdatePackage& package,
     uint64_t begin = NowNs();
     RunSemanticDiffPass(package, graph, summaries, &report);
     semdiff_ns.Observe(NowNs() - begin);
+  }
+  {
+    ks::TraceSpan pass_span("kanalyze.howto");
+    uint64_t begin = NowNs();
+    RunHowtoPass(package, &report);
+    howto_ns.Observe(NowNs() - begin);
   }
 
   std::stable_sort(

@@ -33,6 +33,12 @@
 //              KSA503 lock imbalance introduced     error
 //              KSA504 new call path writes
 //                     hook-gated data               note
+//   howto      KSA601 dangling fixup target         error
+//              KSA602 fixup into patched-out code   error
+//              KSA603 bug-table trap address does
+//                     not decode to a bug trap      error
+//              KSA604 build timestamp differs
+//                     pre vs post                   note
 //
 // The quiescence and semdiff passes consume per-function side-effect
 // summaries (summary.h) computed between the callgraph and cfg phases.
@@ -101,6 +107,11 @@ void RunSemanticDiffPass(const ksplice::UpdatePackage& package,
                          const CallGraph& graph,
                          const PackageSummaries& summaries,
                          ksplice::LintReport* report);
+// Special-section howto checks (KSA6xx): every exception-table and
+// bug-table entry of a primary object must name an instruction boundary
+// of code the package ships, and bug traps must still decode as traps.
+void RunHowtoPass(const ksplice::UpdatePackage& package,
+                  ksplice::LintReport* report);
 
 // True if any primary object carries a .ksplice.* hook note section (the
 // package-level declaration that apply-time custom code handles state).

@@ -46,6 +46,29 @@ uint32_t Fnv32(std::string_view data) {
   return hash;
 }
 
+std::string EscapeAsciz(std::string_view content) {
+  std::string escaped;
+  for (char c : content) {
+    switch (c) {
+      case '\n':
+        escaped += "\\n";
+        break;
+      case '\t':
+        escaped += "\\t";
+        break;
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\\':
+        escaped += "\\\\";
+        break;
+      default:
+        escaped += c;
+    }
+  }
+  return escaped;
+}
+
 // ------------------------------------------------------------------------
 // Struct layout
 
@@ -157,6 +180,7 @@ class Codegen {
   // Data ----------------------------------------------------------------
   ks::Status EmitGlobal(const GlobalDecl& decl);
   std::string InternString(const std::string& value);
+  std::string InternBuildString(bool date);
   ks::Status EmitStaticLocalData(const std::string& symbol,
                                  const TypeRef& type, const Expr* init,
                                  int line);
@@ -174,6 +198,11 @@ class Codegen {
   std::string body_;  // current function body under construction
   std::map<std::string, std::string> strings_;  // content -> symbol
   std::set<std::string> emitted_strings_;
+  // __DATE__/__TIME__ symbols; empty until first use. Hash-suffixed with
+  // the unit name so every unit's build strings are distinct symbols (a
+  // content-ignoring matcher could never disambiguate same-named ones).
+  std::string date_symbol_;
+  std::string time_symbol_;
 
   int label_counter_ = 0;
   int frame_size_ = 0;
@@ -452,6 +481,18 @@ ks::Result<std::string> Codegen::Run() {
       }
     }
     data_ += "    .asciz \"" + escaped + "\"\n";
+  }
+
+  // Build-timestamp strings, each in its own howto-tagged section.
+  if (!date_symbol_.empty()) {
+    data_ += ".howto_section .rodata.date\n";
+    data_ += date_symbol_ + ":\n";
+    data_ += "    .asciz \"" + EscapeAsciz(options_.build_date) + "\"\n";
+  }
+  if (!time_symbol_.empty()) {
+    data_ += ".howto_section .rodata.time\n";
+    data_ += time_symbol_ + ":\n";
+    data_ += "    .asciz \"" + EscapeAsciz(options_.build_time) + "\"\n";
   }
 
   std::string out = text_;
@@ -817,6 +858,12 @@ ks::Result<Value> Codegen::EmitExpr(const Expr& expr) {
       return Value{Type::PointerTo(Type::Char())};
     }
     case Expr::Kind::kVar: {
+      if (expr.name == "__DATE__" || expr.name == "__TIME__") {
+        // Build-timestamp strings land in .rodata.date/.rodata.time howto
+        // sections, which run-pre matching compares content-ignoring.
+        Emit("mov r0, =" + InternBuildString(expr.name == "__DATE__"));
+        return Value{Type::PointerTo(Type::Char())};
+      }
       std::optional<LocalInfo> local = LookupLocal(expr.name);
       if (local.has_value() || globals_.count(expr.name) != 0) {
         KS_ASSIGN_OR_RETURN(Value addr, EmitAddr(expr));
@@ -1071,6 +1118,52 @@ ks::Status Codegen::EmitArgsToRegs(const Expr& expr, int arity) {
 }
 
 ks::Result<Value> Codegen::EmitCall(const Expr& expr) {
+  // Intrinsics that lower to howto-tagged special sections. Like the SYS
+  // builtins below, a user definition of the same name shadows them.
+  if (LookupLocal(expr.name) == std::nullopt &&
+      FindSignature(expr.name) == nullptr) {
+    if (expr.name == "try_load") {
+      // try_load(p, fallback): a faulting load. A bad pointer does not
+      // crash the kernel; the exception-table fixup substitutes the
+      // fallback value (the kernel's __get_user pattern).
+      if (expr.args.size() != 2) {
+        return Error(expr.line, "try_load needs (pointer, fallback)");
+      }
+      KS_RETURN_IF_ERROR(EmitExpr(*expr.args[1]).status());
+      Emit("push r0");
+      KS_RETURN_IF_ERROR(EmitExpr(*expr.args[0]).status());
+      Emit("pop r1");
+      std::string lext = NewLabel();
+      std::string lfix = NewLabel();
+      std::string ldone = NewLabel();
+      EmitLabel(lext);
+      Emit("loadf r0, [r0]");
+      Emit("jmp " + ldone);
+      EmitLabel(lfix);
+      Emit("mov r0, r1");
+      EmitLabel(ldone);
+      // The entry attaches to the outermost function being emitted, so
+      // inline expansion credits the host function's table.
+      Emit(".extable_entry " + inline_stack_.front() + ", " + lext + ", " +
+           lfix);
+      return Value{Type::Int()};
+    }
+    if (expr.name == "BUG") {
+      // BUG(): an unconditional trap whose bug-table entry maps the trap
+      // pc back to this source line.
+      if (!expr.args.empty()) {
+        return Error(expr.line, "BUG takes no arguments");
+      }
+      std::string lbug = NewLabel();
+      EmitLabel(lbug);
+      Emit("bug");
+      Emit(ks::StrPrintf(".bug_entry %s, %s, %d",
+                         inline_stack_.front().c_str(), lbug.c_str(),
+                         expr.line));
+      return Value{Type::Int()};
+    }
+  }
+
   // Builtins.
   auto builtin = Builtins().find(expr.name);
   if (builtin != Builtins().end() && LookupLocal(expr.name) == std::nullopt &&
@@ -1195,6 +1288,15 @@ std::string Codegen::InternString(const std::string& value) {
   // a plain identifier so the literal becomes a proper (local) symbol.
   std::string symbol = ks::StrPrintf("str.h%08x", Fnv32(value));
   strings_[value] = symbol;
+  return symbol;
+}
+
+std::string Codegen::InternBuildString(bool date) {
+  std::string& symbol = date ? date_symbol_ : time_symbol_;
+  if (symbol.empty()) {
+    symbol = ks::StrPrintf("kbuild.%s.h%08x", date ? "date" : "time",
+                           Fnv32(unit_.name));
+  }
   return symbol;
 }
 

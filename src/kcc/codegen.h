@@ -40,6 +40,9 @@ struct CodegenOptions {
   // Callee bodies up to this many AST nodes are inlined at same-unit call
   // sites. 0 disables inlining.
   int inline_threshold = 24;
+  // Expansions of __DATE__ / __TIME__ (see CompileOptions).
+  std::string build_date = "Jan  1 2026";
+  std::string build_time = "00:00:00";
 };
 
 // Lowers `unit` to KVX assembly text.

@@ -59,6 +59,8 @@ ks::Result<std::string> CompileToAsm(const kdiff::SourceTree& tree,
   KS_ASSIGN_OR_RETURN(Unit unit, ParseUnit(tree, path));
   CodegenOptions cg;
   cg.inline_threshold = options.inline_threshold;
+  cg.build_date = options.build_date;
+  cg.build_time = options.build_time;
   return GenerateAsm(unit, cg);
 }
 

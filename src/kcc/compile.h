@@ -37,6 +37,12 @@ struct CompileOptions {
   int inline_threshold = 24;
   // Function alignment in text.
   uint32_t func_align = 8;
+  // Values substituted for __DATE__ / __TIME__. They land in
+  // .rodata.date / .rodata.time howto sections, which run-pre matching
+  // compares content-ignoring: two builds of identical source that differ
+  // only here still match (paper §4.3's date/time special case).
+  std::string build_date = "Jan  1 2026";
+  std::string build_time = "00:00:00";
 
   // Build-pipeline knobs; neither affects the produced object bytes.
   //

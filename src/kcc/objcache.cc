@@ -30,9 +30,10 @@ ks::Result<std::string> CacheKey(const kdiff::SourceTree& tree,
   KS_ASSIGN_OR_RETURN(std::vector<std::string> closure,
                       IncludeClosure(tree, path));
   std::string key = ks::StrPrintf(
-      "fs=%d ds=%d it=%d fa=%u |%s", options.function_sections ? 1 : 0,
-      options.data_sections ? 1 : 0, options.inline_threshold,
-      options.func_align, path.c_str());
+      "fs=%d ds=%d it=%d fa=%u bd=%s bt=%s |%s",
+      options.function_sections ? 1 : 0, options.data_sections ? 1 : 0,
+      options.inline_threshold, options.func_align,
+      options.build_date.c_str(), options.build_time.c_str(), path.c_str());
   for (const std::string& dep : closure) {
     KS_ASSIGN_OR_RETURN(std::string contents, tree.Read(dep));
     key += ks::StrPrintf("|%s:%016llx", dep.c_str(),

@@ -66,6 +66,7 @@ ks::Result<LinkedImage> Linker::Link(uint32_t base) const {
             .unit = obj.source_name(),
             .name = sec.name,
             .kind = sec.kind,
+            .howto = sec.howto,
             .address = cursor,
             .size = sec.size(),
         });

@@ -32,6 +32,7 @@ struct PlacedSection {
   std::string unit;
   std::string name;
   SectionKind kind = SectionKind::kText;
+  Howto howto = Howto::kNone;
   uint32_t address = 0;
   uint32_t size = 0;
 };

@@ -12,7 +12,11 @@ namespace kelf {
 namespace {
 
 constexpr uint32_t kMagic = 0x4b454c46;  // "KELF"
-constexpr uint32_t kVersion = 1;
+// Version 2 added the per-section howto tag (one u8 after the section
+// kind). Version-1 objects still parse; their howto is derived from the
+// section-name convention so pre-howto objects mean the same thing.
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;
 
 // Serialization writer: appends primitives to a byte vector.
 class Writer {
@@ -107,6 +111,42 @@ class Reader {
 
 }  // namespace
 
+Howto HowtoForSectionName(std::string_view name) {
+  auto has_prefix = [&](std::string_view prefix) {
+    return name.size() >= prefix.size() &&
+           name.substr(0, prefix.size()) == prefix;
+  };
+  if (has_prefix(".extable")) {
+    return Howto::kExtable;
+  }
+  if (has_prefix(".bug_table")) {
+    return Howto::kBug;
+  }
+  if (has_prefix(".rodata.date")) {
+    return Howto::kDate;
+  }
+  if (has_prefix(".rodata.time")) {
+    return Howto::kTime;
+  }
+  return Howto::kNone;
+}
+
+const char* HowtoName(Howto howto) {
+  switch (howto) {
+    case Howto::kNone:
+      return "none";
+    case Howto::kExtable:
+      return "extable";
+    case Howto::kBug:
+      return "bug";
+    case Howto::kDate:
+      return "date";
+    case Howto::kTime:
+      return "time";
+  }
+  return "none";
+}
+
 int ObjectFile::AddSection(Section section) {
   sections_.push_back(std::move(section));
   return static_cast<int>(sections_.size()) - 1;
@@ -192,6 +232,7 @@ std::vector<uint8_t> ObjectFile::Serialize() const {
   for (const Section& sec : sections_) {
     w.Str(sec.name);
     w.U8(static_cast<uint8_t>(sec.kind));
+    w.U8(static_cast<uint8_t>(sec.howto));
     w.U32(sec.align);
     w.Bytes(sec.bytes);
     w.U32(sec.bss_size);
@@ -224,7 +265,7 @@ ks::Result<ObjectFile> ObjectFile::Parse(const std::vector<uint8_t>& bytes) {
     return ks::InvalidArgument("kelf: bad magic");
   }
   KS_ASSIGN_OR_RETURN(uint32_t version, r.U32());
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kVersion) {
     return ks::InvalidArgument(
         ks::StrPrintf("kelf: unsupported version %u", version));
   }
@@ -232,7 +273,8 @@ ks::Result<ObjectFile> ObjectFile::Parse(const std::vector<uint8_t>& bytes) {
   KS_ASSIGN_OR_RETURN(obj.source_name_, r.Str());
 
   KS_ASSIGN_OR_RETURN(uint32_t num_sections, r.U32());
-  KS_RETURN_IF_ERROR(r.CheckCount(num_sections, 21, "section"));
+  KS_RETURN_IF_ERROR(
+      r.CheckCount(num_sections, version >= 2 ? 22 : 21, "section"));
   obj.sections_.reserve(num_sections);
   for (uint32_t i = 0; i < num_sections; ++i) {
     Section sec;
@@ -242,6 +284,15 @@ ks::Result<ObjectFile> ObjectFile::Parse(const std::vector<uint8_t>& bytes) {
       return ks::InvalidArgument("kelf: bad section kind");
     }
     sec.kind = static_cast<SectionKind>(kind);
+    if (version >= 2) {
+      KS_ASSIGN_OR_RETURN(uint8_t howto, r.U8());
+      if (howto > static_cast<uint8_t>(Howto::kTime)) {
+        return ks::InvalidArgument("kelf: bad section howto");
+      }
+      sec.howto = static_cast<Howto>(howto);
+    } else {
+      sec.howto = HowtoForSectionName(sec.name);
+    }
     KS_ASSIGN_OR_RETURN(sec.align, r.U32());
     KS_ASSIGN_OR_RETURN(sec.bytes, r.Bytes());
     KS_ASSIGN_OR_RETURN(sec.bss_size, r.U32());
@@ -308,6 +359,27 @@ ks::Status ObjectFile::Validate() const {
       return ks::InvalidArgument(ks::StrPrintf(
           "kelf: section '%s' alignment %u is not a power of two",
           sec.name.c_str(), sec.align));
+    }
+    if (sec.howto != Howto::kNone && sec.kind != SectionKind::kData) {
+      return ks::InvalidArgument(ks::StrPrintf(
+          "kelf: howto section '%s' must be data (kind %u)",
+          sec.name.c_str(), static_cast<unsigned>(sec.kind)));
+    }
+    if (sec.howto == Howto::kExtable || sec.howto == Howto::kBug) {
+      if (sec.size() % kHowtoEntrySize != 0) {
+        return ks::InvalidArgument(ks::StrPrintf(
+            "kelf: %s section '%s' size %u is not a multiple of %u",
+            HowtoName(sec.howto), sec.name.c_str(), sec.size(),
+            kHowtoEntrySize));
+      }
+      for (const Relocation& rel : sec.relocs) {
+        if (rel.type != RelocType::kAbs32 || rel.offset % 4 != 0) {
+          return ks::InvalidArgument(ks::StrPrintf(
+              "kelf: %s section '%s' has a non-abs32 or misaligned "
+              "relocation at %u",
+              HowtoName(sec.howto), sec.name.c_str(), rel.offset));
+        }
+      }
     }
     for (const Relocation& rel : sec.relocs) {
       if (rel.symbol < 0 || rel.symbol >= static_cast<int>(symbols_.size())) {

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "base/status.h"
@@ -69,9 +70,35 @@ enum class SectionKind : uint8_t {
   kNote = 3,  // metadata consumed by tooling (.ksplice.* hook tables)
 };
 
+// Howto tag: how a section's contents must be compared and patched. Text
+// and ordinary data stay kNone (byte-wise semantics). The special kinds
+// mirror Ksplice's KSPLICE_HOWTO_{EXTABLE,BUG,DATE,TIME}: table sections
+// are sequences of 8-byte entries matched structurally under relocation,
+// and build-timestamp strings legitimately differ between builds, so
+// run-pre matching ignores their content entirely.
+enum class Howto : uint8_t {
+  kNone = 0,     // ordinary bytes: compare literally
+  kExtable = 1,  // exception table: 8-byte (insn addr, fixup addr) entries
+  kBug = 2,      // bug table: 8-byte (trap addr, source line) entries
+  kDate = 3,     // __DATE__ string: content-ignoring match
+  kTime = 4,     // __TIME__ string: content-ignoring match
+};
+
+// Maps a section name to its howto tag by prefix convention:
+// ".extable*" -> kExtable, ".bug_table*" -> kBug, ".rodata.date*" ->
+// kDate, ".rodata.time*" -> kTime, anything else -> kNone.
+Howto HowtoForSectionName(std::string_view name);
+
+// Human-readable tag name ("extable", "bug", "date", "time", "none").
+const char* HowtoName(Howto howto);
+
+// Size in bytes of one table entry for kExtable/kBug sections.
+inline constexpr uint32_t kHowtoEntrySize = 8;
+
 struct Section {
   std::string name;
   SectionKind kind = SectionKind::kText;
+  Howto howto = Howto::kNone;
   uint32_t align = 1;
   std::vector<uint8_t> bytes;  // empty for kBss
   uint32_t bss_size = 0;       // only meaningful for kBss

@@ -58,6 +58,26 @@ ks::Result<std::optional<kelf::ObjectFile>> ExtractPrimary(
   if (included_names.empty()) {
     return std::optional<kelf::ObjectFile>();
   }
+  // Companion exception/bug tables ride with their function even when
+  // unchanged: the replacement code runs at module addresses, so the
+  // kernel's own tables (which name the old text) cannot cover it. The
+  // module loader registers these as howto regions at load time.
+  // Build-timestamp sections are deliberately NOT extracted — replacement
+  // code resolves kbuild.date/time through run-pre recovered values, i.e.
+  // the running kernel's string (per the DATE/TIME howto semantics).
+  std::set<std::string> companions;
+  for (const std::string& name : included_names) {
+    if (name.rfind(".text.", 0) == 0) {
+      std::string fn = name.substr(6);
+      companions.insert(".extable." + fn);
+      companions.insert(".bug_table." + fn);
+    }
+  }
+  for (const kelf::Section& section : post_obj.sections()) {
+    if (companions.count(section.name) != 0) {
+      included_names.insert(section.name);
+    }
+  }
 
   // Pre-existing exported globals must not be re-exported by the primary
   // module (the old definition stays live); demote them to local binding.

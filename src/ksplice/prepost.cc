@@ -51,6 +51,11 @@ std::vector<ChangedSection> PrePostResult::DataSemanticChanges() const {
   for (const ChangedSection& section : changed) {
     if (section.kind != kelf::SectionKind::kText &&
         section.kind != kelf::SectionKind::kNote &&
+        // Howto-tagged sections (exception/bug tables, build timestamps)
+        // are code metadata, not persistent state: a patch that moves a
+        // fixup target or rebuilds a timestamp is routine, and the tables
+        // ship with the replacement code rather than mutating live data.
+        kelf::HowtoForSectionName(section.name) == kelf::Howto::kNone &&
         section.change == SectionChange::kModified) {
       out.push_back(section);
     }

@@ -52,6 +52,9 @@ void MatchStats::MergeFrom(const MatchStats& other) {
   pre_bytes_canonicalized += other.pre_bytes_canonicalized;
   run_bytes_canonicalized += other.run_bytes_canonicalized;
   revalidations += other.revalidations;
+  extable_sections_matched += other.extable_sections_matched;
+  bug_table_sections_matched += other.bug_table_sections_matched;
+  date_time_sections_matched += other.date_time_sections_matched;
 }
 
 std::string MatchStats::ToJson() const {
@@ -63,13 +66,16 @@ std::string MatchStats::ToJson() const {
       "\"fixpoint_passes\":%llu,\"index_anchors\":%llu,"
       "\"index_hits\":%llu,\"index_misses\":%llu,"
       "\"pre_bytes_canonicalized\":%llu,\"run_bytes_canonicalized\":%llu,"
-      "\"revalidations\":%llu}",
+      "\"revalidations\":%llu,\"extable_sections_matched\":%llu,"
+      "\"bug_table_sections_matched\":%llu,"
+      "\"date_time_sections_matched\":%llu}",
       U(sections_matched), U(candidates_tried), U(run_bytes_matched),
       U(pre_bytes_walked), U(nop_bytes_skipped), U(reloc_sites_inverted),
       U(symbols_recovered), U(ambiguity_deferrals), U(fixpoint_passes),
       U(index_anchors), U(index_hits), U(index_misses),
       U(pre_bytes_canonicalized), U(run_bytes_canonicalized),
-      U(revalidations));
+      U(revalidations), U(extable_sections_matched),
+      U(bug_table_sections_matched), U(date_time_sections_matched));
 }
 
 std::string LintFinding::ToString() const {

@@ -45,6 +45,13 @@ struct MatchStats {
   uint64_t run_bytes_canonicalized = 0;  // run bytes decoded once per anchor
   uint64_t revalidations = 0;  // cached successes re-checked across passes
 
+  // Per-howto structural matching (special sections, §4.3): sections
+  // accepted under each non-text strategy. Text sections count under
+  // sections_matched only.
+  uint64_t extable_sections_matched = 0;    // entry-structural
+  uint64_t bug_table_sections_matched = 0;  // entry-structural
+  uint64_t date_time_sections_matched = 0;  // content-ignoring
+
   void MergeFrom(const MatchStats& other);
   std::string ToJson() const;
 };

@@ -19,17 +19,16 @@ namespace ksplice {
 CanonicalPrefix CanonicalizeCode(std::span<const uint8_t> code,
                                  size_t max_bytes) {
   CanonicalPrefix prefix;
-  size_t pos = 0;
-  while (pos < code.size() && prefix.bytes.size() < max_bytes) {
-    ks::Result<kvx::Insn> insn = kvx::Decode(code.subspan(pos));
-    if (!insn.ok()) {
-      prefix.decode_ok = false;
-      break;
-    }
-    kvx::AppendCanonicalBytes(*insn, prefix.bytes);
-    pos += insn->len;
+  if (max_bytes == 0) {
+    return prefix;
   }
-  prefix.src_consumed = static_cast<uint32_t>(pos);
+  kvx::WalkEnd walk =
+      kvx::WalkInsns(code, [&](uint32_t, const kvx::Insn& insn) {
+        kvx::AppendCanonicalBytes(insn, prefix.bytes);
+        return prefix.bytes.size() < max_bytes;
+      });
+  prefix.decode_ok = walk.decode_ok;
+  prefix.src_consumed = walk.end;
   return prefix;
 }
 
@@ -89,25 +88,20 @@ struct PreDecoded {
 
 PreDecoded DecodePre(const std::vector<uint8_t>& code) {
   PreDecoded d;
-  uint32_t pos = 0;
-  while (pos < code.size()) {
-    d.boundary[pos] = d.recs.size();
-    ks::Result<kvx::Insn> insn = kvx::Decode(
-        std::span<const uint8_t>(code).subspan(pos));
-    if (!insn.ok()) {
-      d.decode_error = true;
-      break;
-    }
-    if (kvx::GetOpInfo(insn->op).is_nop) {
-      d.nop_bytes += insn->len;
-      pos += insn->len;
-      continue;
-    }
-    d.recs.push_back(CodeRec{pos, *insn});
-    pos += insn->len;
-  }
-  d.end = pos;
-  d.boundary[pos] = d.recs.size();
+  kvx::WalkEnd walk = kvx::WalkInsns(
+      std::span<const uint8_t>(code),
+      [&](uint32_t pos, const kvx::Insn& insn) {
+        d.boundary[pos] = d.recs.size();
+        if (kvx::GetOpInfo(insn.op).is_nop) {
+          d.nop_bytes += insn.len;
+        } else {
+          d.recs.push_back(CodeRec{pos, insn});
+        }
+        return true;
+      });
+  d.decode_error = !walk.decode_ok;
+  d.end = walk.end;
+  d.boundary[d.end] = d.recs.size();
   CanonicalPrefix prefix =
       CanonicalizeCode(code, RunPreMatcher::kGramBytes);
   if (prefix.bytes.size() >= RunPreMatcher::kGramBytes) {
@@ -545,6 +539,127 @@ ks::Result<LocalMatch> VerifyCandidate(
   return local;
 }
 
+// Verifies one howto-tagged (non-text) section against a candidate address
+// using the per-howto strategy the section kind demands (§4.3 applied to
+// special sections):
+//
+//  - kDate / kTime: content-ignoring. The run kernel's build timestamp
+//    legitimately differs from the pre object's; only the shape is checked
+//    (readable, same length, NUL-terminated).
+//  - kExtable / kBug: entry-structural. Each 8-byte entry is a pair of
+//    32-bit words matched under relocation, not byte-wise: a word with a
+//    relocation inverts it (Abs32: S = val - A; Pcrel32: S = val + P - A)
+//    and recovers the symbol value, a word without one must be identical.
+//    Failures name the entry index.
+//
+// Reads run bytes through the machine directly (no RunStream), so indexed
+// and linear mode take the identical path — matcher decisions cannot
+// depend on -j or --no-index here by construction.
+ks::Result<LocalMatch> VerifyTableCandidate(
+    const kvm::Machine& machine, const kelf::ObjectFile& pre,
+    const kelf::Section& section, uint32_t run_start,
+    const std::map<std::string, uint32_t>& committed, MatchStats& stats) {
+  stats.candidates_tried += 1;
+  auto mismatch = [&](uint32_t pre_pos, const std::string& why) {
+    return ks::Aborted(
+        MismatchMessage(pre, section, pre_pos, run_start, why));
+  };
+
+  const uint32_t size = static_cast<uint32_t>(section.bytes.size());
+  ks::Result<std::vector<uint8_t>> run_bytes =
+      machine.ReadBytes(run_start, size);
+  if (!run_bytes.ok()) {
+    return mismatch(0, "candidate address unreadable");
+  }
+
+  LocalMatch local;
+  local.run_size = size;
+
+  if (section.howto == kelf::Howto::kDate ||
+      section.howto == kelf::Howto::kTime) {
+    if (run_bytes->empty() || run_bytes->back() != 0) {
+      return mismatch(size == 0 ? 0 : size - 1,
+                      "build timestamp string is not NUL-terminated");
+    }
+    return local;
+  }
+
+  std::map<uint32_t, const kelf::Relocation*> reloc_at;
+  for (const kelf::Relocation& rel : section.relocs) {
+    reloc_at[rel.offset] = &rel;
+  }
+  for (uint32_t off = 0; off + 4 <= size; off += 4) {
+    uint32_t entry_index = off / kelf::kHowtoEntrySize;
+    uint32_t run_word = ks::ReadLe32(run_bytes->data() + off);
+    auto rel_it = reloc_at.find(off);
+    if (rel_it == reloc_at.end()) {
+      // Literal word (e.g. a bug entry's source line): byte-identical.
+      uint32_t pre_word = ks::ReadLe32(section.bytes.data() + off);
+      if (pre_word != run_word) {
+        return mismatch(
+            off, ks::StrPrintf("entry %u literal word differs (pre %s, run %s)",
+                               entry_index, ks::Hex32(pre_word).c_str(),
+                               ks::Hex32(run_word).c_str()));
+      }
+      continue;
+    }
+    const kelf::Relocation& rel = *rel_it->second;
+    stats.reloc_sites_inverted += 1;
+    uint32_t s = 0;
+    switch (rel.type) {
+      case kelf::RelocType::kAbs32:
+        s = run_word - static_cast<uint32_t>(rel.addend);
+        break;
+      case kelf::RelocType::kPcrel32:
+        s = run_word + (run_start + off) - static_cast<uint32_t>(rel.addend);
+        break;
+    }
+    const kelf::Symbol& sym = pre.symbols()[static_cast<size_t>(rel.symbol)];
+    // Same plausibility rule as text matching: the recovered value must be
+    // an address the kernel knows under this name. A table entry whose
+    // fixup points somewhere else (a genuinely changed extable) lands here
+    // or in the consistency checks below, with the entry index named.
+    std::vector<kelf::LinkedSymbol> known = machine.SymbolsNamed(sym.name);
+    if (!known.empty()) {
+      bool plausible = false;
+      for (const kelf::LinkedSymbol& candidate : known) {
+        if (candidate.address == s) {
+          plausible = true;
+        }
+      }
+      if (!plausible) {
+        return mismatch(
+            off, ks::StrPrintf("entry %u recovers '%s' = %s, which matches "
+                               "no symbol of that name in the kernel",
+                               entry_index, sym.name.c_str(),
+                               ks::Hex32(s).c_str()));
+      }
+    }
+    auto committed_it = committed.find(sym.name);
+    if (committed_it != committed.end() && committed_it->second != s) {
+      return mismatch(
+          off, ks::StrPrintf("entry %u: symbol '%s' recovered as %s but "
+                             "already valued %s",
+                             entry_index, sym.name.c_str(),
+                             ks::Hex32(s).c_str(),
+                             ks::Hex32(committed_it->second).c_str()));
+    }
+    auto local_it = local.recovered.find(sym.name);
+    if (local_it != local.recovered.end() && local_it->second != s) {
+      return mismatch(
+          off, ks::StrPrintf("entry %u: symbol '%s' recovered "
+                             "inconsistently (%s vs %s)",
+                             entry_index, sym.name.c_str(),
+                             ks::Hex32(s).c_str(),
+                             ks::Hex32(local_it->second).c_str()));
+    }
+    if (local.recovered.emplace(sym.name, s).second) {
+      local.sites.push_back(RecoveredSite{off, sym.name, s});
+    }
+  }
+  return local;
+}
+
 // ------------------------------------------------------------------
 // Publication.
 
@@ -580,6 +695,12 @@ void PublishMatchStats(const MatchStats& stats, bool ok) {
       ks::Metrics().GetCounter("runpre.index.pre_bytes_canonicalized");
   static ks::Counter& index_run_bytes =
       ks::Metrics().GetCounter("runpre.index.run_bytes_canonicalized");
+  static ks::Counter& howto_extable =
+      ks::Metrics().GetCounter("runpre.howto.extable_sections_matched");
+  static ks::Counter& howto_bug =
+      ks::Metrics().GetCounter("runpre.howto.bug_table_sections_matched");
+  static ks::Counter& howto_date_time =
+      ks::Metrics().GetCounter("runpre.howto.date_time_sections_matched");
   (ok ? units : failures).Add(1);
   sections.Add(stats.sections_matched);
   candidates.Add(stats.candidates_tried);
@@ -595,6 +716,9 @@ void PublishMatchStats(const MatchStats& stats, bool ok) {
   index_misses.Add(stats.index_misses);
   index_pre_bytes.Add(stats.pre_bytes_canonicalized);
   index_run_bytes.Add(stats.run_bytes_canonicalized);
+  howto_extable.Add(stats.extable_sections_matched);
+  howto_bug.Add(stats.bug_table_sections_matched);
+  howto_date_time.Add(stats.date_time_sections_matched);
 }
 
 // ------------------------------------------------------------------
@@ -615,6 +739,11 @@ struct PendingSection {
   int index = 0;
   std::string symbol;
   const kelf::Section* section = nullptr;
+  // Matching strategy selector: kNone = text (instruction-wise), anything
+  // else routes to VerifyTableCandidate. Howto sections never decode as
+  // code, so their gram stays incomplete and the n-gram prefilter
+  // automatically passes them through — indexed and linear mode agree.
+  kelf::Howto howto = kelf::Howto::kNone;
   PreDecoded pre;            // decoded once (indexed mode)
   bool pre_decoded = false;
   std::map<uint32_t, Attempt> attempts;   // candidate addr -> outcome
@@ -650,7 +779,12 @@ ks::Result<UnitMatch> RunPreMatcher::MatchUnit(const kelf::ObjectFile& pre,
   std::vector<PendingSection> pending;
   for (size_t si = 0; si < pre.sections().size(); ++si) {
     const kelf::Section& section = pre.sections()[si];
-    if (section.kind != kelf::SectionKind::kText || section.bytes.empty()) {
+    // Text sections match instruction-wise; howto-tagged data sections
+    // (exception tables, bug tables, build timestamps) match under their
+    // per-kind structural strategy. Plain data stays out of run-pre.
+    bool howto_table = section.howto != kelf::Howto::kNone;
+    if ((section.kind != kelf::SectionKind::kText && !howto_table) ||
+        section.bytes.empty()) {
       continue;
     }
     std::optional<int> def = pre.DefiningSymbolForSection(
@@ -665,7 +799,8 @@ ks::Result<UnitMatch> RunPreMatcher::MatchUnit(const kelf::ObjectFile& pre,
     entry.index = static_cast<int>(si);
     entry.symbol = pre.symbols()[static_cast<size_t>(*def)].name;
     entry.section = &section;
-    if (options_.use_index) {
+    entry.howto = section.howto;
+    if (options_.use_index && !howto_table) {
       entry.pre = DecodePre(section.bytes);
       entry.pre_decoded = true;
       tally.pre_bytes_canonicalized += entry.pre.end;
@@ -735,9 +870,14 @@ ks::Result<UnitMatch> RunPreMatcher::MatchUnit(const kelf::ObjectFile& pre,
       }
     }
     if (candidates.empty()) {
+      // Text sections anchor at function symbols; howto tables at the
+      // object symbol their section defines (__extable_<fn>, kbuild.date.*).
+      kelf::SymbolKind want = entry.howto == kelf::Howto::kNone
+                                  ? kelf::SymbolKind::kFunction
+                                  : kelf::SymbolKind::kObject;
       for (const kelf::LinkedSymbol& sym :
            machine_.SymbolsNamed(entry.symbol)) {
-        if (sym.kind == kelf::SymbolKind::kFunction) {
+        if (sym.kind == want) {
           candidates.push_back(sym.address);
         }
       }
@@ -754,6 +894,18 @@ ks::Result<UnitMatch> RunPreMatcher::MatchUnit(const kelf::ObjectFile& pre,
                         const std::map<std::string, uint32_t>& committed,
                         MatchStats& into) -> Attempt {
     Attempt attempt;
+    if (entry.howto != kelf::Howto::kNone) {
+      ks::Result<LocalMatch> result = VerifyTableCandidate(
+          machine_, pre, *entry.section, candidate, committed, into);
+      if (result.ok()) {
+        attempt.kind = Attempt::Kind::kSuccess;
+        attempt.local = std::move(result).value();
+      } else {
+        attempt.kind = Attempt::Kind::kFailure;
+        attempt.failure = result.status();
+      }
+      return attempt;
+    }
     if (!entry.pre_decoded && options_.use_index) {
       entry.pre = DecodePre(entry.section->bytes);
       entry.pre_decoded = true;
@@ -993,6 +1145,20 @@ ks::Result<UnitMatch> RunPreMatcher::MatchUnit(const kelf::ObjectFile& pre,
       match.sections[section.name] = std::move(matched);
       tally.sections_matched += 1;
       tally.run_bytes_matched += local.run_size;
+      switch (entry.howto) {
+        case kelf::Howto::kNone:
+          break;
+        case kelf::Howto::kExtable:
+          tally.extable_sections_matched += 1;
+          break;
+        case kelf::Howto::kBug:
+          tally.bug_table_sections_matched += 1;
+          break;
+        case kelf::Howto::kDate:
+        case kelf::Howto::kTime:
+          tally.date_time_sections_matched += 1;
+          break;
+      }
       progress = true;
     }
     if (!progress) {

@@ -143,6 +143,46 @@ bool Machine::StepLocked(Thread& thread) {
       ks::WriteLe32(memory_.data() + addr, regs[insn.reg2]);
       break;
     }
+    case Op::kLoadF: {
+      // Faulting load: a bad address dispatches through the exception
+      // table instead of killing the thread. The table is keyed by the
+      // address of the LOADF instruction itself, and is consulted in
+      // guest memory at fault time — so an applied patch that rewrote a
+      // fixup word (or a module that registered a new table) takes
+      // effect immediately.
+      uint32_t addr = regs[insn.reg2];
+      if (InBounds(addr, 4)) {
+        regs[insn.reg1] = ks::ReadLe32(memory_.data() + addr);
+        break;
+      }
+      std::optional<uint32_t> fixup = ExtableFixupFor(thread.pc);
+      if (fixup.has_value()) {
+        ++extable_fixups_;
+        static ks::Counter& fixups =
+            ks::Metrics().GetCounter("kvm.extable_fixups");
+        fixups.Add(1);
+        next_pc = *fixup;
+        break;
+      }
+      FaultThread(thread,
+                  ks::StrPrintf("bad faulting load at %s with no extable entry",
+                                ks::Hex32(addr).c_str()));
+      return false;
+    }
+    case Op::kBug: {
+      // BUG(): unconditional trap. The bug table turns the trap address
+      // into a source location for the fault report.
+      std::optional<std::pair<std::string, uint32_t>> entry =
+          BugEntryFor(thread.pc);
+      if (entry.has_value()) {
+        FaultThread(thread,
+                    ks::StrPrintf("kernel BUG at %s:%u", entry->first.c_str(),
+                                  entry->second));
+      } else {
+        FaultThread(thread, "bug trap without table entry");
+      }
+      return false;
+    }
     case Op::kLoadBI: {
       uint32_t addr = regs[insn.reg2];
       if (!InBounds(addr, 1)) {

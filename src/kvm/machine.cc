@@ -59,6 +59,7 @@ ks::Result<std::unique_ptr<Machine>> Machine::Boot(
   for (size_t i = 0; i < machine->kallsyms_.size(); ++i) {
     machine->symbol_index_.emplace(machine->kallsyms_[i].name, i);
   }
+  machine->RegisterHowtoRegions(image->placements, /*module_id=*/-1);
 
   // Memory map after the kernel: module arena, heap, then stacks from the
   // top of memory growing down.
@@ -302,6 +303,7 @@ ks::Result<ModuleHandle> Machine::LoadModule(
       ModuleArenaBytesInUse());
   ModuleHandle handle;
   handle.id = static_cast<int>(modules_.size()) - 1;
+  RegisterHowtoRegions(modules_.back().placements, handle.id);
   return handle;
 }
 
@@ -318,6 +320,7 @@ ks::Status Machine::UnloadModule(ModuleHandle handle) {
   }
   module.loaded = false;
   ArenaFree(module.base);
+  UnregisterHowtoRegions(handle.id);
 
   // Drop the module's kallsyms range and rebuild indexes.
   kallsyms_.erase(
@@ -427,6 +430,87 @@ ks::Result<std::vector<kelf::PlacedSection>> Machine::ModulePlacements(
     return ks::FailedPrecondition("module is unloaded");
   }
   return module.placements;
+}
+
+// ---------------------------------------------------------------------------
+// Howto regions
+
+void Machine::RegisterHowtoRegions(
+    const std::vector<kelf::PlacedSection>& placements, int module_id) {
+  for (const kelf::PlacedSection& placement : placements) {
+    if (placement.howto == kelf::Howto::kNone || placement.size == 0) {
+      continue;
+    }
+    howto_regions_.push_back(HowtoRegion{
+        .howto = placement.howto,
+        .base = placement.address,
+        .size = placement.size,
+        .name = placement.name,
+        .module_id = module_id,
+    });
+  }
+}
+
+void Machine::UnregisterHowtoRegions(int module_id) {
+  howto_regions_.erase(
+      std::remove_if(howto_regions_.begin(), howto_regions_.end(),
+                     [module_id](const HowtoRegion& region) {
+                       return region.module_id == module_id;
+                     }),
+      howto_regions_.end());
+}
+
+std::optional<uint32_t> Machine::ExtableFixupFor(uint32_t pc) const {
+  for (const HowtoRegion& region : howto_regions_) {
+    if (region.howto != kelf::Howto::kExtable) {
+      continue;
+    }
+    // Entries are (faulting insn addr, fixup addr) word pairs, read from
+    // guest memory so patched table bytes take effect immediately.
+    for (uint32_t off = 0; off + kelf::kHowtoEntrySize <= region.size;
+         off += kelf::kHowtoEntrySize) {
+      if (!InBounds(region.base + off, kelf::kHowtoEntrySize)) {
+        break;
+      }
+      uint32_t insn = ks::ReadLe32(memory_.data() + region.base + off);
+      if (insn == pc) {
+        return ks::ReadLe32(memory_.data() + region.base + off + 4);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::pair<std::string, uint32_t>> Machine::BugEntryFor(
+    uint32_t pc) const {
+  for (const HowtoRegion& region : howto_regions_) {
+    if (region.howto != kelf::Howto::kBug) {
+      continue;
+    }
+    // Entries are (trap addr, source line) word pairs.
+    for (uint32_t off = 0; off + kelf::kHowtoEntrySize <= region.size;
+         off += kelf::kHowtoEntrySize) {
+      if (!InBounds(region.base + off, kelf::kHowtoEntrySize)) {
+        break;
+      }
+      uint32_t trap = ks::ReadLe32(memory_.data() + region.base + off);
+      if (trap == pc) {
+        return std::make_pair(
+            region.name, ks::ReadLe32(memory_.data() + region.base + off + 4));
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<HowtoRegion> Machine::HowtoRegions() const {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  return howto_regions_;
+}
+
+uint64_t Machine::ExtableFixups() const {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  return extable_fixups_;
 }
 
 ks::Result<uint32_t> Machine::CallFunction(uint32_t entry, uint32_t arg,

@@ -30,7 +30,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <utility>
 #include <thread>
 #include <vector>
 
@@ -78,6 +80,20 @@ struct ModuleInfo {
   uint32_t base = 0;
   uint32_t size = 0;
   bool loaded = false;
+};
+
+// A howto-tagged region of the live image: an exception table, bug table,
+// or build-timestamp string, registered at boot (kernel sections) and at
+// module load. Fault dispatch consults extable regions; BUG traps consult
+// bug regions. Entries are read from guest memory at fault time, so a
+// patch that rewrites table bytes (or a module that brings new tables)
+// takes effect with no further registration.
+struct HowtoRegion {
+  kelf::Howto howto = kelf::Howto::kNone;
+  uint32_t base = 0;
+  uint32_t size = 0;
+  std::string name;     // section name, for diagnostics
+  int module_id = -1;   // owning module, -1 for the kernel image
 };
 
 class Machine {
@@ -217,6 +233,11 @@ class Machine {
   ks::Status HostKfree(uint32_t addr);
   ks::Result<uint32_t> HostShadowGet(uint32_t obj, uint32_t key) const;
 
+  // Howto regions currently registered (kernel + loaded modules).
+  std::vector<HowtoRegion> HowtoRegions() const;
+  // Number of faulting loads recovered through an exception-table fixup.
+  uint64_t ExtableFixups() const;
+
   const MachineConfig& config() const { return config_; }
   uint32_t kernel_end() const { return kernel_end_; }
 
@@ -265,6 +286,20 @@ class Machine {
   void WakeSleepers();
   bool DoSys(Thread& thread, uint8_t number);
 
+  // Howto-region bookkeeping (lock already held). Regions are registered
+  // from section placements at boot/module-load and dropped on unload;
+  // lookups read guest memory at fault time.
+  void RegisterHowtoRegions(const std::vector<kelf::PlacedSection>& placements,
+                            int module_id);
+  void UnregisterHowtoRegions(int module_id);
+  // Scans extable regions for an entry whose faulting-insn word equals
+  // `pc`; returns the fixup address, or nullopt.
+  std::optional<uint32_t> ExtableFixupFor(uint32_t pc) const;
+  // Scans bug-table regions for an entry whose trap word equals `pc`;
+  // returns (section name, source line), or nullopt.
+  std::optional<std::pair<std::string, uint32_t>> BugEntryFor(
+      uint32_t pc) const;
+
   MachineConfig config_;
   mutable std::recursive_mutex mu_;
 
@@ -295,6 +330,8 @@ class Machine {
     std::vector<std::pair<std::string, uint32_t>> imports;
   };
   std::vector<Module> modules_;
+  std::vector<HowtoRegion> howto_regions_;
+  uint64_t extable_fixups_ = 0;  // faulting loads recovered via extable
   uint32_t hook_stack_top_ = 0;  // lazily allocated CallFunction stack
 
   std::vector<Thread> threads_;

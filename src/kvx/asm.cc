@@ -55,6 +55,22 @@ struct DefinedSym {
   size_t position = 0; // item position within the section
 };
 
+// A pending exception-table or bug-table entry. Entries reference local
+// labels whose offsets are only known after branch relaxation, so the
+// directives record them here and Finish() materializes the 8-byte items
+// (with ABS32 relocations against the enclosing function symbol) into a
+// per-function `.extable.<fn>` / `.bug_table.<fn>` section.
+struct DeferredEntry {
+  enum class Kind { kExtable, kBug };
+  Kind kind = Kind::kExtable;
+  size_t section = 0;  // text section holding fn and the labels
+  std::string fn;      // enclosing function symbol
+  std::string label1;  // faulting-insn / trap-site label
+  std::string label2;  // fixup label (extable only)
+  uint32_t bug_line = 0;  // source line (bug only)
+  int src_line = 0;       // assembly line, for diagnostics
+};
+
 class Assembler {
  public:
   Assembler(std::string source_name, const AsmOptions& options)
@@ -96,6 +112,7 @@ class Assembler {
 
   // Final assembly ------------------------------------------------------
   ks::Result<ObjectFile> Finish();
+  ks::Status MaterializeDeferredEntries();
   static std::vector<uint32_t> ComputeOffsets(const AsmSection& section);
   static ks::Status Relax(AsmSection& section);
 
@@ -107,6 +124,10 @@ class Assembler {
   size_t current_section_ = 0;
   std::vector<DefinedSym> defined_;
   std::vector<std::string> globals_;
+  std::vector<DeferredEntry> deferred_;
+  // True while inside a `.howto_section`: labels define symbols in place
+  // instead of splitting into fresh `.data.<name>` sections.
+  bool custom_section_ = false;
   bool initialized_ = false;
 };
 
@@ -218,6 +239,7 @@ size_t Assembler::EnsureSection(const std::string& name, SectionKind kind,
 
 ks::Status Assembler::SwitchSegment(Segment segment) {
   segment_ = segment;
+  custom_section_ = false;
   switch (segment) {
     case Segment::kText:
       EnsureSection(".text", SectionKind::kText, options_.func_align);
@@ -237,6 +259,17 @@ ks::Status Assembler::DefineLabel(const std::string& name) {
     return Error(ks::StrPrintf("bad label '%s'", name.c_str()));
   }
   bool local_label = name[0] == '.';
+  if (!local_label && custom_section_) {
+    // Inside a `.howto_section`: the label defines a symbol at the
+    // current position of the custom section, never a split section.
+    AsmSection& sec = CurrentSection();
+    if (sec.labels.count(name) != 0) {
+      return Error(ks::StrPrintf("duplicate label '%s'", name.c_str()));
+    }
+    sec.labels.emplace(name, sec.items.size());
+    defined_.push_back(DefinedSym{name, current_section_, sec.items.size()});
+    return ks::OkStatus();
+  }
   if (!local_label) {
     // A symbol definition. With function/data sections, it opens a fresh
     // section; otherwise we pad to the function/object alignment in place.
@@ -529,6 +562,60 @@ ks::Status Assembler::ParseDirective(const std::vector<std::string>& tokens) {
     return ks::OkStatus();
   }
 
+  if (directive == ".howto_section") {
+    // `.howto_section <name>`: switch to a literally-named data section
+    // (e.g. `.rodata.date`); labels inside define symbols in place.
+    if (tokens.size() != 2 || tokens[1].empty() || tokens[1][0] != '.') {
+      return Error(".howto_section needs one section name");
+    }
+    segment_ = Segment::kData;
+    EnsureSection(tokens[1], SectionKind::kData, 4);
+    custom_section_ = true;
+    return ks::OkStatus();
+  }
+  if (directive == ".extable_entry") {
+    // `.extable_entry <fn>, <insn_label>, <fixup_label>` inside <fn>'s
+    // text: records an exception-table pair; materialized after relaxation.
+    if (tokens.size() != 4) {
+      return Error(".extable_entry needs function, insn label, fixup label");
+    }
+    if (CurrentSection().kind != SectionKind::kText) {
+      return Error(".extable_entry is only allowed in text");
+    }
+    DeferredEntry entry;
+    entry.kind = DeferredEntry::Kind::kExtable;
+    entry.section = current_section_;
+    entry.fn = tokens[1];
+    entry.label1 = tokens[2];
+    entry.label2 = tokens[3];
+    entry.src_line = line_number_;
+    deferred_.push_back(std::move(entry));
+    return ks::OkStatus();
+  }
+  if (directive == ".bug_entry") {
+    // `.bug_entry <fn>, <trap_label>, <line>`: records a bug-table entry.
+    if (tokens.size() != 4) {
+      return Error(".bug_entry needs function, trap label, line number");
+    }
+    if (CurrentSection().kind != SectionKind::kText) {
+      return Error(".bug_entry is only allowed in text");
+    }
+    std::optional<int64_t> n = ParseNumber(tokens[3]);
+    if (!n.has_value() || *n < 0 || *n > 0x7fffffff) {
+      return Error(ks::StrPrintf("bad .bug_entry line '%s'",
+                                 tokens[3].c_str()));
+    }
+    DeferredEntry entry;
+    entry.kind = DeferredEntry::Kind::kBug;
+    entry.section = current_section_;
+    entry.fn = tokens[1];
+    entry.label1 = tokens[2];
+    entry.bug_line = static_cast<uint32_t>(*n);
+    entry.src_line = line_number_;
+    deferred_.push_back(std::move(entry));
+    return ks::OkStatus();
+  }
+
   static const std::map<std::string, std::string> kHookSections = {
       {".ksplice_apply", ".ksplice.apply"},
       {".ksplice_pre_apply", ".ksplice.pre_apply"},
@@ -576,6 +663,9 @@ ks::Status Assembler::ParseInstruction(const std::vector<std::string>& tokens) {
   }
   if (mnemonic == "ret") {
     return encode0(Op::kRet);
+  }
+  if (mnemonic == "bug") {
+    return encode0(Op::kBug);
   }
 
   if (mnemonic == "sys") {
@@ -632,8 +722,8 @@ ks::Status Assembler::ParseInstruction(const std::vector<std::string>& tokens) {
     return ks::OkStatus();
   }
 
-  // load rd, [ rs ]   /  loadb rd, [ rs ]
-  if (mnemonic == "load" || mnemonic == "loadb") {
+  // load rd, [ rs ]   /  loadb rd, [ rs ]  /  loadf rd, [ rs ]
+  if (mnemonic == "load" || mnemonic == "loadb" || mnemonic == "loadf") {
     if (argc != 4 || tokens[2] != "[" || tokens[4] != "]") {
       return Error(ks::StrPrintf("%s needs 'rD, [rS]'", mnemonic.c_str()));
     }
@@ -643,7 +733,9 @@ ks::Status Assembler::ParseInstruction(const std::vector<std::string>& tokens) {
       return Error("bad register in load");
     }
     Insn insn;
-    insn.op = mnemonic == "load" ? Op::kLoadI : Op::kLoadBI;
+    insn.op = mnemonic == "load"    ? Op::kLoadI
+              : mnemonic == "loadf" ? Op::kLoadF
+                                    : Op::kLoadBI;
     insn.reg1 = *rd;
     insn.reg2 = *rs;
     EmitBytes(Encode(insn));
@@ -798,6 +890,69 @@ ks::Status Assembler::Relax(AsmSection& section) {
   return ks::Internal("assembler relaxation did not converge");
 }
 
+ks::Status Assembler::MaterializeDeferredEntries() {
+  for (const DeferredEntry& e : deferred_) {
+    // Resolve the function and label offsets within the recorded text
+    // section (never hold references across EnsureSection: it may grow
+    // sections_).
+    std::vector<uint32_t> offsets = ComputeOffsets(sections_[e.section]);
+    auto resolve = [&](const std::string& label,
+                       uint32_t* out) -> ks::Status {
+      const AsmSection& text = sections_[e.section];
+      auto it = text.labels.find(label);
+      if (it == text.labels.end()) {
+        return ks::InvalidArgument(ks::StrPrintf(
+            "%s:%d: %s references unknown label '%s'", source_name_.c_str(),
+            e.src_line,
+            e.kind == DeferredEntry::Kind::kExtable ? ".extable_entry"
+                                                    : ".bug_entry",
+            label.c_str()));
+      }
+      *out = offsets[it->second];
+      return ks::OkStatus();
+    };
+    uint32_t fn_off = 0;
+    uint32_t site_off = 0;
+    KS_RETURN_IF_ERROR(resolve(e.fn, &fn_off));
+    KS_RETURN_IF_ERROR(resolve(e.label1, &site_off));
+
+    bool extable = e.kind == DeferredEntry::Kind::kExtable;
+    uint32_t aux = 0;
+    if (extable) {
+      KS_RETURN_IF_ERROR(resolve(e.label2, &aux));
+    } else {
+      aux = e.bug_line;
+    }
+
+    std::string table_name = (extable ? ".extable." : ".bug_table.") + e.fn;
+    std::string table_sym = (extable ? "__extable_" : "__bug_table_") + e.fn;
+    size_t idx = EnsureSection(table_name, SectionKind::kData, 4);
+    AsmSection& table = sections_[idx];
+    if (table.labels.count(table_sym) == 0) {
+      table.labels.emplace(table_sym, 0);
+      defined_.push_back(DefinedSym{table_sym, idx, 0});
+    }
+    AsmItem item;
+    item.kind = AsmItem::Kind::kBytes;
+    item.bytes.assign(8, 0);
+    item.line = e.src_line;
+    // Word 0: address of the faulting/trap instruction, as fn+offset so
+    // the linker and the structural matcher see it under relocation.
+    item.relocs.push_back(ItemReloc{
+        0, e.fn, static_cast<int32_t>(site_off - fn_off), RelocType::kAbs32});
+    if (extable) {
+      // Word 1: the fixup landing pad, likewise fn-relative.
+      item.relocs.push_back(ItemReloc{
+          4, e.fn, static_cast<int32_t>(aux - fn_off), RelocType::kAbs32});
+    } else {
+      // Word 1: the source line, a plain literal (no relocation).
+      ks::WriteLe32(item.bytes.data() + 4, aux);
+    }
+    table.items.push_back(std::move(item));
+  }
+  return ks::OkStatus();
+}
+
 ks::Result<ObjectFile> Assembler::Finish() {
   ObjectFile obj(source_name_);
 
@@ -806,14 +961,17 @@ ks::Result<ObjectFile> Assembler::Finish() {
     binding[name] = SymbolBinding::kGlobal;
   }
 
+  for (AsmSection& asec : sections_) {
+    KS_RETURN_IF_ERROR(Relax(asec));
+  }
+  // Label offsets are final only now; turn deferred extable/bug-table
+  // entries into per-function table sections before kelf emission.
+  KS_RETURN_IF_ERROR(MaterializeDeferredEntries());
+
   // First create all symbols (so relocations can reference them), then emit
   // section payloads.
   std::map<std::string, int> symbol_index;  // defined symbols by name
   std::vector<int> section_index(sections_.size(), -1);
-
-  for (AsmSection& asec : sections_) {
-    KS_RETURN_IF_ERROR(Relax(asec));
-  }
 
   // Create kelf sections.
   for (size_t si = 0; si < sections_.size(); ++si) {
@@ -831,6 +989,7 @@ ks::Result<ObjectFile> Assembler::Finish() {
     Section sec;
     sec.name = asec.name;
     sec.kind = asec.kind;
+    sec.howto = kelf::HowtoForSectionName(asec.name);
     sec.align = asec.align;
     if (asec.kind == SectionKind::kBss) {
       sec.bss_size = total;

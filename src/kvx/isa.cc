@@ -29,9 +29,11 @@ constexpr TableEntry kTable[] = {
     {Op::kMovRR, {"mov", 3, true, true, false, false, false, false, false}},
     {Op::kLoadI, {"load", 3, true, true, false, false, false, false, false}},
     {Op::kStoreI, {"store", 3, true, true, false, false, false, false, false}},
+    {Op::kLoadF, {"loadf", 3, true, true, false, false, false, false, false}},
     {Op::kLoadBI, {"loadb", 3, true, true, false, false, false, false, false}},
     {Op::kStoreBI,
      {"storeb", 3, true, true, false, false, false, false, false}},
+    {Op::kBug, {"bug", 1, false, false, false, false, false, false, false}},
 
     {Op::kAddRR, {"add", 3, true, true, false, false, false, false, false}},
     {Op::kSubRR, {"sub", 3, true, true, false, false, false, false, false}},
@@ -163,11 +165,14 @@ bool IsMemStore(Op op) {
   return op == Op::kStoreI || op == Op::kStoreBI;
 }
 
-bool IsMemLoad(Op op) { return op == Op::kLoadI || op == Op::kLoadBI; }
+bool IsMemLoad(Op op) {
+  return op == Op::kLoadI || op == Op::kLoadBI || op == Op::kLoadF;
+}
 
 int MemAccessWidth(Op op) {
   switch (op) {
     case Op::kLoadI:
+    case Op::kLoadF:
     case Op::kStoreI:
       return 4;
     case Op::kLoadBI:
@@ -332,6 +337,28 @@ void AppendNopFill(std::vector<uint8_t>& out, uint32_t n) {
       n -= chunk;
     }
   }
+}
+
+WalkEnd WalkInsns(std::span<const uint8_t> code,
+                  const std::function<bool(uint32_t, const Insn&)>& visit) {
+  WalkEnd walk;
+  uint32_t pos = 0;
+  while (pos < code.size()) {
+    ks::Result<Insn> insn = Decode(code.subspan(pos));
+    if (!insn.ok()) {
+      walk.end = pos;
+      walk.decode_ok = false;
+      walk.error = insn.status().message();
+      return walk;
+    }
+    bool keep_going = visit(pos, *insn);
+    pos += insn->len;
+    if (!keep_going) {
+      break;
+    }
+  }
+  walk.end = pos;
+  return walk;
 }
 
 std::string FormatInsn(const Insn& insn) {

@@ -21,6 +21,7 @@
 #define KSPLICE_KVX_ISA_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -47,8 +48,14 @@ enum class Op : uint8_t {
   kMovRR = 0x11,   // mov rd, rs         (3)
   kLoadI = 0x14,   // load rd, [rs]      (3)  32-bit
   kStoreI = 0x15,  // store [rd], rs     (3)  32-bit
+  kLoadF = 0x16,   // loadf rd, [rs]     (3)  32-bit faulting load: a bad
+                   //                    address traps to the extable fixup
+                   //                    covering this pc instead of faulting
   kLoadBI = 0x17,  // loadb rd, [rs]     (3)  zero-extended byte
   kStoreBI = 0x18, // storeb [rd], rs    (3)  low byte
+  kBug = 0x19,     // bug                (1)  BUG() trap: always faults; the
+                   //                    bug table maps the trap pc to a
+                   //                    source line for the report
 
   kAddRR = 0x20,  // add rd, rs (3); likewise below
   kSubRR = 0x21,
@@ -202,6 +209,30 @@ void AppendCanonicalBytes(const Insn& insn, std::vector<uint8_t>& out);
 // Decodes one instruction from `bytes`. Errors on invalid opcodes or
 // truncated input. Never reads past bytes.size().
 ks::Result<Insn> Decode(std::span<const uint8_t> bytes);
+
+// ---- Shared decode walk ----------------------------------------------
+//
+// Every consumer that walks a code image instruction by instruction —
+// run-pre canonicalization, the kanalyze CFG builder, the call-graph
+// text scanner — used to carry its own copy of the decode/advance loop.
+// WalkInsns is the single walker they share, so a new opcode added to
+// kTable is picked up by every layer at once.
+
+// Where a WalkInsns pass stopped and why.
+struct WalkEnd {
+  uint32_t end = 0;        // byte offset just past the last decoded insn
+  bool decode_ok = true;   // false when the walk hit an undecodable byte
+  std::string error;       // decode error message when !decode_ok
+};
+
+// Walks `code` from offset 0, decoding one instruction at a time and
+// invoking `visit(offset, insn)` for each (including no-ops). A visitor
+// returning false stops the walk early (the current instruction still
+// counts as decoded: end advances past it, decode_ok stays true). On a
+// decode error the walk stops with decode_ok=false and `end` at the
+// offending offset.
+WalkEnd WalkInsns(std::span<const uint8_t> code,
+                  const std::function<bool(uint32_t, const Insn&)>& visit);
 
 // Encodes `insn` (op, registers, imm, rel as applicable) into bytes.
 // For kNopN, insn.len selects the total length (2..15).

@@ -304,6 +304,79 @@ TEST_P(TamperSweep, CorruptedRunCodeAbortsApply) {
 
 INSTANTIATE_TEST_SUITE_P(All64, TamperSweep, ::testing::Range(0, 64));
 
+// Howto acceptance (§4.3 special sections): CVE-2005-4605's fix deletes
+// the secret_peek branch ahead of proc_read_mem's faulting load, so the
+// function's exception-table entry moves — the pre and run tables differ
+// byte-wise but agree structurally under relocation. The entry-structural
+// matcher must still match, the update must apply, and a post-apply wild
+// kcore read must recover through the *patched* module's fixup.
+TEST(CorpusExtable, PatchedFixupRecoversWildRead) {
+  const Vulnerability* vuln = nullptr;
+  for (const Vulnerability& candidate : Vulnerabilities()) {
+    if (candidate.cve == std::string("CVE-2005-4605")) {
+      vuln = &candidate;
+    }
+  }
+  ASSERT_NE(vuln, nullptr);
+  ks::Result<std::unique_ptr<kvm::Machine>> machine = BootKernel();
+  ASSERT_TRUE(machine.ok()) << machine.status().ToString();
+
+  uint32_t read_mem = 0;
+  for (const kelf::LinkedSymbol& sym :
+       (*machine)->SymbolsNamed("proc_read_mem")) {
+    read_mem = sym.address;
+  }
+  ASSERT_NE(read_mem, 0u);
+  // 0x20000000 is far beyond the 24MB image: the load faults and the
+  // kernel's boot-registered exception table substitutes the -1 fallback.
+  const uint32_t kWild = 536870912;
+  uint64_t fixups0 = (*machine)->ExtableFixups();
+  ks::Result<uint32_t> pre_read = (*machine)->CallFunction(read_mem, kWild);
+  ASSERT_TRUE(pre_read.ok()) << pre_read.status().ToString();
+  EXPECT_EQ(*pre_read, 0xffffffffu);
+  EXPECT_EQ((*machine)->ExtableFixups(), fixups0 + 1);
+
+  ks::Result<bool> before = RunExploit(**machine, *vuln);
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(*before) << "offset -1 must leak the secret pre-update";
+
+  ks::Result<std::string> patch = PatchFor(*vuln);
+  ASSERT_TRUE(patch.ok());
+  ksplice::CreateOptions options;
+  options.compile = RunBuildOptions();
+  options.id = vuln->cve;
+  ks::Result<ksplice::CreateResult> created =
+      ksplice::CreateUpdate(KernelSource(), *patch, options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  ksplice::KspliceCore core(machine->get());
+  ks::Result<ksplice::ApplyReport> applied = core.Apply(created->package);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+
+  // The patched primary module registered its own exception table.
+  bool module_extable = false;
+  for (const kvm::HowtoRegion& region : (*machine)->HowtoRegions()) {
+    if (region.howto == kelf::Howto::kExtable && region.module_id != -1) {
+      module_extable = true;
+    }
+  }
+  EXPECT_TRUE(module_extable);
+
+  ks::Result<bool> after = RunExploit(**machine, *vuln);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(*after) << "negative offsets must be rejected post-update";
+
+  // The wild read now runs the spliced module text; its fault resolves
+  // through the module's (patched) table, not a stale kernel entry.
+  uint64_t fixups1 = (*machine)->ExtableFixups();
+  ks::Result<uint32_t> post_read = (*machine)->CallFunction(read_mem, kWild);
+  ASSERT_TRUE(post_read.ok()) << post_read.status().ToString();
+  EXPECT_EQ(*post_read, 0xffffffffu);
+  EXPECT_GT((*machine)->ExtableFixups(), fixups1);
+  EXPECT_TRUE((*machine)->Faults().empty());
+  ks::Status stress = RunStress(**machine, 1);
+  EXPECT_TRUE(stress.ok()) << stress.ToString();
+}
+
 // Invariant run-pre matching depends on: every text section of every
 // corpus unit, in both build modes, decodes as a clean instruction stream
 // (lengths tile the section exactly; pc-relative targets stay inside it

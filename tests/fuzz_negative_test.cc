@@ -62,6 +62,50 @@ kelf::ObjectFile SampleObject() {
   x.section = data_idx;
   int x_idx = obj.AddSymbol(std::move(x));
 
+  // Howto-tagged special sections: an exception table and a bug table for
+  // f, and a build-date string — so every truncation/bit-flip sweep below
+  // also covers the typed-table parse path.
+  kelf::Section extable;
+  extable.name = ".extable.f";
+  extable.kind = kelf::SectionKind::kData;
+  extable.howto = kelf::Howto::kExtable;
+  extable.align = 4;
+  extable.bytes = std::vector<uint8_t>(kelf::kHowtoEntrySize, 0);
+  kelf::Relocation site;
+  site.offset = 0;
+  site.type = kelf::RelocType::kAbs32;
+  site.symbol = f_idx;
+  extable.relocs.push_back(site);
+  kelf::Relocation fixup;
+  fixup.offset = 4;
+  fixup.type = kelf::RelocType::kAbs32;
+  fixup.symbol = f_idx;
+  fixup.addend = 1;
+  extable.relocs.push_back(fixup);
+  obj.AddSection(std::move(extable));
+
+  kelf::Section bug_table;
+  bug_table.name = ".bug_table.f";
+  bug_table.kind = kelf::SectionKind::kData;
+  bug_table.howto = kelf::Howto::kBug;
+  bug_table.align = 4;
+  bug_table.bytes = {0, 0, 0, 0, 42, 0, 0, 0};  // word1: literal line
+  kelf::Relocation trap;
+  trap.offset = 0;
+  trap.type = kelf::RelocType::kAbs32;
+  trap.symbol = f_idx;
+  bug_table.relocs.push_back(trap);
+  obj.AddSection(std::move(bug_table));
+
+  kelf::Section date;
+  date.name = ".rodata.date";
+  date.kind = kelf::SectionKind::kData;
+  date.howto = kelf::Howto::kDate;
+  date.align = 1;
+  const char* stamp = "Jan  1 2026";
+  date.bytes.assign(stamp, stamp + 12);  // including the NUL
+  obj.AddSection(std::move(date));
+
   int ext_idx = obj.InternUndefinedSymbol("external_fn");
 
   kelf::Relocation r1;
@@ -198,6 +242,70 @@ TEST(FuzzObjectFile, BssWithPayloadBytesRejected) {
       section.bytes = {1, 2, 3};
     }
   }
+  ks::Result<kelf::ObjectFile> parsed =
+      kelf::ObjectFile::Parse(obj.Serialize());
+  EXPECT_FALSE(parsed.ok());
+}
+
+// ------------------------------------------------------------------------
+// Howto table invariants: malformed entry counts and out-of-range or
+// ill-typed fixup relocations must be clean parse errors, never UB.
+
+kelf::Section* SectionNamed(kelf::ObjectFile& obj, const std::string& name) {
+  for (kelf::Section& section : obj.sections()) {
+    if (section.name == name) {
+      return &section;
+    }
+  }
+  return nullptr;
+}
+
+TEST(FuzzHowto, RaggedExtableEntryCountRejected) {
+  kelf::ObjectFile obj = SampleObject();
+  kelf::Section* table = SectionNamed(obj, ".extable.f");
+  ASSERT_NE(table, nullptr);
+  table->bytes.resize(kelf::kHowtoEntrySize + 3);  // 1.375 entries
+  ks::Result<kelf::ObjectFile> parsed =
+      kelf::ObjectFile::Parse(obj.Serialize());
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("multiple"), std::string::npos);
+}
+
+TEST(FuzzHowto, FixupRelocPastTableEndRejected) {
+  kelf::ObjectFile obj = SampleObject();
+  kelf::Section* table = SectionNamed(obj, ".bug_table.f");
+  ASSERT_NE(table, nullptr);
+  table->relocs[0].offset = 1 << 16;
+  ks::Result<kelf::ObjectFile> parsed =
+      kelf::ObjectFile::Parse(obj.Serialize());
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(FuzzHowto, PcrelRelocInExtableRejected) {
+  kelf::ObjectFile obj = SampleObject();
+  kelf::Section* table = SectionNamed(obj, ".extable.f");
+  ASSERT_NE(table, nullptr);
+  table->relocs[1].type = kelf::RelocType::kPcrel32;
+  ks::Result<kelf::ObjectFile> parsed =
+      kelf::ObjectFile::Parse(obj.Serialize());
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(FuzzHowto, MisalignedTableRelocRejected) {
+  kelf::ObjectFile obj = SampleObject();
+  kelf::Section* table = SectionNamed(obj, ".extable.f");
+  ASSERT_NE(table, nullptr);
+  table->relocs[0].offset = 2;
+  ks::Result<kelf::ObjectFile> parsed =
+      kelf::ObjectFile::Parse(obj.Serialize());
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(FuzzHowto, HowtoTagOnTextSectionRejected) {
+  kelf::ObjectFile obj = SampleObject();
+  kelf::Section* text = SectionNamed(obj, ".text.f");
+  ASSERT_NE(text, nullptr);
+  text->howto = kelf::Howto::kExtable;
   ks::Result<kelf::ObjectFile> parsed =
       kelf::ObjectFile::Parse(obj.Serialize());
   EXPECT_FALSE(parsed.ok());

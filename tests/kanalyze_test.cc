@@ -609,6 +609,154 @@ int outer(int n) {
 }
 
 // ------------------------------------------------------------------------
+// Howto pass: special-section table integrity (KSA601-604). Built from
+// real try_load/BUG packages, then corrupted in place — the toolchain
+// itself never emits a bad table.
+
+ks::Result<ksplice::CreateResult> ExtablePackage() {
+  SourceTree tree;
+  tree.Write("m.kc", R"(
+int window[4];
+int guarded(int addr) {
+  if (addr >= 0 && addr < 4) {
+    return window[addr];
+  }
+  return try_load(addr, 4095);
+}
+)");
+  std::string patch = EditPatch(tree, "m.kc", "4095", "2047");
+  return Create(tree, patch);
+}
+
+kelf::Section* SectionWithHowto(kelf::ObjectFile& obj, kelf::Howto howto) {
+  for (kelf::Section& section : obj.sections()) {
+    if (section.howto == howto) {
+      return &section;
+    }
+  }
+  return nullptr;
+}
+
+kelf::Relocation* RelocAt(kelf::Section& section, uint32_t offset) {
+  for (kelf::Relocation& rel : section.relocs) {
+    if (rel.offset == offset) {
+      return &rel;
+    }
+  }
+  return nullptr;
+}
+
+TEST(KanalyzeHowto, RealTablePackageIsClean) {
+  ks::Result<ksplice::CreateResult> created = ExtablePackage();
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  EXPECT_TRUE(created->report.lint.findings.empty())
+      << created->report.lint.ToJson();
+  ASSERT_FALSE(created->package.primary_objects.empty());
+  EXPECT_NE(SectionWithHowto(created->package.primary_objects[0],
+                             kelf::Howto::kExtable),
+            nullptr)
+      << "the patched function's exception table must ship with it";
+}
+
+TEST(KanalyzeHowto, DanglingFixupTargetIsError) {
+  ks::Result<ksplice::CreateResult> created = ExtablePackage();
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  kelf::Section* table = SectionWithHowto(
+      created->package.primary_objects[0], kelf::Howto::kExtable);
+  ASSERT_NE(table, nullptr);
+  kelf::Relocation* fixup = RelocAt(*table, 4);
+  ASSERT_NE(fixup, nullptr);
+  fixup->addend = 100000;  // far past the end of the function
+
+  ks::Result<LintReport> report = AnalyzePackage(created->package);
+  ASSERT_TRUE(report.ok());
+  std::vector<ksplice::LintFinding> findings = WithRule(*report, "KSA601");
+  ASSERT_EQ(findings.size(), 1u) << report->ToJson();
+  EXPECT_EQ(findings[0].severity, LintSeverity::kError);
+  EXPECT_NE(findings[0].message.find("entry 0"), std::string::npos);
+}
+
+TEST(KanalyzeHowto, FixupIntoPatchedOutCodeIsError) {
+  ks::Result<ksplice::CreateResult> created = ExtablePackage();
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  kelf::Section* table = SectionWithHowto(
+      created->package.primary_objects[0], kelf::Howto::kExtable);
+  ASSERT_NE(table, nullptr);
+  kelf::Relocation* fixup = RelocAt(*table, 4);
+  ASSERT_NE(fixup, nullptr);
+  fixup->addend += 1;  // inside the code, but mid-instruction
+
+  ks::Result<LintReport> report = AnalyzePackage(created->package);
+  ASSERT_TRUE(report.ok());
+  std::vector<ksplice::LintFinding> findings = WithRule(*report, "KSA602");
+  ASSERT_EQ(findings.size(), 1u) << report->ToJson();
+  EXPECT_NE(findings[0].message.find("does not start an instruction"),
+            std::string::npos);
+}
+
+TEST(KanalyzeHowto, BugEntryNotGuardingTrapIsError) {
+  SourceTree tree;
+  tree.Write("m.kc", R"(
+int checked(int x) {
+  if (x == 9) {
+    BUG();
+  }
+  return x + 1;
+}
+)");
+  std::string patch = EditPatch(tree, "m.kc", "x + 1", "x + 2");
+  ks::Result<ksplice::CreateResult> created = Create(tree, patch);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  EXPECT_TRUE(created->report.lint.findings.empty())
+      << created->report.lint.ToJson();
+  kelf::Section* table = SectionWithHowto(
+      created->package.primary_objects[0], kelf::Howto::kBug);
+  ASSERT_NE(table, nullptr);
+  kelf::Relocation* trap = RelocAt(*table, 0);
+  ASSERT_NE(trap, nullptr);
+  trap->addend = 0;  // function entry: a valid boundary, but not `bug`
+
+  ks::Result<LintReport> report = AnalyzePackage(created->package);
+  ASSERT_TRUE(report.ok());
+  std::vector<ksplice::LintFinding> findings = WithRule(*report, "KSA603");
+  ASSERT_EQ(findings.size(), 1u) << report->ToJson();
+  EXPECT_NE(findings[0].message.find("no longer decodes to a bug trap"),
+            std::string::npos);
+}
+
+TEST(KanalyzeHowto, TimestampDriftIsANote) {
+  SourceTree tree;
+  tree.Write("m.kc", R"(
+int stamp_len;
+char *banner(int x) {
+  stamp_len = x;
+  return __DATE__;
+}
+)");
+  std::string patch =
+      EditPatch(tree, "m.kc", "stamp_len = x;", "stamp_len = x + 1;");
+  ks::Result<ksplice::CreateResult> created = Create(tree, patch);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+
+  // The toolchain never ships a drifted timestamp in one build; craft a
+  // primary that carries its own copy, one byte off from the helper's.
+  const kelf::ObjectFile& helper = created->package.helper_objects[0];
+  const kelf::Section* pre_date = helper.SectionByName(".rodata.date");
+  ASSERT_NE(pre_date, nullptr);
+  kelf::Section drifted = *pre_date;
+  drifted.relocs.clear();
+  drifted.bytes[0] ^= 0x20;
+  created->package.primary_objects[0].AddSection(std::move(drifted));
+
+  ks::Result<LintReport> report = AnalyzePackage(created->package);
+  ASSERT_TRUE(report.ok());
+  std::vector<ksplice::LintFinding> findings = WithRule(*report, "KSA604");
+  ASSERT_EQ(findings.size(), 1u) << report->ToJson();
+  EXPECT_EQ(findings[0].severity, LintSeverity::kNote);
+  EXPECT_EQ(report->errors(), 0u) << report->ToJson();
+}
+
+// ------------------------------------------------------------------------
 // The CreateUpdate lint gate.
 
 // An assembly patch is the only way to smuggle a wild jump into a package

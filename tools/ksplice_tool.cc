@@ -125,6 +125,8 @@ struct GlobalOptions {
   bool trace = false;    // --trace[=FILE]
   std::string trace_file;    // empty => summary table on stderr at exit
   std::string metrics_file;  // --metrics=FILE: registry JSON at exit
+  std::string build_date;    // --build-date=S: __DATE__ for this build
+  std::string build_time;    // --build-time=S: __TIME__ for this build
   bool help = false;
 };
 
@@ -185,6 +187,15 @@ const FlagSpec kFlags[] = {
      "nth:N, prob:P (see base/faultinject.h; KSPLICE_FAULTS is the "
      "equivalent environment variable)",
      [](const std::string& v) { g_options.faults = v; }},
+    {"--build-date", FlagSpec::kRequired, "STR",
+     "value of __DATE__ for every compile this command performs (default "
+     "\"Jan  1 2026\"); .rodata.date sections match content-ignoring, so a "
+     "package built at one date applies to a kernel built at another",
+     [](const std::string& v) { g_options.build_date = v; }},
+    {"--build-time", FlagSpec::kRequired, "STR",
+     "value of __TIME__ for every compile this command performs (default "
+     "\"00:00:00\")",
+     [](const std::string& v) { g_options.build_time = v; }},
     {"--help", FlagSpec::kNone, nullptr, "show help and exit",
      [](const std::string&) { g_options.help = true; }},
 };
@@ -354,6 +365,12 @@ kcc::CompileOptions DefaultBuild() {
   kcc::CompileOptions options;  // monolithic, like a shipped kernel
   options.jobs = g_options.jobs;
   options.cache = &ToolCache();
+  if (!g_options.build_date.empty()) {
+    options.build_date = g_options.build_date;
+  }
+  if (!g_options.build_time.empty()) {
+    options.build_time = g_options.build_time;
+  }
   return options;
 }
 
