@@ -172,6 +172,9 @@ assert counters.get("kvm.stop_machine_calls") == 1, \
 status = json.load(open(obs_dir + "/status.json"))
 assert len(status["updates"]) == 2, status
 assert status["arena_bytes_in_use"] > 0, status
+health = status["health"]
+assert health["faults_total"] == 0 and not health["panicked"], health
+assert status["quarantine"] == [], status
 print("batch JSON OK:", len(status["updates"]), "updates,",
       counters["kvm.stop_machine_calls"], "stop_machine call")
 EOF
@@ -254,6 +257,67 @@ assert outcomes["node-000"] == "failed", outcomes
 print("fleet rollout JSON OK:", clean["patched"], "patched clean;",
       "drill aborted at wave", drill["tripped_wave"], "with",
       drill["rolled_back"], "rolled back")
+EOF
+
+# Watchdog safety-net smoke: a bad patch (BUG() armed in the replacement
+# code) applies cleanly, then `apply --watch` must catch the regression
+# under the spawned workload, auto-revert, quarantine, and exit 1; the
+# same watched apply of a good patch must soak clean and exit 0; a
+# soak-enabled fleet rollout of a healthy package must also exit 0.
+echo "== watchdog safety-net smoke =="
+mkdir -p "$obs_dir/watch/src/kern"
+cat >"$obs_dir/watch/src/kern/watch.kc" <<'EOF'
+int watch_state = 100;
+int watch_guard = 9999;
+int watch_op(int x) {
+  int a = x + 1; int b = a + 2; int c = b + 3; int d = c + 4;
+  if (x == watch_guard) {
+    BUG();
+  }
+  return a + b + c + d + watch_state;
+}
+void watch_load(int n) {
+  int i = n;
+  while (i < 64) {
+    record(11, watch_op(i));
+    i = i + 1;
+  }
+}
+EOF
+python3 - "$obs_dir" <<'EOF'
+import difflib, pathlib, sys
+obs = pathlib.Path(sys.argv[1])
+pre = (obs / "watch/src/kern/watch.kc").read_text().splitlines(keepends=True)
+bad = [l.replace("x == watch_guard", "x >= 0") for l in pre]
+good = [l.replace("int a = x + 1;", "int a = x + 10;") for l in pre]
+assert bad != pre and good != pre, "patch anchors not found"
+for name, post in (("bad", bad), ("good", good)):
+    (obs / f"watch/{name}.patch").write_text("".join(difflib.unified_diff(
+        pre, post, fromfile="a/kern/watch.kc", tofile="b/kern/watch.kc")))
+EOF
+build/tools/ksplice_tool create "$obs_dir/watch/src" \
+  "$obs_dir/watch/bad.patch" "$obs_dir/watch/bad.kspl"
+build/tools/ksplice_tool create "$obs_dir/watch/src" \
+  "$obs_dir/watch/good.patch" "$obs_dir/watch/good.kspl"
+rc=0; build/tools/ksplice_tool apply --watch --watch-entry=watch_load \
+  "$obs_dir/watch/src" "$obs_dir/watch/bad.kspl" \
+  >"$obs_dir/watch/bad.out" 2>&1 || rc=$?
+test "$rc" -eq 1 || { echo "watched bad apply exited $rc, want 1"; exit 1; }
+grep -q "watchdog: auto-revert" "$obs_dir/watch/bad.out"
+grep -q "quarantined hash" "$obs_dir/watch/bad.out"
+grep -q "0 update(s) applied" "$obs_dir/watch/bad.out"
+build/tools/ksplice_tool apply --watch --watch-entry=watch_load \
+  "$obs_dir/watch/src" "$obs_dir/watch/good.kspl" >"$obs_dir/watch/good.out"
+grep -q "0 attributed" "$obs_dir/watch/good.out"
+build/tools/ksplice_tool rollout --nodes=4 --wave=2 --max-in-flight=2 \
+  --soak --json="$obs_dir/watch/rollout-soak.json"
+python3 - "$obs_dir" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1] + "/watch/rollout-soak.json"))
+assert not report["aborted"] and report["auto_reverted"] == 0, report
+assert report["blacklisted"] == [], report
+print("watchdog smoke OK: bad patch auto-reverted + quarantined,",
+      "good patch soaked clean,", report["patched"], "nodes soaked in fleet")
 EOF
 
 # Date-drift smoke: build a tiny kernel embedding __DATE__/__TIME__ and a

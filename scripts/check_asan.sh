@@ -10,10 +10,11 @@ cd "$(dirname "$0")/.."
 cmake -B build-asan -G Ninja -DKSPLICE_SANITIZE="address;undefined"
 cmake --build build-asan --target ksplice_txn_test concurrency_test \
   ksplice_hooks_smp_test kanalyze_test fuzz_negative_test chaos_test \
-  runpre_test runpre_index_test fleet_test howto_test
+  runpre_test runpre_index_test fleet_test howto_test watchdog_test
 for t in ksplice_txn_test concurrency_test ksplice_hooks_smp_test \
          kanalyze_test fuzz_negative_test chaos_test \
-         runpre_test runpre_index_test fleet_test howto_test; do
+         runpre_test runpre_index_test fleet_test howto_test \
+         watchdog_test; do
   echo "== build-asan/tests/$t =="
   "./build-asan/tests/$t"
 done

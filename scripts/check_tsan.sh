@@ -13,10 +13,11 @@ cd "$(dirname "$0")/.."
 cmake -B build-tsan -G Ninja -DKSPLICE_SANITIZE=thread
 cmake --build build-tsan --target concurrency_test ksplice_hooks_smp_test \
   ksplice_txn_test kanalyze_test fuzz_negative_test chaos_test \
-  runpre_test runpre_index_test fleet_test howto_test
+  runpre_test runpre_index_test fleet_test howto_test watchdog_test
 for t in concurrency_test ksplice_hooks_smp_test ksplice_txn_test \
          kanalyze_test fuzz_negative_test chaos_test \
-         runpre_test runpre_index_test fleet_test howto_test; do
+         runpre_test runpre_index_test fleet_test howto_test \
+         watchdog_test; do
   echo "== build-tsan/tests/$t =="
   "./build-tsan/tests/$t"
 done

@@ -327,6 +327,11 @@ const std::vector<std::string>& KnownFaultSites() {
       "ksplice.txn.splice",   // per function, inside the stop window
       "ksplice.txn.commit",
       "ksplice.undo.restore", // per function, inside the undo stop window
+      // ksplice watchdog: the post-apply safety net (watchdog.h).
+      "ksplice.watchdog.sample",  // one health sampling pass
+      "ksplice.watchdog.revert",  // per auto-revert attempt (first attempt
+                                  // only under chaos: retries run
+                                  // suppressed, exercising the backoff)
   };
   return *sites;
 }

@@ -10,6 +10,8 @@
 #include "base/metrics.h"
 #include "base/strings.h"
 #include "base/threadpool.h"
+#include "ksplice/quarantine.h"
+#include "ksplice/watchdog.h"
 
 namespace fleet {
 
@@ -88,6 +90,9 @@ struct NodeState {
   // Ids this rollout applied on the node, apply order (rollback undoes
   // them newest-first, preserving any pre-existing stack underneath).
   std::vector<std::string> applied_ids;
+  // Watchdog reverts from the node's post-apply soak; when the wave
+  // trips, these name the packages the fleet blacklists.
+  std::vector<ksplice::RevertReport> reverts;
 };
 
 bool Contains(const std::vector<std::string>& haystack,
@@ -157,6 +162,54 @@ void ApplyOnNode(Fleet& fleet, size_t node,
         static_cast<unsigned long long>(plan.max_pause_ns));
     return;
   }
+
+  // Post-apply soak: spawn the wave workload and run the watchdog over
+  // the soak window. Guest faults (a bad patch oopsing under load) are
+  // real machine behavior and fire doomed or not; the injector drill
+  // sites stay suppressed on non-doomed nodes like every other site.
+  if (plan.soak_ticks != 0) {
+    kvm::Machine* machine = core.manager().machine();
+    if (!plan.soak_entry.empty()) {
+      ks::Status spawned =
+          machine->SpawnNamed(plan.soak_entry, plan.soak_arg).status();
+      if (!spawned.ok()) {
+        state->report.outcome = ksplice::RolloutNodeOutcome::kFailed;
+        state->report.error = "soak workload: " + spawned.message();
+        return;
+      }
+    }
+    ksplice::WatchdogOptions wopts;
+    wopts.soak_ticks = plan.soak_ticks;
+    wopts.max_faults = plan.max_faults_per_node;
+    wopts.rendezvous = options.rendezvous;
+    ksplice::HealthMonitor monitor(&core.manager(), wopts);
+    ksplice::WatchdogReport soak = monitor.Soak();
+    state->report.soak_faults = soak.faults_attributed;
+    for (const ksplice::RevertReport& revert : soak.reverts) {
+      if (revert.reverted) {
+        state->applied_ids.erase(std::remove(state->applied_ids.begin(),
+                                             state->applied_ids.end(),
+                                             revert.id),
+                                 state->applied_ids.end());
+      }
+      state->reverts.push_back(revert);
+    }
+    if (!state->reverts.empty()) {
+      // A failed revert leaves the update fully applied (restore-or-
+      // abort); that node is a plain failure and fleet rollback will
+      // retry the undo. Clean reverts count separately so the report
+      // distinguishes "the safety net worked" from "the node broke".
+      bool all_reverted = true;
+      for (const ksplice::RevertReport& revert : state->reverts) {
+        all_reverted = all_reverted && revert.reverted;
+      }
+      state->report.outcome =
+          all_reverted ? ksplice::RolloutNodeOutcome::kAutoReverted
+                       : ksplice::RolloutNodeOutcome::kFailed;
+      state->report.error = state->reverts.front().trigger.reason;
+      return;
+    }
+  }
   state->report.outcome = ksplice::RolloutNodeOutcome::kPatched;
 }
 
@@ -187,6 +240,23 @@ ks::Result<ksplice::RolloutReport> RunRollout(
   }
   if (plan.abort_failure_fraction < 0.0) {
     return ks::InvalidArgument("rollout: negative abort_failure_fraction");
+  }
+  // Fleet-level blacklist gate: a package a previous rollout's watchdogs
+  // blamed is refused outright, by content hash — renaming the id does
+  // not sneak it past.
+  if (plan.blacklist != nullptr) {
+    for (const ksplice::UpdatePackage& package : packages) {
+      uint64_t hash = ksplice::PackageContentHash(package);
+      std::optional<ksplice::QuarantineEntry> entry =
+          plan.blacklist->Find(hash);
+      if (entry.has_value()) {
+        return ks::FailedPrecondition(ks::StrPrintf(
+            "rollout: package %s is blacklisted (hash %016llx, "
+            "evidence: %s)",
+            package.id.c_str(), static_cast<unsigned long long>(hash),
+            entry->evidence.c_str()));
+      }
+    }
   }
 
   ks::MetricsRegistry& metrics = ks::Metrics();
@@ -265,6 +335,9 @@ ks::Result<ksplice::RolloutReport> RunRollout(
         case ksplice::RolloutNodeOutcome::kSkippedStale:
           ++wave.skipped_stale;
           break;
+        case ksplice::RolloutNodeOutcome::kAutoReverted:
+          ++wave.auto_reverted;
+          break;
         default:
           ++wave.failed;
           break;
@@ -275,9 +348,11 @@ ks::Result<ksplice::RolloutReport> RunRollout(
       }
     }
     wave.wall_ns = NowNs() - wave_begin_ns;
+    // Auto-reverted nodes are regressions the safety net caught — they
+    // feed the abort threshold exactly like hard failures.
     wave.tripped =
-        wave.failed > plan.abort_failure_fraction *
-                          static_cast<double>(wave.nodes);
+        wave.failed + wave.auto_reverted >
+        plan.abort_failure_fraction * static_cast<double>(wave.nodes);
     metrics.GetCounter("fleet.waves").Add();
     report.wave_reports.push_back(wave);
 
@@ -288,6 +363,37 @@ ks::Result<ksplice::RolloutReport> RunRollout(
     }
   }
   report.waves = static_cast<uint32_t>(report.wave_reports.size());
+
+  // Escalation: an aborted rollout blacklists every package a watchdog
+  // blamed, keyed by content hash, with the triggering fault as
+  // evidence. Runs on the orchestrator thread in node-index order, so
+  // the blacklist and report are identical at any max_in_flight.
+  if (report.aborted) {
+    for (size_t node = 0; node < nodes.size(); ++node) {
+      for (const ksplice::RevertReport& revert : nodes[node].reverts) {
+        std::string tag = ks::StrPrintf(
+            "%s#%016llx", revert.id.c_str(),
+            static_cast<unsigned long long>(revert.package_hash));
+        if (Contains(report.blacklisted, tag)) {
+          continue;
+        }
+        report.blacklisted.push_back(tag);
+        if (plan.blacklist != nullptr) {
+          ksplice::QuarantineEntry entry;
+          entry.id = revert.id;
+          entry.package_hash = revert.package_hash;
+          entry.evidence = ks::StrPrintf(
+              "fleet rollout %s aborted: node %s: %s", report.id.c_str(),
+              nodes[node].report.node.c_str(),
+              revert.trigger.reason.c_str());
+          entry.tid = revert.trigger.tid;
+          entry.pc = revert.trigger.pc;
+          entry.tick = revert.trigger.tick;
+          plan.blacklist->Add(std::move(entry));
+        }
+      }
+    }
+  }
 
   // Fleet-wide rollback: undo everything this rollout applied, leaving
   // pre-existing stacks intact. Recovery runs suppressed.
@@ -340,6 +446,9 @@ ks::Result<ksplice::RolloutReport> RunRollout(
       case ksplice::RolloutNodeOutcome::kRolledBack:
         ++report.rolled_back;
         break;
+      case ksplice::RolloutNodeOutcome::kAutoReverted:
+        ++report.auto_reverted;
+        break;
     }
     if (node.pause_ns != 0) {
       pauses.push_back(node.pause_ns);
@@ -371,6 +480,9 @@ ks::Result<ksplice::RolloutReport> RunRollout(
       .Add(report.skipped_stale);
   metrics.GetCounter("fleet.nodes_failed").Add(report.failed);
   metrics.GetCounter("fleet.nodes_rolled_back").Add(report.rolled_back);
+  metrics.GetCounter("fleet.reverts").Add(report.auto_reverted);
+  metrics.GetCounter("fleet.blacklisted")
+      .Add(static_cast<uint64_t>(report.blacklisted.size()));
   if (report.aborted) {
     metrics.GetCounter("fleet.rollouts_aborted").Add();
   }

@@ -19,7 +19,21 @@
 //  - any other apply failure (quiescence exhaustion, injected faults,
 //    load errors) counts `failed` and feeds the abort threshold;
 //  - a node whose stack already carries every package is
-//    `already_applied` and is not re-applied.
+//    `already_applied` and is not re-applied;
+//  - with a post-wave soak configured (soak_ticks > 0), a node whose
+//    watchdog attributes a regression to this rollout's updates is
+//    auto-reverted on the spot and counted `auto_reverted` — which feeds
+//    the abort threshold exactly like `failed`.
+//
+// Post-wave soak (the PR-10 safety net, ksplice/watchdog.h): after a
+// node patches cleanly, the orchestrator optionally spawns the wave
+// workload (`soak_entry`) and runs a HealthMonitor soak window on the
+// node. An attributed regression auto-reverts that node's updates; when
+// the wave's (failed + auto_reverted) fraction trips the abort
+// threshold, the rollout aborts, every patched node rolls back, and the
+// packages the watchdogs blamed land in the fleet-level blacklist (a
+// ksplice::Quarantine keyed by package content hash) — a later rollout
+// handed the same blacklist refuses those packages outright.
 //
 // Canary failure drill: arming RolloutPlan::canary_fault_plan (the
 // base/faultinject grammar) makes the process-wide injector live for the
@@ -47,6 +61,7 @@
 #include "fleet/fleet.h"
 #include "ksplice/manager.h"
 #include "ksplice/package.h"
+#include "ksplice/quarantine.h"
 #include "ksplice/report.h"
 
 namespace fleet {
@@ -78,6 +93,29 @@ struct RolloutPlan {
   // e.g. "ksplice.txn.pre_apply=always"); "" arms nothing. Only nodes
   // with NodeSpec::doomed feel it — see the header comment.
   std::string canary_fault_plan;
+
+  // Post-wave soak: ticks of watchdog-monitored machine time each
+  // freshly patched node runs before it counts as healthy (0 = no soak).
+  // Regressions the watchdog attributes to this rollout's updates are
+  // auto-reverted per node (ksplice/watchdog.h).
+  uint64_t soak_ticks = 0;
+
+  // Attributed faults a node tolerates during its soak before the
+  // auto-revert fires (watchdog max_faults; 0 = any attributed fault).
+  uint64_t max_faults_per_node = 0;
+
+  // Workload spawned on each node before its soak so the patched code
+  // actually runs ("" = soak whatever is already runnable). Corpus
+  // kernels ship "stress_main"/"stress_worker" entries.
+  std::string soak_entry;
+  uint32_t soak_arg = 0;
+
+  // Fleet-level package blacklist, shared across rollouts. When a wave
+  // trips with auto-reverted nodes, the blamed packages are added here
+  // (keyed by content hash, with the triggering fault as evidence), and
+  // RunRollout refuses any package already present. nullptr = no
+  // blacklist; blamed packages are still listed in the report.
+  ksplice::Quarantine* blacklist = nullptr;
 
   // Per-node apply options; rendezvous.backoff_seed is overridden per
   // node for deterministic jitter.

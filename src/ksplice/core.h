@@ -78,6 +78,11 @@ class KspliceCore {
   // Snapshot of the applied-update stack (ksplice_tool status).
   StatusReport Status() const { return manager_.Status(); }
 
+  // The package quarantine (quarantine.h): the watchdog adds entries on
+  // automatic revert, Apply refuses quarantined hashes without `force`.
+  Quarantine& quarantine() { return manager_.quarantine(); }
+  const Quarantine& quarantine() const { return manager_.quarantine(); }
+
   // Escape hatch into the underlying engine, for tests that assert on
   // internal registry state. Production callers (tools, benches, examples,
   // the fleet orchestrator) use the facade methods above instead.

@@ -299,6 +299,13 @@ ks::Status UpdateManager::UnloadHelper(const std::string& id) {
   return ks::NotFound(ks::StrPrintf("no applied update %s", id.c_str()));
 }
 
+void UpdateManager::NoteAttributedFault(AttributedFault fault) {
+  attributed_faults_.push_back(std::move(fault));
+  static ks::Counter& attributed =
+      ks::Metrics().GetCounter("ksplice.watchdog.faults_attributed");
+  attributed.Add(1);
+}
+
 StatusReport UpdateManager::Status() const {
   StatusReport status;
   status.arena_bytes_in_use = machine_->ModuleArenaBytesInUse();
@@ -313,8 +320,20 @@ StatusReport UpdateManager::Status() const {
       row.trampoline_bytes += static_cast<uint32_t>(fn.saved_bytes.size());
       row.symbols.push_back(fn.unit + ":" + fn.symbol);
     }
+    for (const AttributedFault& fault : attributed_faults_) {
+      if (fault.update == update.id) {
+        ++row.attributed_faults;
+      }
+    }
     status.updates.push_back(std::move(row));
   }
+  status.health.faults_total = machine_->FaultCount();
+  status.health.faults_attributed = attributed_faults_.size();
+  status.health.extable_fixups = machine_->ExtableFixups();
+  status.health.dropped_log_lines = machine_->DroppedLogLines();
+  status.health.panicked = machine_->Halted();
+  status.health.attributed = attributed_faults_;
+  status.quarantine = quarantine_.Entries();
   return status;
 }
 

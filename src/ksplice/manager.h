@@ -30,6 +30,7 @@
 
 #include "base/status.h"
 #include "ksplice/package.h"
+#include "ksplice/quarantine.h"
 #include "ksplice/rendezvous.h"
 #include "ksplice/report.h"
 #include "kvm/machine.h"
@@ -54,6 +55,11 @@ struct ApplyOptions {
   // ksplice/runpre.h). Off = the linear fallback, same decisions, more
   // bytes walked; exposed as `--no-index` in ksplice_tool.
   bool use_index = true;
+  // Apply a package even if its content hash is quarantined (the watchdog
+  // reverted it after an attributed regression, quarantine.h). The
+  // override also clears the quarantine entry — exposed as `--force` in
+  // ksplice_tool.
+  bool force = false;
 };
 
 // One spliced function of an applied update.
@@ -77,6 +83,9 @@ struct AppliedUpdate {
   uint32_t helper_bytes = 0;
   uint32_t primary_base = 0;  // primary module range, for the out-of-order
   uint32_t primary_size = 0;  // undo dependency check
+  // Content hash of the package this update came from (recorded at apply
+  // time): the key an automatic revert quarantines under.
+  uint64_t package_hash = 0;
   HookSet hooks;
   // External symbols the primary link resolved (name -> value). A later
   // update whose imports land inside this update's primary module depends
@@ -120,8 +129,22 @@ class UpdateManager {
   std::optional<std::pair<uint32_t, uint32_t>> CurrentCode(
       const std::string& unit, const std::string& symbol) const;
 
-  // Snapshot of the applied-update stack for `ksplice_tool status`.
+  // Snapshot of the applied-update stack for `ksplice_tool status`,
+  // including the machine-health block and the quarantine entries.
   StatusReport Status() const;
+
+  // The package quarantine (watchdog.h adds entries on automatic revert;
+  // the apply transaction refuses quarantined hashes without `force`).
+  Quarantine& quarantine() { return quarantine_; }
+  const Quarantine& quarantine() const { return quarantine_; }
+
+  // Records watchdog evidence: a fault whose PC was attributed to an
+  // applied update. Feeds Status()'s health block and the per-row
+  // attributed_faults counts that `ksplice_tool status` exits 1 on.
+  void NoteAttributedFault(AttributedFault fault);
+  const std::vector<AttributedFault>& attributed_faults() const {
+    return attributed_faults_;
+  }
 
   kvm::Machine* machine() const { return machine_; }
 
@@ -147,6 +170,8 @@ class UpdateManager {
 
   kvm::Machine* machine_;
   std::vector<AppliedUpdate> applied_;
+  Quarantine quarantine_;
+  std::vector<AttributedFault> attributed_faults_;
   uint64_t next_txn_ = 0;
 };
 

@@ -1,0 +1,60 @@
+// Quarantine: the registry of packages the safety net has pulled back.
+//
+// When the watchdog attributes a runtime regression to an applied update
+// and reverts it (watchdog.h), the offending package lands here, keyed by
+// its content hash — FNV-64 over the serialized package bytes, so a
+// re-created package with identical contents is refused even under a new
+// file name. Apply consults the registry in the Prepare stage and refuses
+// a quarantined package unless ApplyOptions::force is set; `ksplice_tool
+// status --json` surfaces the entries (with the triggering fault as
+// evidence) in its "quarantine" block. The fleet orchestrator reuses the
+// same type as its fleet-level blacklist.
+
+#ifndef KSPLICE_KSPLICE_QUARANTINE_H_
+#define KSPLICE_KSPLICE_QUARANTINE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "ksplice/package.h"
+#include "ksplice/report.h"
+
+namespace ksplice {
+
+// Content hash of a package: FNV-64 over UpdatePackage::Serialize(). This
+// is the quarantine key — it covers the id, every helper/primary object,
+// and the target list, so any byte-level change makes a distinct package.
+uint64_t PackageContentHash(const UpdatePackage& package);
+
+// Thread-safe append-mostly registry. Fleet soak verdicts add entries from
+// concurrent node workers, so all accessors lock.
+class Quarantine {
+ public:
+  // Registers `entry` (idempotent per hash: a second entry for an already
+  // quarantined hash is dropped, the first evidence wins).
+  void Add(QuarantineEntry entry);
+
+  bool Contains(uint64_t package_hash) const;
+
+  // The entry for `package_hash`, if quarantined (by value: the registry
+  // may grow concurrently).
+  std::optional<QuarantineEntry> Find(uint64_t package_hash) const;
+
+  // Removes the entry for `package_hash`; returns whether it was present.
+  // `apply --force` clears the entry so the operator's override sticks.
+  bool Remove(uint64_t package_hash);
+
+  std::vector<QuarantineEntry> Entries() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<QuarantineEntry> entries_;
+};
+
+}  // namespace ksplice
+
+#endif  // KSPLICE_KSPLICE_QUARANTINE_H_

@@ -258,6 +258,76 @@ std::string UndoReport::ToJson() const {
       BlockersJson(blockers).c_str());
 }
 
+std::string AttributedFault::ToJson() const {
+  return ks::StrPrintf(
+      "{\"update\":\"%s\",\"unit\":\"%s\",\"symbol\":\"%s\",\"tid\":%d,"
+      "\"pc\":%u,\"tick\":%llu,\"reason\":\"%s\"}",
+      Escaped(update).c_str(), Escaped(unit).c_str(),
+      Escaped(symbol).c_str(), tid, pc, U(tick), Escaped(reason).c_str());
+}
+
+namespace {
+
+std::string AttributedJson(const std::vector<AttributedFault>& faults) {
+  std::vector<std::string> rows;
+  for (const AttributedFault& fault : faults) {
+    rows.push_back(fault.ToJson());
+  }
+  return JoinJson(rows);
+}
+
+}  // namespace
+
+std::string RevertReport::ToJson() const {
+  return ks::StrPrintf(
+      "{\"id\":\"%s\",\"package_hash\":%llu,\"trigger\":%s,"
+      "\"detected_tick\":%llu,\"attempts\":%d,\"backoff_ticks\":%llu,"
+      "\"reverted\":%s,\"quarantined\":%s,\"error\":\"%s\",\"undo\":%s}",
+      Escaped(id).c_str(), U(package_hash), trigger.ToJson().c_str(),
+      U(detected_tick), attempts, U(backoff_ticks),
+      reverted ? "true" : "false", quarantined ? "true" : "false",
+      Escaped(error).c_str(), undo.ToJson().c_str());
+}
+
+std::string WatchdogReport::ToJson() const {
+  std::vector<std::string> unattributed_rows;
+  for (const std::string& line : unattributed) {
+    unattributed_rows.push_back(
+        ks::StrPrintf("\"%s\"", Escaped(line).c_str()));
+  }
+  std::vector<std::string> revert_rows;
+  for (const RevertReport& revert : reverts) {
+    revert_rows.push_back(revert.ToJson());
+  }
+  return ks::StrPrintf(
+      "{\"window_ticks\":%llu,\"samples\":%llu,\"faults_seen\":%llu,"
+      "\"faults_attributed\":%llu,\"extable_fixups\":%llu,"
+      "\"stuck_threads\":%u,\"panicked\":%s,\"window_closed\":%s,"
+      "\"attributed\":%s,\"unattributed\":%s,\"reverts\":%s}",
+      U(window_ticks), U(samples), U(faults_seen), U(faults_attributed),
+      U(extable_fixups), stuck_threads, panicked ? "true" : "false",
+      window_closed ? "true" : "false", AttributedJson(attributed).c_str(),
+      JoinJson(unattributed_rows).c_str(), JoinJson(revert_rows).c_str());
+}
+
+std::string QuarantineEntry::ToJson() const {
+  return ks::StrPrintf(
+      "{\"id\":\"%s\",\"package_hash\":%llu,\"evidence\":\"%s\","
+      "\"tid\":%d,\"pc\":%u,\"tick\":%llu}",
+      Escaped(id).c_str(), U(package_hash), Escaped(evidence).c_str(), tid,
+      pc, U(tick));
+}
+
+std::string HealthStatus::ToJson() const {
+  return ks::StrPrintf(
+      "{\"faults_total\":%llu,\"faults_attributed\":%llu,"
+      "\"extable_fixups\":%llu,\"dropped_log_lines\":%llu,"
+      "\"panicked\":%s,\"attributed\":%s}",
+      U(faults_total), U(faults_attributed), U(extable_fixups),
+      U(dropped_log_lines), panicked ? "true" : "false",
+      AttributedJson(attributed).c_str());
+}
+
 std::string UpdateStatusRow::ToJson() const {
   std::vector<std::string> symbol_rows;
   for (const std::string& symbol : symbols) {
@@ -266,9 +336,9 @@ std::string UpdateStatusRow::ToJson() const {
   return ks::StrPrintf(
       "{\"id\":\"%s\",\"functions\":%u,\"helper_loaded\":%s,"
       "\"helper_bytes\":%u,\"primary_bytes\":%u,\"trampoline_bytes\":%u,"
-      "\"symbols\":%s}",
+      "\"attributed_faults\":%llu,\"symbols\":%s}",
       Escaped(id).c_str(), functions, helper_loaded ? "true" : "false",
-      helper_bytes, primary_bytes, trampoline_bytes,
+      helper_bytes, primary_bytes, trampoline_bytes, U(attributed_faults),
       JoinJson(symbol_rows).c_str());
 }
 
@@ -277,8 +347,15 @@ std::string StatusReport::ToJson() const {
   for (const UpdateStatusRow& row : updates) {
     rows.push_back(row.ToJson());
   }
-  return ks::StrPrintf("{\"updates\":%s,\"arena_bytes_in_use\":%u}",
-                       JoinJson(rows).c_str(), arena_bytes_in_use);
+  std::vector<std::string> quarantine_rows;
+  for (const QuarantineEntry& entry : quarantine) {
+    quarantine_rows.push_back(entry.ToJson());
+  }
+  return ks::StrPrintf(
+      "{\"updates\":%s,\"arena_bytes_in_use\":%u,\"health\":%s,"
+      "\"quarantine\":%s}",
+      JoinJson(rows).c_str(), arena_bytes_in_use, health.ToJson().c_str(),
+      JoinJson(quarantine_rows).c_str());
 }
 
 const char* RolloutNodeOutcomeName(RolloutNodeOutcome outcome) {
@@ -295,6 +372,8 @@ const char* RolloutNodeOutcomeName(RolloutNodeOutcome outcome) {
       return "failed";
     case RolloutNodeOutcome::kRolledBack:
       return "rolled_back";
+    case RolloutNodeOutcome::kAutoReverted:
+      return "auto_reverted";
   }
   return "?";
 }
@@ -304,20 +383,21 @@ std::string RolloutNodeReport::ToJson() const {
       "{\"node\":\"%s\",\"version\":\"%s\",\"wave\":%d,\"canary\":%s,"
       "\"outcome\":\"%s\",\"pause_ns\":%llu,\"attempts\":%d,"
       "\"quiescence_retries\":%d,\"functions_spliced\":%u,"
-      "\"error\":\"%s\"}",
+      "\"soak_faults\":%llu,\"error\":\"%s\"}",
       Escaped(node).c_str(), Escaped(version).c_str(), wave,
       canary ? "true" : "false", RolloutNodeOutcomeName(outcome),
       U(pause_ns), attempts, quiescence_retries, functions_spliced,
-      Escaped(error).c_str());
+      U(soak_faults), Escaped(error).c_str());
 }
 
 std::string RolloutWaveReport::ToJson() const {
   return ks::StrPrintf(
       "{\"wave\":%d,\"canary\":%s,\"nodes\":%u,\"patched\":%u,"
       "\"already_applied\":%u,\"skipped_stale\":%u,\"failed\":%u,"
-      "\"wall_ns\":%llu,\"max_pause_ns\":%llu,\"tripped\":%s}",
+      "\"auto_reverted\":%u,\"wall_ns\":%llu,\"max_pause_ns\":%llu,"
+      "\"tripped\":%s}",
       wave, canary ? "true" : "false", nodes, patched, already_applied,
-      skipped_stale, failed, U(wall_ns), U(max_pause_ns),
+      skipped_stale, failed, auto_reverted, U(wall_ns), U(max_pause_ns),
       tripped ? "true" : "false");
 }
 
@@ -330,17 +410,24 @@ std::string RolloutReport::ToJson() const {
   for (const RolloutNodeReport& node : nodes) {
     node_rows.push_back(node.ToJson());
   }
+  std::vector<std::string> blacklist_rows;
+  for (const std::string& entry : blacklisted) {
+    blacklist_rows.push_back(
+        ks::StrPrintf("\"%s\"", Escaped(entry).c_str()));
+  }
   return ks::StrPrintf(
       "{\"id\":\"%s\",\"fleet_size\":%u,\"aborted\":%s,"
       "\"tripped_wave\":%d,\"waves\":%u,\"patched\":%u,"
       "\"already_applied\":%u,\"skipped_stale\":%u,\"failed\":%u,"
-      "\"rolled_back\":%u,\"not_attempted\":%u,\"wall_ns\":%llu,"
+      "\"rolled_back\":%u,\"auto_reverted\":%u,\"not_attempted\":%u,"
+      "\"blacklisted\":%s,\"wall_ns\":%llu,"
       "\"nodes_per_sec\":%.3f,\"pause_p50_ns\":%llu,"
       "\"pause_p99_ns\":%llu,\"pause_max_ns\":%llu,\"wave_reports\":%s,"
       "\"nodes\":%s}",
       Escaped(id).c_str(), fleet_size, aborted ? "true" : "false",
       tripped_wave, waves, patched, already_applied, skipped_stale, failed,
-      rolled_back, not_attempted, U(wall_ns), nodes_per_sec,
+      rolled_back, auto_reverted, not_attempted,
+      JoinJson(blacklist_rows).c_str(), U(wall_ns), nodes_per_sec,
       U(pause_p50_ns), U(pause_p99_ns), U(pause_max_ns),
       JoinJson(wave_rows).c_str(), JoinJson(node_rows).c_str());
 }

@@ -272,6 +272,89 @@ struct UndoReport {
   std::string ToJson() const;
 };
 
+// ------------------------------------------------------------------
+// Post-apply safety net (src/ksplice/watchdog.{h,cc}): health monitoring,
+// fault attribution, automatic revert, and package quarantine.
+
+// One fault whose PC the watchdog mapped into an applied update's
+// replacement code (or primary module): the evidence row of an attributed
+// regression.
+struct AttributedFault {
+  std::string update;  // applied update id the faulting PC landed in
+  std::string unit;    // patched function whose replacement contained it
+  std::string symbol;  // (both empty when only the module range matched)
+  int tid = 0;
+  uint32_t pc = 0;
+  uint64_t tick = 0;   // machine tick the fault was taken at
+  std::string reason;  // fault text, e.g. "kernel BUG at unit:line"
+
+  std::string ToJson() const;
+};
+
+// What one automatic (or operator-forced) revert did, naming the fault
+// that triggered it. attempts > 1 means the first undo failed and the
+// watchdog backed off and retried (restore-or-abort each time: a failed
+// attempt leaves the update fully applied, never half-reverted).
+struct RevertReport {
+  std::string id;             // update reverted
+  uint64_t package_hash = 0;  // content hash the package is quarantined under
+  AttributedFault trigger;    // the fault that tripped the watchdog
+  uint64_t detected_tick = 0; // machine tick at attribution
+  int attempts = 0;           // undo attempts (>1 = backoff exercised)
+  uint64_t backoff_ticks = 0; // VM ticks advanced between failed attempts
+  bool reverted = false;      // undo succeeded (byte-identical restore)
+  bool quarantined = false;   // package hash registered in the quarantine
+  std::string error;          // last undo error when !reverted
+  UndoReport undo;            // populated when reverted
+
+  std::string ToJson() const;
+};
+
+// One soak window's account: what the monitor saw, what it attributed,
+// and what it reverted.
+struct WatchdogReport {
+  uint64_t window_ticks = 0;  // configured soak window length
+  uint64_t samples = 0;       // sampling passes taken
+  uint64_t faults_seen = 0;   // new faults observed during the window
+  uint64_t faults_attributed = 0;
+  uint64_t extable_fixups = 0;  // fixup delta over the window
+  uint32_t stuck_threads = 0;   // threads pinned at one pc across samples
+  bool panicked = false;        // machine halted during the window
+  bool window_closed = false;   // the monitor ran the window to its end
+  std::vector<AttributedFault> attributed;  // evidence rows
+  std::vector<std::string> unattributed;    // fault lines in unpatched code
+  std::vector<RevertReport> reverts;        // auto-reverts driven
+
+  std::string ToJson() const;
+};
+
+// One quarantined package: the registry is keyed by package content hash,
+// with the triggering fault carried as evidence.
+struct QuarantineEntry {
+  std::string id;             // package id at quarantine time
+  uint64_t package_hash = 0;  // FNV-64 over UpdatePackage::Serialize()
+  std::string evidence;       // triggering fault text
+  int tid = 0;                // triggering fault coordinates
+  uint32_t pc = 0;
+  uint64_t tick = 0;
+
+  std::string ToJson() const;
+};
+
+// Machine-health summary for `ksplice_tool status --json`'s "health"
+// block: lifetime fault counters plus the attributed-fault evidence the
+// manager has accumulated.
+struct HealthStatus {
+  uint64_t faults_total = 0;       // machine-lifetime fault count
+  uint64_t faults_attributed = 0;  // faults attributed to applied updates
+  uint64_t extable_fixups = 0;
+  uint64_t dropped_log_lines = 0;  // evicted from the bounded kvm logs
+  bool panicked = false;
+  std::vector<AttributedFault> attributed;
+
+  std::string ToJson() const;
+};
+
 // One row of the applied-update stack (`ksplice_tool status`).
 struct UpdateStatusRow {
   std::string id;
@@ -280,15 +363,19 @@ struct UpdateStatusRow {
   uint32_t helper_bytes = 0;      // arena bytes while resident
   uint32_t primary_bytes = 0;
   uint32_t trampoline_bytes = 0;
+  uint64_t attributed_faults = 0; // watchdog evidence against this update
   std::vector<std::string> symbols;  // "unit:symbol" per spliced function
 
   std::string ToJson() const;
 };
 
-// The applied-update stack plus arena accounting.
+// The applied-update stack plus arena accounting, machine health, and the
+// quarantine registry.
 struct StatusReport {
   std::vector<UpdateStatusRow> updates;
   uint32_t arena_bytes_in_use = 0;  // whole module arena
+  HealthStatus health;
+  std::vector<QuarantineEntry> quarantine;
 
   std::string ToJson() const;
 };
@@ -307,6 +394,7 @@ enum class RolloutNodeOutcome : uint8_t {
   kSkippedStale = 3,   // run-pre mismatch (drifted kernel) — not an error
   kFailed = 4,         // apply failed for a non-staleness reason
   kRolledBack = 5,     // patched, then undone by a fleet-wide abort
+  kAutoReverted = 6,   // patched, regressed during soak, auto-reverted
 };
 
 const char* RolloutNodeOutcomeName(RolloutNodeOutcome outcome);
@@ -322,6 +410,7 @@ struct RolloutNodeReport {
   int attempts = 0;             // stop_machine attempts
   int quiescence_retries = 0;
   uint32_t functions_spliced = 0;
+  uint64_t soak_faults = 0;  // faults attributed during the soak phase
   std::string error;  // status message for kSkippedStale / kFailed
 
   std::string ToJson() const;
@@ -337,6 +426,7 @@ struct RolloutWaveReport {
   uint32_t already_applied = 0;
   uint32_t skipped_stale = 0;
   uint32_t failed = 0;
+  uint32_t auto_reverted = 0;   // nodes reverted by their soak watchdog
   uint64_t wall_ns = 0;         // wave fan-out wall time
   uint64_t max_pause_ns = 0;    // worst per-node stop window in the wave
   bool tripped = false;         // failure fraction exceeded the threshold
@@ -359,7 +449,12 @@ struct RolloutReport {
   uint32_t skipped_stale = 0;
   uint32_t failed = 0;
   uint32_t rolled_back = 0;    // undone by the fleet-wide abort
+  uint32_t auto_reverted = 0;  // reverted by per-node soak watchdogs
   uint32_t not_attempted = 0;  // waves never dispatched after the trip
+  // Packages blacklisted fleet-wide after a soak-tripped abort, as
+  // "id#hash" strings (the fleet blacklist itself is a Quarantine keyed by
+  // content hash).
+  std::vector<std::string> blacklisted;
   uint64_t wall_ns = 0;        // whole rollout
   double nodes_per_sec = 0.0;  // attempted nodes / wall seconds
   uint64_t pause_p50_ns = 0;   // per-node stop-window percentiles

@@ -136,6 +136,25 @@ ks::Status UpdateTransaction::Prepare(
       return ks::InvalidArgument(ks::StrPrintf(
           "package %s appears twice in the batch", package.id.c_str()));
     }
+    // Quarantine gate (quarantine.h): a package the watchdog reverted
+    // after an attributed regression is refused by content hash until the
+    // operator forces it; the override clears the entry so a forced
+    // re-apply gets a clean slate for the next soak.
+    uint64_t package_hash = PackageContentHash(package);
+    std::optional<QuarantineEntry> quarantined =
+        manager_->quarantine().Find(package_hash);
+    if (quarantined.has_value()) {
+      if (!options_.force) {
+        return ks::FailedPrecondition(ks::StrPrintf(
+            "package %s is quarantined (hash %016llx, evidence: %s); "
+            "re-apply requires --force",
+            package.id.c_str(),
+            static_cast<unsigned long long>(package_hash),
+            quarantined->evidence.c_str()));
+      }
+      manager_->quarantine().Remove(package_hash);
+      KS_LOG(kInfo) << "force-applying quarantined package " << package.id;
+    }
     // Packages inside one batch must be independent: two packages that
     // patch the same function would have to stack, and stacking requires
     // the earlier one to be committed before the later one matches.
@@ -153,6 +172,7 @@ ks::Status UpdateTransaction::Prepare(
     Staged staged;
     staged.package = &package;
     staged.update.id = package.id;
+    staged.update.package_hash = package_hash;
     staged.report.id = package.id;
     staged.report.helper_retained = options_.keep_helper;
     staged_.push_back(std::move(staged));

@@ -22,6 +22,17 @@ constexpr uint32_t kMaxPrintkLength = 4096;
 
 }  // namespace
 
+template <typename T>
+void Machine::CapLog(std::vector<T>& log) {
+  if (config_.max_log_lines == 0) {
+    return;
+  }
+  while (log.size() > config_.max_log_lines) {
+    log.erase(log.begin());
+    ++dropped_log_lines_;
+  }
+}
+
 void Machine::FaultThread(Thread& thread, std::string reason) {
   thread.state = ThreadState::kFaulted;
   thread.fault = reason;
@@ -29,6 +40,17 @@ void Machine::FaultThread(Thread& thread, std::string reason) {
                                      ks::Hex32(thread.pc).c_str(),
                                      reason.c_str()));
   KS_LOG(kDebug) << "thread fault: " << fault_log_.back();
+  CapLog(fault_log_);
+  FaultRecord record;
+  record.tid = thread.tid;
+  record.pc = thread.pc;
+  record.tick = ticks_;
+  record.reason = std::move(reason);
+  fault_records_.push_back(std::move(record));
+  CapLog(fault_records_);
+  ++total_faults_;
+  static ks::Counter& faults = ks::Metrics().GetCounter("kvm.faults");
+  faults.Add(1);
 }
 
 uint64_t Machine::ExecThread(Thread& thread, int budget) {
@@ -161,6 +183,13 @@ bool Machine::StepLocked(Thread& thread) {
         static ks::Counter& fixups =
             ks::Metrics().GetCounter("kvm.extable_fixups");
         fixups.Add(1);
+        FaultRecord record;
+        record.tid = thread.tid;
+        record.pc = thread.pc;
+        record.tick = ticks_;
+        record.reason = "extable fixup";
+        extable_records_.push_back(std::move(record));
+        CapLog(extable_records_);
         next_pc = *fixup;
         break;
       }
@@ -381,6 +410,7 @@ bool Machine::DoSys(Thread& thread, uint8_t number) {
         KS_LOG(kInfo) << "printk: " << text;
       }
       printk_log_.push_back(std::move(text));
+      CapLog(printk_log_);
       return true;
     }
     case Sys::kTicks:

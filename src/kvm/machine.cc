@@ -885,4 +885,24 @@ std::vector<std::string> Machine::Faults() const {
   return fault_log_;
 }
 
+std::vector<FaultRecord> Machine::FaultRecords() const {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  return fault_records_;
+}
+
+uint64_t Machine::FaultCount() const {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  return total_faults_;
+}
+
+std::vector<FaultRecord> Machine::ExtableFixupRecords() const {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  return extable_records_;
+}
+
+uint64_t Machine::DroppedLogLines() const {
+  std::unique_lock<std::recursive_mutex> lock(mu_);
+  return dropped_log_lines_;
+}
+
 }  // namespace kvm

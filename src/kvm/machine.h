@@ -49,6 +49,10 @@ struct MachineConfig {
   int slice_instructions = 1000;       // preemption quantum
   uint32_t rand_seed = 0x12345678;
   bool log_printk = false;             // echo printk to the host log
+  // Cap on each observation log (printk, fault log, fault/fixup records):
+  // oldest entries are dropped past this and counted in DroppedLogLines().
+  // 0 = unbounded (tests that assert exact log contents).
+  uint32_t max_log_lines = 4096;
 };
 
 enum class ThreadState : uint8_t {
@@ -67,6 +71,17 @@ struct ThreadInfo {
   uint32_t stack_base = 0;   // lowest address of the stack region
   uint32_t stack_top = 0;    // one past the highest
   std::string fault;         // non-empty iff kFaulted
+};
+
+// Structured counterpart of one fault-log line: who faulted, where, when.
+// The PC is the health-attribution surface — Ksplice's watchdog maps it
+// against applied updates' replacement-code ranges to decide whether a
+// fault is the fault of a hot patch.
+struct FaultRecord {
+  int tid = 0;
+  uint32_t pc = 0;
+  uint64_t tick = 0;    // Ticks() when the fault was taken
+  std::string reason;   // same text as the fault-log line's suffix
 };
 
 // Handle to a loaded module.
@@ -223,6 +238,16 @@ class Machine {
   // record() entries with key == `key`, values only.
   std::vector<uint32_t> RecordsWithKey(uint32_t key) const;
   std::vector<std::string> Faults() const;
+  // Structured fault records (FaultRecord above). Bounded like the text
+  // logs; FaultCount() is the monotonic total and never decreases when the
+  // ring drops old entries, so health monitors can sample by delta.
+  std::vector<FaultRecord> FaultRecords() const;
+  uint64_t FaultCount() const;
+  // Per-fixup records of extable-recovered loads (tid, pc of the LOADF).
+  // ExtableFixups() stays the monotonic count.
+  std::vector<FaultRecord> ExtableFixupRecords() const;
+  // Lines evicted from the bounded logs (config().max_log_lines).
+  uint64_t DroppedLogLines() const;
   bool Halted() const {
     std::unique_lock<std::recursive_mutex> lock(mu_);
     return halted_;
@@ -348,9 +373,20 @@ class Machine {
   // Shadow registry: (object addr, key) -> shadow allocation.
   std::map<std::pair<uint32_t, uint32_t>, uint32_t> shadows_;
 
+  // Observation logs. printk/fault/record logs and the structured fault
+  // and fixup records are rings bounded by config_.max_log_lines (except
+  // records_, whose exact counts tests depend on); evictions are counted
+  // in dropped_log_lines_. total_faults_ is monotonic and survives ring
+  // eviction.
+  template <typename T>
+  void CapLog(std::vector<T>& log);
   std::vector<std::string> printk_log_;
   std::vector<std::pair<uint32_t, uint32_t>> records_;
   std::vector<std::string> fault_log_;
+  std::vector<FaultRecord> fault_records_;
+  std::vector<FaultRecord> extable_records_;
+  uint64_t total_faults_ = 0;
+  uint64_t dropped_log_lines_ = 0;
 
   // Virtual CPU pool.
   std::vector<std::thread> cpus_;

@@ -25,6 +25,8 @@
 #include "kdiff/diff.h"
 #include "ksplice/core.h"
 #include "ksplice/create.h"
+#include "ksplice/quarantine.h"
+#include "ksplice/watchdog.h"
 #include "kvm/machine.h"
 
 namespace ksplice {
@@ -356,6 +358,19 @@ TEST_F(ChaosTest, EveryCatalogSiteIsReachable) {
   ks::Result<UndoReport> undone = core.Undo("coverage");
   ASSERT_TRUE(undone.ok()) << undone.status().ToString();
 
+  // The watchdog sites: one sampling pass (Poll) and one auto-revert
+  // attempt on a re-applied update (Revert quarantines it on the way out).
+  ks::Result<ApplyReport> reapplied = core.Apply(second->package);
+  ASSERT_TRUE(reapplied.ok()) << reapplied.status().ToString();
+  HealthMonitor monitor(&core.manager());
+  monitor.Poll();
+  AttributedFault trigger;
+  trigger.update = "coverage-2";
+  trigger.reason = "chaos catalog coverage drill";
+  ks::Result<RevertReport> reverted = monitor.Revert("coverage-2", trigger);
+  ASSERT_TRUE(reverted.ok()) << reverted.status().ToString();
+  EXPECT_TRUE(reverted->reverted);
+
   for (const std::string& site : ks::KnownFaultSites()) {
     EXPECT_GT(ks::Faults().Hits(site), 0u)
         << "catalog site never executed: " << site;
@@ -451,6 +466,62 @@ TEST_F(ChaosTest, UndoSweepEverySiteRestoresOrAborts) {
       }
       EXPECT_EQ(KernelImage(*machine), pristine);
     }
+  }
+}
+
+// The safety net's own chaos contract (PR 10): with any one site primed
+// to fail during an automatic revert, the machine ends byte-identical to
+// exactly one of the two legal states — pristine (revert landed) or fully
+// patched (revert refused, restore-or-abort) — and the package is
+// quarantined either way. Never half-reverted. Since retries run under
+// ScopedFaultSuppression, a single injected fault can delay the revert by
+// one backoff round but cannot wedge it.
+TEST_F(ChaosTest, WatchdogRevertSweepByteIdenticalOrQuarantined) {
+  SourceTree tree = TriKernel();
+  ks::Result<CreateResult> created = CreateTwoFunctionPatch(tree, "wd");
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  const uint64_t hash = PackageContentHash(created->package);
+
+  std::unique_ptr<kvm::Machine> machine = Boot(tree);
+  ASSERT_NE(machine, nullptr);
+  const std::vector<uint8_t> pristine = KernelImage(*machine);
+  KspliceCore core(machine.get());
+
+  for (const std::string& site : ks::KnownFaultSites()) {
+    SCOPED_TRACE(site);
+    ks::Faults().Reset();
+    ASSERT_TRUE(core.Apply(created->package).ok());
+    const std::vector<uint8_t> patched = KernelImage(*machine);
+    ASSERT_NE(patched, pristine);
+
+    ks::Faults().ArmNth(site, 1);
+    HealthMonitor monitor(&core.manager());
+    AttributedFault trigger;
+    trigger.update = "wd";
+    trigger.reason = "chaos revert sweep";
+    ks::Result<RevertReport> revert = monitor.Revert("wd", trigger);
+    ks::Faults().Reset();
+    ASSERT_TRUE(revert.ok()) << revert.status().ToString();
+
+    EXPECT_TRUE(revert->quarantined);
+    EXPECT_TRUE(core.quarantine().Contains(hash));
+    EXPECT_EQ(RegistryIds(core), StatusIds(core));
+    if (revert->reverted) {
+      EXPECT_EQ(KernelImage(*machine), pristine);
+      EXPECT_TRUE(core.applied().empty());
+    } else {
+      // Failed revert: fully applied, with the undo error as diagnostics.
+      EXPECT_EQ(KernelImage(*machine), patched);
+      ASSERT_EQ(core.applied().size(), 1u);
+      std::optional<QuarantineEntry> entry = core.quarantine().Find(hash);
+      ASSERT_TRUE(entry.has_value());
+      EXPECT_NE(entry->evidence.find("revert failed"), std::string::npos);
+      ASSERT_TRUE(core.Undo("wd").ok());
+    }
+    EXPECT_EQ(KernelImage(*machine), pristine);
+
+    // Clear the quarantine so the next iteration's Apply is not refused.
+    EXPECT_TRUE(core.quarantine().Remove(hash));
   }
 }
 

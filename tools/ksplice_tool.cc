@@ -33,6 +33,7 @@
 // Source trees on disk contain .kc (KC), .kvs (assembly), and .h files;
 // paths are taken relative to <srcdir>.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -51,6 +52,7 @@
 #include "kdiff/diff.h"
 #include "ksplice/core.h"
 #include "ksplice/create.h"
+#include "ksplice/watchdog.h"
 #include "kvm/machine.h"
 #include "kvx/isa.h"
 
@@ -147,6 +149,13 @@ struct CommandOptions {
   int doom = 0;                   // --doom=K canary-fault the first K nodes
   std::string canary_fault = "ksplice.txn.pre_apply=always";
   uint64_t seed = 0;              // --seed=N rollout order + jitter seed
+  // apply --watch / --force (the post-apply safety net, watchdog.h).
+  uint64_t watch_ticks = 0;       // --watch[=TICKS] post-apply soak
+  std::string watch_entry;        // --watch-entry=NAME workload to spawn
+  bool force = false;             // --force re-apply a quarantined package
+  // rollout --soak flags.
+  uint64_t soak_ticks = 0;        // --soak[=TICKS] post-wave node soak
+  uint64_t max_node_faults = 0;   // --max-node-faults=N watchdog tolerance
 };
 
 CommandOptions g_cmd;
@@ -205,6 +214,25 @@ const FlagSpec kCreateFlags[] = {
      "static-analysis gate: off, warn (default: record findings in the "
      "report) or error (refuse a package with error-severity findings)",
      [](const std::string& v) { g_cmd.lint_mode = v; }},
+};
+
+const FlagSpec kApplyFlags[] = {
+    {"--watch", FlagSpec::kOptional, "TICKS",
+     "post-apply safety net: soak the machine for TICKS (default 200000) "
+     "under the health watchdog; a fault attributed to an applied update "
+     "auto-reverts it and quarantines the package, and the command exits 1",
+     [](const std::string& v) {
+       g_cmd.watch_ticks =
+           v.empty() ? 200000 : std::strtoull(v.c_str(), nullptr, 10);
+     }},
+    {"--watch-entry", FlagSpec::kRequired, "NAME",
+     "workload entry spawned before the --watch soak so the patched code "
+     "actually runs under load (default: soak whatever is runnable; corpus "
+     "kernels ship stress_main)",
+     [](const std::string& v) { g_cmd.watch_entry = v; }},
+    {"--force", FlagSpec::kNone, nullptr,
+     "apply a quarantined package anyway, clearing its quarantine entry",
+     [](const std::string&) { g_cmd.force = true; }},
 };
 
 const FlagSpec kStatusFlags[] = {
@@ -272,6 +300,21 @@ const FlagSpec kRolloutFlags[] = {
      "(0 = visit nodes in id order; default 0)",
      [](const std::string& v) {
        g_cmd.seed = std::strtoull(v.c_str(), nullptr, 10);
+     }},
+    {"--soak", FlagSpec::kOptional, "TICKS",
+     "post-wave soak: each freshly patched node runs the stress workload "
+     "under the health watchdog for TICKS (default 200000); an attributed "
+     "regression auto-reverts the node, counts toward --abort-frac, and on "
+     "an abort the blamed packages are blacklisted fleet-wide",
+     [](const std::string& v) {
+       g_cmd.soak_ticks =
+           v.empty() ? 200000 : std::strtoull(v.c_str(), nullptr, 10);
+     }},
+    {"--max-node-faults", FlagSpec::kRequired, "N",
+     "attributed faults a node tolerates during its soak before its "
+     "auto-revert fires (default 0: any attributed fault is a regression)",
+     [](const std::string& v) {
+       g_cmd.max_node_faults = std::strtoull(v.c_str(), nullptr, 10);
      }},
     {"--json", FlagSpec::kOptional, "FILE",
      "emit the rollout report as JSON (to FILE when given, else stdout) "
@@ -491,6 +534,64 @@ void PrintStatusReport(const ksplice::StatusReport& report) {
   }
   std::printf("%zu update(s) applied; module arena: %u byte(s) in use\n",
               report.updates.size(), report.arena_bytes_in_use);
+  if (report.health.faults_total != 0 || report.health.panicked ||
+      !report.quarantine.empty()) {
+    std::printf(
+        "health: %llu fault(s), %llu attributed, %llu extable fixup(s), "
+        "%llu dropped log line(s)%s\n",
+        static_cast<unsigned long long>(report.health.faults_total),
+        static_cast<unsigned long long>(report.health.faults_attributed),
+        static_cast<unsigned long long>(report.health.extable_fixups),
+        static_cast<unsigned long long>(report.health.dropped_log_lines),
+        report.health.panicked ? ", PANICKED" : "");
+  }
+  for (const ksplice::QuarantineEntry& entry : report.quarantine) {
+    std::printf("quarantined: %s (hash %016llx): %s\n", entry.id.c_str(),
+                static_cast<unsigned long long>(entry.package_hash),
+                entry.evidence.c_str());
+  }
+}
+
+// Runs the --watch soak over an already-applied core: spawns the
+// workload (if any), soaks under the watchdog, and prints what happened.
+// Returns 1 when the watchdog auto-reverted anything, else 0.
+int RunWatch(ksplice::KspliceCore& core, kvm::Machine* machine) {
+  if (!g_cmd.watch_entry.empty()) {
+    ks::Result<int> tid = machine->SpawnNamed(g_cmd.watch_entry, 0);
+    if (!tid.ok()) {
+      return Fail(tid.status());
+    }
+  }
+  ksplice::WatchdogOptions options;
+  options.soak_ticks = g_cmd.watch_ticks;
+  ksplice::HealthMonitor monitor(&core.manager(), options);
+  ksplice::WatchdogReport soak = monitor.Soak();
+  std::printf(
+      "watchdog: %llu-tick soak, %llu sample(s): %llu fault(s), "
+      "%llu attributed, %llu extable fixup(s)%s\n",
+      static_cast<unsigned long long>(soak.window_ticks),
+      static_cast<unsigned long long>(soak.samples),
+      static_cast<unsigned long long>(soak.faults_seen),
+      static_cast<unsigned long long>(soak.faults_attributed),
+      static_cast<unsigned long long>(soak.extable_fixups),
+      soak.panicked ? ", PANICKED" : "");
+  for (const std::string& line : soak.unattributed) {
+    std::printf("watchdog: unattributed: %s\n", line.c_str());
+  }
+  for (const ksplice::RevertReport& revert : soak.reverts) {
+    std::printf(
+        "watchdog: auto-revert %s after %d attempt(s): %s; "
+        "quarantined hash %016llx (%s)\n",
+        revert.id.c_str(), revert.attempts,
+        revert.reverted ? "reverted" : ("FAILED: " + revert.error).c_str(),
+        static_cast<unsigned long long>(revert.package_hash),
+        revert.trigger.reason.c_str());
+  }
+  if (!soak.reverts.empty()) {
+    PrintStatusReport(core.Status());
+    return 1;
+  }
+  return 0;
 }
 
 // ---------------------------------------------------------------- build
@@ -774,6 +875,7 @@ int CmdApply(const std::vector<std::string>& args) {
   ksplice::ApplyOptions options;
   options.jobs = g_options.jobs;
   options.use_index = g_options.use_index;
+  options.force = g_cmd.force;
   if (packages->size() == 1) {
     ks::Result<ksplice::ApplyReport> applied =
         core.Apply(packages->front(), options);
@@ -790,6 +892,9 @@ int CmdApply(const std::vector<std::string>& args) {
     PrintBatchApplyReport(*applied);
   }
   PrintStatusReport(core.Status());
+  if (g_cmd.watch_ticks != 0) {
+    return RunWatch(core, machine->get());
+  }
   return 0;
 }
 
@@ -817,11 +922,20 @@ int CmdStatus(const std::vector<std::string>& args) {
     }
   }
   ksplice::StatusReport report = core.Status();
+  // An applied update with faults attributed to it is a live regression:
+  // report it and exit 1 so scripts can gate on machine health.
+  int health_rc = 0;
+  for (const ksplice::UpdateStatusRow& row : report.updates) {
+    if (row.attributed_faults > 0) {
+      health_rc = 1;
+    }
+  }
   if (g_cmd.json) {
-    return EmitJson(report.ToJson());
+    int rc = EmitJson(report.ToJson());
+    return rc != 0 ? rc : health_rc;
   }
   PrintStatusReport(report);
-  return 0;
+  return health_rc;
 }
 
 // -------------------------------------------------------------- rollout
@@ -860,20 +974,26 @@ void PrintRolloutReport(const ksplice::RolloutReport& report) {
   std::printf("rollout %s over %u node(s): %s\n", report.id.c_str(),
               report.fleet_size,
               report.aborted ? "ABORTED (rolled back)" : "completed");
-  std::printf("%5s %7s %6s %8s %8s %6s %7s %9s\n", "wave", "canary",
-              "nodes", "patched", "already", "stale", "failed", "pause ms");
+  std::printf("%5s %7s %6s %8s %8s %6s %7s %8s %9s\n", "wave", "canary",
+              "nodes", "patched", "already", "stale", "failed", "reverted",
+              "pause ms");
   for (const ksplice::RolloutWaveReport& wave : report.wave_reports) {
-    std::printf("%5d %7s %6u %8u %8u %6u %7u %9.3f%s\n", wave.wave,
+    std::printf("%5d %7s %6u %8u %8u %6u %7u %8u %9.3f%s\n", wave.wave,
                 wave.canary ? "yes" : "-", wave.nodes, wave.patched,
                 wave.already_applied, wave.skipped_stale, wave.failed,
+                wave.auto_reverted,
                 static_cast<double>(wave.max_pause_ns) / 1e6,
                 wave.tripped ? "  << tripped" : "");
   }
   std::printf(
       "totals: %u patched, %u already applied, %u skipped stale, "
-      "%u failed, %u rolled back, %u not attempted\n",
+      "%u failed, %u auto-reverted, %u rolled back, %u not attempted\n",
       report.patched, report.already_applied, report.skipped_stale,
-      report.failed, report.rolled_back, report.not_attempted);
+      report.failed, report.auto_reverted, report.rolled_back,
+      report.not_attempted);
+  for (const std::string& tag : report.blacklisted) {
+    std::printf("blacklisted: %s\n", tag.c_str());
+  }
   std::printf(
       "%.1f machines/sec; pause p50 %.3f ms, p99 %.3f ms, max %.3f ms\n",
       report.nodes_per_sec,
@@ -971,6 +1091,11 @@ int CmdRollout(const std::vector<std::string>& args) {
   if (g_cmd.doom > 0) {
     plan.canary_fault_plan = g_cmd.canary_fault;
   }
+  plan.soak_ticks = g_cmd.soak_ticks;
+  plan.max_faults_per_node = g_cmd.max_node_faults;
+  if (plan.soak_ticks != 0) {
+    plan.soak_entry = "stress_main";  // every corpus kernel ships it
+  }
   plan.apply.use_index = g_options.use_index;
   ks::Result<ksplice::RolloutReport> report =
       fleet::RunRollout(*machines, *packages, plan);
@@ -986,7 +1111,10 @@ int CmdRollout(const std::vector<std::string>& args) {
   } else {
     PrintRolloutReport(*report);
   }
-  return (report->aborted || report->failed > 0) ? 1 : 0;
+  return (report->aborted || report->failed > 0 ||
+          report->auto_reverted > 0)
+             ? 1
+             : 0;
 }
 
 // --------------------------------------------------------------- disasm
@@ -1115,14 +1243,21 @@ const Command kCommands[] = {
      "pause covers all of them, and any failure rolls the whole batch\n"
      "back. Prints the typed apply report(s) and the resulting update\n"
      "stack. Packages must target disjoint functions; stacked updates to\n"
-     "the same function apply in separate transactions."},
+     "the same function apply in separate transactions. --watch soaks the\n"
+     "machine under the health watchdog afterwards: an attributed fault\n"
+     "auto-reverts the update, quarantines the package (a re-apply then\n"
+     "needs --force), and exits 1.",
+     kApplyFlags, std::size(kApplyFlags)},
     {"status", "<srcdir> [pkg.kspl...]",
      "show the applied-update stack after applying package(s)", 1, 64,
      CmdStatus,
      "Boots <srcdir>, applies any packages given (one transaction, like\n"
      "apply), and prints one row per applied update: functions spliced,\n"
      "helper retention, module/trampoline bytes and patched symbols —\n"
-     "the live analogue of Ksplice's /sys update status.",
+     "the live analogue of Ksplice's /sys update status. The report also\n"
+     "carries machine health (fault/fixup counts, per-update attributed\n"
+     "faults) and the package quarantine; any update with attributed\n"
+     "faults makes the command exit 1.",
      kStatusFlags, std::size(kStatusFlags)},
     {"rollout", "[cve|pkg.kspl ...]",
      "wave/canary rollout of update package(s) across a fleet", 0, 8,
@@ -1137,8 +1272,12 @@ const Command kCommands[] = {
      "run-pre matching (counted stale, not failed). When a wave's failed\n"
      "fraction exceeds --abort-frac the rollout aborts and every patched\n"
      "node is rolled back. --doom=K drills that path: the first K nodes in\n"
-     "rollout order apply with the --canary-fault plan live. Exits 1 when\n"
-     "the gate refused, the rollout aborted, or any node failed.",
+     "rollout order apply with the --canary-fault plan live. --soak runs\n"
+     "each patched node under the health watchdog with the stress workload:\n"
+     "attributed regressions auto-revert the node, count toward\n"
+     "--abort-frac, and an abort blacklists the blamed packages. Exits 1\n"
+     "when the gate refused, the rollout aborted, any node failed, or any\n"
+     "node auto-reverted.",
      kRolloutFlags, std::size(kRolloutFlags)},
     {"disasm", "<srcdir> <unit>", "disassemble one compilation unit", 2, 2,
      CmdDisasm,
